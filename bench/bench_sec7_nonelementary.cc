@@ -1,0 +1,78 @@
+// Experiment E9 — Section 7 (Theorems 30, 31): path complementation and
+// for-loops are nonelementary.
+//
+// The engine of the lower bound is the star-free complementation tower:
+// each − may exponentiate the minimal DFA. We measure
+//   (a) minimal-DFA sizes along towers of star-free expressions,
+//   (b) the Theorem 30 translation tr(·) into the fragment F (sizes with
+//       primitive ∪ vs the pure-F ∪-free encoding),
+//   (c) agreement of L(r) ≟ ∅ with bounded-model search on tr(r)
+//       satisfiability (sound spot checks in the undecidable-in-practice
+//       territory).
+
+#include <cstdio>
+#include <string>
+
+#include "xpc/sat/bounded_sat.h"
+#include "xpc/translate/starfree.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/metrics.h"
+
+using namespace xpc;
+
+int main() {
+  std::printf("== Section 7: the nonelementary frontier ==\n\n");
+
+  std::printf("-- (a) DFA sizes along complement towers --\n");
+  // Tower over two symbols with alternation to keep languages nontrivial:
+  // r_0 = a b | b a;  r_{i+1} = -(r_i) b | a -(r_i).
+  std::printf("%-28s %-10s %-12s %-10s\n", "expression", "-depth", "min-DFA", "empty?");
+  StarFreePtr r = ParseStarFree("a b | b a").value();
+  for (int depth = 0; depth <= 4; ++depth) {
+    std::vector<std::string> sigma = {"a", "b"};
+    Dfa dfa = StarFreeToDfa(r, sigma);
+    std::string name = depth == 0 ? "a b | b a" : ("tower_" + std::to_string(depth));
+    std::printf("%-28s %-10d %-12d %-10s\n", name.c_str(), ComplementDepth(r),
+                dfa.num_states(), dfa.IsEmpty() ? "yes" : "no");
+    r = SfUnion(SfConcat(SfComplement(r), SfSymbol("b")),
+                SfConcat(SfSymbol("a"), SfComplement(r)));
+  }
+
+  std::printf("\n-- (b) Theorem 30 translation sizes (tr into F) --\n");
+  std::printf("%-10s %-14s %-14s\n", "-depth", "|tr| (with U)", "|tr| (pure F)");
+  StarFreePtr t = ParseStarFree("a").value();
+  for (int depth = 0; depth <= 3; ++depth) {
+    std::printf("%-10d %-14d %-14d\n", depth, Size(StarFreeToPath(t, false)),
+                Size(StarFreeToPath(t, true)));
+    t = SfUnion(SfComplement(t), SfConcat(SfSymbol("b"), t));
+  }
+
+  std::printf("\n-- (c) emptiness vs bounded search on tr(r) --\n");
+  const char* cases[] = {
+      "a",                     // Nonempty.
+      "-( -(a) | -(b) )",      // Empty (a ∩ b).
+      "-(a) -(b)",             // Nonempty.
+      "-( -(a b) | -(b a) )",  // Empty (ab ∩ ba).
+  };
+  for (const char* c : cases) {
+    StarFreePtr sf = ParseStarFree(c).value();
+    bool empty = StarFreeEmpty(sf);
+    NodePtr phi = Some(StarFreeToPath(sf));
+    BoundedSatOptions opt;
+    opt.max_exhaustive_nodes = 5;
+    opt.max_random_nodes = 9;
+    SatResult r2 = BoundedSatisfiable(phi, opt);
+    const char* verdict = r2.status == SolveStatus::kSat ? "sat" : "no witness";
+    std::printf("  %-24s L(r) %s  | tr(r) bounded search: %-12s [%s]\n", c,
+                empty ? "= empty " : "nonempty", verdict,
+                (empty && r2.status != SolveStatus::kSat) ||
+                        (!empty && r2.status == SolveStatus::kSat)
+                    ? "consistent"
+                    : "INCONSISTENT");
+  }
+  std::printf(
+      "\nTheorem 31 note: the − in every case above can be rewritten through a\n"
+      "single-variable for-loop (bench_fig1_hierarchy verifies that identity),\n"
+      "so the same tower drives the CoreXPath(for) row of Table I.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Experiment E10 — Section 8: succinctness.
+//
+//   (a) Theorem 35: the φ_k family — CoreXPath(∩) size grows quadratically
+//       in k while any equivalent word automaton needs ≥ 2^{2^k} states. We
+//       report |φ_k| and an empirical Nerode lower bound on the minimal
+//       DFA of the chain language.
+//   (b) Lemmas 16/17 (Theorem 34): the ∩-elimination blowup — DAG sizes of
+//       the CoreXPath_NFA(*, loop, let) translation for bounded vs nested
+//       intersection depth.
+//   (c) Lemma 18: let-elimination stays polynomial in the DAG size.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "xpc/lowerbounds/families.h"
+#include "xpc/translate/intersect_product.h"
+#include "xpc/translate/let_elim.h"
+#include "xpc/xpath/metrics.h"
+#include "xpc/xpath/parser.h"
+
+using namespace xpc;
+
+int main() {
+  std::printf("== Section 8: succinctness measurements ==\n\n");
+
+  std::printf("-- (a) Theorem 35: phi_k sizes vs automaton lower bounds --\n");
+  std::printf("%-4s %-12s %-20s %-14s\n", "k", "|phi_k| (cap)", "Nerode classes (>=)",
+              "2^(2^k)");
+  for (int k = 1; k <= 2; ++k) {
+    NodePtr phi = SuccinctnessPhiK(k);
+    auto t0 = std::chrono::steady_clock::now();
+    int64_t classes = CountNerodeClasses(phi, /*prefix_len=*/6, /*suffix_len=*/5);
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    std::printf("%-4d %-12d %-20lld %-14.0f (%lld ms)\n", k, Size(phi),
+                static_cast<long long>(classes), std::pow(2.0, std::pow(2.0, k)),
+                static_cast<long long>(ms));
+  }
+  std::printf("(the Nerode count is an exhaustive lower bound over bounded\n"
+              " prefix/suffix lengths; the true minimal DFA is at least this big)\n");
+
+  std::printf("\n-- (b) Lemma 16 vs Lemma 17: cap-elimination blowup --\n");
+  std::printf("%-26s %-6s %-8s %-12s\n", "family", "n", "|alpha|", "translation DAG");
+  for (int n = 1; n <= 5; ++n) {
+    std::string s = "<";
+    for (int i = 0; i < n; ++i) s += (i ? "/" : "") + std::string("(down & down[a])");
+    s += ">";
+    NodePtr phi = ParseNode(s).value();
+    std::printf("%-26s %-6d %-8d %-12lld\n", "chain (cap-depth 1)", n, Size(phi),
+                static_cast<long long>(DagSizeOf(IntersectToLoopNormalForm(phi))));
+  }
+  for (int n = 1; n <= 5; ++n) {
+    std::string s = "down & down[a]";
+    for (int i = 1; i < n; ++i) s = "(" + s + ") & (down & down[a])";
+    NodePtr phi = ParseNode("<" + s + ">").value();
+    std::printf("%-26s %-6d %-8d %-12lld\n", "nested (cap-depth n)", n, Size(phi),
+                static_cast<long long>(DagSizeOf(IntersectToLoopNormalForm(phi))));
+  }
+  std::printf("(bounded depth grows polynomially — Lemma 17; nesting multiplies\n"
+              " the product state space — the Lemma 16 exponential)\n");
+
+  std::printf("\n-- (c) Lemma 18: let-elimination sizes --\n");
+  std::printf("%-26s %-14s %-16s %-10s\n", "formula", "shared (DAG)", "let-eliminated",
+              "markers");
+  const char* formulas[] = {"<down & down>", "<down* & down/down>",
+                            "<(down & down[a])/(down & down[a])>"};
+  for (const char* f : formulas) {
+    LExprPtr e = IntersectToLoopNormalForm(ParseNode(f).value());
+    LetElimResult r = EliminateLets(e);
+    std::printf("%-26s %-14lld %-16lld %-10d\n", f,
+                static_cast<long long>(DagSizeOf(e)),
+                static_cast<long long>(DagSizeOf(r.formula)), r.num_markers);
+  }
+  return 0;
+}

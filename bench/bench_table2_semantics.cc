@@ -1,0 +1,74 @@
+// Experiment E3 — Table II: the CoreXPath semantics, microbenchmarked.
+//
+// The two independent evaluation pipelines (the denotational relational
+// evaluator of Table II vs. normal form + LOOPS fixpoint of Lemma 11) are
+// timed on random trees of growing size, for representative expressions.
+// The pipelines are differentially tested elsewhere; here we measure cost
+// shapes: the relational evaluator is O(|T|²)-ish per operator (quadratic
+// memory in |T|); the LOOPS evaluator is O(|T|·|Q|³) per automaton — linear
+// in the tree but with a per-query constant governed by the automaton size.
+
+#include <benchmark/benchmark.h>
+
+#include "xpc/eval/evaluator.h"
+#include "xpc/eval/loop_evaluator.h"
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/xpath/parser.h"
+
+namespace {
+
+const char* kFormulas[] = {
+    "every(down*, a or b)",                       // 0: downward universal.
+    "eq(up*/down*, down[a]/right*)",              // 1: path equality.
+    "loop((down | right)*[a]/(up | left)*)",      // 2: star + loops.
+};
+
+xpc::XmlTree MakeTree(int nodes, uint64_t seed) {
+  xpc::TreeGenerator gen(seed);
+  xpc::TreeGenOptions opt;
+  opt.num_nodes = nodes;
+  opt.alphabet = {"a", "b", "c"};
+  return gen.Generate(opt);
+}
+
+void BM_TableII_Relational(benchmark::State& state) {
+  xpc::XmlTree tree = MakeTree(static_cast<int>(state.range(0)), 42);
+  xpc::NodePtr phi = xpc::ParseNode(kFormulas[state.range(1)]).value();
+  for (auto _ : state) {
+    xpc::Evaluator ev(tree);
+    benchmark::DoNotOptimize(ev.EvalNode(phi).Count());
+  }
+}
+
+void BM_TableII_LoopsPipeline(benchmark::State& state) {
+  xpc::XmlTree tree = MakeTree(static_cast<int>(state.range(0)), 42);
+  xpc::LExprPtr e =
+      xpc::ToLoopNormalForm(xpc::ParseNode(kFormulas[state.range(1)]).value());
+  for (auto _ : state) {
+    xpc::LoopEvaluator loops(tree);
+    benchmark::DoNotOptimize(loops.EvalAll(e).size());
+  }
+}
+
+void BM_TableII_AxisClosure(benchmark::State& state) {
+  // ⟦↓*⟧ alone: the reflexive-transitive-closure primitive of Table II.
+  xpc::XmlTree tree = MakeTree(static_cast<int>(state.range(0)), 7);
+  xpc::PathPtr p = xpc::ParsePath("down*").value();
+  for (auto _ : state) {
+    xpc::Evaluator ev(tree);
+    benchmark::DoNotOptimize(ev.EvalPath(p).Count());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_TableII_Relational)
+    ->ArgsProduct({{50, 200, 800}, {0, 1, 2}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TableII_LoopsPipeline)
+    ->ArgsProduct({{50, 200, 800}, {0, 1, 2}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TableII_AxisClosure)->Arg(200)->Arg(800)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Containment as a query-optimizer primitive: given a workload of XPath
+// queries, use the solver to
+//   (1) drop queries subsumed by others (multi-query answering: if α ⊆ β,
+//       answering β also answers α — the Tajima & Fukui / Hammerschmidt et
+//       al. applications cited in the paper's related work),
+//   (2) detect schema-empty queries (dead branches under a DTD), and
+//   (3) prove rewrite candidates equivalent before applying them.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "xpc/xpc.h"
+
+int main() {
+  xpc::Edtd schema = xpc::Edtd::Parse(R"(
+    feed := entry+
+    entry := header body attachment*
+    header := epsilon
+    body := (para | code)+
+    para := epsilon
+    code := epsilon
+    attachment := epsilon
+  )").value();
+
+  const char* workload[] = {
+      "down[entry]/down[body]/down[code]",
+      "down[entry]/down*[code]",                       // Subsumes the first.
+      "down*[entry]/down[body]",
+      "down[entry]/down[body]",                        // Subsumed by the previous.
+      "down[entry]/down[header]/down[para]",           // Dead under the schema.
+      "down[entry]/down[attachment]",
+  };
+
+  xpc::Solver solver;
+  std::vector<xpc::PathPtr> queries;
+  for (const char* q : workload) queries.push_back(xpc::ParsePath(q).value());
+
+  std::printf("Workload of %zu queries under the feed DTD\n\n", queries.size());
+
+  // (2) Dead queries: unsatisfiable w.r.t. the schema.
+  std::vector<bool> dead(queries.size(), false);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    xpc::SatResult r = solver.PathSatisfiable(queries[i], schema);
+    dead[i] = r.status == xpc::SolveStatus::kUnsat;
+    if (dead[i]) {
+      std::printf("DEAD     %-42s (schema-empty, engine %s)\n", workload[i],
+                  r.engine.c_str());
+    }
+  }
+
+  // (1) Pairwise subsumption among the live queries: keep the more general
+  // query of each contained pair (for equivalent pairs, keep the first).
+  std::vector<bool> covered(queries.size(), false);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (dead[i]) continue;
+    for (size_t j = 0; j < queries.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      bool fwd = solver.Contains(queries[i], queries[j], schema).verdict ==
+                 xpc::ContainmentVerdict::kContained;
+      if (!fwd) continue;
+      bool back = solver.Contains(queries[j], queries[i], schema).verdict ==
+                  xpc::ContainmentVerdict::kContained;
+      if (!back || j < i) {
+        covered[i] = true;
+        std::printf("COVERED  %-42s ⊆ %s\n", workload[i], workload[j]);
+        break;
+      }
+    }
+  }
+
+  std::printf("\nReduced workload:\n");
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!dead[i] && !covered[i]) std::printf("  KEEP   %s\n", workload[i]);
+  }
+
+  // (3) Rewrite validation: descendant-or-self unfolding.
+  xpc::PathPtr original = xpc::ParsePath("down*[code]").value();
+  xpc::PathPtr rewritten = xpc::ParsePath(".[code] | down/down*[code]").value();
+  xpc::ContainmentResult eq = solver.Equivalent(original, rewritten);
+  std::printf("\nrewrite  down*[code] ≡ .[code] | down/down*[code] : %s\n",
+              xpc::ContainmentVerdictName(eq.verdict));
+
+  // A WRONG rewrite is caught with a counterexample document.
+  xpc::PathPtr wrong = xpc::ParsePath("down/down*[code]").value();
+  xpc::ContainmentResult bad = solver.Equivalent(original, wrong);
+  std::printf("rewrite  down*[code] ≡ down/down*[code]         : %s\n",
+              xpc::ContainmentVerdictName(bad.verdict));
+  if (bad.counterexample) {
+    std::printf("  counterexample: %s\n", xpc::TreeToText(*bad.counterexample).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: parse XPath expressions, evaluate them on a document, and
+// decide containment / satisfiability with certificates.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "xpc/xpc.h"
+
+int main() {
+  // ---------------------------------------------------------------- 1 ---
+  // Parse a document (compact term notation) and evaluate expressions.
+  xpc::XmlTree doc = xpc::ParseTree(
+      "library(book(title,chapter(section,section(figure))),"
+      "book(title,chapter(figure)))").value();
+
+  xpc::Evaluator eval(doc);
+  xpc::PathPtr figures = xpc::ParsePath("down*[figure]").value();
+  std::printf("document: %s\n", xpc::TreeToText(doc).c_str());
+  std::printf("⟦down*[figure]⟧ from the root selects nodes:");
+  for (auto [src, dst] : eval.EvalPath(figures).ToPairs()) {
+    if (src == doc.root()) std::printf(" %d", dst);
+  }
+  std::printf("\n\n");
+
+  // ---------------------------------------------------------------- 2 ---
+  // Containment: is every figure inside a chapter? The solver answers for
+  // ALL documents, not just this one — and produces a counterexample tree
+  // when the answer is no.
+  xpc::Solver solver;
+  xpc::PathPtr book_figures = xpc::ParsePath("down[book]/down*[figure]").value();
+  xpc::PathPtr inside_chapter =
+      xpc::ParsePath("down[book]/down[chapter]/down*[figure]").value();
+
+  xpc::ContainmentResult r = solver.Contains(book_figures, inside_chapter);
+  std::printf("down[book]/down*[figure] ⊆ down[book]/down[chapter]/down*[figure]?  %s\n",
+              xpc::ContainmentVerdictName(r.verdict));
+  if (r.counterexample) {
+    std::printf("  counterexample: %s\n", xpc::TreeToText(*r.counterexample).c_str());
+  }
+
+  // With a schema the answer changes: under this DTD figures occur only
+  // below chapters.
+  xpc::Edtd schema = xpc::Edtd::Parse(R"(
+    library := book+
+    book := title chapter+
+    title := epsilon
+    chapter := (section | figure)+
+    section := (section | figure)*
+    figure := epsilon
+  )").value();
+  xpc::ContainmentResult r2 = solver.Contains(book_figures, inside_chapter, schema);
+  std::printf("...with the library DTD?  %s   (engine: %s)\n\n",
+              xpc::ContainmentVerdictName(r2.verdict), r2.engine.c_str());
+
+  // ---------------------------------------------------------------- 3 ---
+  // Satisfiability with a witness: ask for a document where some section
+  // contains a figure but no subsection.
+  xpc::NodePtr phi =
+      xpc::ParseNode("section and <down[figure]> and not(<down[section]>)").value();
+  xpc::SatResult sat = solver.NodeSatisfiable(phi, schema);
+  std::printf("satisfiable under the DTD?  %s\n", xpc::SolveStatusName(sat.status));
+  if (sat.witness) {
+    std::printf("  witness document: %s\n", xpc::TreeToText(*sat.witness).c_str());
+    std::printf("  conforms to DTD: %s\n",
+                xpc::Conforms(*sat.witness, schema) ? "yes" : "no");
+  }
+
+  // ---------------------------------------------------------------- 4 ---
+  // Path intersection (XPath 2.0): figures that are BOTH below the first
+  // chapter-bearing book and below some section — the solver dispatches the
+  // ∩ fragment automatically.
+  xpc::PathPtr both =
+      xpc::ParsePath("down*[figure] & down*[section]/down[figure]").value();
+  std::printf("\n⟦α ∩ β⟧ satisfiable?  %s\n",
+              xpc::SolveStatusName(solver.PathSatisfiable(both).status));
+  return 0;
+}

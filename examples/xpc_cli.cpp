@@ -1,0 +1,143 @@
+// xpc_cli — command-line front end for the solver.
+//
+// Usage:
+//   xpc_cli sat      '<node-expr>'  [edtd-file]
+//   xpc_cli psat     '<path-expr>'  [edtd-file]
+//   xpc_cli contains '<alpha>' '<beta>' [edtd-file]
+//   xpc_cli equiv    '<alpha>' '<beta>' [edtd-file]
+//   xpc_cli eval     '<path-expr>' '<tree>'
+//   xpc_cli fragment '<path-expr>'
+//
+// Examples:
+//   xpc_cli contains 'down[a]' 'down'
+//   xpc_cli sat 'section and <down[figure]> and not(<down[section]>)'
+//   xpc_cli eval 'down*[b]' 'a(b,a(b))'
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "xpc/xpc.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: xpc_cli sat|psat '<expr>' [edtd-file]\n"
+               "       xpc_cli contains|equiv '<alpha>' '<beta>' [edtd-file]\n"
+               "       xpc_cli eval '<path>' '<tree>'\n"
+               "       xpc_cli fragment '<path>'\n");
+  return 2;
+}
+
+std::optional<xpc::Edtd> LoadEdtd(const char* file) {
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open EDTD file %s\n", file);
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = xpc::Edtd::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.error().c_str());
+    return std::nullopt;
+  }
+  return parsed.value();
+}
+
+void PrintSat(const xpc::SatResult& r) {
+  std::printf("%s   (engine: %s, states: %lld)\n", xpc::SolveStatusName(r.status),
+              r.engine.c_str(), static_cast<long long>(r.explored_states));
+  if (r.witness) std::printf("witness: %s\n", xpc::TreeToText(*r.witness).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string cmd = argv[1];
+  xpc::Solver solver;
+
+  if (cmd == "sat" || cmd == "psat") {
+    std::optional<xpc::Edtd> edtd;
+    if (argc >= 4 && !(edtd = LoadEdtd(argv[3]))) return 1;
+    xpc::SatResult r;
+    if (cmd == "sat") {
+      auto phi = xpc::ParseNode(argv[2]);
+      if (!phi.ok()) {
+        std::fprintf(stderr, "error: %s\n", phi.error().c_str());
+        return 1;
+      }
+      r = edtd ? solver.NodeSatisfiable(phi.value(), *edtd)
+               : solver.NodeSatisfiable(phi.value());
+    } else {
+      auto alpha = xpc::ParsePath(argv[2]);
+      if (!alpha.ok()) {
+        std::fprintf(stderr, "error: %s\n", alpha.error().c_str());
+        return 1;
+      }
+      r = edtd ? solver.PathSatisfiable(alpha.value(), *edtd)
+               : solver.PathSatisfiable(alpha.value());
+    }
+    PrintSat(r);
+    return r.status == xpc::SolveStatus::kResourceLimit ? 3 : 0;
+  }
+
+  if (cmd == "contains" || cmd == "equiv") {
+    if (argc < 4) return Usage();
+    auto alpha = xpc::ParsePath(argv[2]);
+    auto beta = xpc::ParsePath(argv[3]);
+    if (!alpha.ok() || !beta.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   (!alpha.ok() ? alpha.error() : beta.error()).c_str());
+      return 1;
+    }
+    std::optional<xpc::Edtd> edtd;
+    if (argc >= 5 && !(edtd = LoadEdtd(argv[4]))) return 1;
+    xpc::ContainmentResult r;
+    if (cmd == "contains") {
+      r = edtd ? solver.Contains(alpha.value(), beta.value(), *edtd)
+               : solver.Contains(alpha.value(), beta.value());
+    } else {
+      r = solver.Equivalent(alpha.value(), beta.value());
+    }
+    std::printf("%s   (engine: %s)\n", xpc::ContainmentVerdictName(r.verdict),
+                r.engine.c_str());
+    if (r.counterexample) {
+      std::printf("counterexample: %s\n", xpc::TreeToText(*r.counterexample).c_str());
+    }
+    return r.verdict == xpc::ContainmentVerdict::kUnknown ? 3 : 0;
+  }
+
+  if (cmd == "eval") {
+    if (argc < 4) return Usage();
+    auto alpha = xpc::ParsePath(argv[2]);
+    auto tree = xpc::ParseTree(argv[3]);
+    if (!alpha.ok() || !tree.ok()) {
+      std::fprintf(stderr, "error: %s\n", (!alpha.ok() ? alpha.error() : tree.error()).c_str());
+      return 1;
+    }
+    xpc::Evaluator eval(tree.value());
+    for (auto [src, dst] : eval.EvalPath(alpha.value()).ToPairs()) {
+      std::printf("(%d, %d)\n", src, dst);
+    }
+    return 0;
+  }
+
+  if (cmd == "fragment") {
+    auto alpha = xpc::ParsePath(argv[2]);
+    if (!alpha.ok()) {
+      std::fprintf(stderr, "error: %s\n", alpha.error().c_str());
+      return 1;
+    }
+    xpc::Fragment f = xpc::DetectFragment(alpha.value());
+    std::printf("%s  (size %d, cap-depth %d)\n", f.Name().c_str(), xpc::Size(alpha.value()),
+                xpc::IntersectionDepth(alpha.value()));
+    return 0;
+  }
+
+  return Usage();
+}

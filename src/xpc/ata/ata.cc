@@ -1,0 +1,95 @@
+#include "xpc/ata/ata.h"
+
+#include <cassert>
+
+#include "xpc/pathauto/normal_form.h"
+
+namespace xpc {
+
+Ata::Ata(const LExprPtr& phi) {
+  LExprPtr target = SomewhereInTree(phi);
+  automata_ = CollectAutomata(target);
+
+  // Loop states for every automaton and state pair, both signs.
+  for (const PathAutoPtr& a : automata_) {
+    for (int q = 0; q < a->num_states; ++q) {
+      for (int r = 0; r < a->num_states; ++r) {
+        for (bool neg : {false, true}) {
+          int id = static_cast<int>(states_.size());
+          loop_ids_[{a.get(), q, r, neg}] = id;
+          State s;
+          s.negated = neg;
+          s.automaton = a;
+          s.q_from = q;
+          s.q_to = r;
+          states_.push_back(std::move(s));
+        }
+      }
+    }
+  }
+
+  // Subformula states (tests and their subformulas), both signs.
+  InternFormula(target);
+  for (const PathAutoPtr& a : automata_) {
+    for (const PathAutomaton::Transition& t : a->transitions) {
+      if (t.move == Move::kTest) InternFormula(t.test);
+    }
+  }
+
+  // Initial state: q_{φ′} = the positive loop state of the wrapper
+  // automaton, which CollectAutomata orders last.
+  const PathAutoPtr& wrapper = automata_.back();
+  initial_ = LoopStateOf(wrapper.get(), wrapper->q_init, wrapper->q_final, false);
+}
+
+void Ata::InternFormula(const LExprPtr& e) {
+  switch (e->kind) {
+    case LExpr::Kind::kNot:
+      InternFormula(e->a);
+      return;
+    case LExpr::Kind::kLoop:
+      return;  // Loop states are pre-interned.
+    case LExpr::Kind::kAnd:
+    case LExpr::Kind::kOr:
+      InternFormula(e->a);
+      InternFormula(e->b);
+      break;
+    case LExpr::Kind::kLabel:
+    case LExpr::Kind::kTrue:
+      break;
+  }
+  for (bool neg : {false, true}) {
+    auto key = std::make_pair(e.get(), neg);
+    if (formula_ids_.count(key)) continue;
+    int id = static_cast<int>(states_.size());
+    formula_ids_[key] = id;
+    State s;
+    s.negated = neg;
+    s.formula = e;
+    states_.push_back(std::move(s));
+  }
+}
+
+int Ata::Parity(int id) const {
+  const State& s = states_[id];
+  return (s.automaton != nullptr && !s.negated) ? 1 : 2;
+}
+
+int Ata::StateOf(const LExprPtr& e, bool negated) const {
+  if (e->kind == LExpr::Kind::kNot) return StateOf(e->a, !negated);
+  if (e->kind == LExpr::Kind::kLoop) {
+    return LoopStateOf(e->automaton.get(), e->q_from, e->q_to, negated);
+  }
+  auto it = formula_ids_.find({e.get(), negated});
+  assert(it != formula_ids_.end());
+  return it->second;
+}
+
+int Ata::LoopStateOf(const PathAutomaton* automaton, int q_from, int q_to,
+                     bool negated) const {
+  auto it = loop_ids_.find({automaton, q_from, q_to, negated});
+  assert(it != loop_ids_.end());
+  return it->second;
+}
+
+}  // namespace xpc

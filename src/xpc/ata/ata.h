@@ -1,0 +1,71 @@
+#ifndef XPC_ATA_ATA_H_
+#define XPC_ATA_ATA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xpc/pathauto/lexpr.h"
+
+namespace xpc {
+
+/// The two-way alternating parity tree automaton A_φ of Section 3.3
+/// (Definitions 8–9, Table III), built from a CoreXPath_NFA(*, loop) node
+/// expression. States are the elements of cl(φ′) — subformulas, their
+/// single negations, and loop(π_{q,q'}) for all state pairs of every path
+/// automaton — with parity 1 on positive loop states and 2 on all others
+/// (a looping automaton may not postpone its return forever).
+///
+/// The transition function is not materialized as B⁺ formulas; it is
+/// evaluated on demand by `membership.h`, exactly following Table III.
+class Ata {
+ public:
+  /// Builds A_φ for φ (already in loop normal form). The initial state is
+  /// q_{φ′} with φ′ = loop(π_E) = SomewhereInTree(φ), so L(A_φ) = set of
+  /// trees that satisfy φ at some node (Lemma 12).
+  explicit Ata(const LExprPtr& phi);
+
+  /// One state of A_φ: a positive or negated closure element. Exactly one
+  /// of `formula` (non-loop closure member, never kNot) / `automaton` is
+  /// set.
+  struct State {
+    bool negated = false;
+    LExprPtr formula;        // Non-loop member of cl(φ′).
+    PathAutoPtr automaton;   // loop(π_{q_from, q_to}) member.
+    int q_from = 0, q_to = 0;
+  };
+
+  int num_states() const { return static_cast<int>(states_.size()); }
+  const State& state(int id) const { return states_[id]; }
+  int initial_state() const { return initial_; }
+
+  /// The parity of a state: 1 for positive loop states, 2 otherwise
+  /// (Section 3.3: "Acc assigns 1 to all states of the form
+  /// q_{loop(π_{q_i,q_j})} and 2 to all others").
+  int Parity(int id) const;
+
+  /// State id of a closure element (interning `e` with the given sign).
+  /// `e` must already be part of the closure.
+  int StateOf(const LExprPtr& e, bool negated) const;
+
+  /// State id of loop(π_{q,q'}) (resp. its negation).
+  int LoopStateOf(const PathAutomaton* automaton, int q_from, int q_to, bool negated) const;
+
+  /// All collected path automata.
+  const std::vector<PathAutoPtr>& automata() const { return automata_; }
+
+ private:
+  void InternFormula(const LExprPtr& e);
+
+  std::vector<State> states_;
+  std::vector<PathAutoPtr> automata_;
+  // Non-loop formulas keyed by structural pointer + sign.
+  std::map<std::pair<const LExpr*, bool>, int> formula_ids_;
+  // Loop states keyed by (automaton, q, q', sign).
+  std::map<std::tuple<const PathAutomaton*, int, int, bool>, int> loop_ids_;
+  int initial_ = 0;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_ATA_ATA_H_

@@ -1,0 +1,189 @@
+#include "xpc/ata/membership.h"
+
+#include <cassert>
+
+namespace xpc {
+
+namespace {
+
+// Basic steps at a node: the Table III POSS-STEPS, as target nodes.
+struct Steps {
+  NodeId down1 = kNoNode;
+  NodeId up1 = kNoNode;
+  NodeId right = kNoNode;
+  NodeId left = kNoNode;
+
+  NodeId Of(Move m) const {
+    switch (m) {
+      case Move::kDown1: return down1;
+      case Move::kUp1: return up1;
+      case Move::kRight: return right;
+      case Move::kLeft: return left;
+      case Move::kTest: return kNoNode;
+    }
+    return kNoNode;
+  }
+};
+
+class GameSolver {
+ public:
+  GameSolver(const Ata& ata, const XmlTree& tree) : ata_(ata), tree_(tree) {
+    steps_.resize(tree.size());
+    for (NodeId n = 0; n < tree.size(); ++n) {
+      steps_[n].down1 = tree.first_child(n);
+      steps_[n].right = tree.next_sibling(n);
+      if (tree.FcnsParentEdge(n) == XmlTree::FcnsEdge::kFirstChild) {
+        steps_[n].up1 = tree.parent(n);
+      }
+      if (tree.prev_sibling(n) != kNoNode) steps_[n].left = tree.prev_sibling(n);
+    }
+  }
+
+  // νX.μY.Φ(X, Y); returns the winning set as [state][node].
+  std::vector<std::vector<bool>> Solve() {
+    const int ns = ata_.num_states();
+    const int nn = tree_.size();
+    std::vector<std::vector<bool>> x(ns, std::vector<bool>(nn, true));
+    while (true) {
+      // Inner least fixpoint with X fixed.
+      std::vector<std::vector<bool>> y(ns, std::vector<bool>(nn, false));
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (int s = 0; s < ns; ++s) {
+          for (NodeId n = 0; n < nn; ++n) {
+            if (!y[s][n] && Phi(s, n, x, y)) {
+              y[s][n] = true;
+              grew = true;
+            }
+          }
+        }
+      }
+      if (y == x) return x;
+      x = std::move(y);
+    }
+  }
+
+ private:
+  // Atom valuation: membership of (n·a, q) in Y for parity-1 targets and
+  // in X for parity-2 targets. `target` must exist.
+  bool Val(int state, NodeId target, const std::vector<std::vector<bool>>& x,
+           const std::vector<std::vector<bool>>& y) const {
+    return ata_.Parity(state) == 1 ? y[state][target] : x[state][target];
+  }
+
+  // The Table III transition formula of state `s` at node `n`, evaluated
+  // under the (X, Y) atom valuation.
+  bool Phi(int s, NodeId n, const std::vector<std::vector<bool>>& x,
+           const std::vector<std::vector<bool>>& y) const {
+    const Ata::State& st = ata_.state(s);
+    if (st.automaton == nullptr) return PhiFormula(st.formula, st.negated, n, x, y);
+    return st.negated ? PhiNegLoop(st, n, x, y) : PhiLoop(st, n, x, y);
+  }
+
+  bool PhiFormula(const LExprPtr& e, bool negated, NodeId n,
+                  const std::vector<std::vector<bool>>& x,
+                  const std::vector<std::vector<bool>>& y) const {
+    switch (e->kind) {
+      case LExpr::Kind::kLabel:
+        return tree_.HasLabel(n, e->label) != negated;
+      case LExpr::Kind::kTrue:
+        return !negated;
+      case LExpr::Kind::kNot:
+        return PhiFormula(e->a, !negated, n, x, y);
+      case LExpr::Kind::kAnd: {
+        int a = ata_.StateOf(e->a, negated);
+        int b = ata_.StateOf(e->b, negated);
+        // δ(q_{ψ∧χ}) = (ε,q_ψ) ∧ (ε,q_χ); the negation is the dual ∨.
+        return negated ? (Val(a, n, x, y) || Val(b, n, x, y))
+                       : (Val(a, n, x, y) && Val(b, n, x, y));
+      }
+      case LExpr::Kind::kOr: {
+        int a = ata_.StateOf(e->a, negated);
+        int b = ata_.StateOf(e->b, negated);
+        return negated ? (Val(a, n, x, y) && Val(b, n, x, y))
+                       : (Val(a, n, x, y) || Val(b, n, x, y));
+      }
+      case LExpr::Kind::kLoop: {
+        int l = ata_.LoopStateOf(e->automaton.get(), e->q_from, e->q_to, negated);
+        return Val(l, n, x, y);
+      }
+    }
+    return false;
+  }
+
+  bool PhiLoop(const Ata::State& st, NodeId n, const std::vector<std::vector<bool>>& x,
+               const std::vector<std::vector<bool>>& y) const {
+    if (st.q_from == st.q_to) return true;
+    const PathAutomaton& a = *st.automaton;
+    // ⋁ (q_i, .[χ], q_j): (ε, q_χ).
+    for (const PathAutomaton::Transition& t : a.transitions) {
+      if (t.move != Move::kTest || t.from != st.q_from || t.to != st.q_to) continue;
+      if (Val(ata_.StateOf(t.test, false), n, x, y)) return true;
+    }
+    // ⋁ (q_i, τ, q_k), (q_ℓ, τ⁻, q_j), τ ∈ POSS-STEPS: (τ, loop(π_{q_k,q_ℓ})).
+    for (const PathAutomaton::Transition& t1 : a.transitions) {
+      if (t1.move == Move::kTest || t1.from != st.q_from) continue;
+      NodeId target = steps_[n].Of(t1.move);
+      if (target == kNoNode) continue;
+      Move back = ConverseMove(t1.move);
+      for (const PathAutomaton::Transition& t2 : a.transitions) {
+        if (t2.move != back || t2.to != st.q_to) continue;
+        int l = ata_.LoopStateOf(&a, t1.to, t2.from, false);
+        if (Val(l, target, x, y)) return true;
+      }
+    }
+    // ⋁ q_k: (ε, loop(q_i, q_k)) ∧ (ε, loop(q_k, q_j)).
+    for (int k = 0; k < a.num_states; ++k) {
+      int l1 = ata_.LoopStateOf(&a, st.q_from, k, false);
+      int l2 = ata_.LoopStateOf(&a, k, st.q_to, false);
+      if (Val(l1, n, x, y) && Val(l2, n, x, y)) return true;
+    }
+    return false;
+  }
+
+  bool PhiNegLoop(const Ata::State& st, NodeId n, const std::vector<std::vector<bool>>& x,
+                  const std::vector<std::vector<bool>>& y) const {
+    if (st.q_from == st.q_to) return false;
+    const PathAutomaton& a = *st.automaton;
+    for (const PathAutomaton::Transition& t : a.transitions) {
+      if (t.move != Move::kTest || t.from != st.q_from || t.to != st.q_to) continue;
+      if (!Val(ata_.StateOf(t.test, true), n, x, y)) return false;
+    }
+    for (const PathAutomaton::Transition& t1 : a.transitions) {
+      if (t1.move == Move::kTest || t1.from != st.q_from) continue;
+      NodeId target = steps_[n].Of(t1.move);
+      if (target == kNoNode) continue;
+      Move back = ConverseMove(t1.move);
+      for (const PathAutomaton::Transition& t2 : a.transitions) {
+        if (t2.move != back || t2.to != st.q_to) continue;
+        int l = ata_.LoopStateOf(&a, t1.to, t2.from, true);
+        if (!Val(l, target, x, y)) return false;
+      }
+    }
+    for (int k = 0; k < a.num_states; ++k) {
+      int l1 = ata_.LoopStateOf(&a, st.q_from, k, true);
+      int l2 = ata_.LoopStateOf(&a, k, st.q_to, true);
+      if (!Val(l1, n, x, y) && !Val(l2, n, x, y)) return false;
+    }
+    return true;
+  }
+
+  const Ata& ata_;
+  const XmlTree& tree_;
+  std::vector<Steps> steps_;
+};
+
+}  // namespace
+
+std::vector<std::vector<bool>> AtaWinningPositions(const Ata& ata, const XmlTree& tree) {
+  GameSolver solver(ata, tree);
+  return solver.Solve();
+}
+
+bool AtaAccepts(const Ata& ata, const XmlTree& tree) {
+  auto winning = AtaWinningPositions(ata, tree);
+  return winning[ata.initial_state()][tree.root()];
+}
+
+}  // namespace xpc

@@ -1,0 +1,26 @@
+#ifndef XPC_ATA_MEMBERSHIP_H_
+#define XPC_ATA_MEMBERSHIP_H_
+
+#include "xpc/ata/ata.h"
+#include "xpc/tree/xml_tree.h"
+
+namespace xpc {
+
+/// Decides T ∈ L(A_φ): is there an accepting run of the 2ATA on the tree
+/// (Definition 9)? Implemented by solving the acceptance parity game on the
+/// finite position space (node × state) with the two-priority fixpoint
+/// νX.μY.Φ(X, Y): a position satisfies Φ iff its Table III transition
+/// formula evaluates to true when an atom (a, q) is read as membership of
+/// (n·a, q) in Y for priority-1 targets and in X for priority-2 targets.
+/// (Priorities are {1, 2} and the acceptance condition demands that
+/// positive loop states do not recur forever — Section 3.3.)
+bool AtaAccepts(const Ata& ata, const XmlTree& tree);
+
+/// Membership of a specific (node, state) position in the winning set —
+/// exposed for differential tests against the LOOPS evaluator: by
+/// Lemma 12's proof, (n, q_ψ) is winning iff n ⊨ ψ.
+std::vector<std::vector<bool>> AtaWinningPositions(const Ata& ata, const XmlTree& tree);
+
+}  // namespace xpc
+
+#endif  // XPC_ATA_MEMBERSHIP_H_

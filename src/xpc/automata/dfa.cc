@@ -1,0 +1,192 @@
+#include "xpc/automata/dfa.h"
+
+#include <cassert>
+#include <map>
+#include <queue>
+
+namespace xpc {
+
+Dfa Dfa::Determinize(const Nfa& nfa) {
+  const int k = nfa.alphabet_size();
+  std::map<Bits, int> ids;
+  std::vector<Bits> sets;
+  std::queue<int> work;
+
+  auto intern = [&](const Bits& b) {
+    auto it = ids.find(b);
+    if (it != ids.end()) return it->second;
+    int id = static_cast<int>(sets.size());
+    ids.emplace(b, id);
+    sets.push_back(b);
+    work.push(id);
+    return id;
+  };
+
+  Bits init = nfa.InitialSet();
+  intern(init);
+
+  std::vector<std::vector<int>> next;
+  std::vector<bool> accepting;
+  while (!work.empty()) {
+    int id = work.front();
+    work.pop();
+    if (static_cast<int>(next.size()) <= id) {
+      next.resize(id + 1, std::vector<int>(k, 0));
+      accepting.resize(id + 1, false);
+    }
+    Bits current = sets[id];
+    accepting[id] = nfa.AnyAccepting(current);
+    for (int a = 0; a < k; ++a) {
+      int target = intern(nfa.Step(current, a));
+      if (static_cast<int>(next.size()) <= target) {
+        next.resize(target + 1, std::vector<int>(k, 0));
+        accepting.resize(target + 1, false);
+      }
+      next[id][a] = target;
+    }
+  }
+
+  Dfa dfa(k, static_cast<int>(next.size()));
+  dfa.set_initial(0);
+  for (int s = 0; s < dfa.num_states(); ++s) {
+    dfa.set_accepting(s, accepting[s]);
+    for (int a = 0; a < k; ++a) dfa.set_next(s, a, next[s][a]);
+  }
+  return dfa;
+}
+
+bool Dfa::Accepts(const std::vector<int>& word) const {
+  int s = initial_;
+  for (int a : word) s = next_[s][a];
+  return accepting_[s];
+}
+
+Dfa Dfa::Complement() const {
+  Dfa out = *this;
+  for (int s = 0; s < out.num_states(); ++s) out.accepting_[s] = !out.accepting_[s];
+  return out;
+}
+
+namespace {
+
+Dfa Product(const Dfa& a, const Dfa& b, bool intersect) {
+  assert(a.alphabet_size() == b.alphabet_size());
+  const int k = a.alphabet_size();
+  const int nb = b.num_states();
+  Dfa out(k, a.num_states() * nb);
+  out.set_initial(a.initial() * nb + b.initial());
+  for (int sa = 0; sa < a.num_states(); ++sa) {
+    for (int sb = 0; sb < nb; ++sb) {
+      int s = sa * nb + sb;
+      bool acc = intersect ? (a.accepting(sa) && b.accepting(sb))
+                           : (a.accepting(sa) || b.accepting(sb));
+      out.set_accepting(s, acc);
+      for (int x = 0; x < k; ++x) {
+        out.set_next(s, x, a.next(sa, x) * nb + b.next(sb, x));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Dfa Dfa::IntersectWith(const Dfa& other) const { return Product(*this, other, true); }
+Dfa Dfa::UnionWith(const Dfa& other) const { return Product(*this, other, false); }
+
+Dfa Dfa::Minimize() const {
+  const int k = alphabet_size_;
+  // 1. Restrict to reachable states.
+  std::vector<int> reach_id(num_states(), -1);
+  std::vector<int> order;
+  std::queue<int> q;
+  reach_id[initial_] = 0;
+  order.push_back(initial_);
+  q.push(initial_);
+  while (!q.empty()) {
+    int s = q.front();
+    q.pop();
+    for (int a = 0; a < k; ++a) {
+      int t = next_[s][a];
+      if (reach_id[t] < 0) {
+        reach_id[t] = static_cast<int>(order.size());
+        order.push_back(t);
+        q.push(t);
+      }
+    }
+  }
+  const int n = static_cast<int>(order.size());
+
+  // 2. Moore partition refinement on reachable states.
+  std::vector<int> part(n);
+  for (int i = 0; i < n; ++i) part[i] = accepting_[order[i]] ? 1 : 0;
+  int num_parts = 2;
+  while (true) {
+    // Signature: (part, part of each successor).
+    std::map<std::vector<int>, int> sig_ids;
+    std::vector<int> new_part(n);
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> sig;
+      sig.reserve(k + 1);
+      sig.push_back(part[i]);
+      for (int a = 0; a < k; ++a) sig.push_back(part[reach_id[next_[order[i]][a]]]);
+      auto [it, inserted] = sig_ids.emplace(std::move(sig), static_cast<int>(sig_ids.size()));
+      new_part[i] = it->second;
+      (void)inserted;
+    }
+    int new_num = static_cast<int>(sig_ids.size());
+    part.swap(new_part);
+    if (new_num == num_parts) break;
+    num_parts = new_num;
+  }
+
+  Dfa out(k, num_parts);
+  out.set_initial(part[0]);  // order[0] == initial_.
+  for (int i = 0; i < n; ++i) {
+    int p = part[i];
+    out.set_accepting(p, accepting_[order[i]]);
+    for (int a = 0; a < k; ++a) {
+      out.set_next(p, a, part[reach_id[next_[order[i]][a]]]);
+    }
+  }
+  return out;
+}
+
+bool Dfa::IsEmpty() const {
+  std::vector<bool> seen(num_states(), false);
+  std::queue<int> q;
+  seen[initial_] = true;
+  q.push(initial_);
+  while (!q.empty()) {
+    int s = q.front();
+    q.pop();
+    if (accepting_[s]) return false;
+    for (int a = 0; a < alphabet_size_; ++a) {
+      int t = next_[s][a];
+      if (!seen[t]) {
+        seen[t] = true;
+        q.push(t);
+      }
+    }
+  }
+  return true;
+}
+
+bool Dfa::EquivalentTo(const Dfa& other) const {
+  // Symmetric difference must be empty.
+  Dfa diff1 = IntersectWith(other.Complement());
+  Dfa diff2 = Complement().IntersectWith(other);
+  return diff1.IsEmpty() && diff2.IsEmpty();
+}
+
+Nfa Dfa::ToNfa() const {
+  Nfa nfa(alphabet_size_, num_states());
+  nfa.SetInitial(initial_);
+  for (int s = 0; s < num_states(); ++s) {
+    if (accepting_[s]) nfa.SetAccepting(s);
+    for (int a = 0; a < alphabet_size_; ++a) nfa.AddTransition(s, a, next_[s][a]);
+  }
+  return nfa;
+}
+
+}  // namespace xpc

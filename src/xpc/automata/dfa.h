@@ -1,0 +1,67 @@
+#ifndef XPC_AUTOMATA_DFA_H_
+#define XPC_AUTOMATA_DFA_H_
+
+#include <vector>
+
+#include "xpc/automata/nfa.h"
+
+namespace xpc {
+
+/// A complete deterministic finite automaton over [0, alphabet_size).
+/// Produced by subset construction from `Nfa`; supports minimization,
+/// complementation and products. These are the tools behind the
+/// succinctness measurements of Section 8 and the star-free tower of
+/// Section 7 (Theorem 30 context).
+class Dfa {
+ public:
+  Dfa(int alphabet_size, int num_states)
+      : alphabet_size_(alphabet_size),
+        accepting_(num_states, false),
+        next_(num_states, std::vector<int>(alphabet_size, 0)) {}
+
+  /// Subset construction (the result is complete; a sink is added as
+  /// needed).
+  static Dfa Determinize(const Nfa& nfa);
+
+  int alphabet_size() const { return alphabet_size_; }
+  int num_states() const { return static_cast<int>(next_.size()); }
+  int initial() const { return initial_; }
+  void set_initial(int s) { initial_ = s; }
+  bool accepting(int s) const { return accepting_[s]; }
+  void set_accepting(int s, bool v) { accepting_[s] = v; }
+  int next(int s, int symbol) const { return next_[s][symbol]; }
+  void set_next(int s, int symbol, int t) { next_[s][symbol] = t; }
+
+  bool Accepts(const std::vector<int>& word) const;
+
+  /// Language complement (flip accepting states; the DFA is complete).
+  Dfa Complement() const;
+
+  /// Product automata.
+  Dfa IntersectWith(const Dfa& other) const;
+  Dfa UnionWith(const Dfa& other) const;
+
+  /// Hopcroft-style minimization (implemented as Moore partition
+  /// refinement); unreachable states are dropped first.
+  Dfa Minimize() const;
+
+  /// True if no accepting state is reachable.
+  bool IsEmpty() const;
+
+  /// Language equivalence (via minimized canonical forms would be overkill:
+  /// checked by product reachability of a distinguishing state pair).
+  bool EquivalentTo(const Dfa& other) const;
+
+  /// Converts back to an NFA (for further Thompson-style composition).
+  Nfa ToNfa() const;
+
+ private:
+  int alphabet_size_;
+  int initial_ = 0;
+  std::vector<bool> accepting_;
+  std::vector<std::vector<int>> next_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_AUTOMATA_DFA_H_

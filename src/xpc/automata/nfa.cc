@@ -1,0 +1,207 @@
+#include "xpc/automata/nfa.h"
+
+#include <cassert>
+#include <deque>
+
+namespace xpc {
+
+Nfa Nfa::EpsilonOnly(int alphabet_size) {
+  Nfa nfa(alphabet_size, 1);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(0);
+  return nfa;
+}
+
+Nfa Nfa::SingleSymbol(int alphabet_size, int symbol) {
+  Nfa nfa(alphabet_size, 2);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(1);
+  nfa.AddTransition(0, symbol, 1);
+  return nfa;
+}
+
+int Nfa::AddState() { return num_states_++; }
+
+void Nfa::AddTransition(int from, int symbol, int to) {
+  assert(from >= 0 && from < num_states_ && to >= 0 && to < num_states_);
+  assert(symbol == kEpsilon || (symbol >= 0 && symbol < alphabet_size_));
+  transitions_.push_back({from, symbol, to});
+}
+
+Bits Nfa::EpsilonClosure(const Bits& states) const {
+  Bits closed = states;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Transition& t : transitions_) {
+      if (t.symbol == kEpsilon && closed.Get(t.from) && !closed.Get(t.to)) {
+        closed.Set(t.to);
+        changed = true;
+      }
+    }
+  }
+  return closed;
+}
+
+Bits Nfa::Step(const Bits& states, int symbol) const {
+  Bits next(num_states_);
+  for (const Transition& t : transitions_) {
+    if (t.symbol == symbol && states.Get(t.from)) next.Set(t.to);
+  }
+  return EpsilonClosure(next);
+}
+
+Bits Nfa::InitialSet() const {
+  Bits init(num_states_);
+  for (int s : initial_) init.Set(s);
+  return EpsilonClosure(init);
+}
+
+bool Nfa::AnyAccepting(const Bits& states) const {
+  for (int s : accepting_) {
+    if (states.Get(s)) return true;
+  }
+  return false;
+}
+
+bool Nfa::Accepts(const std::vector<int>& word) const {
+  Bits current = InitialSet();
+  for (int symbol : word) {
+    current = Step(current, symbol);
+    if (current.None()) return false;
+  }
+  return AnyAccepting(current);
+}
+
+bool Nfa::IsEmpty() const { return !ShortestWord().first; }
+
+std::pair<bool, std::vector<int>> Nfa::ShortestWord() const {
+  // BFS over single states (ε-transitions have zero weight).
+  struct Entry {
+    int state;
+    int parent;  // Index into `entries`.
+    int symbol;  // Symbol taken to reach `state` (kEpsilon allowed).
+  };
+  std::vector<Entry> entries;
+  std::vector<bool> seen(num_states_, false);
+  std::deque<int> queue;
+  for (int s : initial_) {
+    if (!seen[s]) {
+      seen[s] = true;
+      entries.push_back({s, -1, kEpsilon});
+      queue.push_back(static_cast<int>(entries.size()) - 1);
+    }
+  }
+  while (!queue.empty()) {
+    int idx = queue.front();
+    queue.pop_front();
+    int state = entries[idx].state;
+    for (int acc : accepting_) {
+      if (acc == state) {
+        std::vector<int> word;
+        for (int i = idx; i != -1; i = entries[i].parent) {
+          if (entries[i].symbol != kEpsilon) word.push_back(entries[i].symbol);
+        }
+        std::reverse(word.begin(), word.end());
+        return {true, word};
+      }
+    }
+    for (const Transition& t : transitions_) {
+      if (t.from != state || seen[t.to]) continue;
+      seen[t.to] = true;
+      entries.push_back({t.to, idx, t.symbol});
+      // ε first (front) to keep BFS-by-length approximately; exactness of
+      // "shortest" is not required by callers, only existence.
+      queue.push_back(static_cast<int>(entries.size()) - 1);
+    }
+  }
+  return {false, {}};
+}
+
+Nfa Nfa::RemoveEpsilons() const {
+  Nfa out(alphabet_size_, num_states_);
+  for (int q = 0; q < num_states_; ++q) {
+    Bits single(num_states_);
+    single.Set(q);
+    Bits closure = EpsilonClosure(single);
+    // q -a-> q' whenever some state in εcl(q) has an a-transition into the
+    // ε-closure target.
+    for (const Transition& t : transitions_) {
+      if (t.symbol == kEpsilon || !closure.Get(t.from)) continue;
+      Bits target(num_states_);
+      target.Set(t.to);
+      EpsilonClosure(target).ForEach([&](int to) { out.AddTransition(q, t.symbol, to); });
+    }
+    if (AnyAccepting(closure)) out.SetAccepting(q);
+  }
+  for (int s : initial_) out.SetInitial(s);
+  return out;
+}
+
+namespace {
+
+// Copies `src` into `dst` with all state indices shifted by `offset`.
+void CopyInto(const Nfa& src, int offset, Nfa* dst) {
+  for (const Nfa::Transition& t : src.transitions()) {
+    dst->AddTransition(t.from + offset, t.symbol, t.to + offset);
+  }
+}
+
+}  // namespace
+
+Nfa Nfa::UnionOf(const Nfa& a, const Nfa& b) {
+  assert(a.alphabet_size() == b.alphabet_size());
+  Nfa out(a.alphabet_size(), a.num_states() + b.num_states());
+  CopyInto(a, 0, &out);
+  CopyInto(b, a.num_states(), &out);
+  for (int s : a.initial()) out.SetInitial(s);
+  for (int s : b.initial()) out.SetInitial(s + a.num_states());
+  for (int s : a.accepting()) out.SetAccepting(s);
+  for (int s : b.accepting()) out.SetAccepting(s + a.num_states());
+  return out;
+}
+
+Nfa Nfa::ConcatOf(const Nfa& a, const Nfa& b) {
+  assert(a.alphabet_size() == b.alphabet_size());
+  Nfa out(a.alphabet_size(), a.num_states() + b.num_states());
+  CopyInto(a, 0, &out);
+  CopyInto(b, a.num_states(), &out);
+  for (int s : a.initial()) out.SetInitial(s);
+  for (int sa : a.accepting()) {
+    for (int sb : b.initial()) out.AddTransition(sa, kEpsilon, sb + a.num_states());
+  }
+  for (int s : b.accepting()) out.SetAccepting(s + a.num_states());
+  return out;
+}
+
+Nfa Nfa::StarOf(const Nfa& a) {
+  Nfa out = PlusOf(a);
+  int fresh = out.AddState();
+  out.SetInitial(fresh);
+  out.SetAccepting(fresh);
+  return out;
+}
+
+Nfa Nfa::PlusOf(const Nfa& a) {
+  Nfa out(a.alphabet_size(), a.num_states());
+  CopyInto(a, 0, &out);
+  for (int s : a.initial()) out.SetInitial(s);
+  for (int s : a.accepting()) out.SetAccepting(s);
+  for (int sa : a.accepting()) {
+    for (int si : a.initial()) out.AddTransition(sa, kEpsilon, si);
+  }
+  return out;
+}
+
+Nfa Nfa::OptionalOf(const Nfa& a) {
+  Nfa out(a.alphabet_size(), a.num_states());
+  CopyInto(a, 0, &out);
+  for (int s : a.initial()) out.SetInitial(s);
+  for (int s : a.accepting()) out.SetAccepting(s);
+  int fresh = out.AddState();
+  out.SetInitial(fresh);
+  out.SetAccepting(fresh);
+  return out;
+}
+
+}  // namespace xpc

@@ -1,0 +1,94 @@
+#ifndef XPC_AUTOMATA_NFA_H_
+#define XPC_AUTOMATA_NFA_H_
+
+#include <string>
+#include <vector>
+
+#include "xpc/common/bits.h"
+
+namespace xpc {
+
+/// A nondeterministic finite word automaton over an integer alphabet
+/// [0, alphabet_size). Supports ε-transitions (symbol `kEpsilon`).
+///
+/// Used for EDTD content models (Definition 2 / Proposition 6), for the
+/// Fig. 2 algorithm's children-word checks, and as the backbone of path
+/// automata (Definition 7).
+class Nfa {
+ public:
+  static constexpr int kEpsilon = -1;
+
+  Nfa(int alphabet_size, int num_states)
+      : alphabet_size_(alphabet_size), num_states_(num_states) {}
+
+  /// An NFA accepting exactly the empty word.
+  static Nfa EpsilonOnly(int alphabet_size);
+
+  /// An NFA accepting exactly the single-symbol word `symbol`.
+  static Nfa SingleSymbol(int alphabet_size, int symbol);
+
+  int alphabet_size() const { return alphabet_size_; }
+  int num_states() const { return num_states_; }
+
+  /// Adds a fresh state and returns its index.
+  int AddState();
+
+  void AddTransition(int from, int symbol, int to);
+  void SetInitial(int state) { initial_.push_back(state); }
+  void SetAccepting(int state) { accepting_.push_back(state); }
+
+  const std::vector<int>& initial() const { return initial_; }
+  const std::vector<int>& accepting() const { return accepting_; }
+
+  /// All (from, symbol, to) transitions.
+  struct Transition {
+    int from;
+    int symbol;  // kEpsilon or [0, alphabet_size).
+    int to;
+  };
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// ε-closure of a state set.
+  Bits EpsilonClosure(const Bits& states) const;
+
+  /// One-symbol successor set (includes ε-closure of the result).
+  Bits Step(const Bits& states, int symbol) const;
+
+  /// ε-closed initial state set.
+  Bits InitialSet() const;
+
+  /// True if `states` contains an accepting state.
+  bool AnyAccepting(const Bits& states) const;
+
+  /// Word membership.
+  bool Accepts(const std::vector<int>& word) const;
+
+  /// True if the language is empty.
+  bool IsEmpty() const;
+
+  /// Returns some accepted word, shortest first; empty optional-like flag via
+  /// return pair (found, word).
+  std::pair<bool, std::vector<int>> ShortestWord() const;
+
+  /// Returns an equivalent NFA without ε-transitions (same state count).
+  Nfa RemoveEpsilons() const;
+
+  // --- Closure constructions (Thompson-style) --------------------------
+
+  static Nfa UnionOf(const Nfa& a, const Nfa& b);
+  static Nfa ConcatOf(const Nfa& a, const Nfa& b);
+  static Nfa StarOf(const Nfa& a);
+  static Nfa PlusOf(const Nfa& a);
+  static Nfa OptionalOf(const Nfa& a);
+
+ private:
+  int alphabet_size_;
+  int num_states_;
+  std::vector<int> initial_;
+  std::vector<int> accepting_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_AUTOMATA_NFA_H_

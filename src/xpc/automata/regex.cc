@@ -1,0 +1,286 @@
+#include "xpc/automata/regex.h"
+
+#include <cassert>
+#include <cctype>
+#include <sstream>
+
+namespace xpc {
+
+namespace {
+RegexPtr Make(Regex::Kind kind) {
+  auto r = std::make_shared<Regex>();
+  r->kind = kind;
+  return r;
+}
+}  // namespace
+
+RegexPtr RxEpsilon() { return Make(Regex::Kind::kEpsilon); }
+RegexPtr RxEmpty() { return Make(Regex::Kind::kEmpty); }
+
+RegexPtr RxSymbol(const std::string& symbol) {
+  auto r = Make(Regex::Kind::kSymbol);
+  std::const_pointer_cast<Regex>(r)->symbol = symbol;
+  return r;
+}
+
+RegexPtr RxConcat(RegexPtr a, RegexPtr b) {
+  auto r = Make(Regex::Kind::kConcat);
+  auto m = std::const_pointer_cast<Regex>(r);
+  m->left = std::move(a);
+  m->right = std::move(b);
+  return r;
+}
+
+RegexPtr RxUnion(RegexPtr a, RegexPtr b) {
+  auto r = Make(Regex::Kind::kUnion);
+  auto m = std::const_pointer_cast<Regex>(r);
+  m->left = std::move(a);
+  m->right = std::move(b);
+  return r;
+}
+
+RegexPtr RxStar(RegexPtr a) {
+  auto r = Make(Regex::Kind::kStar);
+  std::const_pointer_cast<Regex>(r)->left = std::move(a);
+  return r;
+}
+
+RegexPtr RxPlus(RegexPtr a) { return RxConcat(a, RxStar(a)); }
+RegexPtr RxOptional(RegexPtr a) { return RxUnion(std::move(a), RxEpsilon()); }
+
+namespace {
+
+class RegexParser {
+ public:
+  explicit RegexParser(const std::string& text) : text_(text) {}
+
+  Result<RegexPtr> Parse() {
+    RegexPtr r = ParseAlt();
+    if (!r) return Result<RegexPtr>::Error(error_);
+    Skip();
+    if (pos_ != text_.size()) {
+      return Result<RegexPtr>::Error("regex: trailing input at offset " + std::to_string(pos_));
+    }
+    return r;
+  }
+
+ private:
+  void Skip() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool AtAtomStart() {
+    Skip();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '(';
+  }
+
+  RegexPtr ParseAlt() {
+    RegexPtr r = ParseConcat();
+    if (!r) return nullptr;
+    Skip();
+    while (pos_ < text_.size() && text_[pos_] == '|') {
+      ++pos_;
+      RegexPtr rhs = ParseConcat();
+      if (!rhs) return nullptr;
+      r = RxUnion(r, rhs);
+      Skip();
+    }
+    return r;
+  }
+
+  RegexPtr ParseConcat() {
+    RegexPtr r = ParsePostfix();
+    if (!r) return nullptr;
+    while (true) {
+      Skip();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+      } else if (!AtAtomStart()) {
+        return r;
+      }
+      RegexPtr rhs = ParsePostfix();
+      if (!rhs) return nullptr;
+      r = RxConcat(r, rhs);
+    }
+  }
+
+  RegexPtr ParsePostfix() {
+    RegexPtr r = ParseAtom();
+    if (!r) return nullptr;
+    while (true) {
+      Skip();
+      if (pos_ >= text_.size()) return r;
+      char c = text_[pos_];
+      if (c == '*') {
+        ++pos_;
+        r = RxStar(r);
+      } else if (c == '+') {
+        ++pos_;
+        r = RxPlus(r);
+      } else if (c == '?') {
+        ++pos_;
+        r = RxOptional(r);
+      } else {
+        return r;
+      }
+    }
+  }
+
+  RegexPtr ParseAtom() {
+    Skip();
+    if (pos_ >= text_.size()) {
+      error_ = "regex: unexpected end of input";
+      return nullptr;
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      RegexPtr r = ParseAlt();
+      if (!r) return nullptr;
+      Skip();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        error_ = "regex: expected ')' at offset " + std::to_string(pos_);
+        return nullptr;
+      }
+      ++pos_;
+      return r;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+        ++pos_;
+      }
+      std::string symbol = text_.substr(start, pos_ - start);
+      if (symbol == "epsilon") return RxEpsilon();
+      if (symbol == "empty") return RxEmpty();
+      return RxSymbol(symbol);
+    }
+    error_ = std::string("regex: unexpected character '") + c + "' at offset " +
+             std::to_string(pos_);
+    return nullptr;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_ = "regex: parse error";
+};
+
+void PrintRegex(const RegexPtr& r, int parent_prec, std::ostringstream* os) {
+  // Precedence: union 0, concat 1, star 2.
+  switch (r->kind) {
+    case Regex::Kind::kEpsilon:
+      *os << "epsilon";
+      break;
+    case Regex::Kind::kEmpty:
+      *os << "empty";
+      break;
+    case Regex::Kind::kSymbol:
+      *os << r->symbol;
+      break;
+    case Regex::Kind::kUnion:
+      if (parent_prec > 0) *os << '(';
+      PrintRegex(r->left, 0, os);
+      *os << " | ";
+      PrintRegex(r->right, 0, os);
+      if (parent_prec > 0) *os << ')';
+      break;
+    case Regex::Kind::kConcat:
+      if (parent_prec > 1) *os << '(';
+      PrintRegex(r->left, 1, os);
+      *os << ' ';
+      PrintRegex(r->right, 1, os);
+      if (parent_prec > 1) *os << ')';
+      break;
+    case Regex::Kind::kStar:
+      PrintRegex(r->left, 2, os);
+      *os << '*';
+      break;
+  }
+}
+
+void CollectSymbols(const RegexPtr& r, std::vector<std::string>* out) {
+  switch (r->kind) {
+    case Regex::Kind::kEpsilon:
+    case Regex::Kind::kEmpty:
+      break;
+    case Regex::Kind::kSymbol:
+      if (SymbolIndex(*out, r->symbol) < 0) out->push_back(r->symbol);
+      break;
+    case Regex::Kind::kUnion:
+    case Regex::Kind::kConcat:
+      CollectSymbols(r->left, out);
+      CollectSymbols(r->right, out);
+      break;
+    case Regex::Kind::kStar:
+      CollectSymbols(r->left, out);
+      break;
+  }
+}
+
+}  // namespace
+
+Result<RegexPtr> ParseRegex(const std::string& text) {
+  RegexParser parser(text);
+  return parser.Parse();
+}
+
+std::string RegexToString(const RegexPtr& regex) {
+  std::ostringstream os;
+  PrintRegex(regex, 0, &os);
+  return os.str();
+}
+
+std::vector<std::string> RegexSymbols(const RegexPtr& regex) {
+  std::vector<std::string> out;
+  CollectSymbols(regex, &out);
+  return out;
+}
+
+int RegexSize(const RegexPtr& regex) {
+  switch (regex->kind) {
+    case Regex::Kind::kEpsilon:
+    case Regex::Kind::kEmpty:
+    case Regex::Kind::kSymbol:
+      return 1;
+    case Regex::Kind::kUnion:
+    case Regex::Kind::kConcat:
+      return 1 + RegexSize(regex->left) + RegexSize(regex->right);
+    case Regex::Kind::kStar:
+      return 1 + RegexSize(regex->left);
+  }
+  return 0;
+}
+
+int SymbolIndex(const std::vector<std::string>& symbols, const std::string& name) {
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    if (symbols[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Nfa CompileRegex(const RegexPtr& regex, const std::vector<std::string>& symbols) {
+  const int k = static_cast<int>(symbols.size());
+  switch (regex->kind) {
+    case Regex::Kind::kEpsilon:
+      return Nfa::EpsilonOnly(k);
+    case Regex::Kind::kEmpty:
+      return Nfa(k, 1);  // One non-initial, non-accepting state: ∅.
+    case Regex::Kind::kSymbol: {
+      int idx = SymbolIndex(symbols, regex->symbol);
+      assert(idx >= 0 && "regex symbol missing from symbol table");
+      return Nfa::SingleSymbol(k, idx);
+    }
+    case Regex::Kind::kUnion:
+      return Nfa::UnionOf(CompileRegex(regex->left, symbols), CompileRegex(regex->right, symbols));
+    case Regex::Kind::kConcat:
+      return Nfa::ConcatOf(CompileRegex(regex->left, symbols), CompileRegex(regex->right, symbols));
+    case Regex::Kind::kStar:
+      return Nfa::StarOf(CompileRegex(regex->left, symbols));
+  }
+  return Nfa(k, 0);
+}
+
+}  // namespace xpc

@@ -1,0 +1,65 @@
+#ifndef XPC_AUTOMATA_REGEX_H_
+#define XPC_AUTOMATA_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xpc/automata/nfa.h"
+#include "xpc/common/result.h"
+
+namespace xpc {
+
+/// A regular expression over named symbols, as used by (E)DTD content
+/// models (Definition 2).
+struct Regex;
+using RegexPtr = std::shared_ptr<const Regex>;
+
+struct Regex {
+  enum class Kind { kEpsilon, kEmpty, kSymbol, kConcat, kUnion, kStar };
+  Kind kind;
+  std::string symbol;       // kSymbol.
+  RegexPtr left, right;     // kConcat / kUnion; kStar uses left only.
+};
+
+/// Constructors.
+RegexPtr RxEpsilon();
+RegexPtr RxEmpty();
+RegexPtr RxSymbol(const std::string& symbol);
+RegexPtr RxConcat(RegexPtr a, RegexPtr b);
+RegexPtr RxUnion(RegexPtr a, RegexPtr b);
+RegexPtr RxStar(RegexPtr a);
+RegexPtr RxPlus(RegexPtr a);
+RegexPtr RxOptional(RegexPtr a);
+
+/// Parses the DTD-ish concrete syntax:
+///
+///     regex  := alt
+///     alt    := concat ('|' concat)*
+///     concat := postfix (postfix)*         // juxtaposition; ',' also allowed
+///     postfix:= atom ('*' | '+' | '?')*
+///     atom   := symbol | 'epsilon' | '(' regex ')'
+///
+/// e.g. `"Chapter+"`, `"(Section | Paragraph | Image)+"`, `"epsilon"`.
+Result<RegexPtr> ParseRegex(const std::string& text);
+
+/// Renders the regex back into the concrete syntax above.
+std::string RegexToString(const RegexPtr& regex);
+
+/// All symbols occurring in the regex, in first-occurrence order.
+std::vector<std::string> RegexSymbols(const RegexPtr& regex);
+
+/// Number of syntax-tree nodes (the paper's size measure for EDTDs).
+int RegexSize(const RegexPtr& regex);
+
+/// Compiles the regex to an NFA via the Thompson construction. `symbols`
+/// maps symbol names to alphabet indices and must cover every symbol in the
+/// regex; `alphabet_size` bounds the NFA alphabet.
+Nfa CompileRegex(const RegexPtr& regex, const std::vector<std::string>& symbols);
+
+/// Index of `name` in `symbols`, or -1.
+int SymbolIndex(const std::vector<std::string>& symbols, const std::string& name);
+
+}  // namespace xpc
+
+#endif  // XPC_AUTOMATA_REGEX_H_

@@ -1,0 +1,110 @@
+#ifndef XPC_COMMON_BITS_H_
+#define XPC_COMMON_BITS_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace xpc {
+
+/// A fixed-size dynamic bitset with the set operations needed by the
+/// relation algebra and the automata summaries. Supports hashing and
+/// ordering so values can key hash maps and sets.
+class Bits {
+ public:
+  Bits() = default;
+  explicit Bits(int size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  int size() const { return size_; }
+
+  bool Get(int i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+  void Set(int i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Reset(int i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  void Assign(int i, bool v) { v ? Set(i) : Reset(i); }
+
+  /// True if no bit is set.
+  bool None() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Number of set bits.
+  int Count() const {
+    int c = 0;
+    for (uint64_t w : words_) c += __builtin_popcountll(w);
+    return c;
+  }
+
+  /// In-place union; returns true if any bit was newly set.
+  bool UnionWith(const Bits& other) {
+    bool changed = false;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint64_t merged = words_[i] | other.words_[i];
+      changed = changed || merged != words_[i];
+      words_[i] = merged;
+    }
+    return changed;
+  }
+
+  void IntersectWith(const Bits& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  void SubtractWith(const Bits& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  }
+
+  /// True if this is a subset of `other`.
+  bool SubsetOf(const Bits& other) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & ~other.words_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Invokes `f(i)` for each set bit, in increasing order.
+  template <typename F>
+  void ForEach(F f) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits) {
+        int b = __builtin_ctzll(bits);
+        f(static_cast<int>(w * 64 + b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const Bits& a, const Bits& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+  friend bool operator<(const Bits& a, const Bits& b) {
+    if (a.size_ != b.size_) return a.size_ < b.size_;
+    return a.words_ < b.words_;
+  }
+
+  /// FNV-style hash over the words.
+  size_t Hash() const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t w : words_) {
+      h ^= w;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+ private:
+  int size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+struct BitsHash {
+  size_t operator()(const Bits& b) const { return b.Hash(); }
+};
+
+}  // namespace xpc
+
+#endif  // XPC_COMMON_BITS_H_

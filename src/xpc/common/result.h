@@ -1,0 +1,49 @@
+#ifndef XPC_COMMON_RESULT_H_
+#define XPC_COMMON_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace xpc {
+
+/// A lightweight value-or-error carrier, used instead of exceptions for
+/// operations that can fail on user input (parsers, validators).
+///
+/// The library follows the Google style guidance of not letting exceptions
+/// escape public APIs; fallible entry points return `Result<T>`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result carrying a human-readable message.
+  static Result Error(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  /// True if the result holds a value.
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The held value. Must only be called when `ok()`.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// The error message. Empty when `ok()`.
+  const std::string& error() const { return error_; }
+
+ private:
+  Result() = default;
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_COMMON_RESULT_H_

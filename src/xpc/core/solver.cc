@@ -1,0 +1,176 @@
+#include "xpc/core/solver.h"
+
+#include "xpc/edtd/conformance.h"
+#include "xpc/edtd/encode.h"
+#include "xpc/eval/evaluator.h"
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/reduction/reductions.h"
+#include "xpc/translate/intersect_product.h"
+#include "xpc/xpath/build.h"
+
+namespace xpc {
+
+const char* ContainmentVerdictName(ContainmentVerdict verdict) {
+  switch (verdict) {
+    case ContainmentVerdict::kContained: return "contained";
+    case ContainmentVerdict::kNotContained: return "not-contained";
+    case ContainmentVerdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+// Checks a SAT witness against the reference evaluator; demotes to
+// kResourceLimit on mismatch (should never happen — defense in depth).
+SatResult VerifySat(SatResult r, const NodePtr& phi, bool verify) {
+  if (!verify || r.status != SolveStatus::kSat || !r.witness.has_value()) return r;
+  Evaluator ev(*r.witness);
+  if (!ev.SatisfiedSomewhere(phi)) {
+    r.status = SolveStatus::kResourceLimit;
+    r.engine += ":witness-verification-failed";
+    r.witness.reset();
+  }
+  return r;
+}
+
+}  // namespace
+
+SatResult Solver::Dispatch(const NodePtr& phi, const Edtd* edtd) {
+  Fragment f = DetectFragment(phi);
+
+  // Fragments with path complementation or iteration: no elementary
+  // decision procedure exists (Theorems 30, 31); bounded search only.
+  if (f.uses_complement || f.uses_for) {
+    if (edtd != nullptr) {
+      // Bounded search filtered by conformance.
+      SatResult result;
+      result.engine = "bounded-sat+edtd";
+      BoundedSatOptions opt = options_.bounded;
+      // Enumerate candidate conforming trees by sampling the schema and
+      // model checking.
+      for (int i = 0; i < opt.random_trees * (opt.max_random_nodes + 1); ++i) {
+        auto [ok, tree] = SampleConformingTree(*edtd, opt.max_random_nodes, opt.seed + i);
+        if (!ok) continue;
+        ++result.explored_states;
+        Evaluator ev(tree);
+        if (ev.SatisfiedSomewhere(phi)) {
+          result.status = SolveStatus::kSat;
+          result.witness = std::move(tree);
+          return result;
+        }
+      }
+      result.status = SolveStatus::kResourceLimit;
+      return result;
+    }
+    return BoundedSatisfiable(phi, options_.bounded);
+  }
+
+  // CoreXPath↓(∩): the EXPSPACE engine (native EDTD support).
+  if (options_.prefer_downward_engine && f.IsDownward() && !f.uses_star) {
+    SatResult r = edtd != nullptr ? DownwardSatisfiableWithEdtd(phi, *edtd, options_.downward)
+                                  : DownwardSatisfiable(phi, options_.downward);
+    if (r.status != SolveStatus::kResourceLimit) return r;
+    // Fall through to the general pipeline on resource exhaustion.
+  }
+
+  // General pipeline: (Prop. 6 encoding if an EDTD is given) → product
+  // translation for ∩ → CoreXPath_NFA(*, loop) → loop-sat.
+  NodePtr target = phi;
+  if (edtd != nullptr) target = EncodeEdtdSatisfiability(phi, *edtd);
+  LExprPtr e = f.uses_intersect ? IntersectToLoopNormalForm(target) : ToLoopNormalForm(target);
+  if (!e) {
+    SatResult r;
+    r.engine = "dispatch:no-translation";
+    r.status = SolveStatus::kResourceLimit;
+    return r;
+  }
+  SatResult r = LoopSatisfiable(e, options_.loop);
+  if (edtd != nullptr) {
+    r.engine += "+edtd-encoding";
+    if (r.status == SolveStatus::kSat && r.witness.has_value()) {
+      // The witness is a witness *tree* over decorated labels t__q; map it
+      // back to concrete labels.
+      XmlTree decoded = StripWitnessLabels(*r.witness, *edtd);
+      r.witness = std::move(decoded);
+    }
+  }
+  return r;
+}
+
+SatResult Solver::NodeSatisfiable(const NodePtr& phi) {
+  return VerifySat(Dispatch(phi, nullptr), phi, options_.verify_witnesses);
+}
+
+SatResult Solver::NodeSatisfiable(const NodePtr& phi, const Edtd& edtd) {
+  SatResult r = Dispatch(phi, &edtd);
+  if (options_.verify_witnesses && r.status == SolveStatus::kSat && r.witness.has_value()) {
+    Evaluator ev(*r.witness);
+    if (!ev.SatisfiedSomewhere(phi)) {
+      r.status = SolveStatus::kResourceLimit;
+      r.engine += ":witness-verification-failed";
+      r.witness.reset();
+    }
+  }
+  return r;
+}
+
+SatResult Solver::PathSatisfiable(const PathPtr& alpha) {
+  return NodeSatisfiable(PathSatToNodeSat(alpha));
+}
+
+SatResult Solver::PathSatisfiable(const PathPtr& alpha, const Edtd& edtd) {
+  return NodeSatisfiable(PathSatToNodeSat(alpha), edtd);
+}
+
+ContainmentResult Solver::ToContainment(SatResult sat, const PathPtr& alpha,
+                                        const PathPtr& beta, const std::string& super_root) {
+  ContainmentResult out;
+  out.engine = sat.engine;
+  out.explored_states = sat.explored_states;
+  switch (sat.status) {
+    case SolveStatus::kUnsat:
+      out.verdict = ContainmentVerdict::kContained;
+      return out;
+    case SolveStatus::kResourceLimit:
+      out.verdict = ContainmentVerdict::kUnknown;
+      return out;
+    case SolveStatus::kSat:
+      break;
+  }
+  out.verdict = ContainmentVerdict::kNotContained;
+  if (sat.witness.has_value()) {
+    XmlTree counterexample = StripDecoration(*sat.witness, super_root);
+    if (options_.verify_witnesses) {
+      Evaluator ev(counterexample);
+      Relation a = ev.EvalPath(alpha);
+      a.SubtractWith(ev.EvalPath(beta));
+      if (a.Empty()) {
+        out.verdict = ContainmentVerdict::kUnknown;
+        out.engine += ":counterexample-verification-failed";
+        return out;
+      }
+    }
+    out.counterexample = std::move(counterexample);
+  }
+  return out;
+}
+
+ContainmentResult Solver::Contains(const PathPtr& alpha, const PathPtr& beta) {
+  NodePtr psi = ContainmentToUnsat(alpha, beta);
+  return ToContainment(Dispatch(psi, nullptr), alpha, beta, "");
+}
+
+ContainmentResult Solver::Contains(const PathPtr& alpha, const PathPtr& beta,
+                                   const Edtd& edtd) {
+  auto [psi, decorated] = ContainmentToUnsatWithEdtd(alpha, beta, edtd);
+  return ToContainment(Dispatch(psi, &decorated), alpha, beta, decorated.root_type());
+}
+
+ContainmentResult Solver::Equivalent(const PathPtr& alpha, const PathPtr& beta) {
+  ContainmentResult forward = Contains(alpha, beta);
+  if (forward.verdict != ContainmentVerdict::kContained) return forward;
+  return Contains(beta, alpha);
+}
+
+}  // namespace xpc

@@ -1,0 +1,100 @@
+#ifndef XPC_CORE_SOLVER_H_
+#define XPC_CORE_SOLVER_H_
+
+#include <optional>
+#include <string>
+
+#include "xpc/edtd/edtd.h"
+#include "xpc/sat/bounded_sat.h"
+#include "xpc/sat/downward_sat.h"
+#include "xpc/sat/engine.h"
+#include "xpc/sat/loop_sat.h"
+#include "xpc/xpath/ast.h"
+#include "xpc/xpath/fragment.h"
+
+namespace xpc {
+
+/// Verdict of a containment query.
+enum class ContainmentVerdict {
+  kContained,     ///< ⟦α⟧ ⊆ ⟦β⟧ on all (conforming) trees.
+  kNotContained,  ///< A counterexample tree exists (attached).
+  kUnknown,       ///< Resource limits hit, or an undecidable-in-practice
+                  ///< fragment (−, for) searched without success.
+};
+
+const char* ContainmentVerdictName(ContainmentVerdict verdict);
+
+/// Result of a containment query. On kNotContained, `counterexample` is a
+/// tree T with ⟦α⟧^T ⊄ ⟦β⟧^T (verified against the reference evaluator when
+/// `SolverOptions::verify_witnesses` is set).
+struct ContainmentResult {
+  ContainmentVerdict verdict = ContainmentVerdict::kUnknown;
+  std::optional<XmlTree> counterexample;
+  std::string engine;
+  int64_t explored_states = 0;
+};
+
+/// Facade configuration.
+struct SolverOptions {
+  LoopSatOptions loop;
+  DownwardSatOptions downward;
+  BoundedSatOptions bounded;
+  /// Re-check every witness / counterexample with the reference evaluator
+  /// and drop to kUnknown if the check fails (defense in depth; the check
+  /// has never failed in the test suite).
+  bool verify_witnesses = true;
+  /// Prefer the EXPSPACE downward engine for CoreXPath↓(∩) inputs (it is
+  /// usually faster than the 2-EXPTIME product pipeline there).
+  bool prefer_downward_engine = true;
+};
+
+/// The user-facing decision-procedure facade. Dispatches to the cheapest
+/// complete engine for the input's fragment (Table I):
+///
+///   CoreXPath(*, ≈)        → loop-sat (EXPTIME, Theorem 13)
+///   CoreXPath(*, ∩)        → product translation + loop-sat (2-EXPTIME,
+///                            Theorem 19)
+///   CoreXPath↓(∩)          → downward engine (EXPSPACE, Theorem 24)
+///   CoreXPath(−) / (for)   → bounded search (no elementary procedure
+///                            exists: Theorems 30, 31) — may return
+///                            kUnknown
+///
+/// EDTD-relativized queries use the Proposition 6 witness-tree encoding
+/// (or the downward engine's native EDTD support), and containment reduces
+/// to unsatisfiability via Proposition 4.
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {}) : options_(std::move(options)) {}
+
+  /// Node satisfiability: is there an XML tree with a node satisfying φ?
+  SatResult NodeSatisfiable(const NodePtr& phi);
+
+  /// Node satisfiability w.r.t. an EDTD.
+  SatResult NodeSatisfiable(const NodePtr& phi, const Edtd& edtd);
+
+  /// Path satisfiability: ⟦α⟧ ≠ ∅ for some tree?
+  SatResult PathSatisfiable(const PathPtr& alpha);
+  SatResult PathSatisfiable(const PathPtr& alpha, const Edtd& edtd);
+
+  /// Path containment: ⟦α⟧ ⊆ ⟦β⟧ for all trees?
+  ContainmentResult Contains(const PathPtr& alpha, const PathPtr& beta);
+
+  /// Path containment w.r.t. an EDTD (all conforming trees).
+  ContainmentResult Contains(const PathPtr& alpha, const PathPtr& beta, const Edtd& edtd);
+
+  /// Path equivalence (two containment queries).
+  ContainmentResult Equivalent(const PathPtr& alpha, const PathPtr& beta);
+
+  const SolverOptions& options() const { return options_; }
+
+ private:
+  SatResult Dispatch(const NodePtr& phi, const Edtd* edtd);
+  ContainmentResult ToContainment(SatResult sat, const PathPtr& alpha, const PathPtr& beta,
+                                  const std::string& super_root);
+
+  SolverOptions options_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_CORE_SOLVER_H_

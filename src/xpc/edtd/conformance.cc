@@ -1,0 +1,240 @@
+#include "xpc/edtd/conformance.h"
+
+#include <cassert>
+#include <algorithm>
+#include <deque>
+
+#include "xpc/tree/tree_generator.h"
+
+namespace xpc {
+
+namespace {
+
+// Computes, bottom-up, the set of admissible abstract types per node.
+// possible[n] has one bit per abstract label index.
+std::vector<Bits> PossibleTypes(const XmlTree& tree, const Edtd& edtd) {
+  const int num_types = static_cast<int>(edtd.types().size());
+  std::vector<Bits> possible(tree.size(), Bits(num_types));
+  // Process nodes in reverse creation order: children always have larger ids
+  // than parents, so reverse order is bottom-up.
+  for (NodeId n = tree.size() - 1; n >= 0; --n) {
+    std::vector<NodeId> children = tree.Children(n);
+    for (int t = 0; t < num_types; ++t) {
+      const Edtd::TypeDef& def = edtd.types()[t];
+      if (!(tree.labels(n).size() == 1 && tree.label(n) == def.concrete_label)) continue;
+      // Does some word t_1 ... t_k with t_i ∈ possible[child_i] lie in
+      // L(P(t))? Run the content NFA over "symbol sets".
+      const Nfa& nfa = edtd.ContentNfa(t);
+      Bits states = nfa.InitialSet();
+      for (NodeId c : children) {
+        Bits next(nfa.num_states());
+        possible[c].ForEach([&](int ct) { next.UnionWith(nfa.Step(states, ct)); });
+        states = next;
+        if (states.None()) break;
+      }
+      if (nfa.AnyAccepting(states)) possible[n].Set(t);
+    }
+  }
+  return possible;
+}
+
+// Recursively assigns witness types given the `possible` table.
+void AssignTypes(const XmlTree& tree, const Edtd& edtd, const std::vector<Bits>& possible,
+                 NodeId n, int type, std::vector<std::string>* out) {
+  (*out)[n] = edtd.types()[type].abstract_label;
+  std::vector<NodeId> children = tree.Children(n);
+  if (children.empty()) return;
+  const Nfa& nfa = edtd.ContentNfa(type);
+  const int k = static_cast<int>(children.size());
+  // Forward state sets.
+  std::vector<Bits> fwd(k + 1, Bits(nfa.num_states()));
+  fwd[0] = nfa.InitialSet();
+  for (int i = 0; i < k; ++i) {
+    Bits next(nfa.num_states());
+    possible[children[i]].ForEach(
+        [&](int ct) { next.UnionWith(nfa.Step(fwd[i], ct)); });
+    fwd[i + 1] = next;
+  }
+  // Backward: pick, right to left, a type and reachable target per child.
+  Bits goal(nfa.num_states());
+  for (int s : nfa.accepting()) goal.Set(s);
+  std::vector<int> chosen(k, -1);
+  for (int i = k - 1; i >= 0; --i) {
+    bool found = false;
+    possible[children[i]].ForEach([&](int ct) {
+      if (found) return;
+      Bits stepped = nfa.Step(fwd[i], ct);
+      stepped.IntersectWith(goal);
+      if (!stepped.None()) {
+        chosen[i] = ct;
+        // New goal: states from which `stepped` ... we need predecessor
+        // states in fwd[i] that reach `stepped` via ct — recompute goal as
+        // the set of states q in fwd[i] with Step({q}, ct) ∩ stepped ≠ ∅.
+        Bits new_goal(nfa.num_states());
+        fwd[i].ForEach([&](int q) {
+          Bits single(nfa.num_states());
+          single.Set(q);
+          single = nfa.EpsilonClosure(single);
+          Bits stepq = nfa.Step(single, ct);
+          stepq.IntersectWith(stepped);
+          if (!stepq.None()) new_goal.Set(q);
+        });
+        goal = new_goal;
+        found = true;
+      }
+    });
+    assert(found && "witness reconstruction failed despite possible-type bit");
+  }
+  for (int i = 0; i < k; ++i) {
+    AssignTypes(tree, edtd, possible, children[i], chosen[i], out);
+  }
+}
+
+}  // namespace
+
+bool Conforms(const XmlTree& tree, const Edtd& edtd) {
+  if (!tree.IsSingleLabeled()) return false;
+  std::vector<Bits> possible = PossibleTypes(tree, edtd);
+  int root_type = edtd.TypeIndex(edtd.root_type());
+  return possible[tree.root()].Get(root_type);
+}
+
+std::vector<std::string> WitnessTyping(const XmlTree& tree, const Edtd& edtd) {
+  if (!tree.IsSingleLabeled()) return {};
+  std::vector<Bits> possible = PossibleTypes(tree, edtd);
+  int root_type = edtd.TypeIndex(edtd.root_type());
+  if (!possible[tree.root()].Get(root_type)) return {};
+  std::vector<std::string> out(tree.size());
+  AssignTypes(tree, edtd, possible, tree.root(), root_type, &out);
+  return out;
+}
+
+namespace {
+
+constexpr int64_t kInfCost = int64_t{1} << 50;
+
+// Cheapest accepted word of `nfa` where symbol i costs `cost[i]`:
+// Bellman-Ford over NFA states (ε edges cost 0). Returns (total, word);
+// total == kInfCost if no finite-cost word exists.
+std::pair<int64_t, std::vector<int>> CheapestWord(const Nfa& nfa,
+                                                  const std::vector<int64_t>& cost) {
+  const int n = nfa.num_states();
+  std::vector<int64_t> dist(n, kInfCost);
+  std::vector<int> from(n, -1), via(n, Nfa::kEpsilon);
+  for (int s : nfa.initial()) dist[s] = 0;
+  for (int round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (const Nfa::Transition& t : nfa.transitions()) {
+      int64_t w = t.symbol == Nfa::kEpsilon ? 0 : cost[t.symbol];
+      if (dist[t.from] >= kInfCost || w >= kInfCost) continue;
+      if (dist[t.from] + w < dist[t.to]) {
+        dist[t.to] = dist[t.from] + w;
+        from[t.to] = t.from;
+        via[t.to] = t.symbol;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  int best = -1;
+  for (int s : nfa.accepting()) {
+    if (dist[s] < kInfCost && (best < 0 || dist[s] < dist[best])) best = s;
+  }
+  if (best < 0) return {kInfCost, {}};
+  std::vector<int> word;
+  for (int s = best; from[s] != -1 || via[s] != Nfa::kEpsilon;) {
+    if (via[s] != Nfa::kEpsilon) word.push_back(via[s]);
+    int prev = from[s];
+    if (prev < 0) break;
+    s = prev;
+  }
+  std::reverse(word.begin(), word.end());
+  return {dist[best], word};
+}
+
+// Minimum number of nodes in a complete expansion of each type (least
+// fixpoint; kInfCost for dead types whose content language forces infinite
+// trees).
+std::vector<int64_t> MinCompletionCost(const Edtd& edtd) {
+  const int n = static_cast<int>(edtd.types().size());
+  std::vector<int64_t> cost(n, kInfCost);
+  for (int round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (int t = 0; t < n; ++t) {
+      auto [total, word] = CheapestWord(edtd.ContentNfa(t), cost);
+      int64_t candidate = total >= kInfCost ? kInfCost : total + 1;
+      if (candidate < cost[t]) {
+        cost[t] = candidate;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::pair<bool, XmlTree> SampleConformingTree(const Edtd& edtd, int max_nodes, uint64_t seed) {
+  TreeGenerator rng(seed ^ 0x5eedULL);
+  int root_index = edtd.TypeIndex(edtd.root_type());
+  std::vector<int64_t> completion = MinCompletionCost(edtd);
+  XmlTree tree(edtd.types()[root_index].concrete_label);
+  if (completion[root_index] >= kInfCost) return {false, tree};
+
+  // Work queue of (node, type index) to expand.
+  std::deque<std::pair<NodeId, int>> queue;
+  queue.emplace_back(tree.root(), root_index);
+  while (!queue.empty()) {
+    auto [node, type] = queue.front();
+    queue.pop_front();
+    const Nfa& nfa = edtd.ContentNfa(type);
+
+    std::vector<int> word;
+    bool budget_left = tree.size() < max_nodes;
+    if (budget_left) {
+      // Random accepted word: random walk of bounded length, retrying a few
+      // times; falls back to the shortest word.
+      for (int attempt = 0; attempt < 4 && word.empty(); ++attempt) {
+        Bits states = nfa.InitialSet();
+        std::vector<int> candidate;
+        for (int step = 0; step < 4; ++step) {
+          if (nfa.AnyAccepting(states) && rng.NextBelow(2) == 0) break;
+          // Pick a random viable symbol.
+          std::vector<int> viable;
+          for (int a = 0; a < nfa.alphabet_size(); ++a) {
+            if (!nfa.Step(states, a).None()) viable.push_back(a);
+          }
+          if (viable.empty()) break;
+          int symbol = viable[rng.NextBelow(viable.size())];
+          states = nfa.Step(states, symbol);
+          candidate.push_back(symbol);
+        }
+        if (nfa.AnyAccepting(states)) word = candidate;
+      }
+    }
+    if (word.empty()) {
+      // Cheapest completion: guarantees termination with minimal extra
+      // nodes even when every content model forces at least one child.
+      auto [total, cheapest] = CheapestWord(nfa, completion);
+      if (total >= kInfCost) return {false, tree};  // Dead type.
+      word = cheapest;
+    } else {
+      // Reject random words whose mandatory completion cannot fit.
+      int64_t mandatory = 0;
+      for (int s : word) mandatory += completion[s];
+      if (mandatory >= kInfCost) {
+        auto [total, cheapest] = CheapestWord(nfa, completion);
+        if (total >= kInfCost) return {false, tree};
+        word = cheapest;
+      }
+    }
+    for (int child_type : word) {
+      NodeId child = tree.AddChild(node, edtd.types()[child_type].concrete_label);
+      queue.emplace_back(child, child_type);
+    }
+  }
+  return {true, tree};
+}
+
+}  // namespace xpc

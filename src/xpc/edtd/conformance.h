@@ -1,0 +1,31 @@
+#ifndef XPC_EDTD_CONFORMANCE_H_
+#define XPC_EDTD_CONFORMANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "xpc/edtd/edtd.h"
+#include "xpc/tree/xml_tree.h"
+
+namespace xpc {
+
+/// Checks whether `tree` conforms to `edtd` in the sense of Definition 2:
+/// some typing L' : N → Δ maps the root to the root type, makes every
+/// node's children word match its content model, and satisfies
+/// L(n) = μ(L'(n)). Only single-labeled trees can conform.
+bool Conforms(const XmlTree& tree, const Edtd& edtd);
+
+/// Like `Conforms`, but returns the witness typing (abstract label per
+/// node, indexed by NodeId). Empty vector if the tree does not conform.
+std::vector<std::string> WitnessTyping(const XmlTree& tree, const Edtd& edtd);
+
+/// Generates some tree conforming to `edtd` (useful for tests/examples):
+/// expands content models breadth-first, preferring shortest words, and
+/// aborts (returns single-root fallback of the root's μ) if expansion cannot
+/// terminate within `max_nodes`. Returns (ok, tree).
+std::pair<bool, XmlTree> SampleConformingTree(const Edtd& edtd, int max_nodes,
+                                              uint64_t seed = 0);
+
+}  // namespace xpc
+
+#endif  // XPC_EDTD_CONFORMANCE_H_

@@ -1,0 +1,137 @@
+#include "xpc/edtd/edtd.h"
+
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace xpc {
+
+Edtd::Edtd(std::vector<TypeDef> types, std::string root_type)
+    : types_(std::move(types)), root_type_(std::move(root_type)) {
+  for (const TypeDef& t : types_) abstract_alphabet_.push_back(t.abstract_label);
+  content_nfas_.reserve(types_.size());
+  content_built_.assign(types_.size(), false);
+  for (size_t i = 0; i < types_.size(); ++i) {
+    content_nfas_.push_back(Nfa(static_cast<int>(types_.size()), 0));
+  }
+  assert(TypeIndex(root_type_) >= 0);
+}
+
+Result<Edtd> Edtd::Parse(const std::string& text) {
+  std::vector<TypeDef> types;
+  std::string root;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip comments and whitespace-only lines.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    bool blank = true;
+    for (char c : line) blank = blank && std::isspace(static_cast<unsigned char>(c));
+    if (blank) continue;
+
+    size_t assign = line.find(":=");
+    if (assign == std::string::npos) {
+      return Result<Edtd>::Error("EDTD: missing ':=' in line: " + line);
+    }
+    std::string head = line.substr(0, assign);
+    std::string body = line.substr(assign + 2);
+
+    // head = abstract [-> concrete]
+    std::string abstract_label, concrete_label;
+    size_t arrow = head.find("->");
+    if (arrow != std::string::npos) {
+      abstract_label = head.substr(0, arrow);
+      concrete_label = head.substr(arrow + 2);
+    } else {
+      abstract_label = head;
+    }
+    auto trim = [](std::string s) {
+      size_t b = s.find_first_not_of(" \t");
+      size_t e = s.find_last_not_of(" \t");
+      return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+    };
+    abstract_label = trim(abstract_label);
+    concrete_label = trim(concrete_label);
+    if (abstract_label.empty()) {
+      return Result<Edtd>::Error("EDTD: empty abstract label in line: " + line);
+    }
+    if (concrete_label.empty()) concrete_label = abstract_label;
+
+    auto regex = ParseRegex(body);
+    if (!regex.ok()) {
+      return Result<Edtd>::Error("EDTD: " + regex.error() + " in line: " + line);
+    }
+    if (root.empty()) root = abstract_label;
+    types.push_back({abstract_label, regex.value(), concrete_label});
+  }
+  if (types.empty()) return Result<Edtd>::Error("EDTD: no type definitions");
+
+  // Every symbol used in a content model must be defined.
+  Edtd edtd(std::move(types), root);
+  for (const TypeDef& t : edtd.types()) {
+    for (const std::string& sym : RegexSymbols(t.content)) {
+      if (edtd.TypeIndex(sym) < 0) {
+        return Result<Edtd>::Error("EDTD: undefined abstract label '" + sym +
+                                   "' in content model of '" + t.abstract_label + "'");
+      }
+    }
+  }
+  return edtd;
+}
+
+int Edtd::TypeIndex(const std::string& t) const {
+  for (size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].abstract_label == t) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const std::string& Edtd::Mu(const std::string& t) const {
+  int idx = TypeIndex(t);
+  assert(idx >= 0);
+  return types_[idx].concrete_label;
+}
+
+bool Edtd::IsPlainDtd() const {
+  for (const TypeDef& t : types_) {
+    if (t.abstract_label != t.concrete_label) return false;
+  }
+  return true;
+}
+
+int Edtd::Size() const {
+  int size = 0;
+  for (const TypeDef& t : types_) size += RegexSize(t.content);
+  return size;
+}
+
+std::vector<std::string> Edtd::AbstractLabels() const { return abstract_alphabet_; }
+
+std::vector<std::string> Edtd::ConcreteLabels() const {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  for (const TypeDef& t : types_) {
+    if (seen.insert(t.concrete_label).second) out.push_back(t.concrete_label);
+  }
+  return out;
+}
+
+const Nfa& Edtd::ContentNfa(int type_index) const {
+  assert(type_index >= 0 && type_index < static_cast<int>(types_.size()));
+  if (!content_built_[type_index]) {
+    content_nfas_[type_index] = CompileRegex(types_[type_index].content, abstract_alphabet_);
+    content_built_[type_index] = true;
+  }
+  return content_nfas_[type_index];
+}
+
+int Edtd::MaxContentNfaStates() const {
+  int m = 0;
+  for (size_t i = 0; i < types_.size(); ++i) {
+    m = std::max(m, ContentNfa(static_cast<int>(i)).num_states());
+  }
+  return m;
+}
+
+}  // namespace xpc

@@ -1,0 +1,80 @@
+#ifndef XPC_EDTD_EDTD_H_
+#define XPC_EDTD_EDTD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xpc/automata/regex.h"
+#include "xpc/common/result.h"
+
+namespace xpc {
+
+/// An extended document type definition (Definition 2): a tuple
+/// (Δ, P, r, μ) with abstract labels Δ, a content-model regular expression
+/// P(t) over Δ for each t ∈ Δ, a root type r, and a mapping μ: Δ → Σ to
+/// concrete labels.
+///
+/// Ordinary DTDs are the special case Δ = Σ with μ the identity
+/// (`IsPlainDtd()`).
+class Edtd {
+ public:
+  /// One abstract label with its content model and concrete image.
+  struct TypeDef {
+    std::string abstract_label;  ///< t ∈ Δ.
+    RegexPtr content;            ///< P(t), over abstract labels.
+    std::string concrete_label;  ///< μ(t) ∈ Σ.
+  };
+
+  Edtd(std::vector<TypeDef> types, std::string root_type);
+
+  /// Builds an EDTD from text lines of the form
+  ///     `abstract [-> concrete] := regex`
+  /// one per abstract label; the first line's label is the root type.
+  /// Example (the book EDTD of Section 2.2):
+  ///     Book := Chapter+
+  ///     Chapter := Section+
+  ///     Section := (Section | Paragraph | Image)+
+  ///     Paragraph := epsilon
+  ///     Image := epsilon
+  static Result<Edtd> Parse(const std::string& text);
+
+  const std::vector<TypeDef>& types() const { return types_; }
+  const std::string& root_type() const { return root_type_; }
+
+  /// Index of abstract label `t` in `types()`, or -1.
+  int TypeIndex(const std::string& t) const;
+
+  /// μ(t); `t` must exist.
+  const std::string& Mu(const std::string& t) const;
+
+  /// True if Δ = Σ and μ = id.
+  bool IsPlainDtd() const;
+
+  /// Sum of the content-model regex sizes (the paper's EDTD size measure).
+  int Size() const;
+
+  /// All abstract labels, in definition order.
+  std::vector<std::string> AbstractLabels() const;
+
+  /// All concrete labels in the image of μ, deduplicated.
+  std::vector<std::string> ConcreteLabels() const;
+
+  /// NFA for P(t) over the abstract-label alphabet (definition order).
+  /// Compiled once and cached.
+  const Nfa& ContentNfa(int type_index) const;
+
+  /// The maximum number of states of any content NFA (|D| in Fig. 2).
+  int MaxContentNfaStates() const;
+
+ private:
+  std::vector<TypeDef> types_;
+  std::string root_type_;
+  std::vector<std::string> abstract_alphabet_;
+  mutable std::vector<Nfa> content_nfas_;  // Lazily built, index-aligned.
+  mutable std::vector<bool> content_built_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_EDTD_EDTD_H_

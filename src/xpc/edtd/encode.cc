@@ -1,0 +1,234 @@
+#include "xpc/edtd/encode.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/transform.h"
+
+namespace xpc {
+
+NodePtr GuardAxes(const NodePtr& node, const NodePtr& excluded) {
+  switch (node->kind) {
+    case NodeKind::kLabel:
+    case NodeKind::kTrue:
+    case NodeKind::kIsVar:
+      return node;
+    case NodeKind::kSome:
+      return Some(GuardAxes(node->path, excluded));
+    case NodeKind::kNot:
+      return Not(GuardAxes(node->child1, excluded));
+    case NodeKind::kAnd:
+      return And(GuardAxes(node->child1, excluded), GuardAxes(node->child2, excluded));
+    case NodeKind::kOr:
+      return Or(GuardAxes(node->child1, excluded), GuardAxes(node->child2, excluded));
+    case NodeKind::kPathEq:
+      return PathEq(GuardAxes(node->path, excluded), GuardAxes(node->path2, excluded));
+  }
+  return node;
+}
+
+PathPtr GuardAxes(const PathPtr& path, const NodePtr& excluded) {
+  switch (path->kind) {
+    case PathKind::kAxis:
+      return Filter(Ax(path->axis), Not(excluded));
+    case PathKind::kAxisStar:
+      return Star(Filter(Ax(path->axis), Not(excluded)));
+    case PathKind::kSelf:
+      return path;
+    case PathKind::kSeq:
+      return Seq(GuardAxes(path->left, excluded), GuardAxes(path->right, excluded));
+    case PathKind::kUnion:
+      return Union(GuardAxes(path->left, excluded), GuardAxes(path->right, excluded));
+    case PathKind::kFilter:
+      return Filter(GuardAxes(path->left, excluded), GuardAxes(path->filter, excluded));
+    case PathKind::kStar:
+      return Star(GuardAxes(path->left, excluded));
+    case PathKind::kIntersect:
+      return Intersect(GuardAxes(path->left, excluded), GuardAxes(path->right, excluded));
+    case PathKind::kComplement:
+      return Complement(GuardAxes(path->left, excluded), GuardAxes(path->right, excluded));
+    case PathKind::kFor:
+      return For(path->var, GuardAxes(path->left, excluded), GuardAxes(path->right, excluded));
+  }
+  return path;
+}
+
+Edtd NonRestrictiveEdtd(const std::set<std::string>& labels, const std::string& fresh_root) {
+  assert(labels.find(fresh_root) == labels.end());
+  // P(s) = p1 + ... + pn;  P(pi) = (p1 + ... + pn)*.
+  RegexPtr any;
+  for (const std::string& l : labels) {
+    RegexPtr sym = RxSymbol(l);
+    any = any ? RxUnion(any, sym) : sym;
+  }
+  assert(any != nullptr && "label set must be nonempty");
+  std::vector<Edtd::TypeDef> types;
+  types.push_back({fresh_root, any, fresh_root});
+  for (const std::string& l : labels) {
+    types.push_back({l, RxStar(any), l});
+  }
+  return Edtd(std::move(types), fresh_root);
+}
+
+std::string WitnessLabel(const std::string& abstract_label, int state) {
+  return abstract_label + "__" + std::to_string(state);
+}
+
+NodePtr EncodeEdtdSatisfiability(const NodePtr& phi, const Edtd& edtd) {
+  const int num_types = static_cast<int>(edtd.types().size());
+
+  // ε-free content automata and global state numbering. Global state id of
+  // automaton i's state q is offset[i] + q; state components of witness
+  // labels are global ids so that states of distinct automata are disjoint
+  // (as the paper assumes).
+  std::vector<Nfa> automata;
+  std::vector<int> offset(num_types, 0);
+  int total_states = 0;
+  for (int i = 0; i < num_types; ++i) {
+    automata.push_back(edtd.ContentNfa(i).RemoveEpsilons());
+    offset[i] = total_states;
+    total_states += automata[i].num_states();
+  }
+
+  // lbl(t, g): the witness label for abstract type index t and global state
+  // g. Only pairs where g is *some* automaton's state are used; the Δ and
+  // state components are independent per the paper's Γ = Δ × ∪Q.
+  auto lbl = [&](int t, int g) {
+    return Label(WitnessLabel(edtd.types()[t].abstract_label, g));
+  };
+
+  // anyType[t] = ⋁_g lbl(t, g).
+  std::vector<NodePtr> any_type(num_types);
+  std::vector<NodePtr> all_pairs;
+  for (int t = 0; t < num_types; ++t) {
+    std::vector<NodePtr> disj;
+    for (int g = 0; g < total_states; ++g) {
+      disj.push_back(lbl(t, g));
+      all_pairs.push_back(lbl(t, g));
+    }
+    any_type[t] = OrAll(std::move(disj));
+  }
+
+  std::vector<NodePtr> conjuncts;
+  const PathPtr descendants = AxStar(Axis::kChild);
+
+  // Every node carries a witness label.
+  conjuncts.push_back(Every(descendants, OrAll(all_pairs)));
+
+  // (1) The root has the root type (any state component).
+  conjuncts.push_back(any_type[edtd.TypeIndex(edtd.root_type())]);
+
+  // (3) Leaves: A_{L¹(n)} accepts ε.
+  {
+    std::vector<NodePtr> ok;
+    for (int t = 0; t < num_types; ++t) {
+      const Nfa& a = automata[t];
+      Bits init = a.InitialSet();
+      if (a.AnyAccepting(init)) ok.push_back(any_type[t]);
+    }
+    conjuncts.push_back(Every(Filter(descendants, Not(Some(Ax(Axis::kChild)))), OrAll(ok)));
+  }
+
+  // (2) per parent type p': runs start initial, respect δ, end final.
+  for (int pt = 0; pt < num_types; ++pt) {
+    const Nfa& a = automata[pt];
+    const PathPtr at_parent = Filter(descendants, any_type[pt]);
+
+    // First children carry an initial state of A_{p'}.
+    {
+      std::vector<NodePtr> ok;
+      Bits init = a.InitialSet();
+      init.ForEach([&](int q) {
+        for (int t = 0; t < num_types; ++t) ok.push_back(lbl(t, offset[pt] + q));
+      });
+      PathPtr first_child = Filter(Ax(Axis::kChild), Not(Some(Ax(Axis::kLeft))));
+      conjuncts.push_back(Every(Seq(at_parent, first_child), OrAll(ok)));
+    }
+
+    // Transitions: a child labeled (p, q) with a next sibling forces the
+    // sibling's state into δ(q, p) (the displayed conjunct of Prop. 6).
+    for (int q = 0; q < a.num_states(); ++q) {
+      for (int p = 0; p < num_types; ++p) {
+        std::vector<NodePtr> ok;
+        for (const Nfa::Transition& tr : a.transitions()) {
+          if (tr.from != q || tr.symbol != p) continue;
+          for (int t2 = 0; t2 < num_types; ++t2) ok.push_back(lbl(t2, offset[pt] + tr.to));
+        }
+        PathPtr here = Seq(at_parent, Filter(Ax(Axis::kChild), lbl(p, offset[pt] + q)));
+        conjuncts.push_back(Every(Seq(here, Ax(Axis::kRight)), OrAll(ok)));
+      }
+    }
+
+    // Last children: δ(q, p) must contain a final state.
+    {
+      std::vector<NodePtr> ok;
+      for (int q = 0; q < a.num_states(); ++q) {
+        for (int p = 0; p < num_types; ++p) {
+          bool final_reachable = false;
+          for (const Nfa::Transition& tr : a.transitions()) {
+            if (tr.from != q || tr.symbol != p) continue;
+            for (int f : a.accepting()) final_reachable = final_reachable || f == tr.to;
+          }
+          if (final_reachable) ok.push_back(lbl(p, offset[pt] + q));
+        }
+      }
+      PathPtr last_child = Filter(Ax(Axis::kChild), Not(Some(Ax(Axis::kRight))));
+      conjuncts.push_back(Every(Seq(at_parent, last_child), OrAll(ok)));
+    }
+  }
+
+  // φ': each concrete label p becomes ⋁ {lbl(t, g) : μ(t) = p}.
+  std::map<std::string, NodePtr> subst;
+  for (const std::string& concrete : edtd.ConcreteLabels()) {
+    std::vector<NodePtr> disj;
+    for (int t = 0; t < num_types; ++t) {
+      if (edtd.types()[t].concrete_label == concrete) disj.push_back(any_type[t]);
+    }
+    subst[concrete] = OrAll(std::move(disj));
+  }
+  NodePtr phi_prime = ReplaceLabels(phi, subst);
+
+  // ψ ∧ ¬⟨↑⟩ ∧ ⟨↓*[φ']⟩ — evaluated at the root.
+  conjuncts.push_back(Not(Some(Ax(Axis::kParent))));
+  conjuncts.push_back(Some(Filter(descendants, phi_prime)));
+  return AndAll(std::move(conjuncts));
+}
+
+namespace {
+
+std::string StripWitnessLabel(const std::string& label, const Edtd& edtd) {
+  size_t sep = label.rfind("__");
+  if (sep == std::string::npos) return label;
+  std::string abstract_label = label.substr(0, sep);
+  int idx = edtd.TypeIndex(abstract_label);
+  if (idx < 0) return label;
+  return edtd.types()[idx].concrete_label;
+}
+
+void StripSubtree(const XmlTree& src, NodeId from, const Edtd& edtd, XmlTree* dst,
+                  NodeId to) {
+  for (NodeId c = src.first_child(from); c != kNoNode; c = src.next_sibling(c)) {
+    std::vector<std::string> labels;
+    for (const std::string& l : src.labels(c)) {
+      labels.push_back(StripWitnessLabel(l, edtd));
+    }
+    NodeId copied = dst->AddChild(to, std::move(labels));
+    StripSubtree(src, c, edtd, dst, copied);
+  }
+}
+
+}  // namespace
+
+XmlTree StripWitnessLabels(const XmlTree& tree, const Edtd& edtd) {
+  std::vector<std::string> labels;
+  for (const std::string& l : tree.labels(tree.root())) {
+    labels.push_back(StripWitnessLabel(l, edtd));
+  }
+  XmlTree out(std::move(labels));
+  StripSubtree(tree, tree.root(), edtd, &out, out.root());
+  return out;
+}
+
+}  // namespace xpc

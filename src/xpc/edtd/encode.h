@@ -1,0 +1,46 @@
+#ifndef XPC_EDTD_ENCODE_H_
+#define XPC_EDTD_ENCODE_H_
+
+#include <set>
+#include <string>
+
+#include "xpc/edtd/edtd.h"
+#include "xpc/tree/xml_tree.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Replaces every axis occurrence τ (and τ*) in the expression with
+/// τ[¬excluded] (respectively (τ[¬excluded])*), making the expression blind
+/// to nodes labeled `excluded`. This is the axis-guarding step shared by
+/// Propositions 4, 5 and the let-elimination of Lemma 18.
+NodePtr GuardAxes(const NodePtr& node, const NodePtr& excluded);
+PathPtr GuardAxes(const PathPtr& path, const NodePtr& excluded);
+
+/// Proposition 5: the "as nonrestrictive as possible" EDTD over the label
+/// set `labels` plus a fresh root label `fresh_root`: the root is labeled
+/// `fresh_root` and has exactly one child; below it, any tree over `labels`.
+Edtd NonRestrictiveEdtd(const std::set<std::string>& labels, const std::string& fresh_root);
+
+/// Proposition 6: reduces node satisfiability w.r.t. an EDTD to plain node
+/// satisfiability. Returns ψ ∧ ¬⟨↑⟩ ∧ ⟨↓*[φ']⟩ over *witness-tree* labels of
+/// the form `t__q` (abstract label t, content-NFA state q): the formula is
+/// satisfiable iff φ is satisfiable w.r.t. `edtd`.
+///
+/// The encoding is the paper's: condition (1) fixes the root type, (2) makes
+/// every run start initial / respect transitions / end final, (3) constrains
+/// leaves; φ' replaces each label p by the disjunction of all witness labels
+/// t__q with μ(t) = p. Content NFAs are ε-eliminated first so that the
+/// transition constraints are local.
+NodePtr EncodeEdtdSatisfiability(const NodePtr& phi, const Edtd& edtd);
+
+/// The witness label `t__q`.
+std::string WitnessLabel(const std::string& abstract_label, int state);
+
+/// Maps a tree over witness labels `t__q` back to concrete labels μ(t)
+/// (labels that do not parse as witness labels of `edtd` are kept).
+XmlTree StripWitnessLabels(const XmlTree& tree, const Edtd& edtd);
+
+}  // namespace xpc
+
+#endif  // XPC_EDTD_ENCODE_H_

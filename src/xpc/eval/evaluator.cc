@@ -1,0 +1,125 @@
+#include "xpc/eval/evaluator.h"
+
+namespace xpc {
+
+Relation Evaluator::EvalPath(const PathPtr& path, const VarEnv& env) const {
+  const int n = tree_.size();
+  switch (path->kind) {
+    case PathKind::kAxis:
+      return Relation::OfAxis(tree_, path->axis);
+    case PathKind::kAxisStar:
+      return Relation::OfAxis(tree_, path->axis).ReflexiveTransitiveClosure();
+    case PathKind::kSelf:
+      return Relation::Identity(n);
+    case PathKind::kSeq:
+      return EvalPath(path->left, env).Compose(EvalPath(path->right, env));
+    case PathKind::kUnion: {
+      Relation r = EvalPath(path->left, env);
+      r.UnionWith(EvalPath(path->right, env));
+      return r;
+    }
+    case PathKind::kFilter:
+      return EvalPath(path->left, env).FilterTargets(EvalNode(path->filter, env));
+    case PathKind::kStar:
+      return EvalPath(path->left, env).ReflexiveTransitiveClosure();
+    case PathKind::kIntersect: {
+      Relation r = EvalPath(path->left, env);
+      r.IntersectWith(EvalPath(path->right, env));
+      return r;
+    }
+    case PathKind::kComplement: {
+      Relation r = EvalPath(path->left, env);
+      r.SubtractWith(EvalPath(path->right, env));
+      return r;
+    }
+    case PathKind::kFor: {
+      // ⟦for $i in α return β⟧ = {(n, m) | ∃k. (n, k) ∈ ⟦α⟧_g and
+      //                                       (n, m) ∈ ⟦β⟧_{g[i ↦ k]}}.
+      const Relation in = EvalPath(path->left, env);
+      Relation out(n);
+      VarEnv extended = env;
+      for (NodeId k = 0; k < n; ++k) {
+        // Sources that can bind $i to k.
+        bool any_source = false;
+        for (NodeId src = 0; src < n; ++src) {
+          if (in.Contains(src, k)) {
+            any_source = true;
+            break;
+          }
+        }
+        if (!any_source) continue;
+        extended[path->var] = k;
+        const Relation body = EvalPath(path->right, extended);
+        for (NodeId src = 0; src < n; ++src) {
+          if (!in.Contains(src, k)) continue;
+          for (NodeId dst = 0; dst < n; ++dst) {
+            if (body.Contains(src, dst)) out.Insert(src, dst);
+          }
+        }
+      }
+      return out;
+    }
+  }
+  return Relation(n);
+}
+
+NodeSet Evaluator::EvalNode(const NodePtr& node, const VarEnv& env) const {
+  const int n = tree_.size();
+  switch (node->kind) {
+    case NodeKind::kLabel: {
+      NodeSet s(n);
+      for (NodeId i = 0; i < n; ++i) {
+        if (tree_.HasLabel(i, node->label)) s.Insert(i);
+      }
+      return s;
+    }
+    case NodeKind::kTrue: {
+      NodeSet s(n);
+      for (NodeId i = 0; i < n; ++i) s.Insert(i);
+      return s;
+    }
+    case NodeKind::kSome:
+      return EvalPath(node->path, env).Domain();
+    case NodeKind::kNot: {
+      NodeSet s = EvalNode(node->child1, env);
+      s.Complement();
+      return s;
+    }
+    case NodeKind::kAnd: {
+      NodeSet s = EvalNode(node->child1, env);
+      s.IntersectWith(EvalNode(node->child2, env));
+      return s;
+    }
+    case NodeKind::kOr: {
+      NodeSet s = EvalNode(node->child1, env);
+      s.UnionWith(EvalNode(node->child2, env));
+      return s;
+    }
+    case NodeKind::kPathEq: {
+      // ⟦α ≈ β⟧ = {n | ∃m. (n, m) ∈ ⟦α⟧ ∩ ⟦β⟧}.
+      Relation r = EvalPath(node->path, env);
+      r.IntersectWith(EvalPath(node->path2, env));
+      return r.Domain();
+    }
+    case NodeKind::kIsVar: {
+      NodeSet s(n);
+      auto it = env.find(node->var);
+      if (it != env.end()) s.Insert(it->second);
+      return s;
+    }
+  }
+  return NodeSet(n);
+}
+
+bool Evaluator::SatisfiedSomewhere(const NodePtr& node) const {
+  return !EvalNode(node).Empty();
+}
+
+bool Evaluator::ContainedIn(const PathPtr& alpha, const PathPtr& beta) const {
+  Relation a = EvalPath(alpha);
+  const Relation b = EvalPath(beta);
+  a.SubtractWith(b);
+  return a.Empty();
+}
+
+}  // namespace xpc

@@ -1,0 +1,46 @@
+#ifndef XPC_EVAL_EVALUATOR_H_
+#define XPC_EVAL_EVALUATOR_H_
+
+#include <map>
+#include <string>
+
+#include "xpc/eval/relation.h"
+#include "xpc/tree/xml_tree.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// A variable assignment g: the environment for for-loop variables
+/// (Section 7). Maps variable names to nodes.
+using VarEnv = std::map<std::string, NodeId>;
+
+/// The ground-truth denotational evaluator: implements ⟦·⟧_PExpr and
+/// ⟦·⟧_NExpr exactly as defined in Table II and Sections 2.2 / 7, for the
+/// *full* language CoreXPath(≈, ∩, −, for, *), on concrete (possibly
+/// multi-labeled) trees.
+///
+/// This evaluator is the semantic reference against which every decision
+/// procedure, translation, and automaton in the library is validated.
+class Evaluator {
+ public:
+  explicit Evaluator(const XmlTree& tree) : tree_(tree) {}
+
+  /// ⟦α⟧_PExpr^{T,g}.
+  Relation EvalPath(const PathPtr& path, const VarEnv& env = {}) const;
+
+  /// ⟦φ⟧_NExpr^{T,g}.
+  NodeSet EvalNode(const NodePtr& node, const VarEnv& env = {}) const;
+
+  /// Convenience: does some node satisfy φ?
+  bool SatisfiedSomewhere(const NodePtr& node) const;
+
+  /// Convenience: ⟦α⟧ ⊆ ⟦β⟧ on this tree?
+  bool ContainedIn(const PathPtr& alpha, const PathPtr& beta) const;
+
+ private:
+  const XmlTree& tree_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_EVAL_EVALUATOR_H_

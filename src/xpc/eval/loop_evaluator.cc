@@ -1,0 +1,161 @@
+#include "xpc/eval/loop_evaluator.h"
+
+#include <cassert>
+
+namespace xpc {
+
+namespace {
+
+// Move matrices S_m for one automaton: S_m(q, q') iff (q, m, q') ∈ Δ.
+struct MoveMatrices {
+  StateRel down1, up1, right, left;
+};
+
+MoveMatrices BuildMoveMatrices(const PathAutomaton& a) {
+  MoveMatrices m{StateRel(a.num_states), StateRel(a.num_states), StateRel(a.num_states),
+                 StateRel(a.num_states)};
+  for (const PathAutomaton::Transition& t : a.transitions) {
+    switch (t.move) {
+      case Move::kDown1: m.down1.Set(t.from, t.to); break;
+      case Move::kUp1: m.up1.Set(t.from, t.to); break;
+      case Move::kRight: m.right.Set(t.from, t.to); break;
+      case Move::kLeft: m.left.Set(t.from, t.to); break;
+      case Move::kTest: break;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+LoopEvaluator::LoopEvaluator(const XmlTree& tree) : tree_(tree) {}
+
+const LoopEvaluator::AutomatonData& LoopEvaluator::DataFor(const PathAutoPtr& automaton) {
+  auto it = automata_.find(automaton.get());
+  if (it != automata_.end()) return it->second;
+
+  const PathAutomaton& a = *automaton;
+  const int nq = a.num_states;
+  const int nn = tree_.size();
+  MoveMatrices moves = BuildMoveMatrices(a);
+
+  // Evaluate all tests first (strictly smaller expressions — terminates).
+  // test_true[i][v]: test of transition i true at node v.
+  std::vector<const std::vector<bool>*> test_true(a.transitions.size(), nullptr);
+  for (size_t i = 0; i < a.transitions.size(); ++i) {
+    if (a.transitions[i].move == Move::kTest) {
+      test_true[i] = &EvalAll(a.transitions[i].test);
+    }
+  }
+
+  // T_v: test-step generators at node v.
+  auto test_rel = [&](NodeId v) {
+    StateRel t(nq);
+    for (size_t i = 0; i < a.transitions.size(); ++i) {
+      if (test_true[i] != nullptr && (*test_true[i])[v]) {
+        t.Set(a.transitions[i].from, a.transitions[i].to);
+      }
+    }
+    return t;
+  };
+
+  // Bottom-up: D(v). Children always have larger NodeIds than parents.
+  std::vector<StateRel> below(nn);
+  for (NodeId v = nn - 1; v >= 0; --v) {
+    StateRel d = test_rel(v);
+    if (tree_.first_child(v) != kNoNode) {
+      d.UnionWith(moves.down1.Compose(below[tree_.first_child(v)]).Compose(moves.up1));
+    }
+    if (tree_.next_sibling(v) != kNoNode) {
+      d.UnionWith(moves.right.Compose(below[tree_.next_sibling(v)]).Compose(moves.left));
+    }
+    d.CloseReflexiveTransitive();
+    below[v] = std::move(d);
+  }
+
+  // Top-down: U(v), then L(v) = closure(D ∪ U).
+  AutomatonData data;
+  data.loops.assign(nn, StateRel(nq));
+  std::vector<StateRel> above(nn, StateRel(nq));
+  for (NodeId v = 0; v < nn; ++v) {
+    if (v != tree_.root()) {
+      const NodeId p = tree_.FcnsParent(v);
+      const bool via_first_child = tree_.FcnsParentEdge(v) == XmlTree::FcnsEdge::kFirstChild;
+      // M: walks p ⇝ p avoiding the subtree of v: tests at p, excursions
+      // into p's *other* FCNS child, and p's own up-excursions.
+      StateRel m = test_rel(p);
+      if (via_first_child) {
+        if (tree_.next_sibling(p) != kNoNode) {
+          m.UnionWith(moves.right.Compose(below[tree_.next_sibling(p)]).Compose(moves.left));
+        }
+      } else {
+        if (tree_.first_child(p) != kNoNode) {
+          m.UnionWith(moves.down1.Compose(below[tree_.first_child(p)]).Compose(moves.up1));
+        }
+      }
+      m.UnionWith(above[p]);
+      m.CloseReflexiveTransitive();
+      above[v] = via_first_child ? moves.up1.Compose(m).Compose(moves.down1)
+                                 : moves.left.Compose(m).Compose(moves.right);
+    }
+    StateRel l = below[v];
+    l.UnionWith(above[v]);
+    l.CloseReflexiveTransitive();
+    data.loops[v] = std::move(l);
+  }
+
+  pinned_autos_.push_back(automaton);
+  return automata_.emplace(automaton.get(), std::move(data)).first->second;
+}
+
+const std::vector<StateRel>& LoopEvaluator::LoopRelations(const PathAutoPtr& automaton) {
+  return DataFor(automaton).loops;
+}
+
+const std::vector<bool>& LoopEvaluator::EvalAll(const LExprPtr& expr) {
+  auto it = memo_.find(expr.get());
+  if (it != memo_.end()) return it->second;
+
+  const int nn = tree_.size();
+  std::vector<bool> result(nn, false);
+  switch (expr->kind) {
+    case LExpr::Kind::kLabel:
+      for (NodeId v = 0; v < nn; ++v) result[v] = tree_.HasLabel(v, expr->label);
+      break;
+    case LExpr::Kind::kTrue:
+      result.assign(nn, true);
+      break;
+    case LExpr::Kind::kNot: {
+      const std::vector<bool>& a = EvalAll(expr->a);
+      for (NodeId v = 0; v < nn; ++v) result[v] = !a[v];
+      break;
+    }
+    case LExpr::Kind::kAnd: {
+      const std::vector<bool>& a = EvalAll(expr->a);
+      const std::vector<bool>& b = EvalAll(expr->b);
+      for (NodeId v = 0; v < nn; ++v) result[v] = a[v] && b[v];
+      break;
+    }
+    case LExpr::Kind::kOr: {
+      const std::vector<bool>& a = EvalAll(expr->a);
+      const std::vector<bool>& b = EvalAll(expr->b);
+      for (NodeId v = 0; v < nn; ++v) result[v] = a[v] || b[v];
+      break;
+    }
+    case LExpr::Kind::kLoop: {
+      const AutomatonData& data = DataFor(expr->automaton);
+      for (NodeId v = 0; v < nn; ++v) {
+        result[v] = data.loops[v].Get(expr->q_from, expr->q_to);
+      }
+      break;
+    }
+  }
+  pinned_exprs_.push_back(expr);
+  return memo_.emplace(expr.get(), std::move(result)).first->second;
+}
+
+bool LoopEvaluator::EvalAt(const LExprPtr& expr, NodeId node) { return EvalAll(expr)[node]; }
+
+bool LoopEvaluator::AtRoot(const LExprPtr& expr) { return EvalAt(expr, tree_.root()); }
+
+}  // namespace xpc

@@ -1,0 +1,61 @@
+#ifndef XPC_EVAL_LOOP_EVALUATOR_H_
+#define XPC_EVAL_LOOP_EVALUATOR_H_
+
+#include <map>
+#include <vector>
+
+#include "xpc/pathauto/lexpr.h"
+#include "xpc/pathauto/state_relation.h"
+#include "xpc/tree/xml_tree.h"
+
+namespace xpc {
+
+/// Evaluates CoreXPath_NFA(*, loop) node expressions on a concrete tree via
+/// the LOOPS fixpoint of Lemma 11, organized as below/above excursion
+/// summaries on the FCNS view:
+///
+///   D(v) — walks v ⇝ v inside the FCNS subtree of v (bottom-up pass),
+///   U(v) — walks v ⇝ v leaving v upward first (top-down pass),
+///   L(v) = closure(D(v) ∪ U(v)),  and  v ⊨ loop(π_{q,q'}) iff L(v)(q, q').
+///
+/// Tests inside automata are evaluated recursively (they are strictly
+/// smaller expressions), so the computation is stratified exactly as in the
+/// paper's cl(φ′) construction. Results are memoized per automaton and per
+/// subexpression; the evaluator is therefore cheap to reuse for many
+/// queries against the same tree.
+///
+/// This class is the second, independent semantics pipeline of the library
+/// (normal form + LOOPS), differentially tested against `Evaluator`.
+class LoopEvaluator {
+ public:
+  explicit LoopEvaluator(const XmlTree& tree);
+
+  /// Truth value of `expr` at every node.
+  const std::vector<bool>& EvalAll(const LExprPtr& expr);
+
+  /// Truth at one node / at the root.
+  bool EvalAt(const LExprPtr& expr, NodeId node);
+  bool AtRoot(const LExprPtr& expr);
+
+  /// The full loop relation L(v) for every node of `automaton` (computing
+  /// and caching it if needed). Exposed for tests and the 2ATA module.
+  const std::vector<StateRel>& LoopRelations(const PathAutoPtr& automaton);
+
+ private:
+  struct AutomatonData {
+    std::vector<StateRel> loops;  // L(v), indexed by NodeId.
+  };
+
+  const AutomatonData& DataFor(const PathAutoPtr& automaton);
+
+  const XmlTree& tree_;
+  std::map<const PathAutomaton*, AutomatonData> automata_;
+  std::map<const LExpr*, std::vector<bool>> memo_;
+  // Keep LExpr/automaton pointers alive while memoized.
+  std::vector<LExprPtr> pinned_exprs_;
+  std::vector<PathAutoPtr> pinned_autos_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_EVAL_LOOP_EVALUATOR_H_

@@ -1,0 +1,146 @@
+#include "xpc/eval/relation.h"
+
+namespace xpc {
+
+std::vector<NodeId> NodeSet::ToVector() const {
+  std::vector<NodeId> out;
+  bits_.ForEach([&](int i) { out.push_back(i); });
+  return out;
+}
+
+Relation Relation::Identity(int num_nodes) {
+  Relation r(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) r.Insert(i, i);
+  return r;
+}
+
+Relation Relation::OfAxis(const XmlTree& tree, Axis axis) {
+  Relation r(tree.size());
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    switch (axis) {
+      case Axis::kChild:
+        for (NodeId c = tree.first_child(n); c != kNoNode; c = tree.next_sibling(c)) {
+          r.Insert(n, c);
+        }
+        break;
+      case Axis::kParent:
+        if (tree.parent(n) != kNoNode) r.Insert(n, tree.parent(n));
+        break;
+      case Axis::kRight:
+        if (tree.next_sibling(n) != kNoNode) r.Insert(n, tree.next_sibling(n));
+        break;
+      case Axis::kLeft:
+        if (tree.prev_sibling(n) != kNoNode) r.Insert(n, tree.prev_sibling(n));
+        break;
+    }
+  }
+  return r;
+}
+
+Relation Relation::Universal(int num_nodes) {
+  Relation r(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    for (int j = 0; j < num_nodes; ++j) r.Insert(i, j);
+  }
+  return r;
+}
+
+bool Relation::Empty() const {
+  for (const Bits& row : rows_) {
+    if (!row.None()) return false;
+  }
+  return true;
+}
+
+int Relation::Count() const {
+  int c = 0;
+  for (const Bits& row : rows_) c += row.Count();
+  return c;
+}
+
+void Relation::UnionWith(const Relation& o) {
+  for (int i = 0; i < n_; ++i) rows_[i].UnionWith(o.rows_[i]);
+}
+
+void Relation::IntersectWith(const Relation& o) {
+  for (int i = 0; i < n_; ++i) rows_[i].IntersectWith(o.rows_[i]);
+}
+
+void Relation::SubtractWith(const Relation& o) {
+  for (int i = 0; i < n_; ++i) rows_[i].SubtractWith(o.rows_[i]);
+}
+
+Relation Relation::Compose(const Relation& other) const {
+  Relation out(n_);
+  for (int i = 0; i < n_; ++i) {
+    rows_[i].ForEach([&](int j) { out.rows_[i].UnionWith(other.rows_[j]); });
+  }
+  return out;
+}
+
+Relation Relation::Transpose() const {
+  Relation out(n_);
+  for (int i = 0; i < n_; ++i) {
+    rows_[i].ForEach([&](int j) { out.rows_[j].Set(i); });
+  }
+  return out;
+}
+
+Relation Relation::ReflexiveTransitiveClosure() const {
+  // Per-source BFS over the successor rows.
+  Relation out(n_);
+  std::vector<int> stack;
+  for (int s = 0; s < n_; ++s) {
+    Bits& reach = const_cast<Bits&>(out.rows_[s]);
+    stack.clear();
+    reach.Set(s);
+    stack.push_back(s);
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      rows_[v].ForEach([&](int w) {
+        if (!reach.Get(w)) {
+          reach.Set(w);
+          stack.push_back(w);
+        }
+      });
+    }
+  }
+  return out;
+}
+
+Relation Relation::FilterTargets(const NodeSet& targets) const {
+  Relation out = *this;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      if (out.rows_[i].Get(j) && !targets.Contains(j)) out.rows_[i].Reset(j);
+    }
+  }
+  return out;
+}
+
+NodeSet Relation::Domain() const {
+  NodeSet s(n_);
+  for (int i = 0; i < n_; ++i) {
+    if (!rows_[i].None()) s.Insert(i);
+  }
+  return s;
+}
+
+NodeSet Relation::Loop() const {
+  NodeSet s(n_);
+  for (int i = 0; i < n_; ++i) {
+    if (rows_[i].Get(i)) s.Insert(i);
+  }
+  return s;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Relation::ToPairs() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (int i = 0; i < n_; ++i) {
+    rows_[i].ForEach([&](int j) { out.emplace_back(i, j); });
+  }
+  return out;
+}
+
+}  // namespace xpc

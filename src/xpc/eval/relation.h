@@ -1,0 +1,101 @@
+#ifndef XPC_EVAL_RELATION_H_
+#define XPC_EVAL_RELATION_H_
+
+#include <utility>
+#include <vector>
+
+#include "xpc/common/bits.h"
+#include "xpc/tree/xml_tree.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// A set of nodes of an `XmlTree`, as produced by node expressions.
+class NodeSet {
+ public:
+  NodeSet() = default;
+  explicit NodeSet(int num_nodes) : bits_(num_nodes) {}
+
+  int size() const { return bits_.size(); }
+  bool Contains(NodeId n) const { return bits_.Get(n); }
+  void Insert(NodeId n) { bits_.Set(n); }
+  void Remove(NodeId n) { bits_.Reset(n); }
+  bool Empty() const { return bits_.None(); }
+  int Count() const { return bits_.Count(); }
+
+  void UnionWith(const NodeSet& o) { bits_.UnionWith(o.bits_); }
+  void IntersectWith(const NodeSet& o) { bits_.IntersectWith(o.bits_); }
+  /// Complements relative to the full node set.
+  void Complement() {
+    for (int i = 0; i < bits_.size(); ++i) bits_.Assign(i, !bits_.Get(i));
+  }
+
+  /// Nodes in the set, ascending.
+  std::vector<NodeId> ToVector() const;
+
+  friend bool operator==(const NodeSet& a, const NodeSet& b) { return a.bits_ == b.bits_; }
+
+ private:
+  Bits bits_;
+};
+
+/// A binary relation on the nodes of an `XmlTree`, as produced by path
+/// expressions (⟦α⟧_PExpr of Table II). Stored as one bit row per source
+/// node.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(int num_nodes) : n_(num_nodes), rows_(num_nodes, Bits(num_nodes)) {}
+
+  /// The identity relation ⟦.⟧.
+  static Relation Identity(int num_nodes);
+
+  /// The relation R_τ of an atomic axis on `tree`.
+  static Relation OfAxis(const XmlTree& tree, Axis axis);
+
+  /// The universal relation N × N.
+  static Relation Universal(int num_nodes);
+
+  int num_nodes() const { return n_; }
+  bool Contains(NodeId a, NodeId b) const { return rows_[a].Get(b); }
+  void Insert(NodeId a, NodeId b) { rows_[a].Set(b); }
+  bool Empty() const;
+  int Count() const;
+
+  void UnionWith(const Relation& o);
+  void IntersectWith(const Relation& o);
+  void SubtractWith(const Relation& o);
+
+  /// Relational composition this ∘ other (⟦α/β⟧).
+  Relation Compose(const Relation& other) const;
+
+  /// The converse relation.
+  Relation Transpose() const;
+
+  /// Reflexive-transitive closure (⟦α*⟧).
+  Relation ReflexiveTransitiveClosure() const;
+
+  /// Restricts targets to `targets` (⟦α[φ]⟧).
+  Relation FilterTargets(const NodeSet& targets) const;
+
+  /// {n | ∃m. (n,m) ∈ R} — the domain, used for ⟨α⟩.
+  NodeSet Domain() const;
+
+  /// {n | (n,n) ∈ R} — used for loop(α) / α ≈ ..
+  NodeSet Loop() const;
+
+  /// All pairs, lexicographically.
+  std::vector<std::pair<NodeId, NodeId>> ToPairs() const;
+
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.n_ == b.n_ && a.rows_ == b.rows_;
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<Bits> rows_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_EVAL_RELATION_H_

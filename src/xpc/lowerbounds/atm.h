@@ -1,0 +1,69 @@
+#ifndef XPC_LOWERBOUNDS_ATM_H_
+#define XPC_LOWERBOUNDS_ATM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xpc {
+
+/// An alternating Turing machine (Section 6.1): states are partitioned into
+/// existential, universal, accepting and rejecting; transitions move the
+/// head left or right. Machines here always halt on the inputs used (the
+/// reductions assume computations of bounded length).
+struct Atm {
+  enum class StateKind { kExists, kForall, kAccept, kReject };
+
+  struct Transition {
+    int state;       ///< Current state.
+    int read;        ///< Symbol under the head.
+    int next_state;
+    int write;
+    int dir;         ///< -1 = L, +1 = R.
+  };
+
+  std::vector<StateKind> state_kinds;  ///< Indexed by state id.
+  int start_state = 0;
+  int num_symbols = 2;  ///< Work alphabet size; symbol ids 0..num_symbols-1.
+  int blank = 0;        ///< The blank symbol ␣.
+  std::vector<Transition> transitions;
+
+  int num_states() const { return static_cast<int>(state_kinds.size()); }
+
+  /// Transitions applicable in `state` reading `symbol` (Δ(q, a)).
+  std::vector<Transition> TransitionsFor(int state, int symbol) const;
+
+  /// Human-readable names used by the encodings: state label `st<i>`,
+  /// symbol label `sy<a>`.
+  static std::string StateLabel(int state);
+  static std::string SymbolLabel(int symbol);
+};
+
+/// Result of a bounded ATM simulation.
+enum class AtmOutcome { kAccept, kReject, kBudgetExceeded };
+
+/// Direct recursive evaluation of the acceptance condition on a tape of
+/// `tape_cells` cells (the machine never leaves them on the inputs used)
+/// with at most `max_configs` distinct configurations explored.
+AtmOutcome SimulateAtm(const Atm& atm, const std::vector<int>& word, int tape_cells,
+                       int64_t max_configs = 100000);
+
+// --- Sample machines used by the benchmarks and tests -------------------
+
+/// Deterministic: accepts iff the number of 1-symbols on the input is even
+/// (sweeps right once; alphabet {0,1} with blank 0 — input ends at the
+/// tape's right edge).
+Atm AtmEvenOnes();
+
+/// Alternating toy: in the ∃ state the machine guesses to flip or keep the
+/// current cell and moves right; at the right edge a ∀ state re-checks both
+/// options. Accepts every input (used to exercise ∃/∀ in the encodings).
+Atm AtmGuessAndVerify();
+
+/// Immediately accepting / rejecting machines.
+Atm AtmAlwaysAccept();
+Atm AtmAlwaysReject();
+
+}  // namespace xpc
+
+#endif  // XPC_LOWERBOUNDS_ATM_H_

@@ -1,0 +1,654 @@
+#include "xpc/lowerbounds/atm_encodings.h"
+
+#include <cassert>
+#include <functional>
+
+#include "xpc/xpath/build.h"
+
+namespace xpc {
+
+namespace {
+
+// --- Shared helpers -----------------------------------------------------
+
+PathPtr Pow(Axis axis, int i) {
+  if (i == 0) return Self();
+  PathPtr p = Ax(axis);
+  for (int j = 1; j < i; ++j) p = Seq(p, Ax(axis));
+  return p;
+}
+
+NodePtr CounterBit(const char* stem, int i) { return Label(stem + std::to_string(i)); }
+
+// .[±bit]/travel[±bit]: same bit value at source and target.
+PathPtr EqBit(const NodePtr& bit, const PathPtr& travel) {
+  return Union(Seq(Test(bit), Filter(travel, bit)),
+               Seq(Test(Not(bit)), Filter(travel, Not(bit))));
+}
+
+// Crossed bit values.
+PathPtr NeqBit(const NodePtr& bit, const PathPtr& travel) {
+  return Union(Seq(Test(bit), Filter(travel, Not(bit))),
+               Seq(Test(Not(bit)), Filter(travel, bit)));
+}
+
+// ⋂_i same-bit(travel) — travels to nodes with the same counter value.
+PathPtr EqCounter(const char* stem, int k, const PathPtr& travel) {
+  std::vector<PathPtr> parts;
+  for (int i = 0; i < k; ++i) parts.push_back(EqBit(CounterBit(stem, i), travel));
+  return IntersectAll(std::move(parts));
+}
+
+// ⋃_i crossed-bit(travel) — travels to nodes with a different counter value.
+PathPtr NeqCounter(const char* stem, int k, const PathPtr& travel) {
+  std::vector<PathPtr> parts;
+  for (int i = 0; i < k; ++i) parts.push_back(NeqBit(CounterBit(stem, i), travel));
+  return UnionAll(std::move(parts));
+}
+
+// ⋂_i (α_flip-i ∪ α_keep-i): travels to nodes whose counter value is the
+// source's plus one (the α_Rcur pattern; bit i flips iff bits 0..i-1 are
+// all set).
+PathPtr IncrCounter(const char* stem, int k, const PathPtr& travel) {
+  std::vector<PathPtr> parts;
+  for (int i = 0; i < k; ++i) {
+    std::vector<NodePtr> low;
+    for (int j = 0; j < i; ++j) low.push_back(CounterBit(stem, j));
+    NodePtr all_low_set = AndAll(low);  // ⊤ when i == 0.
+    PathPtr flip = Seq(Test(all_low_set), NeqBit(CounterBit(stem, i), travel));
+    PathPtr keep = Seq(Test(Not(all_low_set)), EqBit(CounterBit(stem, i), travel));
+    parts.push_back(Union(flip, keep));
+  }
+  return IntersectAll(std::move(parts));
+}
+
+// Counter value decreases by one (the α_Lcur pattern; bit i flips iff bits
+// 0..i-1 are all clear).
+PathPtr DecrCounter(const char* stem, int k, const PathPtr& travel) {
+  std::vector<PathPtr> parts;
+  for (int i = 0; i < k; ++i) {
+    std::vector<NodePtr> low;
+    for (int j = 0; j < i; ++j) low.push_back(Not(CounterBit(stem, j)));
+    NodePtr all_low_clear = AndAll(low);
+    PathPtr flip = Seq(Test(all_low_clear), NeqBit(CounterBit(stem, i), travel));
+    PathPtr keep = Seq(Test(Not(all_low_clear)), EqBit(CounterBit(stem, i), travel));
+    parts.push_back(Union(flip, keep));
+  }
+  return IntersectAll(std::move(parts));
+}
+
+// The node expression "C = value" over k bits.
+NodePtr CounterEquals(const char* stem, int k, int value) {
+  std::vector<NodePtr> parts;
+  for (int i = 0; i < k; ++i) {
+    NodePtr bit = CounterBit(stem, i);
+    parts.push_back(((value >> i) & 1) ? bit : Not(bit));
+  }
+  return AndAll(std::move(parts));
+}
+
+NodePtr MarkerLabelOf(int dir, int state) {
+  return Label((dir < 0 ? "mL" : "mR") + std::to_string(state));
+}
+
+struct MachineParts {
+  const Atm& atm;
+  std::vector<NodePtr> states;   // st<q>.
+  std::vector<NodePtr> symbols;  // sy<a>.
+  NodePtr any_state;
+
+  explicit MachineParts(const Atm& m) : atm(m) {
+    for (int q = 0; q < m.num_states(); ++q) states.push_back(Label(Atm::StateLabel(q)));
+    for (int a = 0; a < m.num_symbols; ++a) symbols.push_back(Label(Atm::SymbolLabel(a)));
+    std::vector<NodePtr> sts = states;
+    any_state = OrAll(std::move(sts));
+  }
+
+  bool Halting(int q) const {
+    return atm.state_kinds[q] == Atm::StateKind::kAccept ||
+           atm.state_kinds[q] == Atm::StateKind::kReject;
+  }
+
+  // Exactly one symbol, at most one state.
+  NodePtr WellLabeledCell() const {
+    std::vector<NodePtr> one_symbol;
+    for (size_t a = 0; a < symbols.size(); ++a) {
+      std::vector<NodePtr> conj{symbols[a]};
+      for (size_t b = 0; b < symbols.size(); ++b) {
+        if (b != a) conj.push_back(Not(symbols[b]));
+      }
+      one_symbol.push_back(AndAll(std::move(conj)));
+    }
+    std::vector<NodePtr> parts{OrAll(std::move(one_symbol))};
+    for (size_t q = 0; q < states.size(); ++q) {
+      for (size_t p = q + 1; p < states.size(); ++p) {
+        parts.push_back(Not(And(states[q], states[p])));
+      }
+    }
+    return AndAll(std::move(parts));
+  }
+
+  // The initial-configuration constraint for a cell, from the input word
+  // and the cell's C value: C = 0 carries the start state and w_0; C = j <
+  // |w| carries w_j; all other cells are blank. Non-initial positions carry
+  // no state.
+  NodePtr InitialCell(const std::vector<int>& word, int k) const {
+    std::vector<NodePtr> parts;
+    std::vector<NodePtr> small;
+    for (size_t j = 0; j < word.size(); ++j) {
+      NodePtr at_j = CounterEquals("c", k, static_cast<int>(j));
+      small.push_back(at_j);
+      NodePtr cell = symbols[word[j]];
+      cell = j == 0 ? And(cell, states[atm.start_state]) : And(cell, Not(any_state));
+      parts.push_back(Implies(at_j, cell));
+    }
+    parts.push_back(Implies(Not(OrAll(std::move(small))),
+                            And(symbols[atm.blank], Not(any_state))));
+    return AndAll(std::move(parts));
+  }
+
+  // φ_acc: the rejecting states never occur.
+  NodePtr NoReject(const PathPtr& cells) const {
+    std::vector<NodePtr> parts;
+    for (int q = 0; q < atm.num_states(); ++q) {
+      if (atm.state_kinds[q] == Atm::StateKind::kReject) {
+        parts.push_back(Every(cells, Not(states[q])));
+      }
+    }
+    return AndAll(std::move(parts));
+  }
+};
+
+}  // namespace
+
+// --- Section 6.2: CoreXPath_{↓,↑}(∩) -------------------------------------
+
+NodePtr EncodeVertical(const Atm& atm, const std::vector<int>& word) {
+  const int k = static_cast<int>(word.size());
+  assert(k >= 1);
+  MachineParts mp(atm);
+  NodePtr r = Label("r");
+
+  PathPtr alpha_root = Filter(AxStar(Axis::kChild), r);
+  PathPtr alpha_cell = Seq(alpha_root, Pow(Axis::kChild, k));
+  PathPtr alpha_cur = Seq(Pow(Axis::kParent, k), Pow(Axis::kChild, k));
+  PathPtr alpha_nxt = SeqAll({Pow(Axis::kParent, k + 1), Filter(Ax(Axis::kChild), Not(r)),
+                              Filter(Ax(Axis::kChild), r), Pow(Axis::kChild, k)});
+
+  PathPtr eq_cur = EqCounter("c", k, alpha_cur);
+  PathPtr neq_cur = NeqCounter("c", k, alpha_cur);
+  PathPtr eq_nxt = EqCounter("c", k, alpha_nxt);
+  PathPtr rcur = IncrCounter("c", k, alpha_cur);
+  PathPtr lcur = DecrCounter("c", k, alpha_cur);
+
+  std::vector<NodePtr> conjuncts;
+
+  // φ_conf: below every configuration root, a full binary counter tree.
+  for (int i = 0; i < k; ++i) {
+    NodePtr ci = CounterBit("c", i);
+    NodePtr has_set =
+        Some(Filter(Ax(Axis::kChild), And(ci, Every(AxStar(Axis::kChild), ci))));
+    NodePtr has_clear =
+        Some(Filter(Ax(Axis::kChild), And(Not(ci), Every(AxStar(Axis::kChild), Not(ci)))));
+    conjuncts.push_back(Every(Seq(alpha_root, Pow(Axis::kChild, i)), And(has_set, has_clear)));
+  }
+
+  // φ_uni: cells with equal C agree on all labels.
+  {
+    std::vector<NodePtr> agree;
+    for (const NodePtr& a : mp.symbols) {
+      agree.push_back(And(Implies(a, Every(eq_cur, a)), Implies(Not(a), Every(eq_cur, Not(a)))));
+    }
+    for (const NodePtr& q : mp.states) {
+      agree.push_back(And(Implies(q, Every(eq_cur, q)), Implies(Not(q), Every(eq_cur, Not(q)))));
+    }
+    conjuncts.push_back(Every(alpha_cell, AndAll(std::move(agree))));
+  }
+
+  // φ_tape: well-labeled cells, and the initial configuration below ↓[r].
+  conjuncts.push_back(Every(alpha_cell, mp.WellLabeledCell()));
+  conjuncts.push_back(Some(Filter(Ax(Axis::kChild), r)));
+  conjuncts.push_back(Every(Seq(Filter(Ax(Axis::kChild), r), Pow(Axis::kChild, k)),
+                            mp.InitialCell(word, k)));
+
+  // φ_head: at most one head position per configuration.
+  {
+    std::vector<NodePtr> parts;
+    for (const NodePtr& q : mp.states) {
+      for (const NodePtr& p : mp.states) {
+        parts.push_back(Implies(q, Every(neq_cur, Not(p))));
+      }
+    }
+    conjuncts.push_back(Every(alpha_cell, AndAll(std::move(parts))));
+  }
+
+  // φ_id: cells away from the head keep their symbol.
+  {
+    std::vector<NodePtr> parts;
+    for (const NodePtr& a : mp.symbols) {
+      parts.push_back(Implies(And(a, Not(mp.any_state)), Every(eq_nxt, a)));
+    }
+    conjuncts.push_back(Every(alpha_cell, AndAll(std::move(parts))));
+  }
+
+  // φ_Δ: transitions.
+  {
+    std::vector<NodePtr> parts;
+    for (int q = 0; q < atm.num_states(); ++q) {
+      if (mp.Halting(q)) continue;
+      bool exists = atm.state_kinds[q] == Atm::StateKind::kExists;
+      for (int a = 0; a < atm.num_symbols; ++a) {
+        std::vector<NodePtr> branches;
+        for (const Atm::Transition& t : atm.TransitionsFor(q, a)) {
+          const PathPtr& mcur = t.dir < 0 ? lcur : rcur;
+          branches.push_back(
+              Some(Filter(eq_nxt, And(mp.symbols[t.write], Every(mcur, mp.states[t.next_state])))));
+        }
+        NodePtr effect = exists ? OrAll(std::move(branches)) : AndAll(std::move(branches));
+        parts.push_back(Implies(And(mp.states[q], mp.symbols[a]), effect));
+      }
+    }
+    conjuncts.push_back(Every(alpha_cell, AndAll(std::move(parts))));
+  }
+
+  conjuncts.push_back(mp.NoReject(alpha_cell));
+  return AndAll(std::move(conjuncts));
+}
+
+// --- Section 6.3: CoreXPath_{↓,→}(∩) -------------------------------------
+
+NodePtr EncodeForward(const Atm& atm, const std::vector<int>& word) {
+  const int k = static_cast<int>(word.size());
+  assert(k >= 1);
+  MachineParts mp(atm);
+  NodePtr r = Label("r");
+
+  PathPtr alpha_root = Filter(AxStar(Axis::kChild), r);
+  PathPtr alpha_cell = Filter(AxStar(Axis::kChild), Not(r));
+  PathPtr gt_cur = AxPlus(Axis::kRight);
+  PathPtr alpha_nxt = Seq(Filter(AxPlus(Axis::kRight), r), Ax(Axis::kChild));
+
+  PathPtr eq_cur = EqCounter("c", k, gt_cur);
+  PathPtr neq_cur = NeqCounter("c", k, gt_cur);
+  PathPtr eq_nxt = EqCounter("c", k, alpha_nxt);
+  PathPtr rcur = IncrCounter("c", k, gt_cur);
+
+  std::vector<NodePtr> conjuncts;
+
+  // The satisfying node is a configuration root.
+  conjuncts.push_back(r);
+
+  // φ'_conf.
+  {
+    std::vector<NodePtr> zero{Not(r)};
+    for (int i = 0; i < k; ++i) zero.push_back(Not(CounterBit("c", i)));
+    conjuncts.push_back(Every(alpha_root, Some(Filter(Ax(Axis::kChild), AndAll(zero)))));
+
+    std::vector<NodePtr> not_max;
+    for (int i = 0; i < k; ++i) not_max.push_back(Not(CounterBit("c", i)));
+    conjuncts.push_back(
+        Every(alpha_cell, Implies(OrAll(std::move(not_max)), Some(Filter(rcur, Not(r))))));
+    // Cells are leaves.
+    conjuncts.push_back(Every(alpha_cell, Not(Some(Ax(Axis::kChild)))));
+    // r-children sit to the right of all cells.
+    conjuncts.push_back(
+        Every(SeqAll({alpha_root, Filter(Ax(Axis::kChild), r), AxPlus(Axis::kRight)}), r));
+  }
+
+  // φ'_uni.
+  {
+    std::vector<NodePtr> agree;
+    for (const NodePtr& a : mp.symbols) {
+      agree.push_back(And(Implies(a, Every(eq_cur, a)), Implies(Not(a), Every(eq_cur, Not(a)))));
+    }
+    for (const NodePtr& q : mp.states) {
+      agree.push_back(And(Implies(q, Every(eq_cur, q)), Implies(Not(q), Every(eq_cur, Not(q)))));
+    }
+    conjuncts.push_back(Every(alpha_cell, AndAll(std::move(agree))));
+  }
+
+  // φ'_tape: cells well-labeled; the children of the satisfying node form
+  // the initial configuration.
+  conjuncts.push_back(Every(alpha_cell, mp.WellLabeledCell()));
+  conjuncts.push_back(
+      Every(Filter(Ax(Axis::kChild), Not(r)), mp.InitialCell(word, k)));
+
+  // φ'_head.
+  {
+    std::vector<NodePtr> parts;
+    for (const NodePtr& q : mp.states) {
+      for (const NodePtr& p : mp.states) {
+        parts.push_back(Implies(q, Every(neq_cur, Not(p))));
+      }
+    }
+    conjuncts.push_back(Every(alpha_cell, AndAll(std::move(parts))));
+  }
+
+  // φ'_id.
+  {
+    std::vector<NodePtr> parts;
+    for (const NodePtr& a : mp.symbols) {
+      parts.push_back(Implies(And(a, Not(mp.any_state)), Every(eq_nxt, a)));
+    }
+    conjuncts.push_back(Every(alpha_cell, AndAll(std::move(parts))));
+  }
+
+  // φ'_Δ with direction markers.
+  {
+    std::vector<NodePtr> parts;
+    for (int q = 0; q < atm.num_states(); ++q) {
+      if (mp.Halting(q)) continue;
+      bool exists = atm.state_kinds[q] == Atm::StateKind::kExists;
+      for (int a = 0; a < atm.num_symbols; ++a) {
+        std::vector<NodePtr> branches;
+        for (const Atm::Transition& t : atm.TransitionsFor(q, a)) {
+          branches.push_back(Some(
+              Filter(eq_nxt, And(mp.symbols[t.write], MarkerLabelOf(t.dir, t.next_state)))));
+        }
+        NodePtr effect = exists ? OrAll(std::move(branches)) : AndAll(std::move(branches));
+        parts.push_back(Implies(And(mp.states[q], mp.symbols[a]), effect));
+      }
+    }
+    conjuncts.push_back(Every(alpha_cell, AndAll(std::move(parts))));
+  }
+
+  // φ'_mark: marker semantics via the rightward successor-cell relation.
+  {
+    std::vector<NodePtr> parts;
+    for (int q = 0; q < atm.num_states(); ++q) {
+      parts.push_back(Implies(Some(Filter(rcur, MarkerLabelOf(-1, q))), mp.states[q]));
+      parts.push_back(Implies(MarkerLabelOf(+1, q), Some(Filter(rcur, mp.states[q]))));
+    }
+    conjuncts.push_back(Every(alpha_cell, AndAll(std::move(parts))));
+  }
+
+  conjuncts.push_back(mp.NoReject(alpha_cell));
+  return AndAll(std::move(conjuncts));
+}
+
+// --- Section 6.4: CoreXPath_{↓}(∩) ---------------------------------------
+
+NodePtr EncodeDownward(const Atm& atm, const std::vector<int>& word) {
+  const int k = static_cast<int>(word.size());
+  assert(k >= 1);
+  MachineParts mp(atm);
+
+  PathPtr cells = AxStar(Axis::kChild);
+  PathPtr below = AxStar(Axis::kChild);
+  PathPtr strictly_below = AxPlus(Axis::kChild);
+
+  // Same configuration (same D), strictly below.
+  PathPtr gt_cur = EqCounter("d", k, strictly_below);
+  // Next configuration: D increments, anywhere below.
+  PathPtr alpha_nxt = Intersect(below, IncrCounter("d", k, below));
+  // Same cell of the next configuration.
+  PathPtr eq_nxt = Intersect(alpha_nxt, EqCounter("c", k, below));
+
+  std::vector<NodePtr> conjuncts;
+
+  // φ''_conf: counters zero at the satisfying node.
+  {
+    std::vector<NodePtr> zero;
+    for (int i = 0; i < k; ++i) {
+      zero.push_back(Not(CounterBit("c", i)));
+      zero.push_back(Not(CounterBit("d", i)));
+    }
+    conjuncts.push_back(AndAll(std::move(zero)));
+  }
+  // Growth: a successor exists until both counters are maximal.
+  {
+    std::vector<NodePtr> c_max, d_max;
+    for (int i = 0; i < k; ++i) {
+      c_max.push_back(CounterBit("c", i));
+      d_max.push_back(CounterBit("d", i));
+    }
+    NodePtr all_max = And(AndAll(c_max), AndAll(d_max));
+    conjuncts.push_back(Every(cells, Implies(Not(all_max), Some(Ax(Axis::kChild)))));
+  }
+  // Children increment C (mod 2^k) and carry D into the C-overflow.
+  {
+    std::vector<NodePtr> parts;
+    std::vector<NodePtr> c_all;
+    for (int i = 0; i < k; ++i) c_all.push_back(CounterBit("c", i));
+    NodePtr c_max = AndAll(c_all);
+    for (int i = 0; i < k; ++i) {
+      // C bit i: flips in children iff bits 0..i-1 all set.
+      std::vector<NodePtr> low;
+      for (int j = 0; j < i; ++j) low.push_back(CounterBit("c", j));
+      NodePtr cond = AndAll(low);
+      NodePtr ci = CounterBit("c", i);
+      parts.push_back(Implies(cond, And(Implies(ci, Every(Ax(Axis::kChild), Not(ci))),
+                                        Implies(Not(ci), Every(Ax(Axis::kChild), ci)))));
+      parts.push_back(Implies(Not(cond), And(Implies(ci, Every(Ax(Axis::kChild), ci)),
+                                             Implies(Not(ci), Every(Ax(Axis::kChild), Not(ci))))));
+      // D bit i: flips in children iff C is maximal and d_0..d_{i-1} all
+      // set; otherwise unchanged.
+      std::vector<NodePtr> dlow;
+      for (int j = 0; j < i; ++j) dlow.push_back(CounterBit("d", j));
+      NodePtr dcond = And(c_max, AndAll(dlow));
+      NodePtr di = CounterBit("d", i);
+      parts.push_back(Implies(dcond, And(Implies(di, Every(Ax(Axis::kChild), Not(di))),
+                                         Implies(Not(di), Every(Ax(Axis::kChild), di)))));
+      parts.push_back(Implies(Not(dcond), And(Implies(di, Every(Ax(Axis::kChild), di)),
+                                              Implies(Not(di), Every(Ax(Axis::kChild), Not(di))))));
+    }
+    conjuncts.push_back(Every(cells, AndAll(std::move(parts))));
+  }
+
+  // φ''_tape.
+  conjuncts.push_back(Every(cells, mp.WellLabeledCell()));
+  conjuncts.push_back(Every(cells, Implies(CounterEquals("d", k, 0), mp.InitialCell(word, k))));
+
+  // φ''_head: one head per configuration (same-D cells strictly below).
+  {
+    std::vector<NodePtr> parts;
+    for (const NodePtr& q : mp.states) {
+      for (const NodePtr& p : mp.states) {
+        parts.push_back(Implies(q, Every(gt_cur, Not(p))));
+      }
+    }
+    conjuncts.push_back(Every(cells, AndAll(std::move(parts))));
+  }
+
+  // φ''_id.
+  {
+    std::vector<NodePtr> parts;
+    for (const NodePtr& a : mp.symbols) {
+      parts.push_back(Implies(And(a, Not(mp.any_state)), Every(eq_nxt, a)));
+    }
+    conjuncts.push_back(Every(cells, AndAll(std::move(parts))));
+  }
+
+  // φ''_Δ with markers.
+  {
+    std::vector<NodePtr> parts;
+    for (int q = 0; q < atm.num_states(); ++q) {
+      if (mp.Halting(q)) continue;
+      bool exists = atm.state_kinds[q] == Atm::StateKind::kExists;
+      for (int a = 0; a < atm.num_symbols; ++a) {
+        std::vector<NodePtr> branches;
+        for (const Atm::Transition& t : atm.TransitionsFor(q, a)) {
+          branches.push_back(Some(
+              Filter(eq_nxt, And(mp.symbols[t.write], MarkerLabelOf(t.dir, t.next_state)))));
+        }
+        NodePtr effect = exists ? OrAll(std::move(branches)) : AndAll(std::move(branches));
+        parts.push_back(Implies(And(mp.states[q], mp.symbols[a]), effect));
+      }
+    }
+    conjuncts.push_back(Every(cells, AndAll(std::move(parts))));
+  }
+
+  // φ''_mark: the same-configuration neighbor relation is "child".
+  {
+    std::vector<NodePtr> parts;
+    for (int q = 0; q < atm.num_states(); ++q) {
+      parts.push_back(
+          Implies(Some(Filter(Ax(Axis::kChild), MarkerLabelOf(-1, q))), mp.states[q]));
+      parts.push_back(
+          Implies(MarkerLabelOf(+1, q), Some(Filter(Ax(Axis::kChild), mp.states[q]))));
+    }
+    conjuncts.push_back(Every(cells, AndAll(std::move(parts))));
+  }
+
+  conjuncts.push_back(mp.NoReject(cells));
+  return AndAll(std::move(conjuncts));
+}
+
+// --- Lemma 25 ------------------------------------------------------------
+
+namespace {
+
+PathPtr GuardPath25(const PathPtr& p);
+
+NodePtr GuardNode25(const NodePtr& n) {
+  switch (n->kind) {
+    case NodeKind::kLabel:
+      // p ⇝ ⟨↓[p]⟩ — the label moved to an auxiliary child.
+      return Some(Filter(Ax(Axis::kChild), Label(n->label)));
+    case NodeKind::kTrue:
+    case NodeKind::kIsVar:
+      return n;
+    case NodeKind::kSome:
+      return Some(GuardPath25(n->path));
+    case NodeKind::kNot:
+      return Not(GuardNode25(n->child1));
+    case NodeKind::kAnd:
+      return And(GuardNode25(n->child1), GuardNode25(n->child2));
+    case NodeKind::kOr:
+      return Or(GuardNode25(n->child1), GuardNode25(n->child2));
+    case NodeKind::kPathEq:
+      return PathEq(GuardPath25(n->path), GuardPath25(n->path2));
+  }
+  return n;
+}
+
+PathPtr GuardPath25(const PathPtr& p) {
+  switch (p->kind) {
+    case PathKind::kAxis:
+      return Filter(Ax(p->axis), Label("x"));
+    case PathKind::kAxisStar:
+      return Filter(AxStar(p->axis), Label("x"));
+    case PathKind::kSelf:
+      return p;
+    case PathKind::kSeq:
+      return Seq(GuardPath25(p->left), GuardPath25(p->right));
+    case PathKind::kUnion:
+      return Union(GuardPath25(p->left), GuardPath25(p->right));
+    case PathKind::kFilter:
+      return Filter(GuardPath25(p->left), GuardNode25(p->filter));
+    case PathKind::kStar:
+      return Star(GuardPath25(p->left));
+    case PathKind::kIntersect:
+      return Intersect(GuardPath25(p->left), GuardPath25(p->right));
+    case PathKind::kComplement:
+      return Complement(GuardPath25(p->left), GuardPath25(p->right));
+    case PathKind::kFor:
+      return For(p->var, GuardPath25(p->left), GuardPath25(p->right));
+  }
+  return p;
+}
+
+}  // namespace
+
+NodePtr MultiLabelToSingle(const NodePtr& phi) {
+  // φ* ∧ x ∧ ¬⟨↓*[¬x]/↓⟩ (auxiliary nodes are leaves).
+  NodePtr guarded = GuardNode25(phi);
+  NodePtr aux_leaves =
+      Not(Some(Seq(Filter(AxStar(Axis::kChild), Not(Label("x"))), Ax(Axis::kChild))));
+  return And(guarded, And(Label("x"), aux_leaves));
+}
+
+XmlTree EncodeMultiLabelTree(const XmlTree& tree) {
+  XmlTree out("x");
+  // Copy structure with real children first, then auxiliary label leaves.
+  std::function<void(NodeId, NodeId)> copy = [&](NodeId src, NodeId dst) {
+    for (NodeId c = tree.first_child(src); c != kNoNode; c = tree.next_sibling(c)) {
+      NodeId copied = out.AddChild(dst, "x");
+      copy(c, copied);
+    }
+    for (const std::string& l : tree.labels(src)) out.AddChild(dst, l);
+  };
+  copy(tree.root(), out.root());
+  return out;
+}
+
+// --- Intended model for the downward encoding ----------------------------
+
+std::pair<bool, XmlTree> BuildDownwardComputationModel(const Atm& atm,
+                                                       const std::vector<int>& word) {
+  const int k = static_cast<int>(word.size());
+  const int cells = 1 << k;
+  const int max_configs = 1 << k;
+  XmlTree failed("x");
+
+  struct Step {
+    int state;       // State of this configuration, -1 after halting.
+    int head;
+    std::vector<int> tape;
+    int marker_dir = 0;    // Marker placed on `marker_cell` (±1), 0 = none.
+    int marker_cell = -1;
+    int marker_state = -1;
+  };
+
+  std::vector<Step> run;
+  Step current;
+  current.state = atm.start_state;
+  current.head = 0;
+  current.tape.assign(cells, atm.blank);
+  for (size_t i = 0; i < word.size(); ++i) current.tape[i] = word[i];
+  run.push_back(current);
+
+  while (static_cast<int>(run.size()) < max_configs) {
+    Step& prev = run.back();
+    Step next = prev;
+    next.marker_dir = 0;
+    next.marker_cell = -1;
+    next.marker_state = -1;
+    if (prev.state >= 0 && atm.state_kinds[prev.state] != Atm::StateKind::kAccept &&
+        atm.state_kinds[prev.state] != Atm::StateKind::kReject) {
+      auto moves = atm.TransitionsFor(prev.state, prev.tape[prev.head]);
+      if (moves.size() != 1) return {false, failed};  // Deterministic runs only.
+      const Atm::Transition& t = moves[0];
+      next.tape[prev.head] = t.write;
+      next.head = prev.head + t.dir;
+      next.state = t.next_state;
+      if (next.head < 0 || next.head >= cells) return {false, failed};
+      next.marker_dir = t.dir;
+      next.marker_cell = prev.head;
+      next.marker_state = t.next_state;
+    } else {
+      // Halted: freeze the tape, drop the head.
+      next.state = -1;
+      next.marker_dir = 0;
+    }
+    run.push_back(std::move(next));
+  }
+
+  // Materialize the chain: config j cell i at chain position j·2^k + i.
+  auto labels_for = [&](int config, int cell) {
+    const Step& s = run[config];
+    std::vector<std::string> labels;
+    labels.push_back(Atm::SymbolLabel(s.tape[cell]));
+    for (int b = 0; b < k; ++b) {
+      if ((cell >> b) & 1) labels.push_back("c" + std::to_string(b));
+      if ((config >> b) & 1) labels.push_back("d" + std::to_string(b));
+    }
+    if (s.state >= 0 && s.head == cell) labels.push_back(Atm::StateLabel(s.state));
+    if (s.marker_dir != 0 && s.marker_cell == cell) {
+      labels.push_back((s.marker_dir < 0 ? "mL" : "mR") + std::to_string(s.marker_state));
+    }
+    return labels;
+  };
+
+  XmlTree tree(labels_for(0, 0));
+  NodeId at = tree.root();
+  for (int config = 0; config < max_configs; ++config) {
+    for (int cell = 0; cell < cells; ++cell) {
+      if (config == 0 && cell == 0) continue;
+      at = tree.AddChild(at, labels_for(config, cell));
+    }
+  }
+  return {true, tree};
+}
+
+}  // namespace xpc

@@ -1,0 +1,54 @@
+#ifndef XPC_LOWERBOUNDS_ATM_ENCODINGS_H_
+#define XPC_LOWERBOUNDS_ATM_ENCODINGS_H_
+
+#include <vector>
+
+#include "xpc/lowerbounds/atm.h"
+#include "xpc/tree/xml_tree.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// The three lower-bound reductions of Section 6: node expressions
+/// φ_{M,w} over multi-labeled trees that are satisfiable iff the ATM M
+/// accepts w. Labels used: `st<i>` (states), `sy<a>` (symbols), `c<i>` /
+/// `d<i>` (counter bits), `r` (configuration roots), `mL<q>` / `mR<q>`
+/// (direction markers), per the paper's conventions.
+
+/// Section 6.2: CoreXPath_{↓,↑}(∩) (2-EXPTIME-hardness, Theorem 27).
+/// Configurations are the leaf levels of depth-|w| binary trees (Fig. 3);
+/// an exponentially space-bounded ATM's 2^{|w|} tape cells are addressed by
+/// the C counter.
+NodePtr EncodeVertical(const Atm& atm, const std::vector<int>& word);
+
+/// Section 6.3: CoreXPath_{↓,→}(∩) (2-EXPTIME-hardness, Theorem 28).
+/// Configurations are horizontal rows (Fig. 4); direction markers replace
+/// the unavailable leftward traversal.
+NodePtr EncodeForward(const Atm& atm, const std::vector<int>& word);
+
+/// Section 6.4: CoreXPath_{↓}(∩) (EXPSPACE-hardness, Theorem 29).
+/// Configurations are downward chains with a second counter D identifying
+/// configurations (Fig. 5); the machine is exponentially *time*-bounded.
+NodePtr EncodeDownward(const Atm& atm, const std::vector<int>& word);
+
+/// Lemma 25: reduces satisfiability on multi-labeled trees to standard
+/// trees: real nodes are labeled `x`, their labels move to fresh leaf
+/// children, and the expression is made blind to the auxiliary nodes.
+NodePtr MultiLabelToSingle(const NodePtr& phi);
+
+/// The tree-side encoding of Lemma 25: real nodes keep their children (in
+/// order) followed by one auxiliary leaf child per label; real nodes are
+/// relabeled `x`.
+XmlTree EncodeMultiLabelTree(const XmlTree& tree);
+
+/// Builds the *intended model* of `EncodeDownward` for a deterministic
+/// ATM: the (unique) computation chain of M on w, as a multi-labeled
+/// downward chain with counters C and D. Returns (ok, tree); ok is false if
+/// the machine branches, exceeds 2^{|w|} steps, or leaves the 2^{|w|}-cell
+/// tape. Used to validate the encoding by model checking.
+std::pair<bool, XmlTree> BuildDownwardComputationModel(const Atm& atm,
+                                                       const std::vector<int>& word);
+
+}  // namespace xpc
+
+#endif  // XPC_LOWERBOUNDS_ATM_ENCODINGS_H_

@@ -1,0 +1,153 @@
+#include "xpc/lowerbounds/families.h"
+
+#include <map>
+#include <vector>
+
+#include "xpc/eval/evaluator.h"
+#include "xpc/translate/for_elim.h"
+#include "xpc/translate/starfree.h"
+#include "xpc/tree/xml_tree.h"
+#include "xpc/xpath/build.h"
+
+namespace xpc {
+
+namespace {
+
+PathPtr Pow(Axis axis, int i) {
+  if (i == 0) return Self();
+  PathPtr p = Ax(axis);
+  for (int j = 1; j < i; ++j) p = Seq(p, Ax(axis));
+  return p;
+}
+
+// ≡ / ≠ on T¹_{p,q}: nodes with equal (crossed) labels, in either
+// direction along the chain.
+PathPtr LabelCompare(bool crossed) {
+  PathPtr anywhere = Seq(AxStar(Axis::kParent), AxStar(Axis::kChild));
+  NodePtr p = Label("p"), q = Label("q");
+  return Union(Seq(Test(p), Filter(anywhere, crossed ? q : p)),
+               Seq(Test(q), Filter(anywhere, crossed ? p : q)));
+}
+
+// α_ℓ = ↓^{2ℓ} / ≡ / ↑^{2ℓ} (or the crossed variant).
+PathPtr AlphaOffset(int l, bool crossed) {
+  return SeqAll({Pow(Axis::kChild, 2 * l), LabelCompare(crossed), Pow(Axis::kParent, 2 * l)});
+}
+
+NodePtr ChainLabel(int i) { return Label(i % 2 == 1 ? "la" : "lb"); }
+
+}  // namespace
+
+NodePtr SuccinctnessPhiK(int k) {
+  // ⋂_{ℓ<k} α_ℓ ∩ α_k^×, guarded by "both endpoints start with pp".
+  std::vector<PathPtr> parts;
+  for (int l = 0; l < k; ++l) parts.push_back(AlphaOffset(l, /*crossed=*/false));
+  parts.push_back(AlphaOffset(k, /*crossed=*/true));
+  PathPtr witness = IntersectAll(std::move(parts));
+
+  NodePtr pp = And(Label("p"), Some(Filter(Ax(Axis::kChild), Label("p"))));
+  NodePtr implication = Implies(pp, Not(Some(Filter(witness, pp))));
+  // The property quantifies over all positions.
+  return Every(Seq(AxStar(Axis::kParent), AxStar(Axis::kChild)), implication);
+}
+
+int64_t CountNerodeClasses(const NodePtr& phi, int prefix_len, int suffix_len) {
+  // Words over {p, q} as bit vectors.
+  auto chain_of = [](const std::vector<int>& word) {
+    XmlTree t(word[0] ? "q" : "p");
+    NodeId at = t.root();
+    for (size_t i = 1; i < word.size(); ++i) at = t.AddChild(at, word[i] ? "q" : "p");
+    return t;
+  };
+  auto satisfied_at_root = [&](const std::vector<int>& word) {
+    XmlTree t = chain_of(word);
+    Evaluator ev(t);
+    return ev.EvalNode(phi).Contains(t.root());
+  };
+
+  // All suffixes of length 0..suffix_len.
+  std::vector<std::vector<int>> suffixes;
+  for (int len = 0; len <= suffix_len; ++len) {
+    for (int code = 0; code < (1 << len); ++code) {
+      std::vector<int> s;
+      for (int i = 0; i < len; ++i) s.push_back((code >> i) & 1);
+      suffixes.push_back(std::move(s));
+    }
+  }
+
+  std::map<std::vector<bool>, int> classes;
+  for (int len = 1; len <= prefix_len; ++len) {
+    for (int code = 0; code < (1 << len); ++code) {
+      std::vector<int> prefix;
+      for (int i = 0; i < len; ++i) prefix.push_back((code >> i) & 1);
+      std::vector<bool> signature;
+      signature.reserve(suffixes.size());
+      for (const auto& suffix : suffixes) {
+        std::vector<int> word = prefix;
+        word.insert(word.end(), suffix.begin(), suffix.end());
+        signature.push_back(satisfied_at_root(word));
+      }
+      classes.emplace(std::move(signature), 0);
+    }
+  }
+  return static_cast<int64_t>(classes.size());
+}
+
+NodePtr FamilyEqChain(int n) {
+  std::vector<NodePtr> conjuncts;
+  conjuncts.push_back(Some(Filter(Pow(Axis::kChild, n), ChainLabel(n))));
+  for (int i = 1; i <= n; ++i) {
+    conjuncts.push_back(PathEq(Pow(Axis::kChild, i), Filter(Pow(Axis::kChild, i), ChainLabel(i))));
+  }
+  return AndAll(std::move(conjuncts));
+}
+
+NodePtr FamilyRegularChain(int n) {
+  // ⟨↓[l₁ ∧ ⟨→[l₂ ∧ ⟨→[…]⟩]⟩]⟩ ∧ every(↓*, l₁ ∨ … ∨ lₙ ∨ root-ish).
+  NodePtr inner = ChainLabel(n);
+  for (int i = n - 1; i >= 1; --i) {
+    inner = And(ChainLabel(i), Some(Filter(Ax(Axis::kRight), inner)));
+  }
+  std::vector<NodePtr> allowed{Label("la"), Label("lb")};
+  return And(Some(Filter(Ax(Axis::kChild), inner)),
+             Every(AxStar(Axis::kChild), Or(OrAll(allowed), Not(Some(Ax(Axis::kParent))))));
+}
+
+NodePtr FamilyRegularChainUnsat(int n) {
+  return And(FamilyRegularChain(n), Every(Seq(Ax(Axis::kChild), AxStar(Axis::kRight)),
+                                          Not(ChainLabel(n))));
+}
+
+NodePtr FamilyEqChainUnsat(int n) {
+  return And(FamilyEqChain(n), Every(Pow(Axis::kChild, n), Not(ChainLabel(n))));
+}
+
+NodePtr FamilyIntersectChain(int n) {
+  std::vector<PathPtr> steps;
+  for (int i = 1; i <= n; ++i) {
+    steps.push_back(Intersect(Ax(Axis::kChild), Filter(Ax(Axis::kChild), ChainLabel(i))));
+  }
+  return Some(SeqAll(std::move(steps)));
+}
+
+NodePtr FamilyIntersectChainUnsat(int n) {
+  return And(FamilyIntersectChain(n), Every(AxStar(Axis::kChild), Not(ChainLabel(n))));
+}
+
+NodePtr FamilyIntersectNested(int n) {
+  PathPtr acc = Intersect(Ax(Axis::kChild), Filter(Ax(Axis::kChild), Label("la")));
+  for (int i = 1; i < n; ++i) {
+    acc = Intersect(acc, Filter(Ax(Axis::kChild), Label("la")));
+  }
+  return Some(acc);
+}
+
+PathPtr FamilyComplementTower(int n) {
+  StarFreePtr r = SfSymbol("a");
+  for (int i = 0; i < n; ++i) r = SfComplement(r);
+  return StarFreeToPath(r);
+}
+
+NodePtr FamilyForChain(int n) { return RewriteIntersectToFor(FamilyIntersectChain(n)); }
+
+}  // namespace xpc

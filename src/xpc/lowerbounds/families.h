@@ -1,0 +1,62 @@
+#ifndef XPC_LOWERBOUNDS_FAMILIES_H_
+#define XPC_LOWERBOUNDS_FAMILIES_H_
+
+#include <cstdint>
+
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Formula families for the complexity / succinctness experiments.
+
+/// Theorem 35's family φ_k over T¹_{p,q} (unary {p,q}-chains): "whenever
+/// two positions i, j both start with pp and agree on the next k cells at
+/// even offsets, they agree at offset 2k as well". CoreXPath(∩) expression
+/// of size quadratic in k; any equivalent word automaton needs ≥ 2^{2^k}
+/// states.
+NodePtr SuccinctnessPhiK(int k);
+
+/// Empirical lower bound on the minimal-DFA size of the root language
+/// {w ∈ {p,q}⁺ : chain(w) ⊨ φ at the root}: the number of Nerode-distinct
+/// classes among all prefixes of length ≤ `prefix_len`, distinguished by
+/// suffixes of length ≤ `suffix_len` (both exhaustive). The true minimal
+/// DFA has at least this many states.
+int64_t CountNerodeClasses(const NodePtr& phi, int prefix_len, int suffix_len);
+
+// --- Scaling families for the Table 1 benchmark -------------------------
+
+/// CoreXPath(≈) family: a depth-n chain pinned by n path equalities.
+/// Satisfiable.
+NodePtr FamilyEqChain(int n);
+
+/// Plain CoreXPath family using child and sibling axes: a width-n sibling
+/// chain below a child, with a universal labeling constraint. Exercises the
+/// EXPTIME loop-sat engine (no ∩/≈). Satisfiable; the unsat variant adds a
+/// contradictory universal constraint.
+NodePtr FamilyRegularChain(int n);
+NodePtr FamilyRegularChainUnsat(int n);
+
+/// CoreXPath(∩) at intersection depth 1: (↓ ∩ ↓[a₁])/…/(↓ ∩ ↓[aₙ]) wrapped
+/// in ⟨·⟩. Satisfiable; the Lemma 17 translation is polynomial.
+NodePtr FamilyIntersectChain(int n);
+
+/// CoreXPath(∩) at intersection depth n: left-nested products. The Lemma 16
+/// translation grows exponentially. Satisfiable.
+NodePtr FamilyIntersectNested(int n);
+
+/// Unsatisfiable variants (the engines must prove UNSAT, no early exit).
+NodePtr FamilyEqChainUnsat(int n);
+NodePtr FamilyIntersectChainUnsat(int n);
+
+/// CoreXPath(−): the Theorem 30 translation of the n-fold complement tower
+/// −(−(…−(a)…)) (its DFA sizes are the nonelementary source). Satisfiable
+/// iff n is even... — the tower over Σ = {a} alternates {a} and Σ⁺∖{a}.
+PathPtr FamilyComplementTower(int n);
+
+/// CoreXPath(for): the ∩-chain rewritten through for-loops (Theorem 31 /
+/// Section 2.2 identities).
+NodePtr FamilyForChain(int n);
+
+}  // namespace xpc
+
+#endif  // XPC_LOWERBOUNDS_FAMILIES_H_

@@ -1,0 +1,246 @@
+#include "xpc/pathauto/lexpr.h"
+
+#include <set>
+#include <sstream>
+
+namespace xpc {
+
+Move ConverseMove(Move move) {
+  switch (move) {
+    case Move::kDown1: return Move::kUp1;
+    case Move::kUp1: return Move::kDown1;
+    case Move::kRight: return Move::kLeft;
+    case Move::kLeft: return Move::kRight;
+    case Move::kTest: return Move::kTest;
+  }
+  return Move::kTest;
+}
+
+namespace {
+LExprPtr Make(LExpr::Kind kind) {
+  auto e = std::make_shared<LExpr>();
+  e->kind = kind;
+  return e;
+}
+}  // namespace
+
+LExprPtr LLabel(const std::string& label) {
+  auto e = Make(LExpr::Kind::kLabel);
+  std::const_pointer_cast<LExpr>(e)->label = label;
+  return e;
+}
+
+LExprPtr LTrue() { return Make(LExpr::Kind::kTrue); }
+
+LExprPtr LFalse() { return LNot(LTrue()); }
+
+LExprPtr LNot(LExprPtr a) {
+  if (a->kind == LExpr::Kind::kNot) return a->a;  // Collapse double negation.
+  auto e = Make(LExpr::Kind::kNot);
+  std::const_pointer_cast<LExpr>(e)->a = std::move(a);
+  return e;
+}
+
+LExprPtr LAnd(LExprPtr a, LExprPtr b) {
+  auto e = Make(LExpr::Kind::kAnd);
+  auto m = std::const_pointer_cast<LExpr>(e);
+  m->a = std::move(a);
+  m->b = std::move(b);
+  return e;
+}
+
+LExprPtr LAndAll(std::vector<LExprPtr> parts) {
+  if (parts.empty()) return LTrue();
+  LExprPtr acc = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) acc = LAnd(acc, parts[i]);
+  return acc;
+}
+
+LExprPtr LOr(LExprPtr a, LExprPtr b) {
+  auto e = Make(LExpr::Kind::kOr);
+  auto m = std::const_pointer_cast<LExpr>(e);
+  m->a = std::move(a);
+  m->b = std::move(b);
+  return e;
+}
+
+LExprPtr LOrAll(std::vector<LExprPtr> parts) {
+  if (parts.empty()) return LFalse();
+  LExprPtr acc = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) acc = LOr(acc, parts[i]);
+  return acc;
+}
+
+LExprPtr LLoop(PathAutoPtr automaton, int q_from, int q_to) {
+  auto e = Make(LExpr::Kind::kLoop);
+  auto m = std::const_pointer_cast<LExpr>(e);
+  m->automaton = std::move(automaton);
+  m->q_from = q_from;
+  m->q_to = q_to;
+  return e;
+}
+
+LExprPtr LLoop(PathAutoPtr automaton) {
+  int qi = automaton->q_init;
+  int qf = automaton->q_final;
+  return LLoop(std::move(automaton), qi, qf);
+}
+
+int SizeOf(const LExprPtr& expr) {
+  switch (expr->kind) {
+    case LExpr::Kind::kLabel:
+    case LExpr::Kind::kTrue:
+      return 1;
+    case LExpr::Kind::kNot:
+      return 1 + SizeOf(expr->a);
+    case LExpr::Kind::kAnd:
+    case LExpr::Kind::kOr:
+      return 1 + SizeOf(expr->a) + SizeOf(expr->b);
+    case LExpr::Kind::kLoop:
+      return 1 + SizeOf(*expr->automaton);
+  }
+  return 0;
+}
+
+int SizeOf(const PathAutomaton& automaton) {
+  int size = automaton.num_states;
+  for (const PathAutomaton::Transition& t : automaton.transitions) {
+    if (t.move == Move::kTest) size += SizeOf(t.test);
+  }
+  return size;
+}
+
+namespace {
+
+const char* MoveName(Move m) {
+  switch (m) {
+    case Move::kDown1: return "d1";
+    case Move::kUp1: return "u1";
+    case Move::kRight: return "r";
+    case Move::kLeft: return "l";
+    case Move::kTest: return "test";
+  }
+  return "?";
+}
+
+void Print(const LExprPtr& e, std::ostringstream* os) {
+  switch (e->kind) {
+    case LExpr::Kind::kLabel:
+      *os << e->label;
+      break;
+    case LExpr::Kind::kTrue:
+      *os << "true";
+      break;
+    case LExpr::Kind::kNot:
+      *os << "not(";
+      Print(e->a, os);
+      *os << ')';
+      break;
+    case LExpr::Kind::kAnd:
+      *os << '(';
+      Print(e->a, os);
+      *os << " and ";
+      Print(e->b, os);
+      *os << ')';
+      break;
+    case LExpr::Kind::kOr:
+      *os << '(';
+      Print(e->a, os);
+      *os << " or ";
+      Print(e->b, os);
+      *os << ')';
+      break;
+    case LExpr::Kind::kLoop:
+      *os << "loop(A" << e->automaton.get() << "[" << e->q_from << "->" << e->q_to << "])";
+      break;
+  }
+}
+
+void Collect(const LExprPtr& e, std::set<const PathAutomaton*>* seen,
+             std::vector<PathAutoPtr>* out) {
+  switch (e->kind) {
+    case LExpr::Kind::kLabel:
+    case LExpr::Kind::kTrue:
+      return;
+    case LExpr::Kind::kNot:
+      Collect(e->a, seen, out);
+      return;
+    case LExpr::Kind::kAnd:
+    case LExpr::Kind::kOr:
+      Collect(e->a, seen, out);
+      Collect(e->b, seen, out);
+      return;
+    case LExpr::Kind::kLoop: {
+      if (seen->count(e->automaton.get())) return;
+      seen->insert(e->automaton.get());
+      // Inner automata (in tests) first: postorder gives stratification.
+      for (const PathAutomaton::Transition& t : e->automaton->transitions) {
+        if (t.move == Move::kTest) Collect(t.test, seen, out);
+      }
+      out->push_back(e->automaton);
+      return;
+    }
+  }
+}
+
+void CollectLbl(const LExprPtr& e, std::set<const PathAutomaton*>* seen,
+                std::set<std::string>* out) {
+  switch (e->kind) {
+    case LExpr::Kind::kLabel:
+      out->insert(e->label);
+      return;
+    case LExpr::Kind::kTrue:
+      return;
+    case LExpr::Kind::kNot:
+      CollectLbl(e->a, seen, out);
+      return;
+    case LExpr::Kind::kAnd:
+    case LExpr::Kind::kOr:
+      CollectLbl(e->a, seen, out);
+      CollectLbl(e->b, seen, out);
+      return;
+    case LExpr::Kind::kLoop:
+      if (seen->count(e->automaton.get())) return;
+      seen->insert(e->automaton.get());
+      for (const PathAutomaton::Transition& t : e->automaton->transitions) {
+        if (t.move == Move::kTest) CollectLbl(t.test, seen, out);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+std::string LExprToString(const LExprPtr& expr) {
+  std::ostringstream os;
+  Print(expr, &os);
+  return os.str();
+}
+
+std::string AutomatonToString(const PathAutomaton& automaton) {
+  std::ostringstream os;
+  os << "states=" << automaton.num_states << " init=" << automaton.q_init
+     << " final=" << automaton.q_final << "\n";
+  for (const PathAutomaton::Transition& t : automaton.transitions) {
+    os << "  " << t.from << " --" << MoveName(t.move);
+    if (t.move == Move::kTest) os << "[" << LExprToString(t.test) << "]";
+    os << "--> " << t.to << "\n";
+  }
+  return os.str();
+}
+
+std::vector<PathAutoPtr> CollectAutomata(const LExprPtr& expr) {
+  std::set<const PathAutomaton*> seen;
+  std::vector<PathAutoPtr> out;
+  Collect(expr, &seen, &out);
+  return out;
+}
+
+std::vector<std::string> CollectLabels(const LExprPtr& expr) {
+  std::set<const PathAutomaton*> seen;
+  std::set<std::string> labels;
+  CollectLbl(expr, &seen, &labels);
+  return std::vector<std::string>(labels.begin(), labels.end());
+}
+
+}  // namespace xpc

@@ -1,0 +1,99 @@
+#ifndef XPC_PATHAUTO_LEXPR_H_
+#define XPC_PATHAUTO_LEXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xpc {
+
+struct LExpr;
+struct PathAutomaton;
+using LExprPtr = std::shared_ptr<const LExpr>;
+using PathAutoPtr = std::shared_ptr<const PathAutomaton>;
+
+/// The basic moves of a path automaton (Definition 7): the FCNS edges plus
+/// node-expression tests. ↓ and ↑ of CoreXPath are compiled to first-child /
+/// next-sibling sequences (Section 3.1, step (3)).
+enum class Move {
+  kDown1,  ///< ↓₁ — to the first child.
+  kUp1,    ///< ↑₁ — from a first child to its parent.
+  kRight,  ///< →  — to the next sibling.
+  kLeft,   ///< ←  — to the previous sibling.
+  kTest,   ///< .[φ] — stay and test.
+};
+
+/// The converse move (↓₁ ↔ ↑₁, → ↔ ←). `kTest` is self-converse.
+Move ConverseMove(Move move);
+
+/// A path automaton (Definition 7): an NFA over basic moves and tests, with
+/// one initial and one final state. Loops of these automata are the only
+/// path-observation primitive of CoreXPath_NFA(*, loop).
+struct PathAutomaton {
+  struct Transition {
+    int from;
+    Move move;
+    LExprPtr test;  // Only for Move::kTest.
+    int to;
+  };
+
+  int num_states = 0;
+  int q_init = 0;
+  int q_final = 0;
+  std::vector<Transition> transitions;
+
+  int AddState() { return num_states++; }
+  void AddMove(int from, Move move, int to) { transitions.push_back({from, move, nullptr, to}); }
+  void AddTest(int from, LExprPtr test, int to) {
+    transitions.push_back({from, Move::kTest, std::move(test), to});
+  }
+};
+
+/// A node expression of CoreXPath_NFA(*, loop) (Definition 7):
+///     φ ::= p | loop(π_{q,q'}) | ⊤ | ¬φ | φ∧ψ | φ∨ψ
+/// `kLoop` carries explicit (q_from, q_to) endpoints so that the
+/// sub-automata loop(π_{q,q'}) of cl(φ') (Section 3.3) are expressible by
+/// sharing a single automaton.
+struct LExpr {
+  enum class Kind { kLabel, kTrue, kNot, kAnd, kOr, kLoop };
+  Kind kind;
+  std::string label;        // kLabel.
+  LExprPtr a, b;            // kNot (a); kAnd/kOr (a, b).
+  PathAutoPtr automaton;    // kLoop.
+  int q_from = 0, q_to = 0; // kLoop.
+};
+
+/// Constructors.
+LExprPtr LLabel(const std::string& label);
+LExprPtr LTrue();
+LExprPtr LFalse();
+LExprPtr LNot(LExprPtr a);
+LExprPtr LAnd(LExprPtr a, LExprPtr b);
+LExprPtr LAndAll(std::vector<LExprPtr> parts);
+LExprPtr LOr(LExprPtr a, LExprPtr b);
+LExprPtr LOrAll(std::vector<LExprPtr> parts);
+LExprPtr LLoop(PathAutoPtr automaton, int q_from, int q_to);
+/// loop(π_{q_init, q_final}).
+LExprPtr LLoop(PathAutoPtr automaton);
+
+/// Size measures per Section 3.1: |π| = |Q| + Σ sizes of test expressions;
+/// |loop(π)| = |π| + 1, etc.
+int SizeOf(const LExprPtr& expr);
+int SizeOf(const PathAutomaton& automaton);
+
+/// Debug rendering.
+std::string LExprToString(const LExprPtr& expr);
+std::string AutomatonToString(const PathAutomaton& automaton);
+
+/// All distinct path automata reachable from `expr` (deduplicated by
+/// pointer), in a topological order such that the tests of each automaton
+/// refer only to automata earlier in the list. This is the stratification
+/// used by the loop evaluator and the satisfiability engine.
+std::vector<PathAutoPtr> CollectAutomata(const LExprPtr& expr);
+
+/// All labels mentioned in the expression (including inside automata tests).
+std::vector<std::string> CollectLabels(const LExprPtr& expr);
+
+}  // namespace xpc
+
+#endif  // XPC_PATHAUTO_LEXPR_H_

@@ -1,0 +1,262 @@
+#include "xpc/pathauto/normal_form.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "xpc/pathauto/path_automaton.h"
+
+namespace xpc {
+
+namespace {
+
+// Builds the automaton for an atomic axis per Section 3.1 (3).
+PathAutomaton AxisAutomaton(Axis axis) {
+  PathAutomaton a;
+  switch (axis) {
+    case Axis::kChild: {
+      // ↓ = ↓₁/→*.
+      int s0 = a.AddState();
+      int s1 = a.AddState();
+      a.q_init = s0;
+      a.q_final = s1;
+      a.AddMove(s0, Move::kDown1, s1);
+      a.AddMove(s1, Move::kRight, s1);
+      return a;
+    }
+    case Axis::kParent: {
+      // ↑ = ←*/↑₁.
+      int s0 = a.AddState();
+      int s1 = a.AddState();
+      a.q_init = s0;
+      a.q_final = s1;
+      a.AddMove(s0, Move::kLeft, s0);
+      a.AddMove(s0, Move::kUp1, s1);
+      return a;
+    }
+    case Axis::kRight:
+      return PaMove(Move::kRight);
+    case Axis::kLeft:
+      return PaMove(Move::kLeft);
+  }
+  return PaSelf();
+}
+
+}  // namespace
+
+std::pair<bool, PathAutomaton> PathToAutomaton(const PathPtr& path) {
+  switch (path->kind) {
+    case PathKind::kAxis:
+      return {true, AxisAutomaton(path->axis)};
+    case PathKind::kAxisStar:
+      return {true, PaStar(AxisAutomaton(path->axis))};
+    case PathKind::kSelf:
+      return {true, PaSelf()};
+    case PathKind::kSeq: {
+      auto [okl, l] = PathToAutomaton(path->left);
+      auto [okr, r] = PathToAutomaton(path->right);
+      if (!okl || !okr) return {false, PathAutomaton()};
+      return {true, PaConcat(std::move(l), r)};
+    }
+    case PathKind::kUnion: {
+      auto [okl, l] = PathToAutomaton(path->left);
+      auto [okr, r] = PathToAutomaton(path->right);
+      if (!okl || !okr) return {false, PathAutomaton()};
+      return {true, PaUnion(l, r)};
+    }
+    case PathKind::kFilter: {
+      auto [okl, l] = PathToAutomaton(path->left);
+      LExprPtr test = ToLoopNormalForm(path->filter);
+      if (!okl || !test) return {false, PathAutomaton()};
+      return {true, PaConcat(std::move(l), PaTest(std::move(test)))};
+    }
+    case PathKind::kStar: {
+      auto [okl, l] = PathToAutomaton(path->left);
+      if (!okl) return {false, PathAutomaton()};
+      return {true, PaStar(l)};
+    }
+    case PathKind::kIntersect:
+    case PathKind::kComplement:
+    case PathKind::kFor:
+      return {false, PathAutomaton()};
+  }
+  return {false, PathAutomaton()};
+}
+
+LExprPtr ToLoopNormalForm(const NodePtr& node) {
+  switch (node->kind) {
+    case NodeKind::kLabel:
+      return LLabel(node->label);
+    case NodeKind::kTrue:
+      return LTrue();
+    case NodeKind::kNot: {
+      LExprPtr a = ToLoopNormalForm(node->child1);
+      return a ? LNot(a) : nullptr;
+    }
+    case NodeKind::kAnd: {
+      LExprPtr a = ToLoopNormalForm(node->child1);
+      LExprPtr b = ToLoopNormalForm(node->child2);
+      return a && b ? LAnd(a, b) : nullptr;
+    }
+    case NodeKind::kOr: {
+      LExprPtr a = ToLoopNormalForm(node->child1);
+      LExprPtr b = ToLoopNormalForm(node->child2);
+      return a && b ? LOr(a, b) : nullptr;
+    }
+    case NodeKind::kSome: {
+      auto [ok, a] = PathToAutomaton(node->path);
+      if (!ok) return nullptr;
+      return LLoop(std::make_shared<PathAutomaton>(PaWithFinalSelfLoops(std::move(a))));
+    }
+    case NodeKind::kPathEq: {
+      auto [okl, l] = PathToAutomaton(node->path);
+      auto [okr, r] = PathToAutomaton(node->path2);
+      if (!okl || !okr) return nullptr;
+      return LLoop(std::make_shared<PathAutomaton>(PaConcat(std::move(l), PaConverse(r))));
+    }
+    case NodeKind::kIsVar:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+LExprPtr SomewhereInTree(LExprPtr phi) {
+  return LLoop(std::make_shared<PathAutomaton>(PaSomewhereBelow(std::move(phi))));
+}
+
+LExprPtr EverywhereInTree(LExprPtr phi) {
+  return LNot(SomewhereInTree(LNot(std::move(phi))));
+}
+
+LExprPtr AnywhereInTree(LExprPtr phi) {
+  auto a = std::make_shared<PathAutomaton>();
+  int up = a->AddState();
+  int down = a->AddState();
+  int back_up = a->AddState();
+  int back_down = a->AddState();
+  a->q_init = up;
+  a->q_final = back_down;
+  a->AddMove(up, Move::kUp1, up);
+  a->AddMove(up, Move::kLeft, up);
+  a->AddTest(up, LTrue(), down);
+  a->AddMove(down, Move::kDown1, down);
+  a->AddMove(down, Move::kRight, down);
+  a->AddTest(down, std::move(phi), back_up);
+  a->AddMove(back_up, Move::kUp1, back_up);
+  a->AddMove(back_up, Move::kLeft, back_up);
+  a->AddTest(back_up, LTrue(), back_down);
+  a->AddMove(back_down, Move::kDown1, back_down);
+  a->AddMove(back_down, Move::kRight, back_down);
+  return LLoop(std::move(a));
+}
+
+LExprPtr GloballyInTree(LExprPtr phi) {
+  return LNot(AnywhereInTree(LNot(std::move(phi))));
+}
+
+namespace {
+
+// Test-nesting depth of an automaton: 1 + max depth of automata in tests.
+int AutomatonDepth(const PathAutomaton* a, std::map<const PathAutomaton*, int>* memo);
+
+int ExprDepth(const LExprPtr& e, std::map<const PathAutomaton*, int>* memo) {
+  switch (e->kind) {
+    case LExpr::Kind::kLabel:
+    case LExpr::Kind::kTrue:
+      return 0;
+    case LExpr::Kind::kNot:
+      return ExprDepth(e->a, memo);
+    case LExpr::Kind::kAnd:
+    case LExpr::Kind::kOr:
+      return std::max(ExprDepth(e->a, memo), ExprDepth(e->b, memo));
+    case LExpr::Kind::kLoop:
+      return AutomatonDepth(e->automaton.get(), memo);
+  }
+  return 0;
+}
+
+int AutomatonDepth(const PathAutomaton* a, std::map<const PathAutomaton*, int>* memo) {
+  auto it = memo->find(a);
+  if (it != memo->end()) return it->second;
+  int inner = 0;
+  for (const PathAutomaton::Transition& t : a->transitions) {
+    if (t.move == Move::kTest) inner = std::max(inner, ExprDepth(t.test, memo));
+  }
+  (*memo)[a] = 1 + inner;
+  return 1 + inner;
+}
+
+struct MergeState {
+  std::map<const PathAutomaton*, int> depth_memo;
+  // Per original automaton: (merged automaton, state offset).
+  std::map<const PathAutomaton*, std::pair<PathAutoPtr, int>> remap;
+  std::map<const LExpr*, LExprPtr> expr_memo;
+};
+
+LExprPtr RewriteExpr(const LExprPtr& e, MergeState* st) {
+  auto it = st->expr_memo.find(e.get());
+  if (it != st->expr_memo.end()) return it->second;
+  LExprPtr out;
+  switch (e->kind) {
+    case LExpr::Kind::kLabel:
+    case LExpr::Kind::kTrue:
+      out = e;
+      break;
+    case LExpr::Kind::kNot:
+      out = LNot(RewriteExpr(e->a, st));
+      break;
+    case LExpr::Kind::kAnd:
+      out = LAnd(RewriteExpr(e->a, st), RewriteExpr(e->b, st));
+      break;
+    case LExpr::Kind::kOr:
+      out = LOr(RewriteExpr(e->a, st), RewriteExpr(e->b, st));
+      break;
+    case LExpr::Kind::kLoop: {
+      const auto& [merged, offset] = st->remap.at(e->automaton.get());
+      out = LLoop(merged, e->q_from + offset, e->q_to + offset);
+      break;
+    }
+  }
+  st->expr_memo[e.get()] = out;
+  return out;
+}
+
+}  // namespace
+
+LExprPtr MergeStrataAutomata(const LExprPtr& expr) {
+  std::vector<PathAutoPtr> autos = CollectAutomata(expr);
+  if (autos.empty()) return expr;
+
+  MergeState st;
+  int max_depth = 0;
+  for (const PathAutoPtr& a : autos) {
+    max_depth = std::max(max_depth, AutomatonDepth(a.get(), &st.depth_memo));
+  }
+
+  // Build merged automata depth by depth; tests inside depth-d automata
+  // mention only automata of depth < d, whose remap entries already exist.
+  for (int d = 1; d <= max_depth; ++d) {
+    auto merged = std::make_shared<PathAutomaton>();
+    std::vector<const PathAutomaton*> group;
+    for (const PathAutoPtr& a : autos) {
+      if (st.depth_memo.at(a.get()) != d) continue;
+      group.push_back(a.get());
+      int offset = merged->num_states;
+      merged->num_states += a->num_states;
+      st.remap[a.get()] = {merged, offset};
+    }
+    for (const PathAutomaton* a : group) {
+      int offset = st.remap.at(a).second;
+      for (const PathAutomaton::Transition& t : a->transitions) {
+        if (t.move == Move::kTest) {
+          merged->AddTest(t.from + offset, RewriteExpr(t.test, &st), t.to + offset);
+        } else {
+          merged->AddMove(t.from + offset, t.move, t.to + offset);
+        }
+      }
+    }
+  }
+  return RewriteExpr(expr, &st);
+}
+
+}  // namespace xpc

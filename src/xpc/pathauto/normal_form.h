@@ -1,0 +1,57 @@
+#ifndef XPC_PATHAUTO_NORMAL_FORM_H_
+#define XPC_PATHAUTO_NORMAL_FORM_H_
+
+#include "xpc/pathauto/lexpr.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// The linear normal-form translation of Section 3.1: converts a
+/// CoreXPath(*, ≈) node expression into an equivalent CoreXPath_NFA(*, loop)
+/// node expression. The four steps of the paper are applied:
+///  (1) α ≈ β becomes loop(α/β⁻) (with the syntactic converse);
+///  (2) ⟨α⟩ becomes loop(α′) where α′ adds basic-move self-loops at the
+///      final state (each basic move keeps the walker inside the tree, and
+///      the tree is connected, so the walker can always return);
+///  (3) ↓ / ↑ are compiled to ↓₁/→* and ←*/↑₁;
+///  (4) path expressions become NFAs over basic moves and tests.
+///
+/// Returns nullptr if the input uses ∩, −, for, or ". is $i" — those are
+/// handled by the translations of Sections 4 and 7, not by this one.
+LExprPtr ToLoopNormalForm(const NodePtr& node);
+
+/// Translates a CoreXPath(*, ≈) path expression into a path automaton.
+/// Returns (ok, automaton); ok is false on unsupported operators.
+std::pair<bool, PathAutomaton> PathToAutomaton(const PathPtr& path);
+
+/// loop(π_E) where π_E walks down (↓₁/→)*, tests φ, and walks back up:
+/// true at the FCNS-root of a tree iff φ holds at some node. This is the
+/// "satisfiable somewhere" wrapper used by the satisfiability engines.
+LExprPtr SomewhereInTree(LExprPtr phi);
+
+/// Loop-normal-form of "every node of the tree satisfies φ" (evaluated at
+/// the root): ¬ SomewhereInTree(¬φ).
+LExprPtr EverywhereInTree(LExprPtr phi);
+
+/// loop(π) where π first walks up ((↑₁|←)*), then down ((↓₁|→)*), tests φ,
+/// and walks back: true at *every* node iff φ holds somewhere in the whole
+/// tree (unlike SomewhereInTree, which only inspects the FCNS subtree of
+/// the evaluation point).
+LExprPtr AnywhereInTree(LExprPtr phi);
+
+/// ¬AnywhereInTree(¬φ): true at every node iff φ holds at all nodes.
+/// Position-independent "global axiom" builder (used by Lemma 18).
+LExprPtr GloballyInTree(LExprPtr phi);
+
+/// Merges all path automata at the same test-nesting depth into a single
+/// automaton (disjoint union of state sets), rewriting loop atoms to the
+/// merged automaton's state numbering. Semantics-preserving: loops never
+/// cross the disjoint blocks. This collapses the number of strata the
+/// satisfiability engine must track to the nesting depth of loop tests,
+/// which is what makes formulas with many parallel ⟨α⟩ / ≈ subexpressions
+/// tractable.
+LExprPtr MergeStrataAutomata(const LExprPtr& expr);
+
+}  // namespace xpc
+
+#endif  // XPC_PATHAUTO_NORMAL_FORM_H_

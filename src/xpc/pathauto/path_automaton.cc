@@ -1,0 +1,110 @@
+#include "xpc/pathauto/path_automaton.h"
+
+namespace xpc {
+
+namespace {
+
+// Appends a copy of `src` to `dst`, returning the state-index offset.
+int CopyInto(const PathAutomaton& src, PathAutomaton* dst) {
+  int offset = dst->num_states;
+  dst->num_states += src.num_states;
+  for (const PathAutomaton::Transition& t : src.transitions) {
+    dst->transitions.push_back({t.from + offset, t.move, t.test, t.to + offset});
+  }
+  return offset;
+}
+
+}  // namespace
+
+PathAutomaton PaSelf() {
+  PathAutomaton a;
+  int s = a.AddState();
+  a.q_init = a.q_final = s;
+  return a;
+}
+
+PathAutomaton PaMove(Move move) {
+  PathAutomaton a;
+  int s0 = a.AddState();
+  int s1 = a.AddState();
+  a.q_init = s0;
+  a.q_final = s1;
+  a.AddMove(s0, move, s1);
+  return a;
+}
+
+PathAutomaton PaTest(LExprPtr test) {
+  PathAutomaton a;
+  int s0 = a.AddState();
+  int s1 = a.AddState();
+  a.q_init = s0;
+  a.q_final = s1;
+  a.AddTest(s0, std::move(test), s1);
+  return a;
+}
+
+PathAutomaton PaConcat(PathAutomaton a, const PathAutomaton& b) {
+  int offset = CopyInto(b, &a);
+  a.AddTest(a.q_final, LTrue(), b.q_init + offset);  // "Skip" transition.
+  a.q_final = b.q_final + offset;
+  return a;
+}
+
+PathAutomaton PaUnion(const PathAutomaton& a, const PathAutomaton& b) {
+  PathAutomaton out;
+  int init = out.AddState();
+  int fin = out.AddState();
+  out.q_init = init;
+  out.q_final = fin;
+  int oa = CopyInto(a, &out);
+  int ob = CopyInto(b, &out);
+  out.AddTest(init, LTrue(), a.q_init + oa);
+  out.AddTest(init, LTrue(), b.q_init + ob);
+  out.AddTest(a.q_final + oa, LTrue(), fin);
+  out.AddTest(b.q_final + ob, LTrue(), fin);
+  return out;
+}
+
+PathAutomaton PaStar(const PathAutomaton& a) {
+  PathAutomaton out;
+  int hub = out.AddState();
+  out.q_init = out.q_final = hub;
+  int oa = CopyInto(a, &out);
+  out.AddTest(hub, LTrue(), a.q_init + oa);
+  out.AddTest(a.q_final + oa, LTrue(), hub);
+  return out;
+}
+
+PathAutomaton PaConverse(const PathAutomaton& a) {
+  PathAutomaton out;
+  out.num_states = a.num_states;
+  out.q_init = a.q_final;
+  out.q_final = a.q_init;
+  for (const PathAutomaton::Transition& t : a.transitions) {
+    out.transitions.push_back({t.to, ConverseMove(t.move), t.test, t.from});
+  }
+  return out;
+}
+
+PathAutomaton PaWithFinalSelfLoops(PathAutomaton a) {
+  for (Move m : {Move::kDown1, Move::kUp1, Move::kRight, Move::kLeft}) {
+    a.AddMove(a.q_final, m, a.q_final);
+  }
+  return a;
+}
+
+PathAutomaton PaSomewhereBelow(LExprPtr test) {
+  PathAutomaton a;
+  int s0 = a.AddState();
+  int s1 = a.AddState();
+  a.q_init = s0;
+  a.q_final = s1;
+  a.AddMove(s0, Move::kDown1, s0);
+  a.AddMove(s0, Move::kRight, s0);
+  a.AddTest(s0, std::move(test), s1);
+  a.AddMove(s1, Move::kUp1, s1);
+  a.AddMove(s1, Move::kLeft, s1);
+  return a;
+}
+
+}  // namespace xpc

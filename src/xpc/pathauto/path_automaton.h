@@ -1,0 +1,47 @@
+#ifndef XPC_PATHAUTO_PATH_AUTOMATON_H_
+#define XPC_PATHAUTO_PATH_AUTOMATON_H_
+
+#include "xpc/pathauto/lexpr.h"
+
+namespace xpc {
+
+// Combinators for path automata, mirroring the regular operations used by
+// the linear translation of Section 3.1. All take/return owned automata by
+// value; tests are shared LExpr pointers.
+
+/// The single-state automaton for "." (init == final).
+PathAutomaton PaSelf();
+
+/// A two-state automaton with one move transition.
+PathAutomaton PaMove(Move move);
+
+/// A two-state automaton with a single test transition (.[φ]).
+PathAutomaton PaTest(LExprPtr test);
+
+/// Concatenation: final(a) —[⊤]→ init(b).
+PathAutomaton PaConcat(PathAutomaton a, const PathAutomaton& b);
+
+/// Union with fresh init/final skip states.
+PathAutomaton PaUnion(const PathAutomaton& a, const PathAutomaton& b);
+
+/// Reflexive-transitive closure with one fresh state.
+PathAutomaton PaStar(const PathAutomaton& a);
+
+/// The converse automaton: reverses every transition (moves become their
+/// converses; tests stay) and swaps init/final. Implements β⁻ of Section 3.1
+/// at the automaton level.
+PathAutomaton PaConverse(const PathAutomaton& a);
+
+/// Adds self-loops on all four basic moves at the final state. Used for
+/// ⟨π⟩ = loop(π′) in the proof of Lemma 16, and for the ⟨α⟩-elimination of
+/// Section 3.1 (2).
+PathAutomaton PaWithFinalSelfLoops(PathAutomaton a);
+
+/// π_E: down-moves*, test φ, up-moves* — loops at the root of the FCNS
+/// subtree iff some FCNS-descendant-or-self satisfies φ. At the tree root
+/// this is "φ holds somewhere in the tree".
+PathAutomaton PaSomewhereBelow(LExprPtr test);
+
+}  // namespace xpc
+
+#endif  // XPC_PATHAUTO_PATH_AUTOMATON_H_

@@ -1,0 +1,85 @@
+#ifndef XPC_PATHAUTO_STATE_RELATION_H_
+#define XPC_PATHAUTO_STATE_RELATION_H_
+
+#include <vector>
+
+#include "xpc/common/bits.h"
+
+namespace xpc {
+
+/// A binary relation on path-automaton states (subset of Q × Q), the value
+/// domain of the LOOPS summaries of Lemma 11: D(v), U(v) and L(v) are all
+/// `StateRel`s. Small dense boolean matrices with rows stored as `Bits`.
+class StateRel {
+ public:
+  StateRel() = default;
+  explicit StateRel(int n) : n_(n), rows_(n, Bits(n)) {}
+
+  static StateRel Identity(int n) {
+    StateRel r(n);
+    for (int i = 0; i < n; ++i) r.Set(i, i);
+    return r;
+  }
+
+  int size() const { return n_; }
+  bool Get(int i, int j) const { return rows_[i].Get(j); }
+  void Set(int i, int j) { rows_[i].Set(j); }
+
+  bool UnionWith(const StateRel& o) {
+    bool changed = false;
+    for (int i = 0; i < n_; ++i) changed |= rows_[i].UnionWith(o.rows_[i]);
+    return changed;
+  }
+
+  /// this ∘ other.
+  StateRel Compose(const StateRel& other) const {
+    StateRel out(n_);
+    for (int i = 0; i < n_; ++i) {
+      rows_[i].ForEach([&](int j) { out.rows_[i].UnionWith(other.rows_[j]); });
+    }
+    return out;
+  }
+
+  /// Reflexive-transitive closure, in place (Warshall).
+  void CloseReflexiveTransitive() {
+    for (int i = 0; i < n_; ++i) rows_[i].Set(i);
+    for (int k = 0; k < n_; ++k) {
+      for (int i = 0; i < n_; ++i) {
+        if (rows_[i].Get(k)) rows_[i].UnionWith(rows_[k]);
+      }
+    }
+    // One Warshall sweep with row-unions is enough only if iterated to
+    // fixpoint; iterate until stable (typically 1–2 rounds).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int k = 0; k < n_; ++k) {
+        for (int i = 0; i < n_; ++i) {
+          if (rows_[i].Get(k)) changed |= rows_[i].UnionWith(rows_[k]);
+        }
+      }
+    }
+  }
+
+  friend bool operator==(const StateRel& a, const StateRel& b) {
+    return a.n_ == b.n_ && a.rows_ == b.rows_;
+  }
+  friend bool operator<(const StateRel& a, const StateRel& b) {
+    if (a.n_ != b.n_) return a.n_ < b.n_;
+    return a.rows_ < b.rows_;
+  }
+
+  size_t Hash() const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Bits& row : rows_) h = h * 1099511628211ULL + row.Hash();
+    return h;
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<Bits> rows_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_PATHAUTO_STATE_RELATION_H_

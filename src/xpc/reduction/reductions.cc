@@ -1,0 +1,162 @@
+#include "xpc/reduction/reductions.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "xpc/edtd/encode.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/metrics.h"
+#include "xpc/xpath/fragment.h"
+#include "xpc/xpath/transform.h"
+
+namespace xpc {
+
+std::string DecoratedLabel(const std::string& label, int bit) {
+  return label + (bit == 0 ? "__d0" : "__d1");
+}
+
+namespace {
+
+// Γ: the labels of α and β plus one additional label (the proof of
+// Proposition 4 shows counterexamples can be relabeled into Γ).
+std::set<std::string> GammaOf(const PathPtr& alpha, const PathPtr& beta) {
+  std::set<std::string> gamma = Labels(alpha);
+  for (const std::string& l : Labels(beta)) gamma.insert(l);
+  gamma.insert(FreshLabel(gamma, "x"));
+  return gamma;
+}
+
+// The substitution p ↦ (p,0) ∨ (p,1).
+std::map<std::string, NodePtr> DecorationSubst(const std::set<std::string>& gamma) {
+  std::map<std::string, NodePtr> subst;
+  for (const std::string& p : gamma) {
+    subst[p] = Or(Label(DecoratedLabel(p, 0)), Label(DecoratedLabel(p, 1)));
+  }
+  return subst;
+}
+
+// 1 = ⋁_{p ∈ Γ} (p, 1).
+NodePtr OneOf(const std::set<std::string>& gamma) {
+  std::vector<NodePtr> parts;
+  for (const std::string& p : gamma) parts.push_back(Label(DecoratedLabel(p, 1)));
+  return OrAll(std::move(parts));
+}
+
+}  // namespace
+
+NodePtr ContainmentToUnsat(const PathPtr& alpha, const PathPtr& beta) {
+  std::set<std::string> gamma = GammaOf(alpha, beta);
+  std::map<std::string, NodePtr> subst = DecorationSubst(gamma);
+  NodePtr one = OneOf(gamma);
+  PathPtr alpha_bar = ReplaceLabels(alpha, subst);
+  PathPtr beta_bar = ReplaceLabels(beta, subst);
+  return And(Some(Filter(alpha_bar, one)), Not(Some(Filter(beta_bar, one))));
+}
+
+std::pair<NodePtr, Edtd> ContainmentToUnsatWithEdtd(const PathPtr& alpha, const PathPtr& beta,
+                                                    const Edtd& edtd) {
+  // Decorate concrete labels in the expressions and abstract labels in the
+  // EDTD; add a fresh super-root s above the original root.
+  std::set<std::string> gamma;
+  for (const std::string& l : Labels(alpha)) gamma.insert(l);
+  for (const std::string& l : Labels(beta)) gamma.insert(l);
+  for (const std::string& l : edtd.ConcreteLabels()) gamma.insert(l);
+  gamma.insert(FreshLabel(gamma, "x"));
+  std::string s = FreshLabel(gamma, "s_root");
+
+  // D̄: each abstract label t becomes (t, 0) and (t, 1); content models
+  // replace each atomic symbol q by (q,0) + (q,1); P̄(s) = (r,0) + (r,1);
+  // μ̄(t, i) = (μ(t), i).
+  std::vector<Edtd::TypeDef> types;
+  auto decorate_regex = [](const RegexPtr& r) {
+    // Recursive rewrite replacing symbols q by (q,0)|(q,1).
+    std::function<RegexPtr(const RegexPtr&)> go = [&](const RegexPtr& e) -> RegexPtr {
+      switch (e->kind) {
+        case Regex::Kind::kEpsilon:
+        case Regex::Kind::kEmpty:
+          return e;
+        case Regex::Kind::kSymbol:
+          return RxUnion(RxSymbol(DecoratedLabel(e->symbol, 0)),
+                         RxSymbol(DecoratedLabel(e->symbol, 1)));
+        case Regex::Kind::kConcat:
+          return RxConcat(go(e->left), go(e->right));
+        case Regex::Kind::kUnion:
+          return RxUnion(go(e->left), go(e->right));
+        case Regex::Kind::kStar:
+          return RxStar(go(e->left));
+      }
+      return e;
+    };
+    return go(r);
+  };
+
+  types.push_back({s, RxUnion(RxSymbol(DecoratedLabel(edtd.root_type(), 0)),
+                              RxSymbol(DecoratedLabel(edtd.root_type(), 1))),
+                   s});
+  for (const Edtd::TypeDef& t : edtd.types()) {
+    for (int bit = 0; bit < 2; ++bit) {
+      types.push_back({DecoratedLabel(t.abstract_label, bit), decorate_regex(t.content),
+                       DecoratedLabel(t.concrete_label, bit)});
+    }
+  }
+  Edtd decorated(std::move(types), s);
+
+  std::map<std::string, NodePtr> subst = DecorationSubst(gamma);
+  NodePtr one = OneOf(gamma);
+  // Guard all axes with [¬s] so that the formulas are blind to the added
+  // super-root, then decorate labels. Downward expressions can never reach
+  // the super-root from a ¬s node, so the guard is skipped there — this
+  // keeps downward inputs inside CoreXPath↓(∩) (the guard on τ* would
+  // otherwise introduce the general transitive closure (τ[¬s])*).
+  Fragment joint = Fragment::Join(DetectFragment(alpha), DetectFragment(beta));
+  PathPtr alpha_guarded = joint.IsDownward() ? alpha : GuardAxes(alpha, Label(s));
+  PathPtr beta_guarded = joint.IsDownward() ? beta : GuardAxes(beta, Label(s));
+  PathPtr alpha_bar = ReplaceLabels(alpha_guarded, subst);
+  PathPtr beta_bar = ReplaceLabels(beta_guarded, subst);
+  NodePtr psi = And(Not(Label(s)),
+                    And(Some(Filter(alpha_bar, one)), Not(Some(Filter(beta_bar, one)))));
+  return {psi, decorated};
+}
+
+NodePtr PathSatToNodeSat(const PathPtr& alpha) { return Some(alpha); }
+
+PathPtr NodeSatToPathSat(const NodePtr& phi) { return Test(phi); }
+
+namespace {
+
+std::string Strip(const std::string& label) {
+  if (label.size() > 4) {
+    std::string suffix = label.substr(label.size() - 4);
+    if (suffix == "__d0" || suffix == "__d1") return label.substr(0, label.size() - 4);
+  }
+  return label;
+}
+
+void CopySubtree(const XmlTree& src, NodeId from, XmlTree* dst, NodeId to) {
+  for (NodeId c = src.first_child(from); c != kNoNode; c = src.next_sibling(c)) {
+    std::vector<std::string> labels;
+    for (const std::string& l : src.labels(c)) labels.push_back(Strip(l));
+    NodeId copied = dst->AddChild(to, std::move(labels));
+    CopySubtree(src, c, dst, copied);
+  }
+}
+
+}  // namespace
+
+XmlTree StripDecoration(const XmlTree& tree, const std::string& super_root) {
+  NodeId root = tree.root();
+  if (!super_root.empty() && tree.HasLabel(root, super_root) &&
+      tree.first_child(root) != kNoNode) {
+    root = tree.first_child(root);  // Cut off the added super-root.
+  }
+  std::vector<std::string> labels;
+  for (const std::string& l : tree.labels(root)) labels.push_back(Strip(l));
+  XmlTree out(std::move(labels));
+  CopySubtree(tree, root, &out, out.root());
+  return out;
+}
+
+}  // namespace xpc

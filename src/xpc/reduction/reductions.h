@@ -1,0 +1,47 @@
+#ifndef XPC_REDUCTION_REDUCTIONS_H_
+#define XPC_REDUCTION_REDUCTIONS_H_
+
+#include <string>
+#include <utility>
+
+#include "xpc/edtd/edtd.h"
+#include "xpc/tree/xml_tree.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Proposition 4: the polynomial inter-reductions between path containment,
+/// path satisfiability and node satisfiability.
+
+/// Containment → node unsatisfiability (no schema): returns a node
+/// expression ψ over decorated labels (p, i) — rendered `p__d0` / `p__d1` —
+/// such that α ⊆ β over all XML trees iff ψ is unsatisfiable. The
+/// decoration marks the intended endpoint e of a counterexample pair
+/// (d, e) ∈ ⟦α⟧ ∖ ⟦β⟧ with "1": ψ = ⟨ᾱ[1]⟩ ∧ ¬⟨β̄[1]⟩.
+NodePtr ContainmentToUnsat(const PathPtr& alpha, const PathPtr& beta);
+
+/// The EDTD-relativized version: also decorates the schema's abstract
+/// labels and adds a fresh super-root `s` (whose label is returned), since
+/// an EDTD fixes a unique root label but both decorations of it must be
+/// admissible. Returns (ψ, D̄): α ⊆ β w.r.t. D iff ψ = ¬s ∧ ⟨ᾱ[1]⟩ ∧ ¬⟨β̄[1]⟩
+/// is unsatisfiable w.r.t. D̄ (axes in ᾱ, β̄ are guarded by [¬s]).
+std::pair<NodePtr, Edtd> ContainmentToUnsatWithEdtd(const PathPtr& alpha, const PathPtr& beta,
+                                                    const Edtd& edtd);
+
+/// Path satisfiability ⇝ node satisfiability: α is satisfiable iff ⟨α⟩ is.
+NodePtr PathSatToNodeSat(const PathPtr& alpha);
+
+/// Node unsatisfiability ⇝ path unsatisfiability: φ ⇝ .[φ].
+PathPtr NodeSatToPathSat(const NodePtr& phi);
+
+/// The decorated-label names used by `ContainmentToUnsat`.
+std::string DecoratedLabel(const std::string& label, int bit);
+
+/// Removes the decoration from a counterexample witness tree: labels
+/// `p__d0` / `p__d1` become `p`; if `super_root` is nonempty and labels the
+/// tree root, that root is cut off (EDTD case). Unknown labels are kept.
+XmlTree StripDecoration(const XmlTree& tree, const std::string& super_root = "");
+
+}  // namespace xpc
+
+#endif  // XPC_REDUCTION_REDUCTIONS_H_

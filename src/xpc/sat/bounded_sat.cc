@@ -1,0 +1,54 @@
+#include "xpc/sat/bounded_sat.h"
+
+#include "xpc/eval/evaluator.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/xpath/metrics.h"
+
+namespace xpc {
+
+SatResult BoundedSatisfiable(const NodePtr& phi, const BoundedSatOptions& options) {
+  SatResult result;
+  result.engine = "bounded-sat";
+
+  std::set<std::string> label_set = Labels(phi);
+  std::vector<std::string> alphabet(label_set.begin(), label_set.end());
+  alphabet.push_back(FreshLabel(label_set, "_other"));
+
+  auto check = [&](const XmlTree& tree) -> bool {
+    ++result.explored_states;
+    Evaluator ev(tree);
+    return ev.SatisfiedSomewhere(phi);
+  };
+
+  // Exhaustive phase. Tree counts grow as Catalan(n−1)·|Σ|^n; keep n small.
+  for (int n = 1; n <= options.max_exhaustive_nodes; ++n) {
+    for (const XmlTree& tree : EnumerateTrees(n, alphabet)) {
+      if (check(tree)) {
+        result.status = SolveStatus::kSat;
+        result.witness = tree;
+        return result;
+      }
+    }
+  }
+
+  // Random phase.
+  TreeGenerator gen(options.seed);
+  for (int n = options.max_exhaustive_nodes + 1; n <= options.max_random_nodes; ++n) {
+    for (int i = 0; i < options.random_trees; ++i) {
+      TreeGenOptions opt;
+      opt.num_nodes = n;
+      opt.alphabet = alphabet;
+      XmlTree tree = gen.Generate(opt);
+      if (check(tree)) {
+        result.status = SolveStatus::kSat;
+        result.witness = std::move(tree);
+        return result;
+      }
+    }
+  }
+
+  result.status = SolveStatus::kResourceLimit;
+  return result;
+}
+
+}  // namespace xpc

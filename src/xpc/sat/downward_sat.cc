@@ -1,0 +1,580 @@
+#include "xpc/sat/downward_sat.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+
+#include "xpc/common/bits.h"
+#include "xpc/sat/simple_paths.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/metrics.h"
+
+namespace xpc {
+
+namespace {
+
+// A headed suffix atom: a simple path starting with ↓ or ↓*.
+struct Atom {
+  SimpleStep::Kind head;   // kDown or kDownStar.
+  const SimplePath* path;  // Owning inst path.
+  int pos;                 // Position of the head step within *path.
+};
+
+struct Summary {
+  int type = 0;
+  Bits bits;
+
+  bool operator==(const Summary& o) const { return type == o.type && bits == o.bits; }
+};
+
+struct SummaryHash {
+  size_t operator()(const Summary& s) const {
+    return s.bits.Hash() * 31 + static_cast<size_t>(s.type);
+  }
+};
+
+class DownwardEngine {
+ public:
+  DownwardEngine(const NodePtr& phi, const Edtd& edtd, bool any_root,
+                 const DownwardSatOptions& options)
+      : options_(options), edtd_(edtd), any_root_(any_root) {
+    phi_ = RewritePathEqDeep(phi);
+  }
+
+  SatResult Run() {
+    SatResult result;
+    result.engine = "downward-sat";
+    if (!supported_ || !RegisterAll(phi_)) {
+      result.engine = "downward-sat:unsupported";
+      result.status = SolveStatus::kResourceLimit;
+      return result;
+    }
+
+    // Bottom-up realizability fixpoint.
+    const int num_types = static_cast<int>(edtd_.types().size());
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int t = 0; t < num_types; ++t) {
+        if (!ExpandType(t, &changed)) {
+          result.status = SolveStatus::kResourceLimit;
+          result.explored_states = static_cast<int64_t>(summaries_.size());
+          return result;
+        }
+      }
+    }
+    result.explored_states = static_cast<int64_t>(summaries_.size());
+
+    // Usable types: reachable from the root through realizable words.
+    std::vector<bool> usable = ComputeUsableTypes();
+
+    for (size_t i = 0; i < summaries_.size(); ++i) {
+      const Summary& s = summaries_[i];
+      if (!usable[s.type]) continue;
+      if (TruthOfNode(phi_, s.type, [&](int atom) { return s.bits.Get(atom); })) {
+        result.status = SolveStatus::kSat;
+        if (options_.want_witness) {
+          result.witness = BuildWitness(static_cast<int>(i), usable);
+        }
+        return result;
+      }
+    }
+    result.status = SolveStatus::kUnsat;
+    return result;
+  }
+
+ private:
+  using BitFn = std::function<bool(int)>;
+
+  NodePtr RewritePathEqDeep(const NodePtr& node) {
+    // Full recursive rewrite (RewritePathEq above stops at ⟨·⟩; paths may
+    // contain node expressions with ≈ inside filters).
+    switch (node->kind) {
+      case NodeKind::kLabel:
+      case NodeKind::kTrue:
+      case NodeKind::kIsVar:
+        return node;
+      case NodeKind::kSome:
+        return Some(RewriteInPath(node->path));
+      case NodeKind::kNot:
+        return Not(RewritePathEqDeep(node->child1));
+      case NodeKind::kAnd:
+        return And(RewritePathEqDeep(node->child1), RewritePathEqDeep(node->child2));
+      case NodeKind::kOr:
+        return Or(RewritePathEqDeep(node->child1), RewritePathEqDeep(node->child2));
+      case NodeKind::kPathEq:
+        return Some(Intersect(RewriteInPath(node->path), RewriteInPath(node->path2)));
+    }
+    return node;
+  }
+
+  PathPtr RewriteInPath(const PathPtr& path) {
+    switch (path->kind) {
+      case PathKind::kAxis:
+      case PathKind::kAxisStar:
+      case PathKind::kSelf:
+        return path;
+      case PathKind::kSeq:
+        return Seq(RewriteInPath(path->left), RewriteInPath(path->right));
+      case PathKind::kUnion:
+        return Union(RewriteInPath(path->left), RewriteInPath(path->right));
+      case PathKind::kFilter:
+        return Filter(RewriteInPath(path->left), RewritePathEqDeep(path->filter));
+      case PathKind::kIntersect:
+        return Intersect(RewriteInPath(path->left), RewriteInPath(path->right));
+      case PathKind::kStar:
+      case PathKind::kComplement:
+      case PathKind::kFor:
+        supported_ = false;
+        return path;
+    }
+    return path;
+  }
+
+  // Registers inst(α) for every ⟨α⟩ in sub(φ) and all headed suffix atoms.
+  bool RegisterAll(const NodePtr& node) {
+    switch (node->kind) {
+      case NodeKind::kLabel:
+      case NodeKind::kTrue:
+        return true;
+      case NodeKind::kIsVar:
+        supported_ = false;
+        return false;
+      case NodeKind::kNot:
+        return RegisterAll(node->child1);
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+        return RegisterAll(node->child1) && RegisterAll(node->child2);
+      case NodeKind::kPathEq:
+        supported_ = false;  // Should have been rewritten.
+        return false;
+      case NodeKind::kSome:
+        return RegisterSome(node);
+    }
+    return false;
+  }
+
+  bool RegisterSome(const NodePtr& some) {
+    if (some_insts_.count(some.get())) return true;
+    auto [ok, paths] = Instantiate(some->path, options_.max_inst_paths);
+    if (!ok || static_cast<int64_t>(atoms_.size()) > options_.max_atoms) {
+      supported_ = false;
+      return false;
+    }
+    // Own the instantiated paths (atoms point into them).
+    auto owned = std::make_shared<std::vector<SimplePath>>(std::move(paths));
+    inst_storage_.push_back(owned);
+    some_insts_[some.get()] = owned.get();
+    for (const SimplePath& p : *owned) {
+      // Register suffix atoms and recurse into tests.
+      for (size_t i = 0; i < p.size(); ++i) {
+        if (p[i].kind == SimpleStep::Kind::kTest) {
+          if (!RegisterAll(p[i].test)) return false;
+        } else {
+          RegisterAtom(p, static_cast<int>(i));
+        }
+      }
+      path_suffix_ids_[&p] = SuffixIdsFor(p);
+    }
+    return true;
+  }
+
+  // Canonical key of the suffix of `p` starting at `pos`.
+  std::string SuffixKey(const SimplePath& p, int pos) const {
+    std::ostringstream os;
+    for (size_t i = pos; i < p.size(); ++i) {
+      switch (p[i].kind) {
+        case SimpleStep::Kind::kDown: os << 'D'; break;
+        case SimpleStep::Kind::kDownStar: os << 'S'; break;
+        case SimpleStep::Kind::kTest: os << 'T' << p[i].test.get(); break;
+      }
+    }
+    return os.str();
+  }
+
+  int RegisterAtom(const SimplePath& p, int pos) {
+    std::string key = SuffixKey(p, pos);
+    auto it = atom_ids_.find(key);
+    if (it != atom_ids_.end()) return it->second;
+    int id = static_cast<int>(atoms_.size());
+    atom_ids_.emplace(std::move(key), id);
+    atoms_.push_back(Atom{p[pos].kind, &p, pos});
+    return id;
+  }
+
+  std::vector<int> SuffixIdsFor(const SimplePath& p) {
+    std::vector<int> ids(p.size(), -1);
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (p[i].kind != SimpleStep::Kind::kTest) {
+        ids[i] = atom_ids_.at(SuffixKey(p, static_cast<int>(i)));
+      }
+    }
+    return ids;
+  }
+
+  // --- Truth evaluation against a summary ------------------------------
+
+  bool TruthOfNode(const NodePtr& node, int type, const BitFn& bit) const {
+    switch (node->kind) {
+      case NodeKind::kLabel:
+        return edtd_.types()[type].concrete_label == node->label;
+      case NodeKind::kTrue:
+        return true;
+      case NodeKind::kNot:
+        return !TruthOfNode(node->child1, type, bit);
+      case NodeKind::kAnd:
+        return TruthOfNode(node->child1, type, bit) &&
+               TruthOfNode(node->child2, type, bit);
+      case NodeKind::kOr:
+        return TruthOfNode(node->child1, type, bit) ||
+               TruthOfNode(node->child2, type, bit);
+      case NodeKind::kSome: {
+        const std::vector<SimplePath>* insts = some_insts_.at(node.get());
+        for (const SimplePath& p : *insts) {
+          if (TruthOfSuffix(p, 0, type, bit)) return true;
+        }
+        return false;
+      }
+      case NodeKind::kPathEq:
+      case NodeKind::kIsVar:
+        return false;  // Unreachable after rewriting.
+    }
+    return false;
+  }
+
+  // Truth of the suffix of `p` starting at `pos` at a node with the given
+  // summary: consume leading tests, then consult the headed-atom bit.
+  bool TruthOfSuffix(const SimplePath& p, int pos, int type, const BitFn& bit) const {
+    int i = pos;
+    while (i < static_cast<int>(p.size()) && p[i].kind == SimpleStep::Kind::kTest) {
+      if (!TruthOfNode(p[i].test, type, bit)) return false;
+      ++i;
+    }
+    if (i == static_cast<int>(p.size())) return true;
+    return bit(path_suffix_ids_.at(&p)[i]);
+  }
+
+  // Contribution of a child summary to its parent's accumulated bits.
+  const Bits& ContributionOf(int summary_id) {
+    while (summary_id >= static_cast<int>(contrib_.size())) {
+      contrib_.push_back(ComputeContribution(static_cast<int>(contrib_.size())));
+    }
+    return contrib_[summary_id];
+  }
+
+  Bits ComputeContribution(int summary_id) const {
+    const Summary& c = summaries_[summary_id];
+    Bits out(static_cast<int>(atoms_.size()));
+    BitFn bit = [&](int a) { return c.bits.Get(a); };
+    for (size_t a = 0; a < atoms_.size(); ++a) {
+      const Atom& atom = atoms_[a];
+      if (atom.head == SimpleStep::Kind::kDown) {
+        // ⟨↓/β⟩ at the parent: some child satisfies ⟨β⟩.
+        if (TruthOfSuffix(*atom.path, atom.pos + 1, c.type, bit)) out.Set(a);
+      } else {
+        // ⟨↓*/β⟩ at the parent via a child: the child itself satisfies it.
+        if (c.bits.Get(static_cast<int>(a))) out.Set(a);
+      }
+    }
+    return out;
+  }
+
+  // Resolves the final bits of a candidate node of type `t` whose children
+  // contributed `acc`: ↓-atoms are exactly `acc`; ↓*-atoms additionally
+  // hold if their tail holds at the node itself (well-founded recursion,
+  // Theorem 23's ≺ order).
+  Bits Resolve(int type, const Bits& acc) const {
+    const int n = static_cast<int>(atoms_.size());
+    std::vector<int8_t> memo(n, -1);
+    BitFn bit = [&](int a) -> bool { return ResolveAtom(a, type, acc, &memo); };
+    Bits out(n);
+    for (int a = 0; a < n; ++a) {
+      if (bit(a)) out.Set(a);
+    }
+    return out;
+  }
+
+  bool ResolveAtom(int a, int type, const Bits& acc, std::vector<int8_t>* memo) const {
+    if ((*memo)[a] >= 0) return (*memo)[a] == 1;
+    (*memo)[a] = acc.Get(a) ? 1 : 0;  // Seed; breaks no cycles (the ≺ order
+                                      // is well-founded), but keeps the
+                                      // recursion safe regardless.
+    bool value = acc.Get(a);
+    if (!value && atoms_[a].head == SimpleStep::Kind::kDownStar) {
+      BitFn bit = [&](int b) -> bool { return ResolveAtom(b, type, acc, memo); };
+      value = TruthOfSuffix(*atoms_[a].path, atoms_[a].pos + 1, type, bit);
+    }
+    (*memo)[a] = value ? 1 : 0;
+    return value;
+  }
+
+  // --- Realizability fixpoint ------------------------------------------
+
+  // One pass over type `t`: explores (NFA state-set, accumulated bits)
+  // pairs over the current summaries and adds every realizable summary.
+  bool ExpandType(int t, bool* changed) {
+    const Nfa& nfa = edtd_.ContentNfa(t);
+    struct Node {
+      Bits states;
+      Bits acc;
+      int prev = -1;      // Backpointer into `nodes`.
+      int via_child = -1; // Summary id taken to reach this node.
+    };
+    std::vector<Node> nodes;
+    std::map<std::pair<Bits, Bits>, int> seen;
+    std::queue<int> work;
+
+    auto push = [&](Bits states, Bits acc, int prev, int via) {
+      auto key = std::make_pair(states, acc);
+      if (seen.count(key)) return;
+      int id = static_cast<int>(nodes.size());
+      seen.emplace(std::move(key), id);
+      nodes.push_back({std::move(states), std::move(acc), prev, via});
+      work.push(id);
+    };
+
+    push(nfa.InitialSet(), Bits(static_cast<int>(atoms_.size())), -1, -1);
+    while (!work.empty()) {
+      // The (NFA-state-set, accumulated-bits) space explored per type is
+      // itself exponential; cap it alongside the summary cap.
+      if (static_cast<int64_t>(nodes.size()) > options_.max_summaries) return false;
+      int id = work.front();
+      work.pop();
+      // Acceptance: materialize the summary.
+      if (nfa.AnyAccepting(nodes[id].states)) {
+        Summary s;
+        s.type = t;
+        s.bits = Resolve(t, nodes[id].acc);
+        auto it = summary_index_.find(s);
+        if (it == summary_index_.end()) {
+          int sid = static_cast<int>(summaries_.size());
+          summary_index_.emplace(s, sid);
+          summaries_.push_back(s);
+          // Record the children word for witness extraction.
+          std::vector<int> word;
+          for (int n = id; nodes[n].prev >= 0; n = nodes[n].prev) {
+            word.push_back(nodes[n].via_child);
+          }
+          std::reverse(word.begin(), word.end());
+          derivations_.push_back(std::move(word));
+          *changed = true;
+          if (static_cast<int64_t>(summaries_.size()) > options_.max_summaries) return false;
+        }
+      }
+      // Extend by one child. Note: summaries_ may grow during this pass;
+      // only the summaries present at pass start are used (the outer
+      // fixpoint re-runs until stable).
+      const size_t limit = summaries_.size();
+      for (size_t c = 0; c < limit; ++c) {
+        Bits next = nfa.Step(nodes[id].states, summaries_[c].type);
+        if (next.None()) continue;
+        Bits acc = nodes[id].acc;
+        acc.UnionWith(ContributionOf(static_cast<int>(c)));
+        push(std::move(next), std::move(acc), id, static_cast<int>(c));
+      }
+    }
+    return true;
+  }
+
+  std::vector<bool> ComputeUsableTypes() {
+    const int num_types = static_cast<int>(edtd_.types().size());
+    std::vector<bool> realizable(num_types, false);
+    for (const Summary& s : summaries_) realizable[s.type] = true;
+    std::vector<bool> usable(num_types, false);
+    if (any_root_) {
+      for (int t = 0; t < num_types; ++t) usable[t] = realizable[t];
+      return usable;
+    }
+    int root = edtd_.TypeIndex(edtd_.root_type());
+    usable[root] = realizable[root];
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int t = 0; t < num_types; ++t) {
+        if (!usable[t]) continue;
+        // Types reachable in one step: any type occurring in some word of
+        // L(P(t)) over realizable types.
+        const Nfa& nfa = edtd_.ContentNfa(t);
+        for (int c = 0; c < num_types; ++c) {
+          if (!realizable[c] || usable[c]) continue;
+          if (WordExistsContaining(nfa, realizable, c, nullptr)) {
+            usable[c] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+    return usable;
+  }
+
+  // Is there a word over {t : allowed[t]} in L(nfa) containing `must`?
+  // If `word` is non-null, the found word is stored there.
+  bool WordExistsContaining(const Nfa& nfa, const std::vector<bool>& allowed, int must,
+                            std::vector<int>* word) const {
+    struct Node {
+      Bits states;
+      bool has = false;
+      int prev = -1;
+      int via = -1;
+    };
+    std::vector<Node> nodes;
+    std::map<std::pair<Bits, bool>, int> seen;
+    std::queue<int> work;
+    auto push = [&](Bits states, bool has, int prev, int via) {
+      auto key = std::make_pair(states, has);
+      if (seen.count(key)) return;
+      int id = static_cast<int>(nodes.size());
+      seen.emplace(std::move(key), id);
+      nodes.push_back({std::move(states), has, prev, via});
+      work.push(id);
+    };
+    push(nfa.InitialSet(), false, -1, -1);
+    while (!work.empty()) {
+      int id = work.front();
+      work.pop();
+      if (nodes[id].has && nfa.AnyAccepting(nodes[id].states)) {
+        if (word != nullptr) {
+          for (int n = id; nodes[n].prev >= 0; n = nodes[n].prev) word->push_back(nodes[n].via);
+          std::reverse(word->begin(), word->end());
+        }
+        return true;
+      }
+      for (size_t c = 0; c < allowed.size(); ++c) {
+        if (!allowed[c]) continue;
+        Bits next = nfa.Step(nodes[id].states, static_cast<int>(c));
+        if (next.None()) continue;
+        push(std::move(next), nodes[id].has || static_cast<int>(c) == must,
+             id, static_cast<int>(c));
+      }
+    }
+    return false;
+  }
+
+  // --- Witness construction --------------------------------------------
+
+  // Expands summary `sid` as a subtree under `parent` via its stored
+  // derivation word.
+  void ExpandSummary(int sid, XmlTree* tree, NodeId node) const {
+    for (int child : derivations_[sid]) {
+      NodeId c = tree->AddChild(node, edtd_.types()[summaries_[child].type].concrete_label);
+      ExpandSummary(child, tree, c);
+    }
+  }
+
+  XmlTree BuildWitness(int target_sid, const std::vector<bool>& usable) {
+    const int num_types = static_cast<int>(edtd_.types().size());
+    std::vector<bool> realizable(num_types, false);
+    for (const Summary& s : summaries_) realizable[s.type] = true;
+
+    const int target_type = summaries_[target_sid].type;
+    // Chain of types from a root to target_type (BFS over usable types).
+    std::vector<int> parent(num_types, -1);
+    std::vector<bool> visited(num_types, false);
+    std::queue<int> q;
+    int start = any_root_ ? target_type : edtd_.TypeIndex(edtd_.root_type());
+    if (any_root_) {
+      // The target itself can be the root.
+      XmlTree tree(edtd_.types()[target_type].concrete_label);
+      ExpandSummary(target_sid, &tree, tree.root());
+      return tree;
+    }
+    visited[start] = true;
+    q.push(start);
+    while (!q.empty()) {
+      int t = q.front();
+      q.pop();
+      if (t == target_type) break;
+      const Nfa& nfa = edtd_.ContentNfa(t);
+      for (int c = 0; c < num_types; ++c) {
+        if (visited[c] || !realizable[c]) continue;
+        if (WordExistsContaining(nfa, realizable, c, nullptr)) {
+          visited[c] = true;
+          parent[c] = t;
+          q.push(c);
+        }
+      }
+    }
+    // Path root = t0 → t1 → … → target.
+    std::vector<int> chain;
+    for (int t = target_type; t != -1; t = parent[t]) chain.push_back(t);
+    std::reverse(chain.begin(), chain.end());
+
+    XmlTree tree(edtd_.types()[chain[0]].concrete_label);
+    NodeId at = tree.root();
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      // Children word of chain[i] containing chain[i+1].
+      std::vector<int> word;
+      bool ok = WordExistsContaining(edtd_.ContentNfa(chain[i]), realizable, chain[i + 1], &word);
+      assert(ok);
+      (void)ok;
+      NodeId next_at = kNoNode;
+      for (int ct : word) {
+        NodeId c = tree.AddChild(at, edtd_.types()[ct].concrete_label);
+        if (ct == chain[i + 1] && next_at == kNoNode) {
+          next_at = c;
+          if (i + 2 == chain.size()) {
+            // Deepest level: expand the target summary here.
+            ExpandSummary(target_sid, &tree, c);
+          }
+        } else {
+          // Fill with any realizable summary of type ct.
+          for (size_t s = 0; s < summaries_.size(); ++s) {
+            if (summaries_[s].type == ct) {
+              ExpandSummary(static_cast<int>(s), &tree, c);
+              break;
+            }
+          }
+        }
+      }
+      at = next_at;
+    }
+    if (chain.size() == 1) ExpandSummary(target_sid, &tree, at);
+    return tree;
+  }
+
+  DownwardSatOptions options_;
+  const Edtd& edtd_;
+  bool any_root_ = false;
+  NodePtr phi_;
+  bool supported_ = true;
+
+  // inst(α) storage and atom registry.
+  std::vector<std::shared_ptr<std::vector<SimplePath>>> inst_storage_;
+  std::map<const NodeExpr*, const std::vector<SimplePath>*> some_insts_;
+  std::map<std::string, int> atom_ids_;
+  std::vector<Atom> atoms_;
+  std::map<const SimplePath*, std::vector<int>> path_suffix_ids_;
+
+  // Fixpoint state.
+  std::vector<Summary> summaries_;
+  std::unordered_map<Summary, int, SummaryHash> summary_index_;
+  std::vector<std::vector<int>> derivations_;
+  std::vector<Bits> contrib_;
+};
+
+}  // namespace
+
+SatResult DownwardSatisfiableWithEdtd(const NodePtr& phi, const Edtd& edtd,
+                                      const DownwardSatOptions& options) {
+  DownwardEngine engine(phi, edtd, /*any_root=*/false, options);
+  return engine.Run();
+}
+
+SatResult DownwardSatisfiable(const NodePtr& phi, const DownwardSatOptions& options) {
+  std::set<std::string> labels = Labels(phi);
+  labels.insert(FreshLabel(labels, "_other"));
+  // Free schema: every label, any children.
+  std::vector<Edtd::TypeDef> types;
+  RegexPtr any;
+  for (const std::string& l : labels) any = any ? RxUnion(any, RxSymbol(l)) : RxSymbol(l);
+  for (const std::string& l : labels) types.push_back({l, RxStar(any), l});
+  Edtd free_schema(std::move(types), *labels.begin());
+  DownwardEngine engine(phi, free_schema, /*any_root=*/true, options);
+  return engine.Run();
+}
+
+}  // namespace xpc

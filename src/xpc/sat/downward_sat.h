@@ -1,0 +1,49 @@
+#ifndef XPC_SAT_DOWNWARD_SAT_H_
+#define XPC_SAT_DOWNWARD_SAT_H_
+
+#include "xpc/edtd/edtd.h"
+#include "xpc/sat/engine.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Resource limits for the downward engine.
+struct DownwardSatOptions {
+  int64_t max_inst_paths = 200'000;  ///< Cap on |inst(α)| per ⟨α⟩ (Lemma 20).
+  int64_t max_summaries = 500'000;   ///< Cap on distinct (type, bits) summaries.
+  int64_t max_atoms = 500'000;       ///< Cap on registered suffix atoms.
+  bool want_witness = true;
+};
+
+/// The EXPSPACE decision procedure for CoreXPath↓(∩) with respect to EDTDs
+/// (Section 5, Figure 2), implemented as a deterministic bottom-up
+/// realizability fixpoint over *complete types*:
+///
+///  - path expressions are instantiated into unions of simple paths
+///    (inst/int of Lemma 20);
+///  - a node's complete type is (abstract EDTD label, truth of every
+///    ↓- or ↓*-headed suffix atom of aux(φ₀)) — all other members of
+///    cl(φ₀) are derived;
+///  - a summary is realizable iff some children word accepted by the
+///    content model yields exactly its atom bits (the paper's demand /
+///    compatibility conditions become an exact computation when the search
+///    runs over (NFA state-set, accumulated-bits) pairs);
+///  - φ₀ is satisfiable iff some realizable summary satisfies φ₀ and its
+///    type is reachable from the root type through realizable content
+///    words.
+///
+/// Path equalities are first rewritten as α ≈ β ⇝ ⟨α ∩ β⟩. Inputs outside
+/// CoreXPath↓(∩, ≈) yield kResourceLimit with engine "downward-sat:unsupported".
+SatResult DownwardSatisfiableWithEdtd(const NodePtr& phi, const Edtd& edtd,
+                                      const DownwardSatOptions& options = {});
+
+/// Satisfiability without a schema: runs the same engine against the
+/// nonrestrictive schema over the formula's labels plus a fresh label, with
+/// every label admissible at the root (the Proposition 5 reduction,
+/// simplified — a downward formula holds at a node iff it holds at the root
+/// of that node's subtree).
+SatResult DownwardSatisfiable(const NodePtr& phi, const DownwardSatOptions& options = {});
+
+}  // namespace xpc
+
+#endif  // XPC_SAT_DOWNWARD_SAT_H_

@@ -1,0 +1,14 @@
+#include "xpc/sat/engine.h"
+
+namespace xpc {
+
+const char* SolveStatusName(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kSat: return "sat";
+    case SolveStatus::kUnsat: return "unsat";
+    case SolveStatus::kResourceLimit: return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace xpc

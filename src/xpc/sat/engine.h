@@ -1,0 +1,33 @@
+#ifndef XPC_SAT_ENGINE_H_
+#define XPC_SAT_ENGINE_H_
+
+#include <optional>
+#include <string>
+
+#include "xpc/tree/xml_tree.h"
+
+namespace xpc {
+
+/// Outcome of a satisfiability / containment query.
+enum class SolveStatus {
+  kSat,            ///< Satisfiable (witness may be attached).
+  kUnsat,          ///< Unsatisfiable (definitive).
+  kResourceLimit,  ///< Gave up within the configured limits (bounded
+                   ///< engines, or state-space caps) — answer unknown.
+};
+
+const char* SolveStatusName(SolveStatus status);
+
+/// A satisfiability verdict with an optional witness tree. For containment
+/// queries the witness is a counterexample tree.
+struct SatResult {
+  SolveStatus status = SolveStatus::kResourceLimit;
+  std::optional<XmlTree> witness;
+  /// Engine statistics (for the benchmark harness).
+  int64_t explored_states = 0;
+  std::string engine;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_SAT_ENGINE_H_

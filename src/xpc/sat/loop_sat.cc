@@ -1,0 +1,460 @@
+#include "xpc/sat/loop_sat.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/pathauto/state_relation.h"
+
+namespace xpc {
+
+namespace {
+
+// A node summary: (label, D per automaton stratum, U per stratum). U
+// components are always pool members and are stored as pool indices, which
+// makes the child-U consistency checks integer comparisons.
+struct Item {
+  int label = 0;
+  std::vector<StateRel> d;
+  std::vector<int> u_ids;
+
+  bool operator==(const Item& o) const {
+    return label == o.label && u_ids == o.u_ids && d == o.d;
+  }
+
+  size_t Hash() const {
+    size_t h = static_cast<size_t>(label) * 0x9e3779b97f4a7c15ULL;
+    for (const StateRel& r : d) h = h * 1099511628211ULL + r.Hash();
+    for (int u : u_ids) h = h * 1099511628211ULL + static_cast<size_t>(u + 1);
+    return h;
+  }
+};
+
+struct ItemHash {
+  size_t operator()(const Item& i) const { return i.Hash(); }
+};
+
+// Move matrices and test transitions of one automaton stratum.
+struct AutoData {
+  PathAutoPtr automaton;
+  int nq = 0;
+  StateRel down1, up1, right, left;
+  struct TestEdge {
+    int from;
+    LExprPtr test;
+    int to;
+  };
+  std::vector<TestEdge> tests;
+};
+
+// Derivation backpointers for witness reconstruction.
+struct Derivation {
+  int fc = -1;
+  int ns = -1;
+};
+
+// An interning table for state relations.
+class RelTable {
+ public:
+  int Intern(const StateRel& r) {
+    auto [it, inserted] = ids_.emplace(r, static_cast<int>(rels_.size()));
+    if (inserted) rels_.push_back(r);
+    return it->second;
+  }
+  // Lookup without inserting; -1 if unknown.
+  int Find(const StateRel& r) const {
+    auto it = ids_.find(r);
+    return it == ids_.end() ? -1 : it->second;
+  }
+  const StateRel& Get(int id) const { return rels_[id]; }
+  int size() const { return static_cast<int>(rels_.size()); }
+  void Clear() {
+    ids_.clear();
+    rels_.clear();
+  }
+
+ private:
+  std::map<StateRel, int> ids_;
+  std::vector<StateRel> rels_;
+};
+
+class LoopSatEngine {
+ public:
+  LoopSatEngine(const LExprPtr& phi, const LoopSatOptions& options)
+      : options_(options), target_(MergeStrataAutomata(SomewhereInTree(phi))) {
+    // Label table: labels of φ plus one fresh label (Proposition 4's
+    // argument: labels not occurring in φ are interchangeable, so one
+    // representative label suffices).
+    for (const std::string& l : CollectLabels(target_)) labels_.push_back(l);
+    labels_.push_back("_other");
+
+    for (const PathAutoPtr& a : CollectAutomata(target_)) {
+      AutoData data;
+      data.automaton = a;
+      data.nq = a->num_states;
+      data.down1 = StateRel(data.nq);
+      data.up1 = StateRel(data.nq);
+      data.right = StateRel(data.nq);
+      data.left = StateRel(data.nq);
+      for (const PathAutomaton::Transition& t : a->transitions) {
+        switch (t.move) {
+          case Move::kDown1: data.down1.Set(t.from, t.to); break;
+          case Move::kUp1: data.up1.Set(t.from, t.to); break;
+          case Move::kRight: data.right.Set(t.from, t.to); break;
+          case Move::kLeft: data.left.Set(t.from, t.to); break;
+          case Move::kTest: data.tests.push_back({t.from, t.test, t.to}); break;
+        }
+      }
+      auto_index_[a.get()] = static_cast<int>(autos_.size());
+      autos_.push_back(std::move(data));
+    }
+  }
+
+  SatResult Run() {
+    const int num_autos = static_cast<int>(autos_.size());
+    pools_.assign(num_autos, RelTable());
+    for (int k = 0; k < num_autos; ++k) {
+      // Prefix phase at level k+1: summaries (label, d[0..k], u[0..k-1]).
+      if (!ComputeItems(k + 1, /*final_phase=*/false, nullptr, nullptr)) return Limit();
+      if (!GrowPool(k)) return Limit();
+    }
+    // Final phase: full consistency, SAT detection, derivation tracking.
+    std::vector<Derivation> derivs;
+    int sat_index = -1;
+    if (!ComputeItems(num_autos, /*final_phase=*/true, &derivs, &sat_index)) return Limit();
+
+    SatResult result;
+    result.engine = "loop-sat";
+    result.explored_states = explored_;
+    if (sat_index < 0) {
+      result.status = SolveStatus::kUnsat;
+      return result;
+    }
+    result.status = SolveStatus::kSat;
+    if (options_.want_witness) {
+      XmlTree tree(labels_[items_[sat_index].label]);
+      if (derivs[sat_index].fc >= 0) {
+        BuildSubtree(derivs, derivs[sat_index].fc, &tree, tree.root());
+      }
+      result.witness = std::move(tree);
+    }
+    return result;
+  }
+
+ private:
+  SatResult Limit() {
+    SatResult r;
+    r.engine = "loop-sat";
+    r.status = SolveStatus::kResourceLimit;
+    r.explored_states = explored_;
+    return r;
+  }
+
+  // Truth of `e` at a node with the given label, where the loop relation of
+  // stratum j is supplied in loops[j] (entries beyond the known strata are
+  // never consulted because tests are stratified).
+  bool EvalTest(const LExprPtr& e, int label, const std::vector<StateRel>& loops) const {
+    switch (e->kind) {
+      case LExpr::Kind::kLabel:
+        return labels_[label] == e->label;
+      case LExpr::Kind::kTrue:
+        return true;
+      case LExpr::Kind::kNot:
+        return !EvalTest(e->a, label, loops);
+      case LExpr::Kind::kAnd:
+        return EvalTest(e->a, label, loops) && EvalTest(e->b, label, loops);
+      case LExpr::Kind::kOr:
+        return EvalTest(e->a, label, loops) || EvalTest(e->b, label, loops);
+      case LExpr::Kind::kLoop: {
+        const int j = auto_index_.at(e->automaton.get());
+        assert(j < static_cast<int>(loops.size()));
+        return loops[j].Get(e->q_from, e->q_to);
+      }
+    }
+    return false;
+  }
+
+  // Test-step generator matrix T for automaton stratum `j`.
+  StateRel TestRel(int j, int label, const std::vector<StateRel>& loops) const {
+    const AutoData& a = autos_[j];
+    StateRel t(a.nq);
+    for (const AutoData::TestEdge& e : a.tests) {
+      if (EvalTest(e.test, label, loops)) t.Set(e.from, e.to);
+    }
+    return t;
+  }
+
+  // Expected pool id of the child U in slot `side` (0 = first child, 1 =
+  // next sibling), given the parent's interned test matrix `t_id`, the
+  // *other* child's excursion matrix id (`other_exc_id`, -1 if absent), and
+  // the parent's own U pool id. Returns -2 if the expected relation is not
+  // a pool member (then no child can match). Memoized.
+  int ExpectedChildUId(int j, int t_id, int other_exc_id, int u_id, int side) {
+    uint64_t key = ((static_cast<uint64_t>(t_id) * 2097152 + (other_exc_id + 1)) * 2097152 +
+                    u_id) * 2 + side;
+    auto it = expected_memo_[j].find(key);
+    if (it != expected_memo_[j].end()) return it->second;
+    const AutoData& a = autos_[j];
+    StateRel m = test_table_[j].Get(t_id);
+    if (other_exc_id >= 0) m.UnionWith(exc_table_[j].Get(other_exc_id));
+    m.UnionWith(pools_[j].Get(u_id));
+    m.CloseReflexiveTransitive();
+    StateRel expected = side == 0 ? a.up1.Compose(m).Compose(a.down1)
+                                  : a.left.Compose(m).Compose(a.right);
+    int id = pools_[j].Find(expected);
+    if (id < 0) id = -2;
+    expected_memo_[j].emplace(key, id);
+    return id;
+  }
+
+  // Interleaved bottom-up derivation: d[j] is computed from the children's
+  // excursion matrices and the tests (which depend only on lower strata),
+  // then u[j] is chosen from the pool with immediate child-consistency
+  // pruning. `loops` accumulates L_j = closure(d_j ∪ u_j) for test
+  // evaluation at higher strata.
+  bool Extend(int j, int level, int u_size, Item* partial, std::vector<StateRel>* loops,
+              int fc_id, int ns_id, const std::function<bool(const Item&)>& f) {
+    if (j == level) return f(*partial);
+    const AutoData& a = autos_[j];
+    StateRel tests = TestRel(j, partial->label, *loops);
+    StateRel d = tests;
+    if (fc_id >= 0) d.UnionWith(exc_table_[j].Get(item_exc_[fc_id][j].as_fc));
+    if (ns_id >= 0) d.UnionWith(exc_table_[j].Get(item_exc_[ns_id][j].as_ns));
+    d.CloseReflexiveTransitive();
+    partial->d.push_back(d);
+
+    bool ok = true;
+    if (j >= u_size) {
+      // Last stratum of a prefix phase carries no U component; its L entry
+      // is never consulted (no higher strata in this phase).
+      loops->push_back(StateRel(a.nq));
+      ok = Extend(j + 1, level, u_size, partial, loops, fc_id, ns_id, f);
+      loops->pop_back();
+    } else {
+      const int t_id = test_table_[j].Intern(tests);
+      const int fc_exc_ns = fc_id >= 0 ? item_exc_[fc_id][j].as_fc : -1;
+      const int ns_exc = ns_id >= 0 ? item_exc_[ns_id][j].as_ns : -1;
+      for (int u_id = 0; ok && u_id < pools_[j].size(); ++u_id) {
+        if (fc_id >= 0 &&
+            ExpectedChildUId(j, t_id, ns_exc, u_id, 0) != items_[fc_id].u_ids[j]) {
+          continue;
+        }
+        if (ns_id >= 0 &&
+            ExpectedChildUId(j, t_id, fc_exc_ns, u_id, 1) != items_[ns_id].u_ids[j]) {
+          continue;
+        }
+        partial->u_ids.push_back(u_id);
+        StateRel l = d;
+        l.UnionWith(pools_[j].Get(u_id));
+        l.CloseReflexiveTransitive();
+        loops->push_back(std::move(l));
+        ok = Extend(j + 1, level, u_size, partial, loops, fc_id, ns_id, f);
+        loops->pop_back();
+        partial->u_ids.pop_back();
+      }
+    }
+    partial->d.pop_back();
+    return ok;
+  }
+
+  // Full loop relations of an item (closure(d_j ∪ u_j) per stratum).
+  std::vector<StateRel> LoopsOf(const Item& item) const {
+    std::vector<StateRel> loops;
+    for (size_t j = 0; j < item.d.size(); ++j) {
+      StateRel l = item.d[j];
+      if (j < item.u_ids.size()) l.UnionWith(pools_[j].Get(item.u_ids[j]));
+      l.CloseReflexiveTransitive();
+      loops.push_back(std::move(l));
+    }
+    return loops;
+  }
+
+  // Bottom-up realizability fixpoint at `level` strata. Fills items_ /
+  // item-excursion caches; in the final phase records derivations and
+  // checks the SAT condition.
+  bool ComputeItems(int level, bool final_phase, std::vector<Derivation>* derivs,
+                    int* sat_index) {
+    const int u_size = final_phase ? level : level - 1;
+    items_.clear();
+    item_exc_.clear();
+    item_index_.clear();
+    for (int j = 0; j < static_cast<int>(autos_.size()); ++j) {
+      test_table_[j].Clear();
+      expected_memo_[j].clear();
+    }
+    std::vector<char> is_root_candidate;
+
+    auto sat_found = [&] { return final_phase && sat_index != nullptr && *sat_index >= 0; };
+
+    auto add_item = [&](const Item& item, int fc, int ns) -> bool {
+      auto it = item_index_.find(item);
+      int id;
+      if (it == item_index_.end()) {
+        id = static_cast<int>(items_.size());
+        item_index_.emplace(item, id);
+        items_.push_back(item);
+        // Cache both excursion-orientation matrices per stratum.
+        std::vector<ExcIds> exc(level);
+        for (int j = 0; j < level; ++j) {
+          const AutoData& a = autos_[j];
+          exc[j].as_fc = exc_table_[j].Intern(a.down1.Compose(item.d[j]).Compose(a.up1));
+          exc[j].as_ns = exc_table_[j].Intern(a.right.Compose(item.d[j]).Compose(a.left));
+        }
+        item_exc_.push_back(std::move(exc));
+        if (derivs != nullptr) derivs->push_back({fc, ns});
+        is_root_candidate.push_back(ns < 0 ? 1 : 0);
+        ++explored_;
+      } else {
+        id = it->second;
+        if (ns < 0 && !is_root_candidate[id]) {
+          is_root_candidate[id] = 1;
+          if (derivs != nullptr) (*derivs)[id] = {fc, ns};
+        }
+      }
+      if (final_phase && sat_index != nullptr && *sat_index < 0 && is_root_candidate[id]) {
+        // SAT condition: an FCNS root — all U components empty (no parent,
+        // no left sibling) — whose loop relations satisfy the target.
+        bool all_empty = true;
+        for (int j = 0; j < u_size; ++j) {
+          all_empty = all_empty && pools_[j].Get(items_[id].u_ids[j]) == StateRel(autos_[j].nq);
+        }
+        if (all_empty &&
+            EvalTest(target_, items_[id].label, LoopsOf(items_[id]))) {
+          *sat_index = id;
+        }
+      }
+      return explored_ < options_.max_items && !sat_found();
+    };
+
+    const int num_labels = static_cast<int>(labels_.size());
+    std::vector<StateRel> loops;
+    auto try_children = [&](int fc_id, int ns_id) -> bool {
+      for (int label = 0; label < num_labels; ++label) {
+        Item partial;
+        partial.label = label;
+        loops.clear();
+        bool ok = Extend(0, level, u_size, &partial, &loops, fc_id, ns_id,
+                         [&](const Item& item) { return add_item(item, fc_id, ns_id); });
+        if (!ok) return false;
+      }
+      return true;
+    };
+
+    if (!try_children(-1, -1)) return sat_found();
+    size_t processed = 0;
+    while (processed < items_.size()) {
+      if (sat_found()) return true;
+      const int current = static_cast<int>(processed);
+      ++processed;
+      if (!try_children(current, -1)) return sat_found();
+      if (!try_children(-1, current)) return sat_found();
+      for (int other = 0; other < static_cast<int>(processed); ++other) {
+        if (!try_children(current, other)) return sat_found();
+        if (other != current && !try_children(other, current)) return sat_found();
+      }
+    }
+    return true;
+  }
+
+  // Grows pool_k from parent configurations over the current (prefix)
+  // items, as a worklist fixpoint over deduplicated base matrices
+  // T_parent ∪ excursion(other child).
+  bool GrowPool(int k) {
+    const AutoData& a = autos_[k];
+    // Deduplicate by interned (test-matrix id, excursion id) pairs before
+    // materializing matrices: the quadratic items x items loop then only
+    // touches integers.
+    std::set<int> t_ids;
+    std::set<int> exc_ids[2];  // [0]: excursion as next sibling; [1]: as first child.
+    exc_ids[0].insert(-1);
+    exc_ids[1].insert(-1);
+    for (const Item& parent : items_) {
+      t_ids.insert(test_table_[k].Intern(TestRel(k, parent.label, LoopsOf(parent))));
+    }
+    for (const auto& exc : item_exc_) {
+      exc_ids[0].insert(exc[k].as_ns);
+      exc_ids[1].insert(exc[k].as_fc);
+    }
+    std::set<StateRel> base_set[2];
+    for (int t_id : t_ids) {
+      for (int side = 0; side < 2; ++side) {
+        for (int exc_id : exc_ids[side]) {
+          StateRel base = test_table_[k].Get(t_id);
+          if (exc_id >= 0) base.UnionWith(exc_table_[k].Get(exc_id));
+          base_set[side].insert(std::move(base));
+        }
+      }
+    }
+
+    RelTable& pool = pools_[k];
+    std::vector<int> worklist;
+    worklist.push_back(pool.Intern(StateRel(a.nq)));  // U_k(root) = ∅.
+    while (!worklist.empty()) {
+      StateRel u = pool.Get(worklist.back());
+      worklist.pop_back();
+      for (int side = 0; side < 2; ++side) {
+        for (const StateRel& base : base_set[side]) {
+          StateRel m = base;
+          m.UnionWith(u);
+          m.CloseReflexiveTransitive();
+          StateRel expected = side == 0 ? a.up1.Compose(m).Compose(a.down1)
+                                        : a.left.Compose(m).Compose(a.right);
+          int before = pool.size();
+          int id = pool.Intern(expected);
+          if (pool.size() > before) {
+            worklist.push_back(id);
+            if (pool.size() > options_.max_pool) return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  void BuildSubtree(const std::vector<Derivation>& derivs, int item_id, XmlTree* tree,
+                    NodeId parent) const {
+    NodeId node = tree->AddChild(parent, labels_[items_[item_id].label]);
+    if (derivs[item_id].fc >= 0) BuildSubtree(derivs, derivs[item_id].fc, tree, node);
+    if (derivs[item_id].ns >= 0) BuildSubtree(derivs, derivs[item_id].ns, tree, parent);
+  }
+
+  struct ExcIds {
+    int as_fc = -1;
+    int as_ns = -1;
+  };
+
+  LoopSatOptions options_;
+  LExprPtr target_;
+  std::vector<std::string> labels_;
+  std::vector<AutoData> autos_;
+  std::map<const PathAutomaton*, int> auto_index_;
+
+  std::vector<RelTable> pools_;
+  // Per-stratum interning tables and memos (keyed by stratum index;
+  // operator[] default-constructs). The excursion table persists across
+  // phases (the matrices are phase-independent); test tables and the
+  // expected-U memo are cleared per phase because their ids are reassigned.
+  std::map<int, RelTable> exc_table_;
+  std::map<int, RelTable> test_table_;
+  std::map<int, std::unordered_map<uint64_t, int>> expected_memo_;
+
+  // Items of the current phase.
+  std::vector<Item> items_;
+  std::vector<std::vector<ExcIds>> item_exc_;
+  std::unordered_map<Item, int, ItemHash> item_index_;
+
+  int64_t explored_ = 0;
+};
+
+}  // namespace
+
+SatResult LoopSatisfiable(const LExprPtr& phi, const LoopSatOptions& options) {
+  LoopSatEngine engine(phi, options);
+  return engine.Run();
+}
+
+}  // namespace xpc

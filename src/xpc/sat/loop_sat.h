@@ -1,0 +1,48 @@
+#ifndef XPC_SAT_LOOP_SAT_H_
+#define XPC_SAT_LOOP_SAT_H_
+
+#include "xpc/pathauto/lexpr.h"
+#include "xpc/sat/engine.h"
+
+namespace xpc {
+
+/// Resource limits for the loop-satisfiability engine.
+struct LoopSatOptions {
+  /// Cap on the total number of node summaries explored across all strata.
+  int64_t max_items = 2'000'000;
+  /// Cap on the number of context (U) values discovered per automaton.
+  int64_t max_pool = 200'000;
+  /// Extract a witness tree on SAT.
+  bool want_witness = true;
+};
+
+/// The EXPTIME satisfiability engine for CoreXPath_NFA(*, loop)
+/// (Theorem 13), implemented as a bottom-up realizability fixpoint over
+/// node summaries on the FCNS view — the finite-tree counterpart of the
+/// paper's 2ATA emptiness test (Theorem 10).
+///
+/// A summary of a node v is (label, D₁..D_K, U₁..U_K) where, per automaton
+/// π_k (strata ordered so that π_k's tests mention only lower strata),
+/// D_k(v) collects the loops of π_k below v and U_k(v) the first-return
+/// excursions above v (Lemma 11 split into two passes). The algorithm:
+///
+///   for each stratum k: compute the set of realizable "prefix summaries"
+///   (label, D₁..D_k, U₁..U_{k−1}) bottom-up (D_k never depends on U_k, so
+///   this is well-founded), then generate the pool of possible U_k values
+///   top-down from parent configurations (U_k(root) = ∅; U_k(child) is a
+///   function of the parent's tests, the sibling's D_k, and the parent's
+///   U_k). Finally, re-run the bottom-up fixpoint with full child-U
+///   consistency checks over the discovered pools.
+///
+/// φ is satisfiable iff some final summary with all-empty U (= FCNS root:
+/// no parent, no siblings), derivable with the next-sibling slot absent, and
+/// satisfying the SomewhereInTree(φ) wrapper exists. On SAT a witness tree
+/// is reconstructed from the derivation.
+///
+/// The engine is sound and complete; `kResourceLimit` is returned only when
+/// the configured caps are hit.
+SatResult LoopSatisfiable(const LExprPtr& phi, const LoopSatOptions& options = {});
+
+}  // namespace xpc
+
+#endif  // XPC_SAT_LOOP_SAT_H_

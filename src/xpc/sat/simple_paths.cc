@@ -1,0 +1,189 @@
+#include "xpc/sat/simple_paths.h"
+
+#include "xpc/xpath/build.h"
+
+namespace xpc {
+
+namespace {
+
+SimplePath Prepend(SimpleStep head, const SimplePath& tail) {
+  SimplePath out;
+  out.reserve(tail.size() + 1);
+  out.push_back(std::move(head));
+  out.insert(out.end(), tail.begin(), tail.end());
+  return out;
+}
+
+SimplePath Tail(const SimplePath& p) { return SimplePath(p.begin() + 1, p.end()); }
+
+bool IsDown(const SimplePath& p) { return !p.empty() && p[0].kind == SimpleStep::Kind::kDown; }
+bool IsDownStar(const SimplePath& p) {
+  return !p.empty() && p[0].kind == SimpleStep::Kind::kDownStar;
+}
+bool IsTest(const SimplePath& p) { return !p.empty() && p[0].kind == SimpleStep::Kind::kTest; }
+
+void PushAll(std::vector<SimplePath>* out, std::vector<SimplePath> more) {
+  for (SimplePath& p : more) out->push_back(std::move(p));
+}
+
+std::vector<SimplePath> PrependAll(SimpleStep head, std::vector<SimplePath> paths) {
+  std::vector<SimplePath> out;
+  out.reserve(paths.size());
+  for (SimplePath& p : paths) out.push_back(Prepend(head, p));
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+// int{α, β} with a recursion budget: the recursion tree itself can be
+// exponential long before the produced set exceeds any size cap.
+std::vector<SimplePath> IntersectBudgeted(const SimplePath& a, const SimplePath& b,
+                                          int64_t* budget);
+
+}  // namespace
+
+// int{α, β} of Lemma 20, by induction on |α| + |β|.
+std::vector<SimplePath> IntersectSimple(const SimplePath& a, const SimplePath& b) {
+  int64_t budget = int64_t{1} << 40;
+  return IntersectBudgeted(a, b, &budget);
+}
+
+namespace {
+
+std::vector<SimplePath> IntersectBudgeted(const SimplePath& a, const SimplePath& b,
+                                          int64_t* budget) {
+  if (--*budget < 0) return {};  // Exhausted: caller detects via the budget.
+  auto IntersectSimple = [budget](const SimplePath& x, const SimplePath& y) {
+    return IntersectBudgeted(x, y, budget);
+  };
+  // int{α} = {α} (both components equal).
+  if (a == b) return {a};
+  // Tests commute out of either side: int{.[φ]/α, β} = .[φ]/int{α, β}.
+  if (IsTest(a)) return PrependAll(a[0], IntersectSimple(Tail(a), b));
+  if (IsTest(b)) return PrependAll(b[0], IntersectSimple(a, Tail(b)));
+  // ε cases (after tests are stripped).
+  if (a.empty()) {
+    if (b.empty()) return {SimplePath{}};
+    if (IsDown(b)) return {};                        // int{ε, ↓/β} = ∅.
+    return IntersectSimple(a, Tail(b));              // int{ε, ↓*/β} = int{ε, β}.
+  }
+  if (b.empty()) return IntersectSimple(b, a);
+  // Both start with ↓ or ↓*.
+  if (IsDown(a) && IsDown(b)) {
+    return PrependAll(a[0], IntersectSimple(Tail(a), Tail(b)));
+  }
+  if (IsDown(a) && IsDownStar(b)) {
+    // ↓* takes zero steps here, or both take a ↓ step.
+    std::vector<SimplePath> out = IntersectSimple(a, Tail(b));
+    PushAll(&out, PrependAll(a[0], IntersectSimple(Tail(a), b)));
+    return out;
+  }
+  if (IsDownStar(a) && IsDown(b)) return IntersectSimple(b, a);
+  // int{↓*/α, ↓*/β} = ↓*/int{↓*/α, β} ∪ ↓*/int{α, ↓*/β}.
+  std::vector<SimplePath> out = PrependAll(a[0], IntersectSimple(a, Tail(b)));
+  PushAll(&out, PrependAll(a[0], IntersectSimple(Tail(a), b)));
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+// inst(α) of Lemma 20. Returns false on unsupported operators or blowup.
+bool Inst(const PathPtr& path, int64_t max_paths, std::vector<SimplePath>* out) {
+  switch (path->kind) {
+    case PathKind::kAxis:
+      if (path->axis != Axis::kChild) return false;
+      out->push_back({SimpleStep{SimpleStep::Kind::kDown, nullptr}});
+      return true;
+    case PathKind::kAxisStar:
+      if (path->axis != Axis::kChild) return false;
+      out->push_back({SimpleStep{SimpleStep::Kind::kDownStar, nullptr}});
+      return true;
+    case PathKind::kSelf:
+      // inst(.) = {.[⊤]}.
+      out->push_back({SimpleStep{SimpleStep::Kind::kTest, True()}});
+      return true;
+    case PathKind::kFilter: {
+      // inst(α[φ]) = {γ/.[φ] : γ ∈ inst(α)}.
+      std::vector<SimplePath> base;
+      if (!Inst(path->left, max_paths, &base)) return false;
+      for (SimplePath& p : base) {
+        p.push_back(SimpleStep{SimpleStep::Kind::kTest, path->filter});
+        out->push_back(std::move(p));
+      }
+      return true;
+    }
+    case PathKind::kSeq: {
+      std::vector<SimplePath> l, r;
+      if (!Inst(path->left, max_paths, &l) || !Inst(path->right, max_paths, &r)) return false;
+      if (static_cast<int64_t>(l.size()) * static_cast<int64_t>(r.size()) > max_paths) {
+        return false;
+      }
+      for (const SimplePath& pl : l) {
+        for (const SimplePath& pr : r) {
+          SimplePath joined = pl;
+          joined.insert(joined.end(), pr.begin(), pr.end());
+          out->push_back(std::move(joined));
+        }
+      }
+      return true;
+    }
+    case PathKind::kUnion: {
+      if (!Inst(path->left, max_paths, out)) return false;
+      return Inst(path->right, max_paths, out);
+    }
+    case PathKind::kIntersect: {
+      std::vector<SimplePath> l, r;
+      if (!Inst(path->left, max_paths, &l) || !Inst(path->right, max_paths, &r)) return false;
+      // Budget on the int{} recursion itself: its call tree can be
+      // exponential before producing max_paths results.
+      int64_t budget = 256 * max_paths;
+      for (const SimplePath& pl : l) {
+        for (const SimplePath& pr : r) {
+          PushAll(out, IntersectBudgeted(pl, pr, &budget));
+          if (budget < 0 || static_cast<int64_t>(out->size()) > max_paths) return false;
+        }
+      }
+      return true;
+    }
+    case PathKind::kStar:
+    case PathKind::kComplement:
+    case PathKind::kFor:
+      return false;  // Outside CoreXPath↓(∩).
+  }
+  return false;
+}
+
+}  // namespace
+
+std::pair<bool, std::vector<SimplePath>> Instantiate(const PathPtr& path, int64_t max_paths) {
+  std::vector<SimplePath> out;
+  if (!Inst(path, max_paths, &out) || static_cast<int64_t>(out.size()) > max_paths) {
+    return {false, {}};
+  }
+  return {true, std::move(out)};
+}
+
+PathPtr SimplePathToPathExpr(const SimplePath& path) {
+  if (path.empty()) return Self();
+  std::vector<PathPtr> parts;
+  for (const SimpleStep& s : path) {
+    switch (s.kind) {
+      case SimpleStep::Kind::kDown:
+        parts.push_back(Ax(Axis::kChild));
+        break;
+      case SimpleStep::Kind::kDownStar:
+        parts.push_back(AxStar(Axis::kChild));
+        break;
+      case SimpleStep::Kind::kTest:
+        parts.push_back(Test(s.test));
+        break;
+    }
+  }
+  return SeqAll(std::move(parts));
+}
+
+}  // namespace xpc

@@ -1,0 +1,43 @@
+#ifndef XPC_SAT_SIMPLE_PATHS_H_
+#define XPC_SAT_SIMPLE_PATHS_H_
+
+#include <vector>
+
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// One step of a *simple* CoreXPath↓(∩) path expression (Section 5): ↓, ↓*
+/// or a test .[φ].
+struct SimpleStep {
+  enum class Kind { kDown, kDownStar, kTest };
+  Kind kind;
+  NodePtr test;  // kTest only.
+};
+
+/// Structural step equality (tests compared structurally).
+inline bool operator==(const SimpleStep& x, const SimpleStep& y) {
+  return x.kind == y.kind && (x.test == y.test || Equal(x.test, y.test));
+}
+
+/// A simple path α₁/…/αₙ — possibly empty (ε, the identity).
+using SimplePath = std::vector<SimpleStep>;
+
+/// int{α, β} of Lemma 20: rewrites the intersection of two simple paths as
+/// a union of simple paths.
+std::vector<SimplePath> IntersectSimple(const SimplePath& a, const SimplePath& b);
+
+/// inst(α) of Lemma 20: a set of simple paths whose union is equivalent to
+/// the CoreXPath↓(∩) path expression α. Properties (Lemma 20): |inst(α)| is
+/// 2^{O(|α|²)}, each member has length ≤ 4|α|, and members only contain node
+/// expressions occurring in α. Returns (ok, paths); ok is false if α leaves
+/// the downward ∩ fragment or `max_paths` was exceeded.
+std::pair<bool, std::vector<SimplePath>> Instantiate(const PathPtr& path,
+                                                     int64_t max_paths = 1'000'000);
+
+/// Converts a simple path back to a PathExpr (ε becomes ".").
+PathPtr SimplePathToPathExpr(const SimplePath& path);
+
+}  // namespace xpc
+
+#endif  // XPC_SAT_SIMPLE_PATHS_H_

@@ -1,0 +1,157 @@
+#include "xpc/translate/for_elim.h"
+
+
+#include "xpc/xpath/build.h"
+
+namespace xpc {
+
+PathPtr ComplementToFor(const PathPtr& alpha, const PathPtr& beta, const std::string& var) {
+  // for $i in α return .[¬⟨β[. is $i]⟩] / ↓*[. is $i].
+  NodePtr not_beta_hits_i = Not(Some(Filter(beta, IsVar(var))));
+  PathPtr body = Seq(Test(not_beta_hits_i), Filter(AxStar(Axis::kChild), IsVar(var)));
+  return For(var, alpha, body);
+}
+
+PathPtr IntersectToFor(const PathPtr& alpha, const PathPtr& beta, const std::string& var) {
+  return For(var, alpha, Filter(beta, IsVar(var)));
+}
+
+PathPtr IntersectToComplement(const PathPtr& alpha, const PathPtr& beta) {
+  return Complement(alpha, Complement(alpha, beta));
+}
+
+PathPtr UnionToComplement(const PathPtr& alpha, const PathPtr& beta) {
+  PathPtr u = Seq(AxStar(Axis::kParent), AxStar(Axis::kChild));
+  return Complement(u, IntersectToComplement(Complement(u, alpha), Complement(u, beta)));
+}
+
+NodePtr PathEqToIntersect(const PathPtr& alpha, const PathPtr& beta) {
+  return Some(Intersect(alpha, beta));
+}
+
+namespace {
+
+// Rewriters share a fresh-variable counter through this context.
+struct RewriteCtx {
+  int next_var = 0;
+  std::string Fresh() { return "f" + std::to_string(next_var++); }
+};
+
+PathPtr RewriteCapPath(const PathPtr& p, RewriteCtx* ctx);
+
+NodePtr RewriteCapNode(const NodePtr& n, RewriteCtx* ctx) {
+  switch (n->kind) {
+    case NodeKind::kLabel:
+    case NodeKind::kTrue:
+    case NodeKind::kIsVar:
+      return n;
+    case NodeKind::kSome:
+      return Some(RewriteCapPath(n->path, ctx));
+    case NodeKind::kNot:
+      return Not(RewriteCapNode(n->child1, ctx));
+    case NodeKind::kAnd:
+      return And(RewriteCapNode(n->child1, ctx), RewriteCapNode(n->child2, ctx));
+    case NodeKind::kOr:
+      return Or(RewriteCapNode(n->child1, ctx), RewriteCapNode(n->child2, ctx));
+    case NodeKind::kPathEq:
+      // α ≈ β ⇝ ⟨α ∩ β⟩ ⇝ ⟨for ...⟩.
+      return Some(RewriteCapPath(Intersect(n->path, n->path2), ctx));
+  }
+  return n;
+}
+
+PathPtr RewriteCapPath(const PathPtr& p, RewriteCtx* ctx) {
+  switch (p->kind) {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+    case PathKind::kSelf:
+      return p;
+    case PathKind::kSeq:
+      return Seq(RewriteCapPath(p->left, ctx), RewriteCapPath(p->right, ctx));
+    case PathKind::kUnion:
+      return Union(RewriteCapPath(p->left, ctx), RewriteCapPath(p->right, ctx));
+    case PathKind::kFilter:
+      return Filter(RewriteCapPath(p->left, ctx), RewriteCapNode(p->filter, ctx));
+    case PathKind::kStar:
+      return Star(RewriteCapPath(p->left, ctx));
+    case PathKind::kIntersect:
+      return IntersectToFor(RewriteCapPath(p->left, ctx), RewriteCapPath(p->right, ctx),
+                            ctx->Fresh());
+    case PathKind::kComplement:
+      return Complement(RewriteCapPath(p->left, ctx), RewriteCapPath(p->right, ctx));
+    case PathKind::kFor:
+      return For(p->var, RewriteCapPath(p->left, ctx), RewriteCapPath(p->right, ctx));
+  }
+  return p;
+}
+
+PathPtr RewriteMinusPath(const PathPtr& p, RewriteCtx* ctx);
+
+NodePtr RewriteMinusNode(const NodePtr& n, RewriteCtx* ctx) {
+  switch (n->kind) {
+    case NodeKind::kLabel:
+    case NodeKind::kTrue:
+    case NodeKind::kIsVar:
+      return n;
+    case NodeKind::kSome:
+      return Some(RewriteMinusPath(n->path, ctx));
+    case NodeKind::kNot:
+      return Not(RewriteMinusNode(n->child1, ctx));
+    case NodeKind::kAnd:
+      return And(RewriteMinusNode(n->child1, ctx), RewriteMinusNode(n->child2, ctx));
+    case NodeKind::kOr:
+      return Or(RewriteMinusNode(n->child1, ctx), RewriteMinusNode(n->child2, ctx));
+    case NodeKind::kPathEq:
+      return PathEq(RewriteMinusPath(n->path, ctx), RewriteMinusPath(n->path2, ctx));
+  }
+  return n;
+}
+
+PathPtr RewriteMinusPath(const PathPtr& p, RewriteCtx* ctx) {
+  switch (p->kind) {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+    case PathKind::kSelf:
+      return p;
+    case PathKind::kSeq:
+      return Seq(RewriteMinusPath(p->left, ctx), RewriteMinusPath(p->right, ctx));
+    case PathKind::kUnion:
+      return Union(RewriteMinusPath(p->left, ctx), RewriteMinusPath(p->right, ctx));
+    case PathKind::kFilter:
+      return Filter(RewriteMinusPath(p->left, ctx), RewriteMinusNode(p->filter, ctx));
+    case PathKind::kStar:
+      return Star(RewriteMinusPath(p->left, ctx));
+    case PathKind::kIntersect:
+      return Intersect(RewriteMinusPath(p->left, ctx), RewriteMinusPath(p->right, ctx));
+    case PathKind::kComplement:
+      return ComplementToFor(RewriteMinusPath(p->left, ctx), RewriteMinusPath(p->right, ctx),
+                             ctx->Fresh());
+    case PathKind::kFor:
+      return For(p->var, RewriteMinusPath(p->left, ctx), RewriteMinusPath(p->right, ctx));
+  }
+  return p;
+}
+
+}  // namespace
+
+PathPtr RewriteIntersectToFor(const PathPtr& path) {
+  RewriteCtx ctx;
+  return RewriteCapPath(path, &ctx);
+}
+
+NodePtr RewriteIntersectToFor(const NodePtr& node) {
+  RewriteCtx ctx;
+  return RewriteCapNode(node, &ctx);
+}
+
+PathPtr RewriteComplementToFor(const PathPtr& path) {
+  RewriteCtx ctx;
+  return RewriteMinusPath(path, &ctx);
+}
+
+NodePtr RewriteComplementToFor(const NodePtr& node) {
+  RewriteCtx ctx;
+  return RewriteMinusNode(node, &ctx);
+}
+
+}  // namespace xpc

@@ -1,0 +1,47 @@
+#ifndef XPC_TRANSLATE_FOR_ELIM_H_
+#define XPC_TRANSLATE_FOR_ELIM_H_
+
+#include <string>
+
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// The expressibility translations between the top layers of the Figure 1
+/// hierarchy (Sections 2.2 and 7).
+
+/// Theorem 31: path complementation via a single-variable for-loop (for
+/// downward α, β):
+///     α − β ≡ for $i in α return .[¬⟨β[. is $i]⟩] / ↓*[. is $i]
+PathPtr ComplementToFor(const PathPtr& alpha, const PathPtr& beta, const std::string& var);
+
+/// Section 2.2: path intersection via a for-loop:
+///     α ∩ β ≡ for $i in α return β[. is $i]
+PathPtr IntersectToFor(const PathPtr& alpha, const PathPtr& beta, const std::string& var);
+
+/// Section 7 (proof of Theorem 30): intersection via complementation,
+///     α ∩ β ≡ α − (α − β)
+PathPtr IntersectToComplement(const PathPtr& alpha, const PathPtr& beta);
+
+/// Section 2.2: union via complementation (relative to the universal path
+/// U = ↑*/↓*):
+///     α ∪ β ≡ U − ((U − α) ∩ (U − β))
+PathPtr UnionToComplement(const PathPtr& alpha, const PathPtr& beta);
+
+/// Section 2.2: path equality as intersection: α ≈ β ≡ ⟨α ∩ β⟩.
+NodePtr PathEqToIntersect(const PathPtr& alpha, const PathPtr& beta);
+
+/// Rewrites every ∩ in the expression into a for-loop (fresh variables
+/// $f0, $f1, ...), every ≈ into ⟨∩⟩ first. Demonstrates CoreXPath(for) ⊇
+/// CoreXPath(∩); used by the Figure 1 hierarchy bench.
+PathPtr RewriteIntersectToFor(const PathPtr& path);
+NodePtr RewriteIntersectToFor(const NodePtr& node);
+
+/// Rewrites every − into a for-loop (Theorem 31; sound for downward
+/// operands — the caller is responsible for the fragment check).
+PathPtr RewriteComplementToFor(const PathPtr& path);
+NodePtr RewriteComplementToFor(const NodePtr& node);
+
+}  // namespace xpc
+
+#endif  // XPC_TRANSLATE_FOR_ELIM_H_

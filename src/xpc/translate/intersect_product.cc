@@ -1,0 +1,186 @@
+#include "xpc/translate/intersect_product.h"
+
+#include <map>
+#include <set>
+
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/pathauto/path_automaton.h"
+
+namespace xpc {
+
+PathAutoPtr ProductAutomaton(const PathAutoPtr& a, const PathAutoPtr& b) {
+  const int nb = b->num_states;
+  auto pair_id = [nb](int qa, int qb) { return qa * nb + qb; };
+
+  auto out = std::make_shared<PathAutomaton>();
+  out->num_states = a->num_states * nb;
+  out->q_init = pair_id(a->q_init, b->q_init);
+  out->q_final = pair_id(a->q_final, b->q_final);
+
+  // Synchronized moves.
+  for (const PathAutomaton::Transition& ta : a->transitions) {
+    if (ta.move == Move::kTest) continue;
+    for (const PathAutomaton::Transition& tb : b->transitions) {
+      if (tb.move != ta.move) continue;
+      out->AddMove(pair_id(ta.from, tb.from), ta.move, pair_id(ta.to, tb.to));
+    }
+  }
+
+  // Loop excursions of the left component: ⟨q,q'⟩ —[loop(a_{q,r})]→ ⟨r,q'⟩.
+  for (int q = 0; q < a->num_states; ++q) {
+    for (int r = 0; r < a->num_states; ++r) {
+      LExprPtr test = LLoop(a, q, r);
+      for (int qb = 0; qb < nb; ++qb) {
+        out->AddTest(pair_id(q, qb), test, pair_id(r, qb));
+      }
+    }
+  }
+  // Loop excursions of the right component.
+  for (int q = 0; q < nb; ++q) {
+    for (int r = 0; r < nb; ++r) {
+      LExprPtr test = LLoop(b, q, r);
+      for (int qa = 0; qa < a->num_states; ++qa) {
+        out->AddTest(pair_id(qa, q), test, pair_id(qa, r));
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// As in normal_form.cc, but with ∩ handled by the product.
+PathAutoPtr Translate(const PathPtr& path);
+
+LExprPtr TranslateNode(const NodePtr& node) {
+  switch (node->kind) {
+    case NodeKind::kLabel:
+      return LLabel(node->label);
+    case NodeKind::kTrue:
+      return LTrue();
+    case NodeKind::kNot: {
+      LExprPtr a = TranslateNode(node->child1);
+      return a ? LNot(a) : nullptr;
+    }
+    case NodeKind::kAnd: {
+      LExprPtr a = TranslateNode(node->child1);
+      LExprPtr b = TranslateNode(node->child2);
+      return a && b ? LAnd(a, b) : nullptr;
+    }
+    case NodeKind::kOr: {
+      LExprPtr a = TranslateNode(node->child1);
+      LExprPtr b = TranslateNode(node->child2);
+      return a && b ? LOr(a, b) : nullptr;
+    }
+    case NodeKind::kSome: {
+      PathAutoPtr a = Translate(node->path);
+      if (!a) return nullptr;
+      return LLoop(std::make_shared<PathAutomaton>(PaWithFinalSelfLoops(*a)));
+    }
+    case NodeKind::kPathEq: {
+      PathAutoPtr l = Translate(node->path);
+      PathAutoPtr r = Translate(node->path2);
+      if (!l || !r) return nullptr;
+      return LLoop(std::make_shared<PathAutomaton>(PaConcat(*l, PaConverse(*r))));
+    }
+    case NodeKind::kIsVar:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+PathAutoPtr Translate(const PathPtr& path) {
+  switch (path->kind) {
+    case PathKind::kIntersect: {
+      PathAutoPtr l = Translate(path->left);
+      PathAutoPtr r = Translate(path->right);
+      if (!l || !r) return nullptr;
+      return ProductAutomaton(l, r);
+    }
+    case PathKind::kFilter: {
+      PathAutoPtr l = Translate(path->left);
+      LExprPtr test = TranslateNode(path->filter);
+      if (!l || !test) return nullptr;
+      return std::make_shared<PathAutomaton>(PaConcat(*l, PaTest(std::move(test))));
+    }
+    case PathKind::kSeq: {
+      PathAutoPtr l = Translate(path->left);
+      PathAutoPtr r = Translate(path->right);
+      if (!l || !r) return nullptr;
+      return std::make_shared<PathAutomaton>(PaConcat(*l, *r));
+    }
+    case PathKind::kUnion: {
+      PathAutoPtr l = Translate(path->left);
+      PathAutoPtr r = Translate(path->right);
+      if (!l || !r) return nullptr;
+      return std::make_shared<PathAutomaton>(PaUnion(*l, *r));
+    }
+    case PathKind::kStar: {
+      PathAutoPtr l = Translate(path->left);
+      if (!l) return nullptr;
+      return std::make_shared<PathAutomaton>(PaStar(*l));
+    }
+    case PathKind::kComplement:
+    case PathKind::kFor:
+      return nullptr;
+    default: {
+      // ∩-free atoms: reuse the Section 3.1 translation.
+      auto [ok, a] = PathToAutomaton(path);
+      if (!ok) return nullptr;
+      return std::make_shared<PathAutomaton>(std::move(a));
+    }
+  }
+}
+
+struct DagSeen {
+  std::set<const PathAutomaton*> automata;
+  std::set<const LExpr*> exprs;
+};
+
+void DagSize(const LExprPtr& e, DagSeen* seen, int64_t* total);
+
+void DagSizeAutomaton(const PathAutoPtr& a, DagSeen* seen, int64_t* total) {
+  if (!seen->automata.insert(a.get()).second) return;
+  *total += a->num_states;
+  for (const PathAutomaton::Transition& t : a->transitions) {
+    *total += 1;
+    if (t.move == Move::kTest) DagSize(t.test, seen, total);
+  }
+}
+
+void DagSize(const LExprPtr& e, DagSeen* seen, int64_t* total) {
+  // Each shared LExpr node counts once — sharing is the "let".
+  if (!seen->exprs.insert(e.get()).second) return;
+  *total += 1;
+  switch (e->kind) {
+    case LExpr::Kind::kLabel:
+    case LExpr::Kind::kTrue:
+      return;
+    case LExpr::Kind::kNot:
+      DagSize(e->a, seen, total);
+      return;
+    case LExpr::Kind::kAnd:
+    case LExpr::Kind::kOr:
+      DagSize(e->a, seen, total);
+      DagSize(e->b, seen, total);
+      return;
+    case LExpr::Kind::kLoop:
+      DagSizeAutomaton(e->automaton, seen, total);
+      return;
+  }
+}
+
+}  // namespace
+
+PathAutoPtr IntersectPathToAutomaton(const PathPtr& path) { return Translate(path); }
+
+LExprPtr IntersectToLoopNormalForm(const NodePtr& node) { return TranslateNode(node); }
+
+int64_t DagSizeOf(const LExprPtr& expr) {
+  DagSeen seen;
+  int64_t total = 0;
+  DagSize(expr, &seen, &total);
+  return total;
+}
+
+}  // namespace xpc

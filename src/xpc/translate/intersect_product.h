@@ -1,0 +1,40 @@
+#ifndef XPC_TRANSLATE_INTERSECT_PRODUCT_H_
+#define XPC_TRANSLATE_INTERSECT_PRODUCT_H_
+
+#include "xpc/pathauto/lexpr.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// The product construction of Lemma 15: an automaton equivalent to
+/// π₁ ∩ π₂. States are pairs ⟨q, q'⟩; moves synchronize; in addition either
+/// component may take a *loop excursion* loop((πᵢ)_{q,r}) while the other
+/// stays — this is sound because the two traces witnessing (n, m) ∈
+/// ⟦π₁⟧ ∩ ⟦π₂⟧ both travel along the unique simple path from n to m, and
+/// their divergences are loops that return to the divergence point.
+///
+/// Where the paper binds the excursion tests to fresh labels in a `let`
+/// environment (the test loop((πᵢ)_{q,r}) appears once per state pair, so
+/// environments keep the translation single exponential — Lemma 16), this
+/// implementation shares the sub-automata πᵢ by pointer: the LExpr DAG *is*
+/// the environment. `SizeOf` measures the paper's fully-expanded expression
+/// size; `DagSizeOf` measures the shared (let-style) size. The explicit
+/// marker-based let-elimination of Lemma 18 lives in let_elim.h.
+PathAutoPtr ProductAutomaton(const PathAutoPtr& a, const PathAutoPtr& b);
+
+/// Translates a CoreXPath(*, ∩) path expression to a path automaton
+/// (Lemma 16 (2)). Returns nullptr on − / for.
+PathAutoPtr IntersectPathToAutomaton(const PathPtr& path);
+
+/// Translates a CoreXPath(*, ∩) node expression to CoreXPath_NFA(*, loop)
+/// (Lemma 16 (1)). Returns nullptr on − / for / ". is $i".
+LExprPtr IntersectToLoopNormalForm(const NodePtr& node);
+
+/// DAG ("let"-style) size: each shared automaton is counted once. This is
+/// the size notion for which Lemma 16 proves the 2^{O(|α|)} bound and
+/// Lemma 17 the |α|^{2^{O(k)}} bound at intersection depth ≤ k.
+int64_t DagSizeOf(const LExprPtr& expr);
+
+}  // namespace xpc
+
+#endif  // XPC_TRANSLATE_INTERSECT_PRODUCT_H_

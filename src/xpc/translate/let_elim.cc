@@ -1,0 +1,220 @@
+#include "xpc/translate/let_elim.h"
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/pathauto/path_automaton.h"
+
+namespace xpc {
+
+std::string MarkerLabel(int index) { return "mk_" + std::to_string(index); }
+
+namespace {
+
+using LoopAtom = std::tuple<const PathAutomaton*, int, int>;
+
+// Collects every loop atom occurring *inside a test* of some automaton
+// (those are the paper's let-bound abbreviations).
+void CollectTestAtoms(const LExprPtr& e, bool inside_test,
+                      std::set<const PathAutomaton*>* seen, std::set<LoopAtom>* atoms) {
+  switch (e->kind) {
+    case LExpr::Kind::kLabel:
+    case LExpr::Kind::kTrue:
+      return;
+    case LExpr::Kind::kNot:
+      CollectTestAtoms(e->a, inside_test, seen, atoms);
+      return;
+    case LExpr::Kind::kAnd:
+    case LExpr::Kind::kOr:
+      CollectTestAtoms(e->a, inside_test, seen, atoms);
+      CollectTestAtoms(e->b, inside_test, seen, atoms);
+      return;
+    case LExpr::Kind::kLoop: {
+      if (inside_test) atoms->insert({e->automaton.get(), e->q_from, e->q_to});
+      if (seen->insert(e->automaton.get()).second) {
+        for (const PathAutomaton::Transition& t : e->automaton->transitions) {
+          if (t.move == Move::kTest) CollectTestAtoms(t.test, /*inside_test=*/true, seen, atoms);
+        }
+      }
+      return;
+    }
+  }
+}
+
+// The marker-probe automaton: loop(↓₁ / →* / .[p] / ←* / ↑₁) — true at a
+// node iff it has a child labeled p (markers are rightmost, so the walk
+// across siblings reaches them).
+PathAutoPtr ProbeAutomaton(const std::string& marker) {
+  auto a = std::make_shared<PathAutomaton>();
+  int s0 = a->AddState();
+  int s1 = a->AddState();
+  int s2 = a->AddState();
+  int s3 = a->AddState();
+  a->q_init = s0;
+  a->q_final = s3;
+  a->AddMove(s0, Move::kDown1, s1);
+  a->AddMove(s1, Move::kRight, s1);
+  a->AddTest(s1, LLabel(marker), s2);
+  a->AddMove(s2, Move::kLeft, s2);
+  a->AddMove(s2, Move::kUp1, s3);
+  return a;
+}
+
+class LetEliminator {
+ public:
+  explicit LetEliminator(const LExprPtr& phi) : phi_(phi) {
+    std::set<const PathAutomaton*> seen;
+    std::set<LoopAtom> atoms;
+    CollectTestAtoms(phi, /*inside_test=*/false, &seen, &atoms);
+    for (const LoopAtom& atom : atoms) {
+      int idx = static_cast<int>(markers_.size());
+      markers_.emplace(atom, idx);
+    }
+    std::vector<LExprPtr> marker_labels;
+    for (size_t i = 0; i < markers_.size(); ++i) {
+      marker_labels.push_back(LLabel(MarkerLabel(static_cast<int>(i))));
+      probes_.push_back(LLoop(ProbeAutomaton(MarkerLabel(static_cast<int>(i)))));
+    }
+    any_marker_ = LOrAll(marker_labels);
+  }
+
+  LetElimResult Run() {
+    // Transform the top-level formula (loop atoms may reference transformed
+    // automata directly — only atoms nested in tests need markers).
+    LExprPtr phi_star = TransformTopLevel(phi_);
+
+    std::vector<LExprPtr> conjuncts;
+    conjuncts.push_back(phi_star);
+
+    // Definition axioms: at every non-marker node,
+    // probe(p_m) ⇔ loop(π*_{q,r}).
+    for (const auto& [atom, idx] : markers_) {
+      auto [automaton, q, r] = atom;
+      LExprPtr definition = LLoop(TransformedAutomaton(automaton), q, r);
+      LExprPtr probe = probes_[idx];
+      LExprPtr equivalence =
+          LAnd(LOr(LNot(probe), definition), LOr(probe, LNot(definition)));
+      conjuncts.push_back(GloballyInTree(LOr(any_marker_, equivalence)));
+    }
+
+    // Markers are leaves: ¬(marker ∧ loop(↓₁/↑₁)). The loop endpoints must
+    // be distinct states — loop(π_{q,q}) is trivially true.
+    {
+      auto child_probe = std::make_shared<PathAutomaton>();
+      int s0 = child_probe->AddState();
+      int s1 = child_probe->AddState();
+      int s2 = child_probe->AddState();
+      child_probe->q_init = s0;
+      child_probe->q_final = s2;
+      child_probe->AddMove(s0, Move::kDown1, s1);
+      child_probe->AddMove(s1, Move::kUp1, s2);
+      conjuncts.push_back(
+          GloballyInTree(LOr(LNot(any_marker_), LNot(LLoop(child_probe)))));
+    }
+    // Markers have no non-marker right sibling: ¬(marker ∧ loop(→[¬mk]←)).
+    {
+      auto right_probe = std::make_shared<PathAutomaton>();
+      int s0 = right_probe->AddState();
+      int s1 = right_probe->AddState();
+      int s2 = right_probe->AddState();
+      int s3 = right_probe->AddState();
+      right_probe->q_init = s0;
+      right_probe->q_final = s3;
+      right_probe->AddMove(s0, Move::kRight, s1);
+      right_probe->AddTest(s1, LNot(any_marker_), s2);
+      right_probe->AddMove(s2, Move::kLeft, s3);
+      conjuncts.push_back(
+          GloballyInTree(LOr(LNot(any_marker_), LNot(LLoop(right_probe)))));
+    }
+
+    LetElimResult result;
+    result.formula = LAndAll(std::move(conjuncts));
+    result.num_markers = static_cast<int>(markers_.size());
+    result.bindings.resize(markers_.size());
+    for (const auto& [atom, idx] : markers_) {
+      auto [automaton, q, r] = atom;
+      result.bindings[idx] = {automaton, q, r};
+    }
+    return result;
+  }
+
+ private:
+  // π → π*: moves guarded by [¬anyMarker]; tests flattened to marker
+  // probes.
+  PathAutoPtr TransformedAutomaton(const PathAutomaton* a) {
+    auto it = transformed_.find(a);
+    if (it != transformed_.end()) return it->second;
+    auto out = std::make_shared<PathAutomaton>();
+    out->num_states = a->num_states;
+    out->q_init = a->q_init;
+    out->q_final = a->q_final;
+    for (const PathAutomaton::Transition& t : a->transitions) {
+      if (t.move == Move::kTest) {
+        out->AddTest(t.from, FlattenTest(t.test), t.to);
+      } else {
+        int mid = out->AddState();
+        out->AddMove(t.from, t.move, mid);
+        out->AddTest(mid, LNot(any_marker_), t.to);
+      }
+    }
+    transformed_.emplace(a, out);
+    return out;
+  }
+
+  // Inside tests: loop atoms become marker probes.
+  LExprPtr FlattenTest(const LExprPtr& e) {
+    switch (e->kind) {
+      case LExpr::Kind::kLabel:
+      case LExpr::Kind::kTrue:
+        return e;
+      case LExpr::Kind::kNot:
+        return LNot(FlattenTest(e->a));
+      case LExpr::Kind::kAnd:
+        return LAnd(FlattenTest(e->a), FlattenTest(e->b));
+      case LExpr::Kind::kOr:
+        return LOr(FlattenTest(e->a), FlattenTest(e->b));
+      case LExpr::Kind::kLoop: {
+        int idx = markers_.at({e->automaton.get(), e->q_from, e->q_to});
+        return probes_[idx];
+      }
+    }
+    return e;
+  }
+
+  // At the top level: loop atoms reference the transformed automata
+  // directly (no marker indirection needed).
+  LExprPtr TransformTopLevel(const LExprPtr& e) {
+    switch (e->kind) {
+      case LExpr::Kind::kLabel:
+      case LExpr::Kind::kTrue:
+        return e;
+      case LExpr::Kind::kNot:
+        return LNot(TransformTopLevel(e->a));
+      case LExpr::Kind::kAnd:
+        return LAnd(TransformTopLevel(e->a), TransformTopLevel(e->b));
+      case LExpr::Kind::kOr:
+        return LOr(TransformTopLevel(e->a), TransformTopLevel(e->b));
+      case LExpr::Kind::kLoop:
+        return LLoop(TransformedAutomaton(e->automaton.get()), e->q_from, e->q_to);
+    }
+    return e;
+  }
+
+  LExprPtr phi_;
+  std::map<LoopAtom, int> markers_;
+  std::vector<LExprPtr> probes_;
+  LExprPtr any_marker_;
+  std::map<const PathAutomaton*, PathAutoPtr> transformed_;
+};
+
+}  // namespace
+
+LetElimResult EliminateLets(const LExprPtr& phi) {
+  LetEliminator eliminator(phi);
+  return eliminator.Run();
+}
+
+}  // namespace xpc

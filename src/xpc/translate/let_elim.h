@@ -1,0 +1,50 @@
+#ifndef XPC_TRANSLATE_LET_ELIM_H_
+#define XPC_TRANSLATE_LET_ELIM_H_
+
+#include "xpc/pathauto/lexpr.h"
+
+namespace xpc {
+
+/// The let-elimination of Lemma 18, adapted to the LExpr representation.
+///
+/// In this library, the `let` environments of CoreXPath_NFA(*, loop, let)
+/// are realized as *shared sub-automata*: a test loop((π₁)_{q,r}) appearing
+/// in many transitions of a product automaton is one shared object, so the
+/// DAG size plays the role of the paper's let-expression size. This
+/// transformation eliminates that sharing while preserving satisfiability
+/// and polynomial size, exactly as Lemma 18 does:
+///
+///  - every loop atom that occurs as a test is bound to a fresh *marker
+///    label*; markers are materialized as extra (leaf, rightmost) children;
+///  - tests are replaced by "has a marker child" probes and all moves of
+///    the host automata are guarded by [¬marker], making them blind to the
+///    new nodes;
+///  - global axioms state, at every non-marker node, the equivalence of
+///    each marker probe with the (transformed) definition, that markers are
+///    leaves, and that markers have no non-marker right siblings (the
+///    conditions of Lemma 18; the equivalence is restricted to non-marker
+///    nodes, which the paper's construction implicitly assumes).
+///
+/// The result is an LExpr with loop-test nesting depth ≤ 3 regardless of
+/// the input's nesting, and size polynomial in the input's DAG size.
+struct LetElimResult {
+  /// One marker binding: marker i abbreviates loop(π_{q_from,q_to}).
+  struct Binding {
+    const PathAutomaton* automaton;
+    int q_from;
+    int q_to;
+  };
+
+  LExprPtr formula;               ///< Equi-satisfiable with the input.
+  int num_markers = 0;            ///< Number of marker labels introduced.
+  std::vector<Binding> bindings;  ///< Indexed by marker number.
+};
+
+LetElimResult EliminateLets(const LExprPtr& phi);
+
+/// The marker label for binding index i.
+std::string MarkerLabel(int index);
+
+}  // namespace xpc
+
+#endif  // XPC_TRANSLATE_LET_ELIM_H_

@@ -1,0 +1,293 @@
+#include "xpc/translate/starfree.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "xpc/automata/regex.h"
+#include "xpc/xpath/build.h"
+
+namespace xpc {
+
+namespace {
+StarFreePtr Make(StarFree::Kind kind) {
+  auto r = std::make_shared<StarFree>();
+  r->kind = kind;
+  return r;
+}
+}  // namespace
+
+StarFreePtr SfSymbol(const std::string& symbol) {
+  auto r = Make(StarFree::Kind::kSymbol);
+  std::const_pointer_cast<StarFree>(r)->symbol = symbol;
+  return r;
+}
+
+StarFreePtr SfConcat(StarFreePtr a, StarFreePtr b) {
+  auto r = Make(StarFree::Kind::kConcat);
+  auto m = std::const_pointer_cast<StarFree>(r);
+  m->left = std::move(a);
+  m->right = std::move(b);
+  return r;
+}
+
+StarFreePtr SfUnion(StarFreePtr a, StarFreePtr b) {
+  auto r = Make(StarFree::Kind::kUnion);
+  auto m = std::const_pointer_cast<StarFree>(r);
+  m->left = std::move(a);
+  m->right = std::move(b);
+  return r;
+}
+
+StarFreePtr SfComplement(StarFreePtr a) {
+  auto r = Make(StarFree::Kind::kComplement);
+  std::const_pointer_cast<StarFree>(r)->left = std::move(a);
+  return r;
+}
+
+namespace {
+
+class SfParser {
+ public:
+  explicit SfParser(const std::string& text) : text_(text) {}
+
+  Result<StarFreePtr> Parse() {
+    StarFreePtr r = ParseUnion();
+    if (!r) return Result<StarFreePtr>::Error(error_);
+    Skip();
+    if (pos_ != text_.size()) {
+      return Result<StarFreePtr>::Error("star-free: trailing input at offset " +
+                                        std::to_string(pos_));
+    }
+    return r;
+  }
+
+ private:
+  void Skip() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool AtAtom() {
+    Skip();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '(' || c == '-';
+  }
+
+  StarFreePtr ParseUnion() {
+    StarFreePtr r = ParseConcat();
+    if (!r) return nullptr;
+    Skip();
+    while (pos_ < text_.size() && text_[pos_] == '|') {
+      ++pos_;
+      StarFreePtr rhs = ParseConcat();
+      if (!rhs) return nullptr;
+      r = SfUnion(r, rhs);
+      Skip();
+    }
+    return r;
+  }
+
+  StarFreePtr ParseConcat() {
+    StarFreePtr r = ParseAtom();
+    if (!r) return nullptr;
+    while (AtAtom()) {
+      StarFreePtr rhs = ParseAtom();
+      if (!rhs) return nullptr;
+      r = SfConcat(r, rhs);
+    }
+    return r;
+  }
+
+  StarFreePtr ParseAtom() {
+    Skip();
+    if (pos_ >= text_.size()) {
+      error_ = "star-free: unexpected end of input";
+      return nullptr;
+    }
+    char c = text_[pos_];
+    if (c == '-') {
+      ++pos_;
+      StarFreePtr inner = ParseAtom();
+      if (!inner) return nullptr;
+      return SfComplement(inner);
+    }
+    if (c == '(') {
+      ++pos_;
+      StarFreePtr r = ParseUnion();
+      if (!r) return nullptr;
+      Skip();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        error_ = "star-free: expected ')'";
+        return nullptr;
+      }
+      ++pos_;
+      return r;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+        ++pos_;
+      }
+      return SfSymbol(text_.substr(start, pos_ - start));
+    }
+    error_ = std::string("star-free: unexpected character '") + c + "'";
+    return nullptr;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_ = "star-free: parse error";
+};
+
+void SfPrint(const StarFreePtr& r, int prec, std::ostringstream* os) {
+  switch (r->kind) {
+    case StarFree::Kind::kSymbol:
+      *os << r->symbol;
+      break;
+    case StarFree::Kind::kUnion:
+      if (prec > 0) *os << '(';
+      SfPrint(r->left, 0, os);
+      *os << " | ";
+      SfPrint(r->right, 0, os);
+      if (prec > 0) *os << ')';
+      break;
+    case StarFree::Kind::kConcat:
+      if (prec > 1) *os << '(';
+      SfPrint(r->left, 1, os);
+      *os << ' ';
+      SfPrint(r->right, 1, os);
+      if (prec > 1) *os << ')';
+      break;
+    case StarFree::Kind::kComplement:
+      *os << "-(";
+      SfPrint(r->left, 0, os);
+      *os << ')';
+      break;
+  }
+}
+
+void SfSymbols(const StarFreePtr& r, std::vector<std::string>* out) {
+  switch (r->kind) {
+    case StarFree::Kind::kSymbol:
+      if (SymbolIndex(*out, r->symbol) < 0) out->push_back(r->symbol);
+      return;
+    case StarFree::Kind::kUnion:
+    case StarFree::Kind::kConcat:
+      SfSymbols(r->left, out);
+      SfSymbols(r->right, out);
+      return;
+    case StarFree::Kind::kComplement:
+      SfSymbols(r->left, out);
+      return;
+  }
+}
+
+}  // namespace
+
+Result<StarFreePtr> ParseStarFree(const std::string& text) {
+  SfParser parser(text);
+  return parser.Parse();
+}
+
+std::string StarFreeToString(const StarFreePtr& r) {
+  std::ostringstream os;
+  SfPrint(r, 0, &os);
+  return os.str();
+}
+
+std::vector<std::string> StarFreeSymbols(const StarFreePtr& r) {
+  std::vector<std::string> out;
+  SfSymbols(r, &out);
+  return out;
+}
+
+int ComplementDepth(const StarFreePtr& r) {
+  switch (r->kind) {
+    case StarFree::Kind::kSymbol:
+      return 0;
+    case StarFree::Kind::kUnion:
+    case StarFree::Kind::kConcat:
+      return std::max(ComplementDepth(r->left), ComplementDepth(r->right));
+    case StarFree::Kind::kComplement:
+      return 1 + ComplementDepth(r->left);
+  }
+  return 0;
+}
+
+Dfa StarFreeToDfa(const StarFreePtr& r, const std::vector<std::string>& symbols) {
+  const int k = static_cast<int>(symbols.size());
+  switch (r->kind) {
+    case StarFree::Kind::kSymbol: {
+      int idx = SymbolIndex(symbols, r->symbol);
+      return Dfa::Determinize(Nfa::SingleSymbol(k, idx)).Minimize();
+    }
+    case StarFree::Kind::kConcat: {
+      Nfa concat = Nfa::ConcatOf(StarFreeToDfa(r->left, symbols).ToNfa(),
+                                 StarFreeToDfa(r->right, symbols).ToNfa());
+      return Dfa::Determinize(concat).Minimize();
+    }
+    case StarFree::Kind::kUnion: {
+      Dfa l = StarFreeToDfa(r->left, symbols);
+      Dfa rr = StarFreeToDfa(r->right, symbols);
+      return l.UnionWith(rr).Minimize();
+    }
+    case StarFree::Kind::kComplement: {
+      // Complement relative to Σ⁺: star-free languages here are ε-free —
+      // this is the reading under which the Theorem 30 translation tr is
+      // faithful (tr(−r) = ↓⁺ − tr(r) ranges over proper descendants, i.e.
+      // nonempty label words, only).
+      Nfa sigma_plus_nfa = Nfa::PlusOf([k] {
+        Nfa any(k, 2);
+        any.SetInitial(0);
+        any.SetAccepting(1);
+        for (int a = 0; a < k; ++a) any.AddTransition(0, a, 1);
+        return any;
+      }());
+      Dfa sigma_plus = Dfa::Determinize(sigma_plus_nfa);
+      return StarFreeToDfa(r->left, symbols).Complement().IntersectWith(sigma_plus).Minimize();
+    }
+  }
+  return Dfa(k, 1);
+}
+
+bool StarFreeEmpty(const StarFreePtr& r) {
+  return StarFreeToDfa(r, StarFreeSymbols(r)).IsEmpty();
+}
+
+namespace {
+
+// α ∩ β via complementation: α − (α − β).
+PathPtr CxIntersect(PathPtr a, PathPtr b) {
+  return Complement(a, Complement(a, std::move(b)));
+}
+
+// α ∪ β via complementation relative to ↓* (the downward universe of F).
+PathPtr CxUnion(PathPtr a, PathPtr b) {
+  PathPtr u = AxStar(Axis::kChild);
+  return Complement(u, CxIntersect(Complement(u, std::move(a)), Complement(u, std::move(b))));
+}
+
+}  // namespace
+
+PathPtr StarFreeToPath(const StarFreePtr& r, bool pure_f) {
+  switch (r->kind) {
+    case StarFree::Kind::kSymbol:
+      return Filter(Ax(Axis::kChild), Label(r->symbol));
+    case StarFree::Kind::kConcat:
+      return Seq(StarFreeToPath(r->left, pure_f), StarFreeToPath(r->right, pure_f));
+    case StarFree::Kind::kUnion: {
+      PathPtr l = StarFreeToPath(r->left, pure_f);
+      PathPtr rr = StarFreeToPath(r->right, pure_f);
+      return pure_f ? CxUnion(std::move(l), std::move(rr)) : Union(std::move(l), std::move(rr));
+    }
+    case StarFree::Kind::kComplement:
+      // tr(−r) = ↓⁺ − tr(r).
+      return Complement(AxPlus(Axis::kChild), StarFreeToPath(r->left, pure_f));
+  }
+  return Self();
+}
+
+PathPtr EmptyPath() { return Complement(AxStar(Axis::kChild), AxStar(Axis::kChild)); }
+
+}  // namespace xpc

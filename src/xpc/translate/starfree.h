@@ -1,0 +1,69 @@
+#ifndef XPC_TRANSLATE_STARFREE_H_
+#define XPC_TRANSLATE_STARFREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xpc/automata/dfa.h"
+#include "xpc/common/result.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Star-free regular expressions (Section 7, Theorem 30):
+///     r, s ::= a | (r s) | (r ∪ s) | −r
+/// Their nonemptiness problem is nonelementary [Stockmeyer 1974]; the
+/// reduction tr(·) embeds it into containment for the fragment F of
+/// CoreXPath(−).
+struct StarFree;
+using StarFreePtr = std::shared_ptr<const StarFree>;
+
+struct StarFree {
+  enum class Kind { kSymbol, kConcat, kUnion, kComplement };
+  Kind kind;
+  std::string symbol;
+  StarFreePtr left, right;  // kComplement uses left only.
+};
+
+StarFreePtr SfSymbol(const std::string& symbol);
+StarFreePtr SfConcat(StarFreePtr a, StarFreePtr b);
+StarFreePtr SfUnion(StarFreePtr a, StarFreePtr b);
+StarFreePtr SfComplement(StarFreePtr a);
+
+/// Parses `a b | -(a)` style concrete syntax (juxtaposition = concat, `-`
+/// prefix = complement, `|` = union, parentheses allowed).
+Result<StarFreePtr> ParseStarFree(const std::string& text);
+std::string StarFreeToString(const StarFreePtr& r);
+
+/// Symbols occurring in the expression, in first-occurrence order.
+std::vector<std::string> StarFreeSymbols(const StarFreePtr& r);
+
+/// Number of complementation operators (the height of the tower).
+int ComplementDepth(const StarFreePtr& r);
+
+/// Decides L(r) over the alphabet `symbols` by the iterated
+/// determinize-complement construction — the source of the nonelementary
+/// lower bound: each complementation may exponentiate the DFA. Returns the
+/// final (minimized) DFA.
+Dfa StarFreeToDfa(const StarFreePtr& r, const std::vector<std::string>& symbols);
+
+/// L(r) = ∅ over the alphabet of r's own symbols?
+bool StarFreeEmpty(const StarFreePtr& r);
+
+/// The Theorem 30 translation tr(·) into the fragment F of CoreXPath(−):
+///     tr(a) = ↓[a],  tr(rs) = tr(r)/tr(s),  tr(r∪s) = tr(r) ∪ tr(s),
+///     tr(−r) = ↓⁺ − tr(r).
+/// `pure_f` replaces the primitive ∪ by its complementation encoding
+/// α ∪ β ≡ ↓* − ((↓* − α) ∩ (↓* − β)), ∩ ≡ α − (α − β) — F lacks ∪ — at
+/// exponential cost ("of no importance since our intention is only to show
+/// nonelementarity").
+PathPtr StarFreeToPath(const StarFreePtr& r, bool pure_f = false);
+
+/// Theorem 30's containment instance: L(r) ≠ ∅ iff tr(r) ⊄ ↓* − ↓*
+/// (equivalently: tr(r) is satisfiable — ↓* − ↓* is the empty path).
+PathPtr EmptyPath();
+
+}  // namespace xpc
+
+#endif  // XPC_TRANSLATE_STARFREE_H_

@@ -1,0 +1,136 @@
+#include "xpc/tree/tree_generator.h"
+
+#include <cassert>
+#include <functional>
+
+namespace xpc {
+
+namespace {
+
+// A tree shape in "parent vector" form: shape[i] is the parent of node i,
+// with shape[0] == kNoNode; parents always precede children, and children of
+// a node are added in sibling order.
+using Shape = std::vector<NodeId>;
+
+// Enumerates all ordered-forest shapes with `n` nodes appended under
+// `parent`, invoking `emit` for each completed assignment. `shape` holds the
+// partial parent vector; nodes are appended depth-first left-to-right so the
+// parent-vector discipline above holds.
+void EnumerateForest(int n, NodeId parent, Shape* shape,
+                     const std::function<void()>& emit) {
+  if (n == 0) {
+    emit();
+    return;
+  }
+  // First subtree has j nodes (1 <= j <= n); its root is the next child of
+  // `parent`; the remaining n - j nodes form the rest of the forest.
+  for (int j = 1; j <= n; ++j) {
+    const NodeId root = static_cast<NodeId>(shape->size());
+    shape->push_back(parent);
+    EnumerateForest(j - 1, root, shape, [&]() {
+      EnumerateForest(n - j, parent, shape, emit);
+    });
+    shape->resize(root);
+    // The recursive calls above restore shape before returning here only for
+    // the inner forests; remove this subtree's root explicitly.
+  }
+}
+
+XmlTree ShapeToTree(const Shape& shape, const std::vector<std::string>& labels) {
+  XmlTree tree(labels[0]);
+  for (size_t i = 1; i < shape.size(); ++i) {
+    tree.AddChild(shape[i], labels[i]);
+  }
+  return tree;
+}
+
+}  // namespace
+
+uint64_t TreeGenerator::NextU64() {
+  // splitmix64.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t TreeGenerator::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  return NextU64() % bound;
+}
+
+XmlTree TreeGenerator::Generate(const TreeGenOptions& options) {
+  assert(options.num_nodes >= 1);
+  assert(!options.alphabet.empty());
+  auto pick_labels = [&]() {
+    std::vector<std::string> out;
+    out.push_back(options.alphabet[NextBelow(options.alphabet.size())]);
+    if (options.max_extra_labels > 0) {
+      int extra = static_cast<int>(NextBelow(options.max_extra_labels + 1));
+      for (int i = 0; i < extra; ++i) {
+        const std::string& l = options.alphabet[NextBelow(options.alphabet.size())];
+        bool dup = false;
+        for (const auto& have : out) dup = dup || have == l;
+        if (!dup) out.push_back(l);
+      }
+    }
+    return out;
+  };
+  XmlTree tree(pick_labels());
+  for (int i = 1; i < options.num_nodes; ++i) {
+    NodeId parent = static_cast<NodeId>(NextBelow(tree.size()));
+    tree.AddChild(parent, pick_labels());
+  }
+  return tree;
+}
+
+XmlTree TreeGenerator::GenerateChain(int length, const std::vector<std::string>& alphabet) {
+  assert(!alphabet.empty());
+  XmlTree tree(alphabet[NextBelow(alphabet.size())]);
+  NodeId cur = tree.root();
+  for (int i = 0; i < length; ++i) {
+    cur = tree.AddChild(cur, alphabet[NextBelow(alphabet.size())]);
+  }
+  return tree;
+}
+
+std::vector<XmlTree> EnumerateShapes(int num_nodes, const std::string& label) {
+  assert(num_nodes >= 1);
+  std::vector<XmlTree> out;
+  Shape shape;
+  shape.push_back(kNoNode);
+  std::vector<std::string> labels(num_nodes, label);
+  EnumerateForest(num_nodes - 1, 0, &shape, [&]() {
+    out.push_back(ShapeToTree(shape, labels));
+  });
+  return out;
+}
+
+std::vector<XmlTree> EnumerateTrees(int num_nodes, const std::vector<std::string>& alphabet) {
+  assert(!alphabet.empty());
+  std::vector<XmlTree> shapes = EnumerateShapes(num_nodes, alphabet[0]);
+  std::vector<XmlTree> out;
+  const int k = static_cast<int>(alphabet.size());
+  std::vector<int> assign(num_nodes, 0);
+  for (const XmlTree& shape : shapes) {
+    std::fill(assign.begin(), assign.end(), 0);
+    while (true) {
+      XmlTree tree(alphabet[assign[0]]);
+      for (NodeId n = 1; n < shape.size(); ++n) {
+        tree.AddChild(shape.parent(n), alphabet[assign[n]]);
+      }
+      out.push_back(std::move(tree));
+      // Advance the label assignment odometer.
+      int i = 0;
+      while (i < num_nodes && ++assign[i] == k) {
+        assign[i] = 0;
+        ++i;
+      }
+      if (i == num_nodes) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace xpc

@@ -1,0 +1,60 @@
+#ifndef XPC_TREE_TREE_GENERATOR_H_
+#define XPC_TREE_TREE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xpc/tree/xml_tree.h"
+
+namespace xpc {
+
+/// Options for random tree generation.
+struct TreeGenOptions {
+  /// Target number of nodes (the result has exactly this many).
+  int num_nodes = 10;
+  /// Labels to draw from, uniformly.
+  std::vector<std::string> alphabet = {"a", "b", "c"};
+  /// If > 0, each node independently receives between 1 and this many
+  /// distinct labels (multi-label trees of Section 6.1). If 0, single labels.
+  int max_extra_labels = 0;
+};
+
+/// Deterministic pseudo-random tree generator (splitmix64-seeded) producing
+/// uniformly shaped random ordered trees: each new node's parent is drawn
+/// uniformly from the existing nodes, which yields random recursive trees.
+class TreeGenerator {
+ public:
+  explicit TreeGenerator(uint64_t seed) : state_(seed) {}
+
+  /// Generates a random tree per `options`.
+  XmlTree Generate(const TreeGenOptions& options);
+
+  /// Generates a random "word tree": a unary chain of `length + 1` nodes
+  /// (used for the succinctness experiments over T^1_{p,q}).
+  XmlTree GenerateChain(int length, const std::vector<std::string>& alphabet);
+
+  /// Next raw pseudo-random value.
+  uint64_t NextU64();
+
+  /// Uniform value in [0, bound).
+  uint64_t NextBelow(uint64_t bound);
+
+ private:
+  uint64_t state_;
+};
+
+/// Enumerates *all* ordered trees with exactly `num_nodes` nodes and labels
+/// drawn from `alphabet` (every label assignment). Used by the bounded
+/// satisfiability engine and as an exhaustive oracle in tests.
+///
+/// The number of shapes is the Catalan number C(num_nodes-1); callers should
+/// keep `num_nodes` small (<= 7) and alphabets tiny.
+std::vector<XmlTree> EnumerateTrees(int num_nodes, const std::vector<std::string>& alphabet);
+
+/// Enumerates only the tree *shapes* (all labels equal to `label`).
+std::vector<XmlTree> EnumerateShapes(int num_nodes, const std::string& label);
+
+}  // namespace xpc
+
+#endif  // XPC_TREE_TREE_GENERATOR_H_

@@ -1,0 +1,151 @@
+#include "xpc/tree/tree_text.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace xpc {
+
+namespace {
+
+// Recursive-descent parser over `text`. `pos` is the cursor.
+class TreeParser {
+ public:
+  explicit TreeParser(const std::string& text) : text_(text) {}
+
+  Result<XmlTree> Parse() {
+    SkipSpace();
+    auto labels = ParseLabels();
+    if (labels.empty()) return Result<XmlTree>::Error(ErrorAt("expected label"));
+    XmlTree tree(labels);
+    if (!ParseChildren(&tree, tree.root())) {
+      return Result<XmlTree>::Error(error_);
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Result<XmlTree>::Error(ErrorAt("trailing input"));
+    }
+    return tree;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool IsLabelChar(char c) const {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+           c == '.' || c == '#' || c == '$' || c == '@' || c == '!' || c == '%' ||
+           c == '\'';
+  }
+
+  std::string ParseIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsLabelChar(text_[pos_])) ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::vector<std::string> ParseLabels() {
+    std::vector<std::string> labels;
+    std::string first = ParseIdent();
+    if (first.empty()) return labels;
+    labels.push_back(first);
+    SkipSpace();
+    while (pos_ < text_.size() && text_[pos_] == '+') {
+      ++pos_;
+      std::string next = ParseIdent();
+      if (next.empty()) return {};
+      labels.push_back(next);
+      SkipSpace();
+    }
+    return labels;
+  }
+
+  // Parses an optional parenthesized child list, attaching under `parent`.
+  bool ParseChildren(XmlTree* tree, NodeId parent) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '(') return true;
+    ++pos_;  // '('
+    while (true) {
+      auto labels = ParseLabels();
+      if (labels.empty()) {
+        error_ = ErrorAt("expected label in child list");
+        return false;
+      }
+      NodeId child = tree->AddChild(parent, std::move(labels));
+      if (!ParseChildren(tree, child)) return false;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ')') {
+        ++pos_;
+        return true;
+      }
+      error_ = ErrorAt("expected ',' or ')'");
+      return false;
+    }
+  }
+
+  std::string ErrorAt(const std::string& what) {
+    std::ostringstream os;
+    os << "tree parse error at offset " << pos_ << ": " << what;
+    return os.str();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+void WriteNode(const XmlTree& tree, NodeId n, std::ostringstream* os) {
+  const auto& ls = tree.labels(n);
+  for (size_t i = 0; i < ls.size(); ++i) {
+    if (i > 0) *os << '+';
+    *os << ls[i];
+  }
+  auto children = tree.Children(n);
+  if (!children.empty()) {
+    *os << '(';
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) *os << ',';
+      WriteNode(tree, children[i], os);
+    }
+    *os << ')';
+  }
+}
+
+void WriteXmlNode(const XmlTree& tree, NodeId n, int indent, std::ostringstream* os) {
+  for (int i = 0; i < indent; ++i) *os << "  ";
+  auto children = tree.Children(n);
+  if (children.empty()) {
+    *os << '<' << tree.label(n) << "/>\n";
+    return;
+  }
+  *os << '<' << tree.label(n) << ">\n";
+  for (NodeId c : children) WriteXmlNode(tree, c, indent + 1, os);
+  for (int i = 0; i < indent; ++i) *os << "  ";
+  *os << "</" << tree.label(n) << ">\n";
+}
+
+}  // namespace
+
+Result<XmlTree> ParseTree(const std::string& text) {
+  TreeParser parser(text);
+  return parser.Parse();
+}
+
+std::string TreeToText(const XmlTree& tree) {
+  std::ostringstream os;
+  WriteNode(tree, tree.root(), &os);
+  return os.str();
+}
+
+std::string TreeToXml(const XmlTree& tree) {
+  std::ostringstream os;
+  WriteXmlNode(tree, tree.root(), 0, &os);
+  return os.str();
+}
+
+}  // namespace xpc

@@ -1,0 +1,29 @@
+#ifndef XPC_TREE_TREE_TEXT_H_
+#define XPC_TREE_TREE_TEXT_H_
+
+#include <string>
+
+#include "xpc/common/result.h"
+#include "xpc/tree/xml_tree.h"
+
+namespace xpc {
+
+/// Parses a tree from the compact term notation
+///
+///     tree  ::= node
+///     node  ::= labels [ '(' node (',' node)* ')' ]
+///     labels::= ident ('+' ident)*        // '+' separates multi-labels
+///
+/// e.g. `"book(chapter(section,section(image)),chapter)"`, or, with
+/// multi-labels, `"r(a+c0,b+c0+c1)"`.
+Result<XmlTree> ParseTree(const std::string& text);
+
+/// Serializes a tree back into the notation accepted by `ParseTree`.
+std::string TreeToText(const XmlTree& tree);
+
+/// Serializes a tree as indented XML-style markup (for human inspection).
+std::string TreeToXml(const XmlTree& tree);
+
+}  // namespace xpc
+
+#endif  // XPC_TREE_TREE_TEXT_H_

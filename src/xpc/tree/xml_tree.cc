@@ -1,0 +1,101 @@
+#include "xpc/tree/xml_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace xpc {
+
+XmlTree::XmlTree(const std::string& root_label)
+    : XmlTree(std::vector<std::string>{root_label}) {}
+
+XmlTree::XmlTree(std::vector<std::string> root_labels) {
+  assert(!root_labels.empty());
+  parent_.push_back(kNoNode);
+  first_child_.push_back(kNoNode);
+  last_child_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+  prev_sibling_.push_back(kNoNode);
+  labels_.push_back(std::move(root_labels));
+}
+
+NodeId XmlTree::AddChild(NodeId parent, const std::string& label) {
+  return AddChild(parent, std::vector<std::string>{label});
+}
+
+NodeId XmlTree::AddChild(NodeId parent, std::vector<std::string> labels) {
+  assert(parent >= 0 && parent < size());
+  assert(!labels.empty());
+  const NodeId id = size();
+  parent_.push_back(parent);
+  first_child_.push_back(kNoNode);
+  last_child_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+  prev_sibling_.push_back(last_child_[parent]);
+  labels_.push_back(std::move(labels));
+  if (last_child_[parent] != kNoNode) {
+    next_sibling_[last_child_[parent]] = id;
+  } else {
+    first_child_[parent] = id;
+  }
+  last_child_[parent] = id;
+  return id;
+}
+
+bool XmlTree::HasLabel(NodeId n, const std::string& l) const {
+  const auto& ls = labels_[n];
+  return std::find(ls.begin(), ls.end(), l) != ls.end();
+}
+
+bool XmlTree::IsSingleLabeled() const {
+  for (const auto& ls : labels_) {
+    if (ls.size() != 1) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> XmlTree::Children(NodeId n) const {
+  std::vector<NodeId> out;
+  for (NodeId c = first_child_[n]; c != kNoNode; c = next_sibling_[c]) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+int XmlTree::Depth(NodeId n) const {
+  int d = 0;
+  for (NodeId p = parent_[n]; p != kNoNode; p = parent_[p]) ++d;
+  return d;
+}
+
+int XmlTree::Height() const {
+  int h = 0;
+  for (NodeId n = 0; n < size(); ++n) h = std::max(h, Depth(n));
+  return h;
+}
+
+bool XmlTree::IsAncestorOrSelf(NodeId a, NodeId b) const {
+  for (NodeId n = b; n != kNoNode; n = parent_[n]) {
+    if (n == a) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> XmlTree::LabelSet() const {
+  std::set<std::string> s;
+  for (const auto& ls : labels_) s.insert(ls.begin(), ls.end());
+  return std::vector<std::string>(s.begin(), s.end());
+}
+
+NodeId XmlTree::FcnsParent(NodeId n) const {
+  if (prev_sibling_[n] != kNoNode) return prev_sibling_[n];
+  return parent_[n];
+}
+
+XmlTree::FcnsEdge XmlTree::FcnsParentEdge(NodeId n) const {
+  if (prev_sibling_[n] != kNoNode) return FcnsEdge::kNextSibling;
+  if (parent_[n] != kNoNode) return FcnsEdge::kFirstChild;
+  return FcnsEdge::kNone;
+}
+
+}  // namespace xpc

@@ -1,0 +1,120 @@
+#ifndef XPC_TREE_XML_TREE_H_
+#define XPC_TREE_XML_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xpc {
+
+/// Index of a node within an `XmlTree`. Nodes are numbered in creation
+/// order; the root is always node 0.
+using NodeId = int32_t;
+
+/// Sentinel for "no node" (absent parent / child / sibling).
+inline constexpr NodeId kNoNode = -1;
+
+/// A finite, rooted, sibling-ordered, node-labeled tree — the XML tree of
+/// Definition 1 of ten Cate & Lutz. As in the paper we abstract away from
+/// attributes and data values; only element labels remain.
+///
+/// Nodes may carry *multiple* labels, which models the "XML trees with
+/// multi-labels" of Section 6.1 (Lemma 25). Ordinary XML trees have exactly
+/// one label per node; `IsSingleLabeled()` reports whether that discipline
+/// holds.
+///
+/// The class exposes both the unranked structure (parent / ordered children)
+/// and the first-child/next-sibling (FCNS) binary view used by the automata
+/// and satisfiability machinery: the *basic axes* of CoreXPath_NFA(*, loop)
+/// (first child, its inverse, next sibling, previous sibling) are exactly the
+/// FCNS edges.
+class XmlTree {
+ public:
+  /// Creates a tree consisting of a single root with the given label.
+  explicit XmlTree(const std::string& root_label);
+
+  /// Creates a tree consisting of a single root with the given label set.
+  explicit XmlTree(std::vector<std::string> root_labels);
+
+  /// Appends a new node as the last child of `parent` and returns its id.
+  NodeId AddChild(NodeId parent, const std::string& label);
+
+  /// Appends a new multi-labeled node as the last child of `parent`.
+  NodeId AddChild(NodeId parent, std::vector<std::string> labels);
+
+  /// Number of nodes.
+  int size() const { return static_cast<int>(parent_.size()); }
+
+  /// The root node (always 0).
+  NodeId root() const { return 0; }
+
+  /// Parent of `n`, or `kNoNode` for the root.
+  NodeId parent(NodeId n) const { return parent_[n]; }
+
+  /// First (leftmost) child of `n`, or `kNoNode` if `n` is a leaf.
+  NodeId first_child(NodeId n) const { return first_child_[n]; }
+
+  /// Last (rightmost) child of `n`, or `kNoNode` if `n` is a leaf.
+  NodeId last_child(NodeId n) const { return last_child_[n]; }
+
+  /// Next sibling to the right, or `kNoNode`.
+  NodeId next_sibling(NodeId n) const { return next_sibling_[n]; }
+
+  /// Previous sibling to the left, or `kNoNode`.
+  NodeId prev_sibling(NodeId n) const { return prev_sibling_[n]; }
+
+  /// Primary label of `n` (the first label for multi-labeled nodes).
+  const std::string& label(NodeId n) const { return labels_[n][0]; }
+
+  /// All labels of `n` (size 1 for ordinary XML trees).
+  const std::vector<std::string>& labels(NodeId n) const { return labels_[n]; }
+
+  /// True if `n` carries label `l`.
+  bool HasLabel(NodeId n, const std::string& l) const;
+
+  /// True if every node carries exactly one label (an ordinary XML tree).
+  bool IsSingleLabeled() const;
+
+  /// Ordered children of `n`.
+  std::vector<NodeId> Children(NodeId n) const;
+
+  /// Depth of `n` (root has depth 0).
+  int Depth(NodeId n) const;
+
+  /// Height of the tree (a single root has height 0).
+  int Height() const;
+
+  /// True if `a` is an ancestor of `b` or `a == b`.
+  bool IsAncestorOrSelf(NodeId a, NodeId b) const;
+
+  /// All distinct labels occurring in the tree, sorted.
+  std::vector<std::string> LabelSet() const;
+
+  // --- FCNS binary view -----------------------------------------------
+
+  /// Kind of the FCNS edge connecting a node to its FCNS parent.
+  enum class FcnsEdge {
+    kNone,       ///< The node is the tree root (no FCNS parent).
+    kFirstChild, ///< The node is the first child of its FCNS parent.
+    kNextSibling ///< The node is the next sibling of its FCNS parent.
+  };
+
+  /// The FCNS parent: the unranked parent if `n` is a first child, else the
+  /// previous sibling. `kNoNode` for the root.
+  NodeId FcnsParent(NodeId n) const;
+
+  /// The kind of edge between `n` and its FCNS parent.
+  FcnsEdge FcnsParentEdge(NodeId n) const;
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> first_child_;
+  std::vector<NodeId> last_child_;
+  std::vector<NodeId> next_sibling_;
+  std::vector<NodeId> prev_sibling_;
+  std::vector<std::vector<std::string>> labels_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_TREE_XML_TREE_H_

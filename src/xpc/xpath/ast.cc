@@ -1,0 +1,74 @@
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+Axis Converse(Axis axis) {
+  switch (axis) {
+    case Axis::kChild: return Axis::kParent;
+    case Axis::kParent: return Axis::kChild;
+    case Axis::kRight: return Axis::kLeft;
+    case Axis::kLeft: return Axis::kRight;
+  }
+  return Axis::kChild;  // Unreachable.
+}
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild: return "down";
+    case Axis::kParent: return "up";
+    case Axis::kRight: return "right";
+    case Axis::kLeft: return "left";
+  }
+  return "?";
+}
+
+bool Equal(const PathPtr& a, const PathPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+      return a->axis == b->axis;
+    case PathKind::kSelf:
+      return true;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+    case PathKind::kIntersect:
+    case PathKind::kComplement:
+      return Equal(a->left, b->left) && Equal(a->right, b->right);
+    case PathKind::kFilter:
+      return Equal(a->left, b->left) && Equal(a->filter, b->filter);
+    case PathKind::kStar:
+      return Equal(a->left, b->left);
+    case PathKind::kFor:
+      return a->var == b->var && Equal(a->left, b->left) && Equal(a->right, b->right);
+  }
+  return false;
+}
+
+bool Equal(const NodePtr& a, const NodePtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case NodeKind::kLabel:
+      return a->label == b->label;
+    case NodeKind::kTrue:
+      return true;
+    case NodeKind::kSome:
+      return Equal(a->path, b->path);
+    case NodeKind::kNot:
+      return Equal(a->child1, b->child1);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return Equal(a->child1, b->child1) && Equal(a->child2, b->child2);
+    case NodeKind::kPathEq:
+      return Equal(a->path, b->path) && Equal(a->path2, b->path2);
+    case NodeKind::kIsVar:
+      return a->var == b->var;
+  }
+  return false;
+}
+
+}  // namespace xpc

@@ -1,0 +1,98 @@
+#ifndef XPC_XPATH_AST_H_
+#define XPC_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+
+namespace xpc {
+
+/// The four atomic axes of CoreXPath (Definition 3): child, parent,
+/// next-sibling and previous-sibling. Reflexive-transitive closures of axes
+/// are represented by `PathExpr::kind == kAxisStar`.
+enum class Axis {
+  kChild,   ///< "down" (↓)
+  kParent,  ///< "up" (↑)
+  kRight,   ///< next sibling (→)
+  kLeft,    ///< previous sibling (←)
+};
+
+/// Returns the converse axis (↓ ↔ ↑, → ↔ ←), cf. Section 3.1.
+Axis Converse(Axis axis);
+
+/// Short ASCII name used by the printer/parser ("down", "up", ...).
+const char* AxisName(Axis axis);
+
+struct NodeExpr;
+struct PathExpr;
+
+/// Shared immutable AST handles. Expressions form DAGs: subterms may be
+/// shared freely, and all nodes are immutable after construction.
+using PathPtr = std::shared_ptr<const PathExpr>;
+using NodePtr = std::shared_ptr<const NodeExpr>;
+
+/// Kinds of path expressions. Together with `NodeKind` this covers all of
+/// CoreXPath(≈, ∩, −, for, *): Definition 3 plus the five extensions of
+/// Section 2.2 and the for-loops of Section 7.
+enum class PathKind {
+  kAxis,        ///< τ for τ ∈ {↓, ↑, →, ←}
+  kAxisStar,    ///< τ* (reflexive-transitive closure of an atomic axis)
+  kSelf,        ///< "." (identity)
+  kSeq,         ///< α/β (composition)
+  kUnion,       ///< α ∪ β
+  kFilter,      ///< α[φ]
+  kStar,        ///< α* — general transitive closure (the * operator)
+  kIntersect,   ///< α ∩ β (path intersection)
+  kComplement,  ///< α − β (path complementation)
+  kFor,         ///< for $i in α return β (iteration)
+};
+
+/// Kinds of node expressions.
+enum class NodeKind {
+  kLabel,   ///< p ∈ Σ
+  kTrue,    ///< ⊤
+  kSome,    ///< ⟨α⟩
+  kNot,     ///< ¬φ
+  kAnd,     ///< φ ∧ ψ
+  kOr,      ///< φ ∨ ψ (kept primitive for readable output; ≡ ¬(¬φ ∧ ¬ψ))
+  kPathEq,  ///< α ≈ β (path equality, interpreted existentially)
+  kIsVar,   ///< ". is $i" (only inside for-loops)
+};
+
+/// A path expression. Which members are meaningful depends on `kind`:
+///  - kAxis / kAxisStar: `axis`
+///  - kSeq / kUnion / kIntersect / kComplement: `left`, `right`
+///  - kFilter: `left` (the path), `filter` (the node expression)
+///  - kStar: `left`
+///  - kFor: `var` (the bound variable), `left` (the "in" path), `right`
+///    (the "return" path)
+struct PathExpr {
+  PathKind kind;
+  Axis axis = Axis::kChild;
+  PathPtr left;
+  PathPtr right;
+  NodePtr filter;
+  std::string var;
+};
+
+/// A node expression. Which members are meaningful depends on `kind`:
+///  - kLabel: `label`;  kIsVar: `var`
+///  - kSome: `path`;  kPathEq: `path`, `path2`
+///  - kNot: `child1`;  kAnd / kOr: `child1`, `child2`
+struct NodeExpr {
+  NodeKind kind;
+  std::string label;
+  std::string var;
+  PathPtr path;
+  PathPtr path2;
+  NodePtr child1;
+  NodePtr child2;
+};
+
+/// Structural equality of expressions (labels and variables compared by
+/// name; shared subterms compare fast by pointer).
+bool Equal(const PathPtr& a, const PathPtr& b);
+bool Equal(const NodePtr& a, const NodePtr& b);
+
+}  // namespace xpc
+
+#endif  // XPC_XPATH_AST_H_

@@ -1,0 +1,242 @@
+#include "xpc/xpath/build.h"
+
+#include <cassert>
+
+namespace xpc {
+
+namespace {
+PathPtr MakePath(PathKind kind) {
+  auto p = std::make_shared<PathExpr>();
+  p->kind = kind;
+  return p;
+}
+NodePtr MakeNode(NodeKind kind) {
+  auto n = std::make_shared<NodeExpr>();
+  n->kind = kind;
+  return n;
+}
+}  // namespace
+
+PathPtr Ax(Axis axis) {
+  auto p = std::make_shared<PathExpr>();
+  p->kind = PathKind::kAxis;
+  p->axis = axis;
+  return p;
+}
+
+PathPtr AxStar(Axis axis) {
+  auto p = std::make_shared<PathExpr>();
+  p->kind = PathKind::kAxisStar;
+  p->axis = axis;
+  return p;
+}
+
+PathPtr AxPlus(Axis axis) { return Seq(Ax(axis), AxStar(axis)); }
+
+PathPtr Self() { return MakePath(PathKind::kSelf); }
+
+PathPtr Seq(PathPtr a, PathPtr b) {
+  assert(a && b);
+  auto p = MakePath(PathKind::kSeq);
+  auto q = std::const_pointer_cast<PathExpr>(p);
+  q->left = std::move(a);
+  q->right = std::move(b);
+  return p;
+}
+
+PathPtr SeqAll(std::vector<PathPtr> parts) {
+  assert(!parts.empty());
+  PathPtr acc = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) acc = Seq(acc, parts[i]);
+  return acc;
+}
+
+PathPtr Union(PathPtr a, PathPtr b) {
+  auto p = MakePath(PathKind::kUnion);
+  auto q = std::const_pointer_cast<PathExpr>(p);
+  q->left = std::move(a);
+  q->right = std::move(b);
+  return p;
+}
+
+PathPtr UnionAll(std::vector<PathPtr> parts) {
+  assert(!parts.empty());
+  PathPtr acc = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) acc = Union(acc, parts[i]);
+  return acc;
+}
+
+PathPtr Filter(PathPtr a, NodePtr f) {
+  auto p = MakePath(PathKind::kFilter);
+  auto q = std::const_pointer_cast<PathExpr>(p);
+  q->left = std::move(a);
+  q->filter = std::move(f);
+  return p;
+}
+
+PathPtr Test(NodePtr f) { return Filter(Self(), std::move(f)); }
+
+PathPtr Star(PathPtr a) {
+  auto p = MakePath(PathKind::kStar);
+  std::const_pointer_cast<PathExpr>(p)->left = std::move(a);
+  return p;
+}
+
+PathPtr Intersect(PathPtr a, PathPtr b) {
+  auto p = MakePath(PathKind::kIntersect);
+  auto q = std::const_pointer_cast<PathExpr>(p);
+  q->left = std::move(a);
+  q->right = std::move(b);
+  return p;
+}
+
+PathPtr IntersectAll(std::vector<PathPtr> parts) {
+  assert(!parts.empty());
+  PathPtr acc = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) acc = Intersect(acc, parts[i]);
+  return acc;
+}
+
+PathPtr Complement(PathPtr a, PathPtr b) {
+  auto p = MakePath(PathKind::kComplement);
+  auto q = std::const_pointer_cast<PathExpr>(p);
+  q->left = std::move(a);
+  q->right = std::move(b);
+  return p;
+}
+
+PathPtr For(const std::string& var, PathPtr in, PathPtr ret) {
+  auto p = MakePath(PathKind::kFor);
+  auto q = std::const_pointer_cast<PathExpr>(p);
+  q->var = var;
+  q->left = std::move(in);
+  q->right = std::move(ret);
+  return p;
+}
+
+NodePtr Label(const std::string& label) {
+  auto n = std::make_shared<NodeExpr>();
+  n->kind = NodeKind::kLabel;
+  n->label = label;
+  return n;
+}
+
+NodePtr True() { return MakeNode(NodeKind::kTrue); }
+
+NodePtr False() { return Not(True()); }
+
+NodePtr Some(PathPtr a) {
+  auto n = MakeNode(NodeKind::kSome);
+  std::const_pointer_cast<NodeExpr>(n)->path = std::move(a);
+  return n;
+}
+
+NodePtr Not(NodePtr f) {
+  assert(f);
+  if (f->kind == NodeKind::kNot) return f->child1;  // ¬¬φ = φ.
+  auto n = MakeNode(NodeKind::kNot);
+  std::const_pointer_cast<NodeExpr>(n)->child1 = std::move(f);
+  return n;
+}
+
+NodePtr And(NodePtr a, NodePtr b) {
+  auto n = MakeNode(NodeKind::kAnd);
+  auto m = std::const_pointer_cast<NodeExpr>(n);
+  m->child1 = std::move(a);
+  m->child2 = std::move(b);
+  return n;
+}
+
+NodePtr AndAll(std::vector<NodePtr> parts) {
+  if (parts.empty()) return True();
+  NodePtr acc = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) acc = And(acc, parts[i]);
+  return acc;
+}
+
+NodePtr Or(NodePtr a, NodePtr b) {
+  auto n = MakeNode(NodeKind::kOr);
+  auto m = std::const_pointer_cast<NodeExpr>(n);
+  m->child1 = std::move(a);
+  m->child2 = std::move(b);
+  return n;
+}
+
+NodePtr OrAll(std::vector<NodePtr> parts) {
+  if (parts.empty()) return False();
+  NodePtr acc = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) acc = Or(acc, parts[i]);
+  return acc;
+}
+
+NodePtr Implies(NodePtr a, NodePtr b) { return Not(And(std::move(a), Not(std::move(b)))); }
+
+NodePtr PathEq(PathPtr a, PathPtr b) {
+  auto n = MakeNode(NodeKind::kPathEq);
+  auto m = std::const_pointer_cast<NodeExpr>(n);
+  m->path = std::move(a);
+  m->path2 = std::move(b);
+  return n;
+}
+
+NodePtr IsVar(const std::string& var) {
+  auto n = MakeNode(NodeKind::kIsVar);
+  std::const_pointer_cast<NodeExpr>(n)->var = var;
+  return n;
+}
+
+NodePtr Every(PathPtr a, NodePtr f) {
+  return Not(Some(Filter(std::move(a), Not(std::move(f)))));
+}
+
+PathPtr ConversePath(const PathPtr& a) {
+  if (!a) return nullptr;
+  switch (a->kind) {
+    case PathKind::kAxis:
+      return Ax(Converse(a->axis));
+    case PathKind::kAxisStar:
+      return AxStar(Converse(a->axis));
+    case PathKind::kSelf:
+      return Self();
+    case PathKind::kSeq: {
+      auto l = ConversePath(a->left);
+      auto r = ConversePath(a->right);
+      if (!l || !r) return nullptr;
+      return Seq(r, l);  // (α/β)⁻ = β⁻/α⁻.
+    }
+    case PathKind::kUnion: {
+      auto l = ConversePath(a->left);
+      auto r = ConversePath(a->right);
+      if (!l || !r) return nullptr;
+      return Union(l, r);
+    }
+    case PathKind::kFilter: {
+      // (α[φ])⁻ = .[φ]/α⁻.
+      auto l = ConversePath(a->left);
+      if (!l) return nullptr;
+      return Seq(Test(a->filter), l);
+    }
+    case PathKind::kStar: {
+      auto l = ConversePath(a->left);
+      if (!l) return nullptr;
+      return Star(l);
+    }
+    case PathKind::kIntersect: {
+      auto l = ConversePath(a->left);
+      auto r = ConversePath(a->right);
+      if (!l || !r) return nullptr;
+      return Intersect(l, r);
+    }
+    case PathKind::kComplement: {
+      auto l = ConversePath(a->left);
+      auto r = ConversePath(a->right);
+      if (!l || !r) return nullptr;
+      return Complement(l, r);
+    }
+    case PathKind::kFor:
+      return nullptr;  // No syntactic converse for iteration.
+  }
+  return nullptr;
+}
+
+}  // namespace xpc

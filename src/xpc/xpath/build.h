@@ -1,0 +1,79 @@
+#ifndef XPC_XPATH_BUILD_H_
+#define XPC_XPATH_BUILD_H_
+
+#include <string>
+#include <vector>
+
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+// Factory functions for building expressions programmatically. All return
+// freshly allocated immutable nodes; sharing subterms is encouraged.
+
+/// τ — an atomic axis step.
+PathPtr Ax(Axis axis);
+/// τ* — the reflexive-transitive closure of an atomic axis.
+PathPtr AxStar(Axis axis);
+/// τ⁺ = τ/τ* — the (irreflexive) transitive closure shorthand.
+PathPtr AxPlus(Axis axis);
+/// "." — the identity path.
+PathPtr Self();
+/// α/β.
+PathPtr Seq(PathPtr a, PathPtr b);
+/// α₁/…/αₙ for n ≥ 1.
+PathPtr SeqAll(std::vector<PathPtr> parts);
+/// α ∪ β.
+PathPtr Union(PathPtr a, PathPtr b);
+/// ⋃ αᵢ (n ≥ 1).
+PathPtr UnionAll(std::vector<PathPtr> parts);
+/// α[φ].
+PathPtr Filter(PathPtr a, NodePtr f);
+/// .[φ] — a pure test step.
+PathPtr Test(NodePtr f);
+/// α* — general transitive closure (the * extension).
+PathPtr Star(PathPtr a);
+/// α ∩ β (the ∩ extension).
+PathPtr Intersect(PathPtr a, PathPtr b);
+/// ⋂ αᵢ (n ≥ 1).
+PathPtr IntersectAll(std::vector<PathPtr> parts);
+/// α − β (the − extension).
+PathPtr Complement(PathPtr a, PathPtr b);
+/// "for $var in α return β" (the for extension).
+PathPtr For(const std::string& var, PathPtr in, PathPtr ret);
+
+/// p.
+NodePtr Label(const std::string& label);
+/// ⊤.
+NodePtr True();
+/// ⊥ = ¬⊤.
+NodePtr False();
+/// ⟨α⟩.
+NodePtr Some(PathPtr a);
+/// ¬φ (collapses double negation).
+NodePtr Not(NodePtr f);
+/// φ ∧ ψ.
+NodePtr And(NodePtr a, NodePtr b);
+/// ⋀ φᵢ (empty conjunction is ⊤).
+NodePtr AndAll(std::vector<NodePtr> parts);
+/// φ ∨ ψ.
+NodePtr Or(NodePtr a, NodePtr b);
+/// ⋁ φᵢ (empty disjunction is ⊥).
+NodePtr OrAll(std::vector<NodePtr> parts);
+/// φ ⇒ ψ = ¬(φ ∧ ¬ψ).
+NodePtr Implies(NodePtr a, NodePtr b);
+/// α ≈ β (the ≈ extension).
+NodePtr PathEq(PathPtr a, PathPtr b);
+/// ". is $var".
+NodePtr IsVar(const std::string& var);
+/// every(α, φ) = ¬⟨α[¬φ]⟩ — "every node reachable by α satisfies φ".
+NodePtr Every(PathPtr a, NodePtr f);
+
+/// The syntactic converse α⁻ of a path expression (Section 3.1). Defined for
+/// ≈/∩/−-free... — in fact for every operator except `for`; `for` paths are
+/// rejected with a null return.
+PathPtr ConversePath(const PathPtr& a);
+
+}  // namespace xpc
+
+#endif  // XPC_XPATH_BUILD_H_

@@ -1,0 +1,137 @@
+#include "xpc/xpath/fragment.h"
+
+#include <sstream>
+
+namespace xpc {
+
+namespace {
+
+void MarkAxis(Axis axis, Fragment* f) {
+  switch (axis) {
+    case Axis::kChild: f->uses_child = true; break;
+    case Axis::kParent: f->uses_parent = true; break;
+    case Axis::kRight: f->uses_right = true; break;
+    case Axis::kLeft: f->uses_left = true; break;
+  }
+}
+
+void Detect(const PathPtr& path, Fragment* f);
+
+void Detect(const NodePtr& node, Fragment* f) {
+  switch (node->kind) {
+    case NodeKind::kLabel:
+    case NodeKind::kTrue:
+    case NodeKind::kIsVar:
+      break;
+    case NodeKind::kSome:
+      Detect(node->path, f);
+      break;
+    case NodeKind::kNot:
+      Detect(node->child1, f);
+      break;
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      Detect(node->child1, f);
+      Detect(node->child2, f);
+      break;
+    case NodeKind::kPathEq:
+      f->uses_path_eq = true;
+      Detect(node->path, f);
+      Detect(node->path2, f);
+      break;
+  }
+}
+
+void Detect(const PathPtr& path, Fragment* f) {
+  switch (path->kind) {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+      MarkAxis(path->axis, f);
+      break;
+    case PathKind::kSelf:
+      break;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+      Detect(path->left, f);
+      Detect(path->right, f);
+      break;
+    case PathKind::kFilter:
+      Detect(path->left, f);
+      Detect(path->filter, f);
+      break;
+    case PathKind::kStar:
+      f->uses_star = true;
+      Detect(path->left, f);
+      break;
+    case PathKind::kIntersect:
+      f->uses_intersect = true;
+      Detect(path->left, f);
+      Detect(path->right, f);
+      break;
+    case PathKind::kComplement:
+      f->uses_complement = true;
+      Detect(path->left, f);
+      Detect(path->right, f);
+      break;
+    case PathKind::kFor:
+      f->uses_for = true;
+      Detect(path->left, f);
+      Detect(path->right, f);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Fragment::Name() const {
+  std::ostringstream os;
+  os << "CoreXPath";
+  std::string axes;
+  if (!(uses_child && uses_parent && uses_right && uses_left)) {
+    if (uses_child) axes += "v";   // ↓
+    if (uses_parent) axes += "^";  // ↑
+    if (uses_right) axes += ">";   // →
+    if (uses_left) axes += "<";    // ←
+    if (!axes.empty()) os << "_{" << axes << "}";
+  }
+  std::string ops;
+  auto add = [&ops](const char* s) {
+    if (!ops.empty()) ops += ", ";
+    ops += s;
+  };
+  if (uses_star) add("*");
+  if (uses_path_eq) add("~");
+  if (uses_intersect) add("cap");
+  if (uses_complement) add("-");
+  if (uses_for) add("for");
+  if (!ops.empty()) os << "(" << ops << ")";
+  return os.str();
+}
+
+Fragment Fragment::Join(const Fragment& a, const Fragment& b) {
+  Fragment f;
+  f.uses_path_eq = a.uses_path_eq || b.uses_path_eq;
+  f.uses_intersect = a.uses_intersect || b.uses_intersect;
+  f.uses_complement = a.uses_complement || b.uses_complement;
+  f.uses_for = a.uses_for || b.uses_for;
+  f.uses_star = a.uses_star || b.uses_star;
+  f.uses_child = a.uses_child || b.uses_child;
+  f.uses_parent = a.uses_parent || b.uses_parent;
+  f.uses_right = a.uses_right || b.uses_right;
+  f.uses_left = a.uses_left || b.uses_left;
+  return f;
+}
+
+Fragment DetectFragment(const PathPtr& path) {
+  Fragment f;
+  Detect(path, &f);
+  return f;
+}
+
+Fragment DetectFragment(const NodePtr& node) {
+  Fragment f;
+  Detect(node, &f);
+  return f;
+}
+
+}  // namespace xpc

@@ -1,0 +1,52 @@
+#ifndef XPC_XPATH_FRAGMENT_H_
+#define XPC_XPATH_FRAGMENT_H_
+
+#include <string>
+
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Which CoreXPath extension operators and axes an expression uses — the
+/// coordinates of the language lattice of Table I / Figure 1. Used by the
+/// solver facade to dispatch to the cheapest complete decision procedure.
+struct Fragment {
+  // Extension operators (Section 2.2).
+  bool uses_path_eq = false;      ///< ≈
+  bool uses_intersect = false;    ///< ∩
+  bool uses_complement = false;   ///< −
+  bool uses_for = false;          ///< for
+  bool uses_star = false;         ///< general transitive closure *
+
+  // Axes (which of {↓, ↑, →, ←} occur, counting τ and τ*).
+  bool uses_child = false;
+  bool uses_parent = false;
+  bool uses_right = false;
+  bool uses_left = false;
+
+  /// True if only the ↓ axis occurs — the *downward* fragment.
+  bool IsDownward() const { return !uses_parent && !uses_right && !uses_left; }
+  /// True if only ↓, ↑ occur — the *vertical* fragment.
+  bool IsVertical() const { return !uses_right && !uses_left; }
+  /// True if only ↓, → occur — the *forward* fragment.
+  bool IsForward() const { return !uses_parent && !uses_left; }
+
+  /// True for plain CoreXPath(*, ≈) and below: no ∩, −, for.
+  bool IsRegularFriendly() const {
+    return !uses_intersect && !uses_complement && !uses_for;
+  }
+
+  /// Human-readable language name, e.g. "CoreXPath(*, ∩)".
+  std::string Name() const;
+
+  /// Pointwise union of the features of `a` and `b`.
+  static Fragment Join(const Fragment& a, const Fragment& b);
+};
+
+/// Computes the fragment coordinates of an expression.
+Fragment DetectFragment(const PathPtr& path);
+Fragment DetectFragment(const NodePtr& node);
+
+}  // namespace xpc
+
+#endif  // XPC_XPATH_FRAGMENT_H_

@@ -1,0 +1,255 @@
+#include "xpc/xpath/metrics.h"
+
+#include <algorithm>
+
+namespace xpc {
+
+int Size(const PathPtr& path) {
+  switch (path->kind) {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+    case PathKind::kSelf:
+      return 1;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+    case PathKind::kIntersect:
+    case PathKind::kComplement:
+      return 1 + Size(path->left) + Size(path->right);
+    case PathKind::kFilter:
+      return 1 + Size(path->left) + Size(path->filter);
+    case PathKind::kStar:
+      return 1 + Size(path->left);
+    case PathKind::kFor:
+      return 2 + Size(path->left) + Size(path->right);  // for + variable.
+  }
+  return 0;
+}
+
+int Size(const NodePtr& node) {
+  switch (node->kind) {
+    case NodeKind::kLabel:
+    case NodeKind::kTrue:
+    case NodeKind::kIsVar:
+      return 1;
+    case NodeKind::kSome:
+      return 1 + Size(node->path);
+    case NodeKind::kNot:
+      return 1 + Size(node->child1);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return 1 + Size(node->child1) + Size(node->child2);
+    case NodeKind::kPathEq:
+      return 1 + Size(node->path) + Size(node->path2);
+  }
+  return 0;
+}
+
+int DirectIntersectionDepth(const PathPtr& path) {
+  switch (path->kind) {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+    case PathKind::kSelf:
+      return 0;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+    case PathKind::kComplement:
+      return std::max(DirectIntersectionDepth(path->left),
+                      DirectIntersectionDepth(path->right));
+    case PathKind::kIntersect:
+      return 1 + std::max(DirectIntersectionDepth(path->left),
+                          DirectIntersectionDepth(path->right));
+    case PathKind::kFilter:
+    case PathKind::kStar:
+      return DirectIntersectionDepth(path->left);
+    case PathKind::kFor:
+      return std::max(DirectIntersectionDepth(path->left),
+                      DirectIntersectionDepth(path->right));
+  }
+  return 0;
+}
+
+int IntersectionDepth(const PathPtr& path) {
+  int d = DirectIntersectionDepth(path);
+  switch (path->kind) {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+    case PathKind::kSelf:
+      return d;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+    case PathKind::kIntersect:
+    case PathKind::kComplement:
+    case PathKind::kFor:
+      return std::max({d, IntersectionDepth(path->left), IntersectionDepth(path->right)});
+    case PathKind::kFilter:
+      return std::max({d, IntersectionDepth(path->left), IntersectionDepth(path->filter)});
+    case PathKind::kStar:
+      return std::max(d, IntersectionDepth(path->left));
+  }
+  return d;
+}
+
+int IntersectionDepth(const NodePtr& node) {
+  switch (node->kind) {
+    case NodeKind::kLabel:
+    case NodeKind::kTrue:
+    case NodeKind::kIsVar:
+      return 0;
+    case NodeKind::kSome:
+      return IntersectionDepth(node->path);
+    case NodeKind::kNot:
+      return IntersectionDepth(node->child1);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return std::max(IntersectionDepth(node->child1), IntersectionDepth(node->child2));
+    case NodeKind::kPathEq:
+      return std::max(IntersectionDepth(node->path), IntersectionDepth(node->path2));
+  }
+  return 0;
+}
+
+namespace {
+
+void CollectLabels(const PathPtr& path, std::set<std::string>* out);
+
+void CollectLabels(const NodePtr& node, std::set<std::string>* out) {
+  switch (node->kind) {
+    case NodeKind::kLabel:
+      out->insert(node->label);
+      break;
+    case NodeKind::kTrue:
+    case NodeKind::kIsVar:
+      break;
+    case NodeKind::kSome:
+      CollectLabels(node->path, out);
+      break;
+    case NodeKind::kNot:
+      CollectLabels(node->child1, out);
+      break;
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      CollectLabels(node->child1, out);
+      CollectLabels(node->child2, out);
+      break;
+    case NodeKind::kPathEq:
+      CollectLabels(node->path, out);
+      CollectLabels(node->path2, out);
+      break;
+  }
+}
+
+void CollectLabels(const PathPtr& path, std::set<std::string>* out) {
+  switch (path->kind) {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+    case PathKind::kSelf:
+      break;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+    case PathKind::kIntersect:
+    case PathKind::kComplement:
+    case PathKind::kFor:
+      CollectLabels(path->left, out);
+      CollectLabels(path->right, out);
+      break;
+    case PathKind::kFilter:
+      CollectLabels(path->left, out);
+      CollectLabels(path->filter, out);
+      break;
+    case PathKind::kStar:
+      CollectLabels(path->left, out);
+      break;
+  }
+}
+
+void CollectVars(const PathPtr& path, std::set<std::string>* out);
+
+void CollectVars(const NodePtr& node, std::set<std::string>* out) {
+  switch (node->kind) {
+    case NodeKind::kIsVar:
+      out->insert(node->var);
+      break;
+    case NodeKind::kLabel:
+    case NodeKind::kTrue:
+      break;
+    case NodeKind::kSome:
+      CollectVars(node->path, out);
+      break;
+    case NodeKind::kNot:
+      CollectVars(node->child1, out);
+      break;
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      CollectVars(node->child1, out);
+      CollectVars(node->child2, out);
+      break;
+    case NodeKind::kPathEq:
+      CollectVars(node->path, out);
+      CollectVars(node->path2, out);
+      break;
+  }
+}
+
+void CollectVars(const PathPtr& path, std::set<std::string>* out) {
+  switch (path->kind) {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+    case PathKind::kSelf:
+      break;
+    case PathKind::kFor:
+      out->insert(path->var);
+      CollectVars(path->left, out);
+      CollectVars(path->right, out);
+      break;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+    case PathKind::kIntersect:
+    case PathKind::kComplement:
+      CollectVars(path->left, out);
+      CollectVars(path->right, out);
+      break;
+    case PathKind::kFilter:
+      CollectVars(path->left, out);
+      CollectVars(path->filter, out);
+      break;
+    case PathKind::kStar:
+      CollectVars(path->left, out);
+      break;
+  }
+}
+
+}  // namespace
+
+std::set<std::string> Labels(const PathPtr& path) {
+  std::set<std::string> out;
+  CollectLabels(path, &out);
+  return out;
+}
+
+std::set<std::string> Labels(const NodePtr& node) {
+  std::set<std::string> out;
+  CollectLabels(node, &out);
+  return out;
+}
+
+std::set<std::string> Variables(const PathPtr& path) {
+  std::set<std::string> out;
+  CollectVars(path, &out);
+  return out;
+}
+
+std::set<std::string> Variables(const NodePtr& node) {
+  std::set<std::string> out;
+  CollectVars(node, &out);
+  return out;
+}
+
+std::string FreshLabel(const std::set<std::string>& used, const std::string& stem) {
+  if (used.find(stem) == used.end()) return stem;
+  for (int i = 0;; ++i) {
+    std::string candidate = stem + "_" + std::to_string(i);
+    if (used.find(candidate) == used.end()) return candidate;
+  }
+}
+
+}  // namespace xpc

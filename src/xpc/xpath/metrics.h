@@ -1,0 +1,39 @@
+#ifndef XPC_XPATH_METRICS_H_
+#define XPC_XPATH_METRICS_H_
+
+#include <set>
+#include <string>
+
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Size of an expression as defined in Section 2.3: the number of nodes in
+/// its syntax tree (occurrences of constructors, labels and atomic paths).
+/// Shared subterms are counted once per occurrence (tree size, not DAG size).
+int Size(const PathPtr& path);
+int Size(const NodePtr& node);
+
+/// Direct intersection depth dd(α) (Section 4.2): nesting of ∩ along the
+/// path-expression spine; filters reset to their own depth.
+int DirectIntersectionDepth(const PathPtr& path);
+
+/// Intersection depth d(α) / d(φ): the maximum direct intersection depth of
+/// any path expression occurring anywhere in the expression (Section 4.2).
+int IntersectionDepth(const PathPtr& path);
+int IntersectionDepth(const NodePtr& node);
+
+/// All labels occurring in the expression.
+std::set<std::string> Labels(const PathPtr& path);
+std::set<std::string> Labels(const NodePtr& node);
+
+/// All for-loop variables occurring (bound or free) in the expression.
+std::set<std::string> Variables(const PathPtr& path);
+std::set<std::string> Variables(const NodePtr& node);
+
+/// Returns a label not in `used` (fresh), derived from `stem`.
+std::string FreshLabel(const std::set<std::string>& used, const std::string& stem);
+
+}  // namespace xpc
+
+#endif  // XPC_XPATH_METRICS_H_

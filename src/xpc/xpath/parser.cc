@@ -1,0 +1,406 @@
+#include "xpc/xpath/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "xpc/xpath/build.h"
+
+namespace xpc {
+
+namespace {
+
+enum class Tok {
+  kIdent, kVar, kSlash, kPipe, kAmp, kMinus, kStar, kPlus, kDot,
+  kLParen, kRParen, kLBracket, kRBracket, kLAngle, kRAngle, kComma, kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;  // For kIdent / kVar.
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+  bool AtIdent(const char* kw) const {
+    return current_.kind == Tok::kIdent && current_.text == kw;
+  }
+
+  std::string error() const { return error_; }
+  bool failed() const { return !error_.empty(); }
+
+ private:
+  void Advance() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    current_.offset = pos_;
+    if (pos_ >= text_.size()) {
+      current_.kind = Tok::kEnd;
+      return;
+    }
+    char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = Tok::kIdent;
+      current_.text = text_.substr(start, pos_ - start);
+      return;
+    }
+    if (c == '$') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+        ++pos_;
+      }
+      if (pos_ == start) {
+        error_ = "expected variable name after '$'";
+        current_.kind = Tok::kEnd;
+        return;
+      }
+      current_.kind = Tok::kVar;
+      current_.text = text_.substr(start, pos_ - start);
+      return;
+    }
+    ++pos_;
+    switch (c) {
+      case '/': current_.kind = Tok::kSlash; return;
+      case '|': current_.kind = Tok::kPipe; return;
+      case '&': current_.kind = Tok::kAmp; return;
+      case '-': current_.kind = Tok::kMinus; return;
+      case '*': current_.kind = Tok::kStar; return;
+      case '+': current_.kind = Tok::kPlus; return;
+      case '.': current_.kind = Tok::kDot; return;
+      case '(': current_.kind = Tok::kLParen; return;
+      case ')': current_.kind = Tok::kRParen; return;
+      case '[': current_.kind = Tok::kLBracket; return;
+      case ']': current_.kind = Tok::kRBracket; return;
+      case '<': current_.kind = Tok::kLAngle; return;
+      case '>': current_.kind = Tok::kRAngle; return;
+      case ',': current_.kind = Tok::kComma; return;
+      default: {
+        std::ostringstream os;
+        os << "unexpected character '" << c << "' at offset " << (pos_ - 1);
+        error_ = os.str();
+        current_.kind = Tok::kEnd;
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  Token current_;
+  std::string error_;
+};
+
+bool IsKeyword(const std::string& s) {
+  return s == "for" || s == "in" || s == "return" || s == "not" || s == "and" ||
+         s == "or" || s == "true" || s == "false" || s == "is" || s == "eq" ||
+         s == "loop" || s == "every" || s == "down" || s == "up" || s == "right" ||
+         s == "left";
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  PathPtr ParsePathTop() {
+    PathPtr p = ParsePathExpr();
+    if (!p) return nullptr;
+    if (lex_.peek().kind != Tok::kEnd) {
+      Fail("trailing input after path expression");
+      return nullptr;
+    }
+    return p;
+  }
+
+  NodePtr ParseNodeTop() {
+    NodePtr n = ParseNodeExpr();
+    if (!n) return nullptr;
+    if (lex_.peek().kind != Tok::kEnd) {
+      Fail("trailing input after node expression");
+      return nullptr;
+    }
+    return n;
+  }
+
+  std::string error() const { return error_.empty() ? lex_.error() : error_; }
+
+ private:
+  void Fail(const std::string& msg) {
+    if (error_.empty()) {
+      std::ostringstream os;
+      os << msg << " (at offset " << lex_.peek().offset << ")";
+      error_ = os.str();
+    }
+  }
+
+  bool Expect(Tok kind, const char* what) {
+    if (lex_.peek().kind != kind) {
+      Fail(std::string("expected ") + what);
+      return false;
+    }
+    lex_.Take();
+    return true;
+  }
+
+  // path := for | union
+  PathPtr ParsePathExpr() {
+    if (lex_.AtIdent("for")) {
+      lex_.Take();
+      if (lex_.peek().kind != Tok::kVar) {
+        Fail("expected $variable after 'for'");
+        return nullptr;
+      }
+      std::string var = lex_.Take().text;
+      if (!lex_.AtIdent("in")) {
+        Fail("expected 'in'");
+        return nullptr;
+      }
+      lex_.Take();
+      PathPtr in = ParsePathExpr();
+      if (!in) return nullptr;
+      if (!lex_.AtIdent("return")) {
+        Fail("expected 'return'");
+        return nullptr;
+      }
+      lex_.Take();
+      PathPtr ret = ParsePathExpr();
+      if (!ret) return nullptr;
+      return For(var, in, ret);
+    }
+    return ParseUnion();
+  }
+
+  PathPtr ParseUnion() {
+    PathPtr p = ParseComplement();
+    if (!p) return nullptr;
+    while (lex_.peek().kind == Tok::kPipe) {
+      lex_.Take();
+      PathPtr r = ParseComplement();
+      if (!r) return nullptr;
+      p = Union(p, r);
+    }
+    return p;
+  }
+
+  PathPtr ParseComplement() {
+    PathPtr p = ParseIntersect();
+    if (!p) return nullptr;
+    while (lex_.peek().kind == Tok::kMinus) {
+      lex_.Take();
+      PathPtr r = ParseIntersect();
+      if (!r) return nullptr;
+      p = Complement(p, r);
+    }
+    return p;
+  }
+
+  PathPtr ParseIntersect() {
+    PathPtr p = ParseSeq();
+    if (!p) return nullptr;
+    while (lex_.peek().kind == Tok::kAmp) {
+      lex_.Take();
+      PathPtr r = ParseSeq();
+      if (!r) return nullptr;
+      p = Intersect(p, r);
+    }
+    return p;
+  }
+
+  PathPtr ParseSeq() {
+    PathPtr p = ParsePostfix();
+    if (!p) return nullptr;
+    while (lex_.peek().kind == Tok::kSlash) {
+      lex_.Take();
+      PathPtr r = ParsePostfix();
+      if (!r) return nullptr;
+      p = Seq(p, r);
+    }
+    return p;
+  }
+
+  PathPtr ParsePostfix() {
+    PathPtr p = ParsePathAtom();
+    if (!p) return nullptr;
+    while (true) {
+      switch (lex_.peek().kind) {
+        case Tok::kLBracket: {
+          lex_.Take();
+          NodePtr f = ParseNodeExpr();
+          if (!f) return nullptr;
+          if (!Expect(Tok::kRBracket, "']'")) return nullptr;
+          p = Filter(p, f);
+          break;
+        }
+        case Tok::kStar:
+          lex_.Take();
+          // `down*` is the CoreXPath axis closure; `(...)*` is the general
+          // transitive-closure extension.
+          p = (p->kind == PathKind::kAxis) ? AxStar(p->axis) : Star(p);
+          break;
+        case Tok::kPlus:
+          lex_.Take();
+          p = (p->kind == PathKind::kAxis) ? AxPlus(p->axis) : Seq(p, Star(p));
+          break;
+        default:
+          return p;
+      }
+    }
+  }
+
+  PathPtr ParsePathAtom() {
+    const Token& t = lex_.peek();
+    if (t.kind == Tok::kDot) {
+      lex_.Take();
+      return Self();
+    }
+    if (t.kind == Tok::kLParen) {
+      lex_.Take();
+      PathPtr p = ParsePathExpr();
+      if (!p) return nullptr;
+      if (!Expect(Tok::kRParen, "')'")) return nullptr;
+      return p;
+    }
+    if (t.kind == Tok::kIdent) {
+      if (t.text == "down") { lex_.Take(); return Ax(Axis::kChild); }
+      if (t.text == "up") { lex_.Take(); return Ax(Axis::kParent); }
+      if (t.text == "right") { lex_.Take(); return Ax(Axis::kRight); }
+      if (t.text == "left") { lex_.Take(); return Ax(Axis::kLeft); }
+    }
+    Fail("expected path atom (axis, '.', or '(')");
+    return nullptr;
+  }
+
+  NodePtr ParseNodeExpr() {
+    NodePtr n = ParseAnd();
+    if (!n) return nullptr;
+    while (lex_.AtIdent("or")) {
+      lex_.Take();
+      NodePtr r = ParseAnd();
+      if (!r) return nullptr;
+      n = Or(n, r);
+    }
+    return n;
+  }
+
+  NodePtr ParseAnd() {
+    NodePtr n = ParseUnary();
+    if (!n) return nullptr;
+    while (lex_.AtIdent("and")) {
+      lex_.Take();
+      NodePtr r = ParseUnary();
+      if (!r) return nullptr;
+      n = And(n, r);
+    }
+    return n;
+  }
+
+  NodePtr ParseUnary() {
+    if (lex_.AtIdent("not")) {
+      lex_.Take();
+      NodePtr n = ParseUnary();
+      if (!n) return nullptr;
+      return Not(n);
+    }
+    return ParseNodeAtom();
+  }
+
+  NodePtr ParseNodeAtom() {
+    const Token& t = lex_.peek();
+    if (t.kind == Tok::kLAngle) {
+      lex_.Take();
+      PathPtr p = ParsePathExpr();
+      if (!p) return nullptr;
+      if (!Expect(Tok::kRAngle, "'>'")) return nullptr;
+      return Some(p);
+    }
+    if (t.kind == Tok::kLParen) {
+      lex_.Take();
+      NodePtr n = ParseNodeExpr();
+      if (!n) return nullptr;
+      if (!Expect(Tok::kRParen, "')'")) return nullptr;
+      return n;
+    }
+    if (t.kind == Tok::kIdent) {
+      if (t.text == "true") { lex_.Take(); return True(); }
+      if (t.text == "false") { lex_.Take(); return False(); }
+      if (t.text == "is") {
+        lex_.Take();
+        if (lex_.peek().kind != Tok::kVar) {
+          Fail("expected $variable after 'is'");
+          return nullptr;
+        }
+        return IsVar(lex_.Take().text);
+      }
+      if (t.text == "eq") {
+        lex_.Take();
+        if (!Expect(Tok::kLParen, "'('")) return nullptr;
+        PathPtr a = ParsePathExpr();
+        if (!a) return nullptr;
+        if (!Expect(Tok::kComma, "','")) return nullptr;
+        PathPtr b = ParsePathExpr();
+        if (!b) return nullptr;
+        if (!Expect(Tok::kRParen, "')'")) return nullptr;
+        return PathEq(a, b);
+      }
+      if (t.text == "loop") {
+        lex_.Take();
+        if (!Expect(Tok::kLParen, "'('")) return nullptr;
+        PathPtr a = ParsePathExpr();
+        if (!a) return nullptr;
+        if (!Expect(Tok::kRParen, "')'")) return nullptr;
+        return PathEq(a, Self());
+      }
+      if (t.text == "every") {
+        lex_.Take();
+        if (!Expect(Tok::kLParen, "'('")) return nullptr;
+        PathPtr a = ParsePathExpr();
+        if (!a) return nullptr;
+        if (!Expect(Tok::kComma, "','")) return nullptr;
+        NodePtr f = ParseNodeExpr();
+        if (!f) return nullptr;
+        if (!Expect(Tok::kRParen, "')'")) return nullptr;
+        return Every(a, f);
+      }
+      if (!IsKeyword(t.text)) {
+        return Label(lex_.Take().text);
+      }
+    }
+    Fail("expected node expression atom");
+    return nullptr;
+  }
+
+  Lexer lex_;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<PathPtr> ParsePath(const std::string& text) {
+  Parser parser(text);
+  PathPtr p = parser.ParsePathTop();
+  if (!p) return Result<PathPtr>::Error(parser.error());
+  return p;
+}
+
+Result<NodePtr> ParseNode(const std::string& text) {
+  Parser parser(text);
+  NodePtr n = parser.ParseNodeTop();
+  if (!n) return Result<NodePtr>::Error(parser.error());
+  return n;
+}
+
+}  // namespace xpc

@@ -1,0 +1,45 @@
+#ifndef XPC_XPATH_PARSER_H_
+#define XPC_XPATH_PARSER_H_
+
+#include <string>
+
+#include "xpc/common/result.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Parses a path expression in the library's concrete syntax.
+///
+/// Grammar (loosest to tightest):
+///
+///     path    := 'for' $var 'in' path 'return' path | union
+///     union   := compl ('|' compl)*
+///     compl   := inter ('-' inter)*            // path complementation
+///     inter   := seq ('&' seq)*                // path intersection
+///     seq     := postfix ('/' postfix)*
+///     postfix := atom ('[' node ']' | '*' | '+')*
+///     atom    := ('down'|'up'|'right'|'left') | '.' | '(' path ')'
+///
+/// `down* up* right* left*` are the reflexive-transitive axis closures of
+/// CoreXPath; `*` and `+` on non-atomic paths denote the transitive-closure
+/// extension. Examples:
+///
+///     down*[Image and not(<down[q]>)]
+///     (following[Image] & up+[Chapter]/down+[Image]) - following/following
+Result<PathPtr> ParsePath(const std::string& text);
+
+/// Parses a node expression:
+///
+///     node  := and ('or' and)*            and := unary ('and' unary)*
+///     unary := 'not' unary | atom
+///     atom  := 'true' | 'false' | label | 'is' $var
+///            | '<' path '>'               // ⟨α⟩
+///            | 'eq' '(' path ',' path ')' // α ≈ β
+///            | 'loop' '(' path ')'        // sugar for eq(α, .)
+///            | 'every' '(' path ',' node ')'
+///            | '(' node ')'
+Result<NodePtr> ParseNode(const std::string& text);
+
+}  // namespace xpc
+
+#endif  // XPC_XPATH_PARSER_H_

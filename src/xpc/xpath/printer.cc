@@ -1,0 +1,166 @@
+#include "xpc/xpath/printer.h"
+
+#include <sstream>
+
+namespace xpc {
+
+namespace {
+
+// Path precedence levels, loosest to tightest.
+constexpr int kPrecFor = 0;
+constexpr int kPrecUnion = 1;
+constexpr int kPrecComplement = 2;
+constexpr int kPrecIntersect = 3;
+constexpr int kPrecSeq = 4;
+constexpr int kPrecPostfix = 5;
+
+// Node precedence levels.
+constexpr int kPrecOr = 0;
+constexpr int kPrecAnd = 1;
+constexpr int kPrecNodeAtom = 2;
+
+void PrintPath(const PathPtr& p, int parent_prec, std::ostringstream* os);
+void PrintNode(const NodePtr& n, int parent_prec, std::ostringstream* os);
+
+int PathPrec(const PathPtr& p) {
+  switch (p->kind) {
+    case PathKind::kFor: return kPrecFor;
+    case PathKind::kUnion: return kPrecUnion;
+    case PathKind::kComplement: return kPrecComplement;
+    case PathKind::kIntersect: return kPrecIntersect;
+    case PathKind::kSeq: return kPrecSeq;
+    default: return kPrecPostfix;
+  }
+}
+
+void PrintPath(const PathPtr& p, int parent_prec, std::ostringstream* os) {
+  const int prec = PathPrec(p);
+  const bool parens = prec < parent_prec;
+  if (parens) *os << '(';
+  switch (p->kind) {
+    case PathKind::kAxis:
+      *os << AxisName(p->axis);
+      break;
+    case PathKind::kAxisStar:
+      *os << AxisName(p->axis) << '*';
+      break;
+    case PathKind::kSelf:
+      *os << '.';
+      break;
+    case PathKind::kSeq:
+      PrintPath(p->left, kPrecSeq, os);
+      *os << '/';
+      PrintPath(p->right, kPrecSeq, os);
+      break;
+    case PathKind::kUnion:
+      PrintPath(p->left, kPrecUnion, os);
+      *os << " | ";
+      PrintPath(p->right, kPrecUnion, os);
+      break;
+    case PathKind::kFilter:
+      PrintPath(p->left, kPrecPostfix, os);
+      *os << '[';
+      PrintNode(p->filter, kPrecOr, os);
+      *os << ']';
+      break;
+    case PathKind::kStar:
+      // Star(τ) is semantically the axis closure τ*; print it that way so
+      // print → parse → print is a fixpoint (the parser canonicalizes
+      // `(down)*` to the axis closure).
+      if (p->left->kind == PathKind::kAxis) {
+        *os << AxisName(p->left->axis) << '*';
+        break;
+      }
+      PrintPath(p->left, kPrecPostfix + 1, os);  // Force parens unless atomic.
+      *os << '*';
+      break;
+    case PathKind::kIntersect:
+      PrintPath(p->left, kPrecIntersect, os);
+      *os << " & ";
+      PrintPath(p->right, kPrecIntersect, os);
+      break;
+    case PathKind::kComplement:
+      PrintPath(p->left, kPrecComplement, os);
+      *os << " - ";
+      // '-' is left-associative; the right operand needs strictly tighter
+      // precedence.
+      PrintPath(p->right, kPrecComplement + 1, os);
+      break;
+    case PathKind::kFor:
+      *os << "for $" << p->var << " in ";
+      PrintPath(p->left, kPrecUnion, os);
+      *os << " return ";
+      PrintPath(p->right, kPrecFor, os);
+      break;
+  }
+  if (parens) *os << ')';
+}
+
+int NodePrec(const NodePtr& n) {
+  switch (n->kind) {
+    case NodeKind::kOr: return kPrecOr;
+    case NodeKind::kAnd: return kPrecAnd;
+    default: return kPrecNodeAtom;
+  }
+}
+
+void PrintNode(const NodePtr& n, int parent_prec, std::ostringstream* os) {
+  const int prec = NodePrec(n);
+  const bool parens = prec < parent_prec;
+  if (parens) *os << '(';
+  switch (n->kind) {
+    case NodeKind::kLabel:
+      *os << n->label;
+      break;
+    case NodeKind::kTrue:
+      *os << "true";
+      break;
+    case NodeKind::kSome:
+      *os << '<';
+      PrintPath(n->path, kPrecFor, os);
+      *os << '>';
+      break;
+    case NodeKind::kNot:
+      *os << "not(";
+      PrintNode(n->child1, kPrecOr, os);
+      *os << ')';
+      break;
+    case NodeKind::kAnd:
+      PrintNode(n->child1, kPrecAnd, os);
+      *os << " and ";
+      PrintNode(n->child2, kPrecAnd, os);
+      break;
+    case NodeKind::kOr:
+      PrintNode(n->child1, kPrecOr, os);
+      *os << " or ";
+      PrintNode(n->child2, kPrecOr, os);
+      break;
+    case NodeKind::kPathEq:
+      *os << "eq(";
+      PrintPath(n->path, kPrecFor, os);
+      *os << ", ";
+      PrintPath(n->path2, kPrecFor, os);
+      *os << ')';
+      break;
+    case NodeKind::kIsVar:
+      *os << "is $" << n->var;
+      break;
+  }
+  if (parens) *os << ')';
+}
+
+}  // namespace
+
+std::string ToString(const PathPtr& path) {
+  std::ostringstream os;
+  PrintPath(path, kPrecFor, &os);
+  return os.str();
+}
+
+std::string ToString(const NodePtr& node) {
+  std::ostringstream os;
+  PrintNode(node, kPrecOr, &os);
+  return os.str();
+}
+
+}  // namespace xpc

@@ -1,0 +1,21 @@
+#ifndef XPC_XPATH_PRINTER_H_
+#define XPC_XPATH_PRINTER_H_
+
+#include <string>
+
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Renders a path expression in the library's concrete syntax (accepted back
+/// by the parser, see parser.h). Example output:
+///
+///     down*[Image and not(eq(up*/left+/down*[Image], up+[Chapter]/down+[Image]))]
+std::string ToString(const PathPtr& path);
+
+/// Renders a node expression in concrete syntax.
+std::string ToString(const NodePtr& node);
+
+}  // namespace xpc
+
+#endif  // XPC_XPATH_PRINTER_H_

@@ -1,0 +1,54 @@
+#include "xpc/xpath/transform.h"
+
+#include "xpc/xpath/build.h"
+
+namespace xpc {
+
+NodePtr ReplaceLabels(const NodePtr& node, const std::map<std::string, NodePtr>& subst) {
+  switch (node->kind) {
+    case NodeKind::kLabel: {
+      auto it = subst.find(node->label);
+      return it == subst.end() ? node : it->second;
+    }
+    case NodeKind::kTrue:
+    case NodeKind::kIsVar:
+      return node;
+    case NodeKind::kSome:
+      return Some(ReplaceLabels(node->path, subst));
+    case NodeKind::kNot:
+      return Not(ReplaceLabels(node->child1, subst));
+    case NodeKind::kAnd:
+      return And(ReplaceLabels(node->child1, subst), ReplaceLabels(node->child2, subst));
+    case NodeKind::kOr:
+      return Or(ReplaceLabels(node->child1, subst), ReplaceLabels(node->child2, subst));
+    case NodeKind::kPathEq:
+      return PathEq(ReplaceLabels(node->path, subst), ReplaceLabels(node->path2, subst));
+  }
+  return node;
+}
+
+PathPtr ReplaceLabels(const PathPtr& path, const std::map<std::string, NodePtr>& subst) {
+  switch (path->kind) {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+    case PathKind::kSelf:
+      return path;
+    case PathKind::kSeq:
+      return Seq(ReplaceLabels(path->left, subst), ReplaceLabels(path->right, subst));
+    case PathKind::kUnion:
+      return Union(ReplaceLabels(path->left, subst), ReplaceLabels(path->right, subst));
+    case PathKind::kFilter:
+      return Filter(ReplaceLabels(path->left, subst), ReplaceLabels(path->filter, subst));
+    case PathKind::kStar:
+      return Star(ReplaceLabels(path->left, subst));
+    case PathKind::kIntersect:
+      return Intersect(ReplaceLabels(path->left, subst), ReplaceLabels(path->right, subst));
+    case PathKind::kComplement:
+      return Complement(ReplaceLabels(path->left, subst), ReplaceLabels(path->right, subst));
+    case PathKind::kFor:
+      return For(path->var, ReplaceLabels(path->left, subst), ReplaceLabels(path->right, subst));
+  }
+  return path;
+}
+
+}  // namespace xpc

@@ -1,0 +1,19 @@
+#ifndef XPC_XPATH_TRANSFORM_H_
+#define XPC_XPATH_TRANSFORM_H_
+
+#include <map>
+#include <string>
+
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Replaces every occurrence of a label p ∈ keys(subst) by the node
+/// expression subst[p]. This is the label-decoration step of
+/// Propositions 4–6 (e.g. p ↦ (p,0) ∨ (p,1)).
+NodePtr ReplaceLabels(const NodePtr& node, const std::map<std::string, NodePtr>& subst);
+PathPtr ReplaceLabels(const PathPtr& path, const std::map<std::string, NodePtr>& subst);
+
+}  // namespace xpc
+
+#endif  // XPC_XPATH_TRANSFORM_H_

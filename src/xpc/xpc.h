@@ -1,0 +1,37 @@
+#ifndef XPC_XPC_H_
+#define XPC_XPC_H_
+
+/// \file
+/// Umbrella header for the xpc library — a from-scratch implementation of
+/// the decision procedures, translations and constructions of
+///
+///   B. ten Cate and C. Lutz, "The Complexity of Query Containment in
+///   Expressive Fragments of XPath 2.0", PODS 2007 / J. ACM 56(6), 2009.
+///
+/// Typical use:
+///
+///   #include "xpc/xpc.h"
+///
+///   xpc::Solver solver;
+///   auto alpha = xpc::ParsePath("down*[Image]").value();
+///   auto beta = xpc::ParsePath("down*").value();
+///   auto result = solver.Contains(alpha, beta);
+///   // result.verdict == xpc::ContainmentVerdict::kContained
+///
+/// See README.md for the language syntax and the per-module documentation
+/// in the individual headers for the paper-to-code map.
+
+#include "xpc/core/solver.h"          // Containment / satisfiability facade.
+#include "xpc/edtd/conformance.h"     // (E)DTD validation.
+#include "xpc/edtd/edtd.h"            // Schemas (Definition 2).
+#include "xpc/eval/evaluator.h"       // Reference semantics (Table II).
+#include "xpc/reduction/reductions.h" // Proposition 4 reductions.
+#include "xpc/tree/tree_text.h"       // Tree (de)serialization.
+#include "xpc/tree/xml_tree.h"        // XML trees (Definition 1).
+#include "xpc/xpath/build.h"          // Programmatic expression builders.
+#include "xpc/xpath/fragment.h"       // Language-fragment detection.
+#include "xpc/xpath/metrics.h"        // Size / intersection-depth measures.
+#include "xpc/xpath/parser.h"         // Concrete syntax.
+#include "xpc/xpath/printer.h"
+
+#endif  // XPC_XPC_H_

@@ -1,0 +1,119 @@
+// Property tests: algebraic laws of the path algebra, validated by the
+// reference evaluator on randomized trees. These are the rewrite axioms the
+// paper's Discussion points to (ten Cate & Marx's axiomatization), and they
+// double as a broad randomized sweep of the evaluator itself.
+
+#include <gtest/gtest.h>
+
+#include "xpc/eval/evaluator.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/parser.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+struct Law {
+  const char* name;
+  const char* lhs;
+  const char* rhs;
+};
+
+class PathAlgebra : public ::testing::TestWithParam<Law> {};
+
+TEST_P(PathAlgebra, HoldsOnRandomTrees) {
+  const Law& law = GetParam();
+  PathPtr lhs = ParsePath(law.lhs).value();
+  PathPtr rhs = ParsePath(law.rhs).value();
+  TreeGenerator gen(0xA15EB4A);
+  for (int i = 0; i < 60; ++i) {
+    TreeGenOptions opt;
+    opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(13));
+    opt.alphabet = {"a", "b", "c"};
+    XmlTree t = gen.Generate(opt);
+    Evaluator ev(t);
+    ASSERT_TRUE(ev.EvalPath(lhs) == ev.EvalPath(rhs))
+        << law.name << " fails on " << TreeToText(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Laws, PathAlgebra,
+    ::testing::Values(
+        // Composition distributes over union (the axiom quoted in §9).
+        Law{"seq-union-dist", "(down | up)/right", "down/right | up/right"},
+        Law{"union-seq-dist", "right/(down | up)", "right/down | right/up"},
+        // Identity and associativity.
+        Law{"self-left-unit", "./down[a]", "down[a]"},
+        Law{"self-right-unit", "down[a]/.", "down[a]"},
+        Law{"seq-assoc", "(down/right)/up", "down/(right/up)"},
+        // Filters.
+        Law{"filter-split", "down[a and b]", "down[a][b]"},
+        Law{"filter-as-test", "down[a]", "down/.[a]"},
+        Law{"filter-union", "down[a or b]", "down[a] | down[b]"},
+        // Axis closures.
+        Law{"star-unfold", "down*", ". | down/down*"},
+        Law{"star-unfold-right", "down*", ". | down*/down"},
+        Law{"plus-def", "down+", "down/down*"},
+        Law{"star-idempotent", "down*/down*", "down*"},
+        // General transitive closure.
+        Law{"gen-star-unfold", "(down/down)*", ". | down/down/(down/down)*"},
+        Law{"gen-star-axis", "(down)*", "down*"},
+        // Intersection lattice laws.
+        Law{"cap-idempotent", "down* & down*", "down*"},
+        Law{"cap-commutes", "down[a] & down*", "down* & down[a]"},
+        Law{"cap-assoc", "(down* & down+) & down", "down* & (down+ & down)"},
+        Law{"cap-union-absorb", "down & (down | up)", "down"},
+        Law{"cap-distributes", "(down | up) & (down | right)",
+            "down | (up & right)"},
+        // Complementation.
+        Law{"minus-self", "down* - down*", "down[a and not(a)]"},
+        Law{"minus-empty", "down - (down - down)", "down"},
+        Law{"de-morgan-ish", "down* - (down* - down+)", "down+"},
+        // Converse-style round trips.
+        Law{"up-down-loop", "down/up & .", ".[<down>]"},
+        Law{"left-right", "right/left & .", ".[<right>]"}));
+
+// Node-expression laws, checked pointwise.
+struct NodeLaw {
+  const char* name;
+  const char* lhs;
+  const char* rhs;
+};
+
+class NodeAlgebra : public ::testing::TestWithParam<NodeLaw> {};
+
+TEST_P(NodeAlgebra, HoldsOnRandomTrees) {
+  const NodeLaw& law = GetParam();
+  NodePtr lhs = ParseNode(law.lhs).value();
+  NodePtr rhs = ParseNode(law.rhs).value();
+  TreeGenerator gen(0xBEEF);
+  for (int i = 0; i < 60; ++i) {
+    TreeGenOptions opt;
+    opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(13));
+    opt.alphabet = {"a", "b"};
+    XmlTree t = gen.Generate(opt);
+    Evaluator ev(t);
+    ASSERT_TRUE(ev.EvalNode(lhs) == ev.EvalNode(rhs))
+        << law.name << " fails on " << TreeToText(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Laws, NodeAlgebra,
+    ::testing::Values(
+        NodeLaw{"eq-symmetric", "eq(down[a], down*)", "eq(down*, down[a])"},
+        NodeLaw{"eq-as-some-cap", "eq(down[a], down+)", "<down[a] & down+>"},
+        NodeLaw{"some-union", "<down | up>", "<down> or <up>"},
+        NodeLaw{"every-and", "every(down, a and b)",
+                "every(down, a) and every(down, b)"},
+        NodeLaw{"not-some-every", "not(<down[a]>)", "every(down, not(a))"},
+        NodeLaw{"loop-self", "loop(.)", "true"},
+        NodeLaw{"loop-child", "loop(down/up)", "<down>"},
+        NodeLaw{"some-seq", "<down/right>", "<down[<right>]>"},
+        NodeLaw{"de-morgan", "not(a and b)", "not(a) or not(b)"}));
+
+}  // namespace
+}  // namespace xpc

@@ -1,0 +1,153 @@
+#include "xpc/ata/ata.h"
+
+#include <gtest/gtest.h>
+
+#include "xpc/ata/membership.h"
+#include "xpc/eval/evaluator.h"
+#include "xpc/eval/loop_evaluator.h"
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/metrics.h"
+#include "xpc/xpath/parser.h"
+
+namespace xpc {
+namespace {
+
+NodePtr N(const std::string& s) {
+  auto r = ParseNode(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+LExprPtr NF(const std::string& s) {
+  LExprPtr e = ToLoopNormalForm(N(s));
+  EXPECT_TRUE(e) << s;
+  return e;
+}
+
+TEST(Ata, StateSpaceShape) {
+  // cl(φ′) contains loop(π_{q,q'}) for all state pairs, both signs, plus
+  // subformula states: the size is polynomial in |φ| (Section 3.3).
+  LExprPtr e = NF("p and <down[q]>");
+  Ata ata(e);
+  int loop_states = 0;
+  for (int s = 0; s < ata.num_states(); ++s) {
+    if (ata.state(s).automaton != nullptr) ++loop_states;
+  }
+  int expected = 0;
+  for (const PathAutoPtr& a : ata.automata()) {
+    expected += 2 * a->num_states * a->num_states;
+  }
+  EXPECT_EQ(loop_states, expected);
+  EXPECT_EQ(ata.Parity(ata.initial_state()), 1);
+}
+
+TEST(Ata, ParityAssignment) {
+  Ata ata(NF("p"));
+  for (int s = 0; s < ata.num_states(); ++s) {
+    const Ata::State& st = ata.state(s);
+    int expected = (st.automaton != nullptr && !st.negated) ? 1 : 2;
+    EXPECT_EQ(ata.Parity(s), expected);
+  }
+}
+
+// Lemma 12: T ∈ L(A_φ) iff ⟦φ⟧ ≠ ∅ — differential test against the
+// reference evaluator on hand-picked and random trees.
+TEST(Ata, MembershipMatchesEvaluatorHandPicked) {
+  struct Case {
+    const char* tree;
+    const char* phi;
+  };
+  const Case cases[] = {
+      {"a", "a"},
+      {"a", "b"},
+      {"a(b)", "<down[b]>"},
+      {"a(b)", "<down[a]>"},
+      {"a(b,c)", "b and <right[c]>"},
+      {"a(b(c),d)", "<down/down>"},
+      {"a(b(c),d)", "loop(down/down/up/up)"},
+      {"a(b,b,b)", "every(down, b)"},
+      {"a(b,c,b)", "every(down, b)"},
+      {"p(q(p(q)))", "<down*[q and not(<down>)]>"},
+      {"a(b(c),d(e))", "eq(down/down, down[b]/down[c])"},
+  };
+  for (const Case& c : cases) {
+    XmlTree t = ParseTree(c.tree).value();
+    NodePtr phi = N(c.phi);
+    Ata ata(NF(c.phi));
+    Evaluator ev(t);
+    EXPECT_EQ(AtaAccepts(ata, t), ev.SatisfiedSomewhere(phi)) << c.tree << " | " << c.phi;
+  }
+}
+
+class AtaRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(AtaRandom, MembershipMatchesEvaluator) {
+  TreeGenerator gen(GetParam() * 1237 + 7);
+  const char* formulas[] = {
+      "<down[a]>",
+      "every(down*, a or b)",
+      "loop((down | right)*[b]/(up | left)*)",
+      "not(<up>) and <down/right>",
+      "eq(down*, right*)",
+  };
+  for (int i = 0; i < 10; ++i) {
+    TreeGenOptions opt;
+    opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(9));
+    opt.alphabet = {"a", "b"};
+    XmlTree t = gen.Generate(opt);
+    Evaluator ev(t);
+    for (const char* f : formulas) {
+      Ata ata(NF(f));
+      EXPECT_EQ(AtaAccepts(ata, t), ev.SatisfiedSomewhere(N(f)))
+          << f << " on " << TreeToText(t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtaRandom, ::testing::Range(0, 4));
+
+// Lemma 12 refined: the winning positions of subformula states coincide
+// with the truth of those subformulas (checked through the LOOPS
+// evaluator, the third independent semantics pipeline).
+TEST(Ata, WinningPositionsMatchLoopEvaluator) {
+  XmlTree t = ParseTree("r(a(b,c),a(c))").value();
+  LExprPtr e = NF("<down[a]/down[c]> and not(<left>)");
+  Ata ata(e);
+  LoopEvaluator loops(t);
+  auto winning = AtaWinningPositions(ata, t);
+  // Compare every positive loop state of every automaton.
+  for (const PathAutoPtr& a : ata.automata()) {
+    const std::vector<StateRel>& rel = loops.LoopRelations(a);
+    for (int q = 0; q < a->num_states; ++q) {
+      for (int r = 0; r < a->num_states; ++r) {
+        int pos_state = ata.LoopStateOf(a.get(), q, r, false);
+        int neg_state = ata.LoopStateOf(a.get(), q, r, true);
+        for (NodeId n = 0; n < t.size(); ++n) {
+          EXPECT_EQ(winning[pos_state][n], rel[n].Get(q, r))
+              << "loop state (" << q << "," << r << ") at node " << n;
+          EXPECT_EQ(winning[neg_state][n], !rel[n].Get(q, r))
+              << "¬loop state (" << q << "," << r << ") at node " << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(Ata, SizeIsPolynomial) {
+  // |Q_{A_φ}| grows linearly for chain formulas (all components polynomial
+  // in |φ| — Section 3.3).
+  std::vector<int> sizes;
+  for (int n = 1; n <= 5; ++n) {
+    std::string phi = "<down";
+    for (int i = 0; i < n; ++i) phi += "/down[a]";
+    phi += ">";
+    sizes.push_back(Ata(NF(phi)).num_states());
+  }
+  // Quadratic at worst in this family (loop states are pairs).
+  EXPECT_LT(sizes[4], sizes[0] * 30);
+}
+
+}  // namespace
+}  // namespace xpc

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "xpc/automata/dfa.h"
+#include "xpc/automata/nfa.h"
+#include "xpc/automata/regex.h"
+
+namespace xpc {
+namespace {
+
+RegexPtr Rx(const std::string& s) {
+  auto r = ParseRegex(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+TEST(Regex, ParsePrintRoundTrip) {
+  const char* cases[] = {
+      "a",       "a b",          "a | b",     "(a | b)* c",
+      "a+",      "a?",           "epsilon",   "Chapter+",
+      "(Section | Paragraph | Image)+",       "a, b, c",
+  };
+  for (const char* c : cases) {
+    RegexPtr r = Rx(c);
+    ASSERT_TRUE(r) << c;
+    RegexPtr again = Rx(RegexToString(r));
+    EXPECT_EQ(RegexToString(r), RegexToString(again)) << c;
+  }
+}
+
+TEST(Regex, ParseErrors) {
+  EXPECT_FALSE(ParseRegex("").ok());
+  EXPECT_FALSE(ParseRegex("(a").ok());
+  EXPECT_FALSE(ParseRegex("a |").ok());
+  EXPECT_FALSE(ParseRegex("*a").ok());
+}
+
+TEST(Regex, SymbolsAndSize) {
+  RegexPtr r = Rx("(a | b)* a c");
+  EXPECT_EQ(RegexSymbols(r), (std::vector<std::string>{"a", "b", "c"}));
+  // Union(a,b)=3, star=4, concat a: +1+1=6, concat c: +1+1=8.
+  EXPECT_EQ(RegexSize(r), 8);
+}
+
+std::vector<int> W(std::initializer_list<int> w) { return std::vector<int>(w); }
+
+TEST(Nfa, CompiledRegexAcceptance) {
+  std::vector<std::string> sigma = {"a", "b", "c"};
+  Nfa nfa = CompileRegex(Rx("(a | b)* c"), sigma);
+  EXPECT_TRUE(nfa.Accepts(W({2})));
+  EXPECT_TRUE(nfa.Accepts(W({0, 1, 0, 2})));
+  EXPECT_FALSE(nfa.Accepts(W({})));
+  EXPECT_FALSE(nfa.Accepts(W({2, 2})));
+  EXPECT_FALSE(nfa.Accepts(W({0})));
+}
+
+TEST(Nfa, EpsilonAndEmpty) {
+  std::vector<std::string> sigma = {"a"};
+  Nfa eps = CompileRegex(Rx("epsilon"), sigma);
+  EXPECT_TRUE(eps.Accepts(W({})));
+  EXPECT_FALSE(eps.Accepts(W({0})));
+  Nfa empty = CompileRegex(Rx("empty"), sigma);
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(eps.IsEmpty());
+}
+
+TEST(Nfa, ShortestWord) {
+  std::vector<std::string> sigma = {"a", "b"};
+  Nfa nfa = CompileRegex(Rx("a a b | a b"), sigma);
+  auto [found, word] = nfa.ShortestWord();
+  ASSERT_TRUE(found);
+  EXPECT_TRUE(nfa.Accepts(word));
+}
+
+TEST(Nfa, RemoveEpsilons) {
+  std::vector<std::string> sigma = {"a", "b"};
+  Nfa nfa = CompileRegex(Rx("(a b)* | b?"), sigma);
+  Nfa clean = nfa.RemoveEpsilons();
+  for (const auto& t : clean.transitions()) {
+    EXPECT_NE(t.symbol, Nfa::kEpsilon);
+  }
+  const std::vector<std::vector<int>> words = {{},     {0, 1}, {0, 1, 0, 1}, {1},
+                                               {0},    {1, 1}, {0, 1, 0}};
+  for (const auto& w : words) {
+    EXPECT_EQ(nfa.Accepts(w), clean.Accepts(w));
+  }
+}
+
+TEST(Dfa, DeterminizeMatchesNfa) {
+  std::vector<std::string> sigma = {"a", "b"};
+  Nfa nfa = CompileRegex(Rx("(a | b)* a b"), sigma);
+  Dfa dfa = Dfa::Determinize(nfa);
+  // Exhaustive check over all words of length <= 6.
+  for (int len = 0; len <= 6; ++len) {
+    for (int code = 0; code < (1 << len); ++code) {
+      std::vector<int> w;
+      for (int i = 0; i < len; ++i) w.push_back((code >> i) & 1);
+      EXPECT_EQ(nfa.Accepts(w), dfa.Accepts(w)) << "len " << len << " code " << code;
+    }
+  }
+}
+
+TEST(Dfa, MinimizeCanonical) {
+  std::vector<std::string> sigma = {"a", "b"};
+  // "(a|b)* a (a|b)": words whose second-to-last symbol is 'a' → minimal DFA
+  // has 4 states.
+  Nfa nfa = CompileRegex(Rx("(a | b)* a (a | b)"), sigma);
+  Dfa min = Dfa::Determinize(nfa).Minimize();
+  EXPECT_EQ(min.num_states(), 4);
+  EXPECT_TRUE(min.EquivalentTo(Dfa::Determinize(nfa)));
+}
+
+TEST(Dfa, ComplementAndProducts) {
+  std::vector<std::string> sigma = {"a", "b"};
+  Dfa d1 = Dfa::Determinize(CompileRegex(Rx("a (a | b)*"), sigma));
+  Dfa d2 = Dfa::Determinize(CompileRegex(Rx("(a | b)* b"), sigma));
+  Dfa both = d1.IntersectWith(d2);
+  EXPECT_TRUE(both.Accepts(W({0, 1})));
+  EXPECT_FALSE(both.Accepts(W({0})));
+  EXPECT_FALSE(both.Accepts(W({1, 1})));
+  Dfa either = d1.UnionWith(d2);
+  EXPECT_TRUE(either.Accepts(W({1, 1})));
+  EXPECT_FALSE(either.Accepts(W({})));
+  Dfa neither = either.Complement();
+  EXPECT_TRUE(neither.Accepts(W({})));
+  EXPECT_FALSE(neither.Accepts(W({0})));
+  // Double complement is the identity.
+  EXPECT_TRUE(neither.Complement().EquivalentTo(either));
+}
+
+TEST(Dfa, EmptinessAndEquivalence) {
+  std::vector<std::string> sigma = {"a"};
+  Dfa all = Dfa::Determinize(CompileRegex(Rx("a*"), sigma));
+  Dfa none = all.Complement();
+  EXPECT_TRUE(none.IsEmpty());
+  EXPECT_FALSE(all.IsEmpty());
+  Dfa aplus = Dfa::Determinize(CompileRegex(Rx("a a* | epsilon"), sigma));
+  EXPECT_TRUE(aplus.EquivalentTo(all));
+}
+
+}  // namespace
+}  // namespace xpc

@@ -1,0 +1,182 @@
+#include "xpc/sat/downward_sat.h"
+
+#include <gtest/gtest.h>
+
+#include "xpc/edtd/conformance.h"
+#include "xpc/eval/evaluator.h"
+#include "xpc/sat/loop_sat.h"
+#include "xpc/sat/simple_paths.h"
+#include "xpc/translate/intersect_product.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/metrics.h"
+#include "xpc/xpath/parser.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+NodePtr N(const std::string& s) {
+  auto r = ParseNode(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+PathPtr P(const std::string& s) {
+  auto r = ParsePath(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+// Lemma 20 property: α ≡ ⋃ inst(α) on concrete trees.
+TEST(SimplePaths, InstantiateEquivalence) {
+  const char* paths[] = {
+      "down",
+      "down*",
+      ".",
+      "down[a]/down*",
+      "down* & down/down",
+      "down*[a] & down*[b]",
+      "(down & down[a]) | down*/down",
+      "down*/down* & down/down",
+      "down[a]/(down* & down*[b])",
+      "down* & down* & down",
+  };
+  TreeGenerator gen(99);
+  for (const char* s : paths) {
+    PathPtr alpha = P(s);
+    auto [ok, insts] = Instantiate(alpha);
+    ASSERT_TRUE(ok) << s;
+    ASSERT_FALSE(insts.empty() && std::string(s) != "") << s;
+    // Lemma 20(ii): each member has length ≤ 4|α|.
+    for (const SimplePath& p : insts) {
+      EXPECT_LE(static_cast<int>(p.size()), 4 * Size(alpha)) << s;
+    }
+    // Build the union and compare semantics on random trees.
+    std::vector<PathPtr> parts;
+    for (const SimplePath& p : insts) parts.push_back(SimplePathToPathExpr(p));
+    PathPtr united = UnionAll(parts);
+    for (int i = 0; i < 15; ++i) {
+      TreeGenOptions opt;
+      opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(10));
+      opt.alphabet = {"a", "b"};
+      XmlTree t = gen.Generate(opt);
+      Evaluator ev(t);
+      EXPECT_TRUE(ev.EvalPath(alpha) == ev.EvalPath(united))
+          << s << " on " << TreeToText(t);
+    }
+  }
+}
+
+TEST(SimplePaths, EmptyIntersections) {
+  // int{ε, ↓/β} = ∅: a self-loop cannot take a child step.
+  auto [ok, insts] = Instantiate(P(". & down"));
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(insts.empty());
+}
+
+TEST(SimplePaths, RejectsNonDownward) {
+  EXPECT_FALSE(Instantiate(P("up")).first);
+  EXPECT_FALSE(Instantiate(P("right")).first);
+  EXPECT_FALSE(Instantiate(P("(down/down)*")).first);
+  EXPECT_FALSE(Instantiate(P("down - down")).first);
+}
+
+void ExpectDownward(const std::string& phi, SolveStatus expected) {
+  SatResult r = DownwardSatisfiable(N(phi));
+  ASSERT_NE(r.status, SolveStatus::kResourceLimit) << phi << " " << r.engine;
+  EXPECT_EQ(r.status, expected) << phi;
+  if (r.status == SolveStatus::kSat) {
+    ASSERT_TRUE(r.witness.has_value());
+    Evaluator ev(*r.witness);
+    EXPECT_TRUE(ev.SatisfiedSomewhere(N(phi)))
+        << phi << " witness " << TreeToText(*r.witness);
+  }
+}
+
+TEST(DownwardSat, Basics) {
+  ExpectDownward("a", SolveStatus::kSat);
+  ExpectDownward("a and not(a)", SolveStatus::kUnsat);
+  ExpectDownward("<down[a]> and every(down, b)", SolveStatus::kUnsat);
+  ExpectDownward("<down[a]> and every(down, a)", SolveStatus::kSat);
+  ExpectDownward("<down*[a and <down[b]>]>", SolveStatus::kSat);
+  ExpectDownward("<down & down/down>", SolveStatus::kUnsat);
+  ExpectDownward("<down* & down/down>", SolveStatus::kSat);
+  ExpectDownward("<down*[a] & down*[b]>", SolveStatus::kUnsat);
+  ExpectDownward("<down/down & down*[a]/down>", SolveStatus::kSat);
+}
+
+// The downward engine and the ∩-product + loop-sat pipeline are independent
+// implementations; they must agree on CoreXPath↓(∩) inputs.
+TEST(DownwardSat, AgreesWithLoopSatPipeline) {
+  const char* formulas[] = {
+      "<down[a] & down[b]>",
+      "<down/down[a] & down*[b]/down>",
+      "every(down*, a or b) and <down*[a]> and <down[b]>",
+      "<(down & down[a])/(down* & down*[b])>",
+      "not(<down>) and <down* & down*>",
+      "<down*[a]> and every(down, not(a)) and not(a)",
+      "<down & down> and every(down*, <down> or b)",
+      "eq(down[a], down)",
+      "eq(down* & down/down, down[b]/down)",
+  };
+  for (const char* f : formulas) {
+    SatResult down = DownwardSatisfiable(N(f));
+    LExprPtr e = IntersectToLoopNormalForm(N(f));
+    ASSERT_TRUE(e) << f;
+    SatResult loop = LoopSatisfiable(e);
+    ASSERT_NE(down.status, SolveStatus::kResourceLimit) << f << " " << down.engine;
+    ASSERT_NE(loop.status, SolveStatus::kResourceLimit) << f;
+    EXPECT_EQ(down.status, loop.status) << f;
+  }
+}
+
+TEST(DownwardSat, WithEdtd) {
+  Edtd book = Edtd::Parse(R"(
+    Book := Chapter+
+    Chapter := Section+
+    Section := (Section | Paragraph | Image)+
+    Paragraph := epsilon
+    Image := epsilon
+  )").value();
+
+  // "Some chapter contains an image" — satisfiable under the book schema.
+  SatResult r1 = DownwardSatisfiableWithEdtd(N("Chapter and <down*[Image]>"), book);
+  ASSERT_EQ(r1.status, SolveStatus::kSat) << r1.engine;
+  ASSERT_TRUE(r1.witness.has_value());
+  EXPECT_TRUE(Conforms(*r1.witness, book)) << TreeToText(*r1.witness);
+  Evaluator ev(*r1.witness);
+  EXPECT_TRUE(ev.SatisfiedSomewhere(N("Chapter and <down*[Image]>")));
+
+  // A chapter with an Image child directly under it: forbidden by P(Chapter).
+  SatResult r2 = DownwardSatisfiableWithEdtd(N("Chapter and <down[Image]>"), book);
+  EXPECT_EQ(r2.status, SolveStatus::kUnsat);
+
+  // A Book node inside a Book: the root type occurs only at the root.
+  SatResult r3 = DownwardSatisfiableWithEdtd(N("<down*[Book]> and Chapter"), book);
+  EXPECT_EQ(r3.status, SolveStatus::kUnsat);
+
+  // Every section has a paragraph — satisfiable.
+  SatResult r4 = DownwardSatisfiableWithEdtd(
+      N("Book and every(down*, not(Section) or <down[Paragraph]>)"), book);
+  EXPECT_EQ(r4.status, SolveStatus::kSat);
+  EXPECT_TRUE(Conforms(*r4.witness, book));
+}
+
+TEST(DownwardSat, EdtdDepthBound) {
+  // The sections EDTD allows nesting ≤ 3.
+  Edtd sections = Edtd::Parse("s1 -> s := s2?\ns2 -> s := s3?\ns3 -> s := epsilon").value();
+  EXPECT_EQ(DownwardSatisfiableWithEdtd(N("<down/down>"), sections).status, SolveStatus::kSat);
+  EXPECT_EQ(DownwardSatisfiableWithEdtd(N("<down/down/down>"), sections).status,
+            SolveStatus::kUnsat);
+}
+
+TEST(DownwardSat, UnsupportedInputs) {
+  EXPECT_EQ(DownwardSatisfiable(N("<up>")).status, SolveStatus::kResourceLimit);
+  EXPECT_EQ(DownwardSatisfiable(N("<(down/down)*>")).status, SolveStatus::kResourceLimit);
+  EXPECT_EQ(DownwardSatisfiable(N("<down - down>")).status, SolveStatus::kResourceLimit);
+}
+
+}  // namespace
+}  // namespace xpc

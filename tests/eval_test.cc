@@ -1,0 +1,198 @@
+#include "xpc/eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "xpc/tree/tree_generator.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/parser.h"
+
+namespace xpc {
+namespace {
+
+XmlTree MustTree(const std::string& s) {
+  auto r = ParseTree(s);
+  EXPECT_TRUE(r.ok()) << r.error();
+  return r.value();
+}
+
+PathPtr P(const std::string& s) {
+  auto r = ParsePath(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+NodePtr N(const std::string& s) {
+  auto r = ParseNode(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+TEST(Relation, BasicAlgebra) {
+  XmlTree t = MustTree("r(a,b(c))");
+  Relation child = Relation::OfAxis(t, Axis::kChild);
+  EXPECT_TRUE(child.Contains(0, 1));
+  EXPECT_TRUE(child.Contains(0, 2));
+  EXPECT_TRUE(child.Contains(2, 3));
+  EXPECT_EQ(child.Count(), 3);
+  EXPECT_TRUE(child.Transpose().Contains(1, 0));
+
+  Relation star = child.ReflexiveTransitiveClosure();
+  EXPECT_TRUE(star.Contains(0, 0));
+  EXPECT_TRUE(star.Contains(0, 3));
+  EXPECT_FALSE(star.Contains(1, 3));
+
+  Relation two = child.Compose(child);
+  EXPECT_TRUE(two.Contains(0, 3));
+  EXPECT_EQ(two.Count(), 1);
+}
+
+TEST(Evaluator, AxesMatchStructure) {
+  XmlTree t = MustTree("r(a,b(c,d))");
+  Evaluator ev(t);
+  // r=0, a=1, b=2, c=3, d=4.
+  EXPECT_TRUE(ev.EvalPath(P("right")).Contains(1, 2));
+  EXPECT_TRUE(ev.EvalPath(P("left")).Contains(4, 3));
+  EXPECT_TRUE(ev.EvalPath(P("up")).Contains(3, 2));
+  EXPECT_TRUE(ev.EvalPath(P("down*")).Contains(0, 4));
+  EXPECT_EQ(ev.EvalPath(P(".")).Count(), 5);
+}
+
+TEST(Evaluator, FilterAndSome) {
+  XmlTree t = MustTree("r(p(q),p)");
+  Evaluator ev(t);
+  // Nodes: r=0, p=1, q=2, p=3.
+  // ↓⁺[p ∧ ¬⟨↓[q]⟩]: descendants labeled p without a q child → node 3.
+  Relation rel = ev.EvalPath(P("down+[p and not(<down[q]>)]"));
+  EXPECT_FALSE(rel.Contains(0, 1));
+  EXPECT_TRUE(rel.Contains(0, 3));
+  EXPECT_EQ(rel.Count(), 1);
+}
+
+TEST(Evaluator, BooleanSemantics) {
+  XmlTree t = MustTree("r(a,b)");
+  Evaluator ev(t);
+  EXPECT_EQ(ev.EvalNode(N("true")).Count(), 3);
+  EXPECT_EQ(ev.EvalNode(N("false")).Count(), 0);
+  EXPECT_EQ(ev.EvalNode(N("a or b")).Count(), 2);
+  EXPECT_EQ(ev.EvalNode(N("not(a)")).Count(), 2);
+  EXPECT_EQ(ev.EvalNode(N("a and b")).Count(), 0);
+  EXPECT_EQ(ev.EvalNode(N("<down>")).ToVector(), (std::vector<NodeId>{0}));
+}
+
+TEST(Evaluator, PathEqualityExistential) {
+  // ⟦α ≈ β⟧ = {n | ∃m. (n,m) ∈ ⟦α⟧ ∩ ⟦β⟧}.
+  XmlTree t = MustTree("r(a,a(b))");
+  Evaluator ev(t);
+  // At node r: down[a] and down[<down>] intersect at node 2.
+  NodeSet s = ev.EvalNode(N("eq(down[a], down[<down>])"));
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_EQ(s.Count(), 1);
+  // loop(α) = α ≈ . is true where α self-loops.
+  EXPECT_EQ(ev.EvalNode(N("loop(down/up)")).ToVector(), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(Evaluator, IntersectionAndComplement) {
+  XmlTree t = MustTree("r(a(b),a)");
+  Evaluator ev(t);
+  // following-images style: ⟦down* ∩ down/down⟧.
+  Relation r1 = ev.EvalPath(P("down* & down/down"));
+  EXPECT_EQ(r1.Count(), 1);
+  EXPECT_TRUE(r1.Contains(0, 2));
+  // α − β.
+  Relation r2 = ev.EvalPath(P("down+ - down"));
+  EXPECT_EQ(r2.Count(), 1);  // Only (0, b) at depth 2.
+  EXPECT_TRUE(r2.Contains(0, 2));
+  // ∩ via −: α∩β = α − (α − β).
+  Relation r3 = ev.EvalPath(P("down* - (down* - down/down)"));
+  EXPECT_TRUE(r3 == r1);
+}
+
+TEST(Evaluator, GeneralTransitiveClosure) {
+  // (↓[a])* walks down through a-labeled nodes only.
+  XmlTree t = MustTree("a(a(b(a)),a)");
+  Evaluator ev(t);
+  Relation r = ev.EvalPath(P("(down[a])*"));
+  EXPECT_TRUE(r.Contains(0, 1));
+  EXPECT_TRUE(r.Contains(0, 4));
+  EXPECT_FALSE(r.Contains(0, 2));  // b node blocks.
+  EXPECT_FALSE(r.Contains(0, 3));  // a below b unreachable through a-chain.
+  EXPECT_TRUE(r.Contains(2, 3));
+}
+
+TEST(Evaluator, ForLoopBasic) {
+  // for $i in α return β[. is $i] ≡ α ∩ β (Section 2.2).
+  XmlTree t = MustTree("r(a(b),a)");
+  Evaluator ev(t);
+  Relation lhs = ev.EvalPath(P("for $i in down* return (down/down)[is $i]"));
+  Relation rhs = ev.EvalPath(P("down* & down/down"));
+  EXPECT_TRUE(lhs == rhs);
+}
+
+TEST(Evaluator, ForLoopComplementEncoding) {
+  // Theorem 31: α − β ≡ for $i in α return .[¬⟨β[. is $i]⟩]/↓*[. is $i]
+  // for downward α, β.
+  XmlTree t = MustTree("r(a(b,c),a)");
+  Evaluator ev(t);
+  const std::string alpha = "down+";
+  const std::string beta = "down";
+  Relation direct = ev.EvalPath(P(alpha + " - " + beta));
+  Relation encoded = ev.EvalPath(
+      P("for $i in " + alpha + " return .[not(<" + beta + "[is $i]>)]/down*[is $i]"));
+  EXPECT_TRUE(direct == encoded);
+}
+
+TEST(Evaluator, MultiLabelTrees) {
+  XmlTree t = MustTree("r(a+x,b+x)");
+  Evaluator ev(t);
+  EXPECT_EQ(ev.EvalNode(N("x")).Count(), 2);
+  EXPECT_EQ(ev.EvalNode(N("a and x")).Count(), 1);
+}
+
+TEST(Evaluator, PaperBookExample) {
+  // The Section 2.2 example EDTD instance: first image of each chapter via ≈.
+  XmlTree t = MustTree(
+      "Book(Chapter(Section(Paragraph,Image,Image)),"
+      "Chapter(Section(Section(Image),Paragraph)))");
+  Evaluator ev(t);
+  // following ≡ up*/right+/down*; preceding ≡ up*/left+/down*.
+  const std::string preceding = "up*/(left/left*)/down*";
+  NodePtr first_image_filter = N(
+      "Image and not(eq(" + preceding + "[Image], (up/up*)[Chapter]/(down/down*)[Image]))");
+  Relation r = ev.EvalPath(Filter(AxStar(Axis::kChild), first_image_filter));
+  // Images: nodes 4,5 in chapter 1; node 9 in chapter 2 — firsts are 4 and 9.
+  auto from_root = r.ToPairs();
+  std::vector<NodeId> selected;
+  for (auto [src, dst] : from_root) {
+    if (src == 0) selected.push_back(dst);
+  }
+  EXPECT_EQ(selected, (std::vector<NodeId>{4, 9}));
+}
+
+TEST(Evaluator, ContainmentOnTree) {
+  XmlTree t = MustTree("r(a(b),c)");
+  Evaluator ev(t);
+  EXPECT_TRUE(ev.ContainedIn(P("down"), P("down*")));
+  EXPECT_FALSE(ev.ContainedIn(P("down*"), P("down")));
+}
+
+// Differential test: ⟨α⟩ ≡ loop(α/up*/down*) (Section 3.1, step (2)).
+TEST(Evaluator, SomeAsLoopProperty) {
+  TreeGenerator gen(11);
+  const char* alphas[] = {"down[a]", "right/down", "up*[b]/down", "left"};
+  for (int i = 0; i < 40; ++i) {
+    TreeGenOptions opt;
+    opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(12));
+    opt.alphabet = {"a", "b"};
+    XmlTree t = gen.Generate(opt);
+    Evaluator ev(t);
+    for (const char* alpha : alphas) {
+      NodeSet lhs = ev.EvalNode(N(std::string("<") + alpha + ">"));
+      NodeSet rhs = ev.EvalNode(N(std::string("loop((") + alpha + ")/up*/down*)"));
+      EXPECT_TRUE(lhs == rhs) << alpha << " on " << TreeToText(t);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpc

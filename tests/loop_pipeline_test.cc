@@ -1,0 +1,153 @@
+// Differential tests of the two independent semantics pipelines:
+//   (A) the direct denotational Evaluator (Table II), and
+//   (B) normal form (Section 3.1) + LOOPS fixpoint evaluation (Lemma 11).
+// Agreement of (A) and (B) on random expressions × random trees validates
+// both the translation and the excursion-summary machinery that the
+// satisfiability engine is built on.
+
+#include <gtest/gtest.h>
+
+#include "xpc/eval/evaluator.h"
+#include "xpc/eval/loop_evaluator.h"
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/pathauto/path_automaton.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/parser.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+XmlTree MustTree(const std::string& s) { return ParseTree(s).value(); }
+NodePtr N(const std::string& s) {
+  auto r = ParseNode(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+void ExpectPipelinesAgree(const XmlTree& tree, const NodePtr& phi) {
+  Evaluator direct(tree);
+  LoopEvaluator loops(tree);
+  LExprPtr translated = ToLoopNormalForm(phi);
+  ASSERT_TRUE(translated) << ToString(phi);
+  NodeSet expected = direct.EvalNode(phi);
+  const std::vector<bool>& actual = loops.EvalAll(translated);
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    EXPECT_EQ(expected.Contains(v), actual[v])
+        << ToString(phi) << " at node " << v << " of " << TreeToText(tree);
+  }
+}
+
+TEST(LoopPipeline, RejectsNonRegularOperators) {
+  EXPECT_EQ(ToLoopNormalForm(N("<down & up>")), nullptr);
+  EXPECT_EQ(ToLoopNormalForm(N("<down - up>")), nullptr);
+  EXPECT_EQ(ToLoopNormalForm(N("<for $i in down return .[is $i]>")), nullptr);
+  EXPECT_NE(ToLoopNormalForm(N("eq(down, up)")), nullptr);
+}
+
+TEST(LoopPipeline, HandPickedFormulas) {
+  XmlTree t = MustTree("r(a(b,c(a)),b(c))");
+  const char* formulas[] = {
+      "a",
+      "true",
+      "<down>",
+      "<up>",
+      "<right>",
+      "<left>",
+      "<down*[c]>",
+      "<up*[r]>",
+      "not(<down[a]>)",
+      "<down[b]/right[c]>",
+      "eq(down, down[a])",
+      "eq(down*, .)",
+      "loop(down/up)",
+      "loop(right/left)",
+      "<(down[a] | right)*[c]>",
+      "every(down*, a or b or c or r)",
+      "<down*[b and not(<right>)]>",
+      "<up/up[r]>",
+      "<left/left>",
+  };
+  for (const char* f : formulas) ExpectPipelinesAgree(t, N(f));
+}
+
+TEST(LoopPipeline, ChainTrees) {
+  // Unary chains exercise the ↓ = ↓₁/→* compilation with no siblings.
+  XmlTree t = MustTree("p(q(p(q(p))))");
+  const char* formulas[] = {
+      "<down[q]/down[p]>", "every(down*, p or q)", "eq(down/down, down*[p]/down[q])",
+      "not(<up*[q and not(<up>)]>)",
+  };
+  for (const char* f : formulas) ExpectPipelinesAgree(t, N(f));
+}
+
+TEST(LoopPipeline, WideTrees) {
+  // Wide trees exercise the sibling moves.
+  XmlTree t = MustTree("r(a,b,a,b,a,b,c)");
+  const char* formulas[] = {
+      "<right[b]/right[a]>",
+      "<left*[a and not(<left>)]>",
+      "eq(right/right, right*[a]/right[b])",
+      "every(down, <right*> or c)",
+      "b and not(<right>)",
+  };
+  for (const char* f : formulas) ExpectPipelinesAgree(t, N(f));
+}
+
+// Random structural property sweep.
+class LoopPipelineRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoopPipelineRandom, AgreesOnRandomTrees) {
+  const int seed = GetParam();
+  TreeGenerator gen(seed * 7919 + 13);
+  const char* formulas[] = {
+      "<down[a]>",
+      "eq(up*/down*, down[a]/right*)",
+      "every(down*, a or b)",
+      "not(eq(down*, down*[b]))",
+      "<(down[a])*[b]>",
+      "loop((down | right)*[a]/(up | left)*)",
+      "<down*/up*/right>",
+      "a and eq(left*, right*)",
+      "<(down/right)*>",
+      "every((down | right)*, <down> or <right> or true)",
+  };
+  for (int i = 0; i < 12; ++i) {
+    TreeGenOptions opt;
+    opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(14));
+    opt.alphabet = {"a", "b"};
+    XmlTree t = gen.Generate(opt);
+    for (const char* f : formulas) ExpectPipelinesAgree(t, N(f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoopPipelineRandom, ::testing::Range(0, 8));
+
+TEST(LoopPipeline, SomewhereInTree) {
+  XmlTree t = MustTree("r(a(b),c)");
+  LoopEvaluator loops(t);
+  LExprPtr phi = ToLoopNormalForm(N("b and <up[a]>"));
+  ASSERT_TRUE(phi);
+  EXPECT_TRUE(loops.AtRoot(SomewhereInTree(phi)));
+  LExprPtr absent = ToLoopNormalForm(N("c and <up[a]>"));
+  EXPECT_FALSE(loops.AtRoot(SomewhereInTree(absent)));
+  EXPECT_TRUE(loops.AtRoot(EverywhereInTree(ToLoopNormalForm(N("r or a or b or c")))));
+  EXPECT_FALSE(loops.AtRoot(EverywhereInTree(ToLoopNormalForm(N("a or b or c")))));
+}
+
+TEST(LoopPipeline, SizesAreLinear) {
+  // |translated| is linear in |φ| (Section 3.1 "linear time translation").
+  for (int n = 1; n <= 6; ++n) {
+    std::string phi = "<down";
+    for (int i = 0; i < n; ++i) phi += "/down[a]";
+    phi += ">";
+    LExprPtr e = ToLoopNormalForm(N(phi));
+    ASSERT_TRUE(e);
+    EXPECT_LE(SizeOf(e), 40 * (n + 1)) << phi;
+  }
+}
+
+}  // namespace
+}  // namespace xpc

@@ -1,0 +1,164 @@
+#include "xpc/sat/loop_sat.h"
+
+#include <gtest/gtest.h>
+
+#include "xpc/eval/evaluator.h"
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/sat/bounded_sat.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/parser.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+NodePtr N(const std::string& s) {
+  auto r = ParseNode(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+SatResult Solve(const std::string& phi) {
+  LExprPtr e = ToLoopNormalForm(N(phi));
+  EXPECT_TRUE(e) << phi;
+  return LoopSatisfiable(e);
+}
+
+// Every SAT answer must come with a verified witness.
+void ExpectSatWithWitness(const std::string& phi) {
+  SatResult r = Solve(phi);
+  ASSERT_EQ(r.status, SolveStatus::kSat) << phi;
+  ASSERT_TRUE(r.witness.has_value()) << phi;
+  Evaluator ev(*r.witness);
+  EXPECT_TRUE(ev.SatisfiedSomewhere(N(phi)))
+      << phi << " not satisfied by claimed witness " << TreeToText(*r.witness);
+}
+
+void ExpectUnsat(const std::string& phi) {
+  SatResult r = Solve(phi);
+  EXPECT_EQ(r.status, SolveStatus::kUnsat) << phi;
+}
+
+TEST(LoopSat, TrivialSat) {
+  ExpectSatWithWitness("true");
+  ExpectSatWithWitness("p");
+  ExpectSatWithWitness("not(p)");
+}
+
+TEST(LoopSat, TrivialUnsat) {
+  ExpectUnsat("false");
+  ExpectUnsat("p and not(p)");
+}
+
+TEST(LoopSat, StructuralSat) {
+  ExpectSatWithWitness("<down[p]>");
+  ExpectSatWithWitness("<down[p]/right[q]>");
+  ExpectSatWithWitness("<up[p]> and q");
+  ExpectSatWithWitness("<down/down/down>");
+  ExpectSatWithWitness("<down[p and <down[p]>]> and not(p)");
+  ExpectSatWithWitness("<left> and <right>");
+}
+
+TEST(LoopSat, StructuralUnsat) {
+  // A node cannot be both a leaf and have a child.
+  ExpectUnsat("<down> and not(<down>)");
+  // The root of the tree has no parent: everywhere-no-parent plus depth 1.
+  ExpectUnsat("<up[not(<up>) and p and not(p)]>");
+  // ⟨↓*⟩ always holds but ⟨↓*[p ∧ ¬p]⟩ never does.
+  ExpectUnsat("<down*[p and not(p)]>");
+  // First child has no left sibling: ⟨↓[¬⟨←⟩ ∧ ⟨←⟩]⟩.
+  ExpectUnsat("<down[not(<left>) and <left>]>");
+}
+
+TEST(LoopSat, PathEqReasoning) {
+  // eq(., .) is trivially true.
+  ExpectSatWithWitness("eq(., .)");
+  // loop(↓/↑) holds iff the node has a child.
+  ExpectSatWithWitness("loop(down/up)");
+  // A node whose parent-of-child differs from itself: impossible.
+  ExpectUnsat("loop(down/up[p and not(p)])");
+  // Two distinct children with the same... eq between disjointly-labeled
+  // child sets is unsatisfiable on single-labeled trees.
+  ExpectUnsat("eq(down[a and b], .) and not(eq(down[a], down[b]))");
+}
+
+TEST(LoopSat, SingleLabelSemantics) {
+  // Nodes carry exactly one label, so a common target of ↓[a] and ↓[b]
+  // would have to satisfy both labels: unsatisfiable.
+  ExpectUnsat("eq(down[a], down[b])");
+  ExpectUnsat("eq(down[a and b], down)");
+}
+
+TEST(LoopSat, StarFormulas) {
+  // (↓[a])* chains: zero steps make the filter apply to the node itself, so
+  // ⟨(↓[a])*[b]⟩ ∧ a is unsatisfiable on single-labeled trees, while a chain
+  // of a-nodes followed by one ↓ step to a b-node is fine.
+  ExpectUnsat("<(down[a])*[b]> and a");
+  ExpectSatWithWitness("a and <(down[a])*/down[b]>");
+  ExpectSatWithWitness("loop((down[a] | right)*[c]/(up | left)*) and c");
+  // Every node on a ↓-chain is a, the last is b — contradiction with b≠a.
+  ExpectUnsat("<(down[a])*[b]> and every(down*, not(b))");
+}
+
+TEST(LoopSat, EveryCombinations) {
+  ExpectSatWithWitness("every(down, p) and <down>");
+  ExpectUnsat("every(down*, p) and not(p)");
+  ExpectUnsat("every(down*, p) and <down*[q and not(p)]>");
+  ExpectSatWithWitness("every(down*, p or q) and <down*[q]> and <down*[p]>");
+}
+
+TEST(LoopSat, DeeperCombinations) {
+  // Root with exactly... at least 3 children, pairwise-ordered labels.
+  ExpectSatWithWitness("<down[a and not(<left>)]/right[b]/right[c]>");
+  // a-node such that every child is b and some grandchild exists.
+  ExpectSatWithWitness("a and every(down, b) and <down/down>");
+  // Unsat: every child is b, some child is not b.
+  ExpectUnsat("every(down, b) and <down[c and not(b)]>");
+}
+
+// Cross-validation against the bounded oracle on a battery of formulas in
+// CoreXPath(*, ≈). For SAT both must agree; for UNSAT the oracle must fail
+// to find a witness.
+TEST(LoopSat, CrossValidatedBattery) {
+  const char* formulas[] = {
+      "p and every(up*, q or p)",
+      "eq(down*[a], right*[a])",
+      "not(<up>) and every(down, a) and <down[a]/down[b]>",
+      "eq(up/down, .) and <right>",
+      "eq(up/down, .) and not(<right>) and not(<left>) and <up>",
+      "<down[a]> and <down[b]> and every(down, a or b)",
+      "loop(right/right/left/left) and <right/right>",
+      "every(down*, <down[a]> or <down[b]> or not(<down>))",
+      "a and <(down[a])*[b]>",
+      "eq(down[a]/down[b], down[c]/down[d])",
+  };
+  BoundedSatOptions oracle_opts;
+  oracle_opts.max_exhaustive_nodes = 5;
+  oracle_opts.random_trees = 60;
+  oracle_opts.max_random_nodes = 10;
+  for (const char* f : formulas) {
+    SatResult fast = Solve(f);
+    SatResult oracle = BoundedSatisfiable(N(f), oracle_opts);
+    if (fast.status == SolveStatus::kSat) {
+      ASSERT_TRUE(fast.witness.has_value()) << f;
+      Evaluator ev(*fast.witness);
+      EXPECT_TRUE(ev.SatisfiedSomewhere(N(f)))
+          << f << " witness " << TreeToText(*fast.witness);
+    } else {
+      EXPECT_EQ(fast.status, SolveStatus::kUnsat) << f;
+      EXPECT_NE(oracle.status, SolveStatus::kSat)
+          << f << ": oracle found witness " << TreeToText(*oracle.witness)
+          << " but engine says unsat";
+    }
+  }
+}
+
+TEST(LoopSat, WitnessesAreReasonablySmall) {
+  SatResult r = Solve("<down/down/down[p]>");
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_LE(r.witness->size(), 8);
+  EXPECT_GE(r.witness->Height(), 3);
+}
+
+}  // namespace
+}  // namespace xpc

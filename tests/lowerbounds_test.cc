@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "xpc/eval/evaluator.h"
+#include "xpc/lowerbounds/atm.h"
+#include "xpc/lowerbounds/atm_encodings.h"
+#include "xpc/lowerbounds/families.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/fragment.h"
+#include "xpc/xpath/metrics.h"
+#include "xpc/xpath/parser.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+TEST(Atm, SimulatorEvenOnes) {
+  Atm m = AtmEvenOnes();
+  EXPECT_EQ(SimulateAtm(m, {1, 1}, 4), AtmOutcome::kAccept);
+  EXPECT_EQ(SimulateAtm(m, {1, 0}, 4), AtmOutcome::kReject);
+  EXPECT_EQ(SimulateAtm(m, {0, 0}, 4), AtmOutcome::kAccept);
+  EXPECT_EQ(SimulateAtm(m, {1, 1, 1}, 8), AtmOutcome::kReject);
+  EXPECT_EQ(SimulateAtm(m, {}, 2), AtmOutcome::kAccept);
+}
+
+TEST(Atm, SimulatorAlternation) {
+  EXPECT_EQ(SimulateAtm(AtmGuessAndVerify(), {0, 1}, 4), AtmOutcome::kAccept);
+  EXPECT_EQ(SimulateAtm(AtmAlwaysAccept(), {1}, 2), AtmOutcome::kAccept);
+  EXPECT_EQ(SimulateAtm(AtmAlwaysReject(), {1}, 2), AtmOutcome::kReject);
+}
+
+TEST(Encodings, FragmentsMatchTheorems) {
+  Atm m = AtmEvenOnes();
+  std::vector<int> w = {1, 1};
+  // Theorem 27: vertical fragment.
+  Fragment fv = DetectFragment(EncodeVertical(m, w));
+  EXPECT_TRUE(fv.IsVertical());
+  EXPECT_TRUE(fv.uses_intersect);
+  EXPECT_FALSE(fv.uses_star);
+  // Theorem 28: forward fragment (→⁺ only — the paper's promise to avoid
+  // the nontransitive sibling axis... →⁺ is built from → and →*, both
+  // forward).
+  Fragment ff = DetectFragment(EncodeForward(m, w));
+  EXPECT_TRUE(ff.IsForward());
+  EXPECT_TRUE(ff.uses_intersect);
+  // Theorem 29: downward fragment.
+  Fragment fd = DetectFragment(EncodeDownward(m, w));
+  EXPECT_TRUE(fd.IsDownward());
+  EXPECT_TRUE(fd.uses_intersect);
+  EXPECT_FALSE(fd.uses_star);
+}
+
+TEST(Encodings, SizeGrowsPolynomially) {
+  Atm m = AtmEvenOnes();
+  std::vector<int64_t> sizes;
+  for (int k = 1; k <= 4; ++k) {
+    std::vector<int> w(k, 1);
+    sizes.push_back(Size(EncodeDownward(m, w)));
+  }
+  // Quadratic-ish in k = |w| (counters contribute O(k²)).
+  EXPECT_LT(sizes[3], sizes[0] * 64);
+  EXPECT_GT(sizes[3], sizes[0]);
+}
+
+// The heart of the Section 6.4 validation: the intended computation model
+// of a deterministic machine satisfies φ''_{M,w} at its root iff the
+// machine accepts (the rejecting run violates φ''_acc).
+TEST(Encodings, DownwardModelChecking) {
+  Atm m = AtmEvenOnes();
+  struct Case {
+    std::vector<int> word;
+    bool accepts;
+  };
+  const Case cases[] = {{{1, 1}, true}, {{1, 0}, false}, {{0, 0}, true}};
+  for (const Case& c : cases) {
+    ASSERT_EQ(SimulateAtm(m, c.word, 1 << c.word.size()) == AtmOutcome::kAccept, c.accepts);
+    auto [ok, model] = BuildDownwardComputationModel(m, c.word);
+    ASSERT_TRUE(ok);
+    NodePtr phi = EncodeDownward(m, c.word);
+    Evaluator ev(model);
+    EXPECT_EQ(ev.EvalNode(phi).Contains(model.root()), c.accepts)
+        << "word " << c.word[0] << c.word[1];
+  }
+}
+
+TEST(Encodings, DownwardModelIsFragile) {
+  // Corrupting the computation (flipping a symbol in the middle) must break
+  // the formula: the encoding really checks the transition relation.
+  Atm m = AtmEvenOnes();
+  std::vector<int> w = {1, 1};
+  auto [ok, model] = BuildDownwardComputationModel(m, w);
+  ASSERT_TRUE(ok);
+  NodePtr phi = EncodeDownward(m, w);
+  {
+    Evaluator ev(model);
+    ASSERT_TRUE(ev.EvalNode(phi).Contains(model.root()));
+  }
+  // Rebuild with a corrupted cell: node ids are chain positions; flip the
+  // symbol label of a mid-chain node (config 1, cell 1 → position 5).
+  XmlTree corrupted("x");
+  {
+    // Copy with surgery.
+    std::vector<std::vector<std::string>> labels;
+    for (NodeId n = 0; n < model.size(); ++n) labels.push_back(model.labels(n));
+    NodeId target = 5;
+    for (auto& l : labels[target]) {
+      if (l == Atm::SymbolLabel(1)) l = Atm::SymbolLabel(0);
+      else if (l == Atm::SymbolLabel(0)) l = Atm::SymbolLabel(1);
+    }
+    corrupted = XmlTree(labels[0]);
+    NodeId at = corrupted.root();
+    for (NodeId n = 1; n < model.size(); ++n) at = corrupted.AddChild(at, labels[n]);
+  }
+  Evaluator ev(corrupted);
+  EXPECT_FALSE(ev.EvalNode(phi).Contains(corrupted.root()));
+}
+
+TEST(Encodings, Lemma25TreeEncoding) {
+  XmlTree multi = ParseTree("a+c0(b(a),a+c1)").value();
+  XmlTree single = EncodeMultiLabelTree(multi);
+  EXPECT_TRUE(single.IsSingleLabeled());
+  // Real nodes labeled x; label leaves attached after real children.
+  EXPECT_EQ(single.label(0), "x");
+  EXPECT_EQ(TreeToText(single), "x(x(x(a),b),x(a,c1),a,c0)");
+}
+
+// Lemma 25 semantics: φ on a multi-labeled tree ≡ φ' on the encoded tree,
+// at corresponding (real) nodes.
+TEST(Encodings, Lemma25Equivalence) {
+  const char* formulas[] = {
+      "<down[a]>",
+      "<down*[b and <down[a]>]>",
+      "every(down, a or b)",
+      "<down & down[a]>",
+      "<down*[c1] & down/down>",
+      "not(<down[a and b]>)",
+  };
+  TreeGenerator gen(5);
+  for (int i = 0; i < 15; ++i) {
+    TreeGenOptions opt;
+    opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(8));
+    opt.alphabet = {"a", "b", "c1"};
+    opt.max_extra_labels = 2;
+    XmlTree multi = gen.Generate(opt);
+    XmlTree single = EncodeMultiLabelTree(multi);
+    // Real node n of `multi` corresponds to the n-th x-labeled node of
+    // `single` in creation order; EncodeMultiLabelTree preserves the DFS
+    // order of real nodes, so match by order of x-nodes.
+    std::vector<NodeId> real;
+    for (NodeId n = 0; n < single.size(); ++n) {
+      if (single.label(n) == "x") real.push_back(n);
+    }
+    // Creation orders differ (multi is random-parent order; single is DFS);
+    // match by path-from-root instead: evaluate both and compare root truth
+    // plus counts.
+    for (const char* f : formulas) {
+      NodePtr phi = ParseNode(f).value();
+      NodePtr encoded = MultiLabelToSingle(phi);
+      Evaluator ev_multi(multi);
+      Evaluator ev_single(single);
+      // The Lemma 25 statement is about satisfiability; the encoded formula
+      // includes the aux-leaf conjuncts, so compare "satisfied at some real
+      // node".
+      bool sat_multi = !ev_multi.EvalNode(phi).Empty();
+      NodeSet s = ev_single.EvalNode(encoded);
+      bool sat_single = false;
+      for (NodeId n : real) sat_single = sat_single || s.Contains(n);
+      EXPECT_EQ(sat_multi, sat_single) << f << " on " << TreeToText(multi);
+    }
+  }
+}
+
+TEST(Families, PhiKShape) {
+  for (int k = 1; k <= 3; ++k) {
+    NodePtr phi = SuccinctnessPhiK(k);
+    Fragment f = DetectFragment(phi);
+    EXPECT_TRUE(f.uses_intersect);
+    EXPECT_FALSE(f.uses_star);
+    // Quadratic size in k.
+    EXPECT_LT(Size(phi), 300 * (k + 1) * (k + 1));
+  }
+  // φ_k is monotone in k-ish in size.
+  EXPECT_LT(Size(SuccinctnessPhiK(1)), Size(SuccinctnessPhiK(3)));
+}
+
+TEST(Families, PhiKSemantics) {
+  // k = 1: positions i, j with pp-starts that agree at offset 0 (trivially
+  // via ≡ at ℓ=0... offsets 2ℓ for ℓ<1 = {0}) must agree at offset 2.
+  NodePtr phi = SuccinctnessPhiK(1);
+  // Chain p p p p p p: all positions agree everywhere — satisfied.
+  XmlTree uniform = ParseTree("p(p(p(p(p(p)))))").value();
+  Evaluator ev1(uniform);
+  EXPECT_TRUE(ev1.EvalNode(phi).Contains(uniform.root()));
+  // Chain p p p p q vs ... construct a violating chain: positions 0 and 2
+  // both start pp, agree at offset 0 (both p), but differ at offset 2:
+  // u_2 = p, u_4 = q ⇒ positions 0, 2 violate with k = 1? offsets: i=0,
+  // j=2: u_{i+0}=u_0=p, u_{j+0}=u_2=p agree; u_{i+2}=u_2=p, u_{j+2}=u_4=q
+  // differ ⇒ φ_1 false somewhere.
+  XmlTree violating = ParseTree("p(p(p(p(q))))").value();
+  Evaluator ev2(violating);
+  EXPECT_FALSE(ev2.EvalNode(phi).Contains(violating.root()));
+}
+
+TEST(Families, NerodeGrowth) {
+  // The k = 1 language already needs ≥ 2^{2^1} = 4 states; empirically the
+  // class count grows sharply with k.
+  int64_t classes1 = CountNerodeClasses(SuccinctnessPhiK(1), 5, 4);
+  EXPECT_GE(classes1, 4);
+  int64_t classes2 = CountNerodeClasses(SuccinctnessPhiK(2), 7, 6);
+  EXPECT_GT(classes2, classes1);
+}
+
+TEST(Families, ScalingFamiliesWellFormed) {
+  for (int n = 1; n <= 4; ++n) {
+    EXPECT_FALSE(DetectFragment(FamilyEqChain(n)).uses_intersect);
+    EXPECT_TRUE(DetectFragment(FamilyEqChain(n)).uses_path_eq);
+    EXPECT_EQ(IntersectionDepth(FamilyIntersectChain(n)), 1);
+    EXPECT_EQ(IntersectionDepth(FamilyIntersectNested(n)), n);
+    EXPECT_TRUE(DetectFragment(FamilyForChain(n)).uses_for);
+    EXPECT_TRUE(DetectFragment(FamilyComplementTower(n)).uses_complement);
+  }
+}
+
+}  // namespace
+}  // namespace xpc

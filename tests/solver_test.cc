@@ -1,0 +1,232 @@
+#include "xpc/core/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "xpc/eval/evaluator.h"
+#include "xpc/reduction/reductions.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/parser.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+PathPtr P(const std::string& s) {
+  auto r = ParsePath(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+NodePtr N(const std::string& s) {
+  auto r = ParseNode(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+Edtd BookEdtd() {
+  return Edtd::Parse(R"(
+    Book := Chapter+
+    Chapter := Section+
+    Section := (Section | Paragraph | Image)+
+    Paragraph := epsilon
+    Image := epsilon
+  )").value();
+}
+
+TEST(Reductions, DecorationRoundTrip) {
+  XmlTree t = ParseTree("a__d0(b__d1,x__d0)").value();
+  XmlTree stripped = StripDecoration(t);
+  EXPECT_EQ(TreeToText(stripped), "a(b,x)");
+  XmlTree t2 = ParseTree("s(a__d0(b__d1))").value();
+  EXPECT_EQ(TreeToText(StripDecoration(t2, "s")), "a(b)");
+}
+
+TEST(Reductions, ContainmentFormulaShape) {
+  NodePtr psi = ContainmentToUnsat(P("down"), P("down*"));
+  // ψ = ⟨ᾱ[1]⟩ ∧ ¬⟨β̄[1]⟩.
+  ASSERT_EQ(psi->kind, NodeKind::kAnd);
+  EXPECT_EQ(psi->child1->kind, NodeKind::kSome);
+  EXPECT_EQ(psi->child2->kind, NodeKind::kNot);
+}
+
+struct ContainCase {
+  const char* alpha;
+  const char* beta;
+  ContainmentVerdict expected;
+};
+
+class SolverContainment : public ::testing::TestWithParam<ContainCase> {};
+
+TEST_P(SolverContainment, Decides) {
+  const ContainCase& c = GetParam();
+  Solver solver;
+  ContainmentResult r = solver.Contains(P(c.alpha), P(c.beta));
+  EXPECT_EQ(r.verdict, c.expected)
+      << c.alpha << " vs " << c.beta << " engine=" << r.engine
+      << (r.counterexample ? " cx=" + TreeToText(*r.counterexample) : "");
+  if (r.verdict == ContainmentVerdict::kNotContained) {
+    ASSERT_TRUE(r.counterexample.has_value());
+    Evaluator ev(*r.counterexample);
+    Relation a = ev.EvalPath(P(c.alpha));
+    a.SubtractWith(ev.EvalPath(P(c.beta)));
+    EXPECT_FALSE(a.Empty()) << TreeToText(*r.counterexample);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SolverContainment,
+    ::testing::Values(
+        // Basic downward containments.
+        ContainCase{"down", "down*", ContainmentVerdict::kContained},
+        ContainCase{"down*", "down", ContainmentVerdict::kNotContained},
+        ContainCase{"down[a]", "down", ContainmentVerdict::kContained},
+        ContainCase{"down", "down[a]", ContainmentVerdict::kNotContained},
+        // Filters and booleans.
+        ContainCase{"down[a and b]", "down[a]", ContainmentVerdict::kContained},
+        ContainCase{"down[a or b]", "down[a]", ContainmentVerdict::kNotContained},
+        ContainCase{"down[not(not(a))]", "down[a]", ContainmentVerdict::kContained},
+        // Upward/sideways.
+        ContainCase{"up/down", "up/down | .", ContainmentVerdict::kContained},
+        ContainCase{"right/left", ".", ContainmentVerdict::kContained},
+        ContainCase{".", "right/left", ContainmentVerdict::kNotContained},
+        ContainCase{"up*/down*", "down*/up*", ContainmentVerdict::kNotContained},
+        // ∩ (2-EXPTIME pipeline).
+        ContainCase{"down & down/down", "down[a]", ContainmentVerdict::kContained},
+        ContainCase{"down* & down/down", "down/down", ContainmentVerdict::kContained},
+        ContainCase{"down/down", "down* & down*/down", ContainmentVerdict::kContained},
+        // ≈ in filters.
+        ContainCase{"down[eq(down, down[a])]", "down[<down[a]>]",
+                    ContainmentVerdict::kContained},
+        ContainCase{"down[<down[a]>]", "down[eq(down, down[a])]",
+                    ContainmentVerdict::kContained},
+        // Transitive closure.
+        ContainCase{"(down/down)*", "down*", ContainmentVerdict::kContained},
+        ContainCase{"down*", "(down/down)*", ContainmentVerdict::kNotContained},
+        ContainCase{"(down[a])*/down[b]", "down*[a or b]", ContainmentVerdict::kContained},
+        // Equal expressions.
+        ContainCase{"down | .", ". | down", ContainmentVerdict::kContained}));
+
+TEST(Solver, EquivalenceQueries) {
+  Solver solver;
+  EXPECT_EQ(solver.Equivalent(P("down | down/down"), P("down/down | down")).verdict,
+            ContainmentVerdict::kContained);
+  EXPECT_EQ(solver.Equivalent(P("down*"), P(". | down/down*")).verdict,
+            ContainmentVerdict::kContained);
+  EXPECT_EQ(solver.Equivalent(P("down*"), P("down+")).verdict,
+            ContainmentVerdict::kNotContained);
+  // α ∩ β ≡ α − (α − β) (Section 7): the − side has no elementary
+  // decision procedure, so the solver can only report kUnknown here (the
+  // semantic identity itself is property-tested in the Figure 1 bench).
+  EXPECT_EQ(solver.Equivalent(P("down* & down/down"),
+                              P("down* - (down* - down/down)")).verdict,
+            ContainmentVerdict::kUnknown);
+}
+
+TEST(Solver, ForLoopIntersectionIdentity) {
+  // for $i in α return β[. is $i] ≡ α ∩ β (Section 2.2) — via bounded
+  // search both directions must fail to find a counterexample... the
+  // bounded engine cannot *prove* containment, so expect kUnknown, and
+  // sanity-check non-containment detection on a falsified variant.
+  Solver solver;
+  ContainmentResult r = solver.Contains(
+      P("for $i in down* return (down/down)[is $i]"), P("down* & down/down"));
+  EXPECT_EQ(r.verdict, ContainmentVerdict::kUnknown);  // Bounded: can't prove.
+  ContainmentResult r2 = solver.Contains(
+      P("for $i in down* return (down/down)[is $i]"), P("down"));
+  EXPECT_EQ(r2.verdict, ContainmentVerdict::kNotContained);  // Finds witness.
+}
+
+TEST(Solver, ComplementContainment) {
+  Solver solver;
+  // down+ − down ⊆ down/down+: counterexample-free, but bounded engine
+  // cannot prove it → kUnknown. Non-containment IS decidable by search:
+  ContainmentResult r = solver.Contains(P("down+ - down/down+"), P("down/down"));
+  EXPECT_EQ(r.verdict, ContainmentVerdict::kNotContained);
+  ASSERT_TRUE(r.counterexample.has_value());
+}
+
+TEST(Solver, WithEdtd) {
+  Solver solver;
+  Edtd book = BookEdtd();
+  // Under the book schema, an image below a chapter is below one of its
+  // sections.
+  ContainmentResult r1 = solver.Contains(P("down[Chapter]/down*[Image]"),
+                                         P("down[Chapter]/down[Section]/down*[Image]"), book);
+  EXPECT_EQ(r1.verdict, ContainmentVerdict::kContained) << r1.engine;
+  // Without the schema this fails (an Image child directly under Chapter).
+  ContainmentResult r2 = solver.Contains(P("down[Chapter]/down*[Image]"),
+                                         P("down[Chapter]/down[Section]/down*[Image]"));
+  EXPECT_EQ(r2.verdict, ContainmentVerdict::kNotContained);
+
+  // Sections may nest, so "Section child of Section" is nonempty — not
+  // contained in the empty path.
+  ContainmentResult r3 =
+      solver.Contains(P("down*[Section]/down[Section]"), P("down[false]"), book);
+  EXPECT_EQ(r3.verdict, ContainmentVerdict::kNotContained) << r3.engine;
+  // But "Paragraph with a child" is empty under the schema.
+  ContainmentResult r4 = solver.Contains(P("down*[Paragraph]/down"), P("down[false]"), book);
+  EXPECT_EQ(r4.verdict, ContainmentVerdict::kContained) << r4.engine;
+}
+
+TEST(Solver, SatisfiabilityDispatch) {
+  Solver solver;
+  // Downward engine for ↓-only ∩ inputs.
+  SatResult r1 = solver.NodeSatisfiable(N("<down & down/down>"));
+  EXPECT_EQ(r1.status, SolveStatus::kUnsat);
+  EXPECT_EQ(r1.engine, "downward-sat");
+  // Loop engine for ≈/star inputs.
+  SatResult r2 = solver.NodeSatisfiable(N("eq(up/down, .)"));
+  EXPECT_EQ(r2.status, SolveStatus::kSat);
+  EXPECT_EQ(r2.engine, "loop-sat");
+  // Bounded engine for for-loops.
+  SatResult r3 = solver.NodeSatisfiable(N("<for $i in down return down[is $i]>"));
+  EXPECT_EQ(r3.status, SolveStatus::kSat);
+  EXPECT_EQ(r3.engine, "bounded-sat");
+  // ⟨for $i in ↓ return .[. is $i]⟩ needs a node that is its own child:
+  // unsatisfiable, but the bounded engine cannot prove that.
+  SatResult r4 = solver.NodeSatisfiable(N("<for $i in down return .[is $i]>"));
+  EXPECT_EQ(r4.status, SolveStatus::kResourceLimit);
+}
+
+TEST(Solver, PathSatisfiability) {
+  Solver solver;
+  EXPECT_EQ(solver.PathSatisfiable(P("down/up/down")).status, SolveStatus::kSat);
+  EXPECT_EQ(solver.PathSatisfiable(P("down[a and not(a)]")).status, SolveStatus::kUnsat);
+  Edtd book = BookEdtd();
+  EXPECT_EQ(solver.PathSatisfiable(P("down[Book]"), book).status, SolveStatus::kUnsat);
+  EXPECT_EQ(solver.PathSatisfiable(P("down[Chapter]"), book).status, SolveStatus::kSat);
+}
+
+// Random cross-validation: solver verdicts are consistent with evaluation
+// on random trees (soundness spot check: if contained, no random tree may
+// violate it).
+TEST(Solver, RandomConsistency) {
+  const char* pairs[][2] = {
+      {"down[a]/down", "down/down"},
+      {"down/right", "down"},
+      {"up/down*", "up/down* | ."},
+      {"down*[a]", "down*"},
+      {"down* & down", "down"},
+  };
+  Solver solver;
+  TreeGenerator gen(5150);
+  for (auto& pr : pairs) {
+    ContainmentResult r = solver.Contains(P(pr[0]), P(pr[1]));
+    ASSERT_NE(r.verdict, ContainmentVerdict::kUnknown) << pr[0] << " vs " << pr[1];
+    if (r.verdict == ContainmentVerdict::kContained) {
+      for (int i = 0; i < 30; ++i) {
+        TreeGenOptions opt;
+        opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(12));
+        opt.alphabet = {"a", "b"};
+        XmlTree t = gen.Generate(opt);
+        Evaluator ev(t);
+        EXPECT_TRUE(ev.ContainedIn(P(pr[0]), P(pr[1])))
+            << pr[0] << " ⊈ " << pr[1] << " on " << TreeToText(t);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpc

@@ -1,0 +1,189 @@
+// Edge-case unit tests for the low-level substrates: Bits, StateRel,
+// Relation, and a randomized parser/printer round-trip sweep.
+
+#include <gtest/gtest.h>
+
+#include "xpc/common/bits.h"
+#include "xpc/eval/relation.h"
+#include "xpc/pathauto/state_relation.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/parser.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+TEST(Bits, WordBoundaries) {
+  Bits b(130);  // Crosses two 64-bit word boundaries.
+  EXPECT_TRUE(b.None());
+  for (int i : {0, 63, 64, 127, 128, 129}) b.Set(i);
+  EXPECT_EQ(b.Count(), 6);
+  for (int i : {0, 63, 64, 127, 128, 129}) EXPECT_TRUE(b.Get(i));
+  EXPECT_FALSE(b.Get(1));
+  EXPECT_FALSE(b.Get(126));
+  b.Reset(64);
+  EXPECT_FALSE(b.Get(64));
+  EXPECT_EQ(b.Count(), 5);
+}
+
+TEST(Bits, SetOperations) {
+  Bits a(70), b(70);
+  a.Set(3);
+  a.Set(69);
+  b.Set(3);
+  b.Set(42);
+  Bits u = a;
+  EXPECT_TRUE(u.UnionWith(b));
+  EXPECT_FALSE(u.UnionWith(b));  // Second union changes nothing.
+  EXPECT_EQ(u.Count(), 3);
+  Bits i = a;
+  i.IntersectWith(b);
+  EXPECT_EQ(i.Count(), 1);
+  EXPECT_TRUE(i.Get(3));
+  Bits d = a;
+  d.SubtractWith(b);
+  EXPECT_EQ(d.Count(), 1);
+  EXPECT_TRUE(d.Get(69));
+  EXPECT_TRUE(i.SubsetOf(a));
+  EXPECT_FALSE(a.SubsetOf(b));
+}
+
+TEST(Bits, ForEachOrderAndHash) {
+  Bits a(100);
+  a.Set(5);
+  a.Set(64);
+  a.Set(99);
+  std::vector<int> seen;
+  a.ForEach([&](int i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<int>{5, 64, 99}));
+  Bits b(100);
+  b.Set(5);
+  b.Set(64);
+  b.Set(99);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_TRUE(a == b);
+  b.Reset(5);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(StateRel, ComposeAndClosure) {
+  StateRel r(4);
+  r.Set(0, 1);
+  r.Set(1, 2);
+  r.Set(2, 3);
+  StateRel two = r.Compose(r);
+  EXPECT_TRUE(two.Get(0, 2));
+  EXPECT_TRUE(two.Get(1, 3));
+  EXPECT_FALSE(two.Get(0, 1));
+  StateRel closed = r;
+  closed.CloseReflexiveTransitive();
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(closed.Get(i, i));
+  EXPECT_TRUE(closed.Get(0, 3));
+  EXPECT_FALSE(closed.Get(3, 0));
+}
+
+TEST(StateRel, ClosureWithCycle) {
+  StateRel r(3);
+  r.Set(0, 1);
+  r.Set(1, 0);
+  r.CloseReflexiveTransitive();
+  EXPECT_TRUE(r.Get(0, 0));
+  EXPECT_TRUE(r.Get(0, 1));
+  EXPECT_TRUE(r.Get(1, 0));
+  EXPECT_FALSE(r.Get(0, 2));
+  EXPECT_TRUE(r.Get(2, 2));
+}
+
+TEST(Relation, TransposeInvolution) {
+  TreeGenerator gen(12);
+  TreeGenOptions opt;
+  opt.num_nodes = 15;
+  XmlTree t = gen.Generate(opt);
+  Relation child = Relation::OfAxis(t, Axis::kChild);
+  EXPECT_TRUE(child.Transpose().Transpose() == child);
+  // parent = transpose(child); left = transpose(right).
+  EXPECT_TRUE(Relation::OfAxis(t, Axis::kParent) == child.Transpose());
+  EXPECT_TRUE(Relation::OfAxis(t, Axis::kLeft) ==
+              Relation::OfAxis(t, Axis::kRight).Transpose());
+}
+
+TEST(Relation, ClosureOfFunctionalAxes) {
+  TreeGenerator gen(77);
+  TreeGenOptions opt;
+  opt.num_nodes = 20;
+  XmlTree t = gen.Generate(opt);
+  // ↓* ∘ ↑* = ancestors-of-common... at least: (n, n) always present and
+  // the relation contains the universal pairs through the root.
+  Relation down_star = Relation::OfAxis(t, Axis::kChild).ReflexiveTransitiveClosure();
+  Relation up_star = Relation::OfAxis(t, Axis::kParent).ReflexiveTransitiveClosure();
+  Relation universal = up_star.Compose(down_star);
+  EXPECT_EQ(universal.Count(), t.size() * t.size());  // Trees are connected.
+  // Identity ⊆ closure.
+  for (NodeId n = 0; n < t.size(); ++n) EXPECT_TRUE(down_star.Contains(n, n));
+}
+
+// Randomized expression generator for parser/printer fuzzing.
+PathPtr RandomPath(TreeGenerator& gen, int depth);
+
+NodePtr RandomNode(TreeGenerator& gen, int depth) {
+  if (depth <= 0) {
+    switch (gen.NextBelow(3)) {
+      case 0: return Label("a");
+      case 1: return Label("b");
+      default: return True();
+    }
+  }
+  switch (gen.NextBelow(6)) {
+    case 0: return Not(RandomNode(gen, depth - 1));
+    case 1: return And(RandomNode(gen, depth - 1), RandomNode(gen, depth - 1));
+    case 2: return Or(RandomNode(gen, depth - 1), RandomNode(gen, depth - 1));
+    case 3: return Some(RandomPath(gen, depth - 1));
+    case 4: return PathEq(RandomPath(gen, depth - 1), RandomPath(gen, depth - 1));
+    default: return Label("c");
+  }
+}
+
+PathPtr RandomPath(TreeGenerator& gen, int depth) {
+  if (depth <= 0) {
+    switch (gen.NextBelow(4)) {
+      case 0: return Ax(static_cast<Axis>(gen.NextBelow(4)));
+      case 1: return AxStar(static_cast<Axis>(gen.NextBelow(4)));
+      case 2: return Self();
+      default: return Ax(Axis::kChild);
+    }
+  }
+  switch (gen.NextBelow(7)) {
+    case 0: return Seq(RandomPath(gen, depth - 1), RandomPath(gen, depth - 1));
+    case 1: return Union(RandomPath(gen, depth - 1), RandomPath(gen, depth - 1));
+    case 2: return Filter(RandomPath(gen, depth - 1), RandomNode(gen, depth - 1));
+    case 3: return Star(RandomPath(gen, depth - 1));
+    case 4: return Intersect(RandomPath(gen, depth - 1), RandomPath(gen, depth - 1));
+    case 5: return Complement(RandomPath(gen, depth - 1), RandomPath(gen, depth - 1));
+    default: return For("v" + std::to_string(gen.NextBelow(3)),
+                        RandomPath(gen, depth - 1),
+                        Filter(RandomPath(gen, depth - 1),
+                               IsVar("v" + std::to_string(gen.NextBelow(3)))));
+  }
+}
+
+TEST(ParserFuzz, PrintParseFixpoint) {
+  TreeGenerator gen(31415);
+  for (int i = 0; i < 300; ++i) {
+    PathPtr p = RandomPath(gen, 1 + static_cast<int>(gen.NextBelow(4)));
+    std::string text = ToString(p);
+    auto reparsed = ParsePath(text);
+    ASSERT_TRUE(reparsed.ok()) << text << ": " << reparsed.error();
+    EXPECT_EQ(ToString(reparsed.value()), text);
+  }
+  for (int i = 0; i < 300; ++i) {
+    NodePtr n = RandomNode(gen, 1 + static_cast<int>(gen.NextBelow(4)));
+    std::string text = ToString(n);
+    auto reparsed = ParseNode(text);
+    ASSERT_TRUE(reparsed.ok()) << text << ": " << reparsed.error();
+    EXPECT_EQ(ToString(reparsed.value()), text);
+  }
+}
+
+}  // namespace
+}  // namespace xpc

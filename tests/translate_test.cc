@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "xpc/eval/evaluator.h"
+#include "xpc/eval/loop_evaluator.h"
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/sat/loop_sat.h"
+#include "xpc/translate/for_elim.h"
+#include "xpc/translate/intersect_product.h"
+#include "xpc/translate/let_elim.h"
+#include "xpc/translate/starfree.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/fragment.h"
+#include "xpc/xpath/parser.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+PathPtr P(const std::string& s) {
+  auto r = ParsePath(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+NodePtr N(const std::string& s) {
+  auto r = ParseNode(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+StarFreePtr SF(const std::string& s) {
+  auto r = ParseStarFree(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+// --- Star-free expressions (Theorem 30) --------------------------------
+
+TEST(StarFree, ParsePrintRoundTrip) {
+  const char* cases[] = {"a", "a b", "a | b", "-(a)", "a -(b c) | -(a) b"};
+  for (const char* c : cases) {
+    StarFreePtr r = SF(c);
+    EXPECT_EQ(StarFreeToString(SF(StarFreeToString(r))), StarFreeToString(r)) << c;
+  }
+}
+
+TEST(StarFree, DfaSemantics) {
+  // -(a) over {a, b}: all words except "a".
+  std::vector<std::string> sigma = {"a", "b"};
+  // Complement is relative to Σ⁺ (star-free languages are ε-free here —
+  // see StarFreeToDfa), so ε is never accepted.
+  Dfa d = StarFreeToDfa(SF("-(a)"), sigma);
+  EXPECT_FALSE(d.Accepts({}));
+  EXPECT_FALSE(d.Accepts({0}));
+  EXPECT_TRUE(d.Accepts({1}));
+  EXPECT_TRUE(d.Accepts({0, 0}));
+
+  // a -(−∅-ish): a followed by anything: "a -(b b) | a b b"? Keep simple:
+  // (a | b) -(a) : words of length ≥ 1 whose tail after the first symbol
+  // is not exactly "a".
+  Dfa d2 = StarFreeToDfa(SF("(a | b) -(a)"), sigma);
+  EXPECT_FALSE(d2.Accepts({}));
+  EXPECT_FALSE(d2.Accepts({0}));  // ε ∉ L(−a).
+  EXPECT_FALSE(d2.Accepts({1, 0}));
+  EXPECT_TRUE(d2.Accepts({1, 0, 0}));
+}
+
+TEST(StarFree, Emptiness) {
+  EXPECT_FALSE(StarFreeEmpty(SF("a")));
+  // a ∩ b is empty: a − ... use complement form: words that are both "a"
+  // and "b" — encode as -( -(a) | -(b) ).
+  EXPECT_TRUE(StarFreeEmpty(SF("-( -(a) | -(b) )")));
+  EXPECT_FALSE(StarFreeEmpty(SF("-( -(a) | -(a) )")));
+}
+
+// tr(r) relates n to m iff the label word strictly below n down to m is in
+// L(r) (Theorem 30's invariant), hence: L(r) ≠ ∅ iff tr(r) satisfiable.
+TEST(StarFree, TranslationInvariant) {
+  TreeGenerator gen(17);
+  const char* exprs[] = {"a", "a b", "a | b b", "-(a)", "a -(b)", "-( -(a) | -(b) )"};
+  for (const char* s : exprs) {
+    StarFreePtr r = SF(s);
+    std::vector<std::string> sigma = {"a", "b"};
+    Dfa dfa = StarFreeToDfa(r, sigma);
+    PathPtr tr = StarFreeToPath(r);
+    EXPECT_TRUE(DetectFragment(tr).uses_complement || r->kind != StarFree::Kind::kComplement);
+    for (int i = 0; i < 12; ++i) {
+      TreeGenOptions opt;
+      opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(9));
+      opt.alphabet = {"a", "b"};
+      XmlTree t = gen.Generate(opt);
+      Evaluator ev(t);
+      Relation rel = ev.EvalPath(tr);
+      for (NodeId n = 0; n < t.size(); ++n) {
+        for (NodeId m = 0; m < t.size(); ++m) {
+          // Label word along the unique downward path from n to m
+          // (exclusive of n, inclusive of m), if m is a descendant of n.
+          if (!t.IsAncestorOrSelf(n, m)) {
+            EXPECT_FALSE(rel.Contains(n, m));
+            continue;
+          }
+          std::vector<int> word;
+          bool ok = true;
+          for (NodeId v = m; v != n; v = t.parent(v)) {
+            int idx = t.label(v) == "a" ? 0 : (t.label(v) == "b" ? 1 : -1);
+            if (idx < 0) ok = false;
+            word.push_back(idx);
+          }
+          std::reverse(word.begin(), word.end());
+          // tr(·) relates only *proper* descendants (every branch passes
+          // through at least one ↓ step), so the ε word never shows up:
+          // ε ∈ L(r) is invisible to tr (cf. the remark on ↓⁺ in Thm 30).
+          bool expected = ok && n != m && dfa.Accepts(word);
+          EXPECT_EQ(rel.Contains(n, m), expected)
+              << s << " pair (" << n << "," << m << ") on " << TreeToText(t);
+        }
+      }
+    }
+  }
+}
+
+TEST(StarFree, PureFragmentF) {
+  // The pure-F translation has no primitive unions and agrees semantically.
+  StarFreePtr r = SF("a | b -(a)");
+  PathPtr with_union = StarFreeToPath(r, /*pure_f=*/false);
+  PathPtr pure = StarFreeToPath(r, /*pure_f=*/true);
+  std::function<bool(const PathPtr&)> has_union = [&](const PathPtr& p) -> bool {
+    if (!p) return false;
+    if (p->kind == PathKind::kUnion) return true;
+    return has_union(p->left) || has_union(p->right);
+  };
+  EXPECT_TRUE(has_union(with_union));
+  EXPECT_FALSE(has_union(pure));
+  TreeGenerator gen(4);
+  for (int i = 0; i < 10; ++i) {
+    TreeGenOptions opt;
+    opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(8));
+    opt.alphabet = {"a", "b"};
+    XmlTree t = gen.Generate(opt);
+    Evaluator ev(t);
+    EXPECT_TRUE(ev.EvalPath(with_union) == ev.EvalPath(pure)) << TreeToText(t);
+  }
+}
+
+// --- For-loop / complementation identities (Sections 2.2, 7) -----------
+
+TEST(ForElim, IdentitiesOnRandomTrees) {
+  TreeGenerator gen(31337);
+  for (int i = 0; i < 20; ++i) {
+    TreeGenOptions opt;
+    opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(10));
+    opt.alphabet = {"a", "b"};
+    XmlTree t = gen.Generate(opt);
+    Evaluator ev(t);
+
+    PathPtr alpha = P("down+[a] | down*");
+    PathPtr beta = P("down/down | down[b]");
+    // Theorem 31 (downward operands).
+    EXPECT_TRUE(ev.EvalPath(Complement(alpha, beta)) ==
+                ev.EvalPath(ComplementToFor(alpha, beta, "i")))
+        << TreeToText(t);
+    // α ∩ β ≡ for $i in α return β[. is $i].
+    EXPECT_TRUE(ev.EvalPath(Intersect(alpha, beta)) ==
+                ev.EvalPath(IntersectToFor(alpha, beta, "i")))
+        << TreeToText(t);
+    // α ∩ β ≡ α − (α − β); α ∪ β ≡ U − ((U−α) ∩ (U−β)).
+    EXPECT_TRUE(ev.EvalPath(Intersect(alpha, beta)) ==
+                ev.EvalPath(IntersectToComplement(alpha, beta)))
+        << TreeToText(t);
+    EXPECT_TRUE(ev.EvalPath(Union(alpha, beta)) ==
+                ev.EvalPath(UnionToComplement(alpha, beta)))
+        << TreeToText(t);
+    // Non-downward operands too (∩ and ∪ identities are unconditional).
+    PathPtr gamma = P("up*/right");
+    EXPECT_TRUE(ev.EvalPath(Intersect(alpha, gamma)) ==
+                ev.EvalPath(IntersectToComplement(alpha, gamma)))
+        << TreeToText(t);
+  }
+}
+
+TEST(ForElim, RecursiveRewrites) {
+  PathPtr p = P("down* & (down & down[a])/down");
+  PathPtr rewritten = RewriteIntersectToFor(p);
+  Fragment f = DetectFragment(rewritten);
+  EXPECT_FALSE(f.uses_intersect);
+  EXPECT_TRUE(f.uses_for);
+  TreeGenerator gen(77);
+  for (int i = 0; i < 15; ++i) {
+    TreeGenOptions opt;
+    opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(9));
+    opt.alphabet = {"a"};
+    XmlTree t = gen.Generate(opt);
+    Evaluator ev(t);
+    EXPECT_TRUE(ev.EvalPath(p) == ev.EvalPath(rewritten)) << TreeToText(t);
+  }
+
+  PathPtr q = P("down+ - down[a]");
+  PathPtr qf = RewriteComplementToFor(q);
+  EXPECT_FALSE(DetectFragment(qf).uses_complement);
+  EXPECT_TRUE(DetectFragment(qf).uses_for);
+  for (int i = 0; i < 15; ++i) {
+    TreeGenOptions opt;
+    opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(9));
+    opt.alphabet = {"a", "b"};
+    XmlTree t = gen.Generate(opt);
+    Evaluator ev(t);
+    EXPECT_TRUE(ev.EvalPath(q) == ev.EvalPath(qf)) << TreeToText(t);
+  }
+}
+
+// --- Lemma 18: let-elimination -----------------------------------------
+
+// Lemma 18 validation by model checking (solving the eliminated formula
+// directly is intentionally expensive — it materializes all sharing — so we
+// verify the construction semantically instead):
+//  - models of φ extend to models of the eliminated formula by attaching a
+//    marker child for every binding whose definition holds (the intended
+//    decoration), and
+//  - on adversarially decorated trees the eliminated formula never becomes
+//    satisfiable when φ is unsatisfiable.
+TEST(LetElim, PreservesSatisfiability) {
+  struct Case {
+    const char* formula;
+    bool satisfiable;
+  };
+  const Case cases[] = {
+      {"<down & down>", true},
+      {"<down* & down/down>", true},
+      {"<down & down/down>", false},
+      {"<down[a] & down[b]>", false},
+  };
+  TreeGenerator gen(4242);
+  for (const Case& c : cases) {
+    LExprPtr original = IntersectToLoopNormalForm(N(c.formula));
+    ASSERT_TRUE(original) << c.formula;
+    LetElimResult elim = EliminateLets(original);
+    ASSERT_GT(elim.num_markers, 0) << c.formula;
+    // Map raw automaton pointers back to shared handles for LoopEvaluator.
+    std::map<const PathAutomaton*, PathAutoPtr> shared;
+    for (const PathAutoPtr& a : CollectAutomata(original)) shared[a.get()] = a;
+
+    if (c.satisfiable) {
+      SatResult r = LoopSatisfiable(original);
+      ASSERT_EQ(r.status, SolveStatus::kSat) << c.formula;
+      // Decorate the witness with the intended markers.
+      XmlTree decorated = *r.witness;
+      const int original_size = decorated.size();
+      LoopEvaluator undecorated_eval(*r.witness);
+      for (NodeId v = 0; v < original_size; ++v) {
+        for (size_t m = 0; m < elim.bindings.size(); ++m) {
+          const auto& b = elim.bindings[m];
+          const StateRel& rel = undecorated_eval.LoopRelations(shared.at(b.automaton))[v];
+          if (rel.Get(b.q_from, b.q_to)) {
+            decorated.AddChild(v, MarkerLabel(static_cast<int>(m)));
+          }
+        }
+      }
+      LoopEvaluator decorated_eval(decorated);
+      const std::vector<bool>& truth = decorated_eval.EvalAll(elim.formula);
+      bool holds_somewhere = false;
+      for (NodeId v = 0; v < decorated.size(); ++v) holds_somewhere |= truth[v];
+      EXPECT_TRUE(holds_somewhere)
+          << c.formula << " eliminated formula fails on intended decoration of "
+          << TreeToText(decorated);
+    } else {
+      // Adversarial sweep: random trees with random marker decorations must
+      // never satisfy the eliminated formula.
+      for (int i = 0; i < 60; ++i) {
+        TreeGenOptions opt;
+        opt.num_nodes = 1 + static_cast<int>(gen.NextBelow(6));
+        opt.alphabet = {"a", "b"};
+        XmlTree t = gen.Generate(opt);
+        const int base_size = t.size();
+        for (NodeId v = 0; v < base_size; ++v) {
+          for (int m = 0; m < elim.num_markers; ++m) {
+            if (gen.NextBelow(3) == 0) t.AddChild(v, MarkerLabel(m));
+          }
+        }
+        LoopEvaluator ev(t);
+        const std::vector<bool>& truth = ev.EvalAll(elim.formula);
+        for (NodeId v = 0; v < t.size(); ++v) {
+          ASSERT_FALSE(truth[v]) << c.formula << " claimed satisfied at node " << v
+                                 << " of decorated tree " << TreeToText(t);
+        }
+      }
+    }
+  }
+}
+
+TEST(LetElim, NoMarkersWithoutNesting) {
+  LExprPtr e = ToLoopNormalForm(N("<down[a]>"));
+  ASSERT_TRUE(e);
+  LetElimResult r = EliminateLets(e);
+  EXPECT_EQ(r.num_markers, 0);
+}
+
+TEST(LetElim, SizeIsPolynomialInDagSize) {
+  // Nested products explode the *tree* size but the let-eliminated formula
+  // stays polynomial in the DAG size.
+  for (int n = 1; n <= 3; ++n) {
+    std::string s = "down & down[a]";
+    for (int i = 1; i < n; ++i) s = "(" + s + ") & (down & down[a])";
+    LExprPtr e = IntersectToLoopNormalForm(N("<" + s + ">"));
+    ASSERT_TRUE(e);
+    LetElimResult r = EliminateLets(e);
+    int64_t dag = DagSizeOf(e);
+    int64_t flat = DagSizeOf(r.formula);
+    EXPECT_LE(flat, 40 * dag + 2000) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace xpc

@@ -1,0 +1,161 @@
+#include "xpc/tree/xml_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "xpc/tree/tree_generator.h"
+#include "xpc/tree/tree_text.h"
+
+namespace xpc {
+namespace {
+
+TEST(XmlTree, SingleRoot) {
+  XmlTree t("a");
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.parent(0), kNoNode);
+  EXPECT_EQ(t.first_child(0), kNoNode);
+  EXPECT_EQ(t.label(0), "a");
+  EXPECT_TRUE(t.IsSingleLabeled());
+  EXPECT_EQ(t.Height(), 0);
+}
+
+TEST(XmlTree, ChildOrder) {
+  XmlTree t("r");
+  NodeId a = t.AddChild(0, "a");
+  NodeId b = t.AddChild(0, "b");
+  NodeId c = t.AddChild(0, "c");
+  EXPECT_EQ(t.first_child(0), a);
+  EXPECT_EQ(t.last_child(0), c);
+  EXPECT_EQ(t.next_sibling(a), b);
+  EXPECT_EQ(t.next_sibling(b), c);
+  EXPECT_EQ(t.next_sibling(c), kNoNode);
+  EXPECT_EQ(t.prev_sibling(c), b);
+  EXPECT_EQ(t.prev_sibling(a), kNoNode);
+  EXPECT_EQ(t.Children(0), (std::vector<NodeId>{a, b, c}));
+}
+
+TEST(XmlTree, DepthHeightAncestor) {
+  XmlTree t("r");
+  NodeId a = t.AddChild(0, "a");
+  NodeId b = t.AddChild(a, "b");
+  NodeId c = t.AddChild(b, "c");
+  EXPECT_EQ(t.Depth(c), 3);
+  EXPECT_EQ(t.Height(), 3);
+  EXPECT_TRUE(t.IsAncestorOrSelf(a, c));
+  EXPECT_TRUE(t.IsAncestorOrSelf(c, c));
+  EXPECT_FALSE(t.IsAncestorOrSelf(c, a));
+}
+
+TEST(XmlTree, MultiLabels) {
+  XmlTree t(std::vector<std::string>{"a", "b"});
+  EXPECT_TRUE(t.HasLabel(0, "a"));
+  EXPECT_TRUE(t.HasLabel(0, "b"));
+  EXPECT_FALSE(t.HasLabel(0, "c"));
+  EXPECT_FALSE(t.IsSingleLabeled());
+  EXPECT_EQ(t.LabelSet(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(XmlTree, FcnsView) {
+  XmlTree t("r");
+  NodeId a = t.AddChild(0, "a");
+  NodeId b = t.AddChild(0, "b");
+  NodeId c = t.AddChild(a, "c");
+  EXPECT_EQ(t.FcnsParent(0), kNoNode);
+  EXPECT_EQ(t.FcnsParentEdge(0), XmlTree::FcnsEdge::kNone);
+  EXPECT_EQ(t.FcnsParent(a), 0);
+  EXPECT_EQ(t.FcnsParentEdge(a), XmlTree::FcnsEdge::kFirstChild);
+  EXPECT_EQ(t.FcnsParent(b), a);
+  EXPECT_EQ(t.FcnsParentEdge(b), XmlTree::FcnsEdge::kNextSibling);
+  EXPECT_EQ(t.FcnsParent(c), a);
+  EXPECT_EQ(t.FcnsParentEdge(c), XmlTree::FcnsEdge::kFirstChild);
+}
+
+TEST(TreeText, RoundTrip) {
+  const std::string text = "book(chapter(section,section(image)),chapter)";
+  auto r = ParseTree(text);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().size(), 6);
+  EXPECT_EQ(TreeToText(r.value()), text);
+}
+
+TEST(TreeText, MultiLabelRoundTrip) {
+  const std::string text = "r(a+c0,b+c0+c1)";
+  auto r = ParseTree(text);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_TRUE(r.value().HasLabel(1, "c0"));
+  EXPECT_TRUE(r.value().HasLabel(2, "c1"));
+  EXPECT_EQ(TreeToText(r.value()), text);
+}
+
+TEST(TreeText, Whitespace) {
+  auto r = ParseTree(" a ( b , c ) ");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().size(), 3);
+}
+
+TEST(TreeText, Errors) {
+  EXPECT_FALSE(ParseTree("").ok());
+  EXPECT_FALSE(ParseTree("a(b").ok());
+  EXPECT_FALSE(ParseTree("a(b,)").ok());
+  EXPECT_FALSE(ParseTree("a)b").ok());
+  EXPECT_FALSE(ParseTree("a(b))").ok());
+}
+
+TEST(TreeText, XmlOutput) {
+  auto r = ParseTree("a(b)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(TreeToXml(r.value()), "<a>\n  <b/>\n</a>\n");
+}
+
+TEST(TreeGenerator, SizeAndDeterminism) {
+  TreeGenerator g1(42), g2(42);
+  TreeGenOptions opt;
+  opt.num_nodes = 25;
+  XmlTree t1 = g1.Generate(opt);
+  XmlTree t2 = g2.Generate(opt);
+  EXPECT_EQ(t1.size(), 25);
+  EXPECT_EQ(TreeToText(t1), TreeToText(t2));
+}
+
+TEST(TreeGenerator, Chain) {
+  TreeGenerator g(7);
+  XmlTree t = g.GenerateChain(9, {"p", "q"});
+  EXPECT_EQ(t.size(), 10);
+  EXPECT_EQ(t.Height(), 9);
+  for (NodeId n = 0; n < t.size(); ++n) {
+    EXPECT_LE(t.Children(n).size(), 1u);
+  }
+}
+
+TEST(TreeGenerator, MultiLabelOption) {
+  TreeGenerator g(3);
+  TreeGenOptions opt;
+  opt.num_nodes = 40;
+  opt.max_extra_labels = 2;
+  XmlTree t = g.Generate(opt);
+  bool saw_multi = false;
+  for (NodeId n = 0; n < t.size(); ++n) saw_multi = saw_multi || t.labels(n).size() > 1;
+  EXPECT_TRUE(saw_multi);
+}
+
+TEST(EnumerateTrees, CatalanCounts) {
+  // Shapes with n nodes = Catalan(n-1): 1, 1, 2, 5, 14.
+  EXPECT_EQ(EnumerateShapes(1, "a").size(), 1u);
+  EXPECT_EQ(EnumerateShapes(2, "a").size(), 1u);
+  EXPECT_EQ(EnumerateShapes(3, "a").size(), 2u);
+  EXPECT_EQ(EnumerateShapes(4, "a").size(), 5u);
+  EXPECT_EQ(EnumerateShapes(5, "a").size(), 14u);
+}
+
+TEST(EnumerateTrees, LabeledCount) {
+  // 2 shapes of size 3 × 2^3 labelings = 16.
+  auto all = EnumerateTrees(3, {"a", "b"});
+  EXPECT_EQ(all.size(), 16u);
+  // All distinct.
+  std::set<std::string> texts;
+  for (const auto& t : all) texts.insert(TreeToText(t));
+  EXPECT_EQ(texts.size(), 16u);
+}
+
+}  // namespace
+}  // namespace xpc

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "xpc/xpath/ast.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/fragment.h"
+#include "xpc/xpath/metrics.h"
+#include "xpc/xpath/parser.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+PathPtr MustParsePath(const std::string& s) {
+  auto r = ParsePath(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.ok() ? r.value() : nullptr;
+}
+
+NodePtr MustParseNode(const std::string& s) {
+  auto r = ParseNode(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.ok() ? r.value() : nullptr;
+}
+
+TEST(Ast, Converse) {
+  EXPECT_EQ(Converse(Axis::kChild), Axis::kParent);
+  EXPECT_EQ(Converse(Axis::kParent), Axis::kChild);
+  EXPECT_EQ(Converse(Axis::kRight), Axis::kLeft);
+  EXPECT_EQ(Converse(Axis::kLeft), Axis::kRight);
+}
+
+TEST(Ast, EqualStructural) {
+  auto a = Seq(Ax(Axis::kChild), Filter(AxStar(Axis::kChild), Label("p")));
+  auto b = Seq(Ax(Axis::kChild), Filter(AxStar(Axis::kChild), Label("p")));
+  auto c = Seq(Ax(Axis::kChild), Filter(AxStar(Axis::kChild), Label("q")));
+  EXPECT_TRUE(Equal(a, b));
+  EXPECT_FALSE(Equal(a, c));
+}
+
+TEST(Ast, NotCollapsesDoubleNegation) {
+  auto p = Label("p");
+  EXPECT_TRUE(Equal(Not(Not(p)), p));
+}
+
+TEST(Parser, PathRoundTrips) {
+  const char* cases[] = {
+      "down",
+      "down*",
+      "down/up",
+      "down*[Image and not(<down[q]>)]",
+      "down | up | .",
+      "down & up*/down*",
+      "down - down/down",
+      "(down[a] | .[not(b)])*",
+      "for $i in down* return .[is $i]/down",
+      "up*/left+/down*",
+  };
+  for (const char* c : cases) {
+    PathPtr p = MustParsePath(c);
+    ASSERT_TRUE(p) << c;
+    PathPtr again = MustParsePath(ToString(p));
+    ASSERT_TRUE(again) << ToString(p);
+    // Print → parse → print is a fixpoint (associativity of '/' may differ
+    // between the original and the reparse, so compare printed forms).
+    EXPECT_EQ(ToString(p), ToString(again)) << c;
+  }
+}
+
+TEST(Parser, NodeRoundTrips) {
+  const char* cases[] = {
+      "p",
+      "true",
+      "false",
+      "not(p and q) or <down>",
+      "eq(down*, up*)",
+      "loop(down/up)",
+      "every(down*, p)",
+      "<for $i in down* return .[is $i]>",
+      "p and q and r or s",
+  };
+  for (const char* c : cases) {
+    NodePtr n = MustParseNode(c);
+    ASSERT_TRUE(n) << c;
+    NodePtr again = MustParseNode(ToString(n));
+    ASSERT_TRUE(again) << ToString(n);
+    EXPECT_TRUE(Equal(n, again)) << c << " vs " << ToString(n);
+  }
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(ParsePath("").ok());
+  EXPECT_FALSE(ParsePath("down/").ok());
+  EXPECT_FALSE(ParsePath("down down").ok());
+  EXPECT_FALSE(ParsePath("label").ok());  // Labels are node expressions.
+  EXPECT_FALSE(ParseNode("and p").ok());
+  EXPECT_FALSE(ParseNode("<down").ok());
+  EXPECT_FALSE(ParseNode("eq(down)").ok());
+  EXPECT_FALSE(ParseNode("not").ok());
+  EXPECT_FALSE(ParsePath("for i in down return down").ok());
+}
+
+TEST(Parser, AxisStarVsGeneralStar) {
+  PathPtr p = MustParsePath("down*");
+  EXPECT_EQ(p->kind, PathKind::kAxisStar);
+  PathPtr q = MustParsePath("(down)*");
+  EXPECT_EQ(q->kind, PathKind::kAxisStar);  // (down) is still an atomic axis.
+  PathPtr r = MustParsePath("(down/up)*");
+  EXPECT_EQ(r->kind, PathKind::kStar);
+}
+
+TEST(Parser, Precedence) {
+  // '|' loosest, then '-', then '&', then '/'.
+  PathPtr p = MustParsePath("down - up & left / right | .");
+  ASSERT_EQ(p->kind, PathKind::kUnion);
+  ASSERT_EQ(p->left->kind, PathKind::kComplement);
+  ASSERT_EQ(p->left->right->kind, PathKind::kIntersect);
+  ASSERT_EQ(p->left->right->right->kind, PathKind::kSeq);
+}
+
+TEST(Printer, PaperExample) {
+  // ↓⁺[p ∧ ¬⟨↓[q]⟩] from Section 2.2.
+  PathPtr p = Filter(AxPlus(Axis::kChild), And(Label("p"), Not(Some(Filter(Ax(Axis::kChild), Label("q"))))));
+  EXPECT_EQ(ToString(p), "(down/down*)[p and not(<down[q]>)]");
+}
+
+TEST(Metrics, SizeCountsSyntaxNodes) {
+  // down/down* = Seq(Ax, AxStar): 3 syntax nodes.
+  EXPECT_EQ(Size(MustParsePath("down/down*")), 3);
+  // .[p] = Filter(Self, p): 3.
+  EXPECT_EQ(Size(MustParsePath(".[p]")), 3);
+  EXPECT_EQ(Size(MustParseNode("p and not(q)")), 4);
+  EXPECT_EQ(Size(MustParseNode("eq(down, up)")), 3);
+}
+
+TEST(Metrics, IntersectionDepth) {
+  EXPECT_EQ(IntersectionDepth(MustParsePath("down/up")), 0);
+  EXPECT_EQ(IntersectionDepth(MustParsePath("down & up")), 1);
+  EXPECT_EQ(IntersectionDepth(MustParsePath("(down & up) & left")), 2);
+  EXPECT_EQ(IntersectionDepth(MustParsePath("(down & up) / (left & right)")), 1);
+  // Intersection inside a filter contributes to d() but not dd().
+  PathPtr p = MustParsePath("down[<down & up>]");
+  EXPECT_EQ(DirectIntersectionDepth(p), 0);
+  EXPECT_EQ(IntersectionDepth(p), 1);
+}
+
+TEST(Metrics, LabelsAndVariables) {
+  PathPtr p = MustParsePath("for $i in down*[a] return .[b and is $i]");
+  EXPECT_EQ(Labels(p), (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(Variables(p), (std::set<std::string>{"i"}));
+  EXPECT_EQ(FreshLabel({"a", "b"}, "a"), "a_0");
+  EXPECT_EQ(FreshLabel({"a", "b"}, "c"), "c");
+}
+
+TEST(Fragment, Detection) {
+  Fragment f = DetectFragment(MustParsePath("down*[p]"));
+  EXPECT_TRUE(f.IsDownward());
+  EXPECT_TRUE(f.IsRegularFriendly());
+  EXPECT_FALSE(f.uses_star);
+
+  f = DetectFragment(MustParsePath("down & up"));
+  EXPECT_TRUE(f.uses_intersect);
+  EXPECT_TRUE(f.IsVertical());
+  EXPECT_FALSE(f.IsDownward());
+
+  f = DetectFragment(MustParseNode("eq(down, .)"));
+  EXPECT_TRUE(f.uses_path_eq);
+  EXPECT_TRUE(f.IsRegularFriendly());
+
+  f = DetectFragment(MustParsePath("(down/down)*"));
+  EXPECT_TRUE(f.uses_star);
+
+  f = DetectFragment(MustParsePath("down - down"));
+  EXPECT_TRUE(f.uses_complement);
+  EXPECT_FALSE(f.IsRegularFriendly());
+
+  f = DetectFragment(MustParsePath("for $i in down return .[is $i]"));
+  EXPECT_TRUE(f.uses_for);
+
+  f = DetectFragment(MustParsePath("down/right"));
+  EXPECT_TRUE(f.IsForward());
+}
+
+TEST(Fragment, Names) {
+  EXPECT_EQ(DetectFragment(MustParsePath("down")).Name(), "CoreXPath_{v}");
+  EXPECT_EQ(DetectFragment(MustParsePath("down & (down/down)*")).Name(),
+            "CoreXPath_{v}(*, cap)");
+  EXPECT_EQ(DetectFragment(MustParsePath("down/up/left/right")).Name(), "CoreXPath");
+}
+
+TEST(Build, ConversePath) {
+  PathPtr p = MustParsePath("down[p]/right*");
+  PathPtr c = ConversePath(p);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(ToString(c), "left*/.[p]/up");
+  EXPECT_FALSE(ConversePath(MustParsePath("for $i in down return down")));
+  // (α*)⁻ = (α⁻)*.
+  EXPECT_EQ(ToString(ConversePath(MustParsePath("(down/down)*"))), "(up/up)*");
+}
+
+TEST(Build, EveryShorthand) {
+  // every(α, φ) = ¬⟨α[¬φ]⟩.
+  NodePtr n = Every(Ax(Axis::kChild), Label("p"));
+  EXPECT_EQ(ToString(n), "not(<down[not(p)]>)");
+}
+
+}  // namespace
+}  // namespace xpc
