@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_downward.dir/bench_fig2_downward.cc.o"
+  "CMakeFiles/bench_fig2_downward.dir/bench_fig2_downward.cc.o.d"
+  "bench_fig2_downward"
+  "bench_fig2_downward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_downward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

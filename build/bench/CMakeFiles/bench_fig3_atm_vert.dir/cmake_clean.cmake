@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_atm_vert.dir/bench_fig3_atm_vert.cc.o"
+  "CMakeFiles/bench_fig3_atm_vert.dir/bench_fig3_atm_vert.cc.o.d"
+  "bench_fig3_atm_vert"
+  "bench_fig3_atm_vert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_atm_vert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_atm_fwd.dir/bench_fig4_atm_fwd.cc.o"
+  "CMakeFiles/bench_fig4_atm_fwd.dir/bench_fig4_atm_fwd.cc.o.d"
+  "bench_fig4_atm_fwd"
+  "bench_fig4_atm_fwd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_atm_fwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

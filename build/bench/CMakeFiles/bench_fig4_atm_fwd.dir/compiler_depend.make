@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_atm_fwd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_atm_down.dir/bench_fig5_atm_down.cc.o"
+  "CMakeFiles/bench_fig5_atm_down.dir/bench_fig5_atm_down.cc.o.d"
+  "bench_fig5_atm_down"
+  "bench_fig5_atm_down.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_atm_down.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_props_reductions.dir/bench_props_reductions.cc.o"
+  "CMakeFiles/bench_props_reductions.dir/bench_props_reductions.cc.o.d"
+  "bench_props_reductions"
+  "bench_props_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_props_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

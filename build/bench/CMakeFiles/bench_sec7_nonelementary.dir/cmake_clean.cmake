@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_nonelementary.dir/bench_sec7_nonelementary.cc.o"
+  "CMakeFiles/bench_sec7_nonelementary.dir/bench_sec7_nonelementary.cc.o.d"
+  "bench_sec7_nonelementary"
+  "bench_sec7_nonelementary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_nonelementary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_succinctness.dir/bench_sec8_succinctness.cc.o"
+  "CMakeFiles/bench_sec8_succinctness.dir/bench_sec8_succinctness.cc.o.d"
+  "bench_sec8_succinctness"
+  "bench_sec8_succinctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_succinctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

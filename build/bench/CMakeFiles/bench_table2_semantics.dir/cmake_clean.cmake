@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_semantics.dir/bench_table2_semantics.cc.o"
+  "CMakeFiles/bench_table2_semantics.dir/bench_table2_semantics.cc.o.d"
+  "bench_table2_semantics"
+  "bench_table2_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ata.dir/bench_table3_ata.cc.o"
+  "CMakeFiles/bench_table3_ata.dir/bench_table3_ata.cc.o.d"
+  "bench_table3_ata"
+  "bench_table3_ata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/book_catalog.dir/book_catalog.cpp.o"
+  "CMakeFiles/book_catalog.dir/book_catalog.cpp.o.d"
+  "book_catalog"
+  "book_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/book_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

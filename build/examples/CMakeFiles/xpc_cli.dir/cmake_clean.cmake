@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpc_cli.dir/xpc_cli.cpp.o"
+  "CMakeFiles/xpc_cli.dir/xpc_cli.cpp.o.d"
+  "xpc_cli"
+  "xpc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

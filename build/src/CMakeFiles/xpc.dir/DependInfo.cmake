@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xpc/ata/ata.cc" "src/CMakeFiles/xpc.dir/xpc/ata/ata.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/ata/ata.cc.o.d"
+  "/root/repo/src/xpc/ata/membership.cc" "src/CMakeFiles/xpc.dir/xpc/ata/membership.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/ata/membership.cc.o.d"
+  "/root/repo/src/xpc/automata/dfa.cc" "src/CMakeFiles/xpc.dir/xpc/automata/dfa.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/automata/dfa.cc.o.d"
+  "/root/repo/src/xpc/automata/nfa.cc" "src/CMakeFiles/xpc.dir/xpc/automata/nfa.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/automata/nfa.cc.o.d"
+  "/root/repo/src/xpc/automata/regex.cc" "src/CMakeFiles/xpc.dir/xpc/automata/regex.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/automata/regex.cc.o.d"
+  "/root/repo/src/xpc/core/solver.cc" "src/CMakeFiles/xpc.dir/xpc/core/solver.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/core/solver.cc.o.d"
+  "/root/repo/src/xpc/edtd/conformance.cc" "src/CMakeFiles/xpc.dir/xpc/edtd/conformance.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/edtd/conformance.cc.o.d"
+  "/root/repo/src/xpc/edtd/edtd.cc" "src/CMakeFiles/xpc.dir/xpc/edtd/edtd.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/edtd/edtd.cc.o.d"
+  "/root/repo/src/xpc/edtd/encode.cc" "src/CMakeFiles/xpc.dir/xpc/edtd/encode.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/edtd/encode.cc.o.d"
+  "/root/repo/src/xpc/eval/evaluator.cc" "src/CMakeFiles/xpc.dir/xpc/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/eval/evaluator.cc.o.d"
+  "/root/repo/src/xpc/eval/loop_evaluator.cc" "src/CMakeFiles/xpc.dir/xpc/eval/loop_evaluator.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/eval/loop_evaluator.cc.o.d"
+  "/root/repo/src/xpc/eval/relation.cc" "src/CMakeFiles/xpc.dir/xpc/eval/relation.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/eval/relation.cc.o.d"
+  "/root/repo/src/xpc/lowerbounds/atm.cc" "src/CMakeFiles/xpc.dir/xpc/lowerbounds/atm.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/lowerbounds/atm.cc.o.d"
+  "/root/repo/src/xpc/lowerbounds/atm_encodings.cc" "src/CMakeFiles/xpc.dir/xpc/lowerbounds/atm_encodings.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/lowerbounds/atm_encodings.cc.o.d"
+  "/root/repo/src/xpc/lowerbounds/families.cc" "src/CMakeFiles/xpc.dir/xpc/lowerbounds/families.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/lowerbounds/families.cc.o.d"
+  "/root/repo/src/xpc/pathauto/lexpr.cc" "src/CMakeFiles/xpc.dir/xpc/pathauto/lexpr.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/pathauto/lexpr.cc.o.d"
+  "/root/repo/src/xpc/pathauto/normal_form.cc" "src/CMakeFiles/xpc.dir/xpc/pathauto/normal_form.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/pathauto/normal_form.cc.o.d"
+  "/root/repo/src/xpc/pathauto/path_automaton.cc" "src/CMakeFiles/xpc.dir/xpc/pathauto/path_automaton.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/pathauto/path_automaton.cc.o.d"
+  "/root/repo/src/xpc/reduction/reductions.cc" "src/CMakeFiles/xpc.dir/xpc/reduction/reductions.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/reduction/reductions.cc.o.d"
+  "/root/repo/src/xpc/sat/bounded_sat.cc" "src/CMakeFiles/xpc.dir/xpc/sat/bounded_sat.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/sat/bounded_sat.cc.o.d"
+  "/root/repo/src/xpc/sat/downward_sat.cc" "src/CMakeFiles/xpc.dir/xpc/sat/downward_sat.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/sat/downward_sat.cc.o.d"
+  "/root/repo/src/xpc/sat/engine.cc" "src/CMakeFiles/xpc.dir/xpc/sat/engine.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/sat/engine.cc.o.d"
+  "/root/repo/src/xpc/sat/loop_sat.cc" "src/CMakeFiles/xpc.dir/xpc/sat/loop_sat.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/sat/loop_sat.cc.o.d"
+  "/root/repo/src/xpc/sat/simple_paths.cc" "src/CMakeFiles/xpc.dir/xpc/sat/simple_paths.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/sat/simple_paths.cc.o.d"
+  "/root/repo/src/xpc/translate/for_elim.cc" "src/CMakeFiles/xpc.dir/xpc/translate/for_elim.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/translate/for_elim.cc.o.d"
+  "/root/repo/src/xpc/translate/intersect_product.cc" "src/CMakeFiles/xpc.dir/xpc/translate/intersect_product.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/translate/intersect_product.cc.o.d"
+  "/root/repo/src/xpc/translate/let_elim.cc" "src/CMakeFiles/xpc.dir/xpc/translate/let_elim.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/translate/let_elim.cc.o.d"
+  "/root/repo/src/xpc/translate/starfree.cc" "src/CMakeFiles/xpc.dir/xpc/translate/starfree.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/translate/starfree.cc.o.d"
+  "/root/repo/src/xpc/tree/tree_generator.cc" "src/CMakeFiles/xpc.dir/xpc/tree/tree_generator.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/tree/tree_generator.cc.o.d"
+  "/root/repo/src/xpc/tree/tree_text.cc" "src/CMakeFiles/xpc.dir/xpc/tree/tree_text.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/tree/tree_text.cc.o.d"
+  "/root/repo/src/xpc/tree/xml_tree.cc" "src/CMakeFiles/xpc.dir/xpc/tree/xml_tree.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/tree/xml_tree.cc.o.d"
+  "/root/repo/src/xpc/xpath/ast.cc" "src/CMakeFiles/xpc.dir/xpc/xpath/ast.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/xpath/ast.cc.o.d"
+  "/root/repo/src/xpc/xpath/build.cc" "src/CMakeFiles/xpc.dir/xpc/xpath/build.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/xpath/build.cc.o.d"
+  "/root/repo/src/xpc/xpath/fragment.cc" "src/CMakeFiles/xpc.dir/xpc/xpath/fragment.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/xpath/fragment.cc.o.d"
+  "/root/repo/src/xpc/xpath/metrics.cc" "src/CMakeFiles/xpc.dir/xpc/xpath/metrics.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/xpath/metrics.cc.o.d"
+  "/root/repo/src/xpc/xpath/parser.cc" "src/CMakeFiles/xpc.dir/xpc/xpath/parser.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/xpath/parser.cc.o.d"
+  "/root/repo/src/xpc/xpath/printer.cc" "src/CMakeFiles/xpc.dir/xpc/xpath/printer.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/xpath/printer.cc.o.d"
+  "/root/repo/src/xpc/xpath/transform.cc" "src/CMakeFiles/xpc.dir/xpc/xpath/transform.cc.o" "gcc" "src/CMakeFiles/xpc.dir/xpc/xpath/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algebra_test.cc" "tests/CMakeFiles/xpc_tests.dir/algebra_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/algebra_test.cc.o.d"
+  "/root/repo/tests/ata_test.cc" "tests/CMakeFiles/xpc_tests.dir/ata_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/ata_test.cc.o.d"
+  "/root/repo/tests/automata_test.cc" "tests/CMakeFiles/xpc_tests.dir/automata_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/automata_test.cc.o.d"
+  "/root/repo/tests/downward_sat_test.cc" "tests/CMakeFiles/xpc_tests.dir/downward_sat_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/downward_sat_test.cc.o.d"
+  "/root/repo/tests/edtd_test.cc" "tests/CMakeFiles/xpc_tests.dir/edtd_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/edtd_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/xpc_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/intersect_test.cc" "tests/CMakeFiles/xpc_tests.dir/intersect_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/intersect_test.cc.o.d"
+  "/root/repo/tests/loop_pipeline_test.cc" "tests/CMakeFiles/xpc_tests.dir/loop_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/loop_pipeline_test.cc.o.d"
+  "/root/repo/tests/loop_sat_test.cc" "tests/CMakeFiles/xpc_tests.dir/loop_sat_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/loop_sat_test.cc.o.d"
+  "/root/repo/tests/lowerbounds_test.cc" "tests/CMakeFiles/xpc_tests.dir/lowerbounds_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/lowerbounds_test.cc.o.d"
+  "/root/repo/tests/solver_test.cc" "tests/CMakeFiles/xpc_tests.dir/solver_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/solver_test.cc.o.d"
+  "/root/repo/tests/substrate_test.cc" "tests/CMakeFiles/xpc_tests.dir/substrate_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/substrate_test.cc.o.d"
+  "/root/repo/tests/translate_test.cc" "tests/CMakeFiles/xpc_tests.dir/translate_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/translate_test.cc.o.d"
+  "/root/repo/tests/tree_test.cc" "tests/CMakeFiles/xpc_tests.dir/tree_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/tree_test.cc.o.d"
+  "/root/repo/tests/xpath_test.cc" "tests/CMakeFiles/xpc_tests.dir/xpath_test.cc.o" "gcc" "tests/CMakeFiles/xpc_tests.dir/xpath_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
