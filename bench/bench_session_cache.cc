@@ -1,0 +1,150 @@
+// Session-cache effectiveness on a repeated Table-I-style workload.
+//
+// The serving scenario behind the Session layer: the same (or structurally
+// equal) containment queries arrive over and over. We build 100 distinct
+// queries drawn from the Table I fragment families (downward, ∩, ≈, star,
+// upward/sideways), then measure
+//
+//   cold    — a plain Solver deciding all 100 queries;
+//   warmup  — a Session's first pass (all cache misses: cold + overhead);
+//   warm    — the Session's second pass over the SAME 100 queries;
+//   batch   — a fresh Session deciding the workload through ContainsBatch
+//             (thread pool + in-batch dedup).
+//
+// Acceptance targets (checked and printed): warm pass ≥ 5× faster than the
+// cold Solver, with a containment-cache hit rate ≥ 90% on that pass.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "xpc/core/session.h"
+#include "xpc/core/solver.h"
+#include "xpc/xpath/parser.h"
+
+using namespace xpc;
+
+namespace {
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+PathPtr P(const std::string& s) {
+  auto r = ParsePath(s);
+  if (!r.ok()) {
+    std::fprintf(stderr, "parse error: %s: %s\n", s.c_str(), r.error().c_str());
+    std::exit(1);
+  }
+  return r.value();
+}
+
+std::string Sub(const char* tmpl, const std::string& label) {
+  std::string out;
+  for (const char* p = tmpl; *p; ++p) {
+    if (*p == '%') {
+      out += label;
+    } else {
+      out += *p;
+    }
+  }
+  return out;
+}
+
+// 10 templates × 10 label instantiations = 100 structurally distinct
+// queries covering the Table I engine rows.
+std::vector<std::pair<PathPtr, PathPtr>> BuildWorkload() {
+  const char* templates[][2] = {
+      {"down[%]", "down"},                              // downward
+      {"down[% and b]", "down[%]"},                     // boolean filters
+      {"down*[%]", "down*"},                            // axis closure
+      {"(down/down)*[%]", "down*[%] | ."},              // general star
+      {"down[%] & down/down", "down"},                  // ∩, downward engine
+      {"down*[%] & down", "down"},                      // ∩ with closure
+      {"down[eq(down, down[%])]", "down[<down[%]>]"},   // ≈, loop-sat
+      {"up/down[%]", "up/down[%] | ."},                 // upward axes
+      {"right/left[%]", ".[%]"},                        // sideways axes
+      {"down[%]/down", "down/down"},                    // not contained
+  };
+  std::vector<std::pair<PathPtr, PathPtr>> queries;
+  for (int i = 0; i < 10; ++i) {
+    std::string label = "x" + std::to_string(i);
+    for (auto& t : templates) {
+      queries.emplace_back(P(Sub(t[0], label)), P(Sub(t[1], label)));
+    }
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Session cache: repeated containment workload ==\n\n");
+  std::vector<std::pair<PathPtr, PathPtr>> queries = BuildWorkload();
+  std::printf("workload: %zu distinct containment queries\n\n", queries.size());
+
+  // Cold: a plain Solver, no caching anywhere.
+  Solver solver;
+  auto t0 = std::chrono::steady_clock::now();
+  int cold_contained = 0;
+  for (auto& [alpha, beta] : queries) {
+    if (solver.Contains(alpha, beta).verdict == ContainmentVerdict::kContained) {
+      ++cold_contained;
+    }
+  }
+  int64_t cold_us = MicrosSince(t0);
+  std::printf("cold solver       : %8.2f ms  (%d contained)\n", cold_us / 1000.0,
+              cold_contained);
+
+  // Session, pass 1 (all misses) and pass 2 (all hits).
+  Session session;
+  t0 = std::chrono::steady_clock::now();
+  for (auto& [alpha, beta] : queries) session.Contains(alpha, beta);
+  int64_t warmup_us = MicrosSince(t0);
+  std::printf("session warm-up   : %8.2f ms  (100%% misses)\n", warmup_us / 1000.0);
+
+  SessionStats before = session.stats();
+  t0 = std::chrono::steady_clock::now();
+  int warm_contained = 0;
+  for (auto& [alpha, beta] : queries) {
+    if (session.Contains(alpha, beta).verdict == ContainmentVerdict::kContained) {
+      ++warm_contained;
+    }
+  }
+  int64_t warm_us = MicrosSince(t0);
+  SessionStats after = session.stats();
+  int64_t pass2_hits = after.containment.hits - before.containment.hits;
+  int64_t pass2_misses = after.containment.misses - before.containment.misses;
+  double hit_rate =
+      pass2_hits + pass2_misses == 0
+          ? 0.0
+          : static_cast<double>(pass2_hits) / static_cast<double>(pass2_hits + pass2_misses);
+  std::printf("session warm pass : %8.2f ms  (%d contained, hit rate %.1f%%)\n",
+              warm_us / 1000.0, warm_contained, hit_rate * 100.0);
+
+  // Batch API on a fresh session: thread pool across the cold subproblems.
+  Session batch_session;
+  t0 = std::chrono::steady_clock::now();
+  std::vector<ContainmentResult> batch = batch_session.ContainsBatch(queries);
+  int64_t batch_us = MicrosSince(t0);
+  int batch_contained = 0;
+  for (const ContainmentResult& r : batch) {
+    if (r.verdict == ContainmentVerdict::kContained) ++batch_contained;
+  }
+  std::printf("batch (cold, pool): %8.2f ms  (%d contained)\n\n", batch_us / 1000.0,
+              batch_contained);
+
+  double speedup = warm_us == 0 ? 1e9 : static_cast<double>(cold_us) / warm_us;
+  std::printf("warm-pass speedup over cold solver: %.1fx\n", speedup);
+  std::printf("%s\n", after.ToString().c_str());
+
+  bool verdicts_agree = cold_contained == warm_contained && cold_contained == batch_contained;
+  bool ok = speedup >= 5.0 && hit_rate >= 0.90 && verdicts_agree;
+  std::printf("acceptance: speedup >= 5x: %s, hit rate >= 90%%: %s, verdicts agree: %s -> %s\n",
+              speedup >= 5.0 ? "yes" : "NO", hit_rate >= 0.90 ? "yes" : "NO",
+              verdicts_agree ? "yes" : "NO", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -7,17 +7,29 @@
 //   xpc_cli equiv    '<alpha>' '<beta>' [edtd-file]
 //   xpc_cli eval     '<path-expr>' '<tree>'
 //   xpc_cli fragment '<path-expr>'
+//   xpc_cli batch    <queries-file> [--edtd file] [--repeat N]
+//
+// `batch` decides one containment query per line of the queries file
+// (format: `alpha ;; beta`; blank lines and `#` comments are skipped)
+// through the memoizing Session layer and reports its cache statistics.
+// `--repeat N` re-submits the whole workload N times, which makes the
+// cache hit rate and warm/cold timing observable.
 //
 // Examples:
 //   xpc_cli contains 'down[a]' 'down'
 //   xpc_cli sat 'section and <down[figure]> and not(<down[section]>)'
 //   xpc_cli eval 'down*[b]' 'a(b,a(b))'
+//   xpc_cli batch queries.txt --repeat 2
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "xpc/xpc.h"
 
@@ -28,7 +40,8 @@ int Usage() {
                "usage: xpc_cli sat|psat '<expr>' [edtd-file]\n"
                "       xpc_cli contains|equiv '<alpha>' '<beta>' [edtd-file]\n"
                "       xpc_cli eval '<path>' '<tree>'\n"
-               "       xpc_cli fragment '<path>'\n");
+               "       xpc_cli fragment '<path>'\n"
+               "       xpc_cli batch <queries-file> [--edtd file] [--repeat N]\n");
   return 2;
 }
 
@@ -125,6 +138,78 @@ int main(int argc, char** argv) {
       std::printf("(%d, %d)\n", src, dst);
     }
     return 0;
+  }
+
+  if (cmd == "batch") {
+    const char* queries_file = argv[2];
+    const char* edtd_file = nullptr;
+    int repeat = 1;
+    for (int i = 3; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--edtd" && i + 1 < argc) {
+        edtd_file = argv[++i];
+      } else if (arg == "--repeat" && i + 1 < argc) {
+        repeat = std::atoi(argv[++i]);
+        if (repeat < 1) repeat = 1;
+      } else {
+        return Usage();
+      }
+    }
+
+    std::ifstream in(queries_file);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open queries file %s\n", queries_file);
+      return 1;
+    }
+    std::vector<std::pair<xpc::PathPtr, xpc::PathPtr>> queries;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      size_t first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] == '#') continue;
+      size_t sep = line.find(";;");
+      if (sep == std::string::npos) {
+        std::fprintf(stderr, "error: %s:%d: expected 'alpha ;; beta'\n", queries_file, lineno);
+        return 1;
+      }
+      auto alpha = xpc::ParsePath(line.substr(0, sep));
+      auto beta = xpc::ParsePath(line.substr(sep + 2));
+      if (!alpha.ok() || !beta.ok()) {
+        std::fprintf(stderr, "error: %s:%d: %s\n", queries_file, lineno,
+                     (!alpha.ok() ? alpha.error() : beta.error()).c_str());
+        return 1;
+      }
+      queries.emplace_back(alpha.value(), beta.value());
+    }
+
+    xpc::Session session;
+    if (edtd_file != nullptr) {
+      auto edtd = LoadEdtd(edtd_file);
+      if (!edtd) return 1;
+      session.SetEdtd(*edtd);
+    }
+    bool unknown = false;
+    for (int pass = 0; pass < repeat; ++pass) {
+      auto t0 = std::chrono::steady_clock::now();
+      std::vector<xpc::ContainmentResult> results = session.ContainsBatch(queries);
+      auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+      if (pass == 0) {
+        for (size_t i = 0; i < results.size(); ++i) {
+          std::printf("%-14s (engine: %s) %s ;; %s\n",
+                      xpc::ContainmentVerdictName(results[i].verdict),
+                      results[i].engine.c_str(), xpc::ToString(queries[i].first).c_str(),
+                      xpc::ToString(queries[i].second).c_str());
+          if (results[i].verdict == xpc::ContainmentVerdict::kUnknown) unknown = true;
+        }
+      }
+      std::printf("pass %d: %zu queries in %.3f ms\n", pass + 1, queries.size(),
+                  micros / 1000.0);
+    }
+    std::printf("%s", session.stats().ToString().c_str());
+    return unknown ? 3 : 0;
   }
 
   if (cmd == "fragment") {

@@ -1,0 +1,411 @@
+#include "xpc/core/session.h"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "xpc/automata/regex.h"
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/reduction/reductions.h"
+
+namespace xpc {
+
+namespace {
+
+uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t FpCombine(uint64_t seed, uint64_t v) {
+  return MixU64(seed ^ (v + 0x165667b19e3779f9ULL));
+}
+
+uint64_t FpString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return MixU64(h);
+}
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  return static_cast<int>(hw < 8 ? hw : 8);
+}
+
+}  // namespace
+
+uint64_t FingerprintOptions(const SolverOptions& options) {
+  uint64_t h = MixU64(0x0507ULL);
+  h = FpCombine(h, static_cast<uint64_t>(options.loop.max_items));
+  h = FpCombine(h, static_cast<uint64_t>(options.loop.max_pool));
+  h = FpCombine(h, options.loop.want_witness ? 1 : 2);
+  h = FpCombine(h, static_cast<uint64_t>(options.downward.max_inst_paths));
+  h = FpCombine(h, static_cast<uint64_t>(options.downward.max_summaries));
+  h = FpCombine(h, static_cast<uint64_t>(options.downward.max_atoms));
+  h = FpCombine(h, options.downward.want_witness ? 1 : 2);
+  h = FpCombine(h, static_cast<uint64_t>(options.bounded.max_exhaustive_nodes));
+  h = FpCombine(h, static_cast<uint64_t>(options.bounded.random_trees));
+  h = FpCombine(h, static_cast<uint64_t>(options.bounded.max_random_nodes));
+  h = FpCombine(h, options.bounded.seed);
+  h = FpCombine(h, options.verify_witnesses ? 1 : 2);
+  h = FpCombine(h, options.prefer_downward_engine ? 1 : 2);
+  return h;
+}
+
+uint64_t FingerprintEdtd(const Edtd& edtd) {
+  uint64_t h = MixU64(0xed7dULL);
+  h = FpCombine(h, FpString(edtd.root_type()));
+  for (const Edtd::TypeDef& t : edtd.types()) {
+    h = FpCombine(h, FpString(t.abstract_label));
+    h = FpCombine(h, FpString(t.concrete_label));
+    h = FpCombine(h, FpString(RegexToString(t.content)));
+  }
+  return h;
+}
+
+int64_t SessionStats::TotalSolveMicros() const {
+  int64_t total = 0;
+  for (const auto& [name, t] : engines) total += t.micros;
+  return total;
+}
+
+std::string SessionStats::ToString() const {
+  std::ostringstream out;
+  auto line = [&out](const char* name, const Cache& c) {
+    out << "  " << name << ": " << c.hits << " hits / " << c.misses << " misses ("
+        << static_cast<int>(c.HitRate() * 100.0 + 0.5) << "% hit rate), " << c.evictions
+        << " evictions\n";
+  };
+  out << "session stats:\n";
+  line("containment", containment);
+  line("sat        ", sat);
+  line("automata   ", automata);
+  line("content-dfa", dfa);
+  out << "  interned: " << interned_paths << " paths, " << interned_nodes << " nodes\n";
+  out << "  batch: " << batch_queries << " queries, " << batch_deduped
+      << " deduplicated in-batch\n";
+  out << "  invalidations: " << invalidations << "\n";
+  out << "  engine time (uncached solves):\n";
+  for (const auto& [name, t] : engines) {
+    out << "    " << name << ": " << t.calls << " calls, " << t.micros / 1000.0 << " ms\n";
+  }
+  return out.str();
+}
+
+size_t Session::PairKeyHash::operator()(const PairKey& k) const {
+  return static_cast<size_t>(
+      FpCombine(reinterpret_cast<uintptr_t>(k.a), reinterpret_cast<uintptr_t>(k.b)));
+}
+
+Session::Session(SessionOptions options)
+    : options_(std::move(options)),
+      options_fp_(FingerprintOptions(options_.solver)),
+      solver_(options_.solver),
+      containment_cache_(options_.verdict_cache_capacity),
+      sat_cache_(options_.verdict_cache_capacity),
+      automaton_cache_(options_.artifact_cache_capacity),
+      dfa_cache_(options_.artifact_cache_capacity) {}
+
+PathPtr Session::Intern(const PathPtr& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return interner_.Intern(path);
+}
+
+NodePtr Session::Intern(const NodePtr& node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return interner_.Intern(node);
+}
+
+uint64_t Session::Fingerprint(const PathPtr& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return interner_.Fingerprint(path);
+}
+
+uint64_t Session::Fingerprint(const NodePtr& node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return interner_.Fingerprint(node);
+}
+
+void Session::SetSolverOptions(const SolverOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t fp = FingerprintOptions(options);
+  options_.solver = options;
+  solver_ = Solver(options);
+  if (fp == options_fp_) return;  // No observable change: caches stay valid.
+  options_fp_ = fp;
+  containment_cache_.Clear();
+  sat_cache_.Clear();
+  ++stats_.invalidations;
+}
+
+void Session::SetEdtd(const Edtd& edtd) {
+  // Pre-build the lazily-cached content NFAs while the copy is still
+  // private, so the published EDTD is never mutated from worker threads.
+  auto fresh = std::make_shared<Edtd>(edtd);
+  for (size_t i = 0; i < fresh->types().size(); ++i) fresh->ContentNfa(static_cast<int>(i));
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t fp = FingerprintEdtd(edtd);
+  if (edtd_ != nullptr && fp == edtd_fp_) return;
+  edtd_ = std::move(fresh);
+  edtd_fp_ = fp;
+  containment_cache_.Clear();
+  sat_cache_.Clear();
+  dfa_cache_.Clear();
+  ++stats_.invalidations;
+}
+
+void Session::ClearEdtd() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (edtd_ == nullptr) return;
+  edtd_.reset();
+  edtd_fp_ = 0;
+  containment_cache_.Clear();
+  sat_cache_.Clear();
+  dfa_cache_.Clear();
+  ++stats_.invalidations;
+}
+
+void Session::RecordEngine(const std::string& engine, int64_t micros) {
+  SessionStats::EngineTime& t = stats_.engines[engine.empty() ? "<unstamped>" : engine];
+  ++t.calls;
+  t.micros += micros;
+}
+
+SatResult Session::NodeSatisfiable(const NodePtr& phi) {
+  NodePtr canonical;
+  std::shared_ptr<const Edtd> edtd;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    canonical = interner_.Intern(phi);
+    if (const SatResult* cached = sat_cache_.Get(canonical.get())) {
+      ++stats_.sat.hits;
+      return *cached;
+    }
+    ++stats_.sat.misses;
+    edtd = edtd_;
+  }
+  Solver solver(options_.solver);
+  auto t0 = std::chrono::steady_clock::now();
+  SatResult result = edtd != nullptr ? solver.NodeSatisfiable(canonical, *edtd)
+                                     : solver.NodeSatisfiable(canonical);
+  int64_t micros = MicrosSince(t0);
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordEngine(result.engine, micros);
+  sat_cache_.Put(canonical.get(), result);
+  return result;
+}
+
+SatResult Session::PathSatisfiable(const PathPtr& alpha) {
+  // Shares the node-satisfiability cache through the Proposition 4
+  // reduction α ⇝ ⟨α⟩.
+  return NodeSatisfiable(PathSatToNodeSat(alpha));
+}
+
+ContainmentResult Session::SolveContainment(const PathPtr& alpha, const PathPtr& beta,
+                                            const Edtd* edtd) const {
+  Solver solver(options_.solver);
+  return edtd != nullptr ? solver.Contains(alpha, beta, *edtd) : solver.Contains(alpha, beta);
+}
+
+ContainmentResult Session::Contains(const PathPtr& alpha, const PathPtr& beta) {
+  PathPtr a, b;
+  std::shared_ptr<const Edtd> edtd;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    a = interner_.Intern(alpha);
+    b = interner_.Intern(beta);
+    if (const ContainmentResult* cached = containment_cache_.Get({a.get(), b.get()})) {
+      ++stats_.containment.hits;
+      return *cached;
+    }
+    ++stats_.containment.misses;
+    edtd = edtd_;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  ContainmentResult result = SolveContainment(a, b, edtd.get());
+  int64_t micros = MicrosSince(t0);
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordEngine(result.engine, micros);
+  containment_cache_.Put({a.get(), b.get()}, result);
+  return result;
+}
+
+ContainmentResult Session::Equivalent(const PathPtr& alpha, const PathPtr& beta) {
+  // Two memoized containment queries, so each direction caches and reverses
+  // of previously-seen queries hit.
+  ContainmentResult forward = Contains(alpha, beta);
+  if (forward.verdict != ContainmentVerdict::kContained) return forward;
+  return Contains(beta, alpha);
+}
+
+std::vector<ContainmentResult> Session::ContainsBatch(
+    std::span<const std::pair<PathPtr, PathPtr>> queries) {
+  std::vector<ContainmentResult> results(queries.size());
+
+  struct Job {
+    PairKey key;
+    PathPtr alpha;
+    PathPtr beta;
+    std::vector<size_t> positions;  // Indices in `queries` sharing this key.
+    ContainmentResult result;
+    int64_t micros = 0;
+  };
+  std::vector<Job> jobs;
+  std::shared_ptr<const Edtd> edtd;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    edtd = edtd_;
+    stats_.batch_queries += static_cast<int64_t>(queries.size());
+    std::unordered_map<PairKey, size_t, PairKeyHash> job_index;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      PathPtr a = interner_.Intern(queries[i].first);
+      PathPtr b = interner_.Intern(queries[i].second);
+      PairKey key{a.get(), b.get()};
+      auto it = job_index.find(key);
+      if (it != job_index.end()) {
+        // Shared subproblem within the batch: solved (or fetched) once.
+        ++stats_.batch_deduped;
+        jobs[it->second].positions.push_back(i);
+        continue;
+      }
+      if (const ContainmentResult* cached = containment_cache_.Get(key)) {
+        ++stats_.containment.hits;
+        results[i] = *cached;
+        // Later duplicates of a cached pair copy from this position.
+        job_index[key] = jobs.size();
+        jobs.push_back(Job{key, nullptr, nullptr, {i}, *cached, 0});
+        continue;
+      }
+      ++stats_.containment.misses;
+      job_index[key] = jobs.size();
+      jobs.push_back(Job{key, std::move(a), std::move(b), {i}, {}, 0});
+    }
+  }
+
+  // Solve the uncached unique subproblems on the worker pool. Each worker
+  // owns a Solver; the shared EDTD is read-only (content NFAs pre-built in
+  // SetEdtd).
+  std::vector<size_t> pending;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    if (jobs[j].alpha != nullptr) pending.push_back(j);
+  }
+  if (!pending.empty()) {
+    int num_threads = ResolveThreads(options_.batch_threads);
+    if (static_cast<size_t>(num_threads) > pending.size()) {
+      num_threads = static_cast<int>(pending.size());
+    }
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+      for (size_t k = next.fetch_add(1); k < pending.size(); k = next.fetch_add(1)) {
+        Job& job = jobs[pending[k]];
+        auto t0 = std::chrono::steady_clock::now();
+        job.result = SolveContainment(job.alpha, job.beta, edtd.get());
+        job.micros = MicrosSince(t0);
+      }
+    };
+    if (num_threads <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(num_threads);
+      for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+      for (std::thread& t : threads) t.join();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t j : pending) {
+      Job& job = jobs[j];
+      RecordEngine(job.result.engine, job.micros);
+      containment_cache_.Put(job.key, job.result);
+    }
+  }
+
+  for (const Job& job : jobs) {
+    for (size_t pos : job.positions) results[pos] = job.result;
+  }
+  return results;
+}
+
+PathAutoPtr Session::CompiledPathAutomaton(const PathPtr& alpha) {
+  PathPtr canonical;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    canonical = interner_.Intern(alpha);
+    if (const PathAutoPtr* cached = automaton_cache_.Get(canonical.get())) {
+      ++stats_.automata.hits;
+      return *cached;
+    }
+    ++stats_.automata.misses;
+  }
+  auto [ok, automaton] = PathToAutomaton(canonical);
+  PathAutoPtr compiled =
+      ok ? std::make_shared<const PathAutomaton>(std::move(automaton)) : nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  automaton_cache_.Put(canonical.get(), compiled);
+  return compiled;
+}
+
+std::shared_ptr<const Dfa> Session::ContentModelDfa(const std::string& abstract_label) {
+  int type_index;
+  RegexPtr content;
+  std::vector<std::string> alphabet;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (edtd_ == nullptr) return nullptr;
+    type_index = edtd_->TypeIndex(abstract_label);
+    if (type_index < 0) return nullptr;
+    if (const std::shared_ptr<const Dfa>* cached = dfa_cache_.Get(type_index)) {
+      ++stats_.dfa.hits;
+      return *cached;
+    }
+    ++stats_.dfa.misses;
+    content = edtd_->types()[type_index].content;
+    alphabet = edtd_->AbstractLabels();
+  }
+  Nfa nfa = CompileRegex(content, alphabet);
+  auto dfa = std::make_shared<const Dfa>(Dfa::Determinize(nfa));
+  std::lock_guard<std::mutex> lock(mu_);
+  dfa_cache_.Put(type_index, dfa);
+  return dfa;
+}
+
+SessionStats Session::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionStats snapshot = stats_;
+  snapshot.containment.evictions = containment_cache_.evictions();
+  snapshot.sat.evictions = sat_cache_.evictions();
+  snapshot.automata.evictions = automaton_cache_.evictions();
+  snapshot.dfa.evictions = dfa_cache_.evictions();
+  snapshot.interned_paths = static_cast<int64_t>(interner_.num_paths());
+  snapshot.interned_nodes = static_cast<int64_t>(interner_.num_nodes());
+  return snapshot;
+}
+
+void Session::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = SessionStats();
+}
+
+void Session::ClearCaches() {
+  std::lock_guard<std::mutex> lock(mu_);
+  containment_cache_.Clear();
+  sat_cache_.Clear();
+  automaton_cache_.Clear();
+  dfa_cache_.Clear();
+}
+
+}  // namespace xpc

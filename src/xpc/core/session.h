@@ -1,0 +1,239 @@
+#ifndef XPC_CORE_SESSION_H_
+#define XPC_CORE_SESSION_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "xpc/automata/dfa.h"
+#include "xpc/core/solver.h"
+#include "xpc/edtd/edtd.h"
+#include "xpc/pathauto/lexpr.h"
+#include "xpc/xpath/interner.h"
+
+namespace xpc {
+
+/// A bounded least-recently-used map. `Get` bumps recency and returns a
+/// pointer that stays valid until the next mutating call; `Put` evicts the
+/// oldest entries beyond `capacity`. Not thread-safe (callers lock).
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  const V* Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  void Put(const K& key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    while (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  size_t size() const { return order_.size(); }
+  size_t capacity() const { return capacity_; }
+  int64_t evictions() const { return evictions_; }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // Front = most recently used.
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash> index_;
+  int64_t evictions_ = 0;
+};
+
+/// Stable fingerprint of everything a cached verdict depends on besides the
+/// expressions themselves: the engine resource limits and dispatch flags.
+uint64_t FingerprintOptions(const SolverOptions& options);
+
+/// Stable fingerprint of an EDTD (root type, abstract/concrete labels and
+/// content-model regexes, in definition order).
+uint64_t FingerprintEdtd(const Edtd& edtd);
+
+/// Configuration of a `Session`.
+struct SessionOptions {
+  SolverOptions solver;
+  /// LRU bound on each verdict cache (containment / satisfiability).
+  size_t verdict_cache_capacity = 4096;
+  /// LRU bound on each compiled-artifact cache (path automata, DFAs).
+  size_t artifact_cache_capacity = 1024;
+  /// Worker threads for `ContainsBatch`; 0 = min(hardware_concurrency, 8).
+  int batch_threads = 0;
+};
+
+/// Observability counters for a `Session`. All counters are cumulative since
+/// construction or the last `ResetStats`.
+struct SessionStats {
+  struct Cache {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    double HitRate() const {
+      return hits + misses == 0 ? 0.0 : static_cast<double>(hits) / (hits + misses);
+    }
+  };
+  Cache containment;  ///< Contains / Equivalent / ContainsBatch verdicts.
+  Cache sat;          ///< NodeSatisfiable / PathSatisfiable verdicts.
+  Cache automata;     ///< Compiled path automata.
+  Cache dfa;          ///< Determinized content-model DFAs.
+
+  int64_t interned_paths = 0;  ///< Distinct canonical path expressions.
+  int64_t interned_nodes = 0;  ///< Distinct canonical node expressions.
+
+  int64_t batch_queries = 0;  ///< Queries submitted through ContainsBatch.
+  int64_t batch_deduped = 0;  ///< Of those, resolved by sharing within the batch.
+
+  int64_t invalidations = 0;  ///< Cache clears due to options/EDTD changes.
+
+  /// Wall time and call count per engine, keyed by `SatResult::engine` of
+  /// the *uncached* solves (cache hits cost no engine time by design).
+  struct EngineTime {
+    int64_t calls = 0;
+    int64_t micros = 0;
+  };
+  std::map<std::string, EngineTime> engines;
+
+  int64_t TotalSolveMicros() const;
+  std::string ToString() const;
+};
+
+/// A memoizing façade over `Solver` for query-heavy workloads.
+///
+/// The session (a) hash-conses every submitted expression through an
+/// `ExprInterner`, so structurally equal queries share one canonical AST
+/// with an O(1) identity and a stable 64-bit fingerprint; (b) memoizes
+/// final `ContainmentResult` / `SatResult` verdicts and compiled engine
+/// artifacts in LRU-bounded caches keyed on canonical identity; and (c)
+/// answers batches of containment queries on a small thread pool,
+/// deduplicating shared subproblems first.
+///
+/// Caching is legal because every verdict is a pure function of
+/// (expression, SolverOptions, ambient EDTD): engines are deterministic,
+/// including their seeded random phases. Changing the options or the EDTD
+/// therefore invalidates the verdict caches (compiled path automata survive
+/// both — they depend on the expression only; content-model DFAs survive
+/// option changes but not EDTD changes).
+///
+/// All public methods are thread-safe; the caches are shared across
+/// threads under one lock, which is released during actual engine runs.
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+
+  // --- AST layer -------------------------------------------------------
+
+  /// Canonical representative / structural fingerprint (see ExprInterner).
+  PathPtr Intern(const PathPtr& path);
+  NodePtr Intern(const NodePtr& node);
+  uint64_t Fingerprint(const PathPtr& path);
+  uint64_t Fingerprint(const NodePtr& node);
+
+  // --- Configuration ---------------------------------------------------
+
+  /// Replaces the solver options. Clears all verdict caches when the new
+  /// options differ (by fingerprint) from the current ones.
+  void SetSolverOptions(const SolverOptions& options);
+
+  /// Sets / clears the ambient EDTD all queries are relativized to.
+  /// Clears the verdict and content-DFA caches when it actually changes.
+  void SetEdtd(const Edtd& edtd);
+  void ClearEdtd();
+
+  const SolverOptions& solver_options() const { return options_.solver; }
+  bool has_edtd() const { return edtd_ != nullptr; }
+
+  // --- Memoized queries ------------------------------------------------
+
+  SatResult NodeSatisfiable(const NodePtr& phi);
+  SatResult PathSatisfiable(const PathPtr& alpha);
+  ContainmentResult Contains(const PathPtr& alpha, const PathPtr& beta);
+  ContainmentResult Equivalent(const PathPtr& alpha, const PathPtr& beta);
+
+  /// Decides many containment queries at once: structurally equal pairs are
+  /// solved once, and the distinct uncached subproblems run on the worker
+  /// pool. `results[i]` corresponds to `queries[i]`.
+  std::vector<ContainmentResult> ContainsBatch(
+      std::span<const std::pair<PathPtr, PathPtr>> queries);
+
+  // --- Memoized artifacts ----------------------------------------------
+
+  /// The Section 3.1 path automaton for `alpha`, compiled once per
+  /// canonical expression. Returns nullptr for unsupported operators
+  /// (∩, −, for — cf. PathToAutomaton).
+  PathAutoPtr CompiledPathAutomaton(const PathPtr& alpha);
+
+  /// The determinized content-model DFA of the ambient EDTD's type
+  /// `abstract_label` (alphabet = definition-order abstract labels).
+  /// Returns nullptr if no EDTD is set or the type is unknown.
+  std::shared_ptr<const Dfa> ContentModelDfa(const std::string& abstract_label);
+
+  // --- Observability ---------------------------------------------------
+
+  /// Consistent snapshot of the counters.
+  SessionStats stats() const;
+  void ResetStats();
+  /// Drops all cached verdicts and artifacts (the interner is kept).
+  void ClearCaches();
+
+ private:
+  struct PairKey {
+    const PathExpr* a;
+    const PathExpr* b;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const;
+  };
+
+  ContainmentResult SolveContainment(const PathPtr& alpha, const PathPtr& beta,
+                                     const Edtd* edtd) const;
+  void RecordEngine(const std::string& engine, int64_t micros);
+
+  SessionOptions options_;
+  // Published EDTD snapshot: swapped atomically under the lock, captured by
+  // queries before they release it, so in-flight solves keep a consistent
+  // schema even across SetEdtd calls. Content NFAs are pre-built before
+  // publication, making the pointee truly read-only.
+  std::shared_ptr<const Edtd> edtd_;
+  uint64_t options_fp_;
+  uint64_t edtd_fp_ = 0;
+
+  mutable std::mutex mu_;
+  ExprInterner interner_;
+  Solver solver_;
+  LruCache<PairKey, ContainmentResult, PairKeyHash> containment_cache_;
+  LruCache<const NodeExpr*, SatResult> sat_cache_;
+  LruCache<const PathExpr*, PathAutoPtr> automaton_cache_;
+  LruCache<int, std::shared_ptr<const Dfa>> dfa_cache_;
+  SessionStats stats_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_CORE_SESSION_H_

@@ -37,6 +37,14 @@ SatResult VerifySat(SatResult r, const NodePtr& phi, bool verify) {
 }  // namespace
 
 SatResult Solver::Dispatch(const NodePtr& phi, const Edtd* edtd) {
+  SatResult r = DispatchImpl(phi, edtd);
+  // Every result is stamped with the engine that produced it; a missing
+  // stamp would make ContainmentResult::engine empty downstream.
+  if (r.engine.empty()) r.engine = "dispatch:unstamped";
+  return r;
+}
+
+SatResult Solver::DispatchImpl(const NodePtr& phi, const Edtd* edtd) {
   Fragment f = DetectFragment(phi);
 
   // Fragments with path complementation or iteration: no elementary

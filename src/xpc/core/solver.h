@@ -88,7 +88,10 @@ class Solver {
   const SolverOptions& options() const { return options_; }
 
  private:
+  /// DispatchImpl with the engine-stamp guarantee: the returned
+  /// `SatResult::engine` is never empty.
   SatResult Dispatch(const NodePtr& phi, const Edtd* edtd);
+  SatResult DispatchImpl(const NodePtr& phi, const Edtd* edtd);
   ContainmentResult ToContainment(SatResult sat, const PathPtr& alpha, const PathPtr& beta,
                                   const std::string& super_root);
 

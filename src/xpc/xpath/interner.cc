@@ -1,0 +1,179 @@
+#include "xpc/xpath/interner.h"
+
+#include <string_view>
+
+namespace xpc {
+
+namespace {
+
+// splitmix64 finalizer — the mixing primitive for all fingerprints.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Combine(uint64_t seed, uint64_t v) { return Mix(seed ^ (v + 0x165667b19e3779f9ULL)); }
+
+uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a, then mixed.
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix(h);
+}
+
+// Distinct tag spaces so a PathExpr never collides with a NodeExpr of the
+// same shape by construction.
+uint64_t PathTag(PathKind k) { return Mix(0x5041ULL ^ (static_cast<uint64_t>(k) << 8)); }
+uint64_t NodeTag(NodeKind k) { return Mix(0x4e4fULL ^ (static_cast<uint64_t>(k) << 8)); }
+
+}  // namespace
+
+// NOTE on memoization: the pointer-keyed memos hold ONLY canonical nodes,
+// whose lifetime the buckets guarantee. Memoizing arbitrary caller pointers
+// would be unsound — a caller expression can be freed and its address
+// reused by a different expression, which would then inherit the stale
+// canonical. Interning a never-seen alias therefore walks its structure
+// (O(size)), bottoming out at canonical subterms.
+
+PathPtr ExprInterner::Intern(const PathPtr& p) { return InternPath(p).first; }
+NodePtr ExprInterner::Intern(const NodePtr& n) { return InternNode(n).first; }
+uint64_t ExprInterner::Fingerprint(const PathPtr& p) { return InternPath(p).second; }
+uint64_t ExprInterner::Fingerprint(const NodePtr& n) { return InternNode(n).second; }
+
+std::pair<PathPtr, uint64_t> ExprInterner::InternPath(const PathPtr& p) {
+  if (p == nullptr) return {nullptr, 0};
+  auto it = path_memo_.find(p.get());
+  if (it != path_memo_.end()) return it->second;
+
+  // Intern children first (bottom-up), then fingerprint over canonical
+  // child fingerprints.
+  auto [left, left_fp] = InternPath(p->left);
+  auto [right, right_fp] = InternPath(p->right);
+  auto [filter, filter_fp] = InternNode(p->filter);
+
+  uint64_t h = PathTag(p->kind);
+  switch (p->kind) {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+      h = Combine(h, static_cast<uint64_t>(p->axis) + 1);
+      break;
+    case PathKind::kSelf:
+      break;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+    case PathKind::kIntersect:
+    case PathKind::kComplement:
+      h = Combine(h, left_fp);
+      h = Combine(h, right_fp);
+      break;
+    case PathKind::kFilter:
+      h = Combine(h, left_fp);
+      h = Combine(h, filter_fp);
+      break;
+    case PathKind::kStar:
+      h = Combine(h, left_fp);
+      break;
+    case PathKind::kFor:
+      h = Combine(h, HashString(p->var));
+      h = Combine(h, left_fp);
+      h = Combine(h, right_fp);
+      break;
+  }
+  if (h == 0) h = 1;  // 0 is reserved for nullptr.
+
+  // Find or install the canonical node for this structure.
+  std::vector<PathPtr>& bucket = path_buckets_[h];
+  for (const PathPtr& cand : bucket) {
+    if (Equal(cand, p)) return {cand, h};
+  }
+  // Rebuild only if a child changed identity; otherwise `p` itself (whose
+  // children were already canonical) becomes the canonical node.
+  PathPtr canonical;
+  if (left == p->left && right == p->right && filter == p->filter) {
+    canonical = p;
+  } else {
+    auto fresh = std::make_shared<PathExpr>(*p);
+    fresh->left = std::move(left);
+    fresh->right = std::move(right);
+    fresh->filter = std::move(filter);
+    canonical = std::move(fresh);
+  }
+  bucket.push_back(canonical);
+  ++path_count_;
+  path_memo_[canonical.get()] = {canonical, h};
+  return {canonical, h};
+}
+
+std::pair<NodePtr, uint64_t> ExprInterner::InternNode(const NodePtr& n) {
+  if (n == nullptr) return {nullptr, 0};
+  auto it = node_memo_.find(n.get());
+  if (it != node_memo_.end()) return it->second;
+
+  auto [path, path_fp] = InternPath(n->path);
+  auto [path2, path2_fp] = InternPath(n->path2);
+  auto [child1, child1_fp] = InternNode(n->child1);
+  auto [child2, child2_fp] = InternNode(n->child2);
+
+  uint64_t h = NodeTag(n->kind);
+  switch (n->kind) {
+    case NodeKind::kLabel:
+      h = Combine(h, HashString(n->label));
+      break;
+    case NodeKind::kTrue:
+      break;
+    case NodeKind::kSome:
+      h = Combine(h, path_fp);
+      break;
+    case NodeKind::kNot:
+      h = Combine(h, child1_fp);
+      break;
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      h = Combine(h, child1_fp);
+      h = Combine(h, child2_fp);
+      break;
+    case NodeKind::kPathEq:
+      h = Combine(h, path_fp);
+      h = Combine(h, path2_fp);
+      break;
+    case NodeKind::kIsVar:
+      h = Combine(h, HashString(n->var));
+      break;
+  }
+  if (h == 0) h = 1;
+
+  std::vector<NodePtr>& bucket = node_buckets_[h];
+  for (const NodePtr& cand : bucket) {
+    if (Equal(cand, n)) return {cand, h};
+  }
+  NodePtr canonical;
+  if (path == n->path && path2 == n->path2 && child1 == n->child1 && child2 == n->child2) {
+    canonical = n;
+  } else {
+    auto fresh = std::make_shared<NodeExpr>(*n);
+    fresh->path = std::move(path);
+    fresh->path2 = std::move(path2);
+    fresh->child1 = std::move(child1);
+    fresh->child2 = std::move(child2);
+    canonical = std::move(fresh);
+  }
+  bucket.push_back(canonical);
+  ++node_count_;
+  node_memo_[canonical.get()] = {canonical, h};
+  return {canonical, h};
+}
+
+void ExprInterner::Clear() {
+  path_buckets_.clear();
+  node_buckets_.clear();
+  path_memo_.clear();
+  node_memo_.clear();
+  path_count_ = 0;
+  node_count_ = 0;
+}
+
+}  // namespace xpc

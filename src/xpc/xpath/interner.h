@@ -1,0 +1,70 @@
+#ifndef XPC_XPATH_INTERNER_H_
+#define XPC_XPATH_INTERNER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Structural hash-consing for `NodeExpr` / `PathExpr` DAGs.
+///
+/// Interning maps every expression to a *canonical* shared node: two
+/// structurally equal expressions (in the sense of `Equal`) intern to the
+/// same pointer, so equality of interned expressions is a pointer compare
+/// and hashing is an O(1) table lookup. Every canonical node also carries a
+/// stable 64-bit structural fingerprint, suitable as a memoization key
+/// (collisions are resolved internally — two distinct canonical nodes may
+/// in principle share a fingerprint, but `Intern` never conflates them).
+///
+/// Interning is bottom-up: children are interned first, so canonical nodes
+/// always point at canonical children, and re-interning an already-canonical
+/// DAG is a cheap pointer-keyed memo hit. The interner owns nothing beyond
+/// the shared_ptrs it hands out; it is not thread-safe (the `Session` layer
+/// serializes access).
+class ExprInterner {
+ public:
+  ExprInterner() = default;
+  ExprInterner(const ExprInterner&) = delete;
+  ExprInterner& operator=(const ExprInterner&) = delete;
+
+  /// Canonical representative of `p` / `n` (nullptr passes through).
+  PathPtr Intern(const PathPtr& p);
+  NodePtr Intern(const NodePtr& n);
+
+  /// Structural fingerprint (interns first). Stable within a process for a
+  /// fixed expression structure; 0 is reserved for nullptr.
+  uint64_t Fingerprint(const PathPtr& p);
+  uint64_t Fingerprint(const NodePtr& n);
+
+  /// Number of distinct canonical path / node expressions interned.
+  size_t num_paths() const { return path_count_; }
+  size_t num_nodes() const { return node_count_; }
+
+  /// Drops all tables (canonical pointers stay alive via their owners).
+  void Clear();
+
+ private:
+  std::pair<PathPtr, uint64_t> InternPath(const PathPtr& p);
+  std::pair<NodePtr, uint64_t> InternNode(const NodePtr& n);
+
+  // Canonical nodes bucketed by fingerprint; buckets are almost always
+  // singletons, the vector resolves the (theoretical) 64-bit collisions.
+  std::unordered_map<uint64_t, std::vector<PathPtr>> path_buckets_;
+  std::unordered_map<uint64_t, std::vector<NodePtr>> node_buckets_;
+  // Pointer-keyed memo over CANONICAL nodes only (their lifetime is pinned
+  // by the buckets): re-interning an already-canonical node or sub-DAG is
+  // O(1). Caller-owned aliases are deliberately not memoized — their
+  // addresses can be reused after free, which would alias unrelated
+  // expressions to a stale canonical.
+  std::unordered_map<const PathExpr*, std::pair<PathPtr, uint64_t>> path_memo_;
+  std::unordered_map<const NodeExpr*, std::pair<NodePtr, uint64_t>> node_memo_;
+  size_t path_count_ = 0;
+  size_t node_count_ = 0;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_XPATH_INTERNER_H_

@@ -1,0 +1,267 @@
+// Randomized differential testing of the containment stack, with and
+// without the Session cache.
+//
+// A seeded, deterministic generator produces random CoreXPath(∩, ≈)
+// expression pairs (the largest fragment every complete engine — loop-sat,
+// the ∩-product pipeline and the downward engine — can be dispatched to).
+// For each pair (α, β) the solver verdict is cross-checked against
+// brute-force evaluation over ALL trees up to a node bound (via
+// EnumerateTrees), and the cached (Session) and uncached (Solver) stacks
+// must agree exactly:
+//
+//   * kContained      → no enumerated tree may witness ⟦α⟧ ⊄ ⟦β⟧;
+//   * kNotContained   → the attached counterexample must be a real witness
+//                       under the reference evaluator;
+//   * any verdict     → Session (cold), Session (warm repeat), Solver and
+//                       ContainsBatch all report the same verdict.
+//
+// Every failure message carries the case seed; re-run a single case with
+//   XPC_DIFF_SEED=<seed> XPC_DIFF_CASES=1 ./xpc_tests --gtest_filter='Differential.*'
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xpc/core/session.h"
+#include "xpc/core/solver.h"
+#include "xpc/eval/evaluator.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+constexpr uint64_t kDefaultBaseSeed = 0xd1ffe7e57ULL;
+constexpr int kDefaultCases = 500;
+constexpr int kMaxReferenceNodes = 5;  // Enumerate all trees up to this size.
+
+uint64_t BaseSeed() {
+  if (const char* env = std::getenv("XPC_DIFF_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return kDefaultBaseSeed;
+}
+
+int NumCases() {
+  if (const char* env = std::getenv("XPC_DIFF_CASES")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return kDefaultCases;
+}
+
+/// Deterministic random CoreXPath(∩, ≈) expression generator. `budget`
+/// bounds the number of operator applications, keeping expressions small
+/// enough that the 2-EXPTIME product pipeline stays fast.
+class ExprGen {
+ public:
+  explicit ExprGen(uint64_t seed) : rng_(seed) {}
+
+  PathPtr GenPath(int budget) {
+    if (budget <= 1) return GenAtom();
+    switch (rng_.NextBelow(10)) {
+      case 0:
+      case 1:
+      case 2:
+        return Seq(GenPath(budget / 2), GenPath(budget - budget / 2));
+      case 3:
+        return Union(GenPath(budget / 2), GenPath(budget - budget / 2));
+      case 4:
+      case 5:
+        return Filter(GenPath(budget / 2), GenNode(budget - budget / 2));
+      case 6:
+        return Intersect(GenPath(budget / 2), GenPath(budget - budget / 2));
+      default:
+        return GenAtom();
+    }
+  }
+
+  NodePtr GenNode(int budget) {
+    if (budget <= 1) {
+      return rng_.NextBelow(4) == 0 ? True() : Label(RandLabel());
+    }
+    switch (rng_.NextBelow(10)) {
+      case 0:
+      case 1:
+        return Not(GenNode(budget - 1));
+      case 2:
+        return And(GenNode(budget / 2), GenNode(budget - budget / 2));
+      case 3:
+        return Or(GenNode(budget / 2), GenNode(budget - budget / 2));
+      case 4:
+      case 5:
+        return Some(GenPath(budget / 2));
+      case 6:
+        return PathEq(GenPath(budget / 2), GenPath(budget - budget / 2));
+      default:
+        return Label(RandLabel());
+    }
+  }
+
+ private:
+  PathPtr GenAtom() {
+    switch (rng_.NextBelow(6)) {
+      case 0:
+      case 1:
+        return Ax(RandAxis());
+      case 2:
+      case 3:
+        return AxStar(RandAxis());
+      case 4:
+        return Self();
+      default:
+        return Filter(Self(), Label(RandLabel()));
+    }
+  }
+
+  // ↓-biased so the downward engine is regularly exercised too.
+  Axis RandAxis() {
+    switch (rng_.NextBelow(7)) {
+      case 0:
+      case 1:
+      case 2:
+        return Axis::kChild;
+      case 3:
+        return Axis::kParent;
+      case 4:
+        return Axis::kRight;
+      default:
+        return Axis::kLeft;
+    }
+  }
+
+  std::string RandLabel() { return rng_.NextBelow(2) == 0 ? "a" : "b"; }
+
+  TreeGenerator rng_;
+};
+
+struct Verdicts {
+  ContainmentResult cold;  // Fresh Solver (no cache anywhere).
+  ContainmentResult miss;  // Session, first submission.
+  ContainmentResult hit;   // Session, repeat submission (cache hit).
+};
+
+class DifferentialHarness : public ::testing::Test {
+ protected:
+  static std::vector<XmlTree>* reference_trees_;
+
+  static void SetUpTestSuite() {
+    reference_trees_ = new std::vector<XmlTree>();
+    for (int n = 1; n <= kMaxReferenceNodes; ++n) {
+      for (XmlTree& t : EnumerateTrees(n, {"a", "b"})) {
+        reference_trees_->push_back(std::move(t));
+      }
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete reference_trees_;
+    reference_trees_ = nullptr;
+  }
+
+  // The reference evaluator's bounded verdict: the first tree violating
+  // ⟦α⟧ ⊆ ⟦β⟧, or -1 if none exists up to the bound.
+  static int FirstViolation(const PathPtr& alpha, const PathPtr& beta) {
+    for (size_t i = 0; i < reference_trees_->size(); ++i) {
+      Evaluator ev((*reference_trees_)[i]);
+      if (!ev.ContainedIn(alpha, beta)) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+std::vector<XmlTree>* DifferentialHarness::reference_trees_ = nullptr;
+
+TEST_F(DifferentialHarness, SolverAgreesWithBruteForceWithAndWithoutCache) {
+  const uint64_t base_seed = BaseSeed();
+  const int cases = NumCases();
+  std::printf("[differential] base seed 0x%llx, %d cases (override with "
+              "XPC_DIFF_SEED / XPC_DIFF_CASES)\n",
+              static_cast<unsigned long long>(base_seed), cases);
+
+  Session session;
+  Solver solver;
+  std::vector<std::pair<PathPtr, PathPtr>> all_pairs;
+  std::vector<ContainmentVerdict> all_verdicts;
+  int unknown = 0;
+
+  for (int i = 0; i < cases; ++i) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    ExprGen gen(seed);
+    PathPtr alpha = gen.GenPath(3);
+    PathPtr beta = gen.GenPath(3);
+    const std::string trace = "case " + std::to_string(i) + " seed " + std::to_string(seed) +
+                              ": " + ToString(alpha) + " ⊆? " + ToString(beta);
+    SCOPED_TRACE(trace);
+
+    Verdicts v;
+    v.cold = solver.Contains(alpha, beta);
+    v.miss = session.Contains(alpha, beta);
+    v.hit = session.Contains(alpha, beta);
+
+    // Cache on, cache off and warm cache must agree exactly.
+    ASSERT_EQ(v.miss.verdict, v.cold.verdict) << "session(miss) vs cold solver";
+    ASSERT_EQ(v.hit.verdict, v.cold.verdict) << "session(hit) vs cold solver";
+    ASSERT_EQ(v.hit.engine, v.miss.engine);
+    ASSERT_FALSE(v.cold.engine.empty());
+
+    all_pairs.emplace_back(alpha, beta);
+    all_verdicts.push_back(v.cold.verdict);
+
+    switch (v.cold.verdict) {
+      case ContainmentVerdict::kContained: {
+        int violation = FirstViolation(alpha, beta);
+        ASSERT_EQ(violation, -1)
+            << "solver claims containment but the reference evaluator found "
+            << "counterexample " << TreeToText((*reference_trees_)[violation]);
+        break;
+      }
+      case ContainmentVerdict::kNotContained: {
+        // The dispatched engines always attach a counterexample here, and
+        // it must be a genuine one.
+        ASSERT_TRUE(v.cold.counterexample.has_value());
+        Evaluator ev(*v.cold.counterexample);
+        ASSERT_FALSE(ev.ContainedIn(alpha, beta))
+            << "claimed counterexample is not one: " << TreeToText(*v.cold.counterexample);
+        ASSERT_TRUE(v.miss.counterexample.has_value());
+        Evaluator ev2(*v.miss.counterexample);
+        ASSERT_FALSE(ev2.ContainedIn(alpha, beta));
+        break;
+      }
+      case ContainmentVerdict::kUnknown:
+        // Resource limits (possible on unlucky ∩ nestings): nothing to
+        // check semantically, but cache agreement above still applies.
+        ++unknown;
+        break;
+    }
+  }
+
+  // The whole workload again through the batch API of a FRESH session, so
+  // the thread pool genuinely re-solves (no warm cache): verdicts must
+  // match the sequential ones, query by query.
+  Session batch_session;
+  std::vector<ContainmentResult> batch = batch_session.ContainsBatch(all_pairs);
+  ASSERT_EQ(batch.size(), all_pairs.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].verdict, all_verdicts[i])
+        << "batch disagrees on case " << i << " (seed "
+        << base_seed + static_cast<uint64_t>(i) << "): " << ToString(all_pairs[i].first)
+        << " ⊆? " << ToString(all_pairs[i].second);
+  }
+
+  // The complete engines decide this fragment; unknowns should be rare.
+  EXPECT_LE(unknown, cases / 10)
+      << "too many resource-limited verdicts — generator or limits regressed";
+
+  SessionStats stats = session.stats();
+  std::printf("[differential] %d cases, %d unknown; %s", cases, unknown,
+              stats.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace xpc

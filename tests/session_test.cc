@@ -1,0 +1,322 @@
+#include "xpc/core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/interner.h"
+#include "xpc/xpath/parser.h"
+
+namespace xpc {
+namespace {
+
+PathPtr P(const std::string& s) {
+  auto r = ParsePath(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+NodePtr N(const std::string& s) {
+  auto r = ParseNode(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+Edtd BookEdtd() {
+  return Edtd::Parse(R"(
+    Book := Chapter+
+    Chapter := Section+
+    Section := (Section | Paragraph | Image)+
+    Paragraph := epsilon
+    Image := epsilon
+  )").value();
+}
+
+// --- Interner ----------------------------------------------------------
+
+TEST(Interner, StructurallyEqualExpressionsInternToOneNode) {
+  ExprInterner interner;
+  // Two independent parses of the same text share no pointers...
+  PathPtr a = P("down*[Image and not(<down[Section]>)]/up");
+  PathPtr b = P("down*[Image and not(<down[Section]>)]/up");
+  ASSERT_NE(a.get(), b.get());
+  // ...but intern to the same canonical node with the same fingerprint.
+  EXPECT_EQ(interner.Intern(a).get(), interner.Intern(b).get());
+  EXPECT_EQ(interner.Fingerprint(a), interner.Fingerprint(b));
+  EXPECT_NE(interner.Fingerprint(a), 0u);
+
+  // Different structures stay distinct.
+  PathPtr c = P("down*[Image]/up");
+  EXPECT_NE(interner.Intern(a).get(), interner.Intern(c).get());
+  EXPECT_NE(interner.Fingerprint(a), interner.Fingerprint(c));
+}
+
+TEST(Interner, SharedSubtermsInternOnce) {
+  ExprInterner interner;
+  // down[a] occurs in both; the interner must count it once.
+  interner.Intern(P("down[a]/down[a]"));
+  size_t paths_after_first = interner.num_paths();
+  // Interning the same expression again adds nothing.
+  interner.Intern(P("down[a]/down[a]"));
+  EXPECT_EQ(interner.num_paths(), paths_after_first);
+  // A superexpression of an interned expression reuses its canonical parts.
+  size_t before = interner.num_paths();
+  interner.Intern(P("down[a]/down[a]/down[a]"));
+  EXPECT_GT(interner.num_paths(), before);
+}
+
+TEST(Interner, NodeExpressions) {
+  ExprInterner interner;
+  NodePtr a = N("a and <down[b]>");
+  NodePtr b = N("a and <down[b]>");
+  ASSERT_NE(a.get(), b.get());
+  EXPECT_EQ(interner.Intern(a).get(), interner.Intern(b).get());
+  EXPECT_EQ(interner.Fingerprint(a), interner.Fingerprint(b));
+  EXPECT_NE(interner.Fingerprint(N("a and <down[b]>")), interner.Fingerprint(N("a or <down[b]>")));
+}
+
+TEST(Interner, CanonicalNodesPointAtCanonicalChildren) {
+  ExprInterner interner;
+  PathPtr shared = interner.Intern(P("down[a]"));
+  PathPtr seq = interner.Intern(P("down[a]/up"));
+  ASSERT_EQ(seq->kind, PathKind::kSeq);
+  EXPECT_EQ(seq->left.get(), shared.get());
+}
+
+// --- Verdict caches ----------------------------------------------------
+
+TEST(Session, ContainmentCacheHitsOnRepeatAndOnEqualStructure) {
+  Session session;
+  ContainmentResult r1 = session.Contains(P("down"), P("down*"));
+  EXPECT_EQ(r1.verdict, ContainmentVerdict::kContained);
+  // Same pointers, then fresh structurally-equal parses: both must hit.
+  ContainmentResult r2 = session.Contains(P("down"), P("down*"));
+  EXPECT_EQ(r2.verdict, r1.verdict);
+  EXPECT_EQ(r2.engine, r1.engine);
+  SessionStats s = session.stats();
+  EXPECT_EQ(s.containment.misses, 1);
+  EXPECT_EQ(s.containment.hits, 1);
+  EXPECT_EQ(s.engines.size(), 1u);  // Only the miss ran an engine.
+}
+
+TEST(Session, ContainmentOrderMatters) {
+  Session session;
+  EXPECT_EQ(session.Contains(P("down"), P("down*")).verdict, ContainmentVerdict::kContained);
+  EXPECT_EQ(session.Contains(P("down*"), P("down")).verdict, ContainmentVerdict::kNotContained);
+  SessionStats s = session.stats();
+  EXPECT_EQ(s.containment.misses, 2);  // (α,β) and (β,α) are distinct keys.
+}
+
+TEST(Session, SatCacheSharedWithPathSatisfiability) {
+  Session session;
+  EXPECT_EQ(session.NodeSatisfiable(N("<down[a and not(a)]>")).status, SolveStatus::kUnsat);
+  // PathSatisfiable goes through the Prop. 4 reduction α ⇝ ⟨α⟩ and must hit
+  // the node-satisfiability entry.
+  EXPECT_EQ(session.PathSatisfiable(P("down[a and not(a)]")).status, SolveStatus::kUnsat);
+  SessionStats s = session.stats();
+  EXPECT_EQ(s.sat.misses, 1);
+  EXPECT_EQ(s.sat.hits, 1);
+}
+
+TEST(Session, LruEvictionIsBoundedAndCounted) {
+  SessionOptions options;
+  options.verdict_cache_capacity = 2;
+  Session session(options);
+  session.Contains(P("down"), P("down*"));    // Entry 1.
+  session.Contains(P("up"), P("up*"));        // Entry 2.
+  session.Contains(P("right"), P("right*"));  // Evicts entry 1.
+  SessionStats s = session.stats();
+  EXPECT_EQ(s.containment.evictions, 1);
+  // The evicted entry misses again; the still-resident one hits.
+  session.Contains(P("down"), P("down*"));
+  session.Contains(P("right"), P("right*"));
+  s = session.stats();
+  EXPECT_EQ(s.containment.misses, 4);
+  EXPECT_EQ(s.containment.hits, 1);
+}
+
+// --- Invalidation ------------------------------------------------------
+
+TEST(Session, OptionChangeInvalidatesVerdicts) {
+  Session session;
+  session.Contains(P("down"), P("down*"));
+  // Re-setting identical options must NOT clear anything.
+  session.SetSolverOptions(session.solver_options());
+  session.Contains(P("down"), P("down*"));
+  SessionStats s = session.stats();
+  EXPECT_EQ(s.containment.hits, 1);
+  EXPECT_EQ(s.invalidations, 0);
+
+  SolverOptions changed = session.solver_options();
+  changed.prefer_downward_engine = !changed.prefer_downward_engine;
+  session.SetSolverOptions(changed);
+  session.Contains(P("down"), P("down*"));
+  s = session.stats();
+  EXPECT_EQ(s.invalidations, 1);
+  EXPECT_EQ(s.containment.misses, 2);  // Cold again after the change.
+}
+
+TEST(Session, EdtdChangeInvalidatesAndChangesVerdicts) {
+  Session session;
+  PathPtr alpha = P("down[Chapter]/down*[Image]");
+  PathPtr beta = P("down[Chapter]/down[Section]/down*[Image]");
+  // Unrestricted trees: not contained.
+  EXPECT_EQ(session.Contains(alpha, beta).verdict, ContainmentVerdict::kNotContained);
+  // Under the book schema the same query IS contained — the stale verdict
+  // must not survive the schema change.
+  session.SetEdtd(BookEdtd());
+  EXPECT_EQ(session.Contains(alpha, beta).verdict, ContainmentVerdict::kContained);
+  // Re-setting the same schema keeps the cache warm.
+  session.SetEdtd(BookEdtd());
+  EXPECT_EQ(session.Contains(alpha, beta).verdict, ContainmentVerdict::kContained);
+  SessionStats s = session.stats();
+  EXPECT_EQ(s.invalidations, 1);
+  EXPECT_EQ(s.containment.hits, 1);
+  // Dropping the schema invalidates again.
+  session.ClearEdtd();
+  EXPECT_EQ(session.Contains(alpha, beta).verdict, ContainmentVerdict::kNotContained);
+  EXPECT_EQ(session.stats().invalidations, 2);
+}
+
+// --- Batch API ---------------------------------------------------------
+
+TEST(Session, BatchMatchesSequentialAndDeduplicates) {
+  std::vector<std::pair<PathPtr, PathPtr>> queries;
+  const char* pairs[][2] = {
+      {"down", "down*"},
+      {"down*", "down"},
+      {"down[a and b]", "down[a]"},
+      {"down", "down*"},  // Duplicate of query 0.
+      {"right/left", "."},
+      {".", "right/left"},
+      {"down[a or b]", "down[a]"},
+      {"down", "down*"},  // Duplicate again.
+      {"up/down", "up/down | ."},
+      {"(down/down)*", "down*"},
+  };
+  for (auto& pr : pairs) queries.emplace_back(P(pr[0]), P(pr[1]));
+
+  SessionOptions options;
+  options.batch_threads = 4;
+  Session batch_session(options);
+  std::vector<ContainmentResult> batch = batch_session.ContainsBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+
+  Session seq_session;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ContainmentResult expected = seq_session.Contains(queries[i].first, queries[i].second);
+    EXPECT_EQ(batch[i].verdict, expected.verdict) << "query " << i;
+    EXPECT_FALSE(batch[i].engine.empty()) << "query " << i;
+  }
+
+  SessionStats s = batch_session.stats();
+  EXPECT_EQ(s.batch_queries, 10);
+  EXPECT_EQ(s.batch_deduped, 2);       // The two repeats of query 0.
+  EXPECT_EQ(s.containment.misses, 8);  // Eight distinct pairs solved once.
+
+  // A second identical batch is answered entirely from cache.
+  std::vector<ContainmentResult> again = batch_session.ContainsBatch(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(again[i].verdict, batch[i].verdict) << "query " << i;
+  }
+  s = batch_session.stats();
+  EXPECT_EQ(s.containment.misses, 8);  // No new engine runs.
+  EXPECT_EQ(s.containment.hits, 8);
+}
+
+TEST(Session, SingleThreadedBatchWorks) {
+  SessionOptions options;
+  options.batch_threads = 1;
+  Session session(options);
+  std::vector<std::pair<PathPtr, PathPtr>> queries = {
+      {P("down"), P("down*")},
+      {P("down*"), P("down")},
+  };
+  std::vector<ContainmentResult> r = session.ContainsBatch(queries);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].verdict, ContainmentVerdict::kContained);
+  EXPECT_EQ(r[1].verdict, ContainmentVerdict::kNotContained);
+}
+
+// --- Artifact caches ---------------------------------------------------
+
+TEST(Session, PathAutomatonCompiledOncePerStructure) {
+  Session session;
+  PathAutoPtr a = session.CompiledPathAutomaton(P("down*[a]/up"));
+  ASSERT_NE(a, nullptr);
+  PathAutoPtr b = session.CompiledPathAutomaton(P("down*[a]/up"));
+  EXPECT_EQ(a.get(), b.get());  // Same compiled artifact, not a recompile.
+  SessionStats s = session.stats();
+  EXPECT_EQ(s.automata.misses, 1);
+  EXPECT_EQ(s.automata.hits, 1);
+  // Unsupported operators (∩) yield nullptr — also cached.
+  EXPECT_EQ(session.CompiledPathAutomaton(P("down & down/down")), nullptr);
+  EXPECT_EQ(session.CompiledPathAutomaton(P("down & down/down")), nullptr);
+  s = session.stats();
+  EXPECT_EQ(s.automata.misses, 2);
+  EXPECT_EQ(s.automata.hits, 2);
+}
+
+TEST(Session, ContentModelDfaMemoized) {
+  Session session;
+  EXPECT_EQ(session.ContentModelDfa("Book"), nullptr);  // No EDTD yet.
+  Edtd book = BookEdtd();
+  session.SetEdtd(book);
+  auto dfa = session.ContentModelDfa("Book");
+  ASSERT_NE(dfa, nullptr);
+  // Book := Chapter+ over the abstract alphabet in definition order.
+  int chapter = book.TypeIndex("Chapter");
+  int image = book.TypeIndex("Image");
+  EXPECT_TRUE(dfa->Accepts({chapter}));
+  EXPECT_TRUE(dfa->Accepts({chapter, chapter}));
+  EXPECT_FALSE(dfa->Accepts({}));
+  EXPECT_FALSE(dfa->Accepts({image}));
+  EXPECT_EQ(session.ContentModelDfa("Book").get(), dfa.get());
+  EXPECT_EQ(session.ContentModelDfa("NoSuchType"), nullptr);
+  SessionStats s = session.stats();
+  EXPECT_EQ(s.dfa.misses, 1);
+  EXPECT_EQ(s.dfa.hits, 1);
+}
+
+// --- Misc --------------------------------------------------------------
+
+TEST(Session, EquivalentUsesTwoCacheEntries) {
+  Session session;
+  EXPECT_EQ(session.Equivalent(P("down | down/down"), P("down/down | down")).verdict,
+            ContainmentVerdict::kContained);
+  // The reverse direction was cached by the first call.
+  EXPECT_EQ(session.Equivalent(P("down/down | down"), P("down | down/down")).verdict,
+            ContainmentVerdict::kContained);
+  SessionStats s = session.stats();
+  EXPECT_EQ(s.containment.misses, 2);
+  EXPECT_EQ(s.containment.hits, 2);
+}
+
+TEST(Session, StatsToStringMentionsEveryBlock) {
+  Session session;
+  session.Contains(P("down"), P("down*"));
+  std::string text = session.stats().ToString();
+  EXPECT_NE(text.find("containment"), std::string::npos);
+  EXPECT_NE(text.find("hit rate"), std::string::npos);
+  EXPECT_NE(text.find("engine time"), std::string::npos);
+}
+
+TEST(LruCacheUnit, BasicSemantics) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  ASSERT_NE(cache.Get(1), nullptr);  // Bump 1; 2 becomes LRU.
+  cache.Put(3, 30);                  // Evicts 2.
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.evictions(), 1);
+  cache.Put(1, 11);  // Overwrite does not evict.
+  EXPECT_EQ(*cache.Get(1), 11);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+}  // namespace
+}  // namespace xpc

@@ -1,5 +1,7 @@
 #include "xpc/core/solver.h"
 
+#include <tuple>
+
 #include <gtest/gtest.h>
 
 #include "xpc/eval/evaluator.h"
@@ -65,6 +67,8 @@ TEST_P(SolverContainment, Decides) {
   EXPECT_EQ(r.verdict, c.expected)
       << c.alpha << " vs " << c.beta << " engine=" << r.engine
       << (r.counterexample ? " cx=" + TreeToText(*r.counterexample) : "");
+  // Every dispatch path must stamp the deciding engine.
+  EXPECT_FALSE(r.engine.empty()) << c.alpha << " vs " << c.beta;
   if (r.verdict == ContainmentVerdict::kNotContained) {
     ASSERT_TRUE(r.counterexample.has_value());
     Evaluator ev(*r.counterexample);
@@ -187,6 +191,59 @@ TEST(Solver, SatisfiabilityDispatch) {
   // unsatisfiable, but the bounded engine cannot prove that.
   SatResult r4 = solver.NodeSatisfiable(N("<for $i in down return .[is $i]>"));
   EXPECT_EQ(r4.status, SolveStatus::kResourceLimit);
+}
+
+// ContainmentResult::engine / SatResult::engine must be stamped on every
+// dispatch path: all engines, EDTD and non-EDTD, both verdict directions,
+// equivalence queries and the nonelementary fall-backs.
+TEST(Solver, EngineAlwaysStamped) {
+  Solver solver;
+  Edtd book = Edtd::Parse(R"(
+    Book := Chapter+
+    Chapter := Section+
+    Section := (Section | Paragraph | Image)+
+    Paragraph := epsilon
+    Image := epsilon
+  )").value();
+
+  // The bool gates the EDTD-relativized run: queries with upward axes go
+  // through the Prop. 6 witness-tree encoding, whose output formula is
+  // megabytes even for the Book DTD — loop-sat on it far exceeds test
+  // budgets, so those pairs exercise the unrelativized path only.
+  const std::tuple<const char*, const char*, bool> pairs[] = {
+      {"down", "down*", true},                  // downward engine, contained
+      {"down*", "down", true},                  // downward engine, counterexample
+      {"down[eq(down, .)]", "down", true},      // loop-sat (≈)
+      {"up/down", "up/down | .", false},        // loop-sat (upward axes)
+      {"down & down/down", "down", true},       // ∩ product pipeline / downward
+      {"up* & down*", ".", false},              // non-downward ∩
+      {"down+ - down", "down", true},           // bounded search (−)
+      {"for $i in down return down[is $i]", "down*", true},  // bounded search (for)
+  };
+  for (const auto& [a, b, with_edtd] : pairs) {
+    ContainmentResult r = solver.Contains(P(a), P(b));
+    EXPECT_FALSE(r.engine.empty()) << a << " vs " << b;
+    if (with_edtd) {
+      ContainmentResult re = solver.Contains(P(a), P(b), book);
+      EXPECT_FALSE(re.engine.empty()) << a << " vs " << b << " (edtd)";
+    }
+  }
+  EXPECT_FALSE(solver.Equivalent(P("down*"), P(". | down/down*")).engine.empty());
+  EXPECT_FALSE(solver.Equivalent(P("down*"), P("down+")).engine.empty());
+
+  const std::tuple<const char*, bool> formulas[] = {
+      {"<down & down/down>", true},                  // downward-sat
+      {"eq(up/down, .)", false},                     // loop-sat (up axis: see above)
+      {"<for $i in down return down[is $i]>", true}, // bounded-sat
+      {"<down - down[a]>", true},                    // bounded-sat (−)
+  };
+  for (const auto& [f, with_edtd] : formulas) {
+    EXPECT_FALSE(solver.NodeSatisfiable(N(f)).engine.empty()) << f;
+    if (with_edtd) {
+      EXPECT_FALSE(solver.NodeSatisfiable(N(f), book).engine.empty()) << f << " (edtd)";
+    }
+  }
+  EXPECT_FALSE(solver.PathSatisfiable(P("down[a and not(a)]")).engine.empty());
 }
 
 TEST(Solver, PathSatisfiability) {
