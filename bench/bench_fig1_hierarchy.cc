@@ -10,6 +10,8 @@
 //                        the LOOPS evaluator = the CoreXPath(*, ≈) level)
 //   CoreXPath         ⟶ CoreXPath_NFA(*, loop)  (Section 3.1)
 
+#include "bench_registry.h"
+
 #include <cstdio>
 
 #include "xpc/eval/evaluator.h"
@@ -65,7 +67,7 @@ int CheckNodeVsLoop(const char* name, const NodePtr& phi, const LExprPtr& transl
 
 }  // namespace
 
-int main() {
+static int RunBench() {
   std::printf("== Figure 1: hierarchy edges as verified translations ==\n\n");
   int total = 0, expected_total = 0;
 
@@ -115,3 +117,5 @@ int main() {
               total, expected_total);
   return total == expected_total ? 0 : 1;
 }
+
+XPC_BENCH("fig1_hierarchy", RunBench);

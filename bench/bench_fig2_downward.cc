@@ -5,6 +5,8 @@
 // engine's behaviour on satisfiable / unsatisfiable families, with and
 // without the book EDTD.
 
+#include "bench_registry.h"
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -27,7 +29,7 @@ int64_t MsSince(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-int main() {
+static int RunBench() {
   std::printf("== Figure 2: the CoreXPath_v(cap) EXPSPACE procedure ==\n\n");
 
   // ⋂_i ↓*[l_i]/↓*: the paper's own example shape (inst of
@@ -83,3 +85,5 @@ int main() {
   }
   return 0;
 }
+
+XPC_BENCH("fig2_downward", RunBench);

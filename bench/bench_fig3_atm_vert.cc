@@ -6,6 +6,8 @@
 // even |w| = 1 instances are far beyond direct search; the *downward*
 // sibling of this reduction is solved end-to-end in bench_fig5_atm_down).
 
+#include "bench_registry.h"
+
 #include <cstdio>
 
 #include "xpc/lowerbounds/atm.h"
@@ -15,7 +17,7 @@
 
 using namespace xpc;
 
-int main() {
+static int RunBench() {
   std::printf("== Figure 3: phi_{M,w} for CoreXPath_{v,^}(cap) ==\n\n");
   struct Machine {
     const char* name;
@@ -48,3 +50,5 @@ int main() {
       "requires.\n");
   return 0;
 }
+
+XPC_BENCH("fig3_atm_vert", RunBench);

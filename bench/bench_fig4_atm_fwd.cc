@@ -2,6 +2,8 @@
 // encoding (Theorem 28): configurations as horizontal rows, with direction
 // markers m_{L,q} / m_{R,q} standing in for the missing leftward axis.
 
+#include "bench_registry.h"
+
 #include <cstdio>
 
 #include "xpc/lowerbounds/atm.h"
@@ -12,7 +14,7 @@
 
 using namespace xpc;
 
-int main() {
+static int RunBench() {
   std::printf("== Figure 4: phi'_{M,w} for CoreXPath_{v,>}(cap) ==\n\n");
   Atm m = AtmGuessAndVerify();
 
@@ -41,3 +43,5 @@ int main() {
       "whose semantics φ'_mark only needs the rightward successor relation.\n");
   return 0;
 }
+
+XPC_BENCH("fig4_atm_fwd", RunBench);

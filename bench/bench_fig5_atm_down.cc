@@ -12,6 +12,8 @@
 //  (c) an actual satisfiability run on the smallest instance through
 //      Lemma 25 + the downward engine.
 
+#include "bench_registry.h"
+
 #include <chrono>
 #include <cstdio>
 
@@ -24,7 +26,7 @@
 
 using namespace xpc;
 
-int main() {
+static int RunBench() {
   setvbuf(stdout, nullptr, _IONBF, 0);
   std::printf("== Figure 5: phi''_{M,w} for CoreXPath_v(cap) ==\n\n");
   Atm m = AtmEvenOnes();
@@ -94,3 +96,5 @@ int main() {
   }
   return 0;
 }
+
+XPC_BENCH("fig5_atm_down", RunBench);

@@ -1,0 +1,170 @@
+// bench_main — unified benchmark runner with machine-readable output.
+//
+// Runs any subset of the registered paper benches in one process and writes
+// a Google-Benchmark-style JSON report (BENCH.json) with, per bench, the
+// wall/CPU time and every non-zero solver telemetry metric (peak automaton
+// states/transitions, determinization blowup, explored states, per-phase
+// timers — see src/xpc/common/stats.h). CI's perf-regression gate compares
+// this report against the committed bench/baseline.json.
+//
+// Usage:
+//   bench_main [--list] [--filter=name1,name2|substr] [--out=FILE]
+//
+//   --list          print the registered bench names and exit
+//   --filter=...    comma-separated names; each entry selects benches whose
+//                   name equals or contains it (default: all)
+//   --out=FILE      where to write the JSON report (default: BENCH.json)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_registry.h"
+#include "xpc/common/stats.h"
+
+namespace {
+
+struct RunRecord {
+  std::string name;
+  double real_ms = 0;
+  double cpu_ms = 0;
+  int exit_code = 0;
+  xpc::StatsSnapshot stats;
+};
+
+bool Selected(const std::string& name, const std::vector<std::string>& filters) {
+  if (filters.empty()) return true;
+  for (const std::string& f : filters) {
+    if (name == f || name.find(f) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// Google-Benchmark-style report: {"context": {...}, "benchmarks": [...]}.
+std::string ToJson(const std::vector<RunRecord>& records) {
+  std::ostringstream out;
+  std::time_t now = std::time(nullptr);
+  char date[64];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", std::gmtime(&now));
+
+  out << "{\n  \"context\": {\n";
+  out << "    \"date\": \"" << date << "\",\n";
+  out << "    \"executable\": \"bench_main\",\n";
+  out << "    \"xpc_stats_enabled\": " << (XPC_STATS_ENABLED ? "true" : "false") << "\n";
+  out << "  },\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    out << "    {\n";
+    out << "      \"name\": \"" << r.name << "\",\n";
+    out << "      \"run_name\": \"" << r.name << "\",\n";
+    out << "      \"run_type\": \"iteration\",\n";
+    out << "      \"iterations\": 1,\n";
+    out << "      \"real_time\": " << r.real_ms << ",\n";
+    out << "      \"cpu_time\": " << r.cpu_ms << ",\n";
+    out << "      \"time_unit\": \"ms\",\n";
+    if (r.exit_code != 0) {
+      out << "      \"error_occurred\": true,\n";
+      out << "      \"error_message\": \"bench exited with code " << r.exit_code << "\",\n";
+    }
+    out << "      \"counters\": {";
+    bool first = true;
+    for (int m = 0; m < xpc::kNumMetrics; ++m) {
+      if (r.stats.values[m] == 0 && r.stats.calls[m] == 0) continue;
+      const xpc::MetricInfo& info = xpc::MetricInfoOf(static_cast<xpc::Metric>(m));
+      if (info.kind == xpc::MetricKind::kTimer) {
+        out << (first ? "\n" : ",\n") << "        \"" << info.name
+            << ".micros\": " << r.stats.values[m];
+        out << ",\n        \"" << info.name << ".calls\": " << r.stats.calls[m];
+      } else {
+        out << (first ? "\n" : ",\n") << "        \"" << info.name
+            << "\": " << r.stats.values[m];
+      }
+      first = false;
+    }
+    out << (first ? "" : "\n      ") << "}\n";
+    out << "    }" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> filters;
+  std::string out_file = "BENCH.json";
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list") {
+      list_only = true;
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      std::stringstream ss(arg.substr(std::strlen("--filter=")));
+      std::string part;
+      while (std::getline(ss, part, ',')) {
+        if (!part.empty()) filters.push_back(part);
+      }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_file = arg.substr(std::strlen("--out="));
+    } else {
+      std::fprintf(stderr, "usage: bench_main [--list] [--filter=a,b] [--out=FILE]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<xpcbench::BenchInfo>& benches = xpcbench::Benches();
+  if (list_only) {
+    for (const xpcbench::BenchInfo& b : benches) std::printf("%s\n", b.name);
+    return 0;
+  }
+
+  std::vector<RunRecord> records;
+  int failures = 0;
+  for (const xpcbench::BenchInfo& b : benches) {
+    if (!Selected(b.name, filters)) continue;
+    std::printf("==== bench: %s ====\n", b.name);
+    std::fflush(stdout);
+
+    RunRecord rec;
+    rec.name = b.name;
+    xpc::Stats collector;
+    auto wall0 = std::chrono::steady_clock::now();
+    std::clock_t cpu0 = std::clock();
+    {
+      xpc::ScopedStatsSink sink(&collector);
+      rec.exit_code = b.fn();
+    }
+    rec.cpu_ms = 1000.0 * (std::clock() - cpu0) / CLOCKS_PER_SEC;
+    rec.real_ms = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - wall0)
+                      .count() /
+                  1000.0;
+    rec.stats = collector.Snapshot();
+    if (rec.exit_code != 0) ++failures;
+    records.push_back(std::move(rec));
+    std::printf("==== %s: %.1f ms (exit %d) ====\n\n", b.name, records.back().real_ms,
+                records.back().exit_code);
+    std::fflush(stdout);
+  }
+
+  if (records.empty()) {
+    std::fprintf(stderr, "bench_main: no benches matched the filter\n");
+    return 2;
+  }
+
+  std::ofstream out(out_file);
+  if (!out) {
+    std::fprintf(stderr, "bench_main: cannot write %s\n", out_file.c_str());
+    return 1;
+  }
+  out << ToJson(records);
+  std::printf("wrote %s (%zu benches, %d failures)\n", out_file.c_str(), records.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -5,6 +5,8 @@
 // sweeps: containment queries answered through the reduction to node
 // unsatisfiability agree with direct per-tree evaluation on random trees.
 
+#include "bench_registry.h"
+
 #include <chrono>
 #include <cstdio>
 
@@ -18,7 +20,7 @@
 
 using namespace xpc;
 
-int main() {
+static int RunBench() {
   std::printf("== Propositions 4-6: reduction sizes and round trips ==\n\n");
 
   std::printf("-- Prop. 4: containment -> node-unsat blowup (polynomial) --\n");
@@ -89,3 +91,5 @@ int main() {
               consistent, checked);
   return consistent == checked ? 0 : 1;
 }
+
+XPC_BENCH("props_reductions", RunBench);

@@ -1,0 +1,23 @@
+#include "bench_registry.h"
+
+namespace xpcbench {
+
+namespace {
+
+// Function-local static: safe to use from the bench TUs' static
+// initializers regardless of link order.
+std::vector<BenchInfo>& Registry() {
+  static std::vector<BenchInfo> benches;
+  return benches;
+}
+
+}  // namespace
+
+int RegisterBench(const char* name, BenchFn fn) {
+  Registry().push_back({name, fn});
+  return static_cast<int>(Registry().size()) - 1;
+}
+
+const std::vector<BenchInfo>& Benches() { return Registry(); }
+
+}  // namespace xpcbench

@@ -1,0 +1,38 @@
+#ifndef XPC_BENCH_REGISTRY_H_
+#define XPC_BENCH_REGISTRY_H_
+
+#include <vector>
+
+// Registration glue between the per-experiment bench translation units and
+// the unified runner (`bench_main`). Every bench body is a plain
+// `static int RunBench()` returning a process-style exit code (0 = ok); the
+// trailing `XPC_BENCH("name", RunBench);` line either registers it with the
+// runner, or — when the TU is compiled standalone with
+// -DXPC_BENCH_STANDALONE — expands to the historical `main()`.
+
+namespace xpcbench {
+
+using BenchFn = int (*)();
+
+struct BenchInfo {
+  const char* name;
+  BenchFn fn;
+};
+
+/// Registers a bench (called from static initializers); returns its index.
+int RegisterBench(const char* name, BenchFn fn);
+
+/// All registered benches, in registration order.
+const std::vector<BenchInfo>& Benches();
+
+}  // namespace xpcbench
+
+#ifdef XPC_BENCH_STANDALONE
+#define XPC_BENCH(name, fn) \
+  int main() { return fn(); }
+#else
+#define XPC_BENCH(name, fn) \
+  static const int xpc_bench_registration = ::xpcbench::RegisterBench(name, fn)
+#endif
+
+#endif  // XPC_BENCH_REGISTRY_H_

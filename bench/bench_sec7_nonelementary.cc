@@ -10,6 +10,8 @@
 //       satisfiability (sound spot checks in the undecidable-in-practice
 //       territory).
 
+#include "bench_registry.h"
+
 #include <cstdio>
 #include <string>
 
@@ -20,7 +22,7 @@
 
 using namespace xpc;
 
-int main() {
+static int RunBench() {
   std::printf("== Section 7: the nonelementary frontier ==\n\n");
 
   std::printf("-- (a) DFA sizes along complement towers --\n");
@@ -76,3 +78,5 @@ int main() {
       "so the same tower drives the CoreXPath(for) row of Table I.\n");
   return 0;
 }
+
+XPC_BENCH("sec7_nonelementary", RunBench);

@@ -9,6 +9,8 @@
 //       intersection depth.
 //   (c) Lemma 18: let-elimination stays polynomial in the DAG size.
 
+#include "bench_registry.h"
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -22,7 +24,7 @@
 
 using namespace xpc;
 
-int main() {
+static int RunBench() {
   std::printf("== Section 8: succinctness measurements ==\n\n");
 
   std::printf("-- (a) Theorem 35: phi_k sizes vs automaton lower bounds --\n");
@@ -76,3 +78,5 @@ int main() {
   }
   return 0;
 }
+
+XPC_BENCH("sec8_succinctness", RunBench);

@@ -14,6 +14,8 @@
 // Acceptance targets (checked and printed): warm pass ≥ 5× faster than the
 // cold Solver, with a containment-cache hit rate ≥ 90% on that pass.
 
+#include "bench_registry.h"
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -81,7 +83,7 @@ std::vector<std::pair<PathPtr, PathPtr>> BuildWorkload() {
 
 }  // namespace
 
-int main() {
+static int RunBench() {
   std::printf("== Session cache: repeated containment workload ==\n\n");
   std::vector<std::pair<PathPtr, PathPtr>> queries = BuildWorkload();
   std::printf("workload: %zu distinct containment queries\n\n", queries.size());
@@ -148,3 +150,5 @@ int main() {
               verdicts_agree ? "yes" : "NO", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }
+
+XPC_BENCH("session_cache", RunBench);

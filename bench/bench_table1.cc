@@ -12,6 +12,8 @@
 //     solver falls back to bounded search and answers kUnknown on the
 //     unsatisfiable side.
 
+#include "bench_registry.h"
+
 #include <chrono>
 #include <cstdio>
 
@@ -44,7 +46,7 @@ void Run(Solver& solver, const char* row, const char* variant, int n, const Node
 
 }  // namespace
 
-int main() {
+static int RunBench() {
   std::printf("== Table I: measured complexity landscape ==\n\n");
   Solver solver;
 
@@ -97,3 +99,5 @@ int main() {
       "no elementary decision procedure exists (Theorems 30, 31).\n");
   return 0;
 }
+
+XPC_BENCH("table1", RunBench);

@@ -5,6 +5,8 @@
 // times membership checks (the acceptance parity game) against the
 // reference evaluator on the same trees.
 
+#include "bench_registry.h"
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -19,7 +21,7 @@
 
 using namespace xpc;
 
-int main() {
+static int RunBench() {
   std::printf("== Table III: 2ATA construction sizes and membership ==\n\n");
   std::printf("%-10s %-10s %-12s %-12s\n", "|phi|", "|cl(phi')|", "loop-states",
               "parity-1");
@@ -68,3 +70,5 @@ int main() {
   }
   return 0;
 }
+
+XPC_BENCH("table3_ata", RunBench);

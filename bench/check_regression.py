@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the unified bench runner.
+
+Compares a fresh BENCH.json (written by bench_main) against the committed
+bench/baseline.json and fails if any tracked metric regressed by more than
+the threshold (default 25%).
+
+Tracked metrics, per bench present in the baseline:
+  * real_time                 — wall clock; compared with an absolute noise
+                                floor (--min-time-ms) so micro-benches do
+                                not flap on scheduler jitter.
+  * every baseline counter    — solver telemetry (peak automaton states /
+                                transitions, explored states, cache
+                                counters...). Counters named *.micros are
+                                time-like and get the same noise floor
+                                (in microseconds); all other counters are
+                                deterministic and compared exactly against
+                                the threshold.
+
+A bench listed in the baseline but missing from the current run is a hard
+failure (a silently dropped bench must not pass the gate).
+
+Refreshing the baseline: run
+    ./build/bench/bench_main --filter=<tracked benches> --out=bench/baseline.json
+and commit the result (CI offers this via the `refresh-baseline` PR label,
+which uploads a fresh baseline as a workflow artifact instead of gating).
+
+Usage:
+    check_regression.py BASELINE CURRENT [--threshold 0.25] [--min-time-ms 50]
+    check_regression.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def compare(baseline, current, threshold, min_time_ms):
+    """Returns a list of human-readable regression descriptions."""
+    problems = []
+    for name, base in baseline.items():
+        cur = current.get(name)
+        if cur is None:
+            problems.append(f"{name}: missing from current run")
+            continue
+        if cur.get("error_occurred"):
+            problems.append(f"{name}: bench failed: {cur.get('error_message', '?')}")
+            continue
+
+        checks = [("real_time", base.get("real_time"), cur.get("real_time"), min_time_ms)]
+        for metric, base_val in base.get("counters", {}).items():
+            floor = min_time_ms * 1000.0 if metric.endswith(".micros") else 0.0
+            checks.append((metric, base_val, cur.get("counters", {}).get(metric), floor))
+
+        for metric, base_val, cur_val, floor in checks:
+            if base_val is None:
+                continue
+            if cur_val is None:
+                problems.append(f"{name}: {metric}: missing from current run")
+                continue
+            if cur_val <= base_val * (1.0 + threshold):
+                continue
+            if cur_val - base_val <= floor:
+                continue  # Within the absolute noise floor.
+            pct = 100.0 * (cur_val - base_val) / base_val if base_val else float("inf")
+            problems.append(
+                f"{name}: {metric}: {base_val:g} -> {cur_val:g} (+{pct:.1f}% > "
+                f"{threshold * 100:.0f}%)"
+            )
+    return problems
+
+
+def self_test():
+    """The gate must pass on identical data and fail on a 2x slowdown."""
+    base = {
+        "bench_a": {
+            "name": "bench_a",
+            "real_time": 1000.0,
+            "counters": {"sat.loop_items": 500, "sat.loop.micros": 800000},
+        }
+    }
+    same = json.loads(json.dumps(base))
+    assert compare(base, same, 0.25, 50) == [], "identical run must pass"
+
+    slow = json.loads(json.dumps(base))
+    slow["bench_a"]["real_time"] = 2000.0
+    problems = compare(base, slow, 0.25, 50)
+    assert any("real_time" in p for p in problems), "2x wall-time slowdown must fail"
+
+    blowup = json.loads(json.dumps(base))
+    blowup["bench_a"]["counters"]["sat.loop_items"] = 1000
+    problems = compare(base, blowup, 0.25, 50)
+    assert any("sat.loop_items" in p for p in problems), "2x counter blowup must fail"
+
+    missing = {"bench_a": {"name": "bench_a", "real_time": 1.0, "counters": {}},
+               "bench_b": {"name": "bench_b", "real_time": 1.0, "counters": {}}}
+    problems = compare(missing, same, 0.25, 50)
+    assert any("bench_b" in p for p in problems), "dropped bench must fail"
+
+    jitter = json.loads(json.dumps(base))
+    jitter["bench_a"]["real_time"] = 1040.0  # +4%: under threshold.
+    assert compare(base, jitter, 0.25, 50) == [], "small jitter must pass"
+
+    print("self-test: all gate behaviours ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative regression (default 0.25 = 25%%)")
+    parser.add_argument("--min-time-ms", type=float, default=50.0,
+                        help="absolute wall-time noise floor in ms (default 50)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate logic itself and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("BASELINE and CURRENT are required (or use --self-test)")
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    problems = compare(baseline, current, args.threshold, args.min_time_ms)
+    if problems:
+        print(f"perf-regression gate: {len(problems)} tracked metric(s) regressed "
+              f"beyond {args.threshold * 100:.0f}%:")
+        for p in problems:
+            print(f"  FAIL {p}")
+        return 1
+    print(f"perf-regression gate: ok ({len(baseline)} benches, "
+          f"threshold {args.threshold * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,20 @@
 // xpc_cli — command-line front end for the solver.
 //
 // Usage:
-//   xpc_cli sat      '<node-expr>'  [edtd-file]
-//   xpc_cli psat     '<path-expr>'  [edtd-file]
-//   xpc_cli contains '<alpha>' '<beta>' [edtd-file]
-//   xpc_cli equiv    '<alpha>' '<beta>' [edtd-file]
+//   xpc_cli [--stats-json] sat      '<node-expr>'  [edtd-file]
+//   xpc_cli [--stats-json] psat     '<path-expr>'  [edtd-file]
+//   xpc_cli [--stats-json] contains '<alpha>' '<beta>' [edtd-file]
+//   xpc_cli [--stats-json] equiv    '<alpha>' '<beta>' [edtd-file]
 //   xpc_cli eval     '<path-expr>' '<tree>'
 //   xpc_cli fragment '<path-expr>'
-//   xpc_cli batch    <queries-file> [--edtd file] [--repeat N]
+//   xpc_cli [--stats-json] batch <queries-file> [--edtd file] [--repeat N]
+//
+// `--stats-json` (anywhere on the command line) makes stdout exactly one
+// JSON object with the query verdict plus the full solver telemetry:
+// per-phase wall-clock timers, peak automaton state/transition counts,
+// determinization blowup, and session cache hit/miss/eviction counters.
+// The human-readable report moves to stderr, so `xpc_cli --stats-json ... |
+// jq .` just works.
 //
 // `batch` decides one containment query per line of the queries file
 // (format: `alpha ;; beta`; blank lines and `#` comments are skipped)
@@ -35,13 +42,17 @@
 
 namespace {
 
+// Human-readable report stream: stdout normally, stderr under --stats-json
+// (which reserves stdout for the single JSON document).
+FILE* g_human = stdout;
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: xpc_cli sat|psat '<expr>' [edtd-file]\n"
-               "       xpc_cli contains|equiv '<alpha>' '<beta>' [edtd-file]\n"
+               "usage: xpc_cli [--stats-json] sat|psat '<expr>' [edtd-file]\n"
+               "       xpc_cli [--stats-json] contains|equiv '<alpha>' '<beta>' [edtd-file]\n"
                "       xpc_cli eval '<path>' '<tree>'\n"
                "       xpc_cli fragment '<path>'\n"
-               "       xpc_cli batch <queries-file> [--edtd file] [--repeat N]\n");
+               "       xpc_cli [--stats-json] batch <queries-file> [--edtd file] [--repeat N]\n");
   return 2;
 }
 
@@ -62,21 +73,44 @@ std::optional<xpc::Edtd> LoadEdtd(const char* file) {
 }
 
 void PrintSat(const xpc::SatResult& r) {
-  std::printf("%s   (engine: %s, states: %lld)\n", xpc::SolveStatusName(r.status),
+  std::fprintf(g_human, "%s   (engine: %s, states: %lld)\n", xpc::SolveStatusName(r.status),
               r.engine.c_str(), static_cast<long long>(r.explored_states));
-  if (r.witness) std::printf("witness: %s\n", xpc::TreeToText(*r.witness).c_str());
+  if (r.witness) std::fprintf(g_human, "witness: %s\n", xpc::TreeToText(*r.witness).c_str());
+}
+
+// One JSON object per invocation: verdict + the session's unified telemetry
+// (per-phase timers, peak automaton sizes, cache counters).
+void PrintStatsJson(const char* command, const char* verdict, const char* engine,
+                    const xpc::Session& session) {
+  std::printf("{\n  \"command\": \"%s\",\n  \"verdict\": \"%s\",\n  \"engine\": \"%s\",\n  \"stats\": %s\n}\n",
+              command, verdict, engine, session.telemetry().ToJson(2).c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the global --stats-json flag wherever it appears.
+  bool stats_json = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--stats-json") {
+      stats_json = true;
+      g_human = stderr;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 3) return Usage();
   const std::string cmd = argv[1];
-  xpc::Solver solver;
+  xpc::Session session;
 
   if (cmd == "sat" || cmd == "psat") {
     std::optional<xpc::Edtd> edtd;
     if (argc >= 4 && !(edtd = LoadEdtd(argv[3]))) return 1;
+    if (edtd) session.SetEdtd(*edtd);
     xpc::SatResult r;
     if (cmd == "sat") {
       auto phi = xpc::ParseNode(argv[2]);
@@ -84,18 +118,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: %s\n", phi.error().c_str());
         return 1;
       }
-      r = edtd ? solver.NodeSatisfiable(phi.value(), *edtd)
-               : solver.NodeSatisfiable(phi.value());
+      r = session.NodeSatisfiable(phi.value());
     } else {
       auto alpha = xpc::ParsePath(argv[2]);
       if (!alpha.ok()) {
         std::fprintf(stderr, "error: %s\n", alpha.error().c_str());
         return 1;
       }
-      r = edtd ? solver.PathSatisfiable(alpha.value(), *edtd)
-               : solver.PathSatisfiable(alpha.value());
+      r = session.PathSatisfiable(alpha.value());
     }
     PrintSat(r);
+    if (stats_json) {
+      PrintStatsJson(cmd.c_str(), xpc::SolveStatusName(r.status), r.engine.c_str(), session);
+    }
     return r.status == xpc::SolveStatus::kResourceLimit ? 3 : 0;
   }
 
@@ -110,17 +145,21 @@ int main(int argc, char** argv) {
     }
     std::optional<xpc::Edtd> edtd;
     if (argc >= 5 && !(edtd = LoadEdtd(argv[4]))) return 1;
+    if (edtd) session.SetEdtd(*edtd);
     xpc::ContainmentResult r;
     if (cmd == "contains") {
-      r = edtd ? solver.Contains(alpha.value(), beta.value(), *edtd)
-               : solver.Contains(alpha.value(), beta.value());
+      r = session.Contains(alpha.value(), beta.value());
     } else {
-      r = solver.Equivalent(alpha.value(), beta.value());
+      r = session.Equivalent(alpha.value(), beta.value());
     }
-    std::printf("%s   (engine: %s)\n", xpc::ContainmentVerdictName(r.verdict),
+    std::fprintf(g_human, "%s   (engine: %s)\n", xpc::ContainmentVerdictName(r.verdict),
                 r.engine.c_str());
     if (r.counterexample) {
-      std::printf("counterexample: %s\n", xpc::TreeToText(*r.counterexample).c_str());
+      std::fprintf(g_human, "counterexample: %s\n", xpc::TreeToText(*r.counterexample).c_str());
+    }
+    if (stats_json) {
+      PrintStatsJson(cmd.c_str(), xpc::ContainmentVerdictName(r.verdict), r.engine.c_str(),
+                     session);
     }
     return r.verdict == xpc::ContainmentVerdict::kUnknown ? 3 : 0;
   }
@@ -183,7 +222,6 @@ int main(int argc, char** argv) {
       queries.emplace_back(alpha.value(), beta.value());
     }
 
-    xpc::Session session;
     if (edtd_file != nullptr) {
       auto edtd = LoadEdtd(edtd_file);
       if (!edtd) return 1;
@@ -198,17 +236,20 @@ int main(int argc, char** argv) {
                         .count();
       if (pass == 0) {
         for (size_t i = 0; i < results.size(); ++i) {
-          std::printf("%-14s (engine: %s) %s ;; %s\n",
+          std::fprintf(g_human, "%-14s (engine: %s) %s ;; %s\n",
                       xpc::ContainmentVerdictName(results[i].verdict),
                       results[i].engine.c_str(), xpc::ToString(queries[i].first).c_str(),
                       xpc::ToString(queries[i].second).c_str());
           if (results[i].verdict == xpc::ContainmentVerdict::kUnknown) unknown = true;
         }
       }
-      std::printf("pass %d: %zu queries in %.3f ms\n", pass + 1, queries.size(),
+      std::fprintf(g_human, "pass %d: %zu queries in %.3f ms\n", pass + 1, queries.size(),
                   micros / 1000.0);
     }
-    std::printf("%s", session.stats().ToString().c_str());
+    std::fprintf(g_human, "%s", session.stats().ToString().c_str());
+    if (stats_json) {
+      PrintStatsJson("batch", unknown ? "unknown" : "decided", "session", session);
+    }
     return unknown ? 3 : 0;
   }
 

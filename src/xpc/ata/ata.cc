@@ -2,11 +2,13 @@
 
 #include <cassert>
 
+#include "xpc/common/stats.h"
 #include "xpc/pathauto/normal_form.h"
 
 namespace xpc {
 
 Ata::Ata(const LExprPtr& phi) {
+  StatsTimer timer(Metric::kAtaBuild);
   LExprPtr target = SomewhereInTree(phi);
   automata_ = CollectAutomata(target);
 
@@ -40,6 +42,8 @@ Ata::Ata(const LExprPtr& phi) {
   // automaton, which CollectAutomata orders last.
   const PathAutoPtr& wrapper = automata_.back();
   initial_ = LoopStateOf(wrapper.get(), wrapper->q_init, wrapper->q_final, false);
+  StatsAdd(Metric::kAtaStates, num_states());
+  StatsGaugeMax(Metric::kAtaPeakStates, num_states());
 }
 
 void Ata::InternFormula(const LExprPtr& e) {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "xpc/common/stats.h"
+
 namespace xpc {
 
 namespace {
@@ -177,6 +179,10 @@ class GameSolver {
 }  // namespace
 
 std::vector<std::vector<bool>> AtaWinningPositions(const Ata& ata, const XmlTree& tree) {
+  StatsTimer timer(Metric::kAtaMembership);
+  int64_t positions = static_cast<int64_t>(ata.num_states()) * tree.size();
+  StatsAdd(Metric::kAtaGamePositions, positions);
+  StatsGaugeMax(Metric::kAtaPeakGamePositions, positions);
   GameSolver solver(ata, tree);
   return solver.Solve();
 }

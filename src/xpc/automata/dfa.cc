@@ -4,9 +4,12 @@
 #include <map>
 #include <queue>
 
+#include "xpc/common/stats.h"
+
 namespace xpc {
 
 Dfa Dfa::Determinize(const Nfa& nfa) {
+  StatsTimer timer(Metric::kAutomataDeterminize);
   const int k = nfa.alphabet_size();
   std::map<Bits, int> ids;
   std::vector<Bits> sets;
@@ -52,6 +55,18 @@ Dfa Dfa::Determinize(const Nfa& nfa) {
     dfa.set_accepting(s, accepting[s]);
     for (int a = 0; a < k; ++a) dfa.set_next(s, a, next[s][a]);
   }
+  StatsAdd(Metric::kAutomataNfaStatesIn, nfa.num_states());
+  StatsAdd(Metric::kAutomataDfaStatesOut, dfa.num_states());
+  StatsGaugeMax(Metric::kAutomataPeakNfaStates, nfa.num_states());
+  StatsGaugeMax(Metric::kAutomataPeakDfaStates, dfa.num_states());
+  StatsGaugeMax(Metric::kAutomataPeakDfaTransitions,
+                static_cast<int64_t>(dfa.num_states()) * k);
+  if (nfa.num_states() > 0) {
+    // The subset-construction blowup |DFA|/|NFA| — the quantity the paper's
+    // exponential upper bounds are about — kept as max(100 * ratio).
+    StatsGaugeMax(Metric::kAutomataPeakBlowupPct,
+                  100 * static_cast<int64_t>(dfa.num_states()) / nfa.num_states());
+  }
   return dfa;
 }
 
@@ -95,6 +110,8 @@ Dfa Dfa::IntersectWith(const Dfa& other) const { return Product(*this, other, tr
 Dfa Dfa::UnionWith(const Dfa& other) const { return Product(*this, other, false); }
 
 Dfa Dfa::Minimize() const {
+  StatsTimer timer(Metric::kAutomataMinimize);
+  StatsAdd(Metric::kAutomataMinimizeStatesIn, num_states());
   const int k = alphabet_size_;
   // 1. Restrict to reachable states.
   std::vector<int> reach_id(num_states(), -1);
@@ -149,6 +166,7 @@ Dfa Dfa::Minimize() const {
       out.set_next(p, a, part[reach_id[next_[order[i]][a]]]);
     }
   }
+  StatsAdd(Metric::kAutomataMinimizeStatesOut, out.num_states());
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <deque>
 
+#include "xpc/common/stats.h"
+
 namespace xpc {
 
 Nfa Nfa::EpsilonOnly(int alphabet_size) {
@@ -29,6 +31,7 @@ void Nfa::AddTransition(int from, int symbol, int to) {
 }
 
 Bits Nfa::EpsilonClosure(const Bits& states) const {
+  StatsAdd(Metric::kAutomataEpsilonClosureCalls);
   Bits closed = states;
   bool changed = true;
   while (changed) {

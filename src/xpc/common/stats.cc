@@ -1,0 +1,150 @@
+#include "xpc/common/stats.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace xpc {
+
+namespace {
+
+constexpr MetricInfo kMetricInfos[kNumMetrics] = {
+#define XPC_METRIC_INFO(id, name, kind) {name, MetricKind::kind},
+    XPC_METRIC_LIST(XPC_METRIC_INFO)
+#undef XPC_METRIC_INFO
+};
+
+thread_local Stats* tls_current = nullptr;
+std::atomic<bool> g_enabled{true};
+
+}  // namespace
+
+const MetricInfo& MetricInfoOf(Metric m) { return kMetricInfos[static_cast<int>(m)]; }
+
+bool MetricFromName(const std::string& name, Metric* out) {
+  static const std::unordered_map<std::string, Metric>* index = [] {
+    auto* map = new std::unordered_map<std::string, Metric>();
+    for (int i = 0; i < kNumMetrics; ++i) {
+      map->emplace(kMetricInfos[i].name, static_cast<Metric>(i));
+    }
+    return map;
+  }();
+  auto it = index->find(name);
+  if (it == index->end()) return false;
+  *out = it->second;
+  return true;
+}
+
+bool StatsSnapshot::Empty() const {
+  for (int i = 0; i < kNumMetrics; ++i) {
+    if (values[i] != 0 || calls[i] != 0) return false;
+  }
+  return true;
+}
+
+void StatsSnapshot::MergeFrom(const StatsSnapshot& other) {
+  for (int i = 0; i < kNumMetrics; ++i) {
+    if (kMetricInfos[i].kind == MetricKind::kGauge) {
+      if (other.values[i] > values[i]) values[i] = other.values[i];
+    } else {
+      values[i] += other.values[i];
+      calls[i] += other.calls[i];
+    }
+  }
+}
+
+std::string StatsSnapshot::ToJson(int indent) const {
+  // Hand-rolled writer: names are static identifiers (no escaping needed)
+  // and values are integers/doubles, so a dependency-free emitter is safe.
+  std::ostringstream out;
+  std::string pad(indent, ' ');
+  std::string pad2(indent + 2, ' ');
+  std::string pad4(indent + 4, ' ');
+  const char* nl = indent >= 0 ? "\n" : "";
+
+  auto section = [&](const char* title, MetricKind kind, bool timers) {
+    out << pad2 << '"' << title << "\": {" << nl;
+    bool first = true;
+    for (int i = 0; i < kNumMetrics; ++i) {
+      if (kMetricInfos[i].kind != kind) continue;
+      if (!first) out << "," << nl;
+      first = false;
+      out << pad4 << '"' << kMetricInfos[i].name << "\": ";
+      if (timers) {
+        out << "{\"calls\": " << calls[i] << ", \"micros\": " << values[i] << "}";
+      } else {
+        out << values[i];
+      }
+    }
+    out << nl << pad2 << "}";
+  };
+
+  out << "{" << nl;  // No pad: the caller positions the opening brace.
+  section("counters", MetricKind::kCounter, false);
+  out << "," << nl;
+  section("gauges", MetricKind::kGauge, false);
+  out << "," << nl;
+  section("timers", MetricKind::kTimer, true);
+  out << "," << nl;
+  out << pad2 << "\"derived\": {\"determinization_blowup\": " << DeterminizationBlowup()
+      << "}" << nl;
+  out << pad << "}";
+  return out.str();
+}
+
+std::string StatsSnapshot::ToString() const {
+  std::ostringstream out;
+  out << "stats:\n";
+  for (int i = 0; i < kNumMetrics; ++i) {
+    if (values[i] == 0 && calls[i] == 0) continue;
+    out << "  " << kMetricInfos[i].name << ": ";
+    if (kMetricInfos[i].kind == MetricKind::kTimer) {
+      out << calls[i] << " calls, " << values[i] / 1000.0 << " ms";
+    } else {
+      out << values[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void Stats::Merge(const StatsSnapshot& s) {
+  for (int i = 0; i < kNumMetrics; ++i) {
+    if (kMetricInfos[i].kind == MetricKind::kGauge) {
+      GaugeMax(static_cast<Metric>(i), s.values[i]);
+    } else {
+      if (s.values[i] != 0) values_[i].fetch_add(s.values[i], std::memory_order_relaxed);
+      if (s.calls[i] != 0) calls_[i].fetch_add(s.calls[i], std::memory_order_relaxed);
+    }
+  }
+}
+
+StatsSnapshot Stats::Snapshot() const {
+  StatsSnapshot s;
+  for (int i = 0; i < kNumMetrics; ++i) {
+    s.values[i] = values_[i].load(std::memory_order_relaxed);
+    s.calls[i] = calls_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Stats::Reset() {
+  for (int i = 0; i < kNumMetrics; ++i) {
+    values_[i].store(0, std::memory_order_relaxed);
+    calls_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+Stats* Stats::Current() { return tls_current; }
+void Stats::SetCurrent(Stats* stats) { tls_current = stats; }
+
+bool Stats::Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void Stats::SetEnabled(bool enabled) { g_enabled.store(enabled, std::memory_order_relaxed); }
+
+ScopedStatsSink::~ScopedStatsSink() {
+  Stats::SetCurrent(previous_);
+  if (previous_ != nullptr && installed_ != nullptr && previous_ != installed_) {
+    previous_->Merge(installed_->Snapshot());
+  }
+}
+
+}  // namespace xpc

@@ -1,0 +1,268 @@
+#ifndef XPC_COMMON_STATS_H_
+#define XPC_COMMON_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+/// Compile-out switch. Configure with `cmake -DXPC_STATS=OFF` to turn every
+/// instrumentation hook below into a no-op with zero runtime cost; the
+/// telemetry API itself stays available (snapshots are simply all-zero), so
+/// callers never need their own #ifdefs.
+#ifndef XPC_STATS_ENABLED
+#define XPC_STATS_ENABLED 1
+#endif
+
+namespace xpc {
+
+/// The metric registry: every counter, gauge, and timer the solver pipelines
+/// report, with a stable dotted name for JSON export.
+///
+///   counters  accumulate (merge = sum): work performed.
+///   gauges    track a high-water mark (merge = max): peak sizes — the
+///             automaton blowup the paper's upper-bound proofs bound.
+///   timers    accumulate wall-clock microseconds plus a call count
+///             (merge = sum): where the time goes, per phase.
+#define XPC_METRIC_LIST(X)                                                    \
+  /* automata: subset construction / minimization (Prop. 6 machinery) */      \
+  X(kAutomataDeterminize, "automata.determinize", kTimer)                     \
+  X(kAutomataMinimize, "automata.minimize", kTimer)                           \
+  X(kAutomataEpsilonClosureCalls, "automata.epsilon_closure_calls", kCounter) \
+  X(kAutomataNfaStatesIn, "automata.nfa_states_in", kCounter)                 \
+  X(kAutomataDfaStatesOut, "automata.dfa_states_out", kCounter)               \
+  X(kAutomataPeakNfaStates, "automata.peak_nfa_states", kGauge)               \
+  X(kAutomataPeakDfaStates, "automata.peak_dfa_states", kGauge)               \
+  X(kAutomataPeakDfaTransitions, "automata.peak_dfa_transitions", kGauge)     \
+  X(kAutomataPeakBlowupPct, "automata.peak_blowup_pct", kGauge)               \
+  X(kAutomataMinimizeStatesIn, "automata.minimize_states_in", kCounter)       \
+  X(kAutomataMinimizeStatesOut, "automata.minimize_states_out", kCounter)     \
+  /* ata: 2ATA construction and membership games (Section 3.3) */             \
+  X(kAtaBuild, "ata.build", kTimer)                                           \
+  X(kAtaMembership, "ata.membership", kTimer)                                 \
+  X(kAtaStates, "ata.states", kCounter)                                       \
+  X(kAtaPeakStates, "ata.peak_states", kGauge)                                \
+  X(kAtaGamePositions, "ata.game_positions", kCounter)                        \
+  X(kAtaPeakGamePositions, "ata.peak_game_positions", kGauge)                 \
+  /* sat engines (Table I rows) */                                            \
+  X(kSatLoop, "sat.loop", kTimer)                                             \
+  X(kSatDownward, "sat.downward", kTimer)                                     \
+  X(kSatBounded, "sat.bounded", kTimer)                                       \
+  X(kSatLoopItems, "sat.loop_items", kCounter)                                \
+  X(kSatDownwardSummaries, "sat.downward_summaries", kCounter)                \
+  X(kSatBoundedTrees, "sat.bounded_trees", kCounter)                          \
+  X(kSatPeakExploredStates, "sat.peak_explored_states", kGauge)               \
+  /* translations */                                                          \
+  X(kTranslateLoopNormalForm, "translate.loop_normal_form", kTimer)           \
+  X(kTranslateIntersectProduct, "translate.intersect_product", kTimer)        \
+  X(kTranslateStarfree, "translate.starfree", kTimer)                         \
+  X(kTranslateForElim, "translate.for_elim", kTimer)                          \
+  X(kTranslateLetElim, "translate.let_elim", kTimer)                          \
+  X(kTranslateEdtdEncode, "translate.edtd_encode", kTimer)                    \
+  /* solver facade */                                                         \
+  X(kSolverSolve, "solver.solve", kTimer)                                     \
+  X(kSolverVerifyWitness, "solver.verify_witness", kTimer)                    \
+  /* session caches (unified view of SessionStats) */                         \
+  X(kSessionContainmentHits, "session.containment.hits", kCounter)            \
+  X(kSessionContainmentMisses, "session.containment.misses", kCounter)        \
+  X(kSessionContainmentEvictions, "session.containment.evictions", kCounter)  \
+  X(kSessionSatHits, "session.sat.hits", kCounter)                            \
+  X(kSessionSatMisses, "session.sat.misses", kCounter)                        \
+  X(kSessionSatEvictions, "session.sat.evictions", kCounter)                  \
+  X(kSessionAutomataHits, "session.automata.hits", kCounter)                  \
+  X(kSessionAutomataMisses, "session.automata.misses", kCounter)              \
+  X(kSessionAutomataEvictions, "session.automata.evictions", kCounter)        \
+  X(kSessionDfaHits, "session.dfa.hits", kCounter)                            \
+  X(kSessionDfaMisses, "session.dfa.misses", kCounter)                        \
+  X(kSessionDfaEvictions, "session.dfa.evictions", kCounter)                  \
+  X(kSessionBatchQueries, "session.batch.queries", kCounter)                  \
+  X(kSessionBatchDeduped, "session.batch.deduped", kCounter)                  \
+  X(kSessionInvalidations, "session.invalidations", kCounter)
+
+enum class Metric : int {
+#define XPC_METRIC_ENUM(id, name, kind) id,
+  XPC_METRIC_LIST(XPC_METRIC_ENUM)
+#undef XPC_METRIC_ENUM
+      kNumMetrics,
+};
+
+inline constexpr int kNumMetrics = static_cast<int>(Metric::kNumMetrics);
+
+enum class MetricKind { kCounter, kGauge, kTimer };
+
+struct MetricInfo {
+  const char* name;
+  MetricKind kind;
+};
+
+/// Static name/kind of a metric.
+const MetricInfo& MetricInfoOf(Metric m);
+
+/// Metric id for a dotted name; returns false if unknown.
+bool MetricFromName(const std::string& name, Metric* out);
+
+/// A plain-value copy of a `Stats` collector at one point in time. Attached
+/// to every `SatResult` / `ContainmentResult`, so each answer carries the
+/// full cost profile of producing it. Trivially copyable; cheap to cache.
+struct StatsSnapshot {
+  std::array<int64_t, kNumMetrics> values{};  ///< Counters/gauges: value. Timers: micros.
+  std::array<int64_t, kNumMetrics> calls{};   ///< Timers: completed scopes. Others: 0.
+
+  int64_t value(Metric m) const { return values[static_cast<int>(m)]; }
+  int64_t timer_calls(Metric m) const { return calls[static_cast<int>(m)]; }
+
+  /// True when nothing was recorded (e.g. stats compiled out or disabled).
+  bool Empty() const;
+
+  /// Peak determinization blowup |DFA| / |NFA| over all subset
+  /// constructions seen (0 when none ran).
+  double DeterminizationBlowup() const {
+    return value(Metric::kAutomataPeakBlowupPct) / 100.0;
+  }
+
+  /// Folds `other` in: counters and timers add, gauges take the max.
+  void MergeFrom(const StatsSnapshot& other);
+
+  /// Compact JSON object: {"counters":{...},"gauges":{...},
+  /// "timers":{name:{"calls":c,"micros":us},...},"derived":{...}}.
+  /// Every registered metric is present, so consumers can rely on keys.
+  std::string ToJson(int indent = 0) const;
+
+  /// Human-readable multi-line dump of the non-zero metrics.
+  std::string ToString() const;
+};
+
+/// A thread-safe telemetry collector: a fixed array of relaxed atomics, one
+/// slot per registered metric. Concurrent `Add`/`GaugeMax`/`AddTimer` calls
+/// from any number of threads are safe and nearly free (one relaxed RMW).
+///
+/// Engine code does not hold a `Stats*`; it reports through the free
+/// `StatsAdd` / `StatsGaugeMax` / `StatsTimer` hooks below, which route to
+/// the calling thread's current sink (`Stats::Current()`, installed with
+/// `ScopedStatsSink`). With no sink installed the hooks are no-ops, so the
+/// instrumentation never forces a collector on anyone.
+class Stats {
+ public:
+  Stats() { Reset(); }
+
+  void Add(Metric m, int64_t delta = 1) {
+    values_[static_cast<int>(m)].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  void GaugeMax(Metric m, int64_t value) {
+    std::atomic<int64_t>& slot = values_[static_cast<int>(m)];
+    int64_t seen = slot.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  void AddTimer(Metric m, int64_t micros) {
+    values_[static_cast<int>(m)].fetch_add(micros, std::memory_order_relaxed);
+    calls_[static_cast<int>(m)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Folds a snapshot in (counters/timers add, gauges max).
+  void Merge(const StatsSnapshot& s);
+
+  StatsSnapshot Snapshot() const;
+  void Reset();
+
+  /// The calling thread's current sink (nullptr when none installed).
+  static Stats* Current();
+
+  /// Runtime kill switch, on by default. When off, the hooks no-op even
+  /// with a sink installed — used by the differential tests to check that
+  /// telemetry never changes a verdict.
+  static bool Enabled();
+  static void SetEnabled(bool enabled);
+
+ private:
+  friend class ScopedStatsSink;
+  static void SetCurrent(Stats* stats);
+
+  std::array<std::atomic<int64_t>, kNumMetrics> values_;
+  std::array<std::atomic<int64_t>, kNumMetrics> calls_;
+};
+
+/// RAII: installs a sink as the calling thread's `Stats::Current()`. On
+/// destruction the previous sink is restored and — so that an outer
+/// collector still observes everything recorded under a nested one — the
+/// nested deltas are folded into it.
+class ScopedStatsSink {
+ public:
+  explicit ScopedStatsSink(Stats* stats) : installed_(stats), previous_(Stats::Current()) {
+    Stats::SetCurrent(stats);
+  }
+  ~ScopedStatsSink();
+
+  ScopedStatsSink(const ScopedStatsSink&) = delete;
+  ScopedStatsSink& operator=(const ScopedStatsSink&) = delete;
+
+ private:
+  Stats* installed_;
+  Stats* previous_;
+};
+
+// --- Instrumentation hooks (the only API engine code uses) ---------------
+
+inline void StatsAdd(Metric m, int64_t delta = 1) {
+#if XPC_STATS_ENABLED
+  if (Stats* s = Stats::Current(); s != nullptr && Stats::Enabled()) s->Add(m, delta);
+#else
+  (void)m;
+  (void)delta;
+#endif
+}
+
+inline void StatsGaugeMax(Metric m, int64_t value) {
+#if XPC_STATS_ENABLED
+  if (Stats* s = Stats::Current(); s != nullptr && Stats::Enabled()) s->GaugeMax(m, value);
+#else
+  (void)m;
+  (void)value;
+#endif
+}
+
+/// Scoped wall-clock timer: records elapsed microseconds (and one call)
+/// against `m` when the scope exits. Reads the clock only when a sink is
+/// installed and stats are enabled.
+class StatsTimer {
+ public:
+  explicit StatsTimer(Metric m) : metric_(m) {
+#if XPC_STATS_ENABLED
+    sink_ = Stats::Current();
+    if (sink_ != nullptr && Stats::Enabled()) {
+      start_ = std::chrono::steady_clock::now();
+    } else {
+      sink_ = nullptr;
+    }
+#endif
+  }
+
+  ~StatsTimer() {
+#if XPC_STATS_ENABLED
+    if (sink_ != nullptr) {
+      int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+      sink_->AddTimer(metric_, micros);
+    }
+#endif
+  }
+
+  StatsTimer(const StatsTimer&) = delete;
+  StatsTimer& operator=(const StatsTimer&) = delete;
+
+ private:
+  Metric metric_;
+#if XPC_STATS_ENABLED
+  Stats* sink_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+}  // namespace xpc
+
+#endif  // XPC_COMMON_STATS_H_

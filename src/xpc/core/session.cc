@@ -150,6 +150,7 @@ void Session::SetSolverOptions(const SolverOptions& options) {
   containment_cache_.Clear();
   sat_cache_.Clear();
   ++stats_.invalidations;
+  telemetry_.Add(Metric::kSessionInvalidations);
 }
 
 void Session::SetEdtd(const Edtd& edtd) {
@@ -166,6 +167,7 @@ void Session::SetEdtd(const Edtd& edtd) {
   sat_cache_.Clear();
   dfa_cache_.Clear();
   ++stats_.invalidations;
+  telemetry_.Add(Metric::kSessionInvalidations);
 }
 
 void Session::ClearEdtd() {
@@ -177,6 +179,7 @@ void Session::ClearEdtd() {
   sat_cache_.Clear();
   dfa_cache_.Clear();
   ++stats_.invalidations;
+  telemetry_.Add(Metric::kSessionInvalidations);
 }
 
 void Session::RecordEngine(const std::string& engine, int64_t micros) {
@@ -193,9 +196,11 @@ SatResult Session::NodeSatisfiable(const NodePtr& phi) {
     canonical = interner_.Intern(phi);
     if (const SatResult* cached = sat_cache_.Get(canonical.get())) {
       ++stats_.sat.hits;
+      telemetry_.Add(Metric::kSessionSatHits);
       return *cached;
     }
     ++stats_.sat.misses;
+    telemetry_.Add(Metric::kSessionSatMisses);
     edtd = edtd_;
   }
   Solver solver(options_.solver);
@@ -205,6 +210,7 @@ SatResult Session::NodeSatisfiable(const NodePtr& phi) {
   int64_t micros = MicrosSince(t0);
   std::lock_guard<std::mutex> lock(mu_);
   RecordEngine(result.engine, micros);
+  telemetry_.Merge(result.stats);
   sat_cache_.Put(canonical.get(), result);
   return result;
 }
@@ -230,9 +236,11 @@ ContainmentResult Session::Contains(const PathPtr& alpha, const PathPtr& beta) {
     b = interner_.Intern(beta);
     if (const ContainmentResult* cached = containment_cache_.Get({a.get(), b.get()})) {
       ++stats_.containment.hits;
+      telemetry_.Add(Metric::kSessionContainmentHits);
       return *cached;
     }
     ++stats_.containment.misses;
+    telemetry_.Add(Metric::kSessionContainmentMisses);
     edtd = edtd_;
   }
   auto t0 = std::chrono::steady_clock::now();
@@ -240,6 +248,7 @@ ContainmentResult Session::Contains(const PathPtr& alpha, const PathPtr& beta) {
   int64_t micros = MicrosSince(t0);
   std::lock_guard<std::mutex> lock(mu_);
   RecordEngine(result.engine, micros);
+  telemetry_.Merge(result.stats);
   containment_cache_.Put({a.get(), b.get()}, result);
   return result;
 }
@@ -271,6 +280,7 @@ std::vector<ContainmentResult> Session::ContainsBatch(
     std::lock_guard<std::mutex> lock(mu_);
     edtd = edtd_;
     stats_.batch_queries += static_cast<int64_t>(queries.size());
+    telemetry_.Add(Metric::kSessionBatchQueries, static_cast<int64_t>(queries.size()));
     std::unordered_map<PairKey, size_t, PairKeyHash> job_index;
     for (size_t i = 0; i < queries.size(); ++i) {
       PathPtr a = interner_.Intern(queries[i].first);
@@ -280,11 +290,13 @@ std::vector<ContainmentResult> Session::ContainsBatch(
       if (it != job_index.end()) {
         // Shared subproblem within the batch: solved (or fetched) once.
         ++stats_.batch_deduped;
+        telemetry_.Add(Metric::kSessionBatchDeduped);
         jobs[it->second].positions.push_back(i);
         continue;
       }
       if (const ContainmentResult* cached = containment_cache_.Get(key)) {
         ++stats_.containment.hits;
+        telemetry_.Add(Metric::kSessionContainmentHits);
         results[i] = *cached;
         // Later duplicates of a cached pair copy from this position.
         job_index[key] = jobs.size();
@@ -292,6 +304,7 @@ std::vector<ContainmentResult> Session::ContainsBatch(
         continue;
       }
       ++stats_.containment.misses;
+      telemetry_.Add(Metric::kSessionContainmentMisses);
       job_index[key] = jobs.size();
       jobs.push_back(Job{key, std::move(a), std::move(b), {i}, {}, 0});
     }
@@ -330,6 +343,7 @@ std::vector<ContainmentResult> Session::ContainsBatch(
     for (size_t j : pending) {
       Job& job = jobs[j];
       RecordEngine(job.result.engine, job.micros);
+      telemetry_.Merge(job.result.stats);
       containment_cache_.Put(job.key, job.result);
     }
   }
@@ -347,9 +361,11 @@ PathAutoPtr Session::CompiledPathAutomaton(const PathPtr& alpha) {
     canonical = interner_.Intern(alpha);
     if (const PathAutoPtr* cached = automaton_cache_.Get(canonical.get())) {
       ++stats_.automata.hits;
+      telemetry_.Add(Metric::kSessionAutomataHits);
       return *cached;
     }
     ++stats_.automata.misses;
+    telemetry_.Add(Metric::kSessionAutomataMisses);
   }
   auto [ok, automaton] = PathToAutomaton(canonical);
   PathAutoPtr compiled =
@@ -370,9 +386,11 @@ std::shared_ptr<const Dfa> Session::ContentModelDfa(const std::string& abstract_
     if (type_index < 0) return nullptr;
     if (const std::shared_ptr<const Dfa>* cached = dfa_cache_.Get(type_index)) {
       ++stats_.dfa.hits;
+      telemetry_.Add(Metric::kSessionDfaHits);
       return *cached;
     }
     ++stats_.dfa.misses;
+    telemetry_.Add(Metric::kSessionDfaMisses);
     content = edtd_->types()[type_index].content;
     alphabet = edtd_->AbstractLabels();
   }
@@ -395,9 +413,23 @@ SessionStats Session::stats() const {
   return snapshot;
 }
 
+StatsSnapshot Session::telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot s = telemetry_.Snapshot();
+  // Evictions are accounted inside the LRU caches; patch the totals into
+  // the snapshot (nothing else writes these metrics).
+  s.values[static_cast<int>(Metric::kSessionContainmentEvictions)] =
+      containment_cache_.evictions();
+  s.values[static_cast<int>(Metric::kSessionSatEvictions)] = sat_cache_.evictions();
+  s.values[static_cast<int>(Metric::kSessionAutomataEvictions)] = automaton_cache_.evictions();
+  s.values[static_cast<int>(Metric::kSessionDfaEvictions)] = dfa_cache_.evictions();
+  return s;
+}
+
 void Session::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_ = SessionStats();
+  telemetry_.Reset();
 }
 
 void Session::ClearCaches() {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "xpc/automata/dfa.h"
+#include "xpc/common/stats.h"
 #include "xpc/core/solver.h"
 #include "xpc/edtd/edtd.h"
 #include "xpc/pathauto/lexpr.h"
@@ -197,6 +198,13 @@ class Session {
 
   /// Consistent snapshot of the counters.
   SessionStats stats() const;
+
+  /// Unified telemetry view: the session's cache counters (the same numbers
+  /// as `stats()`, on the `session.*` metrics) folded together with the
+  /// engine telemetry of every uncached solve this session performed
+  /// (per-phase timers, peak automaton sizes — see `StatsSnapshot`).
+  StatsSnapshot telemetry() const;
+
   void ResetStats();
   /// Drops all cached verdicts and artifacts (the interner is kept).
   void ClearCaches();
@@ -232,6 +240,9 @@ class Session {
   LruCache<const PathExpr*, PathAutoPtr> automaton_cache_;
   LruCache<int, std::shared_ptr<const Dfa>> dfa_cache_;
   SessionStats stats_;
+  /// The unified collector behind `telemetry()`: session cache counters
+  /// plus the merged `StatsSnapshot` of every uncached solve.
+  Stats telemetry_;
 };
 
 }  // namespace xpc

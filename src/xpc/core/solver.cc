@@ -25,6 +25,7 @@ namespace {
 // kResourceLimit on mismatch (should never happen — defense in depth).
 SatResult VerifySat(SatResult r, const NodePtr& phi, bool verify) {
   if (!verify || r.status != SolveStatus::kSat || !r.witness.has_value()) return r;
+  StatsTimer timer(Metric::kSolverVerifyWitness);
   Evaluator ev(*r.witness);
   if (!ev.SatisfiedSomewhere(phi)) {
     r.status = SolveStatus::kResourceLimit;
@@ -107,19 +108,26 @@ SatResult Solver::DispatchImpl(const NodePtr& phi, const Edtd* edtd) {
 }
 
 SatResult Solver::NodeSatisfiable(const NodePtr& phi) {
-  return VerifySat(Dispatch(phi, nullptr), phi, options_.verify_witnesses);
+  Stats collector;
+  SatResult r;
+  {
+    ScopedStatsSink sink(&collector);
+    StatsTimer timer(Metric::kSolverSolve);
+    r = VerifySat(Dispatch(phi, nullptr), phi, options_.verify_witnesses);
+  }
+  r.stats = collector.Snapshot();
+  return r;
 }
 
 SatResult Solver::NodeSatisfiable(const NodePtr& phi, const Edtd& edtd) {
-  SatResult r = Dispatch(phi, &edtd);
-  if (options_.verify_witnesses && r.status == SolveStatus::kSat && r.witness.has_value()) {
-    Evaluator ev(*r.witness);
-    if (!ev.SatisfiedSomewhere(phi)) {
-      r.status = SolveStatus::kResourceLimit;
-      r.engine += ":witness-verification-failed";
-      r.witness.reset();
-    }
+  Stats collector;
+  SatResult r;
+  {
+    ScopedStatsSink sink(&collector);
+    StatsTimer timer(Metric::kSolverSolve);
+    r = VerifySat(Dispatch(phi, &edtd), phi, options_.verify_witnesses);
   }
+  r.stats = collector.Snapshot();
   return r;
 }
 
@@ -150,6 +158,7 @@ ContainmentResult Solver::ToContainment(SatResult sat, const PathPtr& alpha,
   if (sat.witness.has_value()) {
     XmlTree counterexample = StripDecoration(*sat.witness, super_root);
     if (options_.verify_witnesses) {
+      StatsTimer timer(Metric::kSolverVerifyWitness);
       Evaluator ev(counterexample);
       Relation a = ev.EvalPath(alpha);
       a.SubtractWith(ev.EvalPath(beta));
@@ -165,20 +174,38 @@ ContainmentResult Solver::ToContainment(SatResult sat, const PathPtr& alpha,
 }
 
 ContainmentResult Solver::Contains(const PathPtr& alpha, const PathPtr& beta) {
-  NodePtr psi = ContainmentToUnsat(alpha, beta);
-  return ToContainment(Dispatch(psi, nullptr), alpha, beta, "");
+  Stats collector;
+  ContainmentResult r;
+  {
+    ScopedStatsSink sink(&collector);
+    StatsTimer timer(Metric::kSolverSolve);
+    NodePtr psi = ContainmentToUnsat(alpha, beta);
+    r = ToContainment(Dispatch(psi, nullptr), alpha, beta, "");
+  }
+  r.stats = collector.Snapshot();
+  return r;
 }
 
 ContainmentResult Solver::Contains(const PathPtr& alpha, const PathPtr& beta,
                                    const Edtd& edtd) {
-  auto [psi, decorated] = ContainmentToUnsatWithEdtd(alpha, beta, edtd);
-  return ToContainment(Dispatch(psi, &decorated), alpha, beta, decorated.root_type());
+  Stats collector;
+  ContainmentResult r;
+  {
+    ScopedStatsSink sink(&collector);
+    StatsTimer timer(Metric::kSolverSolve);
+    auto [psi, decorated] = ContainmentToUnsatWithEdtd(alpha, beta, edtd);
+    r = ToContainment(Dispatch(psi, &decorated), alpha, beta, decorated.root_type());
+  }
+  r.stats = collector.Snapshot();
+  return r;
 }
 
 ContainmentResult Solver::Equivalent(const PathPtr& alpha, const PathPtr& beta) {
   ContainmentResult forward = Contains(alpha, beta);
   if (forward.verdict != ContainmentVerdict::kContained) return forward;
-  return Contains(beta, alpha);
+  ContainmentResult backward = Contains(beta, alpha);
+  backward.stats.MergeFrom(forward.stats);
+  return backward;
 }
 
 }  // namespace xpc

@@ -32,6 +32,9 @@ struct ContainmentResult {
   std::optional<XmlTree> counterexample;
   std::string engine;
   int64_t explored_states = 0;
+  /// Full telemetry of producing this verdict (see SatResult::stats). For
+  /// `Equivalent` the two directions are folded together.
+  StatsSnapshot stats;
 };
 
 /// Facade configuration.

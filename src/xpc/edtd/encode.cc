@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "xpc/common/stats.h"
 #include "xpc/xpath/build.h"
 #include "xpc/xpath/transform.h"
 
@@ -77,6 +78,7 @@ std::string WitnessLabel(const std::string& abstract_label, int state) {
 }
 
 NodePtr EncodeEdtdSatisfiability(const NodePtr& phi, const Edtd& edtd) {
+  StatsTimer timer(Metric::kTranslateEdtdEncode);
   const int num_types = static_cast<int>(edtd.types().size());
 
   // ε-free content automata and global state numbering. Global state id of

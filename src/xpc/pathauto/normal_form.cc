@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "xpc/common/stats.h"
 #include "xpc/pathauto/path_automaton.h"
 
 namespace xpc {
@@ -84,6 +85,7 @@ std::pair<bool, PathAutomaton> PathToAutomaton(const PathPtr& path) {
 }
 
 LExprPtr ToLoopNormalForm(const NodePtr& node) {
+  StatsTimer timer(Metric::kTranslateLoopNormalForm);
   switch (node->kind) {
     case NodeKind::kLabel:
       return LLabel(node->label);

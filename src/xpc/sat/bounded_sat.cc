@@ -1,5 +1,6 @@
 #include "xpc/sat/bounded_sat.h"
 
+#include "xpc/common/stats.h"
 #include "xpc/eval/evaluator.h"
 #include "xpc/tree/tree_generator.h"
 #include "xpc/xpath/metrics.h"
@@ -7,12 +8,19 @@
 namespace xpc {
 
 SatResult BoundedSatisfiable(const NodePtr& phi, const BoundedSatOptions& options) {
+  StatsTimer timer(Metric::kSatBounded);
   SatResult result;
   result.engine = "bounded-sat";
 
   std::set<std::string> label_set = Labels(phi);
   std::vector<std::string> alphabet(label_set.begin(), label_set.end());
   alphabet.push_back(FreshLabel(label_set, "_other"));
+
+  auto finish = [&]() -> SatResult {
+    StatsAdd(Metric::kSatBoundedTrees, result.explored_states);
+    StatsGaugeMax(Metric::kSatPeakExploredStates, result.explored_states);
+    return std::move(result);
+  };
 
   auto check = [&](const XmlTree& tree) -> bool {
     ++result.explored_states;
@@ -26,7 +34,7 @@ SatResult BoundedSatisfiable(const NodePtr& phi, const BoundedSatOptions& option
       if (check(tree)) {
         result.status = SolveStatus::kSat;
         result.witness = tree;
-        return result;
+        return finish();
       }
     }
   }
@@ -42,13 +50,13 @@ SatResult BoundedSatisfiable(const NodePtr& phi, const BoundedSatOptions& option
       if (check(tree)) {
         result.status = SolveStatus::kSat;
         result.witness = std::move(tree);
-        return result;
+        return finish();
       }
     }
   }
 
   result.status = SolveStatus::kResourceLimit;
-  return result;
+  return finish();
 }
 
 }  // namespace xpc

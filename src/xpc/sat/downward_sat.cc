@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "xpc/common/bits.h"
+#include "xpc/common/stats.h"
 #include "xpc/sat/simple_paths.h"
 #include "xpc/xpath/build.h"
 #include "xpc/xpath/metrics.h"
@@ -465,7 +466,7 @@ class DownwardEngine {
     }
   }
 
-  XmlTree BuildWitness(int target_sid, const std::vector<bool>& usable) {
+  XmlTree BuildWitness(int target_sid, const std::vector<bool>& /*usable*/) {
     const int num_types = static_cast<int>(edtd_.types().size());
     std::vector<bool> realizable(num_types, false);
     for (const Summary& s : summaries_) realizable[s.type] = true;
@@ -558,10 +559,21 @@ class DownwardEngine {
 
 }  // namespace
 
+namespace {
+
+SatResult RecordDownward(SatResult r) {
+  StatsAdd(Metric::kSatDownwardSummaries, r.explored_states);
+  StatsGaugeMax(Metric::kSatPeakExploredStates, r.explored_states);
+  return r;
+}
+
+}  // namespace
+
 SatResult DownwardSatisfiableWithEdtd(const NodePtr& phi, const Edtd& edtd,
                                       const DownwardSatOptions& options) {
+  StatsTimer timer(Metric::kSatDownward);
   DownwardEngine engine(phi, edtd, /*any_root=*/false, options);
-  return engine.Run();
+  return RecordDownward(engine.Run());
 }
 
 SatResult DownwardSatisfiable(const NodePtr& phi, const DownwardSatOptions& options) {
@@ -573,8 +585,9 @@ SatResult DownwardSatisfiable(const NodePtr& phi, const DownwardSatOptions& opti
   for (const std::string& l : labels) any = any ? RxUnion(any, RxSymbol(l)) : RxSymbol(l);
   for (const std::string& l : labels) types.push_back({l, RxStar(any), l});
   Edtd free_schema(std::move(types), *labels.begin());
+  StatsTimer timer(Metric::kSatDownward);
   DownwardEngine engine(phi, free_schema, /*any_root=*/true, options);
-  return engine.Run();
+  return RecordDownward(engine.Run());
 }
 
 }  // namespace xpc

@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "xpc/common/stats.h"
 #include "xpc/tree/xml_tree.h"
 
 namespace xpc {
@@ -26,6 +27,9 @@ struct SatResult {
   /// Engine statistics (for the benchmark harness).
   int64_t explored_states = 0;
   std::string engine;
+  /// Full telemetry of producing this answer: per-phase wall times, peak
+  /// automaton sizes, explored-state counts (all-zero with XPC_STATS=OFF).
+  StatsSnapshot stats;
 };
 
 }  // namespace xpc

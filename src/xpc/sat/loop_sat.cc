@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "xpc/common/stats.h"
 #include "xpc/pathauto/normal_form.h"
 #include "xpc/pathauto/state_relation.h"
 
@@ -453,8 +454,12 @@ class LoopSatEngine {
 }  // namespace
 
 SatResult LoopSatisfiable(const LExprPtr& phi, const LoopSatOptions& options) {
+  StatsTimer timer(Metric::kSatLoop);
   LoopSatEngine engine(phi, options);
-  return engine.Run();
+  SatResult r = engine.Run();
+  StatsAdd(Metric::kSatLoopItems, r.explored_states);
+  StatsGaugeMax(Metric::kSatPeakExploredStates, r.explored_states);
+  return r;
 }
 
 }  // namespace xpc

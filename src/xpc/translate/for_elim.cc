@@ -1,6 +1,7 @@
 #include "xpc/translate/for_elim.h"
 
 
+#include "xpc/common/stats.h"
 #include "xpc/xpath/build.h"
 
 namespace xpc {
@@ -135,21 +136,25 @@ PathPtr RewriteMinusPath(const PathPtr& p, RewriteCtx* ctx) {
 }  // namespace
 
 PathPtr RewriteIntersectToFor(const PathPtr& path) {
+  StatsTimer timer(Metric::kTranslateForElim);
   RewriteCtx ctx;
   return RewriteCapPath(path, &ctx);
 }
 
 NodePtr RewriteIntersectToFor(const NodePtr& node) {
+  StatsTimer timer(Metric::kTranslateForElim);
   RewriteCtx ctx;
   return RewriteCapNode(node, &ctx);
 }
 
 PathPtr RewriteComplementToFor(const PathPtr& path) {
+  StatsTimer timer(Metric::kTranslateForElim);
   RewriteCtx ctx;
   return RewriteMinusPath(path, &ctx);
 }
 
 NodePtr RewriteComplementToFor(const NodePtr& node) {
+  StatsTimer timer(Metric::kTranslateForElim);
   RewriteCtx ctx;
   return RewriteMinusNode(node, &ctx);
 }

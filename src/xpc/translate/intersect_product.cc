@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "xpc/common/stats.h"
 #include "xpc/pathauto/normal_form.h"
 #include "xpc/pathauto/path_automaton.h"
 
@@ -174,7 +175,10 @@ void DagSize(const LExprPtr& e, DagSeen* seen, int64_t* total) {
 
 PathAutoPtr IntersectPathToAutomaton(const PathPtr& path) { return Translate(path); }
 
-LExprPtr IntersectToLoopNormalForm(const NodePtr& node) { return TranslateNode(node); }
+LExprPtr IntersectToLoopNormalForm(const NodePtr& node) {
+  StatsTimer timer(Metric::kTranslateIntersectProduct);
+  return TranslateNode(node);
+}
 
 int64_t DagSizeOf(const LExprPtr& expr) {
   DagSeen seen;

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <vector>
 
+#include "xpc/common/stats.h"
 #include "xpc/pathauto/normal_form.h"
 #include "xpc/pathauto/path_automaton.h"
 
@@ -213,6 +214,7 @@ class LetEliminator {
 }  // namespace
 
 LetElimResult EliminateLets(const LExprPtr& phi) {
+  StatsTimer timer(Metric::kTranslateLetElim);
   LetEliminator eliminator(phi);
   return eliminator.Run();
 }

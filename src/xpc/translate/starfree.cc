@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "xpc/automata/regex.h"
+#include "xpc/common/stats.h"
 #include "xpc/xpath/build.h"
 
 namespace xpc {
@@ -216,6 +217,7 @@ int ComplementDepth(const StarFreePtr& r) {
 }
 
 Dfa StarFreeToDfa(const StarFreePtr& r, const std::vector<std::string>& symbols) {
+  StatsTimer timer(Metric::kTranslateStarfree);
   const int k = static_cast<int>(symbols.size());
   switch (r->kind) {
     case StarFree::Kind::kSymbol: {

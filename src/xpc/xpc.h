@@ -21,6 +21,7 @@
 /// See README.md for the language syntax and the per-module documentation
 /// in the individual headers for the paper-to-code map.
 
+#include "xpc/common/stats.h"         // Solver telemetry (counters/timers).
 #include "xpc/core/session.h"         // Memoizing session layer (batch API).
 #include "xpc/core/solver.h"          // Containment / satisfiability facade.
 #include "xpc/edtd/conformance.h"     // (E)DTD validation.

@@ -1,0 +1,290 @@
+#include "xpc/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "xpc/core/session.h"
+#include "xpc/core/solver.h"
+#include "xpc/xpath/parser.h"
+
+namespace xpc {
+namespace {
+
+// Direct Stats methods always work; the free hooks (StatsAdd / StatsGaugeMax
+// / StatsTimer) compile to no-ops under -DXPC_STATS=OFF. Tests that observe
+// hook-recorded values scale their expectations by this.
+constexpr bool kHooksCompiledIn = XPC_STATS_ENABLED != 0;
+
+PathPtr P(const std::string& s) {
+  auto r = ParsePath(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+NodePtr N(const std::string& s) {
+  auto r = ParseNode(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+// --- Registry ----------------------------------------------------------
+
+TEST(StatsRegistry, NamesRoundTripAndAreUnique) {
+  std::vector<std::string> seen;
+  for (int i = 0; i < kNumMetrics; ++i) {
+    Metric m = static_cast<Metric>(i);
+    const MetricInfo& info = MetricInfoOf(m);
+    ASSERT_NE(info.name, nullptr);
+    for (const std::string& prior : seen) EXPECT_NE(prior, info.name);
+    seen.push_back(info.name);
+
+    Metric back;
+    ASSERT_TRUE(MetricFromName(info.name, &back)) << info.name;
+    EXPECT_EQ(back, m);
+  }
+  Metric ignored;
+  EXPECT_FALSE(MetricFromName("no.such.metric", &ignored));
+}
+
+// --- Collector semantics ----------------------------------------------
+
+TEST(Stats, CounterGaugeTimerBasics) {
+  Stats s;
+  s.Add(Metric::kSatLoopItems, 3);
+  s.Add(Metric::kSatLoopItems);
+  s.GaugeMax(Metric::kSatPeakExploredStates, 10);
+  s.GaugeMax(Metric::kSatPeakExploredStates, 7);  // Lower: must not shrink.
+  s.AddTimer(Metric::kSatLoop, 250);
+  s.AddTimer(Metric::kSatLoop, 750);
+
+  StatsSnapshot snap = s.Snapshot();
+  EXPECT_EQ(snap.value(Metric::kSatLoopItems), 4);
+  EXPECT_EQ(snap.value(Metric::kSatPeakExploredStates), 10);
+  EXPECT_EQ(snap.value(Metric::kSatLoop), 1000);
+  EXPECT_EQ(snap.timer_calls(Metric::kSatLoop), 2);
+  EXPECT_FALSE(snap.Empty());
+
+  s.Reset();
+  EXPECT_TRUE(s.Snapshot().Empty());
+}
+
+TEST(Stats, ConcurrentUpdatesLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  Stats shared;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&shared, t] {
+      // Each thread reports through the hooks against the same collector,
+      // exactly as ContainsBatch workers do.
+      ScopedStatsSink sink(&shared);
+      for (int i = 0; i < kIters; ++i) {
+        StatsAdd(Metric::kSatLoopItems);
+        StatsGaugeMax(Metric::kSatPeakExploredStates, t * kIters + i);
+        shared.AddTimer(Metric::kSatLoop, 1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  StatsSnapshot snap = shared.Snapshot();
+  EXPECT_EQ(snap.value(Metric::kSatLoopItems), kHooksCompiledIn ? kThreads * kIters : 0);
+  EXPECT_EQ(snap.value(Metric::kSatPeakExploredStates),
+            kHooksCompiledIn ? kThreads * kIters - 1 : 0);
+  // AddTimer went through the collector directly: never compiled out.
+  EXPECT_EQ(snap.value(Metric::kSatLoop), kThreads * kIters);
+  EXPECT_EQ(snap.timer_calls(Metric::kSatLoop), kThreads * kIters);
+}
+
+TEST(Stats, NestedSinksFoldIntoParent) {
+  Stats outer;
+  {
+    ScopedStatsSink outer_sink(&outer);
+    StatsAdd(Metric::kAtaStates, 5);
+    Stats inner;
+    {
+      ScopedStatsSink inner_sink(&inner);
+      StatsAdd(Metric::kAtaStates, 7);
+      StatsGaugeMax(Metric::kAtaPeakStates, 7);
+    }
+    // The nested scope recorded into `inner` only...
+    EXPECT_EQ(inner.Snapshot().value(Metric::kAtaStates), kHooksCompiledIn ? 7 : 0);
+  }
+  // ...but its deltas were folded into the outer collector on exit:
+  // counters sum, gauges take the max.
+  StatsSnapshot snap = outer.Snapshot();
+  EXPECT_EQ(snap.value(Metric::kAtaStates), kHooksCompiledIn ? 12 : 0);
+  EXPECT_EQ(snap.value(Metric::kAtaPeakStates), kHooksCompiledIn ? 7 : 0);
+}
+
+TEST(Stats, HooksAreNoOpsWithoutASink) {
+  ASSERT_EQ(Stats::Current(), nullptr);
+  StatsAdd(Metric::kSatLoopItems, 100);  // Must not crash or leak anywhere.
+  StatsGaugeMax(Metric::kSatPeakExploredStates, 100);
+  { StatsTimer timer(Metric::kSatLoop); }
+}
+
+TEST(StatsSnapshot, MergeFromSumsCountersAndMaxesGauges) {
+  Stats a, b;
+  a.Add(Metric::kSatLoopItems, 2);
+  a.GaugeMax(Metric::kSatPeakExploredStates, 9);
+  a.AddTimer(Metric::kSatLoop, 100);
+  b.Add(Metric::kSatLoopItems, 3);
+  b.GaugeMax(Metric::kSatPeakExploredStates, 4);
+  b.AddTimer(Metric::kSatLoop, 50);
+
+  StatsSnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  EXPECT_EQ(merged.value(Metric::kSatLoopItems), 5);
+  EXPECT_EQ(merged.value(Metric::kSatPeakExploredStates), 9);
+  EXPECT_EQ(merged.value(Metric::kSatLoop), 150);
+  EXPECT_EQ(merged.timer_calls(Metric::kSatLoop), 2);
+}
+
+TEST(StatsSnapshot, JsonContainsEveryRegisteredMetric) {
+  Stats s;
+  s.GaugeMax(Metric::kAutomataPeakBlowupPct, 350);
+  std::string json = s.Snapshot().ToJson();
+  for (int i = 0; i < kNumMetrics; ++i) {
+    const MetricInfo& info = MetricInfoOf(static_cast<Metric>(i));
+    EXPECT_NE(json.find(std::string("\"") + info.name + "\""), std::string::npos)
+        << info.name;
+  }
+  EXPECT_NE(json.find("\"determinization_blowup\": 3.5"), std::string::npos) << json;
+}
+
+// --- Runtime kill switch ----------------------------------------------
+
+TEST(Stats, DisabledHooksRecordNothing) {
+  Stats s;
+  ScopedStatsSink sink(&s);
+  Stats::SetEnabled(false);
+  StatsAdd(Metric::kSatLoopItems, 5);
+  StatsGaugeMax(Metric::kSatPeakExploredStates, 5);
+  { StatsTimer timer(Metric::kSatLoop); }
+  Stats::SetEnabled(true);
+  EXPECT_TRUE(s.Snapshot().Empty());
+}
+
+// Telemetry must never influence an answer: the same queries decided with
+// stats on and off give identical verdicts, and with stats off the attached
+// snapshot is deterministically empty. (The XPC_STATS=OFF compile-out path
+// is covered by building the whole suite with -DXPC_STATS=OFF.)
+TEST(Stats, VerdictsIdenticalWithStatsOnAndOff) {
+  const std::pair<const char*, const char*> kQueries[] = {
+      {"down/down", "down/down*"},
+      {"down*[Image]", "down*"},
+      {"down[a]/up[b]", "down[a and b]/up"},
+  };
+  const char* kNodes[] = {"a and not(a)", "<down*[Image]> and <down[Section]>"};
+
+  for (bool enabled : {true, false}) {
+    Stats::SetEnabled(enabled);
+    Solver solver;
+    for (const auto& [alpha, beta] : kQueries) {
+      ContainmentResult r = solver.Contains(P(alpha), P(beta));
+      Stats::SetEnabled(true);
+      Solver reference;
+      ContainmentResult want = reference.Contains(P(alpha), P(beta));
+      Stats::SetEnabled(enabled);
+      EXPECT_EQ(r.verdict, want.verdict) << alpha << " vs " << beta;
+      EXPECT_EQ(r.engine, want.engine) << alpha << " vs " << beta;
+      if (!enabled) {
+        EXPECT_TRUE(r.stats.Empty()) << alpha << " vs " << beta;
+      }
+    }
+    for (const char* phi : kNodes) {
+      SatResult r = Solver().NodeSatisfiable(N(phi));
+      if (!enabled) {
+        EXPECT_TRUE(r.stats.Empty()) << phi;
+      }
+    }
+  }
+  Stats::SetEnabled(true);
+}
+
+// --- Result snapshots ---------------------------------------------------
+
+TEST(Stats, SolverResultsCarryCostProfile) {
+  Solver solver;
+  ContainmentResult r = solver.Contains(P("down*[Image]"), P("down*"));
+  SatResult s = solver.NodeSatisfiable(N("<down*[Image]>"));
+  if (!kHooksCompiledIn) {
+    // Compiled out: snapshots are deterministically all-zero.
+    EXPECT_TRUE(r.stats.Empty());
+    EXPECT_TRUE(s.stats.Empty());
+    return;
+  }
+  EXPECT_FALSE(r.stats.Empty());
+  // The facade timer brackets every solve.
+  EXPECT_GE(r.stats.timer_calls(Metric::kSolverSolve), 1);
+  EXPECT_FALSE(s.stats.Empty());
+  EXPECT_GE(s.stats.timer_calls(Metric::kSolverSolve), 1);
+}
+
+// --- Session integration ------------------------------------------------
+
+// The unified telemetry (session.* metrics) must agree exactly with the
+// Session's pre-existing internal accounting (SessionStats).
+TEST(Stats, SessionTelemetryMatchesInternalAccounting) {
+  Session session;
+  PathPtr a = P("down*[Image]");
+  PathPtr b = P("down*");
+
+  session.Contains(a, b);             // miss
+  session.Contains(a, b);             // hit
+  session.Contains(P("down*[Image]"), P("down*"));  // hit via interning
+  session.NodeSatisfiable(N("<down[a]>"));          // miss
+  session.NodeSatisfiable(N("<down[a]>"));          // hit
+
+  SessionStats internal = session.stats();
+  StatsSnapshot unified = session.telemetry();
+
+  EXPECT_EQ(unified.value(Metric::kSessionContainmentHits), internal.containment.hits);
+  EXPECT_EQ(unified.value(Metric::kSessionContainmentMisses),
+            internal.containment.misses);
+  EXPECT_EQ(unified.value(Metric::kSessionContainmentEvictions),
+            internal.containment.evictions);
+  EXPECT_EQ(unified.value(Metric::kSessionSatHits), internal.sat.hits);
+  EXPECT_EQ(unified.value(Metric::kSessionSatMisses), internal.sat.misses);
+  EXPECT_EQ(unified.value(Metric::kSessionAutomataHits), internal.automata.hits);
+  EXPECT_EQ(unified.value(Metric::kSessionAutomataMisses), internal.automata.misses);
+  EXPECT_EQ(unified.value(Metric::kSessionDfaHits), internal.dfa.hits);
+  EXPECT_EQ(unified.value(Metric::kSessionDfaMisses), internal.dfa.misses);
+
+  // Sanity on the absolute numbers for this exact workload.
+  EXPECT_EQ(internal.containment.hits, 2);
+  EXPECT_EQ(internal.containment.misses, 1);
+  EXPECT_EQ(internal.sat.hits, 1);
+  EXPECT_EQ(internal.sat.misses, 1);
+
+  // The unified view also folds in engine work from the uncached solves
+  // (hook-recorded, so only when compiled in).
+  if (kHooksCompiledIn) {
+    EXPECT_GE(unified.timer_calls(Metric::kSolverSolve), 2);
+  }
+
+  session.ResetStats();
+  EXPECT_TRUE(session.telemetry().Empty());
+}
+
+TEST(Stats, SessionBatchTelemetryCountsQueriesAndDedup) {
+  Session session;
+  PathPtr a = P("down/down");
+  PathPtr b = P("down/down*");
+  std::vector<std::pair<PathPtr, PathPtr>> queries = {{a, b}, {a, b}, {a, b}};
+  session.ContainsBatch(queries);
+
+  StatsSnapshot unified = session.telemetry();
+  SessionStats internal = session.stats();
+  EXPECT_EQ(unified.value(Metric::kSessionBatchQueries), internal.batch_queries);
+  EXPECT_EQ(unified.value(Metric::kSessionBatchDeduped), internal.batch_deduped);
+  EXPECT_EQ(internal.batch_queries, 3);
+  EXPECT_EQ(internal.batch_deduped, 2);
+}
+
+}  // namespace
+}  // namespace xpc
