@@ -1,0 +1,169 @@
+// Experiment E12 — automata substrate microbenches.
+//
+// The word-automata layer is the common denominator of every decision
+// procedure in the repo (Prop. 6 content models, the Section 7/8 star-free
+// and succinctness pipelines, the downward engine's children-word BFS), so
+// its four hot operations are tracked as separate benches, on seeded
+// Tabakov-Vardi random NFAs of growing size:
+//
+//   automata_determinize    subset construction (hash-interned state sets)
+//   automata_minimize       Hopcroft partition refinement on the subset DFA
+//   automata_product_empty  containment L(a) ⊆ L(b) via on-the-fly pair BFS
+//   automata_equivalence    language equality via on-the-fly pair BFS
+//
+// Each bench sanity-checks its results (states produced, minimized DFA no
+// larger than its input, equivalence consistent with containment), so a
+// wrong substrate fails the bench rather than producing fast nonsense.
+// Deeper cross-checks against reference algorithms live in
+// tests/automata_reference_test.cc.
+
+#include "bench_registry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "xpc/automata/dfa.h"
+#include "xpc/automata/nfa.h"
+#include "xpc/automata/random_nfa.h"
+
+using namespace xpc;
+
+namespace {
+
+constexpr int kAlphabet = 2;
+constexpr double kTransitionDensity = 1.25;  // The classic hard region.
+constexpr double kAcceptanceDensity = 0.3;
+constexpr int kSeedsPerSize = 12;
+const int kSizes[] = {8, 12, 16, 20, 24, 28, 32};
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+             .count() /
+         1000.0;
+}
+
+std::vector<Nfa> NfasOfSize(int n) {
+  std::vector<Nfa> nfas;
+  for (int s = 0; s < kSeedsPerSize; ++s) {
+    nfas.push_back(RandomTabakovVardiNfa(n, kAlphabet, kTransitionDensity, kAcceptanceDensity,
+                                         1000 * n + s));
+  }
+  return nfas;
+}
+
+std::vector<Dfa> DfasOfSize(int n) {
+  std::vector<Dfa> dfas;
+  for (const Nfa& nfa : NfasOfSize(n)) dfas.push_back(Dfa::Determinize(nfa));
+  return dfas;
+}
+
+}  // namespace
+
+static int RunDeterminize() {
+  std::printf("== subset construction (Tabakov-Vardi r=%.2f f=%.1f, %d seeds/size) ==\n",
+              kTransitionDensity, kAcceptanceDensity, kSeedsPerSize);
+  int failures = 0;
+  std::printf("%-6s %-10s %-10s\n", "n", "ms", "dfa-states");
+  for (int n : kSizes) {
+    std::vector<Nfa> nfas = NfasOfSize(n);
+    auto t0 = std::chrono::steady_clock::now();
+    int64_t dfa_states = 0;
+    for (const Nfa& nfa : nfas) dfa_states += Dfa::Determinize(nfa).num_states();
+    double ms = MsSince(t0);
+    if (dfa_states < n) {
+      std::printf("FAIL: n=%d: implausible subset-construction output\n", n);
+      ++failures;
+    }
+    std::printf("%-6d %-10.2f %-10lld\n", n, ms, static_cast<long long>(dfa_states));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+static int RunMinimize() {
+  std::printf("== Hopcroft minimization (subset DFAs of Tabakov-Vardi NFAs) ==\n");
+  int failures = 0;
+  std::printf("%-6s %-10s %-10s %-10s\n", "n", "ms", "states-in", "states-out");
+  for (int n : kSizes) {
+    std::vector<Dfa> dfas = DfasOfSize(n);
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<Dfa> minimized;
+    for (const Dfa& d : dfas) minimized.push_back(d.Minimize());
+    double ms = MsSince(t0);
+    int64_t in = 0, out = 0;
+    for (size_t i = 0; i < dfas.size(); ++i) {
+      in += dfas[i].num_states();
+      out += minimized[i].num_states();
+      if (minimized[i].num_states() > dfas[i].num_states()) {
+        std::printf("FAIL: n=%d seed=%zu: minimization grew the DFA\n", n, i);
+        ++failures;
+      }
+    }
+    std::printf("%-6d %-10.2f %-10lld %-10lld\n", n, ms, static_cast<long long>(in),
+                static_cast<long long>(out));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+static int RunProductEmptiness() {
+  std::printf("== product emptiness: L(d_i) ⊆ L(d_i+1) via on-the-fly pair BFS ==\n");
+  int failures = 0;
+  std::printf("%-6s %-10s %-10s\n", "n", "ms", "contained");
+  for (int n : kSizes) {
+    std::vector<Dfa> dfas = DfasOfSize(n);
+    std::vector<Dfa> complements;
+    for (const Dfa& d : dfas) complements.push_back(d.Complement());
+    auto t0 = std::chrono::steady_clock::now();
+    int contained = 0;
+    for (size_t i = 0; i + 1 < dfas.size(); ++i) {
+      if (Dfa::IsEmptyProduct(dfas[i], complements[i + 1])) ++contained;
+    }
+    double ms = MsSince(t0);
+    for (const Dfa& d : dfas) {
+      // L(d) ∩ L(d) = L(d): empty iff d itself is empty.
+      if (Dfa::IsEmptyProduct(d, d) != d.IsEmpty()) {
+        std::printf("FAIL: n=%d: self-product emptiness disagrees with IsEmpty\n", n);
+        ++failures;
+      }
+    }
+    std::printf("%-6d %-10.2f %-10d\n", n, ms, contained);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+static int RunEquivalence() {
+  std::printf("== DFA equivalence via on-the-fly pair BFS ==\n");
+  int failures = 0;
+  std::printf("%-6s %-10s %-10s\n", "n", "ms", "equal");
+  for (int n : kSizes) {
+    std::vector<Dfa> dfas = DfasOfSize(n);
+    std::vector<Dfa> minimized;
+    for (const Dfa& d : dfas) minimized.push_back(d.Minimize());
+    auto t0 = std::chrono::steady_clock::now();
+    int equal = 0;
+    for (size_t i = 0; i < dfas.size(); ++i) {
+      // Each DFA against its minimized form (always true)...
+      if (dfas[i].EquivalentTo(minimized[i])) {
+        ++equal;
+      } else {
+        std::printf("FAIL: n=%d seed=%zu: minimized DFA is not equivalent\n", n, i);
+        ++failures;
+      }
+      // ...and against the next language (almost always false, early exit).
+      if (i + 1 < dfas.size() && dfas[i].EquivalentTo(dfas[i + 1]) &&
+          !Dfa::IsEmptyProduct(dfas[i], minimized[i + 1].Complement())) {
+        std::printf("FAIL: n=%d seed=%zu: equivalence vs containment mismatch\n", n, i);
+        ++failures;
+      }
+    }
+    double ms = MsSince(t0);
+    std::printf("%-6d %-10.2f %-10d\n", n, ms, equal);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+XPC_BENCH("automata_determinize", RunDeterminize);
+XPC_BENCH("automata_minimize", RunMinimize);
+XPC_BENCH("automata_product_empty", RunProductEmptiness);
+XPC_BENCH("automata_equivalence", RunEquivalence);

@@ -31,8 +31,13 @@ const std::vector<BenchInfo>& Benches();
 #define XPC_BENCH(name, fn) \
   int main() { return fn(); }
 #else
-#define XPC_BENCH(name, fn) \
-  static const int xpc_bench_registration = ::xpcbench::RegisterBench(name, fn)
+#define XPC_BENCH_CONCAT_INNER(a, b) a##b
+#define XPC_BENCH_CONCAT(a, b) XPC_BENCH_CONCAT_INNER(a, b)
+// __COUNTER__ keeps the registration variables distinct, so one file can
+// register a whole bench family.
+#define XPC_BENCH(name, fn)                                             \
+  static const int XPC_BENCH_CONCAT(xpc_bench_registration_, __COUNTER__) = \
+      ::xpcbench::RegisterBench(name, fn)
 #endif
 
 #endif  // XPC_BENCH_REGISTRY_H_

@@ -20,6 +20,13 @@ Tracked metrics, per bench present in the baseline:
 A bench listed in the baseline but missing from the current run is a hard
 failure (a silently dropped bench must not pass the gate).
 
+The gate also *reports* improvements: metrics that got better by more than
+the threshold (outside the noise floor) are printed as a before/after delta
+table and, when running under GitHub Actions ($GITHUB_STEP_SUMMARY set),
+appended to the CI job summary as markdown — so a PR that speeds things up
+shows its wins (and the stale baseline worth refreshing) without digging
+through logs.
+
 Refreshing the baseline: run
     ./build/bench/bench_main --filter=<tracked benches> --out=bench/baseline.json
 and commit the result (CI offers this via the `refresh-baseline` PR label,
@@ -32,6 +39,7 @@ Usage:
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -39,6 +47,14 @@ def load(path):
     with open(path) as f:
         doc = json.load(f)
     return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def tracked_metrics(base, cur, min_time_ms):
+    """Yields (metric, base_val, cur_val, noise_floor) for one bench pair."""
+    yield ("real_time", base.get("real_time"), cur.get("real_time"), min_time_ms)
+    for metric, base_val in base.get("counters", {}).items():
+        floor = min_time_ms * 1000.0 if metric.endswith(".micros") else 0.0
+        yield (metric, base_val, cur.get("counters", {}).get(metric), floor)
 
 
 def compare(baseline, current, threshold, min_time_ms):
@@ -53,12 +69,7 @@ def compare(baseline, current, threshold, min_time_ms):
             problems.append(f"{name}: bench failed: {cur.get('error_message', '?')}")
             continue
 
-        checks = [("real_time", base.get("real_time"), cur.get("real_time"), min_time_ms)]
-        for metric, base_val in base.get("counters", {}).items():
-            floor = min_time_ms * 1000.0 if metric.endswith(".micros") else 0.0
-            checks.append((metric, base_val, cur.get("counters", {}).get(metric), floor))
-
-        for metric, base_val, cur_val, floor in checks:
+        for metric, base_val, cur_val, floor in tracked_metrics(base, cur, min_time_ms):
             if base_val is None:
                 continue
             if cur_val is None:
@@ -74,6 +85,56 @@ def compare(baseline, current, threshold, min_time_ms):
                 f"{threshold * 100:.0f}%)"
             )
     return problems
+
+
+def improvements(baseline, current, threshold, min_time_ms):
+    """Returns (bench, metric, base, cur, pct) rows that improved by more
+    than the threshold, outside the noise floor — the mirror of compare()."""
+    rows = []
+    for name, base in baseline.items():
+        cur = current.get(name)
+        if cur is None or cur.get("error_occurred"):
+            continue
+        for metric, base_val, cur_val, floor in tracked_metrics(base, cur, min_time_ms):
+            if base_val is None or cur_val is None or base_val <= 0:
+                continue
+            if cur_val >= base_val * (1.0 - threshold):
+                continue
+            if base_val - cur_val <= floor:
+                continue  # Within the absolute noise floor.
+            pct = 100.0 * (base_val - cur_val) / base_val
+            rows.append((name, metric, base_val, cur_val, pct))
+    return rows
+
+
+def summary_markdown(improved, threshold):
+    lines = ["### Bench improvements", ""]
+    if not improved:
+        lines.append(f"No tracked metric improved by more than {threshold * 100:.0f}%.")
+    else:
+        lines += [
+            f"{len(improved)} tracked metric(s) improved by more than "
+            f"{threshold * 100:.0f}% — consider refreshing `bench/baseline.json` "
+            "(`refresh-baseline` label):",
+            "",
+            "| bench | metric | before | after | delta |",
+            "|---|---|---:|---:|---:|",
+        ]
+        for name, metric, base_val, cur_val, pct in improved:
+            lines.append(f"| {name} | {metric} | {base_val:g} | {cur_val:g} | -{pct:.1f}% |")
+    return "\n".join(lines) + "\n"
+
+
+def report_improvements(improved, threshold):
+    if improved:
+        print(f"perf-regression gate: {len(improved)} tracked metric(s) improved "
+              f"beyond {threshold * 100:.0f}% (baseline is stale; refresh welcome):")
+        for name, metric, base_val, cur_val, pct in improved:
+            print(f"  BETTER {name}: {metric}: {base_val:g} -> {cur_val:g} (-{pct:.1f}%)")
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a") as f:
+            f.write(summary_markdown(improved, threshold))
 
 
 def self_test():
@@ -107,6 +168,19 @@ def self_test():
     jitter["bench_a"]["real_time"] = 1040.0  # +4%: under threshold.
     assert compare(base, jitter, 0.25, 50) == [], "small jitter must pass"
 
+    fast = json.loads(json.dumps(base))
+    fast["bench_a"]["real_time"] = 400.0  # -60%: a reportable win.
+    fast["bench_a"]["counters"]["sat.loop_items"] = 100
+    better = improvements(base, fast, 0.25, 50)
+    assert any(m == "real_time" for _, m, *_ in better), "2.5x speedup must be reported"
+    assert any(m == "sat.loop_items" for _, m, *_ in better), "counter drop must be reported"
+    assert compare(base, fast, 0.25, 50) == [], "improvements never gate"
+    assert improvements(base, same, 0.25, 50) == [], "identical run reports no wins"
+    assert improvements(base, jitter, 0.25, 50) == [], "jitter is not a win"
+    md = summary_markdown(better, 0.25)
+    assert "| bench_a | real_time |" in md, "summary table must list the win"
+    assert "refresh" in md, "summary must suggest a baseline refresh"
+
     print("self-test: all gate behaviours ok")
     return 0
 
@@ -131,6 +205,8 @@ def main():
     baseline = load(args.baseline)
     current = load(args.current)
     problems = compare(baseline, current, args.threshold, args.min_time_ms)
+    report_improvements(
+        improvements(baseline, current, args.threshold, args.min_time_ms), args.threshold)
     if problems:
         print(f"perf-regression gate: {len(problems)} tracked metric(s) regressed "
               f"beyond {args.threshold * 100:.0f}%:")

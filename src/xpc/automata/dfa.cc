@@ -1,8 +1,10 @@
 #include "xpc/automata/dfa.h"
 
 #include <cassert>
-#include <map>
+#include <cstdint>
+#include <deque>
 #include <queue>
+#include <unordered_map>
 
 #include "xpc/common/stats.h"
 
@@ -11,7 +13,8 @@ namespace xpc {
 Dfa Dfa::Determinize(const Nfa& nfa) {
   StatsTimer timer(Metric::kAutomataDeterminize);
   const int k = nfa.alphabet_size();
-  std::map<Bits, int> ids;
+  nfa.EnsureIndexed();
+  std::unordered_map<Bits, int, BitsHash> ids;
   std::vector<Bits> sets;
   std::queue<int> work;
 
@@ -84,23 +87,51 @@ Dfa Dfa::Complement() const {
 
 namespace {
 
+/// Reachable-only product: BFS from the initial pair, interning pairs as
+/// they are discovered. Completeness of the inputs makes the result
+/// complete over its (reachable) state set.
 Dfa Product(const Dfa& a, const Dfa& b, bool intersect) {
   assert(a.alphabet_size() == b.alphabet_size());
   const int k = a.alphabet_size();
-  const int nb = b.num_states();
-  Dfa out(k, a.num_states() * nb);
-  out.set_initial(a.initial() * nb + b.initial());
-  for (int sa = 0; sa < a.num_states(); ++sa) {
-    for (int sb = 0; sb < nb; ++sb) {
-      int s = sa * nb + sb;
-      bool acc = intersect ? (a.accepting(sa) && b.accepting(sb))
-                           : (a.accepting(sa) || b.accepting(sb));
-      out.set_accepting(s, acc);
-      for (int x = 0; x < k; ++x) {
-        out.set_next(s, x, a.next(sa, x) * nb + b.next(sb, x));
-      }
+  const int64_t nb = b.num_states();
+  std::unordered_map<int64_t, int> ids;
+  std::vector<std::pair<int, int>> pairs;
+  std::queue<int> work;
+
+  auto intern = [&](int sa, int sb) {
+    int64_t key = sa * nb + sb;
+    auto it = ids.find(key);
+    if (it != ids.end()) return it->second;
+    int id = static_cast<int>(pairs.size());
+    ids.emplace(key, id);
+    pairs.push_back({sa, sb});
+    work.push(id);
+    return id;
+  };
+
+  intern(a.initial(), b.initial());
+  std::vector<std::vector<int>> next;
+  while (!work.empty()) {
+    int id = work.front();
+    work.pop();
+    auto [sa, sb] = pairs[id];
+    if (static_cast<int>(next.size()) <= id) next.resize(id + 1, std::vector<int>(k, 0));
+    for (int x = 0; x < k; ++x) {
+      int target = intern(a.next(sa, x), b.next(sb, x));
+      if (static_cast<int>(next.size()) <= target) next.resize(target + 1, std::vector<int>(k, 0));
+      next[id][x] = target;
     }
   }
+
+  Dfa out(k, static_cast<int>(pairs.size()));
+  out.set_initial(0);
+  for (int s = 0; s < out.num_states(); ++s) {
+    auto [sa, sb] = pairs[s];
+    out.set_accepting(s, intersect ? (a.accepting(sa) && b.accepting(sb))
+                                   : (a.accepting(sa) || b.accepting(sb)));
+    for (int x = 0; x < k; ++x) out.set_next(s, x, next[s][x]);
+  }
+  StatsAdd(Metric::kAutomataProductPairsExplored, static_cast<int64_t>(pairs.size()));
   return out;
 }
 
@@ -108,6 +139,36 @@ Dfa Product(const Dfa& a, const Dfa& b, bool intersect) {
 
 Dfa Dfa::IntersectWith(const Dfa& other) const { return Product(*this, other, true); }
 Dfa Dfa::UnionWith(const Dfa& other) const { return Product(*this, other, false); }
+
+bool Dfa::IsEmptyProduct(const Dfa& a, const Dfa& b) {
+  assert(a.alphabet_size() == b.alphabet_size());
+  const int k = a.alphabet_size();
+  const int64_t nb = b.num_states();
+  std::unordered_map<int64_t, char> seen;
+  std::deque<std::pair<int, int>> work;
+  seen.emplace(static_cast<int64_t>(a.initial()) * nb + b.initial(), 1);
+  work.push_back({a.initial(), b.initial()});
+  int64_t explored = 0;
+  bool empty = true;
+  while (!work.empty()) {
+    auto [sa, sb] = work.front();
+    work.pop_front();
+    ++explored;
+    if (a.accepting(sa) && b.accepting(sb)) {
+      empty = false;
+      break;
+    }
+    for (int x = 0; x < k; ++x) {
+      int ta = a.next(sa, x);
+      int tb = b.next(sb, x);
+      if (seen.emplace(static_cast<int64_t>(ta) * nb + tb, 1).second) {
+        work.push_back({ta, tb});
+      }
+    }
+  }
+  StatsAdd(Metric::kAutomataProductPairsExplored, explored);
+  return empty;
+}
 
 Dfa Dfa::Minimize() const {
   StatsTimer timer(Metric::kAutomataMinimize);
@@ -134,36 +195,121 @@ Dfa Dfa::Minimize() const {
   }
   const int n = static_cast<int>(order.size());
 
-  // 2. Moore partition refinement on reachable states.
-  std::vector<int> part(n);
-  for (int i = 0; i < n; ++i) part[i] = accepting_[order[i]] ? 1 : 0;
-  int num_parts = 2;
-  while (true) {
-    // Signature: (part, part of each successor).
-    std::map<std::vector<int>, int> sig_ids;
-    std::vector<int> new_part(n);
+  // 2. Hopcroft partition refinement on the reachable part. Transition
+  // function and its inverse in reachable-local indices, the inverse as one
+  // CSR per symbol (each state has exactly one a-successor, so symbol a's
+  // inverse has exactly n edges).
+  std::vector<int> delta(static_cast<size_t>(n) * k);
+  for (int i = 0; i < n; ++i) {
+    for (int a = 0; a < k; ++a) delta[static_cast<size_t>(i) * k + a] = reach_id[next_[order[i]][a]];
+  }
+  std::vector<std::vector<int32_t>> inv_off(k, std::vector<int32_t>(n + 1, 0));
+  std::vector<std::vector<int32_t>> inv_to(k, std::vector<int32_t>(n));
+  for (int a = 0; a < k; ++a) {
+    for (int i = 0; i < n; ++i) ++inv_off[a][delta[static_cast<size_t>(i) * k + a] + 1];
+    for (int t = 1; t <= n; ++t) inv_off[a][t] += inv_off[a][t - 1];
+    std::vector<int32_t> cur(inv_off[a].begin(), inv_off[a].end() - 1);
     for (int i = 0; i < n; ++i) {
-      std::vector<int> sig;
-      sig.reserve(k + 1);
-      sig.push_back(part[i]);
-      for (int a = 0; a < k; ++a) sig.push_back(part[reach_id[next_[order[i]][a]]]);
-      auto [it, inserted] = sig_ids.emplace(std::move(sig), static_cast<int>(sig_ids.size()));
-      new_part[i] = it->second;
-      (void)inserted;
+      inv_to[a][cur[delta[static_cast<size_t>(i) * k + a]]++] = i;
     }
-    int new_num = static_cast<int>(sig_ids.size());
-    part.swap(new_part);
-    if (new_num == num_parts) break;
-    num_parts = new_num;
   }
 
+  // Refinable partition: `elems` is a permutation of states grouped by
+  // block, `loc` its inverse, blocks are [bbeg[B], bend[B]) ranges.
+  std::vector<int> elems(n), loc(n), block_of(n);
+  std::vector<int> bbeg, bend, marked;
+  {
+    int pos = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      int begin = pos;
+      for (int i = 0; i < n; ++i) {
+        bool acc = accepting_[order[i]];
+        if ((pass == 0) != acc) continue;
+        elems[pos] = i;
+        loc[i] = pos;
+        block_of[i] = static_cast<int>(bbeg.size());
+        ++pos;
+      }
+      if (pos > begin) {
+        bbeg.push_back(begin);
+        bend.push_back(pos);
+        marked.push_back(0);
+      }
+    }
+  }
+
+  // Worklist of (block, symbol) splitters; classic Hopcroft seeds it with
+  // the smaller of the two initial blocks for every symbol. `in_work` is
+  // indexed block * k + symbol and grows as blocks are created.
+  std::deque<std::pair<int, int>> work;
+  std::vector<char> in_work(bbeg.size() * k, 0);
+  if (bbeg.size() == 2) {
+    int smaller = (bend[0] - bbeg[0] <= bend[1] - bbeg[1]) ? 0 : 1;
+    for (int a = 0; a < k; ++a) {
+      work.push_back({smaller, a});
+      in_work[static_cast<size_t>(smaller) * k + a] = 1;
+    }
+  }
+
+  std::vector<int> splitter;
+  std::vector<int> touched;
+  while (!work.empty()) {
+    auto [A, a] = work.front();
+    work.pop_front();
+    in_work[static_cast<size_t>(A) * k + a] = 0;
+    // Snapshot A's elements: splits below may shuffle `elems` inside A.
+    splitter.assign(elems.begin() + bbeg[A], elems.begin() + bend[A]);
+    touched.clear();
+    for (int t : splitter) {
+      for (int32_t j = inv_off[a][t]; j < inv_off[a][t + 1]; ++j) {
+        int s = inv_to[a][j];
+        int B = block_of[s];
+        if (marked[B] == 0) touched.push_back(B);
+        // Swap s into B's marked prefix.
+        int mpos = bbeg[B] + marked[B];
+        int spos = loc[s];
+        if (spos != mpos) {
+          std::swap(elems[spos], elems[mpos]);
+          loc[elems[spos]] = spos;
+          loc[elems[mpos]] = mpos;
+        }
+        ++marked[B];
+      }
+    }
+    for (int B : touched) {
+      int m = marked[B];
+      marked[B] = 0;
+      if (m == bend[B] - bbeg[B]) continue;  // Whole block hit: no split.
+      // New block takes the marked prefix; B keeps the rest.
+      int NB = static_cast<int>(bbeg.size());
+      bbeg.push_back(bbeg[B]);
+      bend.push_back(bbeg[B] + m);
+      marked.push_back(0);
+      bbeg[B] += m;
+      for (int idx = bbeg[NB]; idx < bend[NB]; ++idx) block_of[elems[idx]] = NB;
+      in_work.resize(bbeg.size() * static_cast<size_t>(k), 0);
+      StatsAdd(Metric::kAutomataHopcroftSplits);
+      for (int c = 0; c < k; ++c) {
+        if (in_work[static_cast<size_t>(B) * k + c]) {
+          work.push_back({NB, c});
+          in_work[static_cast<size_t>(NB) * k + c] = 1;
+        } else {
+          int smaller = (bend[B] - bbeg[B] <= bend[NB] - bbeg[NB]) ? B : NB;
+          work.push_back({smaller, c});
+          in_work[static_cast<size_t>(smaller) * k + c] = 1;
+        }
+      }
+    }
+  }
+
+  const int num_parts = static_cast<int>(bbeg.size());
   Dfa out(k, num_parts);
-  out.set_initial(part[0]);  // order[0] == initial_.
+  out.set_initial(block_of[0]);  // order[0] == initial_.
   for (int i = 0; i < n; ++i) {
-    int p = part[i];
+    int p = block_of[i];
     out.set_accepting(p, accepting_[order[i]]);
     for (int a = 0; a < k; ++a) {
-      out.set_next(p, a, part[reach_id[next_[order[i]][a]]]);
+      out.set_next(p, a, block_of[delta[static_cast<size_t>(i) * k + a]]);
     }
   }
   StatsAdd(Metric::kAutomataMinimizeStatesOut, out.num_states());
@@ -191,10 +337,35 @@ bool Dfa::IsEmpty() const {
 }
 
 bool Dfa::EquivalentTo(const Dfa& other) const {
-  // Symmetric difference must be empty.
-  Dfa diff1 = IntersectWith(other.Complement());
-  Dfa diff2 = Complement().IntersectWith(other);
-  return diff1.IsEmpty() && diff2.IsEmpty();
+  // Pair BFS over the on-the-fly product of the two DFAs: the languages
+  // differ iff some reachable pair disagrees on acceptance.
+  assert(alphabet_size_ == other.alphabet_size());
+  const int k = alphabet_size_;
+  const int64_t nb = other.num_states();
+  std::unordered_map<int64_t, char> seen;
+  std::deque<std::pair<int, int>> work;
+  seen.emplace(static_cast<int64_t>(initial_) * nb + other.initial(), 1);
+  work.push_back({initial_, other.initial()});
+  int64_t explored = 0;
+  bool equivalent = true;
+  while (!work.empty()) {
+    auto [sa, sb] = work.front();
+    work.pop_front();
+    ++explored;
+    if (accepting_[sa] != other.accepting_[sb]) {
+      equivalent = false;
+      break;
+    }
+    for (int x = 0; x < k; ++x) {
+      int ta = next_[sa][x];
+      int tb = other.next_[sb][x];
+      if (seen.emplace(static_cast<int64_t>(ta) * nb + tb, 1).second) {
+        work.push_back({ta, tb});
+      }
+    }
+  }
+  StatsAdd(Metric::kAutomataProductPairsExplored, explored);
+  return equivalent;
 }
 
 Nfa Dfa::ToNfa() const {

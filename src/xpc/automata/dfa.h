@@ -12,6 +12,12 @@ namespace xpc {
 /// complementation and products. These are the tools behind the
 /// succinctness measurements of Section 8 and the star-free tower of
 /// Section 7 (Theorem 30 context).
+///
+/// The construction algorithms are chosen for scale: subset construction
+/// interns state sets in a hash map keyed on `Bits::Hash`, minimization is
+/// Hopcroft partition refinement, binary products build only the pairs
+/// reachable from the initial pair, and emptiness/equivalence of products
+/// are decided on the fly by pair BFS without materializing any product.
 class Dfa {
  public:
   Dfa(int alphabet_size, int num_states)
@@ -37,19 +43,25 @@ class Dfa {
   /// Language complement (flip accepting states; the DFA is complete).
   Dfa Complement() const;
 
-  /// Product automata.
+  /// Product automata. Only pairs reachable from the initial pair are
+  /// constructed, so the result has ≤ |this|·|other| states and usually far
+  /// fewer; every explored pair reports to
+  /// `Metric::kAutomataProductPairsExplored`.
   Dfa IntersectWith(const Dfa& other) const;
   Dfa UnionWith(const Dfa& other) const;
 
-  /// Hopcroft-style minimization (implemented as Moore partition
-  /// refinement); unreachable states are dropped first.
+  /// True iff L(a) ∩ L(b) = ∅, decided by an on-the-fly pair BFS that never
+  /// materializes the product and exits at the first co-accepting pair.
+  static bool IsEmptyProduct(const Dfa& a, const Dfa& b);
+
+  /// Hopcroft partition refinement; unreachable states are dropped first.
   Dfa Minimize() const;
 
   /// True if no accepting state is reachable.
   bool IsEmpty() const;
 
-  /// Language equivalence (via minimized canonical forms would be overkill:
-  /// checked by product reachability of a distinguishing state pair).
+  /// Language equivalence, decided by a pair BFS over the on-the-fly
+  /// product: equivalent iff no reachable pair disagrees on acceptance.
   bool EquivalentTo(const Dfa& other) const;
 
   /// Converts back to an NFA (for further Thompson-style composition).

@@ -1,6 +1,8 @@
 #include "xpc/automata/nfa.h"
 
+#include <algorithm>
 #include <cassert>
+#include <climits>
 #include <deque>
 
 #include "xpc/common/stats.h"
@@ -22,36 +24,145 @@ Nfa Nfa::SingleSymbol(int alphabet_size, int symbol) {
   return nfa;
 }
 
-int Nfa::AddState() { return num_states_++; }
+int Nfa::AddState() {
+  index_ = Index{};
+  return num_states_++;
+}
 
 void Nfa::AddTransition(int from, int symbol, int to) {
   assert(from >= 0 && from < num_states_ && to >= 0 && to < num_states_);
   assert(symbol == kEpsilon || (symbol >= 0 && symbol < alphabet_size_));
+  index_ = Index{};
   transitions_.push_back({from, symbol, to});
+}
+
+const Nfa::Index& Nfa::EnsureIndex() const {
+  if (index_.valid) return index_;
+  const int n = num_states_;
+  const int k = alphabet_size_;
+  Index ix;
+
+  // CSR: count per (state, symbol) and per-state ε degree, prefix-sum, fill.
+  ix.sym_off.assign(static_cast<size_t>(n) * k + 1, 0);
+  ix.eps_off.assign(n + 1, 0);
+  for (const Transition& t : transitions_) {
+    if (t.symbol == kEpsilon) {
+      ++ix.eps_off[t.from + 1];
+    } else {
+      ++ix.sym_off[static_cast<size_t>(t.from) * k + t.symbol + 1];
+    }
+  }
+  for (size_t i = 1; i < ix.sym_off.size(); ++i) ix.sym_off[i] += ix.sym_off[i - 1];
+  for (int i = 1; i <= n; ++i) ix.eps_off[i] += ix.eps_off[i - 1];
+  ix.sym_to.resize(ix.sym_off.back());
+  ix.eps_to.resize(ix.eps_off.back());
+  {
+    std::vector<int32_t> sym_cur(ix.sym_off.begin(), ix.sym_off.end() - 1);
+    std::vector<int32_t> eps_cur(ix.eps_off.begin(), ix.eps_off.end() - 1);
+    for (const Transition& t : transitions_) {
+      if (t.symbol == kEpsilon) {
+        ix.eps_to[eps_cur[t.from]++] = t.to;
+      } else {
+        ix.sym_to[sym_cur[static_cast<size_t>(t.from) * k + t.symbol]++] = t.to;
+      }
+    }
+  }
+  ix.has_epsilon = !ix.eps_to.empty();
+
+  ix.accepting_mask = Bits(n);
+  for (int s : accepting_) ix.accepting_mask.Set(s);
+
+  // Per-state ε-closures by worklist propagation over reverse ε-edges:
+  // closure[q] = {q} ∪ ⋃ closure[v] for ε-successors v, to fixpoint.
+  if (ix.has_epsilon) {
+    ix.closure.reserve(n);
+    for (int q = 0; q < n; ++q) {
+      Bits self(n);
+      self.Set(q);
+      ix.closure.push_back(std::move(self));
+    }
+    std::vector<std::vector<int32_t>> eps_pred(n);
+    for (int q = 0; q < n; ++q) {
+      for (int32_t i = ix.eps_off[q]; i < ix.eps_off[q + 1]; ++i) {
+        eps_pred[ix.eps_to[i]].push_back(q);
+      }
+    }
+    std::deque<int> work;
+    std::vector<bool> queued(n, false);
+    for (int q = 0; q < n; ++q) {
+      if (ix.eps_off[q + 1] > ix.eps_off[q]) {
+        work.push_back(q);
+        queued[q] = true;
+      }
+    }
+    while (!work.empty()) {
+      int q = work.front();
+      work.pop_front();
+      queued[q] = false;
+      bool changed = false;
+      for (int32_t i = ix.eps_off[q]; i < ix.eps_off[q + 1]; ++i) {
+        changed |= ix.closure[q].UnionWith(ix.closure[ix.eps_to[i]]);
+      }
+      if (changed) {
+        for (int32_t p : eps_pred[q]) {
+          if (!queued[p]) {
+            work.push_back(p);
+            queued[p] = true;
+          }
+        }
+      }
+    }
+    StatsAdd(Metric::kAutomataClosureCacheMisses, n);
+  }
+
+  ix.valid = true;
+  index_ = std::move(ix);
+  return index_;
 }
 
 Bits Nfa::EpsilonClosure(const Bits& states) const {
   StatsAdd(Metric::kAutomataEpsilonClosureCalls);
+  const Index& ix = EnsureIndex();
+  if (!ix.has_epsilon) return states;
+  StatsAdd(Metric::kAutomataClosureCacheHits);
   Bits closed = states;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const Transition& t : transitions_) {
-      if (t.symbol == kEpsilon && closed.Get(t.from) && !closed.Get(t.to)) {
-        closed.Set(t.to);
-        changed = true;
-      }
-    }
-  }
+  states.ForEach([&](int q) { closed.UnionWith(ix.closure[q]); });
   return closed;
 }
 
-Bits Nfa::Step(const Bits& states, int symbol) const {
-  Bits next(num_states_);
-  for (const Transition& t : transitions_) {
-    if (t.symbol == symbol && states.Get(t.from)) next.Set(t.to);
+Bits Nfa::EpsilonClosure(int state) const {
+  StatsAdd(Metric::kAutomataEpsilonClosureCalls);
+  const Index& ix = EnsureIndex();
+  if (!ix.has_epsilon) {
+    Bits single(num_states_);
+    single.Set(state);
+    return single;
   }
-  return EpsilonClosure(next);
+  StatsAdd(Metric::kAutomataClosureCacheHits);
+  return ix.closure[state];
+}
+
+Bits Nfa::Step(const Bits& states, int symbol) const {
+  const Index& ix = EnsureIndex();
+  Bits next(num_states_);
+  const int k = alphabet_size_;
+  if (ix.has_epsilon) {
+    StatsAdd(Metric::kAutomataEpsilonClosureCalls);
+    StatsAdd(Metric::kAutomataClosureCacheHits);
+  }
+  states.ForEach([&](int q) {
+    const size_t base = static_cast<size_t>(q) * k + symbol;
+    for (int32_t i = ix.sym_off[base]; i < ix.sym_off[base + 1]; ++i) {
+      int32_t t = ix.sym_to[i];
+      if (next.Get(t)) continue;  // εcl(t) ⊆ next already (closures are transitive).
+      if (ix.has_epsilon) {
+        next.UnionWith(ix.closure[t]);
+      } else {
+        next.Set(t);
+      }
+    }
+  });
+  return next;
 }
 
 Bits Nfa::InitialSet() const {
@@ -61,6 +172,7 @@ Bits Nfa::InitialSet() const {
 }
 
 bool Nfa::AnyAccepting(const Bits& states) const {
+  if (index_.valid) return states.Intersects(index_.accepting_mask);
   for (int s : accepting_) {
     if (states.Get(s)) return true;
   }
@@ -79,61 +191,88 @@ bool Nfa::Accepts(const std::vector<int>& word) const {
 bool Nfa::IsEmpty() const { return !ShortestWord().first; }
 
 std::pair<bool, std::vector<int>> Nfa::ShortestWord() const {
-  // BFS over single states (ε-transitions have zero weight).
+  // 0-1 BFS over single states: ε-moves are zero-weight and relax to the
+  // queue front, symbol moves cost one and relax to the back, so states pop
+  // in nondecreasing word-length order and the witness is truly shortest.
+  // Entries are append-only (one per improvement) with parent links into the
+  // entry list, so reconstruction can never cycle.
+  const Index& ix = EnsureIndex();
+  const int k = alphabet_size_;
   struct Entry {
     int state;
     int parent;  // Index into `entries`.
     int symbol;  // Symbol taken to reach `state` (kEpsilon allowed).
   };
   std::vector<Entry> entries;
-  std::vector<bool> seen(num_states_, false);
+  std::vector<int> dist(num_states_, INT_MAX);
+  std::vector<int> best(num_states_, -1);
   std::deque<int> queue;
   for (int s : initial_) {
-    if (!seen[s]) {
-      seen[s] = true;
-      entries.push_back({s, -1, kEpsilon});
-      queue.push_back(static_cast<int>(entries.size()) - 1);
-    }
+    if (dist[s] == 0) continue;
+    dist[s] = 0;
+    entries.push_back({s, -1, kEpsilon});
+    best[s] = static_cast<int>(entries.size()) - 1;
+    queue.push_back(best[s]);
   }
   while (!queue.empty()) {
     int idx = queue.front();
     queue.pop_front();
-    int state = entries[idx].state;
-    for (int acc : accepting_) {
-      if (acc == state) {
-        std::vector<int> word;
-        for (int i = idx; i != -1; i = entries[i].parent) {
-          if (entries[i].symbol != kEpsilon) word.push_back(entries[i].symbol);
-        }
-        std::reverse(word.begin(), word.end());
-        return {true, word};
+    const int state = entries[idx].state;
+    if (best[state] != idx) continue;  // Superseded by a shorter path.
+    const int d = dist[state];
+    for (int32_t i = ix.eps_off[state]; i < ix.eps_off[state + 1]; ++i) {
+      int32_t to = ix.eps_to[i];
+      if (d >= dist[to]) continue;
+      dist[to] = d;
+      entries.push_back({to, idx, kEpsilon});
+      best[to] = static_cast<int>(entries.size()) - 1;
+      queue.push_front(best[to]);
+    }
+    const size_t base = static_cast<size_t>(state) * k;
+    for (int a = 0; a < k; ++a) {
+      for (int32_t i = ix.sym_off[base + a]; i < ix.sym_off[base + a + 1]; ++i) {
+        int32_t to = ix.sym_to[i];
+        if (d + 1 >= dist[to]) continue;
+        dist[to] = d + 1;
+        entries.push_back({to, idx, a});
+        best[to] = static_cast<int>(entries.size()) - 1;
+        queue.push_back(best[to]);
       }
     }
-    for (const Transition& t : transitions_) {
-      if (t.from != state || seen[t.to]) continue;
-      seen[t.to] = true;
-      entries.push_back({t.to, idx, t.symbol});
-      // ε first (front) to keep BFS-by-length approximately; exactness of
-      // "shortest" is not required by callers, only existence.
-      queue.push_back(static_cast<int>(entries.size()) - 1);
-    }
   }
-  return {false, {}};
+  int found = -1;
+  for (int acc : accepting_) {
+    if (dist[acc] == INT_MAX) continue;
+    if (found < 0 || dist[acc] < dist[found]) found = acc;
+  }
+  if (found < 0) return {false, {}};
+  std::vector<int> word;
+  for (int i = best[found]; i != -1; i = entries[i].parent) {
+    if (entries[i].symbol != kEpsilon) word.push_back(entries[i].symbol);
+  }
+  std::reverse(word.begin(), word.end());
+  return {true, word};
 }
 
 Nfa Nfa::RemoveEpsilons() const {
+  const Index& ix = EnsureIndex();
+  if (!ix.has_epsilon) return *this;
   Nfa out(alphabet_size_, num_states_);
+  const int k = alphabet_size_;
   for (int q = 0; q < num_states_; ++q) {
-    Bits single(num_states_);
-    single.Set(q);
-    Bits closure = EpsilonClosure(single);
-    // q -a-> q' whenever some state in εcl(q) has an a-transition into the
-    // ε-closure target.
-    for (const Transition& t : transitions_) {
-      if (t.symbol == kEpsilon || !closure.Get(t.from)) continue;
-      Bits target(num_states_);
-      target.Set(t.to);
-      EpsilonClosure(target).ForEach([&](int to) { out.AddTransition(q, t.symbol, to); });
+    const Bits& closure = ix.closure[q];
+    // q -a-> εcl(t) whenever some state in εcl(q) has an a-transition to t;
+    // accumulate per symbol so duplicates collapse.
+    for (int a = 0; a < k; ++a) {
+      Bits dest(num_states_);
+      closure.ForEach([&](int p) {
+        const size_t base = static_cast<size_t>(p) * k + a;
+        for (int32_t i = ix.sym_off[base]; i < ix.sym_off[base + 1]; ++i) {
+          int32_t t = ix.sym_to[i];
+          if (!dest.Get(t)) dest.UnionWith(ix.closure[t]);
+        }
+      });
+      dest.ForEach([&](int to) { out.AddTransition(q, a, to); });
     }
     if (AnyAccepting(closure)) out.SetAccepting(q);
   }

@@ -1,6 +1,7 @@
 #ifndef XPC_AUTOMATA_NFA_H_
 #define XPC_AUTOMATA_NFA_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,15 @@ namespace xpc {
 /// Used for EDTD content models (Definition 2 / Proposition 6), for the
 /// Fig. 2 algorithm's children-word checks, and as the backbone of path
 /// automata (Definition 7).
+///
+/// Hot queries (`Step`, `EpsilonClosure`, `Accepts`, `ShortestWord`,
+/// `RemoveEpsilons`) run on a lazily built CSR adjacency index — per-state,
+/// per-symbol target lists plus a separate ε-adjacency — together with a
+/// per-state ε-closure memo computed once by worklist propagation. The index
+/// is invalidated by any mutation (`AddState`, `AddTransition`,
+/// `SetAccepting`) and rebuilt on the next query; `EnsureIndexed()` lets
+/// owners of shared const NFAs (e.g. `Edtd::ContentNfa`) pre-build it before
+/// publishing across threads.
 class Nfa {
  public:
   static constexpr int kEpsilon = -1;
@@ -35,7 +45,10 @@ class Nfa {
 
   void AddTransition(int from, int symbol, int to);
   void SetInitial(int state) { initial_.push_back(state); }
-  void SetAccepting(int state) { accepting_.push_back(state); }
+  void SetAccepting(int state) {
+    accepting_.push_back(state);
+    index_.valid = false;
+  }
 
   const std::vector<int>& initial() const { return initial_; }
   const std::vector<int>& accepting() const { return accepting_; }
@@ -48,8 +61,16 @@ class Nfa {
   };
   const std::vector<Transition>& transitions() const { return transitions_; }
 
+  /// Builds the CSR index and ε-closure memo now (idempotent). Call before
+  /// sharing a const NFA across threads: the lazy build under `const` is not
+  /// synchronized, exactly like `Edtd`'s lazily compiled content NFAs.
+  void EnsureIndexed() const { EnsureIndex(); }
+
   /// ε-closure of a state set.
   Bits EpsilonClosure(const Bits& states) const;
+
+  /// ε-closure of a single state (served from the per-state memo).
+  Bits EpsilonClosure(int state) const;
 
   /// One-symbol successor set (includes ε-closure of the result).
   Bits Step(const Bits& states, int symbol) const;
@@ -66,8 +87,9 @@ class Nfa {
   /// True if the language is empty.
   bool IsEmpty() const;
 
-  /// Returns some accepted word, shortest first; empty optional-like flag via
-  /// return pair (found, word).
+  /// Returns some shortest accepted word via 0-1 BFS (ε-moves are
+  /// zero-weight, so the returned word is genuinely minimal in length);
+  /// empty optional-like flag via return pair (found, word).
   std::pair<bool, std::vector<int>> ShortestWord() const;
 
   /// Returns an equivalent NFA without ε-transitions (same state count).
@@ -82,11 +104,30 @@ class Nfa {
   static Nfa OptionalOf(const Nfa& a);
 
  private:
+  /// CSR adjacency + ε-closure memo. `sym_to[sym_off[q * k + a] ..
+  /// sym_off[q * k + a + 1])` are the a-successors of q; the ε-adjacency is
+  /// kept separately, and `closure[q]` memoizes εcl({q}) (only materialized
+  /// when the NFA has ε-transitions at all). `accepting_mask` mirrors
+  /// `accepting_` as a bitset for O(words) acceptance tests.
+  struct Index {
+    bool valid = false;
+    bool has_epsilon = false;
+    std::vector<int32_t> sym_off;
+    std::vector<int32_t> sym_to;
+    std::vector<int32_t> eps_off;
+    std::vector<int32_t> eps_to;
+    std::vector<Bits> closure;
+    Bits accepting_mask;
+  };
+
+  const Index& EnsureIndex() const;
+
   int alphabet_size_;
   int num_states_;
   std::vector<int> initial_;
   std::vector<int> accepting_;
   std::vector<Transition> transitions_;
+  mutable Index index_;
 };
 
 }  // namespace xpc

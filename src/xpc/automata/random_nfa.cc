@@ -1,0 +1,63 @@
+#include "xpc/automata/random_nfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace xpc {
+
+namespace {
+
+// splitmix64: tiny, seedable, and reproducible across platforms — the same
+// sequence must drive benches and the differential tests identically.
+struct SplitMix64 {
+  uint64_t state;
+  uint64_t Next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  uint64_t NextBelow(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+};
+
+}  // namespace
+
+Nfa RandomTabakovVardiNfa(int num_states, int alphabet_size, double transition_density,
+                          double acceptance_density, uint64_t seed) {
+  assert(num_states > 0 && alphabet_size > 0);
+  SplitMix64 rng{seed * 0x9e3779b97f4a7c15ULL + 0x5eedULL};
+  Nfa nfa(alphabet_size, num_states);
+  nfa.SetInitial(0);
+
+  const int64_t pairs = static_cast<int64_t>(num_states) * num_states;
+  int64_t per_symbol = static_cast<int64_t>(transition_density * num_states + 0.5);
+  per_symbol = std::min(per_symbol, pairs);
+  // Partial Fisher-Yates over the (from, to) pair space picks `per_symbol`
+  // distinct transitions per symbol.
+  std::vector<int> pair_ids(pairs);
+  for (int a = 0; a < alphabet_size; ++a) {
+    for (int64_t i = 0; i < pairs; ++i) pair_ids[i] = static_cast<int>(i);
+    for (int64_t i = 0; i < per_symbol; ++i) {
+      int64_t j = i + static_cast<int64_t>(rng.NextBelow(pairs - i));
+      std::swap(pair_ids[i], pair_ids[j]);
+      nfa.AddTransition(pair_ids[i] / num_states, a, pair_ids[i] % num_states);
+    }
+  }
+
+  int accepting = static_cast<int>(acceptance_density * num_states + 0.5);
+  accepting = std::min(accepting, num_states);
+  if (accepting > 0) {
+    nfa.SetAccepting(0);
+    std::vector<int> states(num_states - 1);
+    for (int i = 1; i < num_states; ++i) states[i - 1] = i;
+    for (int i = 0; i < accepting - 1; ++i) {
+      int j = i + static_cast<int>(rng.NextBelow(states.size() - i));
+      std::swap(states[i], states[j]);
+      nfa.SetAccepting(states[i]);
+    }
+  }
+  return nfa;
+}
+
+}  // namespace xpc

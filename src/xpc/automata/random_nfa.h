@@ -1,0 +1,25 @@
+#ifndef XPC_AUTOMATA_RANDOM_NFA_H_
+#define XPC_AUTOMATA_RANDOM_NFA_H_
+
+#include <cstdint>
+
+#include "xpc/automata/nfa.h"
+
+namespace xpc {
+
+/// Tabakov–Vardi random NFA model (Tabakov & Vardi, LPAR'05): `num_states`
+/// states over an alphabet of `alphabet_size` symbols, with
+/// `transition_density * num_states` transitions per symbol and
+/// `acceptance_density * num_states` accepting states, all drawn uniformly
+/// without replacement from a seeded deterministic PRNG. State 0 is the only
+/// initial state, and is always accepting when `acceptance_density > 0` (the
+/// standard convention, so the language is never trivially empty for f > 0).
+///
+/// Used by the automata microbenches and by the randomized substrate
+/// cross-check tests; the classic hard region is density ~1.25.
+Nfa RandomTabakovVardiNfa(int num_states, int alphabet_size, double transition_density,
+                          double acceptance_density, uint64_t seed);
+
+}  // namespace xpc
+
+#endif  // XPC_AUTOMATA_RANDOM_NFA_H_

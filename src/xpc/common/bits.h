@@ -57,6 +57,14 @@ class Bits {
     for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
   }
 
+  /// True if this and `other` share any set bit.
+  bool Intersects(const Bits& other) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+
   /// True if this is a subset of `other`.
   bool SubsetOf(const Bits& other) const {
     for (size_t i = 0; i < words_.size(); ++i) {

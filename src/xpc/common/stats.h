@@ -38,6 +38,10 @@ namespace xpc {
   X(kAutomataPeakBlowupPct, "automata.peak_blowup_pct", kGauge)               \
   X(kAutomataMinimizeStatesIn, "automata.minimize_states_in", kCounter)       \
   X(kAutomataMinimizeStatesOut, "automata.minimize_states_out", kCounter)     \
+  X(kAutomataClosureCacheHits, "automata.closure_cache_hits", kCounter)       \
+  X(kAutomataClosureCacheMisses, "automata.closure_cache_misses", kCounter)   \
+  X(kAutomataProductPairsExplored, "automata.product_pairs_explored", kCounter) \
+  X(kAutomataHopcroftSplits, "automata.hopcroft_splits", kCounter)            \
   /* ata: 2ATA construction and membership games (Section 3.3) */             \
   X(kAtaBuild, "ata.build", kTimer)                                           \
   X(kAtaMembership, "ata.membership", kTimer)                                 \

@@ -154,8 +154,9 @@ void Session::SetSolverOptions(const SolverOptions& options) {
 }
 
 void Session::SetEdtd(const Edtd& edtd) {
-  // Pre-build the lazily-cached content NFAs while the copy is still
-  // private, so the published EDTD is never mutated from worker threads.
+  // Pre-build the lazily-cached content NFAs (including their CSR indexes
+  // and ε-closure memos) while the copy is still private, so the published
+  // EDTD is never mutated from worker threads.
   auto fresh = std::make_shared<Edtd>(edtd);
   for (size_t i = 0; i < fresh->types().size(); ++i) fresh->ContentNfa(static_cast<int>(i));
   std::lock_guard<std::mutex> lock(mu_);

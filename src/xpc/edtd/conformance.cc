@@ -72,10 +72,7 @@ void AssignTypes(const XmlTree& tree, const Edtd& edtd, const std::vector<Bits>&
         // the set of states q in fwd[i] with Step({q}, ct) ∩ stepped ≠ ∅.
         Bits new_goal(nfa.num_states());
         fwd[i].ForEach([&](int q) {
-          Bits single(nfa.num_states());
-          single.Set(q);
-          single = nfa.EpsilonClosure(single);
-          Bits stepq = nfa.Step(single, ct);
+          Bits stepq = nfa.Step(nfa.EpsilonClosure(q), ct);
           stepq.IntersectWith(stepped);
           if (!stepq.None()) new_goal.Set(q);
         });

@@ -121,6 +121,9 @@ const Nfa& Edtd::ContentNfa(int type_index) const {
   assert(type_index >= 0 && type_index < static_cast<int>(types_.size()));
   if (!content_built_[type_index]) {
     content_nfas_[type_index] = CompileRegex(types_[type_index].content, abstract_alphabet_);
+    // Pre-build the CSR index + ε-closure memo while still single-threaded,
+    // so published content NFAs are read-only afterwards.
+    content_nfas_[type_index].EnsureIndexed();
     content_built_[type_index] = true;
   }
   return content_nfas_[type_index];

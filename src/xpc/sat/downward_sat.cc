@@ -38,6 +38,18 @@ struct SummaryHash {
   }
 };
 
+struct BitsPairHash {
+  size_t operator()(const std::pair<Bits, Bits>& p) const {
+    return p.first.Hash() * 0x9e3779b97f4a7c15ULL + p.second.Hash();
+  }
+};
+
+struct BitsBoolHash {
+  size_t operator()(const std::pair<Bits, bool>& p) const {
+    return p.first.Hash() * 2 + (p.second ? 1 : 0);
+  }
+};
+
 class DownwardEngine {
  public:
   DownwardEngine(const NodePtr& phi, const Edtd& edtd, bool any_root,
@@ -326,7 +338,7 @@ class DownwardEngine {
       int via_child = -1; // Summary id taken to reach this node.
     };
     std::vector<Node> nodes;
-    std::map<std::pair<Bits, Bits>, int> seen;
+    std::unordered_map<std::pair<Bits, Bits>, int, BitsPairHash> seen;
     std::queue<int> work;
 
     auto push = [&](Bits states, Bits acc, int prev, int via) {
@@ -337,6 +349,12 @@ class DownwardEngine {
       nodes.push_back({std::move(states), std::move(acc), prev, via});
       work.push(id);
     };
+
+    // Per-node NFA steps memoized by child type (valid for the node id
+    // stamped in step_epoch), allocated once for the whole pass.
+    const int num_types = static_cast<int>(edtd_.types().size());
+    std::vector<int> step_epoch(num_types, -1);
+    std::vector<Bits> step_memo(num_types);
 
     push(nfa.InitialSet(), Bits(static_cast<int>(atoms_.size())), -1, -1);
     while (!work.empty()) {
@@ -368,14 +386,22 @@ class DownwardEngine {
       }
       // Extend by one child. Note: summaries_ may grow during this pass;
       // only the summaries present at pass start are used (the outer
-      // fixpoint re-runs until stable).
+      // fixpoint re-runs until stable). The NFA step depends only on the
+      // summary's *type*, and many summaries share one, so steps are
+      // hoisted into a per-node by-type memo.
       const size_t limit = summaries_.size();
+      const Bits cur_states = nodes[id].states;  // push() may realloc nodes.
       for (size_t c = 0; c < limit; ++c) {
-        Bits next = nfa.Step(nodes[id].states, summaries_[c].type);
+        const int ct = summaries_[c].type;
+        if (step_epoch[ct] != id) {
+          step_memo[ct] = nfa.Step(cur_states, ct);
+          step_epoch[ct] = id;
+        }
+        const Bits& next = step_memo[ct];
         if (next.None()) continue;
         Bits acc = nodes[id].acc;
         acc.UnionWith(ContributionOf(static_cast<int>(c)));
-        push(std::move(next), std::move(acc), id, static_cast<int>(c));
+        push(next, std::move(acc), id, static_cast<int>(c));
       }
     }
     return true;
@@ -423,7 +449,7 @@ class DownwardEngine {
       int via = -1;
     };
     std::vector<Node> nodes;
-    std::map<std::pair<Bits, bool>, int> seen;
+    std::unordered_map<std::pair<Bits, bool>, int, BitsBoolHash> seen;
     std::queue<int> work;
     auto push = [&](Bits states, bool has, int prev, int via) {
       auto key = std::make_pair(states, has);

@@ -1,0 +1,208 @@
+// Differential tests for the automata substrate: the production algorithms
+// (Hopcroft minimization, hash-interned subset construction, on-the-fly
+// pair-BFS products) are cross-checked against straightforward reference
+// implementations — Moore signature refinement and fully materialized n×m
+// products — on hundreds of seeded Tabakov-Vardi random NFAs.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "xpc/automata/dfa.h"
+#include "xpc/automata/nfa.h"
+#include "xpc/automata/random_nfa.h"
+
+namespace xpc {
+namespace {
+
+// Moore partition refinement (signature maps), restricted to reachable
+// states first — the pre-Hopcroft production algorithm, kept verbatim as a
+// reference.
+Dfa MooreMinimizeReference(const Dfa& dfa) {
+  const int k = dfa.alphabet_size();
+  std::vector<int> reach_id(dfa.num_states(), -1);
+  std::vector<int> order;
+  std::queue<int> q;
+  reach_id[dfa.initial()] = 0;
+  order.push_back(dfa.initial());
+  q.push(dfa.initial());
+  while (!q.empty()) {
+    int s = q.front();
+    q.pop();
+    for (int a = 0; a < k; ++a) {
+      int t = dfa.next(s, a);
+      if (reach_id[t] < 0) {
+        reach_id[t] = static_cast<int>(order.size());
+        order.push_back(t);
+        q.push(t);
+      }
+    }
+  }
+  const int n = static_cast<int>(order.size());
+
+  std::vector<int> part(n);
+  for (int i = 0; i < n; ++i) part[i] = dfa.accepting(order[i]) ? 1 : 0;
+  int num_parts = 2;
+  while (true) {
+    std::map<std::vector<int>, int> sig_ids;
+    std::vector<int> new_part(n);
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> sig;
+      sig.reserve(k + 1);
+      sig.push_back(part[i]);
+      for (int a = 0; a < k; ++a) sig.push_back(part[reach_id[dfa.next(order[i], a)]]);
+      auto [it, inserted] = sig_ids.emplace(std::move(sig), static_cast<int>(sig_ids.size()));
+      new_part[i] = it->second;
+      (void)inserted;
+    }
+    int new_num = static_cast<int>(sig_ids.size());
+    part.swap(new_part);
+    if (new_num == num_parts) break;
+    num_parts = new_num;
+  }
+
+  Dfa out(k, num_parts);
+  out.set_initial(part[0]);
+  for (int i = 0; i < n; ++i) {
+    int p = part[i];
+    out.set_accepting(p, dfa.accepting(order[i]));
+    for (int a = 0; a < k; ++a) out.set_next(p, a, part[reach_id[dfa.next(order[i], a)]]);
+  }
+  return out;
+}
+
+// Fully materialized n×m product — the pre-lazy production algorithm.
+Dfa MaterializedProduct(const Dfa& a, const Dfa& b, bool intersect) {
+  const int k = a.alphabet_size();
+  const int nb = b.num_states();
+  Dfa out(k, a.num_states() * nb);
+  out.set_initial(a.initial() * nb + b.initial());
+  for (int sa = 0; sa < a.num_states(); ++sa) {
+    for (int sb = 0; sb < nb; ++sb) {
+      int s = sa * nb + sb;
+      bool acc = intersect ? (a.accepting(sa) && b.accepting(sb))
+                           : (a.accepting(sa) || b.accepting(sb));
+      out.set_accepting(s, acc);
+      for (int x = 0; x < k; ++x) {
+        out.set_next(s, x, a.next(sa, x) * nb + b.next(sb, x));
+      }
+    }
+  }
+  return out;
+}
+
+// Symmetric-difference emptiness via materialized products.
+bool EquivalentReference(const Dfa& a, const Dfa& b) {
+  return MaterializedProduct(a, b.Complement(), true).IsEmpty() &&
+         MaterializedProduct(a.Complement(), b, true).IsEmpty();
+}
+
+// Length of a shortest accepted word of a (complete) DFA, -1 if L = ∅.
+int DfaShortestAcceptLen(const Dfa& d) {
+  std::vector<int> dist(d.num_states(), -1);
+  std::queue<int> q;
+  dist[d.initial()] = 0;
+  q.push(d.initial());
+  while (!q.empty()) {
+    int s = q.front();
+    q.pop();
+    if (d.accepting(s)) return dist[s];
+    for (int a = 0; a < d.alphabet_size(); ++a) {
+      int t = d.next(s, a);
+      if (dist[t] < 0) {
+        dist[t] = dist[s] + 1;
+        q.push(t);
+      }
+    }
+  }
+  return -1;
+}
+
+TEST(AutomataReference, RandomizedCrossCheck) {
+  // 520 seeded random NFAs in the Tabakov-Vardi hard region: every
+  // production-path result is compared against the reference algorithms.
+  constexpr int kNumNfas = 520;
+  Dfa prev(2, 1);
+  bool have_prev = false;
+  for (int i = 0; i < kNumNfas; ++i) {
+    const int n = 4 + (i % 7);
+    Nfa nfa = RandomTabakovVardiNfa(n, 2, 1.25, 0.3, 7000 + i);
+    Dfa d = Dfa::Determinize(nfa);
+
+    // Hopcroft agrees with Moore: same (minimal) size, same language.
+    Dfa m = d.Minimize();
+    Dfa ref = MooreMinimizeReference(d);
+    ASSERT_EQ(m.num_states(), ref.num_states()) << "nfa " << i;
+    ASSERT_TRUE(EquivalentReference(m, d)) << "nfa " << i;
+    ASSERT_TRUE(d.EquivalentTo(m)) << "nfa " << i;
+
+    // ShortestWord is genuinely shortest (cross-checked on the DFA).
+    auto [found, word] = nfa.ShortestWord();
+    int want_len = DfaShortestAcceptLen(d);
+    if (found) {
+      ASSERT_EQ(static_cast<int>(word.size()), want_len) << "nfa " << i;
+      ASSERT_TRUE(nfa.Accepts(word)) << "nfa " << i;
+      ASSERT_TRUE(d.Accepts(word)) << "nfa " << i;
+    } else {
+      ASSERT_EQ(want_len, -1) << "nfa " << i;
+    }
+
+    if (have_prev) {
+      // On-the-fly decisions agree with materialized products.
+      ASSERT_EQ(Dfa::IsEmptyProduct(d, prev), MaterializedProduct(d, prev, true).IsEmpty())
+          << "nfa " << i;
+      ASSERT_EQ(d.EquivalentTo(prev), EquivalentReference(d, prev)) << "nfa " << i;
+      // Lazy reachable-only products denote the same languages.
+      ASSERT_TRUE(EquivalentReference(d.IntersectWith(prev), MaterializedProduct(d, prev, true)))
+          << "nfa " << i;
+      ASSERT_TRUE(EquivalentReference(d.UnionWith(prev), MaterializedProduct(d, prev, false)))
+          << "nfa " << i;
+      // Lazy products never exceed the materialized state count.
+      ASSERT_LE(d.IntersectWith(prev).num_states(), d.num_states() * prev.num_states());
+    }
+    prev = d;
+    have_prev = true;
+  }
+}
+
+TEST(AutomataReference, EpsilonPathsCrossCheck) {
+  // Thompson compositions are ε-rich: exercise the ε-closure memo, indexed
+  // RemoveEpsilons, and the zero-weight edges of the 0-1 BFS.
+  for (int i = 0; i < 60; ++i) {
+    const int n = 3 + (i % 4);
+    Nfa a = RandomTabakovVardiNfa(n, 2, 1.25, 0.3, 9000 + i);
+    Nfa b = RandomTabakovVardiNfa(n, 2, 1.25, 0.3, 9500 + i);
+    Nfa star = Nfa::StarOf(Nfa::ConcatOf(a, Nfa::OptionalOf(b)));
+    Nfa noeps = star.RemoveEpsilons();
+    Dfa d1 = Dfa::Determinize(star);
+    Dfa d2 = Dfa::Determinize(noeps);
+    ASSERT_TRUE(EquivalentReference(d1, d2)) << "pair " << i;
+    ASSERT_TRUE(d1.EquivalentTo(d2)) << "pair " << i;
+    // StarOf accepts ε, and only a true 0-1 BFS reports length 0 here.
+    auto [found, word] = star.ShortestWord();
+    ASSERT_TRUE(found) << "pair " << i;
+    ASSERT_TRUE(word.empty()) << "pair " << i;
+  }
+}
+
+TEST(AutomataReference, IndexInvalidationOnMutation) {
+  Nfa nfa(2, 2);
+  nfa.SetInitial(0);
+  nfa.AddTransition(0, 0, 1);
+  EXPECT_TRUE(nfa.IsEmpty());  // Builds the index with no accepting states.
+  nfa.SetAccepting(1);         // Must invalidate the accepting mask.
+  EXPECT_FALSE(nfa.IsEmpty());
+  auto [found, word] = nfa.ShortestWord();
+  ASSERT_TRUE(found);
+  EXPECT_EQ(word, std::vector<int>({0}));
+  int s = nfa.AddState();      // Must invalidate the CSR layout.
+  nfa.AddTransition(0, 1, s);
+  nfa.SetAccepting(s);
+  EXPECT_TRUE(nfa.Accepts({1}));
+  EXPECT_TRUE(nfa.Accepts({0}));
+}
+
+}  // namespace
+}  // namespace xpc

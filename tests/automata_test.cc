@@ -71,6 +71,24 @@ TEST(Nfa, ShortestWord) {
   EXPECT_TRUE(nfa.Accepts(word));
 }
 
+TEST(Nfa, ShortestWordIsMinimalAcrossEpsilonBranches) {
+  // Regression: BFS ordered by transition insertion used to return "aa"
+  // (found via the branch inserted first) even though the ε-branch accepts
+  // the shorter "b". A true 0-1 BFS must report a length-1 word.
+  Nfa nfa(2, 4);
+  nfa.SetInitial(0);
+  nfa.AddTransition(0, 0, 1);             // 0 -a-> 1
+  nfa.AddTransition(1, 0, 2);             // 1 -a-> 2 (accepting)
+  nfa.AddTransition(0, Nfa::kEpsilon, 3); // 0 -ε-> 3
+  nfa.AddTransition(3, 1, 2);             // 3 -b-> 2
+  nfa.SetAccepting(2);
+  auto [found, word] = nfa.ShortestWord();
+  ASSERT_TRUE(found);
+  ASSERT_EQ(word.size(), 1u);
+  EXPECT_EQ(word, std::vector<int>({1}));
+  EXPECT_TRUE(nfa.Accepts(word));
+}
+
 TEST(Nfa, RemoveEpsilons) {
   std::vector<std::string> sigma = {"a", "b"};
   Nfa nfa = CompileRegex(Rx("(a b)* | b?"), sigma);

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "xpc/automata/dfa.h"
+#include "xpc/automata/nfa.h"
 #include "xpc/core/session.h"
 #include "xpc/core/solver.h"
 #include "xpc/xpath/parser.h"
@@ -154,6 +156,47 @@ TEST(StatsSnapshot, JsonContainsEveryRegisteredMetric) {
         << info.name;
   }
   EXPECT_NE(json.find("\"determinization_blowup\": 3.5"), std::string::npos) << json;
+}
+
+// The automata-substrate counters added with the indexed-NFA overhaul
+// (closure cache hits/misses, product pairs explored, Hopcroft splits)
+// report through the same hooks: driven here by a small ε-NFA whose minimal
+// DFA needs a refinement split, and compiled out with XPC_STATS=OFF like
+// every other metric (the OFF build runs this test expecting all zeros).
+TEST(Stats, AutomataSubstrateCountersReport) {
+  Stats s;
+  {
+    ScopedStatsSink sink(&s);
+    // Words over {a, b} of length ≥ 2: the minimal DFA has 3 states, so
+    // Hopcroft must split the non-accepting block at least once. Acceptance
+    // goes through an ε-edge so the closure memo actually materializes.
+    Nfa nfa(2, 4);
+    nfa.SetInitial(0);
+    for (int a = 0; a < 2; ++a) {
+      nfa.AddTransition(0, a, 1);
+      nfa.AddTransition(1, a, 2);
+      nfa.AddTransition(2, a, 2);
+    }
+    nfa.AddTransition(2, Nfa::kEpsilon, 3);
+    nfa.SetAccepting(3);
+    (void)nfa.EpsilonClosure(0);
+    Dfa dfa = Dfa::Determinize(nfa);
+    Dfa min = dfa.Minimize();
+    EXPECT_FALSE(Dfa::IsEmptyProduct(dfa, min));
+    EXPECT_TRUE(dfa.EquivalentTo(min));
+  }
+  StatsSnapshot snap = s.Snapshot();
+  if (kHooksCompiledIn) {
+    EXPECT_GT(snap.value(Metric::kAutomataClosureCacheMisses), 0);
+    EXPECT_GT(snap.value(Metric::kAutomataClosureCacheHits), 0);
+    EXPECT_GT(snap.value(Metric::kAutomataProductPairsExplored), 0);
+    EXPECT_GT(snap.value(Metric::kAutomataHopcroftSplits), 0);
+  } else {
+    EXPECT_EQ(snap.value(Metric::kAutomataClosureCacheMisses), 0);
+    EXPECT_EQ(snap.value(Metric::kAutomataClosureCacheHits), 0);
+    EXPECT_EQ(snap.value(Metric::kAutomataProductPairsExplored), 0);
+    EXPECT_EQ(snap.value(Metric::kAutomataHopcroftSplits), 0);
+  }
 }
 
 // --- Runtime kill switch ----------------------------------------------
