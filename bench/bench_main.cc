@@ -8,11 +8,15 @@
 // this report against the committed bench/baseline.json.
 //
 // Usage:
-//   bench_main [--list] [--filter=name1,name2|substr] [--out=FILE]
+//   bench_main [--list] [--filter=name1,name2|substr] [--filter substr]
+//              [--out=FILE]
 //
 //   --list          print the registered bench names and exit
-//   --filter=...    comma-separated names; each entry selects benches whose
-//                   name equals or contains it (default: all)
+//   --filter=...    comma- or space-separated names; each entry selects
+//                   benches whose name equals or contains it (default: all)
+//   --filter A B C  space-separated form of the same: consumes every
+//                   following non-option token (quoted or not), so one
+//                   bench family can be iterated on without the whole suite
 //   --out=FILE      where to write the JSON report (default: BENCH.json)
 
 #include <chrono>
@@ -36,6 +40,20 @@ struct RunRecord {
   int exit_code = 0;
   xpc::StatsSnapshot stats;
 };
+
+// Splits a filter argument on commas and whitespace; both separators are
+// accepted in both --filter forms.
+void AddFilters(const std::string& spec, std::vector<std::string>* filters) {
+  std::string part;
+  for (char c : spec + ",") {
+    if (c == ',' || c == ' ' || c == '\t' || c == '\n') {
+      if (!part.empty()) filters->push_back(part);
+      part.clear();
+    } else {
+      part.push_back(c);
+    }
+  }
+}
 
 bool Selected(const std::string& name, const std::vector<std::string>& filters) {
   if (filters.empty()) return true;
@@ -105,15 +123,26 @@ int main(int argc, char** argv) {
     if (arg == "--list") {
       list_only = true;
     } else if (arg.rfind("--filter=", 0) == 0) {
-      std::stringstream ss(arg.substr(std::strlen("--filter=")));
-      std::string part;
-      while (std::getline(ss, part, ',')) {
-        if (!part.empty()) filters.push_back(part);
+      AddFilters(arg.substr(std::strlen("--filter=")), &filters);
+    } else if (arg == "--filter") {
+      // Space-separated form: consume every following token up to the next
+      // option, so `--filter sat_downward sat_loop` (or one quoted
+      // "a b c" argument) selects a family without commas.
+      int consumed = 0;
+      while (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        AddFilters(argv[++i], &filters);
+        ++consumed;
+      }
+      if (consumed == 0) {
+        std::fprintf(stderr, "bench_main: --filter needs at least one name\n");
+        return 2;
       }
     } else if (arg.rfind("--out=", 0) == 0) {
       out_file = arg.substr(std::strlen("--out="));
     } else {
-      std::fprintf(stderr, "usage: bench_main [--list] [--filter=a,b] [--out=FILE]\n");
+      std::fprintf(stderr,
+                   "usage: bench_main [--list] [--filter=a,b] [--filter substr] "
+                   "[--out=FILE]\n");
       return 2;
     }
   }

@@ -1,0 +1,275 @@
+// Experiment E13 — sat-engine fixpoint microbenches.
+//
+// PR 3 made the word-automata substrate fast; the solver's time is now
+// dominated by the sat-engine fixpoints that call it. These benches track
+// the two complete engines in isolation (no solver dispatch, no caching):
+//
+//   sat_downward_fixpoint   the EXPSPACE type-elimination of Theorem 5/§4 —
+//                           a deep-chain EDTD whose realizability fixpoint
+//                           needs one round per type (the shape a
+//                           dependency-indexed worklist collapses), plus the
+//                           schema-free intersect-chain families of Fig. 2
+//   sat_loop_saturation     the EXPTIME loop/StateRel saturation of §7 on
+//                           eq()/loop() formulas through ToLoopNormalForm
+//   sat_parallel_speedup    the same downward instances, serial vs
+//                           sat_threads, asserting bit-identical results
+//
+// Each bench sanity-checks its verdicts (expected SAT/UNSAT, witnesses
+// verified against the reference evaluator), so a wrong engine fails the
+// bench rather than producing fast nonsense. Deeper cross-checks against
+// the pre-worklist reference cores live in tests/sat_reference_test.cc.
+
+#include "bench_registry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "xpc/edtd/edtd.h"
+#include "xpc/eval/evaluator.h"
+#include "xpc/lowerbounds/families.h"
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/sat/downward_sat.h"
+#include "xpc/sat/loop_sat.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/parser.h"
+
+using namespace xpc;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+             .count() /
+         1000.0;
+}
+
+// A depth-n unary-chain EDTD (t0 := t1, …, t_{n-1} := epsilon): realizability
+// propagates bottom-up one type per round, so a global-sweep fixpoint does
+// Θ(n) full sweeps where a dependency worklist re-expands each type once.
+Edtd DeepChainEdtd(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    text += "t" + std::to_string(i) + " := " +
+            (i + 1 < n ? "t" + std::to_string(i + 1) : "epsilon") + "\n";
+  }
+  return Edtd::Parse(text).value();
+}
+
+// The same chain with k-way branching at every level (t_i := c, t_{i+1}+
+// with fillers), so content words are long and types have several dependents.
+Edtd BushyChainEdtd(int n, int k) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    std::string fillers;
+    for (int j = 0; j < k; ++j) {
+      fillers += (j ? " | " : "") + ("f" + std::to_string(i) + "_" + std::to_string(j));
+    }
+    std::string body = i + 1 < n ? "(" + std::string("t") + std::to_string(i + 1) + " | " +
+                                       fillers + ")+"
+                                 : "epsilon";
+    text += "t" + std::to_string(i) + " := " + body + "\n";
+  }
+  // Filler type definitions (leaves) after the chain; first line stays root.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      text += "f" + std::to_string(i) + "_" + std::to_string(j) + " := epsilon\n";
+    }
+  }
+  return Edtd::Parse(text).value();
+}
+
+bool CheckWitness(const SatResult& r, const NodePtr& phi, const char* what) {
+  if (r.status != SolveStatus::kSat) return true;
+  if (!r.witness.has_value()) {
+    std::printf("FAIL: %s: SAT without witness\n", what);
+    return false;
+  }
+  Evaluator ev(*r.witness);
+  if (!ev.SatisfiedSomewhere(phi)) {
+    std::printf("FAIL: %s: witness does not satisfy the formula\n", what);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+static int RunDownwardFixpoint() {
+  std::printf("== downward fixpoint: deep-chain EDTDs + intersect chains ==\n");
+  int failures = 0;
+
+  std::printf("-- deep-chain EDTD, <down*[leaf]> (rounds = depth) --\n");
+  std::printf("%-8s %-10s %-10s %-10s\n", "depth", "ms", "verdict", "summaries");
+  for (int n : {16, 32, 64, 96}) {
+    Edtd deep = DeepChainEdtd(n);
+    NodePtr phi = ParseNode("<down*[t" + std::to_string(n - 1) + "]>").value();
+    auto t0 = std::chrono::steady_clock::now();
+    SatResult r = DownwardSatisfiableWithEdtd(phi, deep);
+    double ms = MsSince(t0);
+    if (r.status != SolveStatus::kSat || !r.witness.has_value() ||
+        r.witness->size() != n) {
+      std::printf("FAIL: depth=%d: expected SAT with a %d-node chain witness\n", n, n);
+      ++failures;
+    }
+    std::printf("%-8d %-10.2f %-10s %-10lld\n", n, ms, SolveStatusName(r.status),
+                static_cast<long long>(r.explored_states));
+  }
+
+  std::printf("-- bushy-chain EDTD (branching content models) --\n");
+  std::printf("%-8s %-10s %-10s %-10s\n", "depth", "ms", "verdict", "summaries");
+  for (int n : {8, 12, 16}) {
+    Edtd bushy = BushyChainEdtd(n, 3);
+    NodePtr sat_phi = ParseNode("<down*[t" + std::to_string(n - 1) + "]>").value();
+    NodePtr unsat_phi =
+        ParseNode("<down*[t" + std::to_string(n - 1) + " and <down>]>").value();
+    auto t0 = std::chrono::steady_clock::now();
+    SatResult rs = DownwardSatisfiableWithEdtd(sat_phi, bushy);
+    SatResult ru = DownwardSatisfiableWithEdtd(unsat_phi, bushy);
+    double ms = MsSince(t0);
+    if (rs.status != SolveStatus::kSat || ru.status != SolveStatus::kUnsat) {
+      std::printf("FAIL: depth=%d: expected SAT/UNSAT pair\n", n);
+      ++failures;
+    }
+    std::printf("%-8d %-10.2f %s/%-5s %-10lld\n", n, ms, SolveStatusName(rs.status),
+                SolveStatusName(ru.status),
+                static_cast<long long>(rs.explored_states + ru.explored_states));
+  }
+
+  std::printf("-- schema-free intersect chains (Fig. 2 families) --\n");
+  std::printf("%-8s %-8s %-10s %-10s\n", "n", "kind", "ms", "verdict");
+  for (int n : {6, 8, 10}) {
+    for (bool sat : {true, false}) {
+      NodePtr phi = sat ? FamilyIntersectChain(n) : FamilyIntersectChainUnsat(n);
+      auto t0 = std::chrono::steady_clock::now();
+      SatResult r = DownwardSatisfiable(phi);
+      double ms = MsSince(t0);
+      SolveStatus expect = sat ? SolveStatus::kSat : SolveStatus::kUnsat;
+      if (r.status != expect || !CheckWitness(r, phi, "intersect chain")) {
+        std::printf("FAIL: n=%d sat=%d: wrong verdict %s\n", n, sat,
+                    SolveStatusName(r.status));
+        ++failures;
+      }
+      std::printf("%-8d %-8s %-10.2f %-10s\n", n, sat ? "sat" : "unsat", ms,
+                  SolveStatusName(r.status));
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+static int RunLoopSaturation() {
+  std::printf("== loop saturation: eq()/loop() formulas, ToLoopNormalForm ==\n");
+  struct Case {
+    const char* text;
+    bool sat;
+  };
+  // Multi-axis formulas whose automata force several strata and sizable
+  // item/state-relation tables — the loop engine's hot shape.
+  const Case cases[] = {
+      {"eq(down*[a], right*[a])", true},
+      {"eq(down[a]/down[b], down[c]/down[d])", false},
+      {"loop((down[a] | right)*[c]/(up | left)*) and c", true},
+      {"eq(up/down, .) and not(<right>) and not(<left>) and <up>", true},
+      {"loop(right/right/left/left) and <right/right>", true},
+      {"<down[loop(down[a]/up) and loop(right[b]/left)]> and eq(down*, down*[c])", true},
+      {"eq(down[a], down[b])", false},
+      {"eq(down[a and b], .) and not(eq(down[a], down[b]))", false},
+      {"loop(down[loop(down/up[p and not(p)])]/up)", false},
+  };
+  int failures = 0;
+  std::printf("%-72s %-8s %-10s %-8s\n", "formula", "ms", "verdict", "items");
+  for (const Case& c : cases) {
+    NodePtr phi = ParseNode(c.text).value();
+    LExprPtr e = ToLoopNormalForm(phi);
+    if (!e) {
+      std::printf("FAIL: %s: not loop-normalizable\n", c.text);
+      ++failures;
+      continue;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    SatResult r = LoopSatisfiable(e);
+    double ms = MsSince(t0);
+    SolveStatus expect = c.sat ? SolveStatus::kSat : SolveStatus::kUnsat;
+    if (r.status != expect || !CheckWitness(r, phi, c.text)) {
+      std::printf("FAIL: %s: wrong verdict %s\n", c.text, SolveStatusName(r.status));
+      ++failures;
+    }
+    std::printf("%-72s %-8.1f %-10s %-8lld\n", c.text, ms, SolveStatusName(r.status),
+                static_cast<long long>(r.explored_states));
+  }
+
+  // n = 3 already takes minutes (the saturation is the EXPTIME part);
+  // n = 2 keeps the bench in CI territory while still being join-heavy.
+  std::printf("-- eq-chain family (Table 1 shape) --\n");
+  std::printf("%-8s %-8s %-10s %-8s\n", "n", "kind", "ms", "items");
+  for (int n : {2}) {
+    for (bool sat : {true, false}) {
+      NodePtr phi = sat ? FamilyEqChain(n) : FamilyEqChainUnsat(n);
+      LExprPtr e = ToLoopNormalForm(phi);
+      if (!e) {
+        std::printf("FAIL: eq-chain n=%d: not loop-normalizable\n", n);
+        ++failures;
+        continue;
+      }
+      auto t0 = std::chrono::steady_clock::now();
+      SatResult r = LoopSatisfiable(e);
+      double ms = MsSince(t0);
+      SolveStatus expect = sat ? SolveStatus::kSat : SolveStatus::kUnsat;
+      if (r.status != expect || !CheckWitness(r, phi, "eq-chain")) {
+        std::printf("FAIL: eq-chain n=%d sat=%d: wrong verdict %s\n", n, sat,
+                    SolveStatusName(r.status));
+        ++failures;
+      }
+      std::printf("%-8d %-8s %-10.1f %-8lld\n", n, sat ? "sat" : "unsat", ms,
+                  static_cast<long long>(r.explored_states));
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+static int RunParallelSpeedup() {
+  std::printf("== parallel type expansion: serial vs sat_threads ==\n");
+  int failures = 0;
+  std::printf("%-28s %-12s %-12s %-8s %-10s\n", "instance", "serial-ms", "parallel-ms",
+              "speedup", "identical");
+  struct Instance {
+    std::string name;
+    NodePtr phi;
+    Edtd edtd;
+  };
+  std::vector<Instance> instances;
+  instances.push_back({"bushy depth=16", ParseNode("<down*[t15]>").value(),
+                       BushyChainEdtd(16, 3)});
+  instances.push_back({"deep depth=96", ParseNode("<down*[t95]>").value(),
+                       DeepChainEdtd(96)});
+  for (const Instance& inst : instances) {
+    DownwardSatOptions serial;
+    serial.sat_threads = 1;
+    DownwardSatOptions parallel = serial;
+    parallel.sat_threads = 0;  // One per hardware thread (capped).
+    auto t0 = std::chrono::steady_clock::now();
+    SatResult rs = DownwardSatisfiableWithEdtd(inst.phi, inst.edtd, serial);
+    double serial_ms = MsSince(t0);
+    t0 = std::chrono::steady_clock::now();
+    SatResult rp = DownwardSatisfiableWithEdtd(inst.phi, inst.edtd, parallel);
+    double parallel_ms = MsSince(t0);
+    bool identical = rs.status == rp.status && rs.explored_states == rp.explored_states &&
+                     rs.witness.has_value() == rp.witness.has_value() &&
+                     (!rs.witness.has_value() ||
+                      TreeToText(*rs.witness) == TreeToText(*rp.witness));
+    if (!identical) {
+      std::printf("FAIL: %s: parallel run is not bit-identical to serial\n",
+                  inst.name.c_str());
+      ++failures;
+    }
+    std::printf("%-28s %-12.2f %-12.2f %-8.2f %-10s\n", inst.name.c_str(), serial_ms,
+                parallel_ms, parallel_ms > 0 ? serial_ms / parallel_ms : 0.0,
+                identical ? "yes" : "NO");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+XPC_BENCH("sat_downward_fixpoint", RunDownwardFixpoint);
+XPC_BENCH("sat_loop_saturation", RunLoopSaturation);
+XPC_BENCH("sat_parallel_speedup", RunParallelSpeedup);

@@ -20,6 +20,13 @@ Tracked metrics, per bench present in the baseline:
 A bench listed in the baseline but missing from the current run is a hard
 failure (a silently dropped bench must not pass the gate).
 
+A baseline entry may carry an optional "noise_pct": N annotation (hand-added,
+preserved across refreshes by convention): its *time-like* metrics (real_time
+and *.micros counters) then tolerate up to N% regression instead of the
+global threshold, whichever is larger. Use it for benches whose wall time is
+dominated by scheduler or allocator jitter (the sat micro-benches); exact
+counters are never widened — a counter blowup on a noisy bench still gates.
+
 The gate also *reports* improvements: metrics that got better by more than
 the threshold (outside the noise floor) are printed as a before/after delta
 table and, when running under GitHub Actions ($GITHUB_STEP_SUMMARY set),
@@ -39,6 +46,7 @@ Usage:
 
 import argparse
 import json
+import math
 import os
 import sys
 
@@ -49,12 +57,23 @@ def load(path):
     return {b["name"]: b for b in doc.get("benchmarks", [])}
 
 
+def time_like(metric):
+    return metric == "real_time" or metric.endswith(".micros")
+
+
 def tracked_metrics(base, cur, min_time_ms):
     """Yields (metric, base_val, cur_val, noise_floor) for one bench pair."""
     yield ("real_time", base.get("real_time"), cur.get("real_time"), min_time_ms)
     for metric, base_val in base.get("counters", {}).items():
         floor = min_time_ms * 1000.0 if metric.endswith(".micros") else 0.0
         yield (metric, base_val, cur.get("counters", {}).get(metric), floor)
+
+
+def effective_threshold(base_bench, metric, threshold):
+    """Per-bench noise_pct widens the threshold for time-like metrics only."""
+    if time_like(metric):
+        return max(threshold, base_bench.get("noise_pct", 0.0) / 100.0)
+    return threshold
 
 
 def compare(baseline, current, threshold, min_time_ms):
@@ -75,14 +94,15 @@ def compare(baseline, current, threshold, min_time_ms):
             if cur_val is None:
                 problems.append(f"{name}: {metric}: missing from current run")
                 continue
-            if cur_val <= base_val * (1.0 + threshold):
+            eff = effective_threshold(base, metric, threshold)
+            if cur_val <= base_val * (1.0 + eff):
                 continue
             if cur_val - base_val <= floor:
                 continue  # Within the absolute noise floor.
             pct = 100.0 * (cur_val - base_val) / base_val if base_val else float("inf")
             problems.append(
                 f"{name}: {metric}: {base_val:g} -> {cur_val:g} (+{pct:.1f}% > "
-                f"{threshold * 100:.0f}%)"
+                f"{eff * 100:.0f}%)"
             )
     return problems
 
@@ -98,7 +118,7 @@ def improvements(baseline, current, threshold, min_time_ms):
         for metric, base_val, cur_val, floor in tracked_metrics(base, cur, min_time_ms):
             if base_val is None or cur_val is None or base_val <= 0:
                 continue
-            if cur_val >= base_val * (1.0 - threshold):
+            if cur_val >= base_val * (1.0 - effective_threshold(base, metric, threshold)):
                 continue
             if base_val - cur_val <= floor:
                 continue  # Within the absolute noise floor.
@@ -107,8 +127,24 @@ def improvements(baseline, current, threshold, min_time_ms):
     return rows
 
 
-def summary_markdown(improved, threshold):
+def geomean_speedup(baseline, current):
+    """Geometric-mean wall-time speedup (>1 = faster) over benches present
+    and healthy in both runs; None if no bench qualifies."""
+    logs = []
+    for name, base in baseline.items():
+        cur = current.get(name)
+        if cur is None or cur.get("error_occurred"):
+            continue
+        b, c = base.get("real_time"), cur.get("real_time")
+        if b and c and b > 0 and c > 0:
+            logs.append(math.log(b / c))
+    return math.exp(sum(logs) / len(logs)) if logs else None
+
+
+def summary_markdown(improved, threshold, speedup=None):
     lines = ["### Bench improvements", ""]
+    if speedup is not None:
+        lines += [f"Geomean wall-time speedup vs baseline: **{speedup:.2f}×**", ""]
     if not improved:
         lines.append(f"No tracked metric improved by more than {threshold * 100:.0f}%.")
     else:
@@ -125,7 +161,10 @@ def summary_markdown(improved, threshold):
     return "\n".join(lines) + "\n"
 
 
-def report_improvements(improved, threshold):
+def report_improvements(improved, threshold, speedup=None):
+    if speedup is not None:
+        print(f"perf-regression gate: geomean wall-time speedup vs baseline: "
+              f"{speedup:.2f}x")
     if improved:
         print(f"perf-regression gate: {len(improved)} tracked metric(s) improved "
               f"beyond {threshold * 100:.0f}% (baseline is stale; refresh welcome):")
@@ -134,7 +173,7 @@ def report_improvements(improved, threshold):
     step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
     if step_summary:
         with open(step_summary, "a") as f:
-            f.write(summary_markdown(improved, threshold))
+            f.write(summary_markdown(improved, threshold, speedup))
 
 
 def self_test():
@@ -181,6 +220,32 @@ def self_test():
     assert "| bench_a | real_time |" in md, "summary table must list the win"
     assert "refresh" in md, "summary must suggest a baseline refresh"
 
+    # noise_pct widens the wall-time threshold for its bench only...
+    noisy = json.loads(json.dumps(base))
+    noisy["bench_a"]["noise_pct"] = 80
+    wobble = json.loads(json.dumps(base))
+    wobble["bench_a"]["real_time"] = 1700.0  # +70%
+    assert compare(base, wobble, 0.25, 50), "+70% must fail at the default threshold"
+    assert compare(noisy, wobble, 0.25, 50) == [], "+70% must pass under noise_pct=80"
+    muted = improvements(noisy, fast, 0.25, 50)  # -60% time sits inside the 80% band.
+    assert all(not time_like(m) for _, m, *_ in muted), \
+        "noise_pct must mute time-like improvement reports within its band"
+    assert any(m == "sat.loop_items" for _, m, *_ in muted), \
+        "counter improvements must still be reported on a noisy bench"
+    # ...but never exact counters.
+    noisy_blowup = json.loads(json.dumps(wobble))
+    noisy_blowup["bench_a"]["real_time"] = 1000.0
+    noisy_blowup["bench_a"]["counters"]["sat.loop_items"] = 1000
+    assert any("sat.loop_items" in p for p in compare(noisy, noisy_blowup, 0.25, 50)), \
+        "counter blowup must fail even on a noisy bench"
+
+    # Geomean speedup: 2.5x on the only bench, reported in the summary.
+    g = geomean_speedup(base, fast)
+    assert g is not None and abs(g - 2.5) < 1e-9, f"geomean speedup wrong: {g}"
+    md = summary_markdown(better, 0.25, g)
+    assert "Geomean wall-time speedup" in md and "2.50" in md, "summary must show geomean"
+    assert geomean_speedup(base, {}) is None, "no common benches -> no geomean"
+
     print("self-test: all gate behaviours ok")
     return 0
 
@@ -206,7 +271,8 @@ def main():
     current = load(args.current)
     problems = compare(baseline, current, args.threshold, args.min_time_ms)
     report_improvements(
-        improvements(baseline, current, args.threshold, args.min_time_ms), args.threshold)
+        improvements(baseline, current, args.threshold, args.min_time_ms), args.threshold,
+        geomean_speedup(baseline, current))
     if problems:
         print(f"perf-regression gate: {len(problems)} tracked metric(s) regressed "
               f"beyond {args.threshold * 100:.0f}%:")

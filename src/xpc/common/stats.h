@@ -57,6 +57,10 @@ namespace xpc {
   X(kSatDownwardSummaries, "sat.downward_summaries", kCounter)                \
   X(kSatBoundedTrees, "sat.bounded_trees", kCounter)                          \
   X(kSatPeakExploredStates, "sat.peak_explored_states", kGauge)               \
+  X(kSatWorklistPops, "sat.worklist_pops", kCounter)                          \
+  X(kSatDepsInvalidated, "sat.deps_invalidated", kCounter)                    \
+  X(kStatRelInterned, "sat.statrel_interned", kCounter)                       \
+  X(kSatParallelRounds, "sat.parallel_rounds", kCounter)                      \
   /* translations */                                                          \
   X(kTranslateLoopNormalForm, "translate.loop_normal_form", kTimer)           \
   X(kTranslateIntersectProduct, "translate.intersect_product", kTimer)        \

@@ -57,6 +57,10 @@ uint64_t FingerprintOptions(const SolverOptions& options) {
   h = FpCombine(h, static_cast<uint64_t>(options.downward.max_summaries));
   h = FpCombine(h, static_cast<uint64_t>(options.downward.max_atoms));
   h = FpCombine(h, options.downward.want_witness ? 1 : 2);
+  // downward.sat_threads is deliberately NOT fingerprinted: the worklist
+  // fixpoint merges in fixed generation order, so verdicts and witnesses
+  // are bit-identical for every thread count (asserted by the SatReference
+  // suites) and cached results are shareable across thread settings.
   h = FpCombine(h, static_cast<uint64_t>(options.bounded.max_exhaustive_nodes));
   h = FpCombine(h, static_cast<uint64_t>(options.bounded.random_trees));
   h = FpCombine(h, static_cast<uint64_t>(options.bounded.max_random_nodes));

@@ -80,6 +80,12 @@ class StateRel {
   std::vector<Bits> rows_;
 };
 
+/// Hash functor for `std::unordered_map<StateRel, ...>` keys (the interning
+/// tables of the loop-sat engine hash-cons every relation they see).
+struct StateRelHash {
+  size_t operator()(const StateRel& r) const { return r.Hash(); }
+};
+
 }  // namespace xpc
 
 #endif  // XPC_PATHAUTO_STATE_RELATION_H_

@@ -1,12 +1,15 @@
 #include "xpc/sat/downward_sat.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <functional>
 #include <map>
 #include <queue>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "xpc/common/bits.h"
 #include "xpc/common/stats.h"
@@ -50,6 +53,39 @@ struct BitsBoolHash {
   }
 };
 
+int ResolveSatThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  return static_cast<int>(hw < 8 ? hw : 8);
+}
+
+// The realizability fixpoint is worklist-driven: each round expands only the
+// *dirty* types (those whose content language gained a realizable child
+// summary since their last expansion), and each type keeps its exploration
+// frontier — the (NFA state-set, accumulated-bits) pairs already visited —
+// across rounds, so a re-expansion scans only the child summaries it has not
+// seen yet. Together these turn the old Θ(rounds × types × summaries)
+// re-sweep into work proportional to the new (node, summary) pairs actually
+// discovered.
+//
+// Determinism: a round's dirty set is frozen into a type-ascending
+// generation, every type of the generation is expanded against the same
+// frozen summary prefix (expansion never interns), and the per-type
+// candidate lists are merged in generation order. A parallel run
+// (sat_threads ≠ 1) distributes the expansion calls across a pool but
+// merges identically, so the summary table — and with it every verdict,
+// count and witness — is bit-identical to a serial run.
+//
+// Witnesses are *canonical*: derivations are not recorded during the
+// fixpoint (whose discovery order depends on scheduling history) but
+// recomputed afterwards — only on SAT, only for the types a witness needs —
+// by a from-scratch BFS per type over the final summary set enumerated in
+// sorted (type, bits) order. The satisfying summary itself is the first in
+// that canonical order, so the produced tree is a pure function of the
+// summary *set*. The pre-worklist global-sweep core is kept as a reference
+// implementation in tests/sat_reference_test.cc and cross-checked for
+// bit-identity on hundreds of seeded random instances.
 class DownwardEngine {
  public:
   DownwardEngine(const NodePtr& phi, const Edtd& edtd, bool any_root,
@@ -67,31 +103,36 @@ class DownwardEngine {
       return result;
     }
 
-    // Bottom-up realizability fixpoint.
-    const int num_types = static_cast<int>(edtd_.types().size());
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (int t = 0; t < num_types; ++t) {
-        if (!ExpandType(t, &changed)) {
-          result.status = SolveStatus::kResourceLimit;
-          result.explored_states = static_cast<int64_t>(summaries_.size());
-          return result;
-        }
-      }
+    if (!FixpointRealizable()) {
+      result.status = SolveStatus::kResourceLimit;
+      result.explored_states = static_cast<int64_t>(summaries_.size());
+      return result;
     }
     result.explored_states = static_cast<int64_t>(summaries_.size());
 
     // Usable types: reachable from the root through realizable words.
-    std::vector<bool> usable = ComputeUsableTypes();
+    Bits usable = ComputeUsableTypes();
 
-    for (size_t i = 0; i < summaries_.size(); ++i) {
-      const Summary& s = summaries_[i];
-      if (!usable[s.type]) continue;
+    // Canonical enumeration: summaries sorted by (type, bits). The verdict
+    // scan, the witness derivations and the filler subtrees all use this
+    // order, so the answer does not depend on fixpoint discovery order.
+    std::vector<int> order(summaries_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      if (summaries_[a].type != summaries_[b].type) {
+        return summaries_[a].type < summaries_[b].type;
+      }
+      return summaries_[a].bits < summaries_[b].bits;
+    });
+    canon_order_ = std::move(order);
+
+    for (int sid : canon_order_) {
+      const Summary& s = summaries_[sid];
+      if (!usable.Get(s.type)) continue;
       if (TruthOfNode(phi_, s.type, [&](int atom) { return s.bits.Get(atom); })) {
         result.status = SolveStatus::kSat;
         if (options_.want_witness) {
-          result.witness = BuildWitness(static_cast<int>(i), usable);
+          result.witness = BuildWitness(sid);
         }
         return result;
       }
@@ -104,8 +145,8 @@ class DownwardEngine {
   using BitFn = std::function<bool(int)>;
 
   NodePtr RewritePathEqDeep(const NodePtr& node) {
-    // Full recursive rewrite (RewritePathEq above stops at ⟨·⟩; paths may
-    // contain node expressions with ≈ inside filters).
+    // Full recursive rewrite (⟨·⟩ bodies may contain node expressions with
+    // ≈ inside filters).
     switch (node->kind) {
       case NodeKind::kLabel:
       case NodeKind::kTrue:
@@ -272,13 +313,8 @@ class DownwardEngine {
   }
 
   // Contribution of a child summary to its parent's accumulated bits.
-  const Bits& ContributionOf(int summary_id) {
-    while (summary_id >= static_cast<int>(contrib_.size())) {
-      contrib_.push_back(ComputeContribution(static_cast<int>(contrib_.size())));
-    }
-    return contrib_[summary_id];
-  }
-
+  // Computed eagerly when a summary is interned (merge step), so fixpoint
+  // workers only ever read `contrib_`.
   Bits ComputeContribution(int summary_id) const {
     const Summary& c = summaries_[summary_id];
     Bits out(static_cast<int>(atoms_.size()));
@@ -299,99 +335,110 @@ class DownwardEngine {
   // Resolves the final bits of a candidate node of type `t` whose children
   // contributed `acc`: ↓-atoms are exactly `acc`; ↓*-atoms additionally
   // hold if their tail holds at the node itself (well-founded recursion,
-  // Theorem 23's ≺ order).
+  // Theorem 23's ≺ order). The memo is a (known, value) bitset pair rather
+  // than a byte-per-atom table — Resolve runs once per accepting node, so
+  // its setup cost is on the fixpoint's hot path.
   Bits Resolve(int type, const Bits& acc) const {
     const int n = static_cast<int>(atoms_.size());
-    std::vector<int8_t> memo(n, -1);
-    BitFn bit = [&](int a) -> bool { return ResolveAtom(a, type, acc, &memo); };
+    Bits known(n), value(n);
     Bits out(n);
     for (int a = 0; a < n; ++a) {
-      if (bit(a)) out.Set(a);
+      if (ResolveAtom(a, type, acc, &known, &value)) out.Set(a);
     }
     return out;
   }
 
-  bool ResolveAtom(int a, int type, const Bits& acc, std::vector<int8_t>* memo) const {
-    if ((*memo)[a] >= 0) return (*memo)[a] == 1;
-    (*memo)[a] = acc.Get(a) ? 1 : 0;  // Seed; breaks no cycles (the ≺ order
-                                      // is well-founded), but keeps the
-                                      // recursion safe regardless.
-    bool value = acc.Get(a);
-    if (!value && atoms_[a].head == SimpleStep::Kind::kDownStar) {
-      BitFn bit = [&](int b) -> bool { return ResolveAtom(b, type, acc, memo); };
-      value = TruthOfSuffix(*atoms_[a].path, atoms_[a].pos + 1, type, bit);
+  bool ResolveAtom(int a, int type, const Bits& acc, Bits* known, Bits* value) const {
+    if (known->Get(a)) return value->Get(a);
+    known->Set(a);  // Seed with acc; breaks no cycles (the ≺ order is
+                    // well-founded), but keeps the recursion safe regardless.
+    bool v = acc.Get(a);
+    if (v) value->Set(a);
+    if (!v && atoms_[a].head == SimpleStep::Kind::kDownStar) {
+      BitFn bit = [&](int b) -> bool { return ResolveAtom(b, type, acc, known, value); };
+      v = TruthOfSuffix(*atoms_[a].path, atoms_[a].pos + 1, type, bit);
+      if (v) value->Set(a);
     }
-    (*memo)[a] = value ? 1 : 0;
-    return value;
+    return v;
   }
 
   // --- Realizability fixpoint ------------------------------------------
 
-  // One pass over type `t`: explores (NFA state-set, accumulated bits)
-  // pairs over the current summaries and adds every realizable summary.
-  bool ExpandType(int t, bool* changed) {
-    const Nfa& nfa = edtd_.ContentNfa(t);
-    struct Node {
-      Bits states;
-      Bits acc;
-      int prev = -1;      // Backpointer into `nodes`.
-      int via_child = -1; // Summary id taken to reach this node.
-    };
-    std::vector<Node> nodes;
+  // Persistent exploration state of one type: the (NFA state-set,
+  // accumulated-bits) pairs reached so far over the summaries scanned so
+  // far. `scanned` is the exclusive upper bound of the global summary
+  // prefix every node has been extended with.
+  struct ExpNode {
+    Bits states;
+    Bits acc;
+  };
+  struct TypeState {
+    bool initialized = false;
+    size_t scanned = 0;
+    std::vector<ExpNode> nodes;
     std::unordered_map<std::pair<Bits, Bits>, int, BitsPairHash> seen;
-    std::queue<int> work;
+  };
 
-    auto push = [&](Bits states, Bits acc, int prev, int via) {
+  // Result of one incremental expansion: new realizable (already resolved)
+  // bit vectors, in discovery order, deduplicated within the round.
+  struct RoundResult {
+    std::vector<Bits> candidates;
+    bool hit_cap = false;
+  };
+
+  // dependents_[c] = types whose content NFA has a transition on symbol c:
+  // exactly the types whose expansion can read a new summary of type c. A
+  // static over-approximation (the transition may be unreachable), which is
+  // safe — the fixpoint is monotone and confluent — and cheap to index.
+  void BuildDependents() {
+    const int num_types = static_cast<int>(edtd_.types().size());
+    dependents_.assign(num_types, Bits(num_types));
+    for (int t = 0; t < num_types; ++t) {
+      for (const Nfa::Transition& tr : edtd_.ContentNfa(t).transitions()) {
+        if (tr.symbol >= 0) dependents_[tr.symbol].Set(t);
+      }
+    }
+  }
+
+  // Incrementally expands type `t` against the frozen summary prefix
+  // [0, frozen): pre-existing nodes scan only the summaries added since the
+  // type's last expansion; newly reached nodes scan the full prefix.
+  // Never touches shared mutable state — safe to run per-type in parallel.
+  RoundResult ExpandType(int t, size_t frozen) {
+    TypeState& ts = type_states_[t];
+    const Nfa& nfa = edtd_.ContentNfa(t);
+    RoundResult out;
+    std::vector<int> accepting;  // Accepting node ids, in creation order.
+    std::vector<int> fresh;      // Node ids reached this round.
+
+    auto add_node = [&](Bits states, Bits acc) {
       auto key = std::make_pair(states, acc);
-      if (seen.count(key)) return;
-      int id = static_cast<int>(nodes.size());
-      seen.emplace(std::move(key), id);
-      nodes.push_back({std::move(states), std::move(acc), prev, via});
-      work.push(id);
+      if (ts.seen.count(key)) return;
+      int id = static_cast<int>(ts.nodes.size());
+      ts.seen.emplace(key, id);
+      ts.nodes.push_back({std::move(states), std::move(acc)});
+      // The per-type node space is itself exponential; cap it alongside the
+      // summary cap. (The persistent node set is monotone in the summary
+      // set, so this triggers on the same instances as the pre-worklist
+      // per-sweep cap.)
+      if (static_cast<int64_t>(ts.nodes.size()) > options_.max_summaries) {
+        out.hit_cap = true;
+      }
+      if (nfa.AnyAccepting(ts.nodes[id].states)) accepting.push_back(id);
+      fresh.push_back(id);
     };
 
     // Per-node NFA steps memoized by child type (valid for the node id
-    // stamped in step_epoch), allocated once for the whole pass.
+    // stamped in step_epoch), allocated once for the whole expansion.
     const int num_types = static_cast<int>(edtd_.types().size());
     std::vector<int> step_epoch(num_types, -1);
     std::vector<Bits> step_memo(num_types);
 
-    push(nfa.InitialSet(), Bits(static_cast<int>(atoms_.size())), -1, -1);
-    while (!work.empty()) {
-      // The (NFA-state-set, accumulated-bits) space explored per type is
-      // itself exponential; cap it alongside the summary cap.
-      if (static_cast<int64_t>(nodes.size()) > options_.max_summaries) return false;
-      int id = work.front();
-      work.pop();
-      // Acceptance: materialize the summary.
-      if (nfa.AnyAccepting(nodes[id].states)) {
-        Summary s;
-        s.type = t;
-        s.bits = Resolve(t, nodes[id].acc);
-        auto it = summary_index_.find(s);
-        if (it == summary_index_.end()) {
-          int sid = static_cast<int>(summaries_.size());
-          summary_index_.emplace(s, sid);
-          summaries_.push_back(s);
-          // Record the children word for witness extraction.
-          std::vector<int> word;
-          for (int n = id; nodes[n].prev >= 0; n = nodes[n].prev) {
-            word.push_back(nodes[n].via_child);
-          }
-          std::reverse(word.begin(), word.end());
-          derivations_.push_back(std::move(word));
-          *changed = true;
-          if (static_cast<int64_t>(summaries_.size()) > options_.max_summaries) return false;
-        }
-      }
-      // Extend by one child. Note: summaries_ may grow during this pass;
-      // only the summaries present at pass start are used (the outer
-      // fixpoint re-runs until stable). The NFA step depends only on the
-      // summary's *type*, and many summaries share one, so steps are
-      // hoisted into a per-node by-type memo.
-      const size_t limit = summaries_.size();
-      const Bits cur_states = nodes[id].states;  // push() may realloc nodes.
-      for (size_t c = 0; c < limit; ++c) {
+    // Extends node `id` by children summaries [from, to).
+    auto extend = [&](int id, size_t from, size_t to) {
+      const Bits cur_states = ts.nodes[id].states;  // add_node may realloc.
+      const Bits cur_acc = ts.nodes[id].acc;
+      for (size_t c = from; c < to && !out.hit_cap; ++c) {
         const int ct = summaries_[c].type;
         if (step_epoch[ct] != id) {
           step_memo[ct] = nfa.Step(cur_states, ct);
@@ -399,40 +446,187 @@ class DownwardEngine {
         }
         const Bits& next = step_memo[ct];
         if (next.None()) continue;
-        Bits acc = nodes[id].acc;
-        acc.UnionWith(ContributionOf(static_cast<int>(c)));
-        push(next, std::move(acc), id, static_cast<int>(c));
+        Bits acc = cur_acc;
+        acc.UnionWith(contrib_[c]);
+        add_node(next, std::move(acc));
+      }
+    };
+
+    const size_t existing = ts.nodes.size();
+    if (!ts.initialized) {
+      ts.initialized = true;
+      add_node(nfa.InitialSet(), Bits(static_cast<int>(atoms_.size())));
+    }
+    // Old nodes: only the summaries they have not seen yet.
+    for (size_t i = 0; i < existing && !out.hit_cap; ++i) {
+      extend(static_cast<int>(i), ts.scanned, frozen);
+    }
+    // Nodes first reached this round: the full frozen prefix.
+    for (size_t w = 0; w < fresh.size() && !out.hit_cap; ++w) {
+      extend(fresh[w], 0, frozen);
+    }
+    ts.scanned = frozen;
+
+    // Atom resolution is the expensive half (O(atoms · formula) per call),
+    // so it runs after the cheap state exploration: a capped round is
+    // discarded unmerged, so its candidates are never resolved at all, and
+    // Resolve is a pure function of (type, acc) — deduplicating by
+    // accumulated bits first skips redundant calls without changing the
+    // candidate sequence (equal accs resolve equal, so the first-occurrence
+    // order by resolved bits is unchanged).
+    if (!out.hit_cap) {
+      std::unordered_set<Bits, BitsHash> acc_seen;
+      std::unordered_set<Bits, BitsHash> cand_seen;
+      for (int id : accepting) {
+        if (!acc_seen.insert(ts.nodes[id].acc).second) continue;
+        Bits resolved = Resolve(t, ts.nodes[id].acc);
+        if (cand_seen.insert(resolved).second) {
+          out.candidates.push_back(std::move(resolved));
+        }
+      }
+    }
+    return out;
+  }
+
+  // The worklist-driven bottom-up realizability fixpoint. Returns false on
+  // a resource limit.
+  bool FixpointRealizable() {
+    const int num_types = static_cast<int>(edtd_.types().size());
+    BuildDependents();
+    type_states_.assign(num_types, TypeState());
+
+    const int threads = ResolveSatThreads(options_.sat_threads);
+    if (threads > 1) {
+      // The lazily built content NFAs (CSR index + ε-closure memos) are not
+      // synchronized under const; force them before any worker reads them.
+      for (int t = 0; t < num_types; ++t) edtd_.ContentNfa(t).EnsureIndexed();
+    }
+
+    Bits dirty(num_types);
+    for (int t = 0; t < num_types; ++t) dirty.Set(t);
+
+    std::vector<int> generation;
+    std::vector<RoundResult> results;
+    while (!dirty.None()) {
+      generation.clear();
+      dirty.ForEach([&](int t) { generation.push_back(t); });
+      dirty = Bits(num_types);
+      StatsAdd(Metric::kSatWorklistPops, static_cast<int64_t>(generation.size()));
+
+      const size_t frozen = summaries_.size();
+      results.assign(generation.size(), RoundResult());
+      int round_threads =
+          std::min<int>(threads, static_cast<int>(generation.size()));
+      if (round_threads > 1) {
+        StatsAdd(Metric::kSatParallelRounds);
+        // ContainsBatch-style pool: workers pull generation slots off an
+        // atomic counter; each slot touches only its own type's state.
+        // Telemetry hooks route to the round's sink (thread-safe atomics).
+        Stats* sink = Stats::Current();
+        std::atomic<size_t> next{0};
+        auto worker = [&] {
+          ScopedStatsSink stats_scope(sink);
+          for (size_t g = next.fetch_add(1); g < generation.size();
+               g = next.fetch_add(1)) {
+            results[g] = ExpandType(generation[g], frozen);
+          }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(round_threads);
+        for (int i = 0; i < round_threads; ++i) pool.emplace_back(worker);
+        for (std::thread& th : pool) th.join();
+      } else {
+        for (size_t g = 0; g < generation.size(); ++g) {
+          results[g] = ExpandType(generation[g], frozen);
+        }
+      }
+
+      // Merge in generation (type-ascending) order: intern candidates,
+      // compute their contributions, and wake the dependents of every type
+      // that gained a summary. This order is what makes parallel runs
+      // bit-identical to serial ones.
+      for (size_t g = 0; g < generation.size(); ++g) {
+        const int t = generation[g];
+        if (results[g].hit_cap) return false;
+        bool added = false;
+        for (Bits& bits : results[g].candidates) {
+          Summary s;
+          s.type = t;
+          s.bits = std::move(bits);
+          if (summary_index_.count(s)) continue;
+          int sid = static_cast<int>(summaries_.size());
+          summary_index_.emplace(s, sid);
+          summaries_.push_back(std::move(s));
+          contrib_.push_back(ComputeContribution(sid));
+          added = true;
+          if (static_cast<int64_t>(summaries_.size()) > options_.max_summaries) {
+            return false;
+          }
+        }
+        if (added) {
+          StatsAdd(Metric::kSatDepsInvalidated, dependents_[t].Count());
+          dirty.UnionWith(dependents_[t]);
+        }
       }
     }
     return true;
   }
 
-  std::vector<bool> ComputeUsableTypes() {
+  // Symbols of `allowed` occurring in some word of L(nfa) over `allowed`:
+  // exactly the symbols labelling a transition from a forward-reachable
+  // state to a co-reachable one (reachability restricted to `allowed`).
+  // Agrees with a per-symbol WordExistsContaining query but costs one pass
+  // over the transition list instead of a subset-construction BFS each.
+  Bits UsefulChildren(const Nfa& nfa, const Bits& allowed) const {
+    const auto& trans = nfa.transitions();
+    Bits fwd = nfa.InitialSet();
+    Bits bwd(nfa.num_states());
+    for (int s : nfa.accepting()) bwd.Set(s);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Nfa::Transition& tr : trans) {
+        if (tr.symbol >= 0 && !allowed.Get(tr.symbol)) continue;
+        if (fwd.Get(tr.from) && !fwd.Get(tr.to)) {
+          fwd.Set(tr.to);
+          changed = true;
+        }
+        if (bwd.Get(tr.to) && !bwd.Get(tr.from)) {
+          bwd.Set(tr.from);
+          changed = true;
+        }
+      }
+    }
+    Bits useful(allowed.size());
+    for (const Nfa::Transition& tr : trans) {
+      if (tr.symbol < 0 || !allowed.Get(tr.symbol)) continue;
+      if (fwd.Get(tr.from) && bwd.Get(tr.to)) useful.Set(tr.symbol);
+    }
+    return useful;
+  }
+
+  Bits ComputeUsableTypes() {
     const int num_types = static_cast<int>(edtd_.types().size());
-    std::vector<bool> realizable(num_types, false);
-    for (const Summary& s : summaries_) realizable[s.type] = true;
-    std::vector<bool> usable(num_types, false);
+    Bits realizable(num_types);
+    for (const Summary& s : summaries_) realizable.Set(s.type);
+    Bits usable(num_types);
     if (any_root_) {
-      for (int t = 0; t < num_types; ++t) usable[t] = realizable[t];
-      return usable;
+      return realizable;
     }
     int root = edtd_.TypeIndex(edtd_.root_type());
-    usable[root] = realizable[root];
+    if (realizable.Get(root)) usable.Set(root);
+    // Close under one-step usefulness: a type is usable if it occurs in
+    // some all-realizable children word of a usable type.
+    std::vector<char> expanded(num_types, 0);
     bool changed = true;
     while (changed) {
       changed = false;
       for (int t = 0; t < num_types; ++t) {
-        if (!usable[t]) continue;
-        // Types reachable in one step: any type occurring in some word of
-        // L(P(t)) over realizable types.
-        const Nfa& nfa = edtd_.ContentNfa(t);
-        for (int c = 0; c < num_types; ++c) {
-          if (!realizable[c] || usable[c]) continue;
-          if (WordExistsContaining(nfa, realizable, c, nullptr)) {
-            usable[c] = true;
-            changed = true;
-          }
-        }
+        if (!usable.Get(t) || expanded[t]) continue;
+        expanded[t] = 1;
+        Bits useful = UsefulChildren(edtd_.ContentNfa(t), realizable);
+        useful.IntersectWith(realizable);
+        if (usable.UnionWith(useful)) changed = true;
       }
     }
     return usable;
@@ -440,7 +634,7 @@ class DownwardEngine {
 
   // Is there a word over {t : allowed[t]} in L(nfa) containing `must`?
   // If `word` is non-null, the found word is stored there.
-  bool WordExistsContaining(const Nfa& nfa, const std::vector<bool>& allowed, int must,
+  bool WordExistsContaining(const Nfa& nfa, const Bits& allowed, int must,
                             std::vector<int>* word) const {
     struct Node {
       Bits states;
@@ -470,12 +664,12 @@ class DownwardEngine {
         }
         return true;
       }
-      for (size_t c = 0; c < allowed.size(); ++c) {
-        if (!allowed[c]) continue;
-        Bits next = nfa.Step(nodes[id].states, static_cast<int>(c));
+      const int limit = allowed.size();
+      for (int c = 0; c < limit; ++c) {
+        if (!allowed.Get(c)) continue;
+        Bits next = nfa.Step(nodes[id].states, c);
         if (next.None()) continue;
-        push(std::move(next), nodes[id].has || static_cast<int>(c) == must,
-             id, static_cast<int>(c));
+        push(std::move(next), nodes[id].has || c == must, id, c);
       }
     }
     return false;
@@ -483,46 +677,166 @@ class DownwardEngine {
 
   // --- Witness construction --------------------------------------------
 
-  // Expands summary `sid` as a subtree under `parent` via its stored
+  // Canonical derivations: for each summary, a children word (of summary
+  // ids) realizing it, recomputed from the *final* summary set — any
+  // fixpoint run producing the same set produces the same derivations,
+  // which is what keeps serial, parallel and reference-engine witnesses
+  // identical. Derivations must be well-founded (ExpandSummary recurses
+  // through them): a naive BFS over the whole set can derive a summary via
+  // a word containing itself, so derivations are assigned in stratified
+  // rounds — a round's BFS may only step over children that already held a
+  // derivation at the round's start. Every table summary was interned from
+  // strictly-earlier-round children during the fixpoint, so this converges
+  // and covers the whole table.
+  void ComputeCanonicalDerivations() {
+    canon_deriv_.assign(summaries_.size(), {});
+    deriv_set_.assign(summaries_.size(), 0);
+    const int num_types = static_cast<int>(edtd_.types().size());
+
+    // Dependency-driven like the fixpoint itself: a type only re-runs its
+    // BFS when a type in its content alphabet gained a derivation (its view
+    // of `frozen` is otherwise unchanged, so the BFS would repeat itself).
+    // Equivalent to re-running every type each round, so the derivations
+    // stay a pure function of the summary set.
+    std::vector<int> remaining(num_types, 0);
+    for (const Summary& s : summaries_) ++remaining[s.type];
+    Bits dirty(num_types);
+    for (int t = 0; t < num_types; ++t) {
+      if (remaining[t] > 0) dirty.Set(t);
+    }
+    std::vector<int> generation;
+    while (!dirty.None()) {
+      generation.clear();
+      dirty.ForEach([&](int t) {
+        if (remaining[t] > 0) generation.push_back(t);
+      });
+      dirty = Bits(num_types);
+      const std::vector<char> frozen = deriv_set_;
+      for (int t : generation) {
+        int gained = DeriveRound(t, frozen);
+        if (gained > 0) {
+          remaining[t] -= gained;
+          dirty.UnionWith(dependents_[t]);
+        }
+      }
+    }
+  }
+
+  // One stratified BFS for type `t`: children restricted to summaries with
+  // frozen[c] set, explored in canonical order. Returns how many summaries
+  // of `t` gained a derivation.
+  int DeriveRound(int t, const std::vector<char>& frozen) {
+    const Nfa& nfa = edtd_.ContentNfa(t);
+    struct Node {
+      Bits states;
+      Bits acc;
+      int prev = -1;
+      int via_child = -1;  // Summary id taken to reach this node.
+    };
+    std::vector<Node> nodes;
+    std::unordered_map<std::pair<Bits, Bits>, int, BitsPairHash> seen;
+    std::queue<int> work;
+    int gained = 0;
+    auto push = [&](Bits states, Bits acc, int prev, int via) {
+      auto key = std::make_pair(states, acc);
+      if (seen.count(key)) return;
+      int id = static_cast<int>(nodes.size());
+      seen.emplace(std::move(key), id);
+      nodes.push_back({std::move(states), std::move(acc), prev, via});
+      work.push(id);
+    };
+
+    const int num_types = static_cast<int>(edtd_.types().size());
+    std::vector<int> step_epoch(num_types, -1);
+    std::vector<Bits> step_memo(num_types);
+
+    push(nfa.InitialSet(), Bits(static_cast<int>(atoms_.size())), -1, -1);
+    while (!work.empty()) {
+      int id = work.front();
+      work.pop();
+      if (nfa.AnyAccepting(nodes[id].states)) {
+        Summary s;
+        s.type = t;
+        s.bits = Resolve(t, nodes[id].acc);
+        auto it = summary_index_.find(s);
+        // Record the first (BFS-shortest in canonical order) derivation.
+        if (it != summary_index_.end() && !deriv_set_[it->second]) {
+          deriv_set_[it->second] = 1;
+          ++gained;
+          std::vector<int> word;
+          for (int n = id; nodes[n].prev >= 0; n = nodes[n].prev) {
+            word.push_back(nodes[n].via_child);
+          }
+          std::reverse(word.begin(), word.end());
+          canon_deriv_[it->second] = std::move(word);
+        }
+      }
+      const Bits cur_states = nodes[id].states;  // push() may realloc nodes.
+      for (int c : canon_order_) {
+        if (!frozen[c]) continue;
+        const int ct = summaries_[c].type;
+        if (step_epoch[ct] != id) {
+          step_memo[ct] = nfa.Step(cur_states, ct);
+          step_epoch[ct] = id;
+        }
+        const Bits& next = step_memo[ct];
+        if (next.None()) continue;
+        Bits acc = nodes[id].acc;
+        acc.UnionWith(contrib_[c]);
+        push(next, std::move(acc), id, c);
+      }
+    }
+    return gained;
+  }
+
+  // First summary of type `t` in canonical order (-1 if none).
+  int CanonicalFirstOfType(int t) const {
+    for (int sid : canon_order_) {
+      if (summaries_[sid].type == t) return sid;
+    }
+    return -1;
+  }
+
+  // Expands summary `sid` as a subtree under `node` via its canonical
   // derivation word.
-  void ExpandSummary(int sid, XmlTree* tree, NodeId node) const {
-    for (int child : derivations_[sid]) {
+  void ExpandSummary(int sid, XmlTree* tree, NodeId node) {
+    if (canon_deriv_.empty()) ComputeCanonicalDerivations();
+    const std::vector<int>& word = canon_deriv_[sid];
+    for (int child : word) {
       NodeId c = tree->AddChild(node, edtd_.types()[summaries_[child].type].concrete_label);
       ExpandSummary(child, tree, c);
     }
   }
 
-  XmlTree BuildWitness(int target_sid, const std::vector<bool>& /*usable*/) {
+  XmlTree BuildWitness(int target_sid) {
     const int num_types = static_cast<int>(edtd_.types().size());
-    std::vector<bool> realizable(num_types, false);
-    for (const Summary& s : summaries_) realizable[s.type] = true;
+    Bits realizable(num_types);
+    for (const Summary& s : summaries_) realizable.Set(s.type);
 
     const int target_type = summaries_[target_sid].type;
-    // Chain of types from a root to target_type (BFS over usable types).
-    std::vector<int> parent(num_types, -1);
-    std::vector<bool> visited(num_types, false);
-    std::queue<int> q;
-    int start = any_root_ ? target_type : edtd_.TypeIndex(edtd_.root_type());
     if (any_root_) {
       // The target itself can be the root.
       XmlTree tree(edtd_.types()[target_type].concrete_label);
       ExpandSummary(target_sid, &tree, tree.root());
       return tree;
     }
+    // Chain of types from the root to target_type (BFS over usable types).
+    std::vector<int> parent(num_types, -1);
+    std::vector<bool> visited(num_types, false);
+    std::queue<int> q;
+    int start = edtd_.TypeIndex(edtd_.root_type());
     visited[start] = true;
     q.push(start);
     while (!q.empty()) {
       int t = q.front();
       q.pop();
       if (t == target_type) break;
-      const Nfa& nfa = edtd_.ContentNfa(t);
+      Bits useful = UsefulChildren(edtd_.ContentNfa(t), realizable);
       for (int c = 0; c < num_types; ++c) {
-        if (visited[c] || !realizable[c]) continue;
-        if (WordExistsContaining(nfa, realizable, c, nullptr)) {
-          visited[c] = true;
-          parent[c] = t;
-          q.push(c);
-        }
+        if (visited[c] || !realizable.Get(c) || !useful.Get(c)) continue;
+        visited[c] = true;
+        parent[c] = t;
+        q.push(c);
       }
     }
     // Path root = t0 → t1 → … → target.
@@ -548,13 +862,9 @@ class DownwardEngine {
             ExpandSummary(target_sid, &tree, c);
           }
         } else {
-          // Fill with any realizable summary of type ct.
-          for (size_t s = 0; s < summaries_.size(); ++s) {
-            if (summaries_[s].type == ct) {
-              ExpandSummary(static_cast<int>(s), &tree, c);
-              break;
-            }
-          }
+          // Fill with the canonical summary of type ct.
+          int filler = CanonicalFirstOfType(ct);
+          if (filler >= 0) ExpandSummary(filler, &tree, c);
         }
       }
       at = next_at;
@@ -579,8 +889,15 @@ class DownwardEngine {
   // Fixpoint state.
   std::vector<Summary> summaries_;
   std::unordered_map<Summary, int, SummaryHash> summary_index_;
-  std::vector<std::vector<int>> derivations_;
   std::vector<Bits> contrib_;
+  std::vector<Bits> dependents_;
+  std::vector<TypeState> type_states_;
+
+  // Canonical finish (populated only after the fixpoint; derivations only
+  // on SAT with want_witness).
+  std::vector<int> canon_order_;
+  std::vector<std::vector<int>> canon_deriv_;
+  std::vector<char> deriv_set_;
 };
 
 }  // namespace

@@ -13,6 +13,12 @@ struct DownwardSatOptions {
   int64_t max_summaries = 500'000;   ///< Cap on distinct (type, bits) summaries.
   int64_t max_atoms = 500'000;       ///< Cap on registered suffix atoms.
   bool want_witness = true;
+  /// Threads for the realizability fixpoint: each worklist generation of
+  /// dirty types is expanded on a pool and merged in fixed (type-ascending)
+  /// order, so verdicts *and witnesses* are bit-identical to a serial run
+  /// (a property the reference cross-check test asserts). 1 = serial
+  /// (default); 0 = one per hardware thread (capped at 8); n > 1 = exactly n.
+  int sat_threads = 1;
 };
 
 /// The EXPSPACE decision procedure for CoreXPath↓(∩) with respect to EDTDs

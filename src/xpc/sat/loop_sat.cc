@@ -1,10 +1,12 @@
 #include "xpc/sat/loop_sat.h"
 
+#include <algorithm>
 #include <cassert>
+#include <deque>
 #include <functional>
 #include <map>
-#include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "xpc/common/stats.h"
@@ -15,21 +17,23 @@ namespace xpc {
 
 namespace {
 
-// A node summary: (label, D per automaton stratum, U per stratum). U
-// components are always pool members and are stored as pool indices, which
-// makes the child-U consistency checks integer comparisons.
+// A node summary: (label, D per automaton stratum, U per stratum). Both the
+// D and U components are interned relations stored as dense integer ids
+// (D in the phase-local d-table, U in the persistent pool), so item
+// identity, hashing and the child-consistency checks are all integer work —
+// no matrix is ever compared twice.
 struct Item {
   int label = 0;
-  std::vector<StateRel> d;
+  std::vector<int> d_ids;
   std::vector<int> u_ids;
 
   bool operator==(const Item& o) const {
-    return label == o.label && u_ids == o.u_ids && d == o.d;
+    return label == o.label && u_ids == o.u_ids && d_ids == o.d_ids;
   }
 
   size_t Hash() const {
     size_t h = static_cast<size_t>(label) * 0x9e3779b97f4a7c15ULL;
-    for (const StateRel& r : d) h = h * 1099511628211ULL + r.Hash();
+    for (int d : d_ids) h = h * 1099511628211ULL + static_cast<size_t>(d + 1);
     for (int u : u_ids) h = h * 1099511628211ULL + static_cast<size_t>(u + 1);
     return h;
   }
@@ -58,12 +62,18 @@ struct Derivation {
   int ns = -1;
 };
 
-// An interning table for state relations.
+// A hash-consing table for state relations: every relation the engine
+// manipulates is interned once and referenced by a dense integer id
+// afterwards (id = insertion order, so callers fully determine numbering).
+// Backed by a deque so Get() references stay valid while the table grows.
 class RelTable {
  public:
   int Intern(const StateRel& r) {
     auto [it, inserted] = ids_.emplace(r, static_cast<int>(rels_.size()));
-    if (inserted) rels_.push_back(r);
+    if (inserted) {
+      rels_.push_back(r);
+      StatsAdd(Metric::kStatRelInterned);
+    }
     return it->second;
   }
   // Lookup without inserting; -1 if unknown.
@@ -79,9 +89,13 @@ class RelTable {
   }
 
  private:
-  std::map<StateRel, int> ids_;
-  std::vector<StateRel> rels_;
+  std::unordered_map<StateRel, int, StateRelHash> ids_;
+  std::deque<StateRel> rels_;
 };
+
+// Loop relations are passed down the per-stratum recursion as pointers to
+// interned matrices (stable deque storage), so no copies are made.
+using LoopsView = std::vector<const StateRel*>;
 
 class LoopSatEngine {
  public:
@@ -113,6 +127,16 @@ class LoopSatEngine {
       auto_index_[a.get()] = static_cast<int>(autos_.size());
       autos_.push_back(std::move(data));
     }
+    const int num_autos = static_cast<int>(autos_.size());
+    exc_table_.resize(num_autos);
+    test_table_.resize(num_autos);
+    d_table_.resize(num_autos);
+    l_table_.resize(num_autos);
+    expected_memo_.resize(num_autos);
+    t_memo_.resize(num_autos);
+    d_memo_.resize(num_autos);
+    l_memo_.resize(num_autos);
+    for (const AutoData& a : autos_) empty_rels_.push_back(StateRel(a.nq));
   }
 
   SatResult Run() {
@@ -158,7 +182,7 @@ class LoopSatEngine {
   // Truth of `e` at a node with the given label, where the loop relation of
   // stratum j is supplied in loops[j] (entries beyond the known strata are
   // never consulted because tests are stratified).
-  bool EvalTest(const LExprPtr& e, int label, const std::vector<StateRel>& loops) const {
+  bool EvalTest(const LExprPtr& e, int label, const LoopsView& loops) const {
     switch (e->kind) {
       case LExpr::Kind::kLabel:
         return labels_[label] == e->label;
@@ -173,14 +197,21 @@ class LoopSatEngine {
       case LExpr::Kind::kLoop: {
         const int j = auto_index_.at(e->automaton.get());
         assert(j < static_cast<int>(loops.size()));
-        return loops[j].Get(e->q_from, e->q_to);
+        return loops[j]->Get(e->q_from, e->q_to);
       }
     }
     return false;
   }
 
+  bool EvalTest(const LExprPtr& e, int label, const std::vector<StateRel>& loops) const {
+    LoopsView view;
+    view.reserve(loops.size());
+    for (const StateRel& l : loops) view.push_back(&l);
+    return EvalTest(e, label, view);
+  }
+
   // Test-step generator matrix T for automaton stratum `j`.
-  StateRel TestRel(int j, int label, const std::vector<StateRel>& loops) const {
+  StateRel TestRel(int j, int label, const LoopsView& loops) const {
     const AutoData& a = autos_[j];
     StateRel t(a.nq);
     for (const AutoData::TestEdge& e : a.tests) {
@@ -212,61 +243,111 @@ class LoopSatEngine {
     return id;
   }
 
+  // Sequence interning for the loop relations chosen so far along one
+  // Extend recursion: (parent sequence, interned l) -> dense id. Exact —
+  // two recursion states share a seq id iff they chose identical loop
+  // relations for every lower stratum — so it can key the test-matrix memo.
+  int SeqChild(int seq_id, int l_id) {
+    uint64_t key = (static_cast<uint64_t>(seq_id) << 32) |
+                   static_cast<uint32_t>(l_id + 1);
+    auto [it, inserted] = seq_ids_.emplace(key, num_seqs_);
+    if (inserted) ++num_seqs_;
+    return it->second;
+  }
+
   // Interleaved bottom-up derivation: d[j] is computed from the children's
   // excursion matrices and the tests (which depend only on lower strata),
   // then u[j] is chosen from the pool with immediate child-consistency
-  // pruning. `loops` accumulates L_j = closure(d_j ∪ u_j) for test
-  // evaluation at higher strata.
-  bool Extend(int j, int level, int u_size, Item* partial, std::vector<StateRel>* loops,
+  // pruning. All matrix algebra is memoized on interned ids: the test
+  // matrix by (loops-so-far, label), D = closure(T ∪ excursions) by
+  // (t, exc, exc), and L = closure(D ∪ U) by (d, u) — the closures that
+  // dominated the profile now run once per distinct configuration instead
+  // of once per (pair, label) visit.
+  bool Extend(int j, int level, int u_size, Item* partial, LoopsView* loops, int seq_id,
               int fc_id, int ns_id, const std::function<bool(const Item&)>& f) {
     if (j == level) return f(*partial);
-    const AutoData& a = autos_[j];
-    StateRel tests = TestRel(j, partial->label, *loops);
-    StateRel d = tests;
-    if (fc_id >= 0) d.UnionWith(exc_table_[j].Get(item_exc_[fc_id][j].as_fc));
-    if (ns_id >= 0) d.UnionWith(exc_table_[j].Get(item_exc_[ns_id][j].as_ns));
-    d.CloseReflexiveTransitive();
-    partial->d.push_back(d);
+
+    int t_id;
+    {
+      uint64_t tkey = (static_cast<uint64_t>(seq_id) << 32) |
+                      static_cast<uint32_t>(partial->label);
+      auto it = t_memo_[j].find(tkey);
+      if (it != t_memo_[j].end()) {
+        t_id = it->second;
+      } else {
+        t_id = test_table_[j].Intern(TestRel(j, partial->label, *loops));
+        t_memo_[j].emplace(tkey, t_id);
+      }
+    }
+
+    const int fc_exc = fc_id >= 0 ? item_exc_[fc_id][j].as_fc : -1;
+    const int ns_exc = ns_id >= 0 ? item_exc_[ns_id][j].as_ns : -1;
+    int d_id;
+    {
+      uint64_t dkey = (static_cast<uint64_t>(t_id) * 2097152 + (fc_exc + 1)) * 2097152 +
+                      (ns_exc + 1);
+      auto it = d_memo_[j].find(dkey);
+      if (it != d_memo_[j].end()) {
+        d_id = it->second;
+      } else {
+        StateRel d = test_table_[j].Get(t_id);
+        if (fc_exc >= 0) d.UnionWith(exc_table_[j].Get(fc_exc));
+        if (ns_exc >= 0) d.UnionWith(exc_table_[j].Get(ns_exc));
+        d.CloseReflexiveTransitive();
+        d_id = d_table_[j].Intern(d);
+        d_memo_[j].emplace(dkey, d_id);
+      }
+    }
+    partial->d_ids.push_back(d_id);
 
     bool ok = true;
     if (j >= u_size) {
       // Last stratum of a prefix phase carries no U component; its L entry
       // is never consulted (no higher strata in this phase).
-      loops->push_back(StateRel(a.nq));
-      ok = Extend(j + 1, level, u_size, partial, loops, fc_id, ns_id, f);
+      loops->push_back(&empty_rels_[j]);
+      ok = Extend(j + 1, level, u_size, partial, loops, seq_id, fc_id, ns_id, f);
       loops->pop_back();
     } else {
-      const int t_id = test_table_[j].Intern(tests);
-      const int fc_exc_ns = fc_id >= 0 ? item_exc_[fc_id][j].as_fc : -1;
-      const int ns_exc = ns_id >= 0 ? item_exc_[ns_id][j].as_ns : -1;
       for (int u_id = 0; ok && u_id < pools_[j].size(); ++u_id) {
         if (fc_id >= 0 &&
             ExpectedChildUId(j, t_id, ns_exc, u_id, 0) != items_[fc_id].u_ids[j]) {
           continue;
         }
         if (ns_id >= 0 &&
-            ExpectedChildUId(j, t_id, fc_exc_ns, u_id, 1) != items_[ns_id].u_ids[j]) {
+            ExpectedChildUId(j, t_id, fc_exc, u_id, 1) != items_[ns_id].u_ids[j]) {
           continue;
         }
+        int l_id;
+        {
+          uint64_t lkey = (static_cast<uint64_t>(d_id) << 32) | static_cast<uint32_t>(u_id);
+          auto it = l_memo_[j].find(lkey);
+          if (it != l_memo_[j].end()) {
+            l_id = it->second;
+          } else {
+            StateRel l = d_table_[j].Get(d_id);
+            l.UnionWith(pools_[j].Get(u_id));
+            l.CloseReflexiveTransitive();
+            l_id = l_table_[j].Intern(l);
+            l_memo_[j].emplace(lkey, l_id);
+          }
+        }
         partial->u_ids.push_back(u_id);
-        StateRel l = d;
-        l.UnionWith(pools_[j].Get(u_id));
-        l.CloseReflexiveTransitive();
-        loops->push_back(std::move(l));
-        ok = Extend(j + 1, level, u_size, partial, loops, fc_id, ns_id, f);
+        loops->push_back(&l_table_[j].Get(l_id));
+        ok = Extend(j + 1, level, u_size, partial, loops, SeqChild(seq_id, l_id), fc_id,
+                    ns_id, f);
         loops->pop_back();
         partial->u_ids.pop_back();
       }
     }
-    partial->d.pop_back();
+    partial->d_ids.pop_back();
     return ok;
   }
 
   // Full loop relations of an item (closure(d_j ∪ u_j) per stratum).
   std::vector<StateRel> LoopsOf(const Item& item) const {
     std::vector<StateRel> loops;
-    for (size_t j = 0; j < item.d.size(); ++j) {
-      StateRel l = item.d[j];
+    for (size_t j = 0; j < item.d_ids.size(); ++j) {
+      StateRel l = d_table_[j].Get(item.d_ids[j]);
       if (j < item.u_ids.size()) l.UnionWith(pools_[j].Get(item.u_ids[j]));
       l.CloseReflexiveTransitive();
       loops.push_back(std::move(l));
@@ -277,17 +358,51 @@ class LoopSatEngine {
   // Bottom-up realizability fixpoint at `level` strata. Fills items_ /
   // item-excursion caches; in the final phase records derivations and
   // checks the SAT condition.
+  //
+  // The saturation step pairs every processed item with every other as
+  // (first child, next sibling). Naively that is a quadratic number of
+  // Extend calls, almost all of which die on the stratum-0 child-U checks.
+  // Those checks only see fc through (u_ids[0], excursion-as-fc) and ns
+  // through (u_ids[0], excursion-as-ns), so items collapse into few
+  // signature classes; a memoized per-class-pair precheck ("does ANY
+  // (label, u) survive stratum 0?") skips pairs that provably generate
+  // nothing. The filter is sound (no false negatives), so the sequence of
+  // add_item calls — and with it item numbering, derivations, SAT index and
+  // the resource-limit trigger point — is bit-identical to the naive join
+  // (which the reference cross-check test asserts).
   bool ComputeItems(int level, bool final_phase, std::vector<Derivation>* derivs,
                     int* sat_index) {
     const int u_size = final_phase ? level : level - 1;
     items_.clear();
     item_exc_.clear();
     item_index_.clear();
+    seq_ids_.clear();
+    num_seqs_ = 1;  // Seq 0 = the empty sequence.
     for (int j = 0; j < static_cast<int>(autos_.size()); ++j) {
       test_table_[j].Clear();
+      d_table_[j].Clear();
+      l_table_[j].Clear();
       expected_memo_[j].clear();
+      t_memo_[j].clear();
+      d_memo_[j].clear();
+      l_memo_[j].clear();
     }
     std::vector<char> is_root_candidate;
+
+    // Stratum-0 signature classes for the hashed join (see above). Class
+    // ids are per phase; items are classified as they are interned.
+    const bool use_join = u_size >= 1;
+    std::unordered_map<uint64_t, int> sig_class[2];  // [0]: as-fc, [1]: as-ns.
+    std::vector<std::pair<int, int>> sig_vals[2];    // class -> (u0, exc0).
+    std::vector<int> item_sig[2];
+    std::unordered_map<uint64_t, char> join_memo;    // (fc class, ns class).
+    std::vector<int> label_t0;  // Stratum-0 tests depend only on the label.
+    if (use_join) {
+      const LoopsView no_loops;
+      for (int l = 0; l < static_cast<int>(labels_.size()); ++l) {
+        label_t0.push_back(test_table_[0].Intern(TestRel(0, l, no_loops)));
+      }
+    }
 
     auto sat_found = [&] { return final_phase && sat_index != nullptr && *sat_index >= 0; };
 
@@ -302,8 +417,20 @@ class LoopSatEngine {
         std::vector<ExcIds> exc(level);
         for (int j = 0; j < level; ++j) {
           const AutoData& a = autos_[j];
-          exc[j].as_fc = exc_table_[j].Intern(a.down1.Compose(item.d[j]).Compose(a.up1));
-          exc[j].as_ns = exc_table_[j].Intern(a.right.Compose(item.d[j]).Compose(a.left));
+          const StateRel& dj = d_table_[j].Get(item.d_ids[j]);
+          exc[j].as_fc = exc_table_[j].Intern(a.down1.Compose(dj).Compose(a.up1));
+          exc[j].as_ns = exc_table_[j].Intern(a.right.Compose(dj).Compose(a.left));
+        }
+        if (use_join) {
+          for (int side = 0; side < 2; ++side) {
+            const int e = side == 0 ? exc[0].as_fc : exc[0].as_ns;
+            uint64_t key = (static_cast<uint64_t>(item.u_ids[0]) << 32) |
+                           static_cast<uint32_t>(e);
+            auto [sit, inserted] =
+                sig_class[side].emplace(key, static_cast<int>(sig_vals[side].size()));
+            if (inserted) sig_vals[side].push_back({item.u_ids[0], e});
+            item_sig[side].push_back(sit->second);
+          }
         }
         item_exc_.push_back(std::move(exc));
         if (derivs != nullptr) derivs->push_back({fc, ns});
@@ -331,14 +458,39 @@ class LoopSatEngine {
       return explored_ < options_.max_items && !sat_found();
     };
 
+    // Can the pair (fc, ns) survive the stratum-0 child-U checks for ANY
+    // (label, u)? Memoized per signature-class pair.
+    auto compatible = [&](int fc, int ns) -> bool {
+      const int cf = item_sig[0][fc];
+      const int cn = item_sig[1][ns];
+      uint64_t key = (static_cast<uint64_t>(cf) << 32) | static_cast<uint32_t>(cn);
+      auto it = join_memo.find(key);
+      if (it != join_memo.end()) return it->second != 0;
+      const auto [fc_u0, fc_exc] = sig_vals[0][cf];
+      const auto [ns_u0, ns_exc] = sig_vals[1][cn];
+      bool ok = false;
+      for (size_t l = 0; !ok && l < label_t0.size(); ++l) {
+        for (int u_id = 0; u_id < pools_[0].size(); ++u_id) {
+          if (ExpectedChildUId(0, label_t0[l], ns_exc, u_id, 0) == fc_u0 &&
+              ExpectedChildUId(0, label_t0[l], fc_exc, u_id, 1) == ns_u0) {
+            ok = true;
+            break;
+          }
+        }
+      }
+      join_memo.emplace(key, ok ? 1 : 0);
+      return ok;
+    };
+
     const int num_labels = static_cast<int>(labels_.size());
-    std::vector<StateRel> loops;
+    LoopsView loops;
     auto try_children = [&](int fc_id, int ns_id) -> bool {
+      if (use_join && fc_id >= 0 && ns_id >= 0 && !compatible(fc_id, ns_id)) return true;
       for (int label = 0; label < num_labels; ++label) {
         Item partial;
         partial.label = label;
         loops.clear();
-        bool ok = Extend(0, level, u_size, &partial, &loops, fc_id, ns_id,
+        bool ok = Extend(0, level, u_size, &partial, &loops, /*seq_id=*/0, fc_id, ns_id,
                          [&](const Item& item) { return add_item(item, fc_id, ns_id); });
         if (!ok) return false;
       }
@@ -369,26 +521,41 @@ class LoopSatEngine {
     // Deduplicate by interned (test-matrix id, excursion id) pairs before
     // materializing matrices: the quadratic items x items loop then only
     // touches integers.
-    std::set<int> t_ids;
-    std::set<int> exc_ids[2];  // [0]: excursion as next sibling; [1]: as first child.
-    exc_ids[0].insert(-1);
-    exc_ids[1].insert(-1);
+    std::vector<int> t_ids;
+    std::vector<int> exc_ids[2];  // [0]: excursion as next sibling; [1]: as first child.
+    exc_ids[0].push_back(-1);
+    exc_ids[1].push_back(-1);
     for (const Item& parent : items_) {
-      t_ids.insert(test_table_[k].Intern(TestRel(k, parent.label, LoopsOf(parent))));
+      std::vector<StateRel> loops = LoopsOf(parent);
+      LoopsView view;
+      view.reserve(loops.size());
+      for (const StateRel& l : loops) view.push_back(&l);
+      t_ids.push_back(test_table_[k].Intern(TestRel(k, parent.label, view)));
     }
     for (const auto& exc : item_exc_) {
-      exc_ids[0].insert(exc[k].as_ns);
-      exc_ids[1].insert(exc[k].as_fc);
+      exc_ids[0].push_back(exc[k].as_ns);
+      exc_ids[1].push_back(exc[k].as_fc);
     }
-    std::set<StateRel> base_set[2];
-    for (int t_id : t_ids) {
-      for (int side = 0; side < 2; ++side) {
+    auto sort_unique = [](std::vector<int>* v) {
+      std::sort(v->begin(), v->end());
+      v->erase(std::unique(v->begin(), v->end()), v->end());
+    };
+    sort_unique(&t_ids);
+    sort_unique(&exc_ids[0]);
+    sort_unique(&exc_ids[1]);
+    // Hash-dedup the base matrices, then sort: the worklist below interns
+    // expectations in base order, and pool ids must not depend on hashing.
+    std::vector<StateRel> bases[2];
+    for (int side = 0; side < 2; ++side) {
+      std::unordered_set<StateRel, StateRelHash> seen;
+      for (int t_id : t_ids) {
         for (int exc_id : exc_ids[side]) {
           StateRel base = test_table_[k].Get(t_id);
           if (exc_id >= 0) base.UnionWith(exc_table_[k].Get(exc_id));
-          base_set[side].insert(std::move(base));
+          if (seen.insert(base).second) bases[side].push_back(std::move(base));
         }
       }
+      std::sort(bases[side].begin(), bases[side].end());
     }
 
     RelTable& pool = pools_[k];
@@ -397,8 +564,9 @@ class LoopSatEngine {
     while (!worklist.empty()) {
       StateRel u = pool.Get(worklist.back());
       worklist.pop_back();
+      StatsAdd(Metric::kSatWorklistPops);
       for (int side = 0; side < 2; ++side) {
-        for (const StateRel& base : base_set[side]) {
+        for (const StateRel& base : bases[side]) {
           StateRel m = base;
           m.UnionWith(u);
           m.CloseReflexiveTransitive();
@@ -433,15 +601,23 @@ class LoopSatEngine {
   std::vector<std::string> labels_;
   std::vector<AutoData> autos_;
   std::map<const PathAutomaton*, int> auto_index_;
+  std::vector<StateRel> empty_rels_;
 
   std::vector<RelTable> pools_;
-  // Per-stratum interning tables and memos (keyed by stratum index;
-  // operator[] default-constructs). The excursion table persists across
-  // phases (the matrices are phase-independent); test tables and the
-  // expected-U memo are cleared per phase because their ids are reassigned.
-  std::map<int, RelTable> exc_table_;
-  std::map<int, RelTable> test_table_;
-  std::map<int, std::unordered_map<uint64_t, int>> expected_memo_;
+  // Per-stratum interning tables and memos (indexed by stratum). The
+  // excursion table persists across phases (the matrices are
+  // phase-independent); the rest are cleared per phase because their ids
+  // are reassigned.
+  std::vector<RelTable> exc_table_;
+  std::vector<RelTable> test_table_;
+  std::vector<RelTable> d_table_;
+  std::vector<RelTable> l_table_;
+  std::vector<std::unordered_map<uint64_t, int>> expected_memo_;
+  std::vector<std::unordered_map<uint64_t, int>> t_memo_;
+  std::vector<std::unordered_map<uint64_t, int>> d_memo_;
+  std::vector<std::unordered_map<uint64_t, int>> l_memo_;
+  std::unordered_map<uint64_t, int> seq_ids_;
+  int num_seqs_ = 1;
 
   // Items of the current phase.
   std::vector<Item> items_;

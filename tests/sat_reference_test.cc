@@ -1,0 +1,1568 @@
+// Reference cross-checks for the worklist-driven sat engines.
+//
+// Both engine rewrites (the dependency-indexed downward fixpoint and the
+// hash-interned loop-sat tables) claim *bit-identity* with the cores they
+// replaced: same verdicts, same explored counts, and byte-identical witness
+// trees. This file keeps the pre-worklist cores alive as test-only
+// reference implementations and asserts those claims on hundreds of seeded
+// random instances:
+//
+//   * `refdown` is the old downward engine: the global-sweep fixpoint that
+//     re-scans every type against the full summary table until stable, the
+//     byte-per-atom Resolve memo, and the per-candidate WordExistsContaining
+//     usable-types closure (the production engine replaced the latter with
+//     the one-pass UsefulChildren computation — semantically equal, which
+//     this suite demonstrates). The sweep discovers summaries in a
+//     different ORDER than the worklist, so the reference shares the
+//     production engine's canonical finish (sorted (type, bits) scan +
+//     stratified canonical derivations), making the witness a pure function
+//     of the summary *set* — the set both fixpoints must agree on.
+//
+//   * `refloop` is the old loop-sat engine verbatim: std::map relation
+//     tables, per-call closure recomputation, the quadratic (fc, ns) item
+//     join and std::set-ordered pool growth. The interned rewrite promises
+//     the exact same add_item sequence, so status, item counts AND
+//     witnesses must match exactly — including on resource limits.
+//
+// The downward suites additionally run the production engine with
+// sat_threads = 3 and require full equality with the serial run (the
+// frozen-generation merge determinism claim).
+//
+// Every failure message carries the case seed; re-run one case with
+//   XPC_REF_SEED=<seed> XPC_REF_CASES=1 ./xpc_tests --gtest_filter='SatReference.*'
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xpc/automata/regex.h"
+#include "xpc/common/bits.h"
+#include "xpc/edtd/conformance.h"
+#include "xpc/edtd/edtd.h"
+#include "xpc/eval/evaluator.h"
+#include "xpc/pathauto/lexpr.h"
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/pathauto/state_relation.h"
+#include "xpc/sat/downward_sat.h"
+#include "xpc/sat/loop_sat.h"
+#include "xpc/sat/simple_paths.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/metrics.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+constexpr uint64_t kDefaultBaseSeed = 0x5a7c0de5ULL;
+// 250 + 150 + 150 = 550 cross-checked instances per full run.
+constexpr int kDownwardFreeCases = 250;
+constexpr int kDownwardEdtdCases = 150;
+constexpr int kLoopCases = 150;
+
+uint64_t BaseSeed() {
+  if (const char* env = std::getenv("XPC_REF_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return kDefaultBaseSeed;
+}
+
+int Cases(int dflt) {
+  if (const char* env = std::getenv("XPC_REF_CASES")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return dflt;
+}
+
+// ======================================================================
+// Reference downward engine: the pre-worklist global-sweep fixpoint.
+// Registration, truth evaluation and the per-pass exploration are the old
+// code; the finish (canonical scan + stratified canonical derivations) is
+// shared with the production engine so witnesses depend only on the
+// summary set. Differences from production kept on purpose:
+//   - ExpandType restarts a from-scratch BFS over the FULL summary table
+//     every pass, inside a while-changed sweep over all types;
+//   - Resolve memoizes through a byte-per-atom table;
+//   - usable types and the witness chain use per-candidate
+//     WordExistsContaining queries instead of UsefulChildren;
+//   - canonical derivations run dense rounds over every type instead of
+//     dependency-driven rounds.
+// ======================================================================
+
+namespace refdown {
+
+struct Atom {
+  SimpleStep::Kind head;
+  const SimplePath* path;
+  int pos;
+};
+
+struct Summary {
+  int type = 0;
+  Bits bits;
+
+  bool operator==(const Summary& o) const { return type == o.type && bits == o.bits; }
+};
+
+struct SummaryHash {
+  size_t operator()(const Summary& s) const {
+    return s.bits.Hash() * 31 + static_cast<size_t>(s.type);
+  }
+};
+
+struct BitsPairHash {
+  size_t operator()(const std::pair<Bits, Bits>& p) const {
+    return p.first.Hash() * 0x9e3779b97f4a7c15ULL + p.second.Hash();
+  }
+};
+
+struct BitsBoolHash {
+  size_t operator()(const std::pair<Bits, bool>& p) const {
+    return p.first.Hash() * 2 + (p.second ? 1 : 0);
+  }
+};
+
+class Engine {
+ public:
+  Engine(const NodePtr& phi, const Edtd& edtd, bool any_root,
+         const DownwardSatOptions& options)
+      : options_(options), edtd_(edtd), any_root_(any_root) {
+    phi_ = RewritePathEqDeep(phi);
+  }
+
+  SatResult Run() {
+    SatResult result;
+    result.engine = "downward-sat";
+    if (!supported_ || !RegisterAll(phi_)) {
+      result.engine = "downward-sat:unsupported";
+      result.status = SolveStatus::kResourceLimit;
+      return result;
+    }
+
+    // The old bottom-up realizability fixpoint: sweep every type against
+    // the whole summary table until a full sweep adds nothing.
+    const int num_types = static_cast<int>(edtd_.types().size());
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int t = 0; t < num_types; ++t) {
+        if (!ExpandType(t, &changed)) {
+          result.status = SolveStatus::kResourceLimit;
+          result.explored_states = static_cast<int64_t>(summaries_.size());
+          return result;
+        }
+      }
+    }
+    result.explored_states = static_cast<int64_t>(summaries_.size());
+
+    std::vector<bool> usable = ComputeUsableTypes();
+
+    // Canonical finish, as in production: summaries in (type, bits) order.
+    std::vector<int> order(summaries_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      if (summaries_[a].type != summaries_[b].type) {
+        return summaries_[a].type < summaries_[b].type;
+      }
+      return summaries_[a].bits < summaries_[b].bits;
+    });
+    canon_order_ = std::move(order);
+
+    for (int sid : canon_order_) {
+      const Summary& s = summaries_[sid];
+      if (!usable[s.type]) continue;
+      if (TruthOfNode(phi_, s.type, [&](int atom) { return s.bits.Get(atom); })) {
+        result.status = SolveStatus::kSat;
+        if (options_.want_witness) {
+          result.witness = BuildWitness(sid);
+        }
+        return result;
+      }
+    }
+    result.status = SolveStatus::kUnsat;
+    return result;
+  }
+
+ private:
+  using BitFn = std::function<bool(int)>;
+
+  NodePtr RewritePathEqDeep(const NodePtr& node) {
+    switch (node->kind) {
+      case NodeKind::kLabel:
+      case NodeKind::kTrue:
+      case NodeKind::kIsVar:
+        return node;
+      case NodeKind::kSome:
+        return Some(RewriteInPath(node->path));
+      case NodeKind::kNot:
+        return Not(RewritePathEqDeep(node->child1));
+      case NodeKind::kAnd:
+        return And(RewritePathEqDeep(node->child1), RewritePathEqDeep(node->child2));
+      case NodeKind::kOr:
+        return Or(RewritePathEqDeep(node->child1), RewritePathEqDeep(node->child2));
+      case NodeKind::kPathEq:
+        return Some(Intersect(RewriteInPath(node->path), RewriteInPath(node->path2)));
+    }
+    return node;
+  }
+
+  PathPtr RewriteInPath(const PathPtr& path) {
+    switch (path->kind) {
+      case PathKind::kAxis:
+      case PathKind::kAxisStar:
+      case PathKind::kSelf:
+        return path;
+      case PathKind::kSeq:
+        return Seq(RewriteInPath(path->left), RewriteInPath(path->right));
+      case PathKind::kUnion:
+        return Union(RewriteInPath(path->left), RewriteInPath(path->right));
+      case PathKind::kFilter:
+        return Filter(RewriteInPath(path->left), RewritePathEqDeep(path->filter));
+      case PathKind::kIntersect:
+        return Intersect(RewriteInPath(path->left), RewriteInPath(path->right));
+      case PathKind::kStar:
+      case PathKind::kComplement:
+      case PathKind::kFor:
+        supported_ = false;
+        return path;
+    }
+    return path;
+  }
+
+  bool RegisterAll(const NodePtr& node) {
+    switch (node->kind) {
+      case NodeKind::kLabel:
+      case NodeKind::kTrue:
+        return true;
+      case NodeKind::kIsVar:
+        supported_ = false;
+        return false;
+      case NodeKind::kNot:
+        return RegisterAll(node->child1);
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+        return RegisterAll(node->child1) && RegisterAll(node->child2);
+      case NodeKind::kPathEq:
+        supported_ = false;
+        return false;
+      case NodeKind::kSome:
+        return RegisterSome(node);
+    }
+    return false;
+  }
+
+  bool RegisterSome(const NodePtr& some) {
+    if (some_insts_.count(some.get())) return true;
+    auto [ok, paths] = Instantiate(some->path, options_.max_inst_paths);
+    if (!ok || static_cast<int64_t>(atoms_.size()) > options_.max_atoms) {
+      supported_ = false;
+      return false;
+    }
+    auto owned = std::make_shared<std::vector<SimplePath>>(std::move(paths));
+    inst_storage_.push_back(owned);
+    some_insts_[some.get()] = owned.get();
+    for (const SimplePath& p : *owned) {
+      for (size_t i = 0; i < p.size(); ++i) {
+        if (p[i].kind == SimpleStep::Kind::kTest) {
+          if (!RegisterAll(p[i].test)) return false;
+        } else {
+          RegisterAtom(p, static_cast<int>(i));
+        }
+      }
+      path_suffix_ids_[&p] = SuffixIdsFor(p);
+    }
+    return true;
+  }
+
+  std::string SuffixKey(const SimplePath& p, int pos) const {
+    std::ostringstream os;
+    for (size_t i = pos; i < p.size(); ++i) {
+      switch (p[i].kind) {
+        case SimpleStep::Kind::kDown: os << 'D'; break;
+        case SimpleStep::Kind::kDownStar: os << 'S'; break;
+        case SimpleStep::Kind::kTest: os << 'T' << p[i].test.get(); break;
+      }
+    }
+    return os.str();
+  }
+
+  int RegisterAtom(const SimplePath& p, int pos) {
+    std::string key = SuffixKey(p, pos);
+    auto it = atom_ids_.find(key);
+    if (it != atom_ids_.end()) return it->second;
+    int id = static_cast<int>(atoms_.size());
+    atom_ids_.emplace(std::move(key), id);
+    atoms_.push_back(Atom{p[pos].kind, &p, pos});
+    return id;
+  }
+
+  std::vector<int> SuffixIdsFor(const SimplePath& p) {
+    std::vector<int> ids(p.size(), -1);
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (p[i].kind != SimpleStep::Kind::kTest) {
+        ids[i] = atom_ids_.at(SuffixKey(p, static_cast<int>(i)));
+      }
+    }
+    return ids;
+  }
+
+  bool TruthOfNode(const NodePtr& node, int type, const BitFn& bit) const {
+    switch (node->kind) {
+      case NodeKind::kLabel:
+        return edtd_.types()[type].concrete_label == node->label;
+      case NodeKind::kTrue:
+        return true;
+      case NodeKind::kNot:
+        return !TruthOfNode(node->child1, type, bit);
+      case NodeKind::kAnd:
+        return TruthOfNode(node->child1, type, bit) &&
+               TruthOfNode(node->child2, type, bit);
+      case NodeKind::kOr:
+        return TruthOfNode(node->child1, type, bit) ||
+               TruthOfNode(node->child2, type, bit);
+      case NodeKind::kSome: {
+        const std::vector<SimplePath>* insts = some_insts_.at(node.get());
+        for (const SimplePath& p : *insts) {
+          if (TruthOfSuffix(p, 0, type, bit)) return true;
+        }
+        return false;
+      }
+      case NodeKind::kPathEq:
+      case NodeKind::kIsVar:
+        return false;
+    }
+    return false;
+  }
+
+  bool TruthOfSuffix(const SimplePath& p, int pos, int type, const BitFn& bit) const {
+    int i = pos;
+    while (i < static_cast<int>(p.size()) && p[i].kind == SimpleStep::Kind::kTest) {
+      if (!TruthOfNode(p[i].test, type, bit)) return false;
+      ++i;
+    }
+    if (i == static_cast<int>(p.size())) return true;
+    return bit(path_suffix_ids_.at(&p)[i]);
+  }
+
+  // The old lazy per-id contribution cache.
+  const Bits& ContributionOf(int summary_id) {
+    while (summary_id >= static_cast<int>(contrib_.size())) {
+      contrib_.push_back(ComputeContribution(static_cast<int>(contrib_.size())));
+    }
+    return contrib_[summary_id];
+  }
+
+  Bits ComputeContribution(int summary_id) const {
+    const Summary& c = summaries_[summary_id];
+    Bits out(static_cast<int>(atoms_.size()));
+    BitFn bit = [&](int a) { return c.bits.Get(a); };
+    for (size_t a = 0; a < atoms_.size(); ++a) {
+      const Atom& atom = atoms_[a];
+      if (atom.head == SimpleStep::Kind::kDown) {
+        if (TruthOfSuffix(*atom.path, atom.pos + 1, c.type, bit)) out.Set(a);
+      } else {
+        if (c.bits.Get(static_cast<int>(a))) out.Set(a);
+      }
+    }
+    return out;
+  }
+
+  // The old Resolve: byte-per-atom memo (production uses a (known, value)
+  // bitset pair; the values must coincide).
+  Bits Resolve(int type, const Bits& acc) const {
+    const int n = static_cast<int>(atoms_.size());
+    std::vector<int8_t> memo(n, -1);
+    BitFn bit = [&](int a) -> bool { return ResolveAtom(a, type, acc, &memo); };
+    Bits out(n);
+    for (int a = 0; a < n; ++a) {
+      if (bit(a)) out.Set(a);
+    }
+    return out;
+  }
+
+  bool ResolveAtom(int a, int type, const Bits& acc, std::vector<int8_t>* memo) const {
+    if ((*memo)[a] >= 0) return (*memo)[a] == 1;
+    (*memo)[a] = acc.Get(a) ? 1 : 0;
+    bool value = acc.Get(a);
+    if (!value && atoms_[a].head == SimpleStep::Kind::kDownStar) {
+      BitFn bit = [&](int b) -> bool { return ResolveAtom(b, type, acc, memo); };
+      value = TruthOfSuffix(*atoms_[a].path, atoms_[a].pos + 1, type, bit);
+    }
+    (*memo)[a] = value ? 1 : 0;
+    return value;
+  }
+
+  // One pass of the old sweep: from-scratch BFS over (NFA state-set,
+  // accumulated bits) pairs against the current summary table.
+  bool ExpandType(int t, bool* changed) {
+    const Nfa& nfa = edtd_.ContentNfa(t);
+    struct Node {
+      Bits states;
+      Bits acc;
+    };
+    std::vector<Node> nodes;
+    std::unordered_map<std::pair<Bits, Bits>, int, BitsPairHash> seen;
+    std::queue<int> work;
+
+    auto push = [&](Bits states, Bits acc) {
+      auto key = std::make_pair(states, acc);
+      if (seen.count(key)) return;
+      int id = static_cast<int>(nodes.size());
+      seen.emplace(std::move(key), id);
+      nodes.push_back({std::move(states), std::move(acc)});
+      work.push(id);
+    };
+
+    const int num_types = static_cast<int>(edtd_.types().size());
+    std::vector<int> step_epoch(num_types, -1);
+    std::vector<Bits> step_memo(num_types);
+
+    push(nfa.InitialSet(), Bits(static_cast<int>(atoms_.size())));
+    while (!work.empty()) {
+      if (static_cast<int64_t>(nodes.size()) > options_.max_summaries) return false;
+      int id = work.front();
+      work.pop();
+      if (nfa.AnyAccepting(nodes[id].states)) {
+        Summary s;
+        s.type = t;
+        s.bits = Resolve(t, nodes[id].acc);
+        auto it = summary_index_.find(s);
+        if (it == summary_index_.end()) {
+          int sid = static_cast<int>(summaries_.size());
+          summary_index_.emplace(s, sid);
+          summaries_.push_back(s);
+          *changed = true;
+          if (static_cast<int64_t>(summaries_.size()) > options_.max_summaries) return false;
+        }
+      }
+      // Only the summaries present at pass start are used; the outer sweep
+      // re-runs until stable.
+      const size_t limit = summaries_.size();
+      const Bits cur_states = nodes[id].states;  // push() may realloc nodes.
+      for (size_t c = 0; c < limit; ++c) {
+        const int ct = summaries_[c].type;
+        if (step_epoch[ct] != id) {
+          step_memo[ct] = nfa.Step(cur_states, ct);
+          step_epoch[ct] = id;
+        }
+        const Bits& next = step_memo[ct];
+        if (next.None()) continue;
+        Bits acc = nodes[id].acc;
+        acc.UnionWith(ContributionOf(static_cast<int>(c)));
+        push(next, std::move(acc));
+      }
+    }
+    return true;
+  }
+
+  // The old usable-types closure: a per-candidate subset-construction BFS
+  // (WordExistsContaining) where production asks UsefulChildren once.
+  std::vector<bool> ComputeUsableTypes() {
+    const int num_types = static_cast<int>(edtd_.types().size());
+    std::vector<bool> realizable(num_types, false);
+    for (const Summary& s : summaries_) realizable[s.type] = true;
+    std::vector<bool> usable(num_types, false);
+    if (any_root_) {
+      for (int t = 0; t < num_types; ++t) usable[t] = realizable[t];
+      return usable;
+    }
+    int root = edtd_.TypeIndex(edtd_.root_type());
+    usable[root] = realizable[root];
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int t = 0; t < num_types; ++t) {
+        if (!usable[t]) continue;
+        const Nfa& nfa = edtd_.ContentNfa(t);
+        for (int c = 0; c < num_types; ++c) {
+          if (!realizable[c] || usable[c]) continue;
+          if (WordExistsContaining(nfa, realizable, c, nullptr)) {
+            usable[c] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+    return usable;
+  }
+
+  bool WordExistsContaining(const Nfa& nfa, const std::vector<bool>& allowed, int must,
+                            std::vector<int>* word) const {
+    struct Node {
+      Bits states;
+      bool has = false;
+      int prev = -1;
+      int via = -1;
+    };
+    std::vector<Node> nodes;
+    std::unordered_map<std::pair<Bits, bool>, int, BitsBoolHash> seen;
+    std::queue<int> work;
+    auto push = [&](Bits states, bool has, int prev, int via) {
+      auto key = std::make_pair(states, has);
+      if (seen.count(key)) return;
+      int id = static_cast<int>(nodes.size());
+      seen.emplace(std::move(key), id);
+      nodes.push_back({std::move(states), has, prev, via});
+      work.push(id);
+    };
+    push(nfa.InitialSet(), false, -1, -1);
+    while (!work.empty()) {
+      int id = work.front();
+      work.pop();
+      if (nodes[id].has && nfa.AnyAccepting(nodes[id].states)) {
+        if (word != nullptr) {
+          for (int n = id; nodes[n].prev >= 0; n = nodes[n].prev) word->push_back(nodes[n].via);
+          std::reverse(word->begin(), word->end());
+        }
+        return true;
+      }
+      for (size_t c = 0; c < allowed.size(); ++c) {
+        if (!allowed[c]) continue;
+        Bits next = nfa.Step(nodes[id].states, static_cast<int>(c));
+        if (next.None()) continue;
+        push(std::move(next), nodes[id].has || static_cast<int>(c) == must,
+             id, static_cast<int>(c));
+      }
+    }
+    return false;
+  }
+
+  // --- Canonical finish (shared with production) -----------------------
+
+  // Dense variant of the production rounds: every type re-derives each
+  // round. Production only wakes types whose content alphabet gained a
+  // derivation — a pure skip of no-op BFS runs, so the assigned words must
+  // be identical.
+  void ComputeCanonicalDerivations() {
+    canon_deriv_.assign(summaries_.size(), {});
+    deriv_set_.assign(summaries_.size(), 0);
+    const int num_types = static_cast<int>(edtd_.types().size());
+    size_t have = 0;
+    while (have < summaries_.size()) {
+      const std::vector<char> frozen = deriv_set_;
+      size_t gained = 0;
+      for (int t = 0; t < num_types; ++t) {
+        gained += static_cast<size_t>(DeriveRound(t, frozen));
+      }
+      if (gained == 0) break;  // Unreachable: every summary was interned
+                               // from earlier-round children.
+      have += gained;
+    }
+  }
+
+  int DeriveRound(int t, const std::vector<char>& frozen) {
+    const Nfa& nfa = edtd_.ContentNfa(t);
+    struct Node {
+      Bits states;
+      Bits acc;
+      int prev = -1;
+      int via_child = -1;
+    };
+    std::vector<Node> nodes;
+    std::unordered_map<std::pair<Bits, Bits>, int, BitsPairHash> seen;
+    std::queue<int> work;
+    int gained = 0;
+    auto push = [&](Bits states, Bits acc, int prev, int via) {
+      auto key = std::make_pair(states, acc);
+      if (seen.count(key)) return;
+      int id = static_cast<int>(nodes.size());
+      seen.emplace(std::move(key), id);
+      nodes.push_back({std::move(states), std::move(acc), prev, via});
+      work.push(id);
+    };
+
+    const int num_types = static_cast<int>(edtd_.types().size());
+    std::vector<int> step_epoch(num_types, -1);
+    std::vector<Bits> step_memo(num_types);
+
+    push(nfa.InitialSet(), Bits(static_cast<int>(atoms_.size())), -1, -1);
+    while (!work.empty()) {
+      int id = work.front();
+      work.pop();
+      if (nfa.AnyAccepting(nodes[id].states)) {
+        Summary s;
+        s.type = t;
+        s.bits = Resolve(t, nodes[id].acc);
+        auto it = summary_index_.find(s);
+        if (it != summary_index_.end() && !deriv_set_[it->second]) {
+          deriv_set_[it->second] = 1;
+          ++gained;
+          std::vector<int> word;
+          for (int n = id; nodes[n].prev >= 0; n = nodes[n].prev) {
+            word.push_back(nodes[n].via_child);
+          }
+          std::reverse(word.begin(), word.end());
+          canon_deriv_[it->second] = std::move(word);
+        }
+      }
+      const Bits cur_states = nodes[id].states;
+      for (int c : canon_order_) {
+        if (!frozen[c]) continue;
+        const int ct = summaries_[c].type;
+        if (step_epoch[ct] != id) {
+          step_memo[ct] = nfa.Step(cur_states, ct);
+          step_epoch[ct] = id;
+        }
+        const Bits& next = step_memo[ct];
+        if (next.None()) continue;
+        Bits acc = nodes[id].acc;
+        acc.UnionWith(ContributionOf(c));
+        push(next, std::move(acc), id, c);
+      }
+    }
+    return gained;
+  }
+
+  int CanonicalFirstOfType(int t) const {
+    for (int sid : canon_order_) {
+      if (summaries_[sid].type == t) return sid;
+    }
+    return -1;
+  }
+
+  void ExpandSummary(int sid, XmlTree* tree, NodeId node) {
+    if (canon_deriv_.empty()) ComputeCanonicalDerivations();
+    const std::vector<int>& word = canon_deriv_[sid];
+    for (int child : word) {
+      NodeId c = tree->AddChild(node, edtd_.types()[summaries_[child].type].concrete_label);
+      ExpandSummary(child, tree, c);
+    }
+  }
+
+  XmlTree BuildWitness(int target_sid) {
+    const int num_types = static_cast<int>(edtd_.types().size());
+    std::vector<bool> realizable(num_types, false);
+    for (const Summary& s : summaries_) realizable[s.type] = true;
+
+    const int target_type = summaries_[target_sid].type;
+    if (any_root_) {
+      XmlTree tree(edtd_.types()[target_type].concrete_label);
+      ExpandSummary(target_sid, &tree, tree.root());
+      return tree;
+    }
+    std::vector<int> parent(num_types, -1);
+    std::vector<bool> visited(num_types, false);
+    std::queue<int> q;
+    int start = edtd_.TypeIndex(edtd_.root_type());
+    visited[start] = true;
+    q.push(start);
+    while (!q.empty()) {
+      int t = q.front();
+      q.pop();
+      if (t == target_type) break;
+      const Nfa& nfa = edtd_.ContentNfa(t);
+      for (int c = 0; c < num_types; ++c) {
+        if (visited[c] || !realizable[c]) continue;
+        if (WordExistsContaining(nfa, realizable, c, nullptr)) {
+          visited[c] = true;
+          parent[c] = t;
+          q.push(c);
+        }
+      }
+    }
+    std::vector<int> chain;
+    for (int t = target_type; t != -1; t = parent[t]) chain.push_back(t);
+    std::reverse(chain.begin(), chain.end());
+
+    XmlTree tree(edtd_.types()[chain[0]].concrete_label);
+    NodeId at = tree.root();
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      std::vector<int> word;
+      bool ok = WordExistsContaining(edtd_.ContentNfa(chain[i]), realizable, chain[i + 1], &word);
+      assert(ok);
+      (void)ok;
+      NodeId next_at = kNoNode;
+      for (int ct : word) {
+        NodeId c = tree.AddChild(at, edtd_.types()[ct].concrete_label);
+        if (ct == chain[i + 1] && next_at == kNoNode) {
+          next_at = c;
+          if (i + 2 == chain.size()) {
+            ExpandSummary(target_sid, &tree, c);
+          }
+        } else {
+          int filler = CanonicalFirstOfType(ct);
+          if (filler >= 0) ExpandSummary(filler, &tree, c);
+        }
+      }
+      at = next_at;
+    }
+    if (chain.size() == 1) ExpandSummary(target_sid, &tree, at);
+    return tree;
+  }
+
+  DownwardSatOptions options_;
+  const Edtd& edtd_;
+  bool any_root_ = false;
+  NodePtr phi_;
+  bool supported_ = true;
+
+  std::vector<std::shared_ptr<std::vector<SimplePath>>> inst_storage_;
+  std::map<const NodeExpr*, const std::vector<SimplePath>*> some_insts_;
+  std::map<std::string, int> atom_ids_;
+  std::vector<Atom> atoms_;
+  std::map<const SimplePath*, std::vector<int>> path_suffix_ids_;
+
+  std::vector<Summary> summaries_;
+  std::unordered_map<Summary, int, SummaryHash> summary_index_;
+  std::vector<Bits> contrib_;
+
+  std::vector<int> canon_order_;
+  std::vector<std::vector<int>> canon_deriv_;
+  std::vector<char> deriv_set_;
+};
+
+SatResult SatisfiableWithEdtd(const NodePtr& phi, const Edtd& edtd,
+                              const DownwardSatOptions& options) {
+  Engine engine(phi, edtd, /*any_root=*/false, options);
+  return engine.Run();
+}
+
+SatResult Satisfiable(const NodePtr& phi, const DownwardSatOptions& options) {
+  std::set<std::string> labels = Labels(phi);
+  labels.insert(FreshLabel(labels, "_other"));
+  std::vector<Edtd::TypeDef> types;
+  RegexPtr any;
+  for (const std::string& l : labels) any = any ? RxUnion(any, RxSymbol(l)) : RxSymbol(l);
+  for (const std::string& l : labels) types.push_back({l, RxStar(any), l});
+  Edtd free_schema(std::move(types), *labels.begin());
+  Engine engine(phi, free_schema, /*any_root=*/true, options);
+  return engine.Run();
+}
+
+}  // namespace refdown
+
+// ======================================================================
+// Reference loop engine: the pre-interning core, verbatim. std::map
+// relation tables, items carrying materialized D matrices, per-call
+// TestRel/closure recomputation, the unfiltered quadratic (fc, ns) join
+// and std::set-ordered GrowPool. The production rewrite must reproduce
+// its add_item sequence exactly.
+// ======================================================================
+
+namespace refloop {
+
+struct Item {
+  int label = 0;
+  std::vector<StateRel> d;
+  std::vector<int> u_ids;
+
+  bool operator==(const Item& o) const {
+    return label == o.label && u_ids == o.u_ids && d == o.d;
+  }
+
+  size_t Hash() const {
+    size_t h = static_cast<size_t>(label) * 0x9e3779b97f4a7c15ULL;
+    for (const StateRel& r : d) h = h * 1099511628211ULL + r.Hash();
+    for (int u : u_ids) h = h * 1099511628211ULL + static_cast<size_t>(u + 1);
+    return h;
+  }
+};
+
+struct ItemHash {
+  size_t operator()(const Item& i) const { return i.Hash(); }
+};
+
+struct AutoData {
+  PathAutoPtr automaton;
+  int nq = 0;
+  StateRel down1, up1, right, left;
+  struct TestEdge {
+    int from;
+    LExprPtr test;
+    int to;
+  };
+  std::vector<TestEdge> tests;
+};
+
+struct Derivation {
+  int fc = -1;
+  int ns = -1;
+};
+
+class RelTable {
+ public:
+  int Intern(const StateRel& r) {
+    auto [it, inserted] = ids_.emplace(r, static_cast<int>(rels_.size()));
+    if (inserted) rels_.push_back(r);
+    return it->second;
+  }
+  int Find(const StateRel& r) const {
+    auto it = ids_.find(r);
+    return it == ids_.end() ? -1 : it->second;
+  }
+  const StateRel& Get(int id) const { return rels_[id]; }
+  int size() const { return static_cast<int>(rels_.size()); }
+  void Clear() {
+    ids_.clear();
+    rels_.clear();
+  }
+
+ private:
+  std::map<StateRel, int> ids_;
+  std::vector<StateRel> rels_;
+};
+
+class Engine {
+ public:
+  Engine(const LExprPtr& phi, const LoopSatOptions& options)
+      : options_(options), target_(MergeStrataAutomata(SomewhereInTree(phi))) {
+    for (const std::string& l : CollectLabels(target_)) labels_.push_back(l);
+    labels_.push_back("_other");
+
+    for (const PathAutoPtr& a : CollectAutomata(target_)) {
+      AutoData data;
+      data.automaton = a;
+      data.nq = a->num_states;
+      data.down1 = StateRel(data.nq);
+      data.up1 = StateRel(data.nq);
+      data.right = StateRel(data.nq);
+      data.left = StateRel(data.nq);
+      for (const PathAutomaton::Transition& t : a->transitions) {
+        switch (t.move) {
+          case Move::kDown1: data.down1.Set(t.from, t.to); break;
+          case Move::kUp1: data.up1.Set(t.from, t.to); break;
+          case Move::kRight: data.right.Set(t.from, t.to); break;
+          case Move::kLeft: data.left.Set(t.from, t.to); break;
+          case Move::kTest: data.tests.push_back({t.from, t.test, t.to}); break;
+        }
+      }
+      auto_index_[a.get()] = static_cast<int>(autos_.size());
+      autos_.push_back(std::move(data));
+    }
+  }
+
+  SatResult Run() {
+    const int num_autos = static_cast<int>(autos_.size());
+    pools_.assign(num_autos, RelTable());
+    for (int k = 0; k < num_autos; ++k) {
+      if (!ComputeItems(k + 1, /*final_phase=*/false, nullptr, nullptr)) return Limit();
+      if (!GrowPool(k)) return Limit();
+    }
+    std::vector<Derivation> derivs;
+    int sat_index = -1;
+    if (!ComputeItems(num_autos, /*final_phase=*/true, &derivs, &sat_index)) return Limit();
+
+    SatResult result;
+    result.engine = "loop-sat";
+    result.explored_states = explored_;
+    if (sat_index < 0) {
+      result.status = SolveStatus::kUnsat;
+      return result;
+    }
+    result.status = SolveStatus::kSat;
+    if (options_.want_witness) {
+      XmlTree tree(labels_[items_[sat_index].label]);
+      if (derivs[sat_index].fc >= 0) {
+        BuildSubtree(derivs, derivs[sat_index].fc, &tree, tree.root());
+      }
+      result.witness = std::move(tree);
+    }
+    return result;
+  }
+
+ private:
+  SatResult Limit() {
+    SatResult r;
+    r.engine = "loop-sat";
+    r.status = SolveStatus::kResourceLimit;
+    r.explored_states = explored_;
+    return r;
+  }
+
+  bool EvalTest(const LExprPtr& e, int label, const std::vector<StateRel>& loops) const {
+    switch (e->kind) {
+      case LExpr::Kind::kLabel:
+        return labels_[label] == e->label;
+      case LExpr::Kind::kTrue:
+        return true;
+      case LExpr::Kind::kNot:
+        return !EvalTest(e->a, label, loops);
+      case LExpr::Kind::kAnd:
+        return EvalTest(e->a, label, loops) && EvalTest(e->b, label, loops);
+      case LExpr::Kind::kOr:
+        return EvalTest(e->a, label, loops) || EvalTest(e->b, label, loops);
+      case LExpr::Kind::kLoop: {
+        const int j = auto_index_.at(e->automaton.get());
+        assert(j < static_cast<int>(loops.size()));
+        return loops[j].Get(e->q_from, e->q_to);
+      }
+    }
+    return false;
+  }
+
+  StateRel TestRel(int j, int label, const std::vector<StateRel>& loops) const {
+    const AutoData& a = autos_[j];
+    StateRel t(a.nq);
+    for (const AutoData::TestEdge& e : a.tests) {
+      if (EvalTest(e.test, label, loops)) t.Set(e.from, e.to);
+    }
+    return t;
+  }
+
+  int ExpectedChildUId(int j, int t_id, int other_exc_id, int u_id, int side) {
+    uint64_t key = ((static_cast<uint64_t>(t_id) * 2097152 + (other_exc_id + 1)) * 2097152 +
+                    u_id) * 2 + side;
+    auto it = expected_memo_[j].find(key);
+    if (it != expected_memo_[j].end()) return it->second;
+    const AutoData& a = autos_[j];
+    StateRel m = test_table_[j].Get(t_id);
+    if (other_exc_id >= 0) m.UnionWith(exc_table_[j].Get(other_exc_id));
+    m.UnionWith(pools_[j].Get(u_id));
+    m.CloseReflexiveTransitive();
+    StateRel expected = side == 0 ? a.up1.Compose(m).Compose(a.down1)
+                                  : a.left.Compose(m).Compose(a.right);
+    int id = pools_[j].Find(expected);
+    if (id < 0) id = -2;
+    expected_memo_[j].emplace(key, id);
+    return id;
+  }
+
+  bool Extend(int j, int level, int u_size, Item* partial, std::vector<StateRel>* loops,
+              int fc_id, int ns_id, const std::function<bool(const Item&)>& f) {
+    if (j == level) return f(*partial);
+    const AutoData& a = autos_[j];
+    StateRel tests = TestRel(j, partial->label, *loops);
+    StateRel d = tests;
+    if (fc_id >= 0) d.UnionWith(exc_table_[j].Get(item_exc_[fc_id][j].as_fc));
+    if (ns_id >= 0) d.UnionWith(exc_table_[j].Get(item_exc_[ns_id][j].as_ns));
+    d.CloseReflexiveTransitive();
+    partial->d.push_back(d);
+
+    bool ok = true;
+    if (j >= u_size) {
+      loops->push_back(StateRel(a.nq));
+      ok = Extend(j + 1, level, u_size, partial, loops, fc_id, ns_id, f);
+      loops->pop_back();
+    } else {
+      const int t_id = test_table_[j].Intern(tests);
+      const int fc_exc_ns = fc_id >= 0 ? item_exc_[fc_id][j].as_fc : -1;
+      const int ns_exc = ns_id >= 0 ? item_exc_[ns_id][j].as_ns : -1;
+      for (int u_id = 0; ok && u_id < pools_[j].size(); ++u_id) {
+        if (fc_id >= 0 &&
+            ExpectedChildUId(j, t_id, ns_exc, u_id, 0) != items_[fc_id].u_ids[j]) {
+          continue;
+        }
+        if (ns_id >= 0 &&
+            ExpectedChildUId(j, t_id, fc_exc_ns, u_id, 1) != items_[ns_id].u_ids[j]) {
+          continue;
+        }
+        partial->u_ids.push_back(u_id);
+        StateRel l = d;
+        l.UnionWith(pools_[j].Get(u_id));
+        l.CloseReflexiveTransitive();
+        loops->push_back(std::move(l));
+        ok = Extend(j + 1, level, u_size, partial, loops, fc_id, ns_id, f);
+        loops->pop_back();
+        partial->u_ids.pop_back();
+      }
+    }
+    partial->d.pop_back();
+    return ok;
+  }
+
+  std::vector<StateRel> LoopsOf(const Item& item) const {
+    std::vector<StateRel> loops;
+    for (size_t j = 0; j < item.d.size(); ++j) {
+      StateRel l = item.d[j];
+      if (j < item.u_ids.size()) l.UnionWith(pools_[j].Get(item.u_ids[j]));
+      l.CloseReflexiveTransitive();
+      loops.push_back(std::move(l));
+    }
+    return loops;
+  }
+
+  bool ComputeItems(int level, bool final_phase, std::vector<Derivation>* derivs,
+                    int* sat_index) {
+    const int u_size = final_phase ? level : level - 1;
+    items_.clear();
+    item_exc_.clear();
+    item_index_.clear();
+    for (int j = 0; j < static_cast<int>(autos_.size()); ++j) {
+      test_table_[j].Clear();
+      expected_memo_[j].clear();
+    }
+    std::vector<char> is_root_candidate;
+
+    auto sat_found = [&] { return final_phase && sat_index != nullptr && *sat_index >= 0; };
+
+    auto add_item = [&](const Item& item, int fc, int ns) -> bool {
+      auto it = item_index_.find(item);
+      int id;
+      if (it == item_index_.end()) {
+        id = static_cast<int>(items_.size());
+        item_index_.emplace(item, id);
+        items_.push_back(item);
+        std::vector<ExcIds> exc(level);
+        for (int j = 0; j < level; ++j) {
+          const AutoData& a = autos_[j];
+          exc[j].as_fc = exc_table_[j].Intern(a.down1.Compose(item.d[j]).Compose(a.up1));
+          exc[j].as_ns = exc_table_[j].Intern(a.right.Compose(item.d[j]).Compose(a.left));
+        }
+        item_exc_.push_back(std::move(exc));
+        if (derivs != nullptr) derivs->push_back({fc, ns});
+        is_root_candidate.push_back(ns < 0 ? 1 : 0);
+        ++explored_;
+      } else {
+        id = it->second;
+        if (ns < 0 && !is_root_candidate[id]) {
+          is_root_candidate[id] = 1;
+          if (derivs != nullptr) (*derivs)[id] = {fc, ns};
+        }
+      }
+      if (final_phase && sat_index != nullptr && *sat_index < 0 && is_root_candidate[id]) {
+        bool all_empty = true;
+        for (int j = 0; j < u_size; ++j) {
+          all_empty = all_empty && pools_[j].Get(items_[id].u_ids[j]) == StateRel(autos_[j].nq);
+        }
+        if (all_empty &&
+            EvalTest(target_, items_[id].label, LoopsOf(items_[id]))) {
+          *sat_index = id;
+        }
+      }
+      return explored_ < options_.max_items && !sat_found();
+    };
+
+    const int num_labels = static_cast<int>(labels_.size());
+    std::vector<StateRel> loops;
+    auto try_children = [&](int fc_id, int ns_id) -> bool {
+      for (int label = 0; label < num_labels; ++label) {
+        Item partial;
+        partial.label = label;
+        loops.clear();
+        bool ok = Extend(0, level, u_size, &partial, &loops, fc_id, ns_id,
+                         [&](const Item& item) { return add_item(item, fc_id, ns_id); });
+        if (!ok) return false;
+      }
+      return true;
+    };
+
+    if (!try_children(-1, -1)) return sat_found();
+    size_t processed = 0;
+    while (processed < items_.size()) {
+      if (sat_found()) return true;
+      const int current = static_cast<int>(processed);
+      ++processed;
+      if (!try_children(current, -1)) return sat_found();
+      if (!try_children(-1, current)) return sat_found();
+      for (int other = 0; other < static_cast<int>(processed); ++other) {
+        if (!try_children(current, other)) return sat_found();
+        if (other != current && !try_children(other, current)) return sat_found();
+      }
+    }
+    return true;
+  }
+
+  bool GrowPool(int k) {
+    const AutoData& a = autos_[k];
+    std::set<int> t_ids;
+    std::set<int> exc_ids[2];
+    exc_ids[0].insert(-1);
+    exc_ids[1].insert(-1);
+    for (const Item& parent : items_) {
+      t_ids.insert(test_table_[k].Intern(TestRel(k, parent.label, LoopsOf(parent))));
+    }
+    for (const auto& exc : item_exc_) {
+      exc_ids[0].insert(exc[k].as_ns);
+      exc_ids[1].insert(exc[k].as_fc);
+    }
+    std::set<StateRel> base_set[2];
+    for (int t_id : t_ids) {
+      for (int side = 0; side < 2; ++side) {
+        for (int exc_id : exc_ids[side]) {
+          StateRel base = test_table_[k].Get(t_id);
+          if (exc_id >= 0) base.UnionWith(exc_table_[k].Get(exc_id));
+          base_set[side].insert(std::move(base));
+        }
+      }
+    }
+
+    RelTable& pool = pools_[k];
+    std::vector<int> worklist;
+    worklist.push_back(pool.Intern(StateRel(a.nq)));
+    while (!worklist.empty()) {
+      StateRel u = pool.Get(worklist.back());
+      worklist.pop_back();
+      for (int side = 0; side < 2; ++side) {
+        for (const StateRel& base : base_set[side]) {
+          StateRel m = base;
+          m.UnionWith(u);
+          m.CloseReflexiveTransitive();
+          StateRel expected = side == 0 ? a.up1.Compose(m).Compose(a.down1)
+                                        : a.left.Compose(m).Compose(a.right);
+          int before = pool.size();
+          int id = pool.Intern(expected);
+          if (pool.size() > before) {
+            worklist.push_back(id);
+            if (pool.size() > options_.max_pool) return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  void BuildSubtree(const std::vector<Derivation>& derivs, int item_id, XmlTree* tree,
+                    NodeId parent) const {
+    NodeId node = tree->AddChild(parent, labels_[items_[item_id].label]);
+    if (derivs[item_id].fc >= 0) BuildSubtree(derivs, derivs[item_id].fc, tree, node);
+    if (derivs[item_id].ns >= 0) BuildSubtree(derivs, derivs[item_id].ns, tree, parent);
+  }
+
+  struct ExcIds {
+    int as_fc = -1;
+    int as_ns = -1;
+  };
+
+  LoopSatOptions options_;
+  LExprPtr target_;
+  std::vector<std::string> labels_;
+  std::vector<AutoData> autos_;
+  std::map<const PathAutomaton*, int> auto_index_;
+
+  std::vector<RelTable> pools_;
+  std::map<int, RelTable> exc_table_;
+  std::map<int, RelTable> test_table_;
+  std::map<int, std::unordered_map<uint64_t, int>> expected_memo_;
+
+  std::vector<Item> items_;
+  std::vector<std::vector<ExcIds>> item_exc_;
+  std::unordered_map<Item, int, ItemHash> item_index_;
+
+  int64_t explored_ = 0;
+};
+
+SatResult Satisfiable(const LExprPtr& phi, const LoopSatOptions& options) {
+  Engine engine(phi, options);
+  return engine.Run();
+}
+
+}  // namespace refloop
+
+// ======================================================================
+// Seeded generators.
+// ======================================================================
+
+// Downward-fragment generator: CoreXPath↓(∩) node expressions (child /
+// child* axes only, ≈ included — the engine rewrites it to ∩).
+class DownGen {
+ public:
+  explicit DownGen(uint64_t seed) : rng_(seed) {}
+
+  NodePtr GenNode(int budget) {
+    if (budget <= 1) {
+      return rng_.NextBelow(4) == 0 ? True() : Label(RandLabel());
+    }
+    switch (rng_.NextBelow(12)) {
+      case 0:
+      case 1:
+        return Not(GenNode(budget - 1));
+      case 2:
+        return And(GenNode(budget / 2), GenNode(budget - budget / 2));
+      case 3:
+        return Or(GenNode(budget / 2), GenNode(budget - budget / 2));
+      case 4:
+      case 5:
+      case 6:
+      case 7:
+        return Some(GenPath(budget - 1));
+      case 8:
+      case 9:
+        return PathEq(GenPath(budget / 2), GenPath(budget - budget / 2));
+      default:
+        return Label(RandLabel());
+    }
+  }
+
+  PathPtr GenPath(int budget) {
+    if (budget <= 1) return GenAtom();
+    switch (rng_.NextBelow(10)) {
+      case 0:
+      case 1:
+      case 2:
+        return Seq(GenPath(budget / 2), GenPath(budget - budget / 2));
+      case 3:
+        return Union(GenPath(budget / 2), GenPath(budget - budget / 2));
+      case 4:
+      case 5:
+        return Filter(GenPath(budget / 2), GenNode(budget - budget / 2));
+      case 6:
+      case 7:
+        return Intersect(GenPath(budget / 2), GenPath(budget - budget / 2));
+      default:
+        return GenAtom();
+    }
+  }
+
+ private:
+  PathPtr GenAtom() {
+    switch (rng_.NextBelow(6)) {
+      case 0:
+      case 1:
+        return Ax(Axis::kChild);
+      case 2:
+      case 3:
+        return AxStar(Axis::kChild);
+      case 4:
+        return Self();
+      default:
+        return Filter(Self(), Label(RandLabel()));
+    }
+  }
+
+  std::string RandLabel() {
+    switch (rng_.NextBelow(3)) {
+      case 0: return "a";
+      case 1: return "b";
+      default: return "c";
+    }
+  }
+
+  TreeGenerator rng_;
+};
+
+// Full-axes generator for the loop fragment (same shape as the
+// differential suite's ExprGen, ↓-biased).
+class LoopGen {
+ public:
+  explicit LoopGen(uint64_t seed) : rng_(seed) {}
+
+  NodePtr GenNode(int budget) {
+    if (budget <= 1) {
+      return rng_.NextBelow(4) == 0 ? True() : Label(RandLabel());
+    }
+    switch (rng_.NextBelow(10)) {
+      case 0:
+      case 1:
+        return Not(GenNode(budget - 1));
+      case 2:
+        return And(GenNode(budget / 2), GenNode(budget - budget / 2));
+      case 3:
+        return Or(GenNode(budget / 2), GenNode(budget - budget / 2));
+      case 4:
+      case 5:
+        return Some(GenPath(budget / 2));
+      case 6:
+        return PathEq(GenPath(budget / 2), GenPath(budget - budget / 2));
+      default:
+        return Label(RandLabel());
+    }
+  }
+
+  PathPtr GenPath(int budget) {
+    if (budget <= 1) return GenAtom();
+    switch (rng_.NextBelow(10)) {
+      case 0:
+      case 1:
+      case 2:
+        return Seq(GenPath(budget / 2), GenPath(budget - budget / 2));
+      case 3:
+        return Union(GenPath(budget / 2), GenPath(budget - budget / 2));
+      case 4:
+      case 5:
+      case 6:
+        // No ∩: ToLoopNormalForm covers CoreXPath(≈) only.
+        return Filter(GenPath(budget / 2), GenNode(budget - budget / 2));
+      default:
+        return GenAtom();
+    }
+  }
+
+ private:
+  PathPtr GenAtom() {
+    switch (rng_.NextBelow(6)) {
+      case 0:
+      case 1:
+        return Ax(RandAxis());
+      case 2:
+      case 3:
+        return AxStar(RandAxis());
+      case 4:
+        return Self();
+      default:
+        return Filter(Self(), Label(RandLabel()));
+    }
+  }
+
+  Axis RandAxis() {
+    switch (rng_.NextBelow(7)) {
+      case 0:
+      case 1:
+      case 2:
+        return Axis::kChild;
+      case 3:
+        return Axis::kParent;
+      case 4:
+        return Axis::kRight;
+      default:
+        return Axis::kLeft;
+    }
+  }
+
+  std::string RandLabel() { return rng_.NextBelow(2) == 0 ? "a" : "b"; }
+
+  TreeGenerator rng_;
+};
+
+// A random small EDTD over concrete labels {a, b, c}: 2–4 abstract types
+// with random regular content models (recursion, and hence unrealizable
+// types, allowed — both engines must agree on those too).
+std::string RandomContent(TreeGenerator& rng, const std::vector<std::string>& names) {
+  auto t = [&] { return names[rng.NextBelow(names.size())]; };
+  switch (rng.NextBelow(8)) {
+    case 0: return "epsilon";
+    case 1: return t() + "?";
+    case 2: return t() + "*";
+    case 3: return "(" + t() + " | " + t() + ")*";
+    case 4: return t() + ", " + t() + "?";
+    case 5: return t() + "+";
+    case 6: return "(" + t() + ", " + t() + ")?";
+    default: return t() + "?, " + t() + "?";
+  }
+}
+
+Edtd RandomEdtd(TreeGenerator& rng) {
+  const int num_types = 2 + static_cast<int>(rng.NextBelow(3));
+  const char* kConcrete[] = {"a", "b", "c"};
+  std::vector<std::string> names;
+  for (int i = 0; i < num_types; ++i) names.push_back("t" + std::to_string(i));
+  std::ostringstream os;
+  for (int i = 0; i < num_types; ++i) {
+    os << names[i] << " -> " << kConcrete[rng.NextBelow(3)] << " := "
+       << RandomContent(rng, names) << "\n";
+  }
+  Result<Edtd> r = Edtd::Parse(os.str());
+  EXPECT_TRUE(r.ok()) << os.str() << ": " << r.error();
+  return r.value();
+}
+
+// ======================================================================
+// Cross-check suites.
+// ======================================================================
+
+// Asserts the production/reference equality contract for one downward
+// case, plus serial/parallel bit-identity. `phi` is the original (pre-
+// rewrite) formula for witness validation.
+void CheckDownwardCase(const NodePtr& phi, const SatResult& got, const SatResult& ref,
+                       const SatResult& par, const Edtd* edtd) {
+  ASSERT_EQ(got.status, ref.status) << "worklist vs sweep reference";
+
+  // Parallel runs promise full bit-identity with serial, limits included.
+  ASSERT_EQ(par.status, got.status) << "parallel vs serial";
+  ASSERT_EQ(par.explored_states, got.explored_states) << "parallel vs serial";
+  ASSERT_EQ(par.witness.has_value(), got.witness.has_value());
+  if (par.witness.has_value()) {
+    ASSERT_EQ(TreeToText(*par.witness), TreeToText(*got.witness)) << "parallel vs serial";
+  }
+
+  if (got.status == SolveStatus::kResourceLimit) return;
+  // The final summary table is the same closure set either way.
+  ASSERT_EQ(got.explored_states, ref.explored_states) << "worklist vs sweep reference";
+
+  if (got.status != SolveStatus::kSat) return;
+  ASSERT_TRUE(got.witness.has_value());
+  ASSERT_TRUE(ref.witness.has_value());
+  // The canonical finish makes the witness a pure function of the summary
+  // set, so even the order-scrambled sweep must reproduce it byte for byte.
+  ASSERT_EQ(TreeToText(*got.witness), TreeToText(*ref.witness))
+      << "worklist vs sweep reference";
+  Evaluator ev(*got.witness);
+  EXPECT_TRUE(ev.SatisfiedSomewhere(phi))
+      << "claimed witness does not satisfy the formula: " << TreeToText(*got.witness);
+  if (edtd != nullptr) {
+    EXPECT_TRUE(Conforms(*got.witness, *edtd))
+        << "witness does not conform to the EDTD: " << TreeToText(*got.witness);
+  }
+}
+
+TEST(SatReference, DownwardFreeSchemaMatchesSweep) {
+  const uint64_t base_seed = BaseSeed();
+  const int cases = Cases(kDownwardFreeCases);
+  std::printf("[sat-reference] downward/free: base seed 0x%llx, %d cases\n",
+              static_cast<unsigned long long>(base_seed), cases);
+  int sat = 0, unsat = 0, limit = 0;
+  for (int i = 0; i < cases; ++i) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    DownGen gen(seed);
+    NodePtr phi = gen.GenNode(6);
+    SCOPED_TRACE("case " + std::to_string(i) + " seed " + std::to_string(seed) +
+                 ": " + ToString(phi));
+
+    DownwardSatOptions opts;
+    SatResult got = DownwardSatisfiable(phi, opts);
+    SatResult ref = refdown::Satisfiable(phi, opts);
+    DownwardSatOptions popts;
+    popts.sat_threads = 3;
+    SatResult par = DownwardSatisfiable(phi, popts);
+
+    CheckDownwardCase(phi, got, ref, par, nullptr);
+    if (HasFatalFailure()) return;
+    switch (got.status) {
+      case SolveStatus::kSat: ++sat; break;
+      case SolveStatus::kUnsat: ++unsat; break;
+      case SolveStatus::kResourceLimit: ++limit; break;
+    }
+  }
+  std::printf("[sat-reference] downward/free: %d sat, %d unsat, %d limit\n",
+              sat, unsat, limit);
+  // The generator must exercise both verdicts, or the cross-check is hollow.
+  EXPECT_GT(sat, 0);
+  EXPECT_GT(unsat, 0);
+}
+
+TEST(SatReference, DownwardRandomEdtdsMatchSweep) {
+  const uint64_t base_seed = BaseSeed() ^ 0xed7d0000ULL;
+  const int cases = Cases(kDownwardEdtdCases);
+  std::printf("[sat-reference] downward/edtd: base seed 0x%llx, %d cases\n",
+              static_cast<unsigned long long>(base_seed), cases);
+  int sat = 0, unsat = 0, limit = 0;
+  for (int i = 0; i < cases; ++i) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    TreeGenerator schema_rng(seed * 2 + 1);
+    Edtd edtd = RandomEdtd(schema_rng);
+    DownGen gen(seed);
+    NodePtr phi = gen.GenNode(5);
+    SCOPED_TRACE("case " + std::to_string(i) + " seed " + std::to_string(seed) +
+                 ": " + ToString(phi));
+
+    DownwardSatOptions opts;
+    SatResult got = DownwardSatisfiableWithEdtd(phi, edtd, opts);
+    SatResult ref = refdown::SatisfiableWithEdtd(phi, edtd, opts);
+    DownwardSatOptions popts;
+    popts.sat_threads = 3;
+    SatResult par = DownwardSatisfiableWithEdtd(phi, edtd, popts);
+
+    CheckDownwardCase(phi, got, ref, par, &edtd);
+    if (HasFatalFailure()) return;
+    switch (got.status) {
+      case SolveStatus::kSat: ++sat; break;
+      case SolveStatus::kUnsat: ++unsat; break;
+      case SolveStatus::kResourceLimit: ++limit; break;
+    }
+  }
+  std::printf("[sat-reference] downward/edtd: %d sat, %d unsat, %d limit\n",
+              sat, unsat, limit);
+  EXPECT_GT(sat, 0);
+  EXPECT_GT(unsat, 0);
+}
+
+TEST(SatReference, LoopEngineMatchesMapTableReference) {
+  const uint64_t base_seed = BaseSeed() ^ 0x100900000ULL;
+  const int cases = Cases(kLoopCases);
+  std::printf("[sat-reference] loop: base seed 0x%llx, %d cases\n",
+              static_cast<unsigned long long>(base_seed), cases);
+  int sat = 0, unsat = 0, limit = 0;
+  for (int i = 0; i < cases; ++i) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    LoopGen gen(seed);
+    NodePtr phi = gen.GenNode(4);
+    SCOPED_TRACE("case " + std::to_string(i) + " seed " + std::to_string(seed) +
+                 ": " + ToString(phi));
+    LExprPtr e = ToLoopNormalForm(phi);
+    ASSERT_NE(e, nullptr) << "generator produced a formula outside the loop fragment";
+
+    // Tight caps keep the (deliberately slow) reference affordable and
+    // exercise the limit path: the interned engine replays the reference's
+    // add_item sequence exactly, so even truncated runs must agree on the
+    // explored count.
+    LoopSatOptions opts;
+    opts.max_items = 3000;
+    opts.max_pool = 2000;
+    SatResult got = LoopSatisfiable(e, opts);
+    SatResult ref = refloop::Satisfiable(e, opts);
+
+    ASSERT_EQ(got.status, ref.status) << "interned vs map-table reference";
+    ASSERT_EQ(got.explored_states, ref.explored_states)
+        << "interned vs map-table reference";
+    ASSERT_EQ(got.witness.has_value(), ref.witness.has_value());
+    if (got.status == SolveStatus::kSat) {
+      ASSERT_TRUE(got.witness.has_value());
+      ASSERT_EQ(TreeToText(*got.witness), TreeToText(*ref.witness))
+          << "interned vs map-table reference";
+      Evaluator ev(*got.witness);
+      EXPECT_TRUE(ev.SatisfiedSomewhere(phi))
+          << "claimed witness does not satisfy the formula: " << TreeToText(*got.witness);
+    }
+    switch (got.status) {
+      case SolveStatus::kSat: ++sat; break;
+      case SolveStatus::kUnsat: ++unsat; break;
+      case SolveStatus::kResourceLimit: ++limit; break;
+    }
+  }
+  std::printf("[sat-reference] loop: %d sat, %d unsat, %d limit\n", sat, unsat, limit);
+  EXPECT_GT(sat, 0);
+  EXPECT_GT(unsat, 0);
+}
+
+// Starved caps: truncated runs must agree too. The downward pair is the
+// serial/parallel bit-identity claim (caps trip at the same merge step
+// regardless of thread count); the loop pair is the add_item-sequence
+// claim (both engines count the same items before tripping).
+TEST(SatReference, DownwardLimitPathsAgreeSerialAndParallel) {
+  const uint64_t base_seed = BaseSeed() ^ 0x11111ULL;
+  int limit = 0;
+  for (int i = 0; i < 30; ++i) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    DownGen gen(seed);
+    NodePtr phi = gen.GenNode(6);
+    SCOPED_TRACE("case " + std::to_string(i) + " seed " + std::to_string(seed) +
+                 ": " + ToString(phi));
+    DownwardSatOptions opts;
+    opts.max_summaries = 3;
+    SatResult serial = DownwardSatisfiable(phi, opts);
+    opts.sat_threads = 3;
+    SatResult par = DownwardSatisfiable(phi, opts);
+    ASSERT_EQ(par.status, serial.status);
+    ASSERT_EQ(par.explored_states, serial.explored_states);
+    ASSERT_EQ(par.witness.has_value(), serial.witness.has_value());
+    if (par.witness.has_value()) {
+      ASSERT_EQ(TreeToText(*par.witness), TreeToText(*serial.witness));
+    }
+    if (serial.status == SolveStatus::kResourceLimit) ++limit;
+  }
+  EXPECT_GT(limit, 0) << "cap of 3 summaries never tripped — starve harder";
+}
+
+TEST(SatReference, LoopLimitPathsAgree) {
+  const uint64_t base_seed = BaseSeed() ^ 0x22222ULL;
+  int limit = 0;
+  for (int i = 0; i < 30; ++i) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    LoopGen gen(seed);
+    NodePtr phi = gen.GenNode(4);
+    SCOPED_TRACE("case " + std::to_string(i) + " seed " + std::to_string(seed) +
+                 ": " + ToString(phi));
+    LExprPtr e = ToLoopNormalForm(phi);
+    ASSERT_NE(e, nullptr);
+    LoopSatOptions opts;
+    opts.max_items = 15;
+    opts.max_pool = 4;
+    SatResult got = LoopSatisfiable(e, opts);
+    SatResult ref = refloop::Satisfiable(e, opts);
+    ASSERT_EQ(got.status, ref.status);
+    ASSERT_EQ(got.explored_states, ref.explored_states);
+    ASSERT_EQ(got.witness.has_value(), ref.witness.has_value());
+    if (got.witness.has_value()) {
+      ASSERT_EQ(TreeToText(*got.witness), TreeToText(*ref.witness));
+    }
+    if (got.status == SolveStatus::kResourceLimit) ++limit;
+  }
+  EXPECT_GT(limit, 0) << "cap of 15 items never tripped — starve harder";
+}
+
+}  // namespace
+}  // namespace xpc

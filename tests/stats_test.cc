@@ -10,6 +10,9 @@
 #include "xpc/automata/nfa.h"
 #include "xpc/core/session.h"
 #include "xpc/core/solver.h"
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/sat/downward_sat.h"
+#include "xpc/sat/loop_sat.h"
 #include "xpc/xpath/parser.h"
 
 namespace xpc {
@@ -196,6 +199,38 @@ TEST(Stats, AutomataSubstrateCountersReport) {
     EXPECT_EQ(snap.value(Metric::kAutomataClosureCacheHits), 0);
     EXPECT_EQ(snap.value(Metric::kAutomataProductPairsExplored), 0);
     EXPECT_EQ(snap.value(Metric::kAutomataHopcroftSplits), 0);
+  }
+}
+
+TEST(Stats, SatEngineCountersReport) {
+  Stats s;
+  {
+    ScopedStatsSink sink(&s);
+    // A parallel downward run: each worklist generation counts one pop per
+    // dirty type, interned summaries invalidate their dependents, and with
+    // sat_threads = 2 over a 3-type free schema at least one round fans
+    // out (which must not change the verdict — asserted at length by the
+    // SatReference suites).
+    DownwardSatOptions opts;
+    opts.sat_threads = 2;
+    SatResult down = DownwardSatisfiable(N("<down*[a and <down[b]>]>"), opts);
+    EXPECT_EQ(down.status, SolveStatus::kSat);
+    // A loop-sat run: every distinct state relation entering the interning
+    // tables counts, and pool growth pops its worklist.
+    SatResult loop = LoopSatisfiable(ToLoopNormalForm(N("eq(down*[a], right*[a])")));
+    EXPECT_EQ(loop.status, SolveStatus::kSat);
+  }
+  StatsSnapshot snap = s.Snapshot();
+  if (kHooksCompiledIn) {
+    EXPECT_GT(snap.value(Metric::kSatWorklistPops), 0);
+    EXPECT_GT(snap.value(Metric::kSatDepsInvalidated), 0);
+    EXPECT_GT(snap.value(Metric::kSatParallelRounds), 0);
+    EXPECT_GT(snap.value(Metric::kStatRelInterned), 0);
+  } else {
+    EXPECT_EQ(snap.value(Metric::kSatWorklistPops), 0);
+    EXPECT_EQ(snap.value(Metric::kSatDepsInvalidated), 0);
+    EXPECT_EQ(snap.value(Metric::kSatParallelRounds), 0);
+    EXPECT_EQ(snap.value(Metric::kStatRelInterned), 0);
   }
 }
 
