@@ -1,0 +1,133 @@
+// xpc_fuzz — seeded metamorphic fuzzing campaign driver.
+//
+// Usage:
+//   xpc_fuzz [--seed N] [--cases M] [--oracle all|roundtrip|translations|engines|session]
+//            [--trees K] [--max-nodes K] [--max-ops K] [--no-shrink]
+//            [--corpus DIR]
+//
+// Runs M deterministic cases through the enabled oracle families:
+//   O1  parse(print(e)) structurally identical to e          (roundtrip)
+//   O2  translations semantics-preserving on concrete trees  (translations)
+//   O3  sat/containment engines agree, witnesses re-validate (engines)
+//   O4  Session-cached results equal cold results            (session)
+//
+// Failures are delta-minimized and printed in the regression-corpus `.case`
+// format, ready to check in under tests/fuzz_corpus/. `--corpus DIR` replays
+// an existing corpus instead of (before) fuzzing.
+//
+// Exit status: 0 when every case passed, 1 on any failure, 2 on bad usage.
+//
+// Examples:
+//   xpc_fuzz --seed 7 --cases 10000 --oracle all
+//   xpc_fuzz --oracle roundtrip --cases 100000 --no-shrink
+//   xpc_fuzz --corpus ../tests/fuzz_corpus --cases 0
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "xpc/fuzz/corpus.h"
+#include "xpc/fuzz/oracles.h"
+
+namespace {
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: xpc_fuzz [--seed N] [--cases M] [--oracle all|roundtrip|translations|"
+               "engines|session]\n"
+               "                [--trees K] [--max-nodes K] [--max-ops K] [--no-shrink] "
+               "[--corpus DIR]\n");
+  std::exit(2);
+}
+
+int64_t ParseInt(const char* flag, const char* value) {
+  char* end = nullptr;
+  long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "xpc_fuzz: %s wants a non-negative integer, got `%s`\n", flag, value);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xpc::FuzzOptions options;
+  std::string corpus_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      options.seed = static_cast<uint64_t>(ParseInt("--seed", value()));
+    } else if (arg == "--cases") {
+      options.cases = ParseInt("--cases", value());
+    } else if (arg == "--trees") {
+      options.trees_per_case = static_cast<int>(ParseInt("--trees", value()));
+    } else if (arg == "--max-nodes") {
+      options.max_tree_nodes = static_cast<int>(ParseInt("--max-nodes", value()));
+    } else if (arg == "--max-ops") {
+      options.max_ops = static_cast<int>(ParseInt("--max-ops", value()));
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--corpus") {
+      corpus_dir = value();
+    } else if (arg == "--oracle") {
+      const std::string which = value();
+      options.roundtrip = which == "all" || which == "roundtrip";
+      options.translations = which == "all" || which == "translations";
+      options.engines = which == "all" || which == "engines";
+      options.session = which == "all" || which == "session";
+      if (!options.roundtrip && !options.translations && !options.engines && !options.session) {
+        std::fprintf(stderr, "xpc_fuzz: unknown oracle family `%s`\n", which.c_str());
+        Usage();
+      }
+    } else {
+      Usage();
+    }
+  }
+
+  bool failed = false;
+
+  if (!corpus_dir.empty()) {
+    std::string error;
+    std::vector<xpc::CorpusCase> corpus = xpc::LoadCorpus(corpus_dir, &error);
+    if (corpus.empty()) {
+      std::fprintf(stderr, "xpc_fuzz: corpus: %s\n", error.c_str());
+      return 2;
+    }
+    int replayed = 0;
+    for (const xpc::CorpusCase& c : corpus) {
+      std::string detail = xpc::ReplayCase(c);
+      ++replayed;
+      if (!detail.empty()) {
+        failed = true;
+        std::printf("REGRESSED %s (%s)\n  %s\n", c.file.c_str(), c.oracle.c_str(),
+                    detail.c_str());
+      }
+    }
+    std::printf("corpus: %d case%s replayed, %s\n", replayed, replayed == 1 ? "" : "s",
+                failed ? "REGRESSIONS FOUND" : "all still fixed");
+  }
+
+  if (options.cases > 0) {
+    xpc::FuzzReport report = xpc::RunFuzz(options);
+    std::printf("fuzz: seed %llu: %s\n", static_cast<unsigned long long>(options.seed),
+                report.Summary().c_str());
+    for (const xpc::FuzzFailure& f : report.failures) {
+      failed = true;
+      // Corpus-ready block: paste into tests/fuzz_corpus/<name>.case.
+      std::printf("FAIL\n# %s\noracle: %s\nexpr: %s\nseed: %llu\n", f.detail.c_str(),
+                  f.oracle.c_str(), f.expr.c_str(),
+                  static_cast<unsigned long long>(f.case_seed));
+    }
+  }
+
+  return failed ? 1 : 0;
+}

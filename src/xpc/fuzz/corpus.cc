@@ -1,0 +1,169 @@
+#include "xpc/fuzz/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "xpc/translate/starfree.h"
+#include "xpc/xpath/parser.h"
+
+namespace xpc {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::string LoadCorpusCase(const std::string& path, CorpusCase* out) {
+  std::ifstream in(path);
+  if (!in) return "cannot open " + path;
+  *out = CorpusCase{};
+  out->file = path;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    size_t colon = t.find(':');
+    if (colon == std::string::npos) {
+      return path + ":" + std::to_string(lineno) + ": expected `key: value`";
+    }
+    std::string key = Trim(t.substr(0, colon));
+    std::string value = Trim(t.substr(colon + 1));
+    if (key == "oracle") {
+      out->oracle = value;
+    } else if (key == "expr") {
+      out->expr = value;
+    } else if (key == "expr2") {
+      out->expr2 = value;
+    } else if (key == "seed") {
+      out->seed = std::stoull(value);
+    } else {
+      return path + ":" + std::to_string(lineno) + ": unknown key `" + key + "`";
+    }
+  }
+  if (out->oracle.empty()) return path + ": missing `oracle:`";
+  if (out->expr.empty()) return path + ": missing `expr:`";
+  return "";
+}
+
+std::vector<CorpusCase> LoadCorpus(const std::string& dir, std::string* error) {
+  std::vector<CorpusCase> cases;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    if (error) *error = "not a directory: " + dir;
+    return cases;
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".case") files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& f : files) {
+    CorpusCase c;
+    std::string err = LoadCorpusCase(f, &c);
+    if (!err.empty()) {
+      if (error) *error = err;
+      continue;
+    }
+    cases.push_back(std::move(c));
+  }
+  if (error && cases.empty() && files.empty()) *error = "no .case files in " + dir;
+  return cases;
+}
+
+std::string ReplayCase(const CorpusCase& c) {
+  const int trees = 5;
+  const int max_nodes = 8;
+
+  auto path1 = [&](PathPtr* out) -> std::string {
+    Result<PathPtr> r = ParsePath(c.expr);
+    if (!r.ok()) return c.file + ": expr does not parse: " + r.error();
+    *out = r.value();
+    return "";
+  };
+  auto path2 = [&](PathPtr* out) -> std::string {
+    if (c.expr2.empty()) return c.file + ": oracle `" + c.oracle + "` needs `expr2:`";
+    Result<PathPtr> r = ParsePath(c.expr2);
+    if (!r.ok()) return c.file + ": expr2 does not parse: " + r.error();
+    *out = r.value();
+    return "";
+  };
+  auto node1 = [&](NodePtr* out) -> std::string {
+    Result<NodePtr> r = ParseNode(c.expr);
+    if (!r.ok()) return c.file + ": expr does not parse: " + r.error();
+    *out = r.value();
+    return "";
+  };
+
+  if (c.oracle == "roundtrip-path") {
+    PathPtr p;
+    std::string err = path1(&p);
+    return err.empty() ? CheckRoundTripPath(p) : err;
+  }
+  if (c.oracle == "roundtrip-node") {
+    NodePtr n;
+    std::string err = node1(&n);
+    return err.empty() ? CheckRoundTripNode(n) : err;
+  }
+  if (c.oracle == "forelim-intersect") {
+    PathPtr p;
+    std::string err = path1(&p);
+    return err.empty() ? CheckIntersectToFor(p, c.seed, trees, max_nodes) : err;
+  }
+  if (c.oracle == "forelim-complement") {
+    PathPtr p;
+    std::string err = path1(&p);
+    return err.empty() ? CheckComplementToFor(p, c.seed, trees, max_nodes) : err;
+  }
+  if (c.oracle == "identities") {
+    PathPtr a, b;
+    std::string err = path1(&a);
+    if (err.empty()) err = path2(&b);
+    return err.empty() ? CheckAlgebraicIdentities(a, b, c.seed, trees, max_nodes) : err;
+  }
+  if (c.oracle == "loop-normal-form") {
+    NodePtr n;
+    std::string err = node1(&n);
+    return err.empty() ? CheckLoopNormalForm(n, c.seed, trees, max_nodes) : err;
+  }
+  if (c.oracle == "let-elim") {
+    NodePtr n;
+    std::string err = node1(&n);
+    return err.empty() ? CheckLetElim(n, c.seed, trees, max_nodes) : err;
+  }
+  if (c.oracle == "starfree") {
+    Result<StarFreePtr> r = ParseStarFree(c.expr);
+    if (!r.ok()) return c.file + ": expr does not parse as star-free: " + r.error();
+    return CheckStarFree(r.value(), c.seed, trees, max_nodes);
+  }
+  if (c.oracle == "engines") {
+    NodePtr n;
+    std::string err = node1(&n);
+    return err.empty() ? CheckEngineAgreement(n) : err;
+  }
+  if (c.oracle == "session") {
+    NodePtr n;
+    PathPtr a, b;
+    std::string err = node1(&n);
+    if (err.empty() && !c.expr2.empty()) {
+      err = path2(&a);
+      b = a;
+    } else {
+      Result<PathPtr> self = ParsePath(".");
+      a = b = self.value();
+    }
+    return err.empty() ? CheckSessionCoherence(n, a, b) : err;
+  }
+  return c.file + ": unknown oracle `" + c.oracle + "`";
+}
+
+}  // namespace xpc

@@ -1,0 +1,48 @@
+#ifndef XPC_FUZZ_CORPUS_H_
+#define XPC_FUZZ_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "xpc/fuzz/oracles.h"
+
+namespace xpc {
+
+/// One regression-corpus entry: a delta-minimized input that once triggered
+/// a bug, replayed through its oracle on every test run.
+///
+/// On-disk format (`tests/fuzz_corpus/*.case`), line-oriented:
+///
+///     # free-form commentary
+///     oracle: roundtrip-path
+///     expr: down/(down/down)
+///     expr2: down | down          (optional second operand)
+///     seed: 42                    (optional; tree seed for semantic checks)
+///
+/// Unknown keys are an error, so typos fail loudly instead of silently
+/// skipping a regression.
+struct CorpusCase {
+  std::string file;    ///< Path the case was loaded from (for messages).
+  std::string oracle;  ///< Which check to replay (see ReplayCase).
+  std::string expr;
+  std::string expr2;
+  uint64_t seed = 1;
+};
+
+/// Parses one `.case` file. Returns an error message, or "" and fills `out`.
+std::string LoadCorpusCase(const std::string& path, CorpusCase* out);
+
+/// All `.case` files in `dir`, sorted by filename for determinism. Missing
+/// or empty directories yield an empty list (and `error` explains why).
+std::vector<CorpusCase> LoadCorpus(const std::string& dir, std::string* error);
+
+/// Replays a case through its oracle. Returns "" if the historic bug stays
+/// fixed, the oracle's failure detail if it regressed, or a parse/config
+/// error. Oracle names match the fuzz campaign's: roundtrip-path,
+/// roundtrip-node, forelim-intersect, forelim-complement, identities,
+/// loop-normal-form, let-elim, starfree, engines, session.
+std::string ReplayCase(const CorpusCase& c);
+
+}  // namespace xpc
+
+#endif  // XPC_FUZZ_CORPUS_H_

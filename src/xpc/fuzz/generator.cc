@@ -1,0 +1,241 @@
+#include "xpc/fuzz/generator.h"
+
+#include "xpc/xpath/build.h"
+
+namespace xpc {
+
+ExprGenOptions ExprGenOptions::FullSyntax() {
+  ExprGenOptions o;
+  o.allow_star = true;
+  o.allow_patheq = true;
+  o.allow_intersect = true;
+  o.allow_complement = true;
+  o.allow_for = true;
+  return o;
+}
+
+ExprGenOptions ExprGenOptions::RegularFriendly() {
+  ExprGenOptions o;
+  o.allow_star = true;
+  o.allow_patheq = true;
+  return o;
+}
+
+ExprGenOptions ExprGenOptions::WithIntersect() {
+  ExprGenOptions o = RegularFriendly();
+  o.allow_intersect = true;
+  return o;
+}
+
+ExprGenOptions ExprGenOptions::DownwardIntersect() {
+  ExprGenOptions o;
+  o.allow_patheq = true;
+  o.allow_intersect = true;
+  o.downward_only = true;
+  return o;
+}
+
+ExprGenOptions ExprGenOptions::DownwardComplement() {
+  ExprGenOptions o;
+  o.allow_intersect = true;
+  o.allow_complement = true;
+  o.downward_only = true;
+  return o;
+}
+
+Axis FuzzGen::GenAxis(const ExprGenOptions& o) {
+  if (o.downward_only) return Axis::kChild;
+  switch (rng_.NextBelow(4)) {
+    case 0: return Axis::kChild;
+    case 1: return Axis::kParent;
+    case 2: return Axis::kRight;
+    default: return Axis::kLeft;
+  }
+}
+
+std::string FuzzGen::GenLabel(const ExprGenOptions& o) {
+  return o.labels[rng_.NextBelow(o.labels.size())];
+}
+
+PathPtr FuzzGen::GenAtom(const ExprGenOptions& o, std::vector<std::string>* scope) {
+  switch (rng_.NextBelow(6)) {
+    case 0:
+    case 1:
+      return Ax(GenAxis(o));
+    case 2:
+    case 3:
+      return AxStar(GenAxis(o));
+    case 4:
+      return Self();
+    default:
+      return Test(rng_.NextBelow(2) == 0 || scope->empty() || !o.allow_for
+                      ? Label(GenLabel(o))
+                      : IsVar((*scope)[rng_.NextBelow(scope->size())]));
+  }
+}
+
+PathPtr FuzzGen::GenPath(const ExprGenOptions& options) {
+  std::vector<std::string> scope;
+  return GenPathImpl(options, options.max_ops, &scope);
+}
+
+NodePtr FuzzGen::GenNode(const ExprGenOptions& options) {
+  std::vector<std::string> scope;
+  return GenNodeImpl(options, options.max_ops, &scope);
+}
+
+PathPtr FuzzGen::GenPathImpl(const ExprGenOptions& o, int budget,
+                             std::vector<std::string>* scope) {
+  if (budget <= 1) return GenAtom(o, scope);
+  // Draw an operator; unsupported draws fall back to cheaper forms so every
+  // call site terminates regardless of the enabled fragment.
+  switch (rng_.NextBelow(16)) {
+    case 0:
+    case 1:
+    case 2:
+      return Seq(GenPathImpl(o, budget / 2, scope), GenPathImpl(o, budget - budget / 2, scope));
+    case 3:
+    case 4:
+      if (o.allow_union) {
+        return Union(GenPathImpl(o, budget / 2, scope),
+                     GenPathImpl(o, budget - budget / 2, scope));
+      }
+      return GenPathImpl(o, budget - 1, scope);
+    case 5:
+    case 6:
+    case 7:
+      return Filter(GenPathImpl(o, budget / 2, scope),
+                    GenNodeImpl(o, budget - budget / 2, scope));
+    case 8:
+      if (o.allow_intersect) {
+        return Intersect(GenPathImpl(o, budget / 2, scope),
+                         GenPathImpl(o, budget - budget / 2, scope));
+      }
+      return GenPathImpl(o, budget - 1, scope);
+    case 9:
+      if (o.allow_complement) {
+        return Complement(GenPathImpl(o, budget / 2, scope),
+                          GenPathImpl(o, budget - budget / 2, scope));
+      }
+      return GenPathImpl(o, budget - 1, scope);
+    case 10:
+      if (o.allow_star) {
+        // The parser canonicalizes (τ)* to the axis closure, so the
+        // canonical AST never has kStar directly over kAxis; regenerate the
+        // body until it is not a bare axis.
+        PathPtr body = GenPathImpl(o, budget - 1, scope);
+        if (body->kind == PathKind::kAxis) body = Filter(body, True());
+        return Star(body);
+      }
+      return GenPathImpl(o, budget - 1, scope);
+    case 11:
+    case 12:
+      if (o.allow_for && !o.vars.empty()) {
+        const std::string& var = o.vars[rng_.NextBelow(o.vars.size())];
+        PathPtr in = GenPathImpl(o, budget / 2, scope);
+        scope->push_back(var);
+        PathPtr ret = GenPathImpl(o, budget - budget / 2, scope);
+        scope->pop_back();
+        return For(var, in, ret);
+      }
+      return GenPathImpl(o, budget - 1, scope);
+    default:
+      return GenAtom(o, scope);
+  }
+}
+
+NodePtr FuzzGen::GenNodeImpl(const ExprGenOptions& o, int budget,
+                             std::vector<std::string>* scope) {
+  if (budget <= 1) {
+    if (o.allow_for && !scope->empty() && rng_.NextBelow(5) == 0) {
+      return IsVar((*scope)[rng_.NextBelow(scope->size())]);
+    }
+    return rng_.NextBelow(4) == 0 ? True() : Label(GenLabel(o));
+  }
+  switch (rng_.NextBelow(10)) {
+    case 0:
+    case 1:
+      return Not(GenNodeImpl(o, budget - 1, scope));
+    case 2:
+      return And(GenNodeImpl(o, budget / 2, scope), GenNodeImpl(o, budget - budget / 2, scope));
+    case 3:
+      return Or(GenNodeImpl(o, budget / 2, scope), GenNodeImpl(o, budget - budget / 2, scope));
+    case 4:
+    case 5:
+    case 6:
+      return Some(GenPathImpl(o, budget - 1, scope));
+    case 7:
+      if (o.allow_patheq) {
+        return PathEq(GenPathImpl(o, budget / 2, scope),
+                      GenPathImpl(o, budget - budget / 2, scope));
+      }
+      return GenNodeImpl(o, budget - 1, scope);
+    default:
+      return Label(GenLabel(o));
+  }
+}
+
+XmlTree FuzzGen::GenTree(int max_nodes, const std::vector<std::string>& labels) {
+  TreeGenOptions opt;
+  opt.num_nodes = 1 + static_cast<int>(rng_.NextBelow(static_cast<uint64_t>(max_nodes)));
+  opt.alphabet = labels;
+  return rng_.Generate(opt);
+}
+
+Edtd FuzzGen::GenEdtd(const EdtdGenOptions& options) {
+  const int n = options.num_types;
+  std::vector<std::string> abstract;
+  abstract.reserve(n);
+  for (int i = 0; i < n; ++i) abstract.push_back("T" + std::to_string(i));
+
+  // ε-biased random content models: every type can terminate, so
+  // SampleConformingTree usually succeeds within a small node budget.
+  auto leaf = [&]() -> RegexPtr {
+    if (rng_.NextBelow(3) == 0) return RxEpsilon();
+    return RxSymbol(abstract[rng_.NextBelow(abstract.size())]);
+  };
+  std::vector<Edtd::TypeDef> types;
+  types.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    RegexPtr content;
+    switch (rng_.NextBelow(6)) {
+      case 0: content = RxEpsilon(); break;
+      case 1: content = leaf(); break;
+      case 2: content = RxOptional(leaf()); break;
+      case 3: content = RxUnion(leaf(), leaf()); break;
+      case 4: content = RxConcat(RxOptional(leaf()), RxOptional(leaf())); break;
+      default: content = RxStar(leaf()); break;
+    }
+    Edtd::TypeDef def;
+    def.abstract_label = abstract[i];
+    def.content = content;
+    def.concrete_label =
+        options.concrete_labels[rng_.NextBelow(options.concrete_labels.size())];
+    types.push_back(std::move(def));
+  }
+  return Edtd(std::move(types), abstract[0]);
+}
+
+StarFreePtr FuzzGen::GenStarFree(int max_ops, const std::vector<std::string>& symbols,
+                                 int max_complements) {
+  if (max_ops <= 1) return SfSymbol(symbols[rng_.NextBelow(symbols.size())]);
+  switch (rng_.NextBelow(6)) {
+    case 0:
+    case 1:
+      return SfConcat(GenStarFree(max_ops / 2, symbols, max_complements),
+                      GenStarFree(max_ops - max_ops / 2, symbols, max_complements));
+    case 2:
+    case 3:
+      return SfUnion(GenStarFree(max_ops / 2, symbols, max_complements),
+                     GenStarFree(max_ops - max_ops / 2, symbols, max_complements));
+    case 4:
+      if (max_complements > 0) {
+        return SfComplement(GenStarFree(max_ops - 1, symbols, max_complements - 1));
+      }
+      return GenStarFree(max_ops - 1, symbols, max_complements);
+    default:
+      return SfSymbol(symbols[rng_.NextBelow(symbols.size())]);
+  }
+}
+
+}  // namespace xpc

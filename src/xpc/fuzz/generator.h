@@ -1,0 +1,99 @@
+#ifndef XPC_FUZZ_GENERATOR_H_
+#define XPC_FUZZ_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xpc/edtd/edtd.h"
+#include "xpc/translate/starfree.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/tree/xml_tree.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Which operators and axes the random expression generator may use — the
+/// knob that targets a fuzz oracle at one fragment of the Figure 1 lattice.
+/// The presets below match the preconditions of the translations and
+/// decision procedures under test.
+struct ExprGenOptions {
+  /// Budget on operator applications (roughly the syntax-tree size).
+  int max_ops = 8;
+  /// Labels to draw from. Must avoid the parser's keywords.
+  std::vector<std::string> labels = {"a", "b", "c"};
+  /// Variable pool for for-loops and ". is $v" tests. Deliberately includes
+  /// "f0": the for-elimination's fresh-name discipline must survive inputs
+  /// that already use its own naming scheme.
+  std::vector<std::string> vars = {"i", "j", "f0"};
+  bool allow_union = true;
+  bool allow_star = false;        ///< General transitive closure α*.
+  bool allow_patheq = false;      ///< α ≈ β.
+  bool allow_intersect = false;   ///< α ∩ β.
+  bool allow_complement = false;  ///< α − β.
+  bool allow_for = false;         ///< for-loops and ". is $v".
+  /// Restrict to the ↓ axis (τ and τ*) — the downward fragment.
+  bool downward_only = false;
+
+  /// Every operator of CoreXPath(≈, ∩, −, for, *): the parser↔printer
+  /// round-trip must hold on the whole language.
+  static ExprGenOptions FullSyntax();
+  /// CoreXPath(*, ≈) — what ToLoopNormalForm accepts (Theorem 13 engine).
+  static ExprGenOptions RegularFriendly();
+  /// CoreXPath(*, ∩, ≈) — what the product pipeline accepts (Lemma 16).
+  static ExprGenOptions WithIntersect();
+  /// CoreXPath↓(∩, ≈) — what the downward engine accepts (Theorem 24).
+  static ExprGenOptions DownwardIntersect();
+  /// Downward CoreXPath(∩, −) — sound operand set for the Theorem 31
+  /// complement-to-for rewriting.
+  static ExprGenOptions DownwardComplement();
+};
+
+/// Options for random EDTD generation.
+struct EdtdGenOptions {
+  int num_types = 3;
+  /// Concrete labels μ maps to; non-injective μ (a genuine EDTD rather than
+  /// a DTD) arises whenever num_types exceeds the alphabet.
+  std::vector<std::string> concrete_labels = {"a", "b"};
+};
+
+/// Deterministic (splitmix64-seeded) source of random CoreXPath(X)
+/// expressions, star-free expressions, EDTDs and trees for the fuzz
+/// oracles. All draws come from one PRNG stream, so a (seed, options) pair
+/// fully reproduces a case.
+class FuzzGen {
+ public:
+  explicit FuzzGen(uint64_t seed) : rng_(seed) {}
+
+  /// Random path / node expression within the fragment of `options`.
+  PathPtr GenPath(const ExprGenOptions& options);
+  NodePtr GenNode(const ExprGenOptions& options);
+
+  /// Random tree with 1..max_nodes nodes over `labels`.
+  XmlTree GenTree(int max_nodes, const std::vector<std::string>& labels);
+
+  /// Random EDTD with small content models (ε-biased, so conforming trees
+  /// of bounded size usually exist).
+  Edtd GenEdtd(const EdtdGenOptions& options);
+
+  /// Random star-free expression with at most `max_complements`
+  /// complementations (each one may exponentiate the decision DFA).
+  StarFreePtr GenStarFree(int max_ops, const std::vector<std::string>& symbols,
+                          int max_complements);
+
+  uint64_t NextU64() { return rng_.NextU64(); }
+  uint64_t NextBelow(uint64_t bound) { return rng_.NextBelow(bound); }
+
+ private:
+  PathPtr GenPathImpl(const ExprGenOptions& o, int budget, std::vector<std::string>* scope);
+  NodePtr GenNodeImpl(const ExprGenOptions& o, int budget, std::vector<std::string>* scope);
+  PathPtr GenAtom(const ExprGenOptions& o, std::vector<std::string>* scope);
+  Axis GenAxis(const ExprGenOptions& o);
+  std::string GenLabel(const ExprGenOptions& o);
+
+  TreeGenerator rng_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_FUZZ_GENERATOR_H_

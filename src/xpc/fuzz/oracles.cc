@@ -1,0 +1,629 @@
+#include "xpc/fuzz/oracles.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "xpc/core/session.h"
+#include "xpc/core/solver.h"
+#include "xpc/edtd/conformance.h"
+#include "xpc/edtd/encode.h"
+#include "xpc/eval/evaluator.h"
+#include "xpc/eval/loop_evaluator.h"
+#include "xpc/fuzz/shrink.h"
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/sat/bounded_sat.h"
+#include "xpc/sat/downward_sat.h"
+#include "xpc/sat/loop_sat.h"
+#include "xpc/translate/for_elim.h"
+#include "xpc/translate/intersect_product.h"
+#include "xpc/translate/let_elim.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/fragment.h"
+#include "xpc/xpath/metrics.h"
+#include "xpc/xpath/parser.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+
+namespace {
+
+const std::vector<std::string> kTreeLabels = {"a", "b", "c"};
+
+/// Compares two path denotations on a sequence of random trees; returns ""
+/// or a detail naming the first mismatching tree.
+std::string ComparePathsOnTrees(const PathPtr& expected, const PathPtr& actual,
+                                uint64_t tree_seed, int trees, int max_nodes,
+                                const char* what) {
+  FuzzGen gen(tree_seed);
+  for (int i = 0; i < trees; ++i) {
+    XmlTree t = gen.GenTree(max_nodes, kTreeLabels);
+    Evaluator ev(t);
+    if (!(ev.EvalPath(expected) == ev.EvalPath(actual))) {
+      std::ostringstream os;
+      os << what << ": " << ToString(expected) << "  vs  " << ToString(actual)
+         << " differ on tree " << TreeToText(t);
+      return os.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+// --- O1: parser ↔ printer round-trips -----------------------------------
+
+std::string CheckRoundTripPath(const PathPtr& p) {
+  const std::string printed = ToString(p);
+  Result<PathPtr> parsed = ParsePath(printed);
+  if (!parsed.ok()) {
+    return "printed form does not parse: \"" + printed + "\": " + parsed.error();
+  }
+  if (!Equal(parsed.value(), p)) {
+    return "round-trip changed the AST: \"" + printed + "\" re-parses as \"" +
+           ToString(parsed.value()) + "\"";
+  }
+  return "";
+}
+
+std::string CheckRoundTripNode(const NodePtr& n) {
+  const std::string printed = ToString(n);
+  Result<NodePtr> parsed = ParseNode(printed);
+  if (!parsed.ok()) {
+    return "printed form does not parse: \"" + printed + "\": " + parsed.error();
+  }
+  if (!Equal(parsed.value(), n)) {
+    return "round-trip changed the AST: \"" + printed + "\" re-parses as \"" +
+           ToString(parsed.value()) + "\"";
+  }
+  return "";
+}
+
+// --- O2: translations vs the reference evaluator ------------------------
+
+std::string CheckIntersectToFor(const PathPtr& p, uint64_t tree_seed, int trees,
+                                int max_nodes) {
+  PathPtr rewritten = RewriteIntersectToFor(p);
+  Fragment f = DetectFragment(rewritten);
+  if (f.uses_intersect || f.uses_path_eq) {
+    return "RewriteIntersectToFor left ∩/≈ in: " + ToString(rewritten);
+  }
+  return ComparePathsOnTrees(p, rewritten, tree_seed, trees, max_nodes,
+                             "RewriteIntersectToFor");
+}
+
+std::string CheckComplementToFor(const PathPtr& p, uint64_t tree_seed, int trees,
+                                 int max_nodes) {
+  if (!DetectFragment(p).IsDownward()) return "";  // Theorem 31 precondition.
+  PathPtr rewritten = RewriteComplementToFor(p);
+  if (DetectFragment(rewritten).uses_complement) {
+    return "RewriteComplementToFor left − in: " + ToString(rewritten);
+  }
+  return ComparePathsOnTrees(p, rewritten, tree_seed, trees, max_nodes,
+                             "RewriteComplementToFor");
+}
+
+std::string CheckAlgebraicIdentities(const PathPtr& a, const PathPtr& b, uint64_t tree_seed,
+                                     int trees, int max_nodes) {
+  std::string r = ComparePathsOnTrees(Intersect(a, b), IntersectToComplement(a, b), tree_seed,
+                                      trees, max_nodes, "IntersectToComplement");
+  if (!r.empty()) return r;
+  r = ComparePathsOnTrees(Union(a, b), UnionToComplement(a, b), tree_seed, trees, max_nodes,
+                          "UnionToComplement");
+  if (!r.empty()) return r;
+  // α ≈ β ≡ ⟨α ∩ β⟩ as node expressions.
+  FuzzGen gen(tree_seed);
+  for (int i = 0; i < trees; ++i) {
+    XmlTree t = gen.GenTree(max_nodes, kTreeLabels);
+    Evaluator ev(t);
+    if (!(ev.EvalNode(PathEq(a, b)) == ev.EvalNode(PathEqToIntersect(a, b)))) {
+      return "PathEqToIntersect: eq(" + ToString(a) + ", " + ToString(b) +
+             ") differs on tree " + TreeToText(t);
+    }
+  }
+  return "";
+}
+
+std::string CheckLoopNormalForm(const NodePtr& n, uint64_t tree_seed, int trees,
+                                int max_nodes) {
+  LExprPtr e = IntersectToLoopNormalForm(n);
+  if (!e) return "";  // Outside CoreXPath(*, ∩, ≈).
+  FuzzGen gen(tree_seed);
+  for (int i = 0; i < trees; ++i) {
+    XmlTree t = gen.GenTree(max_nodes, kTreeLabels);
+    Evaluator direct(t);
+    LoopEvaluator loops(t);
+    NodeSet expected = direct.EvalNode(n);
+    const std::vector<bool>& actual = loops.EvalAll(e);
+    for (NodeId v = 0; v < t.size(); ++v) {
+      if (expected.Contains(v) != actual[v]) {
+        std::ostringstream os;
+        os << "loop normal form of " << ToString(n) << " differs at node " << v
+           << " of tree " << TreeToText(t);
+        return os.str();
+      }
+    }
+  }
+  return "";
+}
+
+std::string CheckLetElim(const NodePtr& n, uint64_t tree_seed, int trees, int max_nodes) {
+  LExprPtr original = IntersectToLoopNormalForm(n);
+  if (!original) return "";
+  LetElimResult elim = EliminateLets(original);
+  std::map<const PathAutomaton*, PathAutoPtr> shared;
+  for (const PathAutoPtr& a : CollectAutomata(original)) shared[a.get()] = a;
+  FuzzGen gen(tree_seed);
+  for (int i = 0; i < trees; ++i) {
+    XmlTree t = gen.GenTree(max_nodes, kTreeLabels);
+    LoopEvaluator base(t);
+    const std::vector<bool>& orig_truth = base.EvalAll(original);
+    bool orig_somewhere = false;
+    for (NodeId v = 0; v < t.size(); ++v) orig_somewhere |= orig_truth[v];
+
+    // Intended decoration: attach marker m below v iff binding m's loop
+    // definition holds at v (Lemma 18's canonical model extension).
+    XmlTree decorated = t;
+    const int original_size = t.size();
+    for (NodeId v = 0; v < original_size; ++v) {
+      for (size_t m = 0; m < elim.bindings.size(); ++m) {
+        const auto& b = elim.bindings[m];
+        const StateRel& rel = base.LoopRelations(shared.at(b.automaton))[v];
+        if (rel.Get(b.q_from, b.q_to)) decorated.AddChild(v, MarkerLabel(static_cast<int>(m)));
+      }
+    }
+    LoopEvaluator decorated_eval(decorated);
+    const std::vector<bool>& elim_truth = decorated_eval.EvalAll(elim.formula);
+    bool elim_somewhere = false;
+    for (NodeId v = 0; v < decorated.size(); ++v) elim_somewhere |= elim_truth[v];
+    if (orig_somewhere != elim_somewhere) {
+      std::ostringstream os;
+      os << "let-elimination of " << ToString(n) << " "
+         << (orig_somewhere ? "lost" : "invented") << " satisfaction on intended decoration of "
+         << TreeToText(t);
+      return os.str();
+    }
+  }
+  return "";
+}
+
+std::string CheckStarFree(const StarFreePtr& r, uint64_t tree_seed, int trees, int max_nodes) {
+  // Round-trip through the star-free concrete syntax.
+  const std::string printed = StarFreeToString(r);
+  Result<StarFreePtr> reparsed = ParseStarFree(printed);
+  if (!reparsed.ok()) {
+    return "star-free printed form does not parse: \"" + printed + "\"";
+  }
+  if (StarFreeToString(reparsed.value()) != printed) {
+    return "star-free round-trip not a fixpoint: \"" + printed + "\" vs \"" +
+           StarFreeToString(reparsed.value()) + "\"";
+  }
+
+  const std::vector<std::string> sigma = {"a", "b"};
+  Dfa dfa = StarFreeToDfa(r, sigma);
+  PathPtr tr = StarFreeToPath(r);
+  PathPtr pure = StarFreeToPath(r, /*pure_f=*/true);
+  FuzzGen gen(tree_seed);
+  for (int i = 0; i < trees; ++i) {
+    XmlTree t = gen.GenTree(max_nodes, sigma);
+    Evaluator ev(t);
+    Relation rel = ev.EvalPath(tr);
+    if (!(rel == ev.EvalPath(pure))) {
+      return "pure-F translation of " + printed + " differs on tree " + TreeToText(t);
+    }
+    // Theorem 30's invariant: (n, m) ∈ ⟦tr(r)⟧ iff m is a proper descendant
+    // of n and the label word strictly below n down to m is in L(r).
+    for (NodeId from = 0; from < t.size(); ++from) {
+      for (NodeId to = 0; to < t.size(); ++to) {
+        bool expected = false;
+        if (from != to && t.IsAncestorOrSelf(from, to)) {
+          std::vector<int> word;
+          for (NodeId v = to; v != from; v = t.parent(v)) {
+            word.push_back(t.label(v) == "a" ? 0 : 1);
+          }
+          std::reverse(word.begin(), word.end());
+          expected = dfa.Accepts(word);
+        }
+        if (rel.Contains(from, to) != expected) {
+          std::ostringstream os;
+          os << "tr(" << printed << ") disagrees with the DFA at pair (" << from << ", " << to
+             << ") of tree " << TreeToText(t);
+          return os.str();
+        }
+      }
+    }
+  }
+  return "";
+}
+
+// --- O3: cross-engine agreement -----------------------------------------
+
+namespace {
+
+std::string ValidateWitness(const char* engine, const SatResult& r, const NodePtr& phi) {
+  if (r.status != SolveStatus::kSat || !r.witness.has_value()) return "";
+  Evaluator ev(*r.witness);
+  if (!ev.SatisfiedSomewhere(phi)) {
+    return std::string(engine) + " returned a witness that does not satisfy " + ToString(phi) +
+           ": " + TreeToText(*r.witness);
+  }
+  return "";
+}
+
+}  // namespace
+
+namespace {
+
+/// Tight resource budgets for fuzzing: a random formula that needs millions
+/// of summaries is not a better agreement test than one that needs
+/// thousands, and kResourceLimit verdicts are skipped anyway. These keep a
+/// case in the low milliseconds.
+LoopSatOptions FuzzLoopOptions() {
+  LoopSatOptions o;
+  o.max_items = 4'000;
+  o.max_pool = 1'000;
+  return o;
+}
+
+DownwardSatOptions FuzzDownwardOptions() {
+  DownwardSatOptions o;
+  o.max_inst_paths = 8'000;
+  o.max_summaries = 20'000;
+  o.max_atoms = 20'000;
+  return o;
+}
+
+}  // namespace
+
+std::string CheckEngineAgreement(const NodePtr& phi) {
+  Fragment f = DetectFragment(phi);
+  if (f.uses_complement || f.uses_for) return "";  // No complete engine.
+  LExprPtr e = IntersectToLoopNormalForm(phi);
+  if (!e) return "";
+  // Big ∩-products only ever burn the (deliberately tiny) fuzz budget to
+  // kResourceLimit; nothing would be compared.
+  if (DagSizeOf(e) > 400) return "";
+
+  std::vector<std::pair<std::string, SatResult>> decisive;
+  SatResult loop = LoopSatisfiable(e, FuzzLoopOptions());
+  if (loop.status != SolveStatus::kResourceLimit) decisive.emplace_back("loop-sat", loop);
+
+  if (f.IsDownward() && !f.uses_star) {
+    SatResult down = DownwardSatisfiable(phi, FuzzDownwardOptions());
+    if (down.status != SolveStatus::kResourceLimit) decisive.emplace_back("downward-sat", down);
+  }
+
+  // The facade must agree with whatever engine it dispatches to.
+  SolverOptions so;
+  so.loop = FuzzLoopOptions();
+  so.downward = FuzzDownwardOptions();
+  so.verify_witnesses = false;  // The oracle validates witnesses itself.
+  SatResult facade = Solver(so).NodeSatisfiable(phi);
+  if (facade.status != SolveStatus::kResourceLimit) {
+    decisive.emplace_back("solver:" + facade.engine, facade);
+  }
+
+  for (size_t i = 1; i < decisive.size(); ++i) {
+    if (decisive[i].second.status != decisive[0].second.status) {
+      return decisive[0].first + " says " + SolveStatusName(decisive[0].second.status) + " but " +
+             decisive[i].first + " says " + SolveStatusName(decisive[i].second.status) + " for " +
+             ToString(phi);
+    }
+  }
+  for (const auto& [name, r] : decisive) {
+    std::string w = ValidateWitness(name.c_str(), r, phi);
+    if (!w.empty()) return w;
+  }
+
+  // Bounded search is sound for SAT: a found model refutes any UNSAT claim.
+  BoundedSatOptions bo;
+  bo.max_exhaustive_nodes = 4;
+  bo.random_trees = 40;
+  bo.max_random_nodes = 8;
+  SatResult bounded = BoundedSatisfiable(phi, bo);
+  if (bounded.status == SolveStatus::kSat) {
+    std::string w = ValidateWitness("bounded-sat", bounded, phi);
+    if (!w.empty()) return w;
+    if (!decisive.empty() && decisive[0].second.status == SolveStatus::kUnsat) {
+      return "bounded-sat found a model but " + decisive[0].first + " says unsat for " +
+             ToString(phi);
+    }
+  }
+  return "";
+}
+
+std::string CheckEngineAgreementWithEdtd(const NodePtr& phi, const Edtd& edtd) {
+  Fragment f = DetectFragment(phi);
+  if (!f.IsDownward() || f.uses_star || f.uses_complement || f.uses_for) return "";
+
+  // The Prop. 6 encoding pipeline is not comparable at fuzz budgets (its
+  // loop-sat leg reliably exhausts any small cap), so the cross-checks here
+  // are: native downward engine vs the dispatching facade, witness
+  // revalidation + schema conformance, and a sampled-conforming-tree
+  // refutation of UNSAT verdicts.
+  SatResult down = DownwardSatisfiableWithEdtd(phi, edtd, FuzzDownwardOptions());
+  SolverOptions so;
+  so.loop = FuzzLoopOptions();
+  so.downward = FuzzDownwardOptions();
+  so.verify_witnesses = false;
+  SatResult facade = Solver(so).NodeSatisfiable(phi, edtd);
+
+  if (down.status != SolveStatus::kResourceLimit && facade.status != SolveStatus::kResourceLimit &&
+      down.status != facade.status) {
+    return "downward-sat+edtd says " + std::string(SolveStatusName(down.status)) +
+           " but solver:" + facade.engine + " says " + SolveStatusName(facade.status) + " for " +
+           ToString(phi);
+  }
+  for (const auto& [name, r] :
+       std::initializer_list<std::pair<const char*, const SatResult*>>{{"downward-sat+edtd", &down},
+                                                                       {"solver+edtd", &facade}}) {
+    if (r->status != SolveStatus::kSat || !r->witness.has_value()) continue;
+    std::string w = ValidateWitness(name, *r, phi);
+    if (!w.empty()) return w;
+    if (!Conforms(*r->witness, edtd)) {
+      return std::string(name) + " returned a witness that does not conform to the EDTD: " +
+             TreeToText(*r->witness);
+    }
+  }
+  if (down.status == SolveStatus::kUnsat) {
+    for (uint64_t i = 0; i < 20; ++i) {
+      auto [ok, tree] = SampleConformingTree(edtd, 8, i);
+      if (!ok) continue;
+      if (Evaluator(tree).SatisfiedSomewhere(phi)) {
+        return "downward-sat+edtd says unsat but the conforming tree " + TreeToText(tree) +
+               " satisfies " + ToString(phi);
+      }
+    }
+  }
+  return "";
+}
+
+// --- O4: session coherence ----------------------------------------------
+
+std::string CheckSessionCoherence(const NodePtr& phi, const PathPtr& a, const PathPtr& b) {
+  SolverOptions so;
+  so.loop = FuzzLoopOptions();
+  so.downward = FuzzDownwardOptions();
+  SatResult cold = Solver(so).NodeSatisfiable(phi);
+  SessionOptions session_options;
+  session_options.solver = so;
+  Session session(session_options);
+  SatResult warm1 = session.NodeSatisfiable(phi);
+  SatResult warm2 = session.NodeSatisfiable(phi);
+  if (warm1.status != cold.status || warm2.status != cold.status) {
+    return "session sat verdicts diverge from cold solver for " + ToString(phi) + ": cold=" +
+           SolveStatusName(cold.status) + " session=" + SolveStatusName(warm1.status) + "/" +
+           SolveStatusName(warm2.status);
+  }
+
+  ContainmentResult ccold = Solver(so).Contains(a, b);
+  ContainmentResult c1 = session.Contains(a, b);
+  ContainmentResult c2 = session.Contains(a, b);
+  std::vector<std::pair<PathPtr, PathPtr>> queries = {{a, b}, {a, b}};
+  std::vector<ContainmentResult> batch = session.ContainsBatch(queries);
+  for (const ContainmentResult* r : {&c1, &c2, &batch[0], &batch[1]}) {
+    if (r->verdict != ccold.verdict) {
+      return "session containment verdict diverges from cold solver for " + ToString(a) +
+             " ⊆ " + ToString(b) + ": cold=" + ContainmentVerdictName(ccold.verdict) +
+             " session=" + ContainmentVerdictName(r->verdict);
+    }
+  }
+  return "";
+}
+
+// --- The campaign driver ------------------------------------------------
+
+namespace {
+
+uint64_t MixSeed(uint64_t seed, int64_t i) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(i) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct CaseKind {
+  const char* name;
+  int weight;
+};
+
+}  // namespace
+
+std::string FuzzReport::Summary() const {
+  std::ostringstream os;
+  os << cases_run << " cases";
+  if (!per_oracle.empty()) {
+    os << " (";
+    bool first = true;
+    for (const auto& [name, count] : per_oracle) {
+      if (!first) os << ", ";
+      os << name << ": " << count;
+      first = false;
+    }
+    os << ")";
+  }
+  os << ", " << failures.size() << " failure" << (failures.size() == 1 ? "" : "s");
+  return os.str();
+}
+
+FuzzReport RunFuzz(const FuzzOptions& options) {
+  FuzzReport report;
+
+  // Deterministic apportioning: cheap syntactic checks get the bulk of the
+  // budget, engine solves the least.
+  std::vector<CaseKind> kinds;
+  if (options.roundtrip) {
+    kinds.push_back({"roundtrip-path", 4});
+    kinds.push_back({"roundtrip-node", 3});
+  }
+  if (options.translations) {
+    kinds.push_back({"forelim-intersect", 1});
+    kinds.push_back({"forelim-complement", 1});
+    kinds.push_back({"identities", 1});
+    kinds.push_back({"loop-normal-form", 1});
+    kinds.push_back({"let-elim", 1});
+    kinds.push_back({"starfree", 1});
+  }
+  if (options.engines) {
+    kinds.push_back({"engines", 1});
+    kinds.push_back({"engines-edtd", 1});
+  }
+  if (options.session) {
+    kinds.push_back({"session", 1});
+  }
+  if (kinds.empty()) return report;
+  int total_weight = 0;
+  for (const CaseKind& k : kinds) total_weight += k.weight;
+
+  const int trees = options.trees_per_case;
+  const int max_nodes = options.max_tree_nodes;
+
+  for (int64_t i = 0; i < options.cases; ++i) {
+    int slot = static_cast<int>(i % total_weight);
+    const char* kind = nullptr;
+    for (const CaseKind& k : kinds) {
+      if (slot < k.weight) {
+        kind = k.name;
+        break;
+      }
+      slot -= k.weight;
+    }
+    const uint64_t case_seed = MixSeed(options.seed, i);
+    const uint64_t tree_seed = MixSeed(case_seed, 1);
+    FuzzGen gen(case_seed);
+    ++report.cases_run;
+    ++report.per_oracle[kind];
+    const std::string kind_str = kind;
+
+    std::string detail;
+    std::string expr_text;
+
+    auto fail_path = [&](const PathPtr& p, const std::function<std::string(const PathPtr&)>& check,
+                         std::string first_detail) {
+      PathPtr min = p;
+      if (options.shrink) {
+        min = ShrinkPath(p, [&](const PathPtr& c) { return !check(c).empty(); });
+      }
+      detail = check(min);
+      if (detail.empty()) detail = std::move(first_detail);  // Shrinker over-shrunk; keep input.
+      expr_text = ToString(min);
+    };
+    auto fail_node = [&](const NodePtr& n, const std::function<std::string(const NodePtr&)>& check,
+                         std::string first_detail) {
+      NodePtr min = n;
+      if (options.shrink) {
+        min = ShrinkNode(n, [&](const NodePtr& c) { return !check(c).empty(); });
+      }
+      detail = check(min);
+      if (detail.empty()) detail = std::move(first_detail);
+      expr_text = ToString(min);
+    };
+
+    if (kind_str == "roundtrip-path") {
+      ExprGenOptions o = ExprGenOptions::FullSyntax();
+      o.max_ops = options.max_ops;
+      PathPtr p = gen.GenPath(o);
+      std::string d = CheckRoundTripPath(p);
+      if (!d.empty()) fail_path(p, CheckRoundTripPath, d);
+    } else if (kind_str == "roundtrip-node") {
+      ExprGenOptions o = ExprGenOptions::FullSyntax();
+      o.max_ops = options.max_ops;
+      NodePtr n = gen.GenNode(o);
+      std::string d = CheckRoundTripNode(n);
+      if (!d.empty()) fail_node(n, CheckRoundTripNode, d);
+    } else if (kind_str == "forelim-intersect") {
+      ExprGenOptions o = ExprGenOptions::FullSyntax();
+      o.max_ops = options.max_ops;
+      o.allow_complement = false;  // − is orthogonal to this rewriting.
+      PathPtr p = gen.GenPath(o);
+      auto check = [&](const PathPtr& c) {
+        return CheckIntersectToFor(c, tree_seed, trees, max_nodes);
+      };
+      std::string d = check(p);
+      if (!d.empty()) fail_path(p, check, d);
+    } else if (kind_str == "forelim-complement") {
+      ExprGenOptions o = ExprGenOptions::DownwardComplement();
+      o.max_ops = options.max_ops;
+      o.allow_for = true;  // Stress the fresh-variable discipline.
+      PathPtr p = gen.GenPath(o);
+      auto check = [&](const PathPtr& c) {
+        return CheckComplementToFor(c, tree_seed, trees, max_nodes);
+      };
+      std::string d = check(p);
+      if (!d.empty()) fail_path(p, check, d);
+    } else if (kind_str == "identities") {
+      ExprGenOptions o = ExprGenOptions::WithIntersect();
+      o.max_ops = std::max(2, options.max_ops / 2);
+      PathPtr a = gen.GenPath(o);
+      PathPtr b = gen.GenPath(o);
+      std::string d = CheckAlgebraicIdentities(a, b, tree_seed, trees, max_nodes);
+      if (!d.empty()) {
+        auto check = [&](const PathPtr& c) {
+          return CheckAlgebraicIdentities(c, b, tree_seed, trees, max_nodes);
+        };
+        fail_path(a, check, d);
+        detail += " (second operand: " + ToString(b) + ")";
+      }
+    } else if (kind_str == "loop-normal-form") {
+      ExprGenOptions o = ExprGenOptions::WithIntersect();
+      o.max_ops = std::max(2, options.max_ops / 2);
+      NodePtr n = gen.GenNode(o);
+      auto check = [&](const NodePtr& c) {
+        return CheckLoopNormalForm(c, tree_seed, trees, max_nodes);
+      };
+      std::string d = check(n);
+      if (!d.empty()) fail_node(n, check, d);
+    } else if (kind_str == "let-elim") {
+      ExprGenOptions o = ExprGenOptions::WithIntersect();
+      o.max_ops = std::max(2, options.max_ops / 2);
+      NodePtr n = gen.GenNode(o);
+      auto check = [&](const NodePtr& c) { return CheckLetElim(c, tree_seed, trees, max_nodes); };
+      std::string d = check(n);
+      if (!d.empty()) fail_node(n, check, d);
+    } else if (kind_str == "starfree") {
+      StarFreePtr r = gen.GenStarFree(5, {"a", "b"}, 2);
+      std::string d = CheckStarFree(r, tree_seed, trees, max_nodes);
+      if (!d.empty()) {
+        detail = d;
+        expr_text = StarFreeToString(r);
+      }
+    } else if (kind_str == "engines") {
+      ExprGenOptions o = ExprGenOptions::WithIntersect();
+      o.max_ops = std::min(options.max_ops, 5);
+      NodePtr n = gen.GenNode(o);
+      std::string d = CheckEngineAgreement(n);
+      if (!d.empty()) fail_node(n, CheckEngineAgreement, d);
+    } else if (kind_str == "engines-edtd") {
+      ExprGenOptions o = ExprGenOptions::DownwardIntersect();
+      o.max_ops = std::min(options.max_ops, 5);
+      NodePtr n = gen.GenNode(o);
+      EdtdGenOptions eo;
+      eo.num_types = 2;  // Keeps the Prop. 6 encoding within fuzz budgets.
+      Edtd edtd = gen.GenEdtd(eo);
+      auto check = [&](const NodePtr& c) { return CheckEngineAgreementWithEdtd(c, edtd); };
+      std::string d = check(n);
+      if (!d.empty()) fail_node(n, check, d);
+    } else if (kind_str == "session") {
+      ExprGenOptions o = ExprGenOptions::WithIntersect();
+      o.max_ops = std::min(options.max_ops, 5);
+      NodePtr n = gen.GenNode(o);
+      PathPtr a = gen.GenPath(o);
+      PathPtr b = gen.GenPath(o);
+      std::string d = CheckSessionCoherence(n, a, b);
+      if (!d.empty()) {
+        detail = d;
+        expr_text = ToString(n) + " ; " + ToString(a) + " ; " + ToString(b);
+      }
+    }
+
+    if (!detail.empty()) {
+      report.failures.push_back({kind_str, case_seed, expr_text, detail});
+    }
+  }
+  return report;
+}
+
+}  // namespace xpc

@@ -1,0 +1,101 @@
+#ifndef XPC_FUZZ_ORACLES_H_
+#define XPC_FUZZ_ORACLES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xpc/edtd/edtd.h"
+#include "xpc/fuzz/generator.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Individual metamorphic checks. Each returns "" on success (or when the
+/// input is outside the check's precondition) and a human-readable failure
+/// detail otherwise. Semantic checks evaluate on `trees` random trees of at
+/// most `max_nodes` nodes drawn deterministically from `tree_seed`.
+///
+/// O1 — parse(print(e)) is structurally identical to e, and printing is a
+/// fixpoint of the round-trip.
+std::string CheckRoundTripPath(const PathPtr& p);
+std::string CheckRoundTripNode(const NodePtr& n);
+
+/// O2 — every translation is semantics-preserving on concrete trees.
+/// RewriteIntersectToFor: eliminates ∩/≈, preserves ⟦·⟧ (any fragment).
+std::string CheckIntersectToFor(const PathPtr& p, uint64_t tree_seed, int trees, int max_nodes);
+/// RewriteComplementToFor: eliminates −, preserves ⟦·⟧ (downward operands —
+/// Theorem 31; the caller guarantees `p` is downward).
+std::string CheckComplementToFor(const PathPtr& p, uint64_t tree_seed, int trees, int max_nodes);
+/// The Section 2.2 / Theorem 30 algebraic identities on a random pair:
+/// α ∩ β ≡ α − (α − β),  α ∪ β ≡ U − ((U−α) ∩ (U−β)),  α ≈ β ≡ ⟨α ∩ β⟩.
+std::string CheckAlgebraicIdentities(const PathPtr& a, const PathPtr& b, uint64_t tree_seed,
+                                     int trees, int max_nodes);
+/// Normal form (+ ∩-product, Lemma 16) vs the reference evaluator:
+/// ⟦IntersectToLoopNormalForm(φ)⟧_LOOPS == ⟦φ⟧ per node.
+std::string CheckLoopNormalForm(const NodePtr& n, uint64_t tree_seed, int trees, int max_nodes);
+/// Lemma 18 let-elimination: on the intended marker decoration of a random
+/// tree, the eliminated formula holds somewhere iff the original does.
+std::string CheckLetElim(const NodePtr& n, uint64_t tree_seed, int trees, int max_nodes);
+/// Theorem 30: the star-free round-trip, the tr(·) word invariant against
+/// the iterated-complementation DFA, and pure-F agreement.
+std::string CheckStarFree(const StarFreePtr& r, uint64_t tree_seed, int trees, int max_nodes);
+
+/// O3 — all applicable sat engines agree and their witnesses re-validate.
+/// `phi` should be in CoreXPath(*, ∩, ≈) so at least the product pipeline is
+/// complete; the downward engine and the solver facade join in when
+/// applicable, and bounded search may only strengthen SAT verdicts.
+std::string CheckEngineAgreement(const NodePtr& phi);
+/// Same, relativized to an EDTD (downward φ): the downward engine's native
+/// EDTD support vs the Proposition 6 witness-tree encoding. Witnesses must
+/// conform to the schema.
+std::string CheckEngineAgreementWithEdtd(const NodePtr& phi, const Edtd& edtd);
+
+/// O4 — Session-cached results equal cold results (cold solver, cold
+/// session, warm session, batch).
+std::string CheckSessionCoherence(const NodePtr& phi, const PathPtr& a, const PathPtr& b);
+
+/// One reported failure, delta-minimized when shrinking is enabled.
+struct FuzzFailure {
+  std::string oracle;  ///< e.g. "roundtrip-path".
+  uint64_t case_seed;  ///< Reproduces the case: FuzzGen(case_seed).
+  std::string expr;    ///< Minimized offending expression (printed).
+  std::string detail;  ///< What disagreed.
+};
+
+/// Configuration of a fuzzing run.
+struct FuzzOptions {
+  uint64_t seed = 1;
+  /// Total cases across the enabled oracles (deterministically
+  /// apportioned: round-trips are cheap and get the bulk; engine-agreement
+  /// solves are the most expensive and get the least).
+  int64_t cases = 1000;
+  bool roundtrip = true;
+  bool translations = true;
+  bool engines = true;
+  bool session = true;
+  /// Delta-minimize failures before reporting.
+  bool shrink = true;
+  /// Random trees per semantic check / their maximum size.
+  int trees_per_case = 3;
+  int max_tree_nodes = 8;
+  /// Operator budget for generated expressions.
+  int max_ops = 8;
+};
+
+struct FuzzReport {
+  int64_t cases_run = 0;
+  std::map<std::string, int64_t> per_oracle;  ///< Cases run per check name.
+  std::vector<FuzzFailure> failures;
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+/// Runs the seeded fuzz campaign. Fully deterministic: the same options
+/// yield the same cases, verdicts and minimized failures.
+FuzzReport RunFuzz(const FuzzOptions& options);
+
+}  // namespace xpc
+
+#endif  // XPC_FUZZ_ORACLES_H_

@@ -1,0 +1,158 @@
+#include "xpc/fuzz/shrink.h"
+
+#include <vector>
+
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/metrics.h"
+
+namespace xpc {
+
+namespace {
+
+// Rebuilds `p` with one child slot replaced.
+PathPtr WithLeft(const PathPtr& p, const PathPtr& left) {
+  switch (p->kind) {
+    case PathKind::kSeq: return Seq(left, p->right);
+    case PathKind::kUnion: return Union(left, p->right);
+    case PathKind::kIntersect: return Intersect(left, p->right);
+    case PathKind::kComplement: return Complement(left, p->right);
+    case PathKind::kFilter: return Filter(left, p->filter);
+    case PathKind::kStar: return Star(left);
+    case PathKind::kFor: return For(p->var, left, p->right);
+    default: return p;
+  }
+}
+
+PathPtr WithRight(const PathPtr& p, const PathPtr& right) {
+  switch (p->kind) {
+    case PathKind::kSeq: return Seq(p->left, right);
+    case PathKind::kUnion: return Union(p->left, right);
+    case PathKind::kIntersect: return Intersect(p->left, right);
+    case PathKind::kComplement: return Complement(p->left, right);
+    case PathKind::kFor: return For(p->var, p->left, right);
+    default: return p;
+  }
+}
+
+}  // namespace
+
+std::vector<PathPtr> PathReductions(const PathPtr& p) {
+  std::vector<PathPtr> out;
+  auto add = [&](const PathPtr& candidate) {
+    if (candidate && Size(candidate) < Size(p)) out.push_back(candidate);
+  };
+  switch (p->kind) {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+    case PathKind::kSelf:
+      return out;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+    case PathKind::kIntersect:
+    case PathKind::kComplement:
+      add(p->left);
+      add(p->right);
+      for (const PathPtr& c : PathReductions(p->left)) add(WithLeft(p, c));
+      for (const PathPtr& c : PathReductions(p->right)) add(WithRight(p, c));
+      return out;
+    case PathKind::kFilter:
+      add(p->left);
+      add(Test(p->filter));  // Strictly smaller unless left is already ".".
+      for (const PathPtr& c : PathReductions(p->left)) add(WithLeft(p, c));
+      for (const NodePtr& c : NodeReductions(p->filter)) add(Filter(p->left, c));
+      return out;
+    case PathKind::kStar:
+      add(p->left);
+      for (const PathPtr& c : PathReductions(p->left)) {
+        // Keep the canonical-form invariant: no kStar directly over kAxis
+        // (the parser canonicalizes that to the axis closure).
+        if (c->kind == PathKind::kAxis) {
+          add(AxStar(c->axis));
+        } else {
+          add(WithLeft(p, c));
+        }
+      }
+      return out;
+    case PathKind::kFor:
+      add(p->left);
+      add(p->right);
+      for (const PathPtr& c : PathReductions(p->left)) add(WithLeft(p, c));
+      for (const PathPtr& c : PathReductions(p->right)) add(WithRight(p, c));
+      return out;
+  }
+  return out;
+}
+
+std::vector<NodePtr> NodeReductions(const NodePtr& n) {
+  std::vector<NodePtr> out;
+  auto add = [&](const NodePtr& candidate) {
+    if (candidate && Size(candidate) < Size(n)) out.push_back(candidate);
+  };
+  switch (n->kind) {
+    case NodeKind::kLabel:
+    case NodeKind::kTrue:
+    case NodeKind::kIsVar:
+      return out;
+    case NodeKind::kSome:
+      add(True());
+      for (const PathPtr& c : PathReductions(n->path)) add(Some(c));
+      return out;
+    case NodeKind::kNot:
+      add(n->child1);
+      for (const NodePtr& c : NodeReductions(n->child1)) add(Not(c));
+      return out;
+    case NodeKind::kAnd:
+      add(n->child1);
+      add(n->child2);
+      for (const NodePtr& c : NodeReductions(n->child1)) add(And(c, n->child2));
+      for (const NodePtr& c : NodeReductions(n->child2)) add(And(n->child1, c));
+      return out;
+    case NodeKind::kOr:
+      add(n->child1);
+      add(n->child2);
+      for (const NodePtr& c : NodeReductions(n->child1)) add(Or(c, n->child2));
+      for (const NodePtr& c : NodeReductions(n->child2)) add(Or(n->child1, c));
+      return out;
+    case NodeKind::kPathEq:
+      add(Some(n->path));
+      add(Some(n->path2));
+      for (const PathPtr& c : PathReductions(n->path)) add(PathEq(c, n->path2));
+      for (const PathPtr& c : PathReductions(n->path2)) add(PathEq(n->path, c));
+      return out;
+  }
+  return out;
+}
+
+PathPtr ShrinkPath(const PathPtr& failing, const PathPredicate& still_fails, int max_steps) {
+  PathPtr current = failing;
+  for (int step = 0; step < max_steps; ++step) {
+    bool reduced = false;
+    for (const PathPtr& candidate : PathReductions(current)) {
+      if (still_fails(candidate)) {
+        current = candidate;
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) break;
+  }
+  return current;
+}
+
+NodePtr ShrinkNode(const NodePtr& failing, const NodePredicate& still_fails, int max_steps) {
+  NodePtr current = failing;
+  for (int step = 0; step < max_steps; ++step) {
+    bool reduced = false;
+    for (const NodePtr& candidate : NodeReductions(current)) {
+      if (still_fails(candidate)) {
+        current = candidate;
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) break;
+  }
+  return current;
+}
+
+}  // namespace xpc

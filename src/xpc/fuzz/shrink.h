@@ -1,0 +1,41 @@
+#ifndef XPC_FUZZ_SHRINK_H_
+#define XPC_FUZZ_SHRINK_H_
+
+#include <functional>
+
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Predicates for the delta-debugging shrinker: return true if the
+/// candidate expression still exhibits the failure under investigation.
+using PathPredicate = std::function<bool(const PathPtr&)>;
+using NodePredicate = std::function<bool(const NodePtr&)>;
+
+/// Greedy delta-debugging minimizer: repeatedly applies the strictly
+/// size-decreasing reduction steps below anywhere in the expression,
+/// keeping the first candidate on which `still_fails` holds, until no
+/// candidate fails (a local minimum). Reductions per node:
+///
+///   - binary path operators (/, ∪, ∩, −) → either operand;
+///   - α[φ] → α and α[φ] → .[φ];  α* → α;  for $v in α return β → α | β;
+///   - ¬φ → φ;  φ∧ψ / φ∨ψ → either conjunct;  ⟨α⟩ → ⊤ (and shrinks of α);
+///   - α ≈ β → ⟨α⟩ / ⟨β⟩ (and componentwise shrinks).
+///
+/// Every step strictly decreases `Size(·)`, so the loop terminates; the
+/// result is 1-minimal w.r.t. this reduction set. `still_fails(input)` must
+/// be true on entry (callers normally just re-run the failing oracle).
+/// `max_steps` bounds the number of *accepted* reductions.
+PathPtr ShrinkPath(const PathPtr& failing, const PathPredicate& still_fails,
+                   int max_steps = 1000);
+NodePtr ShrinkNode(const NodePtr& failing, const NodePredicate& still_fails,
+                   int max_steps = 1000);
+
+/// All one-step reductions of an expression (exposed for the shrinker's
+/// own tests). Every result has strictly smaller Size(·).
+std::vector<PathPtr> PathReductions(const PathPtr& p);
+std::vector<NodePtr> NodeReductions(const NodePtr& n);
+
+}  // namespace xpc
+
+#endif  // XPC_FUZZ_SHRINK_H_

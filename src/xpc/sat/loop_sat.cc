@@ -56,10 +56,21 @@ struct AutoData {
   std::vector<TestEdge> tests;
 };
 
-// Derivation backpointers for witness reconstruction.
+// Derivation backpointers for witness reconstruction. `fc`/`ns` are the
+// item's *creation* derivation and always point to smaller item ids, so
+// chains of them are finite. An item first created with a next sibling can
+// later be re-derived without one (becoming a root candidate); that event's
+// first child is recorded separately in `root_fc` rather than overwriting
+// `fc`/`ns` in place — the re-derivation may reference items created later,
+// whose own chains can lead back through this item, and an in-place update
+// would make the pointer graph cyclic (an infinite "tree"). `root_fc` is
+// only ever followed once, at the witness root, and from there on only
+// creation pointers are walked, so reconstruction always terminates.
 struct Derivation {
   int fc = -1;
   int ns = -1;
+  int root_fc = kNoRootDeriv;
+  static constexpr int kNoRootDeriv = -2;
 };
 
 // A hash-consing table for state relations: every relation the engine
@@ -162,8 +173,10 @@ class LoopSatEngine {
     result.status = SolveStatus::kSat;
     if (options_.want_witness) {
       XmlTree tree(labels_[items_[sat_index].label]);
-      if (derivs[sat_index].fc >= 0) {
-        BuildSubtree(derivs, derivs[sat_index].fc, &tree, tree.root());
+      const Derivation& root = derivs[sat_index];
+      const int root_fc = root.root_fc != Derivation::kNoRootDeriv ? root.root_fc : root.fc;
+      if (root_fc >= 0) {
+        BuildSubtree(derivs, root_fc, &tree, tree.root());
       }
       result.witness = std::move(tree);
     }
@@ -440,7 +453,7 @@ class LoopSatEngine {
         id = it->second;
         if (ns < 0 && !is_root_candidate[id]) {
           is_root_candidate[id] = 1;
-          if (derivs != nullptr) (*derivs)[id] = {fc, ns};
+          if (derivs != nullptr) (*derivs)[id].root_fc = fc;
         }
       }
       if (final_phase && sat_index != nullptr && *sat_index < 0 && is_root_candidate[id]) {

@@ -1,20 +1,42 @@
 #include "xpc/translate/for_elim.h"
 
+#include <cstdlib>
+#include <set>
+#include <utility>
 
 #include "xpc/common/stats.h"
 #include "xpc/xpath/build.h"
+#include "xpc/xpath/metrics.h"
 
 namespace xpc {
 
+namespace {
+
+// The binder introduced by these translations scopes over β, so a requested
+// name that already occurs in β would capture β's occurrences of it and
+// silently change the meaning of the output (found by the forelim fuzz
+// oracles; see tests/fuzz_corpus/). Occurrences bound inside β could not
+// actually collide, but renaming whenever the name merely occurs keeps the
+// check cheap and obviously sound.
+std::string AvoidCapture(std::string var, const PathPtr& beta) {
+  const std::set<std::string> used = Variables(beta);
+  while (used.count(var)) var += '_';
+  return var;
+}
+
+}  // namespace
+
 PathPtr ComplementToFor(const PathPtr& alpha, const PathPtr& beta, const std::string& var) {
   // for $i in α return .[¬⟨β[. is $i]⟩] / ↓*[. is $i].
-  NodePtr not_beta_hits_i = Not(Some(Filter(beta, IsVar(var))));
-  PathPtr body = Seq(Test(not_beta_hits_i), Filter(AxStar(Axis::kChild), IsVar(var)));
-  return For(var, alpha, body);
+  const std::string v = AvoidCapture(var, beta);
+  NodePtr not_beta_hits_v = Not(Some(Filter(beta, IsVar(v))));
+  PathPtr body = Seq(Test(not_beta_hits_v), Filter(AxStar(Axis::kChild), IsVar(v)));
+  return For(v, alpha, body);
 }
 
 PathPtr IntersectToFor(const PathPtr& alpha, const PathPtr& beta, const std::string& var) {
-  return For(var, alpha, Filter(beta, IsVar(var)));
+  const std::string v = AvoidCapture(var, beta);
+  return For(v, alpha, Filter(beta, IsVar(v)));
 }
 
 PathPtr IntersectToComplement(const PathPtr& alpha, const PathPtr& beta) {
@@ -32,10 +54,20 @@ NodePtr PathEqToIntersect(const PathPtr& alpha, const PathPtr& beta) {
 
 namespace {
 
-// Rewriters share a fresh-variable counter through this context.
+// Rewriters share a fresh-variable counter through this context. `used` holds
+// every variable name occurring anywhere in the input expression (binders and
+// references alike), so Fresh() can never collide with a user variable —
+// without this, an input mentioning $f0 would have its occurrences captured
+// by the first generated binder.
 struct RewriteCtx {
   int next_var = 0;
-  std::string Fresh() { return "f" + std::to_string(next_var++); }
+  std::set<std::string> used;
+  std::string Fresh() {
+    for (;;) {
+      std::string candidate = "f" + std::to_string(next_var++);
+      if (!used.count(candidate)) return candidate;
+    }
+  }
 };
 
 PathPtr RewriteCapPath(const PathPtr& p, RewriteCtx* ctx);
@@ -58,7 +90,10 @@ NodePtr RewriteCapNode(const NodePtr& n, RewriteCtx* ctx) {
       // α ≈ β ⇝ ⟨α ∩ β⟩ ⇝ ⟨for ...⟩.
       return Some(RewriteCapPath(Intersect(n->path, n->path2), ctx));
   }
-  return n;
+  // The switch is exhaustive (-Wswitch-enum); an out-of-range kind is memory
+  // corruption, not a new enumerator, so fail hard rather than pass the node
+  // through unrewritten.
+  std::abort();
 }
 
 PathPtr RewriteCapPath(const PathPtr& p, RewriteCtx* ctx) {
@@ -83,7 +118,7 @@ PathPtr RewriteCapPath(const PathPtr& p, RewriteCtx* ctx) {
     case PathKind::kFor:
       return For(p->var, RewriteCapPath(p->left, ctx), RewriteCapPath(p->right, ctx));
   }
-  return p;
+  std::abort();  // Exhaustive switch; see RewriteCapNode.
 }
 
 PathPtr RewriteMinusPath(const PathPtr& p, RewriteCtx* ctx);
@@ -105,7 +140,7 @@ NodePtr RewriteMinusNode(const NodePtr& n, RewriteCtx* ctx) {
     case NodeKind::kPathEq:
       return PathEq(RewriteMinusPath(n->path, ctx), RewriteMinusPath(n->path2, ctx));
   }
-  return n;
+  std::abort();  // Exhaustive switch; see RewriteCapNode.
 }
 
 PathPtr RewriteMinusPath(const PathPtr& p, RewriteCtx* ctx) {
@@ -130,7 +165,7 @@ PathPtr RewriteMinusPath(const PathPtr& p, RewriteCtx* ctx) {
     case PathKind::kFor:
       return For(p->var, RewriteMinusPath(p->left, ctx), RewriteMinusPath(p->right, ctx));
   }
-  return p;
+  std::abort();  // Exhaustive switch; see RewriteCapNode.
 }
 
 }  // namespace
@@ -138,24 +173,28 @@ PathPtr RewriteMinusPath(const PathPtr& p, RewriteCtx* ctx) {
 PathPtr RewriteIntersectToFor(const PathPtr& path) {
   StatsTimer timer(Metric::kTranslateForElim);
   RewriteCtx ctx;
+  ctx.used = Variables(path);
   return RewriteCapPath(path, &ctx);
 }
 
 NodePtr RewriteIntersectToFor(const NodePtr& node) {
   StatsTimer timer(Metric::kTranslateForElim);
   RewriteCtx ctx;
+  ctx.used = Variables(node);
   return RewriteCapNode(node, &ctx);
 }
 
 PathPtr RewriteComplementToFor(const PathPtr& path) {
   StatsTimer timer(Metric::kTranslateForElim);
   RewriteCtx ctx;
+  ctx.used = Variables(path);
   return RewriteMinusPath(path, &ctx);
 }
 
 NodePtr RewriteComplementToFor(const NodePtr& node) {
   StatsTimer timer(Metric::kTranslateForElim);
   RewriteCtx ctx;
+  ctx.used = Variables(node);
   return RewriteMinusNode(node, &ctx);
 }
 

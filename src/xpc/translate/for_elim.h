@@ -13,10 +13,13 @@ namespace xpc {
 /// Theorem 31: path complementation via a single-variable for-loop (for
 /// downward α, β):
 ///     α − β ≡ for $i in α return .[¬⟨β[. is $i]⟩] / ↓*[. is $i]
+/// If `var` already occurs in β it would be captured by the introduced
+/// binder, so underscores are appended until the name is fresh.
 PathPtr ComplementToFor(const PathPtr& alpha, const PathPtr& beta, const std::string& var);
 
 /// Section 2.2: path intersection via a for-loop:
 ///     α ∩ β ≡ for $i in α return β[. is $i]
+/// `var` is freshened against β like in ComplementToFor.
 PathPtr IntersectToFor(const PathPtr& alpha, const PathPtr& beta, const std::string& var);
 
 /// Section 7 (proof of Theorem 30): intersection via complementation,
@@ -32,8 +35,9 @@ PathPtr UnionToComplement(const PathPtr& alpha, const PathPtr& beta);
 NodePtr PathEqToIntersect(const PathPtr& alpha, const PathPtr& beta);
 
 /// Rewrites every ∩ in the expression into a for-loop (fresh variables
-/// $f0, $f1, ...), every ≈ into ⟨∩⟩ first. Demonstrates CoreXPath(for) ⊇
-/// CoreXPath(∩); used by the Figure 1 hierarchy bench.
+/// $f0, $f1, ... skipping any name the input already mentions), every ≈ into
+/// ⟨∩⟩ first. Demonstrates CoreXPath(for) ⊇ CoreXPath(∩); used by the
+/// Figure 1 hierarchy bench.
 PathPtr RewriteIntersectToFor(const PathPtr& path);
 NodePtr RewriteIntersectToFor(const NodePtr& node);
 

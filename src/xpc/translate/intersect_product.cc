@@ -1,5 +1,6 @@
 #include "xpc/translate/intersect_product.h"
 
+#include <cstdlib>
 #include <map>
 #include <set>
 
@@ -124,13 +125,16 @@ PathAutoPtr Translate(const PathPtr& path) {
     case PathKind::kComplement:
     case PathKind::kFor:
       return nullptr;
-    default: {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+    case PathKind::kSelf: {
       // ∩-free atoms: reuse the Section 3.1 translation.
       auto [ok, a] = PathToAutomaton(path);
       if (!ok) return nullptr;
       return std::make_shared<PathAutomaton>(std::move(a));
     }
   }
+  std::abort();  // Exhaustive switch; an out-of-range kind is memory corruption.
 }
 
 struct DagSeen {

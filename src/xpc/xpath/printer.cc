@@ -48,14 +48,18 @@ void PrintPath(const PathPtr& p, int parent_prec, std::ostringstream* os) {
       *os << '.';
       break;
     case PathKind::kSeq:
+      // All the binary path operators parse left-associatively, so a
+      // right-nested operand at the same precedence level must keep its
+      // parentheses: `a/(b/c)` reparsed from `a/b/c` would associate the
+      // other way and break print→parse round-tripping.
       PrintPath(p->left, kPrecSeq, os);
       *os << '/';
-      PrintPath(p->right, kPrecSeq, os);
+      PrintPath(p->right, kPrecSeq + 1, os);
       break;
     case PathKind::kUnion:
       PrintPath(p->left, kPrecUnion, os);
       *os << " | ";
-      PrintPath(p->right, kPrecUnion, os);
+      PrintPath(p->right, kPrecUnion + 1, os);
       break;
     case PathKind::kFilter:
       PrintPath(p->left, kPrecPostfix, os);
@@ -77,13 +81,11 @@ void PrintPath(const PathPtr& p, int parent_prec, std::ostringstream* os) {
     case PathKind::kIntersect:
       PrintPath(p->left, kPrecIntersect, os);
       *os << " & ";
-      PrintPath(p->right, kPrecIntersect, os);
+      PrintPath(p->right, kPrecIntersect + 1, os);
       break;
     case PathKind::kComplement:
       PrintPath(p->left, kPrecComplement, os);
       *os << " - ";
-      // '-' is left-associative; the right operand needs strictly tighter
-      // precedence.
       PrintPath(p->right, kPrecComplement + 1, os);
       break;
     case PathKind::kFor:
@@ -126,14 +128,15 @@ void PrintNode(const NodePtr& n, int parent_prec, std::ostringstream* os) {
       *os << ')';
       break;
     case NodeKind::kAnd:
+      // `and`/`or` parse left-associatively too; see the kSeq note above.
       PrintNode(n->child1, kPrecAnd, os);
       *os << " and ";
-      PrintNode(n->child2, kPrecAnd, os);
+      PrintNode(n->child2, kPrecAnd + 1, os);
       break;
     case NodeKind::kOr:
       PrintNode(n->child1, kPrecOr, os);
       *os << " or ";
-      PrintNode(n->child2, kPrecOr, os);
+      PrintNode(n->child2, kPrecOr + 1, os);
       break;
     case NodeKind::kPathEq:
       *os << "eq(";

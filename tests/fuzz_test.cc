@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "xpc/eval/evaluator.h"
+#include "xpc/fuzz/corpus.h"
+#include "xpc/fuzz/generator.h"
+#include "xpc/fuzz/oracles.h"
+#include "xpc/fuzz/shrink.h"
+#include "xpc/sat/loop_sat.h"
+#include "xpc/translate/for_elim.h"
+#include "xpc/translate/intersect_product.h"
+#include "xpc/xpath/ast.h"
+#include "xpc/xpath/metrics.h"
+#include "xpc/xpath/parser.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+PathPtr P(const std::string& s) {
+  auto r = ParsePath(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+NodePtr N(const std::string& s) {
+  auto r = ParseNode(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+// --- O1: parse∘print round-trips ---------------------------------------
+
+// The printer once dropped parentheses around right-nested operands of the
+// left-associative operators; each of these reparsed into the left-nested
+// tree. Kept explicit (alongside the fuzz corpus) because they pin down the
+// exact rule: the right operand prints at strictly tighter precedence.
+TEST(FuzzRegression, PrinterRightNestedPathOperators) {
+  const char* cases[] = {
+      "down/(down/down)",   "down | (down | down)",    "down & (down & down)",
+      "down - (down - down)", "(down | down)/(down | down)",
+      "right*/(./.)",        "down*/(./down)",
+  };
+  for (const char* c : cases) {
+    PathPtr p = P(c);
+    EXPECT_EQ(CheckRoundTripPath(p), "") << c << " printed as " << ToString(p);
+  }
+}
+
+TEST(FuzzRegression, PrinterRightNestedNodeOperators) {
+  const char* cases[] = {
+      "a and (b and c)", "a or (b or c)", "true and (true and a)",
+      "(a or b) and (b or c)",
+  };
+  for (const char* c : cases) {
+    NodePtr n = N(c);
+    EXPECT_EQ(CheckRoundTripNode(n), "") << c << " printed as " << ToString(n);
+  }
+}
+
+// Left-nested chains must stay paren-free — the fix may not over-parenthesize.
+TEST(FuzzRegression, PrinterLeftNestedStaysFlat) {
+  EXPECT_EQ(ToString(P("down/down/down")), "down/down/down");
+  EXPECT_EQ(ToString(P("down | down | down")), "down | down | down");
+  EXPECT_EQ(ToString(N("a and b and c")), "a and b and c");
+  EXPECT_EQ(ToString(P("down/(down/down)")), "down/(down/down)");
+}
+
+// 1000 seeded cases over the full CoreXPath(≈, ∩, −, for, *) syntax. This is
+// a compressed always-on slice of the xpc_fuzz campaign: any printer/parser
+// disagreement the grammar can reach in ≤12 operators shows up here.
+TEST(FuzzProperty, RoundTripThousandCases) {
+  ExprGenOptions o = ExprGenOptions::FullSyntax();
+  o.max_ops = 12;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    FuzzGen gen(0x5eed + i);
+    if (i % 2 == 0) {
+      PathPtr p = gen.GenPath(o);
+      EXPECT_EQ(CheckRoundTripPath(p), "") << "case " << i;
+    } else {
+      NodePtr n = gen.GenNode(o);
+      EXPECT_EQ(CheckRoundTripNode(n), "") << "case " << i;
+    }
+  }
+}
+
+// --- O2: translations --------------------------------------------------
+
+// The fresh-variable discipline: rewriting must never capture a user
+// variable that follows the rewriter's own f<N> naming scheme.
+TEST(FuzzRegression, IntersectToForAvoidsUserF0) {
+  PathPtr p = P("for $f0 in up return down & down[is $f0]");
+  PathPtr rewritten = RewriteIntersectToFor(p);
+  // The generated binder must not shadow $f0...
+  EXPECT_EQ(ToString(rewritten),
+            "for $f0 in up return for $f1 in down return down[is $f0][is $f1]");
+  // ...and the rewrite must be semantics-preserving (the capturing version
+  // differed on trees as small as b(c(c(b,c),c),b)).
+  EXPECT_EQ(CheckIntersectToFor(p, /*tree_seed=*/99, /*trees=*/8, /*max_nodes=*/8), "");
+}
+
+TEST(FuzzRegression, ComplementToForAvoidsUserF0) {
+  PathPtr p = P("for $f0 in down return down* - down*[is $f0]");
+  PathPtr rewritten = RewriteComplementToFor(p);
+  EXPECT_EQ(Variables(rewritten).count("f1"), 1u) << ToString(rewritten);
+  EXPECT_EQ(CheckComplementToFor(p, 99, 8, 8), "");
+}
+
+// Caller-supplied binder names collide the same way; the translation must
+// freshen them itself rather than trust the caller.
+TEST(FuzzRegression, ExplicitVarFreshenedAgainstBeta) {
+  PathPtr alpha = P("down");
+  PathPtr beta = P("down[is $v]");
+  PathPtr inter = IntersectToFor(alpha, beta, "v");
+  EXPECT_EQ(ToString(inter), "for $v_ in down return down[is $v][is $v_]");
+  PathPtr comp = ComplementToFor(alpha, beta, "v");
+  EXPECT_EQ(Variables(comp).count("v_"), 1u) << ToString(comp);
+  // A non-colliding name is used as-is.
+  EXPECT_EQ(ToString(IntersectToFor(alpha, beta, "w")),
+            "for $w in down return down[is $v][is $w]");
+}
+
+// Seeded semantic slices of each translation oracle (the full-size versions
+// run in the xpc_fuzz campaign; these keep a small always-on sample in the
+// fast suite).
+TEST(FuzzProperty, IntersectToForSemantics) {
+  ExprGenOptions o = ExprGenOptions::FullSyntax();
+  o.allow_complement = false;
+  for (uint64_t i = 0; i < 50; ++i) {
+    FuzzGen gen(0xabc0 + i);
+    PathPtr p = gen.GenPath(o);
+    EXPECT_EQ(CheckIntersectToFor(p, i, 3, 8), "") << "case " << i << ": " << ToString(p);
+  }
+}
+
+TEST(FuzzProperty, ComplementToForSemantics) {
+  ExprGenOptions o = ExprGenOptions::DownwardComplement();
+  o.allow_for = true;  // Exercise the capture-avoidance path too.
+  for (uint64_t i = 0; i < 50; ++i) {
+    FuzzGen gen(0xdef0 + i);
+    PathPtr p = gen.GenPath(o);
+    EXPECT_EQ(CheckComplementToFor(p, i, 3, 8), "") << "case " << i << ": " << ToString(p);
+  }
+}
+
+// --- O3: the loop-sat witness-reconstruction crash ---------------------
+
+// Fuzzer-found: re-deriving an item sibling-free overwrote its derivation
+// backpointers in place, which could make the backpointer graph cyclic and
+// send witness reconstruction into unbounded recursion. eq(left*, left/left*)
+// is the minimized trigger.
+TEST(FuzzRegression, LoopSatWitnessNoCycle) {
+  NodePtr phi = N("eq(left*, left/left*)");
+  LExprPtr nf = IntersectToLoopNormalForm(phi);
+  ASSERT_TRUE(nf);
+  LoopSatOptions o;
+  o.want_witness = true;
+  SatResult r = LoopSatisfiable(nf, o);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_TRUE(Evaluator(*r.witness).SatisfiedSomewhere(phi));
+  // The full engine-agreement oracle used to stack-overflow here.
+  EXPECT_EQ(CheckEngineAgreement(phi), "");
+}
+
+// --- Shrinker ----------------------------------------------------------
+
+TEST(Shrink, ReductionsStrictlyDecreaseSize) {
+  PathPtr p = P("for $i in down*[a and <up>] return (down & down*[is $i]) - .");
+  std::vector<PathPtr> reds = PathReductions(p);
+  ASSERT_FALSE(reds.empty());
+  for (const PathPtr& r : reds) EXPECT_LT(Size(r), Size(p)) << ToString(r);
+  NodePtr n = N("not(a and <down[b or c]>)");
+  for (const NodePtr& r : NodeReductions(n)) EXPECT_LT(Size(r), Size(n)) << ToString(r);
+}
+
+TEST(Shrink, FindsMinimalSeqUnderPredicate) {
+  // Predicate: contains a `/` with a `/` as right child (the shape of the
+  // printer bug). The shrinker should strip everything else.
+  PathPredicate has_right_nested_seq = [](const PathPtr& p) {
+    std::function<bool(const PathPtr&)> scan = [&](const PathPtr& q) -> bool {
+      if (q->kind == PathKind::kSeq && q->right->kind == PathKind::kSeq) return true;
+      bool hit = false;
+      if (q->left) hit = hit || scan(q->left);
+      if (q->right) hit = hit || scan(q->right);
+      return hit;
+    };
+    return scan(p);
+  };
+  PathPtr big = P("(down | up)/((down/(down[a]/down*)) & .)/right");
+  ASSERT_TRUE(has_right_nested_seq(big));
+  PathPtr small = ShrinkPath(big, has_right_nested_seq);
+  EXPECT_TRUE(has_right_nested_seq(small));
+  // 1-minimal: five AST nodes — Seq(atom, Seq(atom, atom)).
+  EXPECT_EQ(Size(small), 5) << ToString(small);
+}
+
+TEST(Shrink, PredicateNeverSeesLargerCandidates) {
+  int calls = 0;
+  PathPtr start = P("down/(down/(down/(down/down)))");
+  const int start_size = Size(start);
+  PathPredicate pred = [&](const PathPtr& p) {
+    ++calls;
+    EXPECT_LT(Size(p), start_size);
+    return CheckRoundTripPath(p).empty() == false;  // Nothing fails now.
+  };
+  PathPtr out = ShrinkPath(start, pred);
+  EXPECT_GT(calls, 0);
+  EXPECT_TRUE(Equal(out, start));  // No candidate failed → input unchanged.
+}
+
+// --- Campaign determinism and corpus replay ----------------------------
+
+TEST(FuzzCampaign, DeterministicAcrossRuns) {
+  FuzzOptions o;
+  o.cases = 200;
+  o.seed = 77;
+  FuzzReport a = RunFuzz(o);
+  FuzzReport b = RunFuzz(o);
+  EXPECT_EQ(a.cases_run, 200);
+  EXPECT_EQ(a.Summary(), b.Summary());
+  EXPECT_EQ(a.per_oracle, b.per_oracle);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].expr, b.failures[i].expr);
+    EXPECT_EQ(a.failures[i].oracle, b.failures[i].oracle);
+  }
+}
+
+TEST(FuzzCampaign, SmokeAllOraclesPass) {
+  FuzzOptions o;
+  o.cases = 400;
+  o.seed = 3;
+  FuzzReport r = RunFuzz(o);
+  EXPECT_TRUE(r.ok()) << r.Summary()
+                      << (r.failures.empty() ? "" : ": " + r.failures[0].detail);
+  // Every oracle family must actually have run.
+  EXPECT_EQ(r.per_oracle.size(), 11u) << r.Summary();
+}
+
+// Replays tests/fuzz_corpus/ — every minimized bug this subsystem has found
+// must stay fixed. XPC_FUZZ_CORPUS_DIR is injected by tests/CMakeLists.txt.
+TEST(FuzzCampaign, CorpusStaysFixed) {
+  std::string error;
+  std::vector<CorpusCase> corpus = LoadCorpus(XPC_FUZZ_CORPUS_DIR, &error);
+  ASSERT_FALSE(corpus.empty()) << error;
+  EXPECT_GE(corpus.size(), 8u);
+  for (const CorpusCase& c : corpus) {
+    EXPECT_EQ(ReplayCase(c), "") << c.file;
+  }
+}
+
+}  // namespace
+}  // namespace xpc

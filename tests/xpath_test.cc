@@ -191,7 +191,9 @@ TEST(Build, ConversePath) {
   PathPtr p = MustParsePath("down[p]/right*");
   PathPtr c = ConversePath(p);
   ASSERT_TRUE(c);
-  EXPECT_EQ(ToString(c), "left*/.[p]/up");
+  // ConversePath builds the mirrored Seq right-nested, and the printer keeps
+  // the parentheses so the string reparses to the same (right-nested) tree.
+  EXPECT_EQ(ToString(c), "left*/(.[p]/up)");
   EXPECT_FALSE(ConversePath(MustParsePath("for $i in down return down")));
   // (α*)⁻ = (α⁻)*.
   EXPECT_EQ(ToString(ConversePath(MustParsePath("(down/down)*"))), "(up/up)*");
