@@ -1,0 +1,259 @@
+// Experiment E14 — classifier fast-path speedup (acceptance gate).
+//
+// PR 6 put a fragment classifier in front of the solver dispatch: queries
+// that land in one of the two tractable fragments are answered by a PTIME
+// procedure instead of the exponential engines. This bench measures exactly
+// that routing decision — the same deterministic classified-tractable
+// workload is pushed through the `Solver` facade twice, once with
+// `fast_paths` on (every case must carry a `fastpath-*` engine stamp) and
+// once with `fast_paths` off (the full engines at their default budgets),
+// and the bench FAILS unless:
+//
+//   * both legs agree on every verdict, and each verdict matches the
+//     hand-computed expectation for the case, and
+//   * the fast leg is at least 5x faster overall (the acceptance bar from
+//     the PR 6 issue; in practice the gap is orders of magnitude).
+//
+// Three workload families, mirroring the fast paths' coverage:
+//
+//   chain/free     downward chains with label-conjunction qualifiers, no
+//                  schema — the off leg dispatches to the instantiation
+//                  engine (no `down*`) or the loop pipeline (`down*`)
+//   chain/edtd     star-free chains against deep and bushy chain EDTDs —
+//                  the off leg dispatches to the EXPSPACE downward engine
+//   vertical/free  up/down conjunctive queries, no schema — the off leg
+//                  dispatches to the loop pipeline
+//
+// Star-chains against an EDTD are deliberately absent: with fast paths off
+// they go through the Prop. 6 encoding into loop-sat, which at default
+// budgets is a known blowup (minutes) — correctness there is covered by
+// tests/fastpath_reference_test.cc with tight budgets, not by this bench.
+
+#include "bench_registry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xpc/core/solver.h"
+#include "xpc/edtd/edtd.h"
+#include "xpc/xpath/parser.h"
+
+using namespace xpc;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+             .count() /
+         1000.0;
+}
+
+// A depth-n unary-chain EDTD (t0 := t1, …, t_{n-1} := epsilon), the same
+// shape bench_sat.cc uses to exercise the downward fixpoint.
+Edtd DeepChainEdtd(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    text += "t" + std::to_string(i) + " := " +
+            (i + 1 < n ? "t" + std::to_string(i + 1) : "epsilon") + "\n";
+  }
+  return Edtd::Parse(text).value();
+}
+
+// The same chain with k filler alternatives per level, so content words are
+// long and the off leg's type elimination has real work per round.
+Edtd BushyChainEdtd(int n, int k) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    std::string fillers;
+    for (int j = 0; j < k; ++j) {
+      fillers += (j ? " | " : "") + ("f" + std::to_string(i) + "_" + std::to_string(j));
+    }
+    std::string body = i + 1 < n
+                           ? "(" + std::string("t") + std::to_string(i + 1) + " | " +
+                                 fillers + ")+"
+                           : "epsilon";
+    text += "t" + std::to_string(i) + " := " + body + "\n";
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      text += "f" + std::to_string(i) + "_" + std::to_string(j) + " := epsilon\n";
+    }
+  }
+  return Edtd::Parse(text).value();
+}
+
+struct Case {
+  Case(std::string text, SolveStatus expect, const Edtd* edtd = nullptr)
+      : text(std::move(text)), expect(expect), edtd(edtd) {}
+  std::string text;
+  SolveStatus expect;
+  const Edtd* edtd;  // Borrowed from the workload; null = free schema.
+  NodePtr phi;
+};
+
+struct Workload {
+  std::string name;
+  std::vector<Case> cases;
+  int repeats = 1;
+};
+
+// A depth-d chain <down[l1]/down[l2]/…>; `conflict` adds a two-label
+// conjunction at the last position, which the free-schema chain procedure
+// (and the full engines) must refuse.
+std::string Chain(int depth, bool star, bool conflict) {
+  std::string q = "<";
+  const char* labels[] = {"a", "b", "c"};
+  for (int i = 0; i < depth; ++i) {
+    if (i) q += "/";
+    q += (star && i == depth - 1) ? "down*" : "down";
+    q += "[" + std::string(labels[i % 3]);
+    if (conflict && i == depth - 1) q += " and " + std::string(labels[(i + 1) % 3]);
+    q += "]";
+  }
+  return q + ">";
+}
+
+Workload ChainFree() {
+  Workload w;
+  w.name = "chain/free";
+  w.repeats = 40;
+  for (int depth : {2, 4, 6, 8}) {
+    for (bool star : {false, true}) {
+      w.cases.push_back({Chain(depth, star, false), SolveStatus::kSat});
+      w.cases.push_back({Chain(depth, star, true), SolveStatus::kUnsat});
+    }
+  }
+  // Label conjunction at the context node, with and without a hanging chain.
+  w.cases.push_back({"a and <down[b]/down*[c]>", SolveStatus::kSat});
+  w.cases.push_back({"a and b", SolveStatus::kUnsat});
+  return w;
+}
+
+Workload ChainEdtd(const Edtd& deep, const Edtd& bushy) {
+  Workload w;
+  w.name = "chain/edtd";
+  w.repeats = 8;
+  auto chain_to = [](int from, int to) {
+    std::string q = "<";
+    for (int i = from; i <= to; ++i) {
+      if (i > from) q += "/";
+      q += "down[t" + std::to_string(i) + "]";
+    }
+    return q + ">";
+  };
+  // Deep chain: the root is t0, so t1..tk is reachable straight down; asking
+  // for the wrong parent/child pairing is unsatisfiable.
+  w.cases.push_back({"t0 and " + chain_to(1, 8), SolveStatus::kSat, &deep});
+  w.cases.push_back({"t0 and " + chain_to(2, 9), SolveStatus::kUnsat, &deep});
+  w.cases.push_back({chain_to(1, 12), SolveStatus::kSat, &deep});
+  w.cases.push_back({"<down[t1 and t2]>", SolveStatus::kUnsat, &deep});
+  // Bushy chain: fillers are leaves, so a filler with a child is out.
+  w.cases.push_back({"t0 and <down[t1]/down[t2]/down[t3]>", SolveStatus::kSat, &bushy});
+  w.cases.push_back({"<down[f0_0]/down[t1]>", SolveStatus::kUnsat, &bushy});
+  w.cases.push_back({"<down[f0_1]>", SolveStatus::kSat, &bushy});
+  return w;
+}
+
+Workload VerticalFree() {
+  Workload w;
+  w.name = "vertical/free";
+  w.repeats = 40;
+  w.cases.push_back({"<down[a]/up>", SolveStatus::kSat});
+  w.cases.push_back({"<up/down>", SolveStatus::kSat});
+  w.cases.push_back({"<down[<down[b]>]>", SolveStatus::kSat});
+  w.cases.push_back({"a and <down[a and <up>]>", SolveStatus::kSat});
+  w.cases.push_back({"a and <down[b]/up[c]>", SolveStatus::kUnsat});
+  w.cases.push_back({"<down[a and <up[b]>]> and c", SolveStatus::kUnsat});
+  w.cases.push_back({"<up[a]/up[b]/down[c]> and <down[a]>", SolveStatus::kSat});
+  w.cases.push_back({"<down[a]/down[b]/up[c]>", SolveStatus::kUnsat});
+  return w;
+}
+
+}  // namespace
+
+static int RunFastPathSpeedup() {
+  std::printf("== fast-path speedup: Solver facade, fast_paths on vs off ==\n");
+  int failures = 0;
+
+  Edtd deep = DeepChainEdtd(48);
+  Edtd bushy = BushyChainEdtd(12, 3);
+  std::vector<Workload> workloads = {ChainFree(), ChainEdtd(deep, bushy), VerticalFree()};
+  for (Workload& w : workloads) {
+    for (Case& c : w.cases) c.phi = ParseNode(c.text).value();
+  }
+
+  SolverOptions on;
+  on.verify_witnesses = false;
+  SolverOptions off = on;
+  off.fast_paths = false;
+
+  // Untimed correctness pass: one run of every case on both legs, checking
+  // stamps and verdicts, so a wrong fast path fails loudly before we ever
+  // report a speedup for it.
+  for (const Workload& w : workloads) {
+    for (const Case& c : w.cases) {
+      SatResult fast = c.edtd != nullptr ? Solver(on).NodeSatisfiable(c.phi, *c.edtd)
+                                         : Solver(on).NodeSatisfiable(c.phi);
+      SatResult full = c.edtd != nullptr ? Solver(off).NodeSatisfiable(c.phi, *c.edtd)
+                                         : Solver(off).NodeSatisfiable(c.phi);
+      if (fast.engine.rfind("fastpath-", 0) != 0) {
+        std::printf("FAIL: %s [%s]: not routed to a fast path (engine %s)\n",
+                    c.text.c_str(), w.name.c_str(), fast.engine.c_str());
+        ++failures;
+      }
+      if (fast.status != c.expect || full.status != c.expect) {
+        std::printf("FAIL: %s [%s]: expected %s, fast says %s (%s), full says %s (%s)\n",
+                    c.text.c_str(), w.name.c_str(), SolveStatusName(c.expect),
+                    SolveStatusName(fast.status), fast.engine.c_str(),
+                    SolveStatusName(full.status), full.engine.c_str());
+        ++failures;
+      }
+    }
+  }
+  if (failures != 0) return 1;
+
+  // Timed legs: whole workload x repeats, fresh Solver per call (the facade
+  // is stateless; this matches how the session layer drives it).
+  double total_on = 0, total_off = 0;
+  std::printf("%-16s %-8s %-12s %-12s %-10s\n", "workload", "calls", "fast-ms",
+              "full-ms", "speedup");
+  for (const Workload& w : workloads) {
+    auto run_leg = [&](const SolverOptions& opt) {
+      auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < w.repeats; ++r) {
+        for (const Case& c : w.cases) {
+          SatResult res = c.edtd != nullptr ? Solver(opt).NodeSatisfiable(c.phi, *c.edtd)
+                                            : Solver(opt).NodeSatisfiable(c.phi);
+          if (res.status != c.expect) ++failures;  // Re-checked: timed leg too.
+        }
+      }
+      return MsSince(t0);
+    };
+    double ms_on = run_leg(on);
+    double ms_off = run_leg(off);
+    total_on += ms_on;
+    total_off += ms_off;
+    std::printf("%-16s %-8zu %-12.2f %-12.2f %-10.1f\n", w.name.c_str(),
+                w.cases.size() * w.repeats, ms_on, ms_off,
+                ms_on > 0 ? ms_off / ms_on : 0.0);
+  }
+
+  double speedup = total_on > 0 ? total_off / total_on : 0.0;
+  std::printf("overall: fast %.2f ms, full %.2f ms, speedup %.1fx\n", total_on,
+              total_off, speedup);
+  if (failures != 0) {
+    std::printf("FAIL: verdict drift between the correctness and timed passes\n");
+    return 1;
+  }
+  if (speedup < 5.0) {
+    std::printf("FAIL: fast paths must be at least 5x faster (got %.1fx)\n", speedup);
+    return 1;
+  }
+  return 0;
+}
+
+XPC_BENCH("fastpath_speedup", RunFastPathSpeedup);

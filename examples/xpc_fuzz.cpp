@@ -1,7 +1,8 @@
 // xpc_fuzz — seeded metamorphic fuzzing campaign driver.
 //
 // Usage:
-//   xpc_fuzz [--seed N] [--cases M] [--oracle all|roundtrip|translations|engines|session]
+//   xpc_fuzz [--seed N] [--cases M]
+//            [--oracle all|roundtrip|translations|engines|session|o5|fastpath]
 //            [--trees K] [--max-nodes K] [--max-ops K] [--no-shrink]
 //            [--corpus DIR]
 //
@@ -10,6 +11,8 @@
 //   O2  translations semantics-preserving on concrete trees  (translations)
 //   O3  sat/containment engines agree, witnesses re-validate (engines)
 //   O4  Session-cached results equal cold results            (session)
+//   O5  PTIME fast paths agree with the full engines and
+//       never misroute                                       (o5 / fastpath)
 //
 // Failures are delta-minimized and printed in the regression-corpus `.case`
 // format, ready to check in under tests/fuzz_corpus/. `--corpus DIR` replays
@@ -36,7 +39,7 @@ namespace {
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
                "usage: xpc_fuzz [--seed N] [--cases M] [--oracle all|roundtrip|translations|"
-               "engines|session]\n"
+               "engines|session|o5|fastpath]\n"
                "                [--trees K] [--max-nodes K] [--max-ops K] [--no-shrink] "
                "[--corpus DIR]\n");
   std::exit(2);
@@ -84,7 +87,9 @@ int main(int argc, char** argv) {
       options.translations = which == "all" || which == "translations";
       options.engines = which == "all" || which == "engines";
       options.session = which == "all" || which == "session";
-      if (!options.roundtrip && !options.translations && !options.engines && !options.session) {
+      options.fastpaths = which == "all" || which == "o5" || which == "fastpath";
+      if (!options.roundtrip && !options.translations && !options.engines && !options.session &&
+          !options.fastpaths) {
         std::fprintf(stderr, "xpc_fuzz: unknown oracle family `%s`\n", which.c_str());
         Usage();
       }
@@ -126,6 +131,7 @@ int main(int argc, char** argv) {
       std::printf("FAIL\n# %s\noracle: %s\nexpr: %s\nseed: %llu\n", f.detail.c_str(),
                   f.oracle.c_str(), f.expr.c_str(),
                   static_cast<unsigned long long>(f.case_seed));
+      if (!f.edtd.empty()) std::printf("edtd: %s\n", f.edtd.c_str());
     }
   }
 

@@ -1,0 +1,788 @@
+#include "xpc/classify/fastpath.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xpc/common/bits.h"
+
+namespace xpc {
+
+namespace {
+
+// ====================== Shape normalization ==============================
+
+// --- Fast path A: downward chains ----------------------------------------
+
+struct ChainStep {
+  bool star = false;                // ↓* (descendant-or-self) vs ↓.
+  std::vector<std::string> labels;  // Required labels at the target node.
+};
+
+struct Chain {
+  std::vector<std::string> top;  // Required labels at the context node.
+  std::vector<ChainStep> steps;
+};
+
+// Collects a label conjunction into `out`; fails on any other operator.
+bool CollectLabels(const NodePtr& phi, std::vector<std::string>* out) {
+  switch (phi->kind) {
+    case NodeKind::kTrue:
+      return true;
+    case NodeKind::kLabel:
+      out->push_back(phi->label);
+      return true;
+    case NodeKind::kAnd:
+      return CollectLabels(phi->child1, out) && CollectLabels(phi->child2, out);
+    default:
+      return false;
+  }
+}
+
+// Appends the steps of `path` to `chain`; qualifier labels attach to the
+// last materialized position (the context node for a leading qualifier).
+bool AppendChainPath(const PathPtr& path, Chain* chain) {
+  switch (path->kind) {
+    case PathKind::kSelf:
+      return true;
+    case PathKind::kSeq:
+      return AppendChainPath(path->left, chain) && AppendChainPath(path->right, chain);
+    case PathKind::kAxis:
+      if (path->axis != Axis::kChild) return false;
+      chain->steps.push_back({false, {}});
+      return true;
+    case PathKind::kAxisStar:
+      if (path->axis != Axis::kChild) return false;
+      chain->steps.push_back({true, {}});
+      return true;
+    case PathKind::kFilter: {
+      if (!AppendChainPath(path->left, chain)) return false;
+      std::vector<std::string>* at =
+          chain->steps.empty() ? &chain->top : &chain->steps.back().labels;
+      return CollectLabels(path->filter, at);
+    }
+    default:
+      return false;
+  }
+}
+
+// φ = label conjunction ∧ at most one ⟨chain⟩.
+std::optional<Chain> ParseChain(const NodePtr& phi) {
+  Chain chain;
+  PathPtr some_path;
+  std::vector<NodePtr> stack = {phi};
+  while (!stack.empty()) {
+    NodePtr n = stack.back();
+    stack.pop_back();
+    switch (n->kind) {
+      case NodeKind::kTrue:
+        break;
+      case NodeKind::kLabel:
+        chain.top.push_back(n->label);
+        break;
+      case NodeKind::kAnd:
+        stack.push_back(n->child1);
+        stack.push_back(n->child2);
+        break;
+      case NodeKind::kSome:
+        if (some_path != nullptr) return std::nullopt;  // Two spines: branching.
+        some_path = n->path;
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  if (some_path != nullptr && !AppendChainPath(some_path, &chain)) return std::nullopt;
+  return chain;
+}
+
+// --- Fast path B: frame trees --------------------------------------------
+
+// One frame per distinct tree node the query demands. The normalization
+// resolves the classic ↑-soundness traps syntactically: walking ↓ then ↑
+// returns to the *same* frame (a structural parent pointer, not a fresh
+// existential), and all ↑-demands from one frame merge level-wise into a
+// single ancestor chain (a node has one parent).
+struct Frame {
+  std::vector<std::string> labels;
+  std::vector<int> kids_child;  // Frames demanded via a ↓ edge.
+  std::vector<int> kids_desc;   // Frames demanded via a ↓* edge (desc-or-self).
+  int parent = -1;              // Structural parent frame, -1 if none known.
+  bool via_desc = false;        // Introduced by ↓*: parent unresolvable.
+};
+
+struct FrameTree {
+  std::vector<Frame> frames;
+  int top = 0;  // Ancestor-most frame with a resolved position.
+};
+
+class FrameBuilder {
+ public:
+  bool Build(const NodePtr& phi, FrameTree* out) {
+    frames_.clear();
+    frames_.push_back(Frame{});
+    top_ = 0;
+    if (!AddNode(0, phi)) return false;
+    out->frames = std::move(frames_);
+    out->top = top_;
+    return true;
+  }
+
+ private:
+  bool AddNode(int f, const NodePtr& phi) {
+    switch (phi->kind) {
+      case NodeKind::kTrue:
+        return true;
+      case NodeKind::kLabel:
+        frames_[f].labels.push_back(phi->label);
+        return true;
+      case NodeKind::kAnd:
+        return AddNode(f, phi->child1) && AddNode(f, phi->child2);
+      case NodeKind::kSome: {
+        int end;
+        return AddPath(f, phi->path, &end);
+      }
+      default:
+        return false;
+    }
+  }
+
+  bool AddPath(int f, const PathPtr& path, int* end) {
+    switch (path->kind) {
+      case PathKind::kSelf:
+        *end = f;
+        return true;
+      case PathKind::kSeq: {
+        int mid;
+        return AddPath(f, path->left, &mid) && AddPath(mid, path->right, end);
+      }
+      case PathKind::kFilter:
+        return AddPath(f, path->left, end) && AddNode(*end, path->filter);
+      case PathKind::kAxis:
+        if (path->axis == Axis::kChild) {
+          int c = NewFrame();
+          frames_[c].parent = f;
+          frames_[f].kids_child.push_back(c);
+          *end = c;
+          return true;
+        }
+        if (path->axis == Axis::kParent) return EnsureParent(f, end);
+        return false;
+      case PathKind::kAxisStar: {
+        if (path->axis != Axis::kChild) return false;
+        int c = NewFrame();
+        frames_[c].via_desc = true;
+        frames_[f].kids_desc.push_back(c);
+        *end = c;
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  bool EnsureParent(int f, int* end) {
+    if (frames_[f].parent >= 0) {
+      *end = frames_[f].parent;
+      return true;
+    }
+    // ↑ at a ↓*-introduced frame: its structural parent is some unnamed
+    // node of the descendant path — out of fragment.
+    if (frames_[f].via_desc) return false;
+    int p = NewFrame();
+    frames_[p].kids_child.push_back(f);
+    frames_[f].parent = p;
+    top_ = p;  // f was the previous top (the only parentless non-desc frame).
+    *end = p;
+    return true;
+  }
+
+  int NewFrame() {
+    frames_.push_back(Frame{});
+    return static_cast<int>(frames_.size()) - 1;
+  }
+
+  std::vector<Frame> frames_;
+  int top_ = 0;
+};
+
+// ====================== Schema analysis ==================================
+
+// The PTIME skeleton both procedures share: realizability of each type
+// (least fixpoint over content automata), the available-child relation
+// avail(t) = {u | some word of L(P(t)) over realizable types contains u},
+// its descendant closure, and reachability from the root type.
+struct SchemaAnalysis {
+  const Edtd* edtd = nullptr;
+  int n = 0;
+  int root = -1;
+  Bits realizable;
+  std::vector<int> realize_round;  // Fixpoint round a type became realizable.
+  Bits reachable;                  // Realizable ∧ reachable from the root.
+  std::vector<int> reach_parent;   // BFS tree over avail edges, for witnesses.
+  std::vector<Bits> avail;
+  std::vector<Bits> down;  // Strict-descendant closure of avail.
+  int64_t explored = 0;
+
+  const std::string& Mu(int t) const { return edtd->types()[t].concrete_label; }
+};
+
+// States of `nfa` reachable from the initial set reading symbols in
+// `alphabet` (ε-closed throughout).
+Bits ReachedStates(const Nfa& nfa, const Bits& alphabet) {
+  Bits reached = nfa.InitialSet();
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    alphabet.ForEach([&](int s) { grew = reached.UnionWith(nfa.Step(reached, s)) || grew; });
+  }
+  return reached;
+}
+
+SchemaAnalysis AnalyzeSchema(const Edtd& edtd) {
+  SchemaAnalysis a;
+  a.edtd = &edtd;
+  a.n = static_cast<int>(edtd.types().size());
+  a.root = edtd.TypeIndex(edtd.root_type());
+  a.realizable = Bits(a.n);
+  a.realize_round.assign(a.n, -1);
+
+  // Realizability fixpoint. Rounds are strict: a type realized in round k
+  // accepts a word over types realized in rounds < k, which is what lets
+  // the witness builder terminate on recursive schemas.
+  int round = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    Bits snapshot = a.realizable;
+    std::vector<int> fresh;
+    for (int t = 0; t < a.n; ++t) {
+      if (a.realizable.Get(t)) continue;
+      const Nfa& nfa = edtd.ContentNfa(t);
+      a.explored += nfa.num_states();
+      if (nfa.AnyAccepting(ReachedStates(nfa, snapshot))) fresh.push_back(t);
+    }
+    for (int t : fresh) {
+      a.realizable.Set(t);
+      a.realize_round[t] = round;
+      changed = true;
+    }
+    ++round;
+  }
+
+  // avail(t): forward-reachable × backward-coreachable transition sweep.
+  a.avail.assign(a.n, Bits(a.n));
+  for (int t = 0; t < a.n; ++t) {
+    if (!a.realizable.Get(t)) continue;
+    const Nfa& nfa = edtd.ContentNfa(t);
+    Bits forward = ReachedStates(nfa, a.realizable);
+    Bits backward(nfa.num_states());
+    for (int q : nfa.accepting()) backward.Set(q);
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const Nfa::Transition& tr : nfa.transitions()) {
+        bool usable = tr.symbol == Nfa::kEpsilon || a.realizable.Get(tr.symbol);
+        if (usable && backward.Get(tr.to) && !backward.Get(tr.from)) {
+          backward.Set(tr.from);
+          grew = true;
+        }
+      }
+    }
+    for (const Nfa::Transition& tr : nfa.transitions()) {
+      if (tr.symbol == Nfa::kEpsilon || !a.realizable.Get(tr.symbol)) continue;
+      if (forward.Get(tr.from) && backward.Get(tr.to)) a.avail[t].Set(tr.symbol);
+    }
+    a.explored += static_cast<int64_t>(nfa.transitions().size());
+  }
+
+  // Reachability from the root over avail edges, with BFS parents.
+  a.reachable = Bits(a.n);
+  a.reach_parent.assign(a.n, -1);
+  if (a.root >= 0 && a.realizable.Get(a.root)) {
+    std::deque<int> queue = {a.root};
+    a.reachable.Set(a.root);
+    while (!queue.empty()) {
+      int t = queue.front();
+      queue.pop_front();
+      a.avail[t].ForEach([&](int u) {
+        if (!a.reachable.Get(u)) {
+          a.reachable.Set(u);
+          a.reach_parent[u] = t;
+          queue.push_back(u);
+        }
+      });
+    }
+  }
+
+  // Strict-descendant closure: down(t) = ⋃_{u ∈ avail(t)} {u} ∪ down(u).
+  a.down = a.avail;
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (int t = 0; t < a.n; ++t) {
+      Bits add(a.n);
+      a.down[t].ForEach([&](int u) { add.UnionWith(a.down[u]); });
+      changed = a.down[t].UnionWith(add) || changed;
+    }
+  }
+  return a;
+}
+
+// ====================== Word search helpers ==============================
+
+// Some word of L(nfa) over `alphabet` containing symbol `must` (pass -1
+// for no containment requirement). Plain BFS over (state, seen) pairs with
+// parent pointers; content NFAs are small, so O(states · transitions) is
+// fine. Returns (found, word).
+std::pair<bool, std::vector<int>> FindWord(const Nfa& nfa, const Bits& alphabet, int must) {
+  const int n = nfa.num_states();
+  auto id = [](int q, int seen) { return q * 2 + seen; };
+  std::vector<int> prev(2 * n, -2), prev_sym(2 * n, -2);
+  std::deque<int> queue;
+  const int seen0 = must < 0 ? 1 : 0;
+  nfa.InitialSet().ForEach([&](int q) {
+    if (prev[id(q, seen0)] == -2) {
+      prev[id(q, seen0)] = -1;
+      queue.push_back(id(q, seen0));
+    }
+  });
+  int goal = -1;
+  Bits accepting(n);
+  for (int q : nfa.accepting()) accepting.Set(q);
+  while (!queue.empty() && goal < 0) {
+    int cur = queue.front();
+    queue.pop_front();
+    int q = cur / 2, seen = cur & 1;
+    if (seen == 1 && accepting.Get(q)) {
+      goal = cur;
+      break;
+    }
+    for (const Nfa::Transition& tr : nfa.transitions()) {
+      if (tr.from != q) continue;
+      int next_seen = seen;
+      if (tr.symbol != Nfa::kEpsilon) {
+        if (!alphabet.Get(tr.symbol)) continue;
+        if (tr.symbol == must) next_seen = 1;
+      }
+      int nid = id(tr.to, next_seen);
+      if (prev[nid] == -2) {
+        prev[nid] = cur;
+        prev_sym[nid] = tr.symbol;
+        queue.push_back(nid);
+      }
+    }
+  }
+  if (goal < 0) return {false, {}};
+  std::vector<int> word;
+  for (int cur = goal; prev[cur] != -1; cur = prev[cur]) {
+    if (prev_sym[cur] != Nfa::kEpsilon) word.push_back(prev_sym[cur]);
+  }
+  std::reverse(word.begin(), word.end());
+  return {true, word};
+}
+
+// A word of L(r) (over realizable types) containing every type available
+// under r — the "pump every star once" word. For disjunction-free content
+// models such a ⊆-maximal word exists; kUnion only appears here if the
+// route gate is bypassed, in which case we pick the first feasible branch.
+std::pair<bool, std::vector<int>> PumpOnce(const RegexPtr& r, const SchemaAnalysis& a) {
+  switch (r->kind) {
+    case Regex::Kind::kEpsilon:
+      return {true, {}};
+    case Regex::Kind::kEmpty:
+      return {false, {}};
+    case Regex::Kind::kSymbol: {
+      int t = a.edtd->TypeIndex(r->symbol);
+      if (t < 0 || !a.realizable.Get(t)) return {false, {}};
+      return {true, {t}};
+    }
+    case Regex::Kind::kConcat: {
+      auto left = PumpOnce(r->left, a);
+      auto right = PumpOnce(r->right, a);
+      if (!left.first || !right.first) return {false, {}};
+      left.second.insert(left.second.end(), right.second.begin(), right.second.end());
+      return left;
+    }
+    case Regex::Kind::kStar: {
+      auto inner = PumpOnce(r->left, a);
+      if (!inner.first) return {true, {}};  // Pump zero times.
+      return inner;
+    }
+    case Regex::Kind::kUnion: {
+      auto left = PumpOnce(r->left, a);
+      return left.first ? left : PumpOnce(r->right, a);
+    }
+  }
+  return {false, {}};
+}
+
+// Shortest avail-edge path `from → … → to` (exclusive of `from`, inclusive
+// of `to`; empty when from == to). Exists whenever to ∈ down(from).
+std::vector<int> AvailPath(const SchemaAnalysis& a, int from, int to) {
+  if (from == to) return {};
+  std::vector<int> parent(a.n, -2);
+  std::deque<int> queue = {from};
+  parent[from] = -1;
+  while (!queue.empty()) {
+    int t = queue.front();
+    queue.pop_front();
+    bool done = false;
+    a.avail[t].ForEach([&](int u) {
+      if (done || parent[u] != -2) return;
+      parent[u] = t;
+      if (u == to) {
+        done = true;
+        return;
+      }
+      queue.push_back(u);
+    });
+    if (done) break;
+  }
+  std::vector<int> path;
+  for (int t = to; t != from; t = parent[t]) path.push_back(t);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+// The avail-edge chain from the root type to `t` (inclusive of both).
+std::vector<int> RootChain(const SchemaAnalysis& a, int t) {
+  std::vector<int> chain;
+  for (int cur = t; cur != -1; cur = cur == a.root ? -1 : a.reach_parent[cur]) {
+    chain.push_back(cur);
+    if (cur == a.root) break;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+// ====================== Witness construction =============================
+
+// Appends a minimal conforming expansion below `node` of type `t`: the
+// children are a word over strictly-lower realizability rounds, so the
+// recursion terminates on arbitrarily recursive schemas.
+void FillBelow(XmlTree* tree, NodeId node, int t, const SchemaAnalysis& a) {
+  Bits lower(a.n);
+  for (int u = 0; u < a.n; ++u) {
+    if (a.realize_round[u] >= 0 && a.realize_round[u] < a.realize_round[t]) lower.Set(u);
+  }
+  auto [ok, word] = FindWord(a.edtd->ContentNfa(t), lower, -1);
+  if (!ok) return;  // Unreachable by the fixpoint's round invariant.
+  for (int u : word) FillBelow(tree, tree->AddChild(node, a.Mu(u)), u, a);
+}
+
+// Adds one avail edge below `node` (type `from`): children are a word of
+// L(P(from)) containing `to`; the first `to`-position is returned *empty*
+// (the caller populates it), every other child is filled minimally.
+NodeId DescendEdge(XmlTree* tree, NodeId node, int from, int to, const SchemaAnalysis& a) {
+  auto [ok, word] = FindWord(a.edtd->ContentNfa(from), a.realizable, to);
+  if (!ok) return kNoNode;  // Unreachable: to ∈ avail(from) by construction.
+  NodeId next = kNoNode;
+  for (int u : word) {
+    NodeId c = tree->AddChild(node, a.Mu(u));
+    if (u == to && next == kNoNode) {
+      next = c;
+    } else {
+      FillBelow(tree, c, u, a);
+    }
+  }
+  return next;
+}
+
+// ====================== Fast path A ======================================
+
+int DistinctCount(std::vector<std::string> labels) {
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  return static_cast<int>(labels.size());
+}
+
+SatResult ChainSatFree(const Chain& chain) {
+  SatResult r;
+  r.engine = "fastpath-chain";
+  r.explored_states = static_cast<int64_t>(chain.steps.size()) + 1;
+  // Conforming trees of the free schema are single-labeled, so a chain is
+  // satisfiable iff no position demands two distinct labels.
+  if (DistinctCount(chain.top) > 1) {
+    r.status = SolveStatus::kUnsat;
+    return r;
+  }
+  for (const ChainStep& step : chain.steps) {
+    if (DistinctCount(step.labels) > 1) {
+      r.status = SolveStatus::kUnsat;
+      return r;
+    }
+  }
+  r.status = SolveStatus::kSat;
+  XmlTree tree(chain.top.empty() ? "a" : chain.top[0]);
+  NodeId node = tree.root();
+  for (const ChainStep& step : chain.steps) {
+    if (step.star && step.labels.empty()) continue;  // ↓* matched as self.
+    node = tree.AddChild(node, step.labels.empty() ? "a" : step.labels[0]);
+  }
+  r.witness = std::move(tree);
+  return r;
+}
+
+SatResult ChainSatEdtd(const Chain& chain, const Edtd& edtd) {
+  SatResult r;
+  r.engine = "fastpath-chain+edtd";
+  SchemaAnalysis a = AnalyzeSchema(edtd);
+  r.explored_states = a.explored;
+  if (a.root < 0 || !a.realizable.Get(a.root)) {
+    r.status = SolveStatus::kUnsat;  // No conforming tree at all.
+    return r;
+  }
+
+  auto mask_for = [&](const std::vector<std::string>& labels) {
+    Bits m(a.n);
+    for (int t = 0; t < a.n; ++t) {
+      bool ok = true;
+      for (const std::string& l : labels) ok = ok && a.Mu(t) == l;
+      if (ok) m.Set(t);
+    }
+    return m;
+  };
+
+  // Propagate the set of schema types reachable at each chain position.
+  std::vector<Bits> layers;
+  Bits s = a.reachable;
+  s.IntersectWith(mask_for(chain.top));
+  layers.push_back(s);
+  for (const ChainStep& step : chain.steps) {
+    Bits next(a.n);
+    if (step.star) next = s;  // Desc-or-self includes staying put.
+    s.ForEach([&](int t) { next.UnionWith(step.star ? a.down[t] : a.avail[t]); });
+    next.IntersectWith(mask_for(step.labels));
+    layers.push_back(next);
+    s = next;
+    r.explored_states += s.Count();
+  }
+  if (layers.back().None() || layers.front().None()) {
+    r.status = SolveStatus::kUnsat;
+    return r;
+  }
+  r.status = SolveStatus::kSat;
+
+  // Witness: choose one type per position back to front, expand ↓* hops
+  // into explicit avail chains, prepend the root chain, materialize.
+  const int k = static_cast<int>(layers.size()) - 1;
+  std::vector<int> pos(layers.size(), -1);
+  layers[k].ForEach([&](int t) {
+    if (pos[k] < 0) pos[k] = t;
+  });
+  for (int i = k; i > 0; --i) {
+    const ChainStep& step = chain.steps[i - 1];
+    layers[i - 1].ForEach([&](int t) {
+      if (pos[i - 1] >= 0) return;
+      bool edge = step.star ? (t == pos[i] || a.down[t].Get(pos[i])) : a.avail[t].Get(pos[i]);
+      if (edge) pos[i - 1] = t;
+    });
+  }
+  std::vector<int> spine = RootChain(a, pos[0]);
+  for (int i = 1; i <= k; ++i) {
+    if (chain.steps[i - 1].star) {
+      for (int t : AvailPath(a, pos[i - 1], pos[i])) spine.push_back(t);
+    } else {
+      spine.push_back(pos[i]);
+    }
+  }
+  XmlTree tree(a.Mu(spine[0]));
+  NodeId node = tree.root();
+  for (size_t i = 0; i + 1 < spine.size(); ++i) {
+    node = DescendEdge(&tree, node, spine[i], spine[i + 1], a);
+  }
+  FillBelow(&tree, node, spine.back(), a);
+  r.witness = std::move(tree);
+  return r;
+}
+
+// ====================== Fast path B ======================================
+
+SatResult VerticalSatFree(const FrameTree& ft) {
+  SatResult r;
+  r.engine = "fastpath-vertical";
+  r.explored_states = static_cast<int64_t>(ft.frames.size());
+  for (const Frame& f : ft.frames) {
+    if (DistinctCount(f.labels) > 1) {
+      r.status = SolveStatus::kUnsat;
+      return r;
+    }
+  }
+  // Positive vertical demands over the free schema: materialize the frame
+  // tree literally (↓*-demands as plain children — a child is a strict
+  // descendant).
+  r.status = SolveStatus::kSat;
+  auto label_of = [&](int f) {
+    return ft.frames[f].labels.empty() ? std::string("a") : ft.frames[f].labels[0];
+  };
+  XmlTree tree(label_of(ft.top));
+  std::function<void(int, NodeId)> emit = [&](int f, NodeId node) {
+    for (int c : ft.frames[f].kids_child) emit(c, tree.AddChild(node, label_of(c)));
+    for (int d : ft.frames[f].kids_desc) emit(d, tree.AddChild(node, label_of(d)));
+  };
+  emit(ft.top, tree.root());
+  r.witness = std::move(tree);
+  return r;
+}
+
+SatResult VerticalSatEdtd(const FrameTree& ft, const Edtd& edtd) {
+  SatResult r;
+  r.engine = "fastpath-vertical+edtd";
+  SchemaAnalysis a = AnalyzeSchema(edtd);
+  r.explored_states = a.explored;
+  if (a.root < 0 || !a.realizable.Get(a.root)) {
+    r.status = SolveStatus::kUnsat;
+    return r;
+  }
+
+  // Bottom-up typability: frame f fits type t iff the labels match μ(t),
+  // every ↓-kid fits some available child type, and every ↓*-kid fits here
+  // or at some type available strictly below. Joint demands reduce to
+  // individual availability because the content models on this route are
+  // disjunction-free (a single word realizes all available types at once).
+  const int nf = static_cast<int>(ft.frames.size());
+  std::vector<std::vector<char>> memo(nf, std::vector<char>(a.n, 0));
+  std::function<bool(int, int)> typable = [&](int f, int t) -> bool {
+    char& m = memo[f][t];
+    if (m != 0) return m == 1;
+    ++r.explored_states;
+    bool ok = a.realizable.Get(t);
+    for (const std::string& l : ft.frames[f].labels) ok = ok && a.Mu(t) == l;
+    for (int c : ft.frames[f].kids_child) {
+      if (!ok) break;
+      bool found = false;
+      a.avail[t].ForEach([&](int u) { found = found || typable(c, u); });
+      ok = found;
+    }
+    for (int d : ft.frames[f].kids_desc) {
+      if (!ok) break;
+      bool found = typable(d, t);
+      if (!found) a.down[t].ForEach([&](int u) { found = found || typable(d, u); });
+      ok = found;
+    }
+    m = ok ? 1 : 2;
+    return ok;
+  };
+
+  int chosen = -1;
+  a.reachable.ForEach([&](int t) {
+    if (chosen < 0 && typable(ft.top, t)) chosen = t;
+  });
+  if (chosen < 0) {
+    r.status = SolveStatus::kUnsat;
+    return r;
+  }
+  r.status = SolveStatus::kSat;
+
+  // Witness: place the top frame at `chosen` below a root chain, then
+  // recursively realize demands. Same-typed sibling demands merge onto one
+  // child (conjunctive frames compose); ↓*-demands co-locate when typable
+  // here, otherwise descend along a shortest avail chain.
+  struct ChainDemand {
+    std::vector<int> path;  // Remaining types strictly below, ending at host.
+    int frame;
+  };
+  XmlTree tree(a.Mu(a.root));
+  std::function<void(NodeId, int, std::vector<int>, std::vector<ChainDemand>)> build =
+      [&](NodeId node, int t, std::vector<int> here, std::vector<ChainDemand> chains) {
+        struct Demand {
+          std::vector<int> frames;
+          std::vector<ChainDemand> chains;
+        };
+        std::map<int, Demand> child_demands;
+        for (ChainDemand& ch : chains) {
+          if (ch.path.empty()) {
+            here.push_back(ch.frame);
+          } else {
+            int u = ch.path.front();
+            ch.path.erase(ch.path.begin());
+            child_demands[u].chains.push_back(std::move(ch));
+          }
+        }
+        for (size_t i = 0; i < here.size(); ++i) {
+          const Frame& fr = ft.frames[here[i]];
+          for (int c : fr.kids_child) {
+            int u = -1;
+            a.avail[t].ForEach([&](int v) {
+              if (u < 0 && typable(c, v)) u = v;
+            });
+            child_demands[u].frames.push_back(c);
+          }
+          for (int d : fr.kids_desc) {
+            if (typable(d, t)) {
+              here.push_back(d);  // Desc-or-self satisfied at this node.
+              continue;
+            }
+            int u = -1;
+            a.down[t].ForEach([&](int v) {
+              if (u < 0 && typable(d, v)) u = v;
+            });
+            std::vector<int> path = AvailPath(a, t, u);
+            int first = path.front();
+            path.erase(path.begin());
+            child_demands[first].chains.push_back({std::move(path), d});
+          }
+        }
+        auto [ok, word] = PumpOnce(edtd.types()[t].content, a);
+        if (!ok) return;  // Unreachable: t is realizable.
+        std::set<int> used;
+        for (int u : word) {
+          NodeId c = tree.AddChild(node, a.Mu(u));
+          auto it = child_demands.find(u);
+          if (it != child_demands.end() && used.insert(u).second) {
+            build(c, u, std::move(it->second.frames), std::move(it->second.chains));
+          } else {
+            FillBelow(&tree, c, u, a);
+          }
+        }
+      };
+
+  std::vector<int> spine = RootChain(a, chosen);
+  NodeId node = tree.root();
+  for (size_t i = 0; i + 1 < spine.size(); ++i) {
+    node = DescendEdge(&tree, node, spine[i], spine[i + 1], a);
+  }
+  build(node, chosen, {ft.top}, {});
+  r.witness = std::move(tree);
+  return r;
+}
+
+}  // namespace
+
+// ====================== Public interface =================================
+
+bool InDownwardChainFragment(const NodePtr& phi) { return ParseChain(phi).has_value(); }
+
+bool InVerticalConjunctiveFragment(const NodePtr& phi) {
+  FrameTree ft;
+  return FrameBuilder().Build(phi, &ft);
+}
+
+SatResult DownwardChainSatisfiable(const NodePtr& phi, const Edtd* edtd) {
+  std::optional<Chain> chain = ParseChain(phi);
+  if (!chain.has_value()) {
+    SatResult r;
+    r.engine = "fastpath-chain:out-of-fragment";
+    return r;  // kResourceLimit: caller bypassed the classifier gate.
+  }
+  return edtd != nullptr ? ChainSatEdtd(*chain, *edtd) : ChainSatFree(*chain);
+}
+
+SatResult VerticalConjunctiveSatisfiable(const NodePtr& phi, const Edtd* edtd) {
+  FrameTree ft;
+  if (!FrameBuilder().Build(phi, &ft)) {
+    SatResult r;
+    r.engine = "fastpath-vertical:out-of-fragment";
+    return r;  // kResourceLimit: caller bypassed the classifier gate.
+  }
+  return edtd != nullptr ? VerticalSatEdtd(ft, *edtd) : VerticalSatFree(ft);
+}
+
+}  // namespace xpc

@@ -1,0 +1,51 @@
+#ifndef XPC_CLASSIFY_FASTPATH_H_
+#define XPC_CLASSIFY_FASTPATH_H_
+
+#include "xpc/classify/profile.h"
+#include "xpc/edtd/edtd.h"
+#include "xpc/sat/engine.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+// Two PTIME satisfiability procedures for the tractable fragments the
+// classifier recognizes (see DESIGN.md §2.7). Both are *complete* on their
+// fragments — they always answer kSat or kUnsat, never kResourceLimit —
+// and both attach a witness tree on kSat (conforming when a schema is
+// given), so the solver's witness verification applies unchanged.
+
+/// Exact membership test for fast-path A's fragment: φ is a conjunction of
+/// label tests and at most one ⟨α⟩ where α is a sequence of ↓ / ↓* / self
+/// steps whose qualifiers are label conjunctions. One AST walk.
+bool InDownwardChainFragment(const NodePtr& phi);
+
+/// Exact membership test for fast-path B's fragment: φ is built from
+/// labels, ⊤, ∧ and ⟨α⟩ where α uses only ↓, ↑, ↓*, self, /, and
+/// qualifiers recursively in the fragment — with the restriction that no ↑
+/// is applied at a node introduced by a ↓* step (its structural parent is
+/// not determined by the walk). One AST walk.
+bool InVerticalConjunctiveFragment(const NodePtr& phi);
+
+/// Fast path A — linear-time emptiness for downward chain queries, by
+/// direct product of the chain with the schema's content automata:
+/// propagate the set of types reachable at each chain position (child
+/// steps go through the "available child" relation, ↓* through its
+/// closure). Schema-free queries use the free single-labeled schema, where
+/// the check degenerates to per-step label consistency. Works for ANY
+/// schema because a chain places at most one demand per node.
+SatResult DownwardChainSatisfiable(const NodePtr& phi, const Edtd* edtd);
+
+/// Fast path B — polynomial satisfiability for parent-axis / qualifier
+/// queries under duplicate-free, disjunction-free schemas. Normalizes φ to
+/// a frame tree (one frame per distinct node the query demands; ↑ after ↓
+/// returns to the same frame, sibling ↑-demands merge level-wise), then
+/// decides typability bottom-up: a frame fits type t iff its labels match
+/// μ(t) and each demanded child fits some available child type of t. Joint
+/// child demands are satisfiable iff each is individually available — the
+/// defining property of disjunction-free content models, whose words have
+/// a unique maximal symbol set.
+SatResult VerticalConjunctiveSatisfiable(const NodePtr& phi, const Edtd* edtd);
+
+}  // namespace xpc
+
+#endif  // XPC_CLASSIFY_FASTPATH_H_

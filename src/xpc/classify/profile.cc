@@ -1,0 +1,184 @@
+#include "xpc/classify/profile.h"
+
+#include <sstream>
+
+#include "xpc/classify/fastpath.h"
+#include "xpc/xpath/build.h"
+
+namespace xpc {
+
+namespace {
+
+struct ProfileWalk {
+  FragmentProfile* p;
+
+  void MarkAxis(Axis axis) {
+    switch (axis) {
+      case Axis::kChild: p->fragment.uses_child = true; break;
+      case Axis::kParent: p->fragment.uses_parent = true; break;
+      case Axis::kRight: p->fragment.uses_right = true; break;
+      case Axis::kLeft: p->fragment.uses_left = true; break;
+    }
+  }
+
+  void Visit(const NodePtr& node, int qualifier_depth) {
+    ++p->ops;
+    switch (node->kind) {
+      case NodeKind::kLabel:
+      case NodeKind::kTrue:
+        break;
+      case NodeKind::kIsVar:
+        p->uses_variables = true;
+        break;
+      case NodeKind::kSome:
+        Visit(node->path, qualifier_depth);
+        break;
+      case NodeKind::kNot:
+        p->uses_negation = true;
+        Visit(node->child1, qualifier_depth);
+        break;
+      case NodeKind::kOr:
+        p->uses_disjunction = true;
+        [[fallthrough]];
+      case NodeKind::kAnd:
+        Visit(node->child1, qualifier_depth);
+        Visit(node->child2, qualifier_depth);
+        break;
+      case NodeKind::kPathEq:
+        p->fragment.uses_path_eq = true;
+        Visit(node->path, qualifier_depth);
+        Visit(node->path2, qualifier_depth);
+        break;
+    }
+  }
+
+  void Visit(const PathPtr& path, int qualifier_depth) {
+    ++p->ops;
+    switch (path->kind) {
+      case PathKind::kAxis:
+      case PathKind::kAxisStar:
+        MarkAxis(path->axis);
+        break;
+      case PathKind::kSelf:
+        break;
+      case PathKind::kUnion:
+        p->uses_disjunction = true;
+        [[fallthrough]];
+      case PathKind::kSeq:
+        Visit(path->left, qualifier_depth);
+        Visit(path->right, qualifier_depth);
+        break;
+      case PathKind::kFilter:
+        p->uses_qualifier = true;
+        if (qualifier_depth + 1 > p->qualifier_depth) {
+          p->qualifier_depth = qualifier_depth + 1;
+        }
+        Visit(path->left, qualifier_depth);
+        Visit(path->filter, qualifier_depth + 1);
+        break;
+      case PathKind::kStar:
+        p->fragment.uses_star = true;
+        Visit(path->left, qualifier_depth);
+        break;
+      case PathKind::kIntersect:
+        p->fragment.uses_intersect = true;
+        Visit(path->left, qualifier_depth);
+        Visit(path->right, qualifier_depth);
+        break;
+      case PathKind::kComplement:
+        p->fragment.uses_complement = true;
+        Visit(path->left, qualifier_depth);
+        Visit(path->right, qualifier_depth);
+        break;
+      case PathKind::kFor:
+        p->fragment.uses_for = true;
+        p->uses_variables = true;
+        Visit(path->left, qualifier_depth);
+        Visit(path->right, qualifier_depth);
+        break;
+    }
+  }
+};
+
+/// The fast-path shape gates only apply to positive, union-free vertical
+/// queries; skip the (linear but avoidable) second walk otherwise.
+bool FastPathPlausible(const FragmentProfile& p) {
+  return !p.uses_disjunction && !p.uses_negation && !p.uses_variables &&
+         !p.fragment.uses_path_eq && !p.fragment.uses_intersect &&
+         !p.fragment.uses_complement && !p.fragment.uses_for &&
+         !p.fragment.uses_star && p.fragment.IsVertical();
+}
+
+}  // namespace
+
+FragmentProfile ClassifyNode(const NodePtr& phi) {
+  FragmentProfile p;
+  ProfileWalk{&p}.Visit(phi, 0);
+  if (FastPathPlausible(p)) {
+    p.downward_chain = p.fragment.IsDownward() && InDownwardChainFragment(phi);
+    p.vertical_conjunctive = InVerticalConjunctiveFragment(phi);
+  }
+  return p;
+}
+
+FragmentProfile ClassifyPath(const PathPtr& alpha) {
+  // Path satisfiability is ⟨α⟩-satisfiability; profile the same form the
+  // solver dispatches (reduction/reductions.h PathSatToNodeSat).
+  return ClassifyNode(Some(alpha));
+}
+
+std::string FragmentProfile::Summary() const {
+  std::ostringstream os;
+  os << fragment.Name();
+  std::string tags;
+  auto add = [&tags](const std::string& s) {
+    if (!tags.empty()) tags += ", ";
+    tags += s;
+  };
+  if (downward_chain) add("chain");
+  if (vertical_conjunctive) add("vertical");
+  if (uses_disjunction) add("or");
+  if (uses_negation) add("not");
+  if (uses_variables) add("vars");
+  if (uses_qualifier) add("q=" + std::to_string(qualifier_depth));
+  if (!tags.empty()) os << " [" << tags << "]";
+  return os.str();
+}
+
+SchemaClass ClassifySchema(const Edtd& edtd) {
+  SchemaClass c;
+  c.duplicate_free = edtd.HasDuplicateFreeContent();
+  c.disjunction_free = edtd.HasDisjunctionFreeContent();
+  c.covering = edtd.IsCovering();
+  c.num_types = static_cast<int>(edtd.types().size());
+  return c;
+}
+
+std::string SchemaClass::Summary() const {
+  std::ostringstream os;
+  os << num_types << " types";
+  if (duplicate_free) os << ", duplicate-free";
+  if (disjunction_free) os << ", disjunction-free";
+  if (covering) os << ", covering";
+  return os.str();
+}
+
+const char* FastPathRouteName(FastPathRoute route) {
+  switch (route) {
+    case FastPathRoute::kNone: return "none";
+    case FastPathRoute::kDownwardChain: return "downward-chain";
+    case FastPathRoute::kVerticalConjunctive: return "vertical-conjunctive";
+  }
+  return "?";
+}
+
+FastPathRoute SelectFastPath(const FragmentProfile& profile, const SchemaClass* schema) {
+  if (profile.downward_chain) return FastPathRoute::kDownwardChain;
+  if (profile.vertical_conjunctive &&
+      (schema == nullptr || (schema->duplicate_free && schema->disjunction_free))) {
+    return FastPathRoute::kVerticalConjunctive;
+  }
+  return FastPathRoute::kNone;
+}
+
+}  // namespace xpc

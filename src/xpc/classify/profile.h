@@ -1,0 +1,77 @@
+#ifndef XPC_CLASSIFY_PROFILE_H_
+#define XPC_CLASSIFY_PROFILE_H_
+
+#include <string>
+
+#include "xpc/edtd/edtd.h"
+#include "xpc/xpath/ast.h"
+#include "xpc/xpath/fragment.h"
+
+namespace xpc {
+
+/// The classifier's view of a query: the Table I lattice coordinates plus
+/// the finer-grained features that decide PTIME membership in the related
+/// work (Ishihara et al., Neven–Schwentick) — disjunction, negation,
+/// qualifier nesting, variables — and the two concrete tractable shapes the
+/// solver can fast-path (see classify/fastpath.h).
+struct FragmentProfile {
+  /// Axes + extension operators (shared with the engine dispatch).
+  Fragment fragment;
+
+  bool uses_disjunction = false;  ///< φ ∨ ψ or α ∪ β anywhere.
+  bool uses_negation = false;     ///< ¬φ anywhere (includes ⊥ = ¬⊤).
+  bool uses_qualifier = false;    ///< α[φ] anywhere.
+  bool uses_variables = false;    ///< for-loops or ". is $x" tests.
+  int qualifier_depth = 0;        ///< Max nesting depth of [ ] qualifiers.
+  int ops = 0;                    ///< AST operator count (size measure).
+
+  /// The query normalizes to a single downward spine of ↓ / ↓* steps with
+  /// label-conjunction tests — fast-path A territory (any schema).
+  bool downward_chain = false;
+
+  /// The query is a positive ∧ / ⟨⟩ combination of ↓, ↑ steps and label
+  /// tests — fast-path B territory (duplicate- and disjunction-free
+  /// schemas, or schema-free queries).
+  bool vertical_conjunctive = false;
+
+  /// Human-readable one-liner, e.g. "CoreXPath_{v} [chain, vertical, q=1]".
+  std::string Summary() const;
+};
+
+/// Profiles a node / path expression in one AST walk (plus the fast-path
+/// shape gates, which bail out on the first out-of-fragment operator).
+FragmentProfile ClassifyNode(const NodePtr& phi);
+FragmentProfile ClassifyPath(const PathPtr& alpha);
+
+/// The classifier's view of a schema: the content-model classes under
+/// which satisfiability is tractable. All predicates are cached on the
+/// `Edtd`, so per-dispatch classification is cheap after the first query.
+struct SchemaClass {
+  bool duplicate_free = false;    ///< Each symbol at most once per model.
+  bool disjunction_free = false;  ///< No `|` / `?` in any content model.
+  bool covering = false;          ///< All types realizable and reachable.
+  int num_types = 0;
+
+  std::string Summary() const;
+};
+
+SchemaClass ClassifySchema(const Edtd& edtd);
+
+/// Which PTIME procedure (if any) the dispatcher should route to.
+enum class FastPathRoute {
+  kNone,                 ///< Out of fragment — fall through to full engines.
+  kDownwardChain,        ///< Linear emptiness via content-automata product.
+  kVerticalConjunctive,  ///< Polynomial frame-tree typability check.
+};
+
+const char* FastPathRouteName(FastPathRoute route);
+
+/// Route selection: downward chains win whenever applicable (they are the
+/// cheaper procedure and need no schema preconditions); the vertical
+/// procedure requires a duplicate-free and disjunction-free schema (or no
+/// schema at all). `schema` may be null for schema-free queries.
+FastPathRoute SelectFastPath(const FragmentProfile& profile, const SchemaClass* schema);
+
+}  // namespace xpc
+
+#endif  // XPC_CLASSIFY_PROFILE_H_

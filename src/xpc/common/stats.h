@@ -71,6 +71,10 @@ namespace xpc {
   /* solver facade */                                                         \
   X(kSolverSolve, "solver.solve", kTimer)                                     \
   X(kSolverVerifyWitness, "solver.verify_witness", kTimer)                    \
+  /* fragment classifier + PTIME fast paths (dispatch front end) */           \
+  X(kClassifyFastpathHits, "classify.fastpath_hits", kCounter)                \
+  X(kClassifyFastpathFallbacks, "classify.fastpath_fallbacks", kCounter)      \
+  X(kClassifyProfile, "classify.profile_time", kTimer)                        \
   /* session caches (unified view of SessionStats) */                         \
   X(kSessionContainmentHits, "session.containment.hits", kCounter)            \
   X(kSessionContainmentMisses, "session.containment.misses", kCounter)        \

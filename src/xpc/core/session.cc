@@ -67,6 +67,7 @@ uint64_t FingerprintOptions(const SolverOptions& options) {
   h = FpCombine(h, options.bounded.seed);
   h = FpCombine(h, options.verify_witnesses ? 1 : 2);
   h = FpCombine(h, options.prefer_downward_engine ? 1 : 2);
+  h = FpCombine(h, options.fast_paths ? 1 : 2);
   return h;
 }
 

@@ -1,5 +1,7 @@
 #include "xpc/core/solver.h"
 
+#include "xpc/classify/fastpath.h"
+#include "xpc/classify/profile.h"
 #include "xpc/edtd/conformance.h"
 #include "xpc/edtd/encode.h"
 #include "xpc/eval/evaluator.h"
@@ -46,7 +48,37 @@ SatResult Solver::Dispatch(const NodePtr& phi, const Edtd* edtd) {
 }
 
 SatResult Solver::DispatchImpl(const NodePtr& phi, const Edtd* edtd) {
-  Fragment f = DetectFragment(phi);
+  Fragment f;
+  if (options_.fast_paths) {
+    // Classifier front end: route tractable shapes to the PTIME procedures
+    // (complete on their fragments — they never fall through), count the
+    // rest as fallbacks to the full engines below.
+    FastPathRoute route;
+    {
+      StatsTimer timer(Metric::kClassifyProfile);
+      FragmentProfile profile = ClassifyNode(phi);
+      f = profile.fragment;
+      if (edtd != nullptr) {
+        SchemaClass schema = ClassifySchema(*edtd);
+        route = SelectFastPath(profile, &schema);
+      } else {
+        route = SelectFastPath(profile, nullptr);
+      }
+    }
+    switch (route) {
+      case FastPathRoute::kDownwardChain:
+        StatsAdd(Metric::kClassifyFastpathHits);
+        return DownwardChainSatisfiable(phi, edtd);
+      case FastPathRoute::kVerticalConjunctive:
+        StatsAdd(Metric::kClassifyFastpathHits);
+        return VerticalConjunctiveSatisfiable(phi, edtd);
+      case FastPathRoute::kNone:
+        StatsAdd(Metric::kClassifyFastpathFallbacks);
+        break;
+    }
+  } else {
+    f = DetectFragment(phi);
+  }
 
   // Fragments with path complementation or iteration: no elementary
   // decision procedure exists (Theorems 30, 31); bounded search only.

@@ -49,6 +49,11 @@ struct SolverOptions {
   /// Prefer the EXPSPACE downward engine for CoreXPath↓(∩) inputs (it is
   /// usually faster than the 2-EXPTIME product pipeline there).
   bool prefer_downward_engine = true;
+  /// Route classified-tractable queries to the PTIME fast paths of
+  /// src/xpc/classify/ before the full engines (off switch for A/B
+  /// comparison; verdicts are identical either way — see
+  /// tests/fastpath_reference_test.cc).
+  bool fast_paths = true;
 };
 
 /// The user-facing decision-procedure facade. Dispatches to the cheapest

@@ -137,4 +137,145 @@ int Edtd::MaxContentNfaStates() const {
   return m;
 }
 
+namespace {
+
+bool DisjunctionFree(const RegexPtr& r) {
+  if (r == nullptr) return true;
+  switch (r->kind) {
+    case Regex::Kind::kEpsilon:
+    case Regex::Kind::kEmpty:
+    case Regex::Kind::kSymbol:
+      return true;
+    case Regex::Kind::kUnion:
+      return false;
+    case Regex::Kind::kConcat:
+      return DisjunctionFree(r->left) && DisjunctionFree(r->right);
+    case Regex::Kind::kStar:
+      return DisjunctionFree(r->left);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Edtd::HasDuplicateFreeContent() const {
+  if (duplicate_free_ < 0) {
+    bool ok = true;
+    for (const TypeDef& t : types_) {
+      // Count symbol occurrences with an explicit walk (RegexSymbols dedups).
+      std::vector<RegexPtr> stack = {t.content};
+      std::map<std::string, int> occurrences;
+      while (!stack.empty() && ok) {
+        RegexPtr r = stack.back();
+        stack.pop_back();
+        if (r == nullptr) continue;
+        if (r->kind == Regex::Kind::kSymbol) {
+          if (++occurrences[r->symbol] > 1) ok = false;
+        }
+        stack.push_back(r->left);
+        stack.push_back(r->right);
+      }
+      if (!ok) break;
+    }
+    duplicate_free_ = ok ? 1 : 0;
+  }
+  return duplicate_free_ == 1;
+}
+
+bool Edtd::HasDisjunctionFreeContent() const {
+  if (disjunction_free_ < 0) {
+    bool ok = true;
+    for (const TypeDef& t : types_) ok = ok && DisjunctionFree(t.content);
+    disjunction_free_ = ok ? 1 : 0;
+  }
+  return disjunction_free_ == 1;
+}
+
+bool Edtd::IsCovering() const {
+  if (covering_ >= 0) return covering_ == 1;
+  const int n = static_cast<int>(types_.size());
+  // Realizability: t is realizable iff its content model accepts some word
+  // over the already-realizable alphabet (least fixpoint, Fig. 2 style).
+  Bits realizable(n);
+  auto accepts_over = [&](const Nfa& nfa, const Bits& mask) {
+    Bits reached = nfa.InitialSet();
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      mask.ForEach([&](int s) { grew = reached.UnionWith(nfa.Step(reached, s)) || grew; });
+    }
+    return nfa.AnyAccepting(reached);
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int t = 0; t < n; ++t) {
+      if (!realizable.Get(t) && accepts_over(ContentNfa(t), realizable)) {
+        realizable.Set(t);
+        changed = true;
+      }
+    }
+  }
+  // Reachability from the root over *available* children: u is available
+  // below t iff some word of L(P(t)) over the realizable alphabet uses u.
+  const int root = TypeIndex(root_type_);
+  Bits reachable(n);
+  if (root >= 0 && realizable.Get(root)) {
+    std::vector<int> worklist = {root};
+    reachable.Set(root);
+    while (!worklist.empty()) {
+      int t = worklist.back();
+      worklist.pop_back();
+      const Nfa& nfa = ContentNfa(t);
+      Bits forward = nfa.InitialSet();
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        realizable.ForEach(
+            [&](int s) { grew = forward.UnionWith(nfa.Step(forward, s)) || grew; });
+      }
+      // Backward sweep: states from which an accepting state is reachable
+      // over realizable symbols (or ε).
+      Bits backward(nfa.num_states());
+      for (int q : nfa.accepting()) backward.Set(q);
+      grew = true;
+      while (grew) {
+        grew = false;
+        for (const Nfa::Transition& tr : nfa.transitions()) {
+          bool usable = tr.symbol == Nfa::kEpsilon || realizable.Get(tr.symbol);
+          if (usable && backward.Get(tr.to) && !backward.Get(tr.from)) {
+            backward.Set(tr.from);
+            grew = true;
+          }
+        }
+      }
+      for (const Nfa::Transition& tr : nfa.transitions()) {
+        if (tr.symbol == Nfa::kEpsilon || !realizable.Get(tr.symbol)) continue;
+        if (!forward.Get(tr.from) || !backward.Get(tr.to)) continue;
+        if (!reachable.Get(tr.symbol)) {
+          reachable.Set(tr.symbol);
+          worklist.push_back(tr.symbol);
+        }
+      }
+    }
+  }
+  covering_ = (realizable.Count() == n && reachable.Count() == n) ? 1 : 0;
+  return covering_ == 1;
+}
+
+std::string EdtdToText(const Edtd& edtd) {
+  std::ostringstream os;
+  // `Parse` takes the first line's label as the root type.
+  const int root = edtd.TypeIndex(edtd.root_type());
+  auto emit = [&](const Edtd::TypeDef& t) {
+    os << t.abstract_label << " -> " << t.concrete_label << " := "
+       << RegexToString(t.content) << "\n";
+  };
+  emit(edtd.types()[root]);
+  for (int i = 0; i < static_cast<int>(edtd.types().size()); ++i) {
+    if (i != root) emit(edtd.types()[i]);
+  }
+  return os.str();
+}
+
 }  // namespace xpc

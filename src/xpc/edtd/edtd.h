@@ -67,13 +67,45 @@ class Edtd {
   /// The maximum number of states of any content NFA (|D| in Fig. 2).
   int MaxContentNfaStates() const;
 
+  // --- Schema-class predicates (tractable-fragment classifier) ----------
+  //
+  // The classes of Ishihara et al. / Neven–Schwentick under which XPath
+  // satisfiability drops to PTIME. All three are computed once and cached
+  // (like the content NFAs, the lazy build under `const` is not
+  // synchronized — query once before sharing across threads).
+
+  /// True if every content model mentions each abstract label at most once
+  /// (the *duplicate-free* DTDs of Ishihara et al.).
+  bool HasDuplicateFreeContent() const;
+
+  /// True if no content model contains a union — neither `|` nor `?`
+  /// (which desugars to `ε | …`). Disjunction-free content models have a
+  /// unique ⊆-maximal symbol set among their words.
+  bool HasDisjunctionFreeContent() const;
+
+  /// True if every type is realizable (generates some finite tree) and
+  /// occurs in a tree generated from the root type — a *covering* schema:
+  /// no dead types, so syntactic occurrence implies semantic relevance.
+  bool IsCovering() const;
+
  private:
   std::vector<TypeDef> types_;
   std::string root_type_;
   std::vector<std::string> abstract_alphabet_;
   mutable std::vector<Nfa> content_nfas_;  // Lazily built, index-aligned.
   mutable std::vector<bool> content_built_;
+  // Cached predicate verdicts: -1 unknown, else 0/1.
+  mutable int duplicate_free_ = -1;
+  mutable int disjunction_free_ = -1;
+  mutable int covering_ = -1;
 };
+
+/// Serializes an EDTD in the `Parse` text format, one `abstract -> concrete
+/// := regex` line per type with the root type's line first, so
+/// `Edtd::Parse(EdtdToText(e))` reconstructs `e` (up to type order when the
+/// root is not the first definition). Used by the fuzz corpus to make
+/// schema-relative failures replayable.
+std::string EdtdToText(const Edtd& edtd);
 
 }  // namespace xpc
 

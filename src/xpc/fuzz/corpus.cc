@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "xpc/translate/starfree.h"
@@ -44,6 +45,8 @@ std::string LoadCorpusCase(const std::string& path, CorpusCase* out) {
       out->expr = value;
     } else if (key == "expr2") {
       out->expr2 = value;
+    } else if (key == "edtd") {
+      out->edtd = value;
     } else if (key == "seed") {
       out->seed = std::stoull(value);
     } else {
@@ -103,6 +106,15 @@ std::string ReplayCase(const CorpusCase& c) {
     *out = r.value();
     return "";
   };
+  auto edtd1 = [&](std::optional<Edtd>* out) -> std::string {
+    if (c.edtd.empty()) return c.file + ": oracle `" + c.oracle + "` needs `edtd:`";
+    std::string text = c.edtd;
+    std::replace(text.begin(), text.end(), ';', '\n');
+    Result<Edtd> r = Edtd::Parse(text);
+    if (!r.ok()) return c.file + ": edtd does not parse: " + r.error();
+    out->emplace(r.value());
+    return "";
+  };
 
   if (c.oracle == "roundtrip-path") {
     PathPtr p;
@@ -149,6 +161,25 @@ std::string ReplayCase(const CorpusCase& c) {
     NodePtr n;
     std::string err = node1(&n);
     return err.empty() ? CheckEngineAgreement(n) : err;
+  }
+  if (c.oracle == "engines-edtd") {
+    NodePtr n;
+    std::optional<Edtd> edtd;
+    std::string err = node1(&n);
+    if (err.empty()) err = edtd1(&edtd);
+    return err.empty() ? CheckEngineAgreementWithEdtd(n, *edtd) : err;
+  }
+  if (c.oracle == "fastpath") {
+    NodePtr n;
+    std::string err = node1(&n);
+    return err.empty() ? CheckFastPath(n) : err;
+  }
+  if (c.oracle == "fastpath-edtd") {
+    NodePtr n;
+    std::optional<Edtd> edtd;
+    std::string err = node1(&n);
+    if (err.empty()) err = edtd1(&edtd);
+    return err.empty() ? CheckFastPathWithEdtd(n, *edtd) : err;
   }
   if (c.oracle == "session") {
     NodePtr n;

@@ -18,6 +18,9 @@ namespace xpc {
 ///     expr: down/(down/down)
 ///     expr2: down | down          (optional second operand)
 ///     seed: 42                    (optional; tree seed for semantic checks)
+///     edtd: A -> a := B*;B -> b := epsilon
+///                                 (optional; EdtdToText lines `;`-joined,
+///                                 for the schema-relative oracles)
 ///
 /// Unknown keys are an error, so typos fail loudly instead of silently
 /// skipping a regression.
@@ -26,6 +29,7 @@ struct CorpusCase {
   std::string oracle;  ///< Which check to replay (see ReplayCase).
   std::string expr;
   std::string expr2;
+  std::string edtd;
   uint64_t seed = 1;
 };
 
@@ -40,7 +44,8 @@ std::vector<CorpusCase> LoadCorpus(const std::string& dir, std::string* error);
 /// fixed, the oracle's failure detail if it regressed, or a parse/config
 /// error. Oracle names match the fuzz campaign's: roundtrip-path,
 /// roundtrip-node, forelim-intersect, forelim-complement, identities,
-/// loop-normal-form, let-elim, starfree, engines, session.
+/// loop-normal-form, let-elim, starfree, engines, engines-edtd, session,
+/// fastpath, fastpath-edtd.
 std::string ReplayCase(const CorpusCase& c);
 
 }  // namespace xpc

@@ -43,8 +43,17 @@ ExprGenOptions ExprGenOptions::DownwardComplement() {
   return o;
 }
 
+ExprGenOptions ExprGenOptions::VerticalConjunctive() {
+  ExprGenOptions o;
+  o.allow_union = false;
+  o.vertical_only = true;
+  o.conjunctive_only = true;
+  return o;
+}
+
 Axis FuzzGen::GenAxis(const ExprGenOptions& o) {
   if (o.downward_only) return Axis::kChild;
+  if (o.vertical_only) return rng_.NextBelow(2) == 0 ? Axis::kChild : Axis::kParent;
   switch (rng_.NextBelow(4)) {
     case 0: return Axis::kChild;
     case 1: return Axis::kParent;
@@ -64,7 +73,8 @@ PathPtr FuzzGen::GenAtom(const ExprGenOptions& o, std::vector<std::string>* scop
       return Ax(GenAxis(o));
     case 2:
     case 3:
-      return AxStar(GenAxis(o));
+      // Under vertical_only, ↑* would leave the fast-path fragment; only ↓*.
+      return AxStar(o.vertical_only ? Axis::kChild : GenAxis(o));
     case 4:
       return Self();
     default:
@@ -155,10 +165,15 @@ NodePtr FuzzGen::GenNodeImpl(const ExprGenOptions& o, int budget,
   switch (rng_.NextBelow(10)) {
     case 0:
     case 1:
+      if (o.conjunctive_only) {
+        return And(GenNodeImpl(o, budget / 2, scope),
+                   GenNodeImpl(o, budget - budget / 2, scope));
+      }
       return Not(GenNodeImpl(o, budget - 1, scope));
     case 2:
       return And(GenNodeImpl(o, budget / 2, scope), GenNodeImpl(o, budget - budget / 2, scope));
     case 3:
+      if (o.conjunctive_only) return GenNodeImpl(o, budget - 1, scope);
       return Or(GenNodeImpl(o, budget / 2, scope), GenNodeImpl(o, budget - budget / 2, scope));
     case 4:
     case 5:
@@ -198,6 +213,32 @@ Edtd FuzzGen::GenEdtd(const EdtdGenOptions& options) {
   types.reserve(n);
   for (int i = 0; i < n; ++i) {
     RegexPtr content;
+    if (options.linear_content) {
+      // Duplicate-free, disjunction-free: concatenate up to two *distinct*
+      // symbols, each possibly starred. A mandatory (unstarred) child must
+      // reference a strictly higher-indexed type so every type stays
+      // realizable; starred children may recurse freely (pumpable to ε).
+      content = RxEpsilon();
+      int picks = static_cast<int>(rng_.NextBelow(3));  // 0, 1 or 2 symbols.
+      int prev = -1;
+      for (int k = 0; k < picks; ++k) {
+        int j = static_cast<int>(rng_.NextBelow(static_cast<uint64_t>(n)));
+        if (j == prev) continue;  // Keep the content duplicate-free.
+        prev = j;
+        RegexPtr sym = RxSymbol(abstract[j]);
+        if (j <= i || rng_.NextBelow(2) == 0) sym = RxStar(std::move(sym));
+        content = content->kind == Regex::Kind::kEpsilon
+                      ? std::move(sym)
+                      : RxConcat(std::move(content), std::move(sym));
+      }
+      Edtd::TypeDef def;
+      def.abstract_label = abstract[i];
+      def.content = std::move(content);
+      def.concrete_label =
+          options.concrete_labels[rng_.NextBelow(options.concrete_labels.size())];
+      types.push_back(std::move(def));
+      continue;
+    }
     switch (rng_.NextBelow(6)) {
       case 0: content = RxEpsilon(); break;
       case 1: content = leaf(); break;

@@ -34,6 +34,10 @@ struct ExprGenOptions {
   bool allow_for = false;         ///< for-loops and ". is $v".
   /// Restrict to the ↓ axis (τ and τ*) — the downward fragment.
   bool downward_only = false;
+  /// Restrict to the vertical axes: ↓ and ↑ for steps, ↓ only under *.
+  bool vertical_only = false;
+  /// Suppress ¬ and ∨ in node expressions (positive-conjunctive filters).
+  bool conjunctive_only = false;
 
   /// Every operator of CoreXPath(≈, ∩, −, for, *): the parser↔printer
   /// round-trip must hold on the whole language.
@@ -47,6 +51,9 @@ struct ExprGenOptions {
   /// Downward CoreXPath(∩, −) — sound operand set for the Theorem 31
   /// complement-to-for rewriting.
   static ExprGenOptions DownwardComplement();
+  /// Positive-conjunctive vertical queries — the habitat of the PTIME fast
+  /// paths of src/xpc/classify/ (O5 oracle).
+  static ExprGenOptions VerticalConjunctive();
 };
 
 /// Options for random EDTD generation.
@@ -55,6 +62,11 @@ struct EdtdGenOptions {
   /// Concrete labels μ maps to; non-injective μ (a genuine EDTD rather than
   /// a DTD) arises whenever num_types exceeds the alphabet.
   std::vector<std::string> concrete_labels = {"a", "b"};
+  /// Emit only duplicate-free, disjunction-free content models (no `|`/`?`;
+  /// each abstract label at most once per content) — the schema class the
+  /// vertical fast path requires. Recursion only appears under `*`, so every
+  /// type stays realizable.
+  bool linear_content = false;
 };
 
 /// Deterministic (splitmix64-seeded) source of random CoreXPath(X)

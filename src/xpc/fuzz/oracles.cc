@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "xpc/classify/profile.h"
 #include "xpc/core/session.h"
 #include "xpc/core/solver.h"
 #include "xpc/edtd/conformance.h"
@@ -177,8 +178,12 @@ std::string CheckLetElim(const NodePtr& n, uint64_t tree_seed, int trees, int ma
     }
     LoopEvaluator decorated_eval(decorated);
     const std::vector<bool>& elim_truth = decorated_eval.EvalAll(elim.formula);
+    // Only the original nodes count: Lemma 18's claim is that the
+    // eliminated formula holds at v on the decorated model iff the original
+    // holds at v — marker leaves are bookkeeping, not candidate nodes, and
+    // a negation (e.g. not(<down[m]>)) holds at them vacuously.
     bool elim_somewhere = false;
-    for (NodeId v = 0; v < decorated.size(); ++v) elim_somewhere |= elim_truth[v];
+    for (NodeId v = 0; v < original_size; ++v) elim_somewhere |= elim_truth[v];
     if (orig_somewhere != elim_somewhere) {
       std::ostringstream os;
       os << "let-elimination of " << ToString(n) << " "
@@ -381,6 +386,141 @@ std::string CheckEngineAgreementWithEdtd(const NodePtr& phi, const Edtd& edtd) {
   return "";
 }
 
+// --- O5: fast paths vs full engines -------------------------------------
+
+namespace {
+
+/// The stamp/completeness contract shared by both O5 checks: routing and
+/// stamping must agree, and a routed query must be decided. Returns "" when
+/// the contract holds.
+std::string CheckFastPathContract(FastPathRoute route, const SatResult& fast,
+                                  const NodePtr& phi) {
+  const bool stamped = fast.engine.rfind("fastpath-", 0) == 0;
+  if (route != FastPathRoute::kNone && !stamped) {
+    return std::string("classifier routed to ") + FastPathRouteName(route) +
+           " but the facade ran " + fast.engine + " for " + ToString(phi);
+  }
+  if (route == FastPathRoute::kNone && stamped) {
+    return "classifier declined to route but the facade ran " + fast.engine + " for " +
+           ToString(phi);
+  }
+  if (route != FastPathRoute::kNone && fast.status == SolveStatus::kResourceLimit) {
+    return std::string(FastPathRouteName(route)) +
+           " gave up on a query the classifier put in its fragment: " + ToString(phi) +
+           " (" + fast.engine + ")";
+  }
+  return "";
+}
+
+SolverOptions FastPathSolverOptions(bool fast_paths) {
+  SolverOptions so;
+  so.loop = FuzzLoopOptions();
+  so.downward = FuzzDownwardOptions();
+  so.verify_witnesses = false;  // The oracle validates witnesses itself.
+  so.fast_paths = fast_paths;
+  return so;
+}
+
+}  // namespace
+
+std::string CheckFastPath(const NodePtr& phi) {
+  FragmentProfile profile = ClassifyNode(phi);
+  if (profile.fragment.uses_complement || profile.fragment.uses_for) return "";
+  FastPathRoute route = SelectFastPath(profile, nullptr);
+
+  SatResult fast = Solver(FastPathSolverOptions(true)).NodeSatisfiable(phi);
+  std::string d = CheckFastPathContract(route, fast, phi);
+  if (!d.empty()) return d;
+  d = ValidateWitness(("solver:" + fast.engine).c_str(), fast, phi);
+  if (!d.empty()) return d;
+
+  SatResult full = Solver(FastPathSolverOptions(false)).NodeSatisfiable(phi);
+  if (fast.status != SolveStatus::kResourceLimit &&
+      full.status != SolveStatus::kResourceLimit && fast.status != full.status) {
+    return "solver:" + fast.engine + " says " + SolveStatusName(fast.status) +
+           " but solver:" + full.engine + " (fast paths off) says " +
+           SolveStatusName(full.status) + " for " + ToString(phi);
+  }
+
+  // Bounded search is sound for SAT: a found model refutes an UNSAT verdict.
+  if (fast.status == SolveStatus::kUnsat) {
+    BoundedSatOptions bo;
+    bo.max_exhaustive_nodes = 4;
+    bo.random_trees = 40;
+    bo.max_random_nodes = 8;
+    SatResult bounded = BoundedSatisfiable(phi, bo);
+    if (bounded.status == SolveStatus::kSat) {
+      return "solver:" + fast.engine + " says unsat but bounded search found a model for " +
+             ToString(phi);
+    }
+  }
+  return "";
+}
+
+std::string CheckFastPathWithEdtd(const NodePtr& phi, const Edtd& edtd) {
+  FragmentProfile profile = ClassifyNode(phi);
+  if (profile.fragment.uses_complement || profile.fragment.uses_for) return "";
+  SchemaClass schema = ClassifySchema(edtd);
+  FastPathRoute route = SelectFastPath(profile, &schema);
+
+  SolverOptions so = FastPathSolverOptions(true);
+  if (route == FastPathRoute::kNone) {
+    // Only the engine stamp is under test on fallbacks; don't let the
+    // facade's Prop. 6 → loop-sat fallback grind to its item cap.
+    so.loop.max_items = 50;
+    so.loop.max_pool = 50;
+  }
+  SatResult fast = Solver(so).NodeSatisfiable(phi, edtd);
+  std::string d = CheckFastPathContract(route, fast, phi);
+  if (!d.empty()) return d;
+  if (fast.status == SolveStatus::kSat && fast.witness.has_value()) {
+    d = ValidateWitness(("solver:" + fast.engine).c_str(), fast, phi);
+    if (!d.empty()) return d;
+    if (!Conforms(*fast.witness, edtd)) {
+      return "solver:" + fast.engine + " returned a witness that does not conform to the EDTD: " +
+             TreeToText(*fast.witness);
+    }
+  }
+
+  // Full-engine comparison. Downward queries have a cheap decisive
+  // counterpart (the native-EDTD downward engine); for the rest, the Prop. 6
+  // encoding → loop-sat pipeline is only consulted when the translated form
+  // is small — at fuzz budgets a big product would just burn to
+  // kResourceLimit (same cutoff as CheckEngineAgreement).
+  SatResult full;
+  full.status = SolveStatus::kResourceLimit;
+  std::string full_name;
+  if (profile.fragment.IsDownward() && !profile.fragment.uses_star) {
+    full = DownwardSatisfiableWithEdtd(phi, edtd, FuzzDownwardOptions());
+    full_name = "downward-sat+edtd";
+  } else {
+    NodePtr encoded = EncodeEdtdSatisfiability(phi, edtd);
+    LExprPtr e = ToLoopNormalForm(encoded);
+    if (e && DagSizeOf(e) <= 400) {
+      full = LoopSatisfiable(e, FuzzLoopOptions());
+      full_name = "loop-sat+edtd-encoding";
+    }
+  }
+  if (fast.status != SolveStatus::kResourceLimit &&
+      full.status != SolveStatus::kResourceLimit && fast.status != full.status) {
+    return "solver:" + fast.engine + " says " + SolveStatusName(fast.status) + " but " +
+           full_name + " says " + SolveStatusName(full.status) + " for " + ToString(phi);
+  }
+
+  // Sampled conforming trees refute schema-relative UNSAT verdicts.
+  if (fast.status == SolveStatus::kUnsat) {
+    for (uint64_t i = 0; i < 20; ++i) {
+      auto [ok, tree] = SampleConformingTree(edtd, 8, i);
+      if (!ok) continue;
+      if (Evaluator(tree).SatisfiedSomewhere(phi)) {
+        return "solver:" + fast.engine + " says unsat but the conforming tree " +
+               TreeToText(tree) + " satisfies " + ToString(phi);
+      }
+    }
+  }
+  return "";
+}
+
 // --- O4: session coherence ----------------------------------------------
 
 std::string CheckSessionCoherence(const NodePtr& phi, const PathPtr& a, const PathPtr& b) {
@@ -474,6 +614,10 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
   if (options.session) {
     kinds.push_back({"session", 1});
   }
+  if (options.fastpaths) {
+    kinds.push_back({"fastpath", 1});
+    kinds.push_back({"fastpath-edtd", 1});
+  }
   if (kinds.empty()) return report;
   int total_weight = 0;
   for (const CaseKind& k : kinds) total_weight += k.weight;
@@ -500,6 +644,7 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
 
     std::string detail;
     std::string expr_text;
+    std::string edtd_text;
 
     auto fail_path = [&](const PathPtr& p, const std::function<std::string(const PathPtr&)>& check,
                          std::string first_detail) {
@@ -605,7 +750,35 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
       Edtd edtd = gen.GenEdtd(eo);
       auto check = [&](const NodePtr& c) { return CheckEngineAgreementWithEdtd(c, edtd); };
       std::string d = check(n);
-      if (!d.empty()) fail_node(n, check, d);
+      if (!d.empty()) {
+        fail_node(n, check, d);
+        edtd_text = EdtdToText(edtd);
+      }
+    } else if (kind_str == "fastpath") {
+      // Mostly in-fragment inputs (the interesting verdict comparisons),
+      // with a steady trickle of richer queries to exercise the
+      // route-vs-stamp contract on fallbacks.
+      ExprGenOptions o = gen.NextBelow(4) == 0 ? ExprGenOptions::RegularFriendly()
+                                               : ExprGenOptions::VerticalConjunctive();
+      o.max_ops = std::min(options.max_ops, 6);
+      NodePtr n = gen.GenNode(o);
+      std::string d = CheckFastPath(n);
+      if (!d.empty()) fail_node(n, CheckFastPath, d);
+    } else if (kind_str == "fastpath-edtd") {
+      ExprGenOptions o = ExprGenOptions::VerticalConjunctive();
+      o.max_ops = std::min(options.max_ops, 6);
+      NodePtr n = gen.GenNode(o);
+      EdtdGenOptions eo;
+      // Every other schema is linear (fast-path-eligible); the rest keep
+      // unions/duplicates in, forcing the schema-class gate to decline.
+      eo.linear_content = gen.NextBelow(2) == 0;
+      Edtd edtd = gen.GenEdtd(eo);
+      auto check = [&](const NodePtr& c) { return CheckFastPathWithEdtd(c, edtd); };
+      std::string d = check(n);
+      if (!d.empty()) {
+        fail_node(n, check, d);
+        edtd_text = EdtdToText(edtd);
+      }
     } else if (kind_str == "session") {
       ExprGenOptions o = ExprGenOptions::WithIntersect();
       o.max_ops = std::min(options.max_ops, 5);
@@ -620,7 +793,12 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
     }
 
     if (!detail.empty()) {
-      report.failures.push_back({kind_str, case_seed, expr_text, detail});
+      // `;` joins the EDTD lines so the failure block stays line-oriented
+      // (the corpus loader splits it back).
+      std::string edtd_joined;
+      for (char c : edtd_text) edtd_joined += c == '\n' ? ';' : c;
+      while (!edtd_joined.empty() && edtd_joined.back() == ';') edtd_joined.pop_back();
+      report.failures.push_back({kind_str, case_seed, expr_text, detail, edtd_joined});
     }
   }
   return report;

@@ -56,12 +56,24 @@ std::string CheckEngineAgreementWithEdtd(const NodePtr& phi, const Edtd& edtd);
 /// session, warm session, batch).
 std::string CheckSessionCoherence(const NodePtr& phi, const PathPtr& a, const PathPtr& b);
 
+/// O5 — the PTIME fast paths agree with the full engines and never
+/// misroute. Re-runs the classifier, then asserts: (1) the facade's engine
+/// stamp starts with "fastpath-" iff SelectFastPath routed the query,
+/// (2) a routed query is always decided (the fast paths are complete on
+/// their fragments), (3) fast and full verdicts match whenever the full
+/// engine is decisive at fuzz budgets, (4) fast-path witnesses re-validate
+/// (and conform to the schema), and (5) fast-path UNSAT verdicts survive a
+/// bounded model search / conforming-tree sampling refutation.
+std::string CheckFastPath(const NodePtr& phi);
+std::string CheckFastPathWithEdtd(const NodePtr& phi, const Edtd& edtd);
+
 /// One reported failure, delta-minimized when shrinking is enabled.
 struct FuzzFailure {
   std::string oracle;  ///< e.g. "roundtrip-path".
   uint64_t case_seed;  ///< Reproduces the case: FuzzGen(case_seed).
   std::string expr;    ///< Minimized offending expression (printed).
   std::string detail;  ///< What disagreed.
+  std::string edtd;    ///< Schema (EdtdToText, `;`-joined) for *-edtd oracles.
 };
 
 /// Configuration of a fuzzing run.
@@ -75,6 +87,7 @@ struct FuzzOptions {
   bool translations = true;
   bool engines = true;
   bool session = true;
+  bool fastpaths = true;
   /// Delta-minimize failures before reporting.
   bool shrink = true;
   /// Random trees per semantic check / their maximum size.

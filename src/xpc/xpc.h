@@ -21,6 +21,8 @@
 /// See README.md for the language syntax and the per-module documentation
 /// in the individual headers for the paper-to-code map.
 
+#include "xpc/classify/fastpath.h"    // PTIME fast-path procedures.
+#include "xpc/classify/profile.h"     // Tractable-fragment classifier.
 #include "xpc/common/stats.h"         // Solver telemetry (counters/timers).
 #include "xpc/core/session.h"         // Memoizing session layer (batch API).
 #include "xpc/core/solver.h"          // Containment / satisfiability facade.

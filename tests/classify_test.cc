@@ -1,0 +1,323 @@
+// Unit coverage for the tractable-fragment classifier (src/xpc/classify/).
+//
+// Three layers:
+//   * one positive and one negative expression per FragmentProfile feature
+//     flag, so every dimension of the profile is pinned independently;
+//   * golden classifications for the expressions the examples/ programs and
+//     the paper-figure benchmarks actually run, so a classifier change that
+//     silently reroutes a showcase query fails here first;
+//   * SchemaClass predicates, SelectFastPath routing, and the engine-stamp
+//     contract for forced fallbacks (a PTIME procedure invoked outside its
+//     fragment must refuse loudly, never answer).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "xpc/classify/fastpath.h"
+#include "xpc/classify/profile.h"
+#include "xpc/core/solver.h"
+#include "xpc/edtd/edtd.h"
+#include "xpc/xpath/parser.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+NodePtr N(const std::string& s) {
+  auto r = ParseNode(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+PathPtr P(const std::string& s) {
+  auto r = ParsePath(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+Edtd E(const std::string& s) {
+  auto r = Edtd::Parse(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.error();
+  return r.value();
+}
+
+// --- FragmentProfile: one positive + one negative per feature flag ------
+
+TEST(ClassifyProfile, Disjunction) {
+  EXPECT_TRUE(ClassifyNode(N("a or b")).uses_disjunction);
+  EXPECT_TRUE(ClassifyPath(P("down | up")).uses_disjunction);
+  EXPECT_FALSE(ClassifyNode(N("a and b")).uses_disjunction);
+}
+
+TEST(ClassifyProfile, Negation) {
+  EXPECT_TRUE(ClassifyNode(N("not(a)")).uses_negation);
+  EXPECT_FALSE(ClassifyNode(N("a and b")).uses_negation);
+}
+
+TEST(ClassifyProfile, Qualifier) {
+  EXPECT_TRUE(ClassifyNode(N("<down[a]>")).uses_qualifier);
+  EXPECT_FALSE(ClassifyNode(N("<down>")).uses_qualifier);
+}
+
+TEST(ClassifyProfile, QualifierDepthCountsNesting) {
+  EXPECT_EQ(ClassifyNode(N("a")).qualifier_depth, 0);
+  EXPECT_EQ(ClassifyNode(N("<down[a]>")).qualifier_depth, 1);
+  EXPECT_EQ(ClassifyNode(N("<down[<down[b]>]>")).qualifier_depth, 2);
+  // Siblings do not stack: two depth-1 filters stay depth 1.
+  EXPECT_EQ(ClassifyPath(P("down[a]/down[b]")).qualifier_depth, 1);
+}
+
+TEST(ClassifyProfile, Variables) {
+  EXPECT_TRUE(ClassifyPath(P("for $x in down return down[is $x]")).uses_variables);
+  EXPECT_FALSE(ClassifyPath(P("down[a]")).uses_variables);
+}
+
+TEST(ClassifyProfile, FragmentCoordinates) {
+  FragmentProfile p = ClassifyPath(P("up*/right+/down*"));
+  EXPECT_TRUE(p.fragment.uses_parent);
+  EXPECT_TRUE(p.fragment.uses_right);
+  EXPECT_TRUE(p.fragment.uses_child);
+  EXPECT_FALSE(p.fragment.uses_left);
+  EXPECT_FALSE(p.fragment.IsVertical());
+
+  EXPECT_TRUE(ClassifyPath(P("(down/up)*")).fragment.uses_star);
+  EXPECT_TRUE(ClassifyPath(P("down & down*")).fragment.uses_intersect);
+  EXPECT_TRUE(ClassifyPath(P("down* - down")).fragment.uses_complement);
+  EXPECT_TRUE(ClassifyNode(N("eq(down, up)")).fragment.uses_path_eq);
+  EXPECT_TRUE(ClassifyNode(N("<down[a]>")).fragment.IsDownward());
+}
+
+TEST(ClassifyProfile, OpsCountsAstOperators) {
+  EXPECT_EQ(ClassifyNode(N("a")).ops, 1);
+  EXPECT_GT(ClassifyNode(N("a and <down[b]>")).ops, ClassifyNode(N("a")).ops);
+}
+
+// --- The two fast-path shape gates --------------------------------------
+
+TEST(ClassifyProfile, DownwardChainPositive) {
+  for (const char* s : {"a and <down/down*[b]>", "Paragraph and <down>",
+                        "a and b and <down[a and b]>", "true"}) {
+    FragmentProfile p = ClassifyNode(N(s));
+    EXPECT_TRUE(p.downward_chain) << s << ": " << p.Summary();
+    // Chains are a sub-shape of the vertical-conjunctive fragment.
+    EXPECT_TRUE(p.vertical_conjunctive) << s;
+    EXPECT_TRUE(InDownwardChainFragment(N(s))) << s;
+  }
+}
+
+TEST(ClassifyProfile, DownwardChainNegative) {
+  for (const char* s : {
+           "a or <down>",            // disjunction
+           "not(<down>)",            // negation
+           "<down> and <down>",      // two spines
+           "<up>",                   // wrong axis
+           "<down & down>",          // intersection
+           "<down[<down>]>",         // non-label qualifier
+       }) {
+    EXPECT_FALSE(ClassifyNode(N(s)).downward_chain) << s;
+    EXPECT_FALSE(InDownwardChainFragment(N(s))) << s;
+  }
+}
+
+TEST(ClassifyProfile, VerticalConjunctivePositive) {
+  for (const char* s : {"<down[a]/up>", "<up/down>", "<down[<down[b]>]>",
+                        "a and <down[a and <up>]>"}) {
+    FragmentProfile p = ClassifyNode(N(s));
+    EXPECT_TRUE(p.vertical_conjunctive) << s << ": " << p.Summary();
+    EXPECT_TRUE(InVerticalConjunctiveFragment(N(s))) << s;
+  }
+}
+
+TEST(ClassifyProfile, VerticalConjunctiveNegative) {
+  for (const char* s : {
+           "a or b",            // disjunction
+           "not(a)",            // negation
+           "<right>",           // horizontal axis
+           "<down - down>",     // complement
+           "eq(down, down)",    // path equality
+           "<down*/up>",        // ↑ below a ↓* step: parent undetermined
+       }) {
+    EXPECT_FALSE(ClassifyNode(N(s)).vertical_conjunctive) << s;
+    EXPECT_FALSE(InVerticalConjunctiveFragment(N(s))) << s;
+  }
+}
+
+// --- Golden classifications: examples/ and paper-figure queries ---------
+
+TEST(ClassifyGolden, QuickstartQueries) {
+  // examples/quickstart.cpp
+  EXPECT_EQ(ClassifyPath(P("down*[figure]")).Summary(),
+            "CoreXPath_{v} [chain, vertical, q=1]");
+  EXPECT_EQ(ClassifyPath(P("down[book]/down*[figure]")).Summary(),
+            "CoreXPath_{v} [chain, vertical, q=1]");
+  EXPECT_EQ(ClassifyPath(P("down[book]/down[chapter]/down*[figure]")).Summary(),
+            "CoreXPath_{v} [chain, vertical, q=1]");
+  EXPECT_EQ(ClassifyNode(N("section and <down[figure]> and not(<down[section]>)")).Summary(),
+            "CoreXPath_{v} [not, q=1]");
+  EXPECT_EQ(ClassifyPath(P("down*[figure] & down*[section]/down[figure]")).Summary(),
+            "CoreXPath_{v}(cap) [q=1]");
+}
+
+TEST(ClassifyGolden, Figure2Queries) {
+  // bench/bench_fig2_downward.cc — the native Fig. 2 workload. Two of the
+  // four route to the chain fast path, two carry ∩ and stay on the full
+  // EXPSPACE engine.
+  EXPECT_EQ(ClassifyNode(N("Chapter and <down*[Section]/down[Section]/down[Image]>"))
+                .Summary(),
+            "CoreXPath_{v} [chain, vertical, q=1]");
+  EXPECT_EQ(ClassifyNode(N("Paragraph and <down>")).Summary(),
+            "CoreXPath_{v} [chain, vertical]");
+  EXPECT_EQ(ClassifyNode(N("Book and <down/down/down*[Image] & down*[Image]>")).Summary(),
+            "CoreXPath_{v}(cap) [q=1]");
+  EXPECT_EQ(ClassifyNode(N("Section and <down[Image] & down[Paragraph]>")).Summary(),
+            "CoreXPath_{v}(cap) [q=1]");
+}
+
+TEST(ClassifyGolden, BookCatalogQueriesStayOutOfFragment) {
+  // examples/book_catalog.cpp queries lean on ≈, − and ∩ — none may route.
+  const char* kFollowing = "up*/right+/down*";
+  for (const std::string& s : {
+           std::string("down*[Image and not(eq(") + kFollowing +
+               "[Image], up+[Chapter]/down+[Image]))]",
+           std::string("(") + kFollowing + "[Image]) & (up+[Chapter]/down+[Image])",
+       }) {
+    FragmentProfile p = ClassifyPath(P(s));
+    EXPECT_FALSE(p.downward_chain) << s;
+    EXPECT_FALSE(p.vertical_conjunctive) << s;
+    EXPECT_EQ(SelectFastPath(p, nullptr), FastPathRoute::kNone) << s;
+  }
+}
+
+// --- SchemaClass --------------------------------------------------------
+
+TEST(ClassifySchema, DuplicateAndDisjunctionFree) {
+  SchemaClass c = ClassifySchema(E("A -> a := B, C\nB -> b := epsilon\nC -> c := epsilon"));
+  EXPECT_TRUE(c.duplicate_free);
+  EXPECT_TRUE(c.disjunction_free);
+  EXPECT_TRUE(c.covering);
+  EXPECT_EQ(c.num_types, 3);
+  EXPECT_EQ(c.Summary(), "3 types, duplicate-free, disjunction-free, covering");
+}
+
+TEST(ClassifySchema, DuplicateContent) {
+  SchemaClass c = ClassifySchema(E("A -> a := B, B\nB -> b := epsilon"));
+  EXPECT_FALSE(c.duplicate_free);
+  EXPECT_TRUE(c.disjunction_free);
+}
+
+TEST(ClassifySchema, DisjunctionInContent) {
+  EXPECT_FALSE(ClassifySchema(E("A -> a := B | C\nB -> b := epsilon\nC -> c := epsilon"))
+                   .disjunction_free);
+  // `?` desugars to a union, so it counts as disjunction too.
+  EXPECT_FALSE(ClassifySchema(E("A -> a := B?\nB -> b := epsilon")).disjunction_free);
+}
+
+TEST(ClassifySchema, NonCoveringSchema) {
+  // B's content is unrealizable (B := B), so the schema does not cover.
+  SchemaClass c = ClassifySchema(E("A -> a := B*\nB -> b := B"));
+  EXPECT_FALSE(c.covering);
+  EXPECT_TRUE(c.duplicate_free);
+  EXPECT_TRUE(c.disjunction_free);
+}
+
+TEST(ClassifySchema, BookEdtdFromFigure2) {
+  // `+` duplicates its operand and the Section model is a 3-way union:
+  // the Fig. 2 book schema meets neither vertical-route precondition.
+  SchemaClass c = ClassifySchema(E(
+      "Book := Chapter+\nChapter := Section+\n"
+      "Section := (Section | Paragraph | Image)+\n"
+      "Paragraph := epsilon\nImage := epsilon"));
+  EXPECT_FALSE(c.duplicate_free);
+  EXPECT_FALSE(c.disjunction_free);
+  EXPECT_TRUE(c.covering);
+  EXPECT_EQ(c.num_types, 5);
+}
+
+// --- SelectFastPath routing ---------------------------------------------
+
+TEST(ClassifyRoute, ChainWinsOverVertical) {
+  FragmentProfile p = ClassifyNode(N("a and <down/down*[b]>"));
+  ASSERT_TRUE(p.downward_chain);
+  ASSERT_TRUE(p.vertical_conjunctive);
+  EXPECT_EQ(SelectFastPath(p, nullptr), FastPathRoute::kDownwardChain);
+  // Chains need no schema preconditions: even a duplicate-ful, disjunctive
+  // schema routes.
+  SchemaClass bad = ClassifySchema(E("A -> a := B | (B, B)\nB -> b := epsilon"));
+  ASSERT_FALSE(bad.duplicate_free);
+  EXPECT_EQ(SelectFastPath(p, &bad), FastPathRoute::kDownwardChain);
+}
+
+TEST(ClassifyRoute, VerticalNeedsLinearSchemaOrNone) {
+  FragmentProfile p = ClassifyNode(N("<down[a]/up>"));
+  ASSERT_FALSE(p.downward_chain);
+  ASSERT_TRUE(p.vertical_conjunctive);
+  EXPECT_EQ(SelectFastPath(p, nullptr), FastPathRoute::kVerticalConjunctive);
+
+  SchemaClass good = ClassifySchema(E("A -> a := B, C\nB -> b := epsilon\nC -> c := epsilon"));
+  EXPECT_EQ(SelectFastPath(p, &good), FastPathRoute::kVerticalConjunctive);
+
+  SchemaClass disj = ClassifySchema(E("A -> a := B | C\nB -> b := epsilon\nC -> c := epsilon"));
+  EXPECT_EQ(SelectFastPath(p, &disj), FastPathRoute::kNone);
+
+  SchemaClass dup = ClassifySchema(E("A -> a := B, B\nB -> b := epsilon"));
+  EXPECT_EQ(SelectFastPath(p, &dup), FastPathRoute::kNone);
+}
+
+TEST(ClassifyRoute, OutOfFragmentNeverRoutes) {
+  for (const char* s : {"not(a)", "a or b", "<right>", "eq(down, down)",
+                        "<down & down>"}) {
+    EXPECT_EQ(SelectFastPath(ClassifyNode(N(s)), nullptr), FastPathRoute::kNone) << s;
+  }
+}
+
+TEST(ClassifyRoute, RouteNames) {
+  EXPECT_STREQ(FastPathRouteName(FastPathRoute::kNone), "none");
+  EXPECT_STREQ(FastPathRouteName(FastPathRoute::kDownwardChain), "downward-chain");
+  EXPECT_STREQ(FastPathRouteName(FastPathRoute::kVerticalConjunctive),
+               "vertical-conjunctive");
+}
+
+// --- Engine stamps: routed queries vs forced fallbacks ------------------
+
+TEST(ClassifyDispatch, RoutedQueriesCarryFastpathStamp) {
+  Solver solver;
+  EXPECT_EQ(solver.NodeSatisfiable(N("a and <down[b]>")).engine, "fastpath-chain");
+  EXPECT_EQ(solver.NodeSatisfiable(N("<down[a]/up>")).engine, "fastpath-vertical");
+
+  Edtd lin = E("A -> a := B, C\nB -> b := epsilon\nC -> c := epsilon");
+  EXPECT_EQ(solver.NodeSatisfiable(N("a and <down[b]>"), lin).engine,
+            "fastpath-chain+edtd");
+  EXPECT_EQ(solver.NodeSatisfiable(N("<down[b]/up[a]>"), lin).engine,
+            "fastpath-vertical+edtd");
+}
+
+TEST(ClassifyDispatch, FallbacksNeverCarryFastpathStamp) {
+  Solver solver;
+  for (const char* s : {"not(<down[a]>)", "a or b", "eq(down, down*)"}) {
+    SatResult r = solver.NodeSatisfiable(N(s));
+    EXPECT_EQ(r.engine.rfind("fastpath-", 0), std::string::npos) << s << ": " << r.engine;
+  }
+  // With fast paths off even in-fragment queries use the full engines.
+  SolverOptions off;
+  off.fast_paths = false;
+  SatResult r = Solver(off).NodeSatisfiable(N("a and <down[b]>"));
+  EXPECT_EQ(r.engine.rfind("fastpath-", 0), std::string::npos) << r.engine;
+  EXPECT_EQ(r.status, SolveStatus::kSat);
+}
+
+TEST(ClassifyDispatch, MisusedFastPathRefusesLoudly) {
+  // Calling a PTIME procedure outside its fragment (bypassing the
+  // classifier gate) must return kResourceLimit with a tagged stamp, never
+  // a verdict.
+  SatResult chain = DownwardChainSatisfiable(N("not(a)"), nullptr);
+  EXPECT_EQ(chain.status, SolveStatus::kResourceLimit);
+  EXPECT_EQ(chain.engine, "fastpath-chain:out-of-fragment");
+
+  SatResult vert = VerticalConjunctiveSatisfiable(N("a or b"), nullptr);
+  EXPECT_EQ(vert.status, SolveStatus::kResourceLimit);
+  EXPECT_EQ(vert.engine, "fastpath-vertical:out-of-fragment");
+}
+
+}  // namespace
+}  // namespace xpc

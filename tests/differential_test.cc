@@ -1,5 +1,8 @@
 // Randomized differential testing of the containment stack, with and
-// without the Session cache.
+// without the Session cache — the whole battery instantiated twice, with
+// the classifier fast paths on and off (SolverOptions::fast_paths), so a
+// fast-path verdict that diverges from the full engines on a dispatched
+// query fails the brute-force cross-check directly.
 //
 // A seeded, deterministic generator produces random CoreXPath(∩, ≈)
 // expression pairs (the largest fragment every complete engine — loop-sat,
@@ -16,7 +19,8 @@
 //                       ContainsBatch all report the same verdict.
 //
 // Every failure message carries the case seed; re-run a single case with
-//   XPC_DIFF_SEED=<seed> XPC_DIFF_CASES=1 ./xpc_tests --gtest_filter='Differential.*'
+//   XPC_DIFF_SEED=<seed> XPC_DIFF_CASES=1 ./xpc_differential_tests \
+//       --gtest_filter='*Differential*On' (or Off)
 
 #include <cstdio>
 #include <cstdlib>
@@ -146,7 +150,7 @@ struct Verdicts {
   ContainmentResult hit;   // Session, repeat submission (cache hit).
 };
 
-class DifferentialHarness : public ::testing::Test {
+class DifferentialHarness : public ::testing::TestWithParam<bool> {
  protected:
   static std::vector<XmlTree>* reference_trees_;
 
@@ -177,15 +181,21 @@ class DifferentialHarness : public ::testing::Test {
 
 std::vector<XmlTree>* DifferentialHarness::reference_trees_ = nullptr;
 
-TEST_F(DifferentialHarness, SolverAgreesWithBruteForceWithAndWithoutCache) {
+TEST_P(DifferentialHarness, SolverAgreesWithBruteForceWithAndWithoutCache) {
+  const bool fast_paths = GetParam();
   const uint64_t base_seed = BaseSeed();
   const int cases = NumCases();
-  std::printf("[differential] base seed 0x%llx, %d cases (override with "
-              "XPC_DIFF_SEED / XPC_DIFF_CASES)\n",
-              static_cast<unsigned long long>(base_seed), cases);
+  std::printf("[differential] base seed 0x%llx, %d cases, fast_paths=%s "
+              "(override with XPC_DIFF_SEED / XPC_DIFF_CASES)\n",
+              static_cast<unsigned long long>(base_seed), cases,
+              fast_paths ? "on" : "off");
 
-  Session session;
-  Solver solver;
+  SessionOptions session_options;
+  session_options.solver.fast_paths = fast_paths;
+  Session session(session_options);
+  SolverOptions solver_options;
+  solver_options.fast_paths = fast_paths;
+  Solver solver(solver_options);
   std::vector<std::pair<PathPtr, PathPtr>> all_pairs;
   std::vector<ContainmentVerdict> all_verdicts;
   int unknown = 0;
@@ -244,7 +254,7 @@ TEST_F(DifferentialHarness, SolverAgreesWithBruteForceWithAndWithoutCache) {
   // The whole workload again through the batch API of a FRESH session, so
   // the thread pool genuinely re-solves (no warm cache): verdicts must
   // match the sequential ones, query by query.
-  Session batch_session;
+  Session batch_session(session_options);
   std::vector<ContainmentResult> batch = batch_session.ContainsBatch(all_pairs);
   ASSERT_EQ(batch.size(), all_pairs.size());
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -262,6 +272,11 @@ TEST_F(DifferentialHarness, SolverAgreesWithBruteForceWithAndWithoutCache) {
   std::printf("[differential] %d cases, %d unknown; %s", cases, unknown,
               stats.ToString().c_str());
 }
+
+INSTANTIATE_TEST_SUITE_P(FastPaths, DifferentialHarness, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "On" : "Off";
+                         });
 
 }  // namespace
 }  // namespace xpc

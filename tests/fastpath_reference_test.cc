@@ -1,0 +1,425 @@
+// Differential battery for the PTIME fast paths (src/xpc/classify/).
+//
+// The dispatcher's claim (SolverOptions::fast_paths) is that routing a
+// classified-tractable query to a fast path changes the engine stamp and
+// nothing else: same verdict as the full engines, a genuine witness on
+// kSat, and — unlike the full engines — *no* resource-limit answers on the
+// fast path's own fragment. This file checks that claim on hundreds of
+// seeded in-fragment instances per tractable fragment:
+//
+//   * chain suites generate downward-chain queries BY CONSTRUCTION (a local
+//     generator that only emits label conjunctions around at most one
+//     ↓ / ↓* / self spine), so the classifier must route every single case;
+//   * vertical suites draw from the fuzz generator's VerticalConjunctive
+//     preset (which can step just outside the fragment, e.g. ↑ under ↓*)
+//     and require a high routed quota, checking the fallback stamp on the
+//     rest;
+//   * the full-engine leg runs the same facade with fast_paths = false.
+//     Schema-relativized comparisons cap the full pipeline's budgets and
+//     skip resource-limited references (the Prop-6 encoding can explode on
+//     adversarial schemas — that incompleteness is exactly why the fast
+//     paths exist), with a quota asserting the comparison is not hollow.
+//
+// Every failure message carries the case seed; re-run one case with
+//   XPC_FP_SEED=<seed> XPC_FP_CASES=1 ./xpc_fastpath_tests
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xpc/classify/profile.h"
+#include "xpc/core/solver.h"
+#include "xpc/edtd/conformance.h"
+#include "xpc/edtd/edtd.h"
+#include "xpc/edtd/encode.h"
+#include "xpc/eval/evaluator.h"
+#include "xpc/fuzz/generator.h"
+#include "xpc/pathauto/normal_form.h"
+#include "xpc/sat/downward_sat.h"
+#include "xpc/sat/loop_sat.h"
+#include "xpc/translate/intersect_product.h"
+#include "xpc/tree/tree_generator.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/build.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+constexpr uint64_t kDefaultBaseSeed = 0xfa57ba77ULL;
+
+uint64_t BaseSeed() {
+  if (const char* env = std::getenv("XPC_FP_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return kDefaultBaseSeed;
+}
+
+int Cases(int dflt) {
+  if (const char* env = std::getenv("XPC_FP_CASES")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return dflt;
+}
+
+bool FastStamped(const SatResult& r) { return r.engine.rfind("fastpath-", 0) == 0; }
+
+/// Facade with the fast paths on. Witness verification is off so the
+/// asserts below validate witnesses themselves (a bad witness must fail the
+/// test, not be silently demoted to kResourceLimit).
+SolverOptions FastOn() {
+  SolverOptions o;
+  o.verify_witnesses = false;
+  return o;
+}
+
+/// Facade with the fast paths off and capped full-pipeline budgets: the
+/// reference leg must terminate promptly even on schemas where the Prop-6
+/// encoding blows up (it returns kResourceLimit there, which the suites
+/// skip under a quota).
+SolverOptions FastOff() {
+  SolverOptions o;
+  o.fast_paths = false;
+  o.verify_witnesses = false;
+  o.loop.max_items = 4000;
+  o.loop.max_pool = 1000;
+  o.downward.max_inst_paths = 8000;
+  o.downward.max_summaries = 20000;
+  o.downward.max_atoms = 20000;
+  return o;
+}
+
+/// Downward-chain queries by construction: a conjunction of up to two
+/// labels and at most one ⟨spine⟩, where the spine is 1–4 ↓ / ↓* / self
+/// steps with label-conjunction qualifiers. Everything this emits is in
+/// fast path A's fragment, so the classifier must route 100% of it. Label
+/// conjunctions repeat draws from a 3-letter alphabet, so conflicting
+/// demands (→ unsat) arise naturally.
+class ChainGen {
+ public:
+  explicit ChainGen(uint64_t seed) : rng_(seed) {}
+
+  NodePtr Gen() {
+    NodePtr n = rng_.NextBelow(3) == 0 ? LabelConj() : nullptr;
+    if (rng_.NextBelow(4) != 0) {
+      NodePtr some = Some(GenSpine());
+      n = n ? And(n, some) : some;
+    }
+    return n ? n : True();
+  }
+
+ private:
+  PathPtr GenSpine() {
+    PathPtr p = GenStep();
+    const int extra = static_cast<int>(rng_.NextBelow(4));
+    for (int i = 0; i < extra; ++i) p = Seq(p, GenStep());
+    return p;
+  }
+
+  PathPtr GenStep() {
+    PathPtr step;
+    switch (rng_.NextBelow(5)) {
+      case 0:
+      case 1: step = Ax(Axis::kChild); break;
+      case 2:
+      case 3: step = AxStar(Axis::kChild); break;
+      default: step = Self(); break;
+    }
+    if (rng_.NextBelow(2) == 0) step = Filter(step, LabelConj());
+    return step;
+  }
+
+  NodePtr LabelConj() {
+    NodePtr n = Label(RandLabel());
+    if (rng_.NextBelow(4) == 0) n = And(n, Label(RandLabel()));
+    return n;
+  }
+
+  std::string RandLabel() {
+    switch (rng_.NextBelow(3)) {
+      case 0: return "a";
+      case 1: return "b";
+      default: return "c";
+    }
+  }
+
+  TreeGenerator rng_;
+};
+
+/// Asserts the fast leg's half of the contract on a routed query: stamped,
+/// decisive (fast paths are complete on their fragments), and carrying a
+/// genuine — and conforming, when a schema is given — witness on kSat.
+void CheckFastLeg(const NodePtr& phi, const SatResult& fast, const Edtd* edtd) {
+  ASSERT_TRUE(FastStamped(fast)) << "routed query ran " << fast.engine;
+  ASSERT_NE(fast.status, SolveStatus::kResourceLimit)
+      << fast.engine << " gave up on its own fragment";
+  if (fast.status == SolveStatus::kSat) {
+    ASSERT_TRUE(fast.witness.has_value()) << fast.engine << " kSat without witness";
+    Evaluator ev(*fast.witness);
+    ASSERT_TRUE(ev.SatisfiedSomewhere(phi))
+        << fast.engine << " witness does not satisfy the formula: "
+        << TreeToText(*fast.witness);
+    if (edtd != nullptr) {
+      ASSERT_TRUE(Conforms(*fast.witness, *edtd))
+          << fast.engine << " witness does not conform: " << TreeToText(*fast.witness);
+    }
+  }
+}
+
+// ======================================================================
+// Fast path A: downward chains.
+// ======================================================================
+
+TEST(FastPathReference, ChainFreeSchemaMatchesFullEngine) {
+  const uint64_t base_seed = BaseSeed();
+  const int cases = Cases(500);
+  std::printf("[fastpath-reference] chain/free: base seed 0x%llx, %d cases\n",
+              static_cast<unsigned long long>(base_seed), cases);
+  int sat = 0, unsat = 0;
+  for (int i = 0; i < cases; ++i) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    ChainGen gen(seed);
+    NodePtr phi = gen.Gen();
+    SCOPED_TRACE("case " + std::to_string(i) + " seed " + std::to_string(seed) +
+                 ": " + ToString(phi));
+
+    // By construction in the fragment — the classifier must agree.
+    FragmentProfile profile = ClassifyNode(phi);
+    ASSERT_TRUE(profile.downward_chain) << profile.Summary();
+    ASSERT_EQ(SelectFastPath(profile, nullptr), FastPathRoute::kDownwardChain);
+
+    SatResult fast = Solver(FastOn()).NodeSatisfiable(phi);
+    ASSERT_EQ(fast.engine, "fastpath-chain");
+    CheckFastLeg(phi, fast, nullptr);
+    if (HasFatalFailure()) return;
+
+    SatResult full = Solver(FastOff()).NodeSatisfiable(phi);
+    ASSERT_FALSE(FastStamped(full)) << "fast_paths=false still routed: " << full.engine;
+    ASSERT_NE(full.status, SolveStatus::kResourceLimit)
+        << "full engine " << full.engine << " indecisive on a schema-free chain";
+    ASSERT_EQ(fast.status, full.status)
+        << fast.engine << " vs " << full.engine << " (fast paths off)";
+    (fast.status == SolveStatus::kSat ? sat : unsat)++;
+  }
+  std::printf("[fastpath-reference] chain/free: %d sat, %d unsat\n", sat, unsat);
+  // Both verdicts must be exercised, or the agreement check is hollow.
+  EXPECT_GT(sat, 0);
+  EXPECT_GT(unsat, 0);
+}
+
+TEST(FastPathReference, ChainArbitraryEdtdsMatchFullEngine) {
+  const uint64_t base_seed = BaseSeed() ^ 0xc4a10000ULL;
+  const int cases = Cases(500);
+  std::printf("[fastpath-reference] chain/edtd: base seed 0x%llx, %d cases\n",
+              static_cast<unsigned long long>(base_seed), cases);
+  int sat = 0, unsat = 0, compared = 0;
+  for (int i = 0; i < cases; ++i) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    ChainGen gen(seed);
+    NodePtr phi = gen.Gen();
+    // Fast path A promises correctness on ANY schema: draw unconstrained
+    // EDTDs (duplicates, disjunctions, unrealizable types included).
+    FuzzGen schema_gen(seed * 2 + 1);
+    Edtd edtd = schema_gen.GenEdtd(EdtdGenOptions{});
+    SCOPED_TRACE("case " + std::to_string(i) + " seed " + std::to_string(seed) +
+                 ": " + ToString(phi));
+
+    FragmentProfile profile = ClassifyNode(phi);
+    SchemaClass schema = ClassifySchema(edtd);
+    ASSERT_EQ(SelectFastPath(profile, &schema), FastPathRoute::kDownwardChain)
+        << profile.Summary() << " / " << schema.Summary();
+
+    SatResult fast = Solver(FastOn()).NodeSatisfiable(phi, edtd);
+    ASSERT_EQ(fast.engine, "fastpath-chain+edtd");
+    CheckFastLeg(phi, fast, &edtd);
+    if (HasFatalFailure()) return;
+    (fast.status == SolveStatus::kSat ? sat : unsat)++;
+
+    // Chains are downward, so the capped reference is the native-EDTD
+    // downward engine via the facade; skip the rare starvations.
+    SatResult full = Solver(FastOff()).NodeSatisfiable(phi, edtd);
+    ASSERT_FALSE(FastStamped(full)) << full.engine;
+    if (full.status == SolveStatus::kResourceLimit) continue;
+    ++compared;
+    ASSERT_EQ(fast.status, full.status)
+        << fast.engine << " vs " << full.engine << " (fast paths off)";
+  }
+  std::printf("[fastpath-reference] chain/edtd: %d sat, %d unsat, %d compared\n",
+              sat, unsat, compared);
+  EXPECT_GT(sat, 0);
+  EXPECT_GT(unsat, 0);
+  EXPECT_GE(compared, cases / 2) << "too many indecisive references";
+}
+
+// ======================================================================
+// Fast path B: vertical conjunctive queries.
+// ======================================================================
+
+TEST(FastPathReference, VerticalFreeSchemaMatchesFullEngine) {
+  const uint64_t base_seed = BaseSeed() ^ 0x3e700000ULL;
+  const int cases = Cases(700);
+  std::printf("[fastpath-reference] vertical/free: base seed 0x%llx, %d cases\n",
+              static_cast<unsigned long long>(base_seed), cases);
+  int routed = 0, fell_back = 0, sat = 0, unsat = 0, compared = 0;
+  ExprGenOptions o = ExprGenOptions::VerticalConjunctive();
+  o.max_ops = 6;
+  for (int i = 0; i < cases; ++i) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    FuzzGen gen(seed);
+    NodePtr phi = gen.GenNode(o);
+    SCOPED_TRACE("case " + std::to_string(i) + " seed " + std::to_string(seed) +
+                 ": " + ToString(phi));
+
+    FragmentProfile profile = ClassifyNode(phi);
+    FastPathRoute route = SelectFastPath(profile, nullptr);
+    SatResult fast = Solver(FastOn()).NodeSatisfiable(phi);
+    if (route == FastPathRoute::kNone) {
+      // The preset can step just outside the fragment (↑ under ↓*); those
+      // cases pin the other half of the stamp contract.
+      ++fell_back;
+      ASSERT_FALSE(FastStamped(fast)) << "unrouted query ran " << fast.engine;
+      continue;
+    }
+    ++routed;
+    CheckFastLeg(phi, fast, nullptr);
+    if (HasFatalFailure()) return;
+    (fast.status == SolveStatus::kSat ? sat : unsat)++;
+
+    SatResult full = Solver(FastOff()).NodeSatisfiable(phi);
+    ASSERT_FALSE(FastStamped(full)) << full.engine;
+    if (full.status == SolveStatus::kResourceLimit) continue;
+    ++compared;
+    ASSERT_EQ(fast.status, full.status)
+        << fast.engine << " vs " << full.engine << " (fast paths off)";
+  }
+  std::printf("[fastpath-reference] vertical/free: %d routed (%d sat, %d unsat, "
+              "%d compared), %d fallbacks\n",
+              routed, sat, unsat, compared, fell_back);
+  EXPECT_GE(routed, (cases * 5) / 7) << "generator routed-rate regressed";
+  EXPECT_GT(sat, 0);
+  EXPECT_GT(unsat, 0);
+  EXPECT_GE(compared, routed / 2) << "too many indecisive references";
+}
+
+TEST(FastPathReference, VerticalLinearEdtdsMatchFullEngine) {
+  const uint64_t base_seed = BaseSeed() ^ 0x3e7d0000ULL;
+  const int cases = Cases(700);
+  std::printf("[fastpath-reference] vertical/edtd: base seed 0x%llx, %d cases\n",
+              static_cast<unsigned long long>(base_seed), cases);
+  int routed = 0, fell_back = 0, sat = 0, unsat = 0, compared = 0;
+  ExprGenOptions o = ExprGenOptions::VerticalConjunctive();
+  o.max_ops = 6;
+  for (int i = 0; i < cases; ++i) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    FuzzGen gen(seed);
+    NodePtr phi = gen.GenNode(o);
+    // Fast path B's precondition: duplicate-free, disjunction-free content.
+    EdtdGenOptions eo;
+    eo.linear_content = true;
+    Edtd edtd = gen.GenEdtd(eo);
+    SCOPED_TRACE("case " + std::to_string(i) + " seed " + std::to_string(seed) +
+                 ": " + ToString(phi));
+
+    FragmentProfile profile = ClassifyNode(phi);
+    SchemaClass schema = ClassifySchema(edtd);
+    ASSERT_TRUE(schema.duplicate_free && schema.disjunction_free)
+        << "linear_content emitted " << schema.Summary();
+    FastPathRoute route = SelectFastPath(profile, &schema);
+    if (route == FastPathRoute::kNone) {
+      // Only the stamp is under test on a fallback, so starve the full
+      // pipeline's budgets: at default ones the Prop-6 encoding can run for
+      // minutes on schema-relativized ↑-under-↓* draws.
+      ++fell_back;
+      SolverOptions starved = FastOn();
+      starved.loop.max_items = 50;
+      starved.loop.max_pool = 50;
+      SatResult fast = Solver(starved).NodeSatisfiable(phi, edtd);
+      ASSERT_FALSE(FastStamped(fast)) << "unrouted query ran " << fast.engine;
+      continue;
+    }
+    ++routed;
+    SatResult fast = Solver(FastOn()).NodeSatisfiable(phi, edtd);
+    ASSERT_NE(fast.engine.find("+edtd"), std::string::npos) << fast.engine;
+    CheckFastLeg(phi, fast, &edtd);
+    if (HasFatalFailure()) return;
+    (fast.status == SolveStatus::kSat ? sat : unsat)++;
+
+    // Reference leg. Downward star-free queries get the native-EDTD
+    // downward engine; the rest go through the Prop-6 encoding into
+    // loop-sat, guarded by DAG size (the encoding can explode — skip).
+    SatResult full;
+    full.status = SolveStatus::kResourceLimit;
+    std::string full_name = "(skipped)";
+    if (profile.fragment.IsDownward() && !profile.fragment.uses_star) {
+      DownwardSatOptions d;
+      d.max_inst_paths = 8000;
+      d.max_summaries = 20000;
+      d.max_atoms = 20000;
+      full = DownwardSatisfiableWithEdtd(phi, edtd, d);
+      full_name = "downward-sat+edtd";
+    } else {
+      NodePtr encoded = EncodeEdtdSatisfiability(phi, edtd);
+      LExprPtr e = ToLoopNormalForm(encoded);
+      if (e != nullptr && DagSizeOf(e) <= 400) {
+        LoopSatOptions lo;
+        lo.max_items = 4000;
+        lo.max_pool = 1000;
+        full = LoopSatisfiable(e, lo);
+        full_name = "loop-sat+edtd-encoding";
+      }
+    }
+    if (full.status == SolveStatus::kResourceLimit) continue;
+    ++compared;
+    ASSERT_EQ(fast.status, full.status) << fast.engine << " vs " << full_name;
+  }
+  std::printf("[fastpath-reference] vertical/edtd: %d routed (%d sat, %d unsat, "
+              "%d compared), %d fallbacks\n",
+              routed, sat, unsat, compared, fell_back);
+  EXPECT_GE(routed, (cases * 5) / 7) << "generator routed-rate regressed";
+  EXPECT_GT(sat, 0);
+  EXPECT_GT(unsat, 0);
+  EXPECT_GE(compared, routed / 3) << "too many indecisive references";
+}
+
+// ======================================================================
+// Forced fallbacks: out-of-fragment queries must never reach a fast path.
+// ======================================================================
+
+TEST(FastPathReference, OutOfFragmentQueriesNeverReachAFastPath) {
+  const uint64_t base_seed = BaseSeed() ^ 0xfa110000ULL;
+  const int cases = Cases(300);
+  std::printf("[fastpath-reference] fallback: base seed 0x%llx, %d cases\n",
+              static_cast<unsigned long long>(base_seed), cases);
+  ExprGenOptions o = ExprGenOptions::RegularFriendly();
+  o.max_ops = 5;
+  for (int i = 0; i < cases; ++i) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    FuzzGen gen(seed);
+    NodePtr phi = gen.GenNode(o);
+    // Push any in-fragment draw out of it; ¬ alone disqualifies both paths.
+    if (SelectFastPath(ClassifyNode(phi), nullptr) != FastPathRoute::kNone) {
+      phi = Not(phi);
+    }
+    SCOPED_TRACE("case " + std::to_string(i) + " seed " + std::to_string(seed) +
+                 ": " + ToString(phi));
+    FragmentProfile profile = ClassifyNode(phi);
+    ASSERT_EQ(SelectFastPath(profile, nullptr), FastPathRoute::kNone)
+        << profile.Summary();
+    ASSERT_FALSE(profile.downward_chain);
+    ASSERT_FALSE(profile.vertical_conjunctive);
+
+    SatResult r = Solver(FastOff()).NodeSatisfiable(phi);
+    ASSERT_FALSE(FastStamped(r)) << r.engine;
+    // fast_paths=true must classify, decline, and fall through identically.
+    SatResult with_classifier = Solver(FastOn()).NodeSatisfiable(phi);
+    ASSERT_FALSE(FastStamped(with_classifier)) << with_classifier.engine;
+    ASSERT_EQ(with_classifier.status, r.status);
+  }
+}
+
+}  // namespace
+}  // namespace xpc

@@ -50,6 +50,7 @@
 
 #include "xpc/automata/regex.h"
 #include "xpc/common/bits.h"
+#include "xpc/core/solver.h"
 #include "xpc/edtd/conformance.h"
 #include "xpc/edtd/edtd.h"
 #include "xpc/eval/evaluator.h"
@@ -1354,6 +1355,33 @@ Edtd RandomEdtd(TreeGenerator& rng) {
 // Cross-check suites.
 // ======================================================================
 
+// Every instance this file generates also goes through the solver facade
+// twice — classifier fast paths on and off — and both runs must agree
+// whenever both are decisive. Out-of-fragment cases (the majority here:
+// the generators emit ∩ / ≈ / ¬ freely) classify, decline, and fall
+// through to the same engine; in-fragment draws route to the PTIME
+// procedures of src/xpc/classify/, whose verdicts the full pipeline must
+// reproduce. Budgets are capped so starved full-pipeline runs skip rather
+// than stall.
+void CheckFacadeFastPathAgreement(const NodePtr& phi, const Edtd* edtd) {
+  SolverOptions on;
+  on.verify_witnesses = false;
+  on.loop.max_items = 3000;
+  on.loop.max_pool = 2000;
+  SolverOptions off = on;
+  off.fast_paths = false;
+  SatResult fast = edtd != nullptr ? Solver(on).NodeSatisfiable(phi, *edtd)
+                                   : Solver(on).NodeSatisfiable(phi);
+  SatResult full = edtd != nullptr ? Solver(off).NodeSatisfiable(phi, *edtd)
+                                   : Solver(off).NodeSatisfiable(phi);
+  if (fast.status == SolveStatus::kResourceLimit ||
+      full.status == SolveStatus::kResourceLimit) {
+    return;
+  }
+  ASSERT_EQ(fast.status, full.status) << "facade fast_paths on (" << fast.engine
+                                      << ") vs off (" << full.engine << ")";
+}
+
 // Asserts the production/reference equality contract for one downward
 // case, plus serial/parallel bit-identity. `phi` is the original (pre-
 // rewrite) formula for witness validation.
@@ -1411,6 +1439,8 @@ TEST(SatReference, DownwardFreeSchemaMatchesSweep) {
 
     CheckDownwardCase(phi, got, ref, par, nullptr);
     if (HasFatalFailure()) return;
+    CheckFacadeFastPathAgreement(phi, nullptr);
+    if (HasFatalFailure()) return;
     switch (got.status) {
       case SolveStatus::kSat: ++sat; break;
       case SolveStatus::kUnsat: ++unsat; break;
@@ -1447,6 +1477,8 @@ TEST(SatReference, DownwardRandomEdtdsMatchSweep) {
     SatResult par = DownwardSatisfiableWithEdtd(phi, edtd, popts);
 
     CheckDownwardCase(phi, got, ref, par, &edtd);
+    if (HasFatalFailure()) return;
+    CheckFacadeFastPathAgreement(phi, &edtd);
     if (HasFatalFailure()) return;
     switch (got.status) {
       case SolveStatus::kSat: ++sat; break;
@@ -1497,6 +1529,8 @@ TEST(SatReference, LoopEngineMatchesMapTableReference) {
       EXPECT_TRUE(ev.SatisfiedSomewhere(phi))
           << "claimed witness does not satisfy the formula: " << TreeToText(*got.witness);
     }
+    CheckFacadeFastPathAgreement(phi, nullptr);
+    if (HasFatalFailure()) return;
     switch (got.status) {
       case SolveStatus::kSat: ++sat; break;
       case SolveStatus::kUnsat: ++unsat; break;
