@@ -64,7 +64,11 @@ bool Selected(const std::string& name, const std::vector<std::string>& filters) 
 }
 
 // Google-Benchmark-style report: {"context": {...}, "benchmarks": [...]}.
-std::string ToJson(const std::vector<RunRecord>& records) {
+// A filtered run records its selection in the context, so downstream
+// consumers (the perf-regression gate) can tell "bench excluded by the
+// filter" apart from "bench silently dropped".
+std::string ToJson(const std::vector<RunRecord>& records,
+                   const std::vector<std::string>& filters) {
   std::ostringstream out;
   std::time_t now = std::time(nullptr);
   char date[64];
@@ -73,8 +77,15 @@ std::string ToJson(const std::vector<RunRecord>& records) {
   out << "{\n  \"context\": {\n";
   out << "    \"date\": \"" << date << "\",\n";
   out << "    \"executable\": \"bench_main\",\n";
-  out << "    \"xpc_stats_enabled\": " << (XPC_STATS_ENABLED ? "true" : "false") << "\n";
-  out << "  },\n  \"benchmarks\": [\n";
+  out << "    \"xpc_stats_enabled\": " << (XPC_STATS_ENABLED ? "true" : "false");
+  if (!filters.empty()) {
+    out << ",\n    \"filters\": [";
+    for (size_t i = 0; i < filters.size(); ++i) {
+      out << (i ? ", " : "") << "\"" << filters[i] << "\"";
+    }
+    out << "]";
+  }
+  out << "\n  },\n  \"benchmarks\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const RunRecord& r = records[i];
     out << "    {\n";
@@ -192,7 +203,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_main: cannot write %s\n", out_file.c_str());
     return 1;
   }
-  out << ToJson(records);
+  out << ToJson(records, filters);
   std::printf("wrote %s (%zu benches, %d failures)\n", out_file.c_str(), records.size(),
               failures);
   return failures == 0 ? 0 : 1;

@@ -1,0 +1,276 @@
+// Experiment E15 — ahead-of-time SchemaIndex speedup (acceptance gate).
+//
+// PR 7 moved the per-EDTD derivations the engines used to redo on every
+// query — the type-reachability closure, ε-free and minimized content
+// automata, sibling relations, the Prop. 6 encode skeleton — into an
+// immutable `SchemaIndex` built once per schema and shared through a
+// fingerprint-keyed registry. This bench measures exactly that
+// amortization on warm-schema satisfiability queries:
+//
+//   * leg A (warm)     index layer on, registry pre-warmed with one
+//                      `Acquire` per schema — every per-query consult is a
+//                      registry hit that copies the cached closure
+//   * leg B (disabled) `SchemaIndex::SetEnabled(false)` — the same queries
+//                      recompute the type-reachability analysis per call,
+//                      exactly the pre-PR-7 behaviour
+//
+// and FAILS unless both legs agree on every verdict (which must also match
+// the hand-computed expectation) and the warm leg is at least 5x faster
+// overall (the acceptance bar from the PR 7 issue).
+//
+// The workload is schema-relative star-free chains against deep and bushy
+// chain EDTDs — fast-path-routed, so per-query cost is the schema analysis
+// itself plus an O(depth) chain walk; the delta between the legs is purely
+// the index. A build-scaling preamble times `Build` at 1/2/8 worker
+// threads and fails on any determinism drift between the thread counts.
+
+#include "bench_registry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "xpc/core/solver.h"
+#include "xpc/edtd/edtd.h"
+#include "xpc/schemaindex/schema_index.h"
+#include "xpc/xpath/parser.h"
+
+using namespace xpc;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+             .count() /
+         1000.0;
+}
+
+// A depth-n unary-chain EDTD (t0 := t1, …, t_{n-1} := epsilon): the
+// realizability fixpoint needs one round per level, so the per-query
+// recompute on the disabled leg has depth-proportional work to amortize.
+Edtd DeepChainEdtd(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    text += "t" + std::to_string(i) + " := " +
+            (i + 1 < n ? "t" + std::to_string(i + 1) : "epsilon") + "\n";
+  }
+  return Edtd::Parse(text).value();
+}
+
+// The same chain with k filler alternatives per level — wide alphabets, so
+// the avail/down sweeps touch many types per round.
+Edtd BushyChainEdtd(int n, int k) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    std::string fillers;
+    for (int j = 0; j < k; ++j) {
+      fillers += (j ? " | " : "") + ("f" + std::to_string(i) + "_" + std::to_string(j));
+    }
+    std::string body = i + 1 < n
+                           ? "(" + std::string("t") + std::to_string(i + 1) + " | " +
+                                 fillers + ")+"
+                           : "epsilon";
+    text += "t" + std::to_string(i) + " := " + body + "\n";
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      text += "f" + std::to_string(i) + "_" + std::to_string(j) + " := epsilon\n";
+    }
+  }
+  return Edtd::Parse(text).value();
+}
+
+struct Case {
+  Case(std::string text, SolveStatus expect, const Edtd* edtd)
+      : text(std::move(text)), expect(expect), edtd(edtd) {}
+  std::string text;
+  SolveStatus expect;
+  const Edtd* edtd;  // Borrowed from the workload.
+  NodePtr phi;
+};
+
+struct Workload {
+  std::string name;
+  std::vector<Case> cases;
+  int repeats = 1;
+};
+
+std::string ChainTo(int from, int to) {
+  std::string q = "<";
+  for (int i = from; i <= to; ++i) {
+    if (i > from) q += "/";
+    q += "down[t" + std::to_string(i) + "]";
+  }
+  return q + ">";
+}
+
+Workload DeepWorkload(const Edtd& deep) {
+  Workload w;
+  w.name = "warm/deep";
+  w.repeats = 12;
+  w.cases.push_back({"t0 and " + ChainTo(1, 8), SolveStatus::kSat, &deep});
+  w.cases.push_back({"t0 and " + ChainTo(2, 9), SolveStatus::kUnsat, &deep});
+  w.cases.push_back({ChainTo(1, 16), SolveStatus::kSat, &deep});
+  w.cases.push_back({"<down[t1 and t2]>", SolveStatus::kUnsat, &deep});
+  w.cases.push_back({"t5 and " + ChainTo(6, 10), SolveStatus::kSat, &deep});
+  return w;
+}
+
+Workload BushyWorkload(const Edtd& bushy) {
+  Workload w;
+  w.name = "warm/bushy";
+  w.repeats = 12;
+  w.cases.push_back({"t0 and <down[t1]/down[t2]/down[t3]>", SolveStatus::kSat, &bushy});
+  w.cases.push_back({"<down[f0_0]/down[t1]>", SolveStatus::kUnsat, &bushy});
+  w.cases.push_back({"<down[f0_1]>", SolveStatus::kSat, &bushy});
+  w.cases.push_back({"<down[t1]/down[f1_3]>", SolveStatus::kSat, &bushy});
+  w.cases.push_back({"<down[t1 and f1_0]>", SolveStatus::kUnsat, &bushy});
+  return w;
+}
+
+// Re-enables the index layer (its default state) on every exit path, so a
+// failing gate never leaves the process-wide kill switch off for whatever
+// runs next in the unified runner.
+struct EnabledGuard {
+  ~EnabledGuard() { SchemaIndex::SetEnabled(true); }
+};
+
+}  // namespace
+
+static int RunSchemaIndexWarm() {
+  std::printf("== schema-index speedup: warm registry vs index disabled ==\n");
+  EnabledGuard guard;
+  int failures = 0;
+
+  Edtd deep = DeepChainEdtd(96);
+  Edtd bushy = BushyChainEdtd(16, 4);
+
+  // Build-scaling preamble: the parallel build must be bit-identical at any
+  // worker count (fingerprint, state numbering, DFA library).
+  std::printf("%-14s %-10s %-10s %-10s\n", "build", "threads=1", "threads=2",
+              "threads=8");
+  for (const auto* schema : {&deep, &bushy}) {
+    std::shared_ptr<const SchemaIndex> reference;
+    std::string row;
+    for (int threads : {1, 2, 8}) {
+      auto t0 = std::chrono::steady_clock::now();
+      SchemaIndexOptions opt;
+      opt.build_threads = threads;
+      std::shared_ptr<const SchemaIndex> built = SchemaIndex::Build(*schema, opt);
+      char cell[32];
+      std::snprintf(cell, sizeof cell, "%-10.2f", MsSince(t0));
+      row += cell;
+      if (reference == nullptr) {
+        reference = built;
+        continue;
+      }
+      bool same = built->fingerprint() == reference->fingerprint() &&
+                  built->total_content_states() == reference->total_content_states() &&
+                  built->state_offsets() == reference->state_offsets() &&
+                  built->dependents() == reference->dependents();
+      for (int t = 0; same && t < built->num_types(); ++t) {
+        same = built->MinimalContentDfa(t).num_states() ==
+                   reference->MinimalContentDfa(t).num_states() &&
+               built->siblings(t).first == reference->siblings(t).first &&
+               built->siblings(t).last == reference->siblings(t).last;
+      }
+      if (!same) {
+        std::printf("FAIL: build with %d threads differs from serial build\n", threads);
+        ++failures;
+      }
+    }
+    std::printf("%-14s %s\n", schema == &deep ? "deep(96)" : "bushy(16x4)", row.c_str());
+  }
+  if (failures != 0) return 1;
+
+  std::vector<Workload> workloads = {DeepWorkload(deep), BushyWorkload(bushy)};
+  for (Workload& w : workloads) {
+    for (Case& c : w.cases) c.phi = ParseNode(c.text).value();
+  }
+
+  SolverOptions opt;
+  opt.verify_witnesses = false;
+
+  // Untimed correctness pass: both legs on every case, checking routing and
+  // verdicts, so a wrong warm path fails loudly before any speedup claim.
+  for (bool warm : {true, false}) {
+    SchemaIndex::SetEnabled(warm);
+    SchemaIndex::ClearRegistry();
+    if (warm) {
+      SchemaIndex::Acquire(deep);
+      SchemaIndex::Acquire(bushy);
+      if (SchemaIndex::Lookup(deep) == nullptr || SchemaIndex::Lookup(bushy) == nullptr) {
+        std::printf("FAIL: registry did not retain the acquired indexes\n");
+        return 1;
+      }
+    }
+    for (const Workload& w : workloads) {
+      for (const Case& c : w.cases) {
+        SatResult res = Solver(opt).NodeSatisfiable(c.phi, *c.edtd);
+        if (res.engine.rfind("fastpath-", 0) != 0) {
+          std::printf("FAIL: %s [%s, %s]: not fast-path routed (engine %s)\n",
+                      c.text.c_str(), w.name.c_str(), warm ? "warm" : "disabled",
+                      res.engine.c_str());
+          ++failures;
+        }
+        if (res.status != c.expect) {
+          std::printf("FAIL: %s [%s, %s]: expected %s, got %s\n", c.text.c_str(),
+                      w.name.c_str(), warm ? "warm" : "disabled",
+                      SolveStatusName(c.expect), SolveStatusName(res.status));
+          ++failures;
+        }
+      }
+    }
+  }
+  if (failures != 0) return 1;
+
+  // Timed legs: whole workload x repeats, fresh Solver per call. The warm
+  // leg's registry is populated once, outside the timer — that is the
+  // amortization under test.
+  double total_warm = 0, total_cold = 0;
+  std::printf("%-14s %-8s %-12s %-12s %-10s\n", "workload", "calls", "warm-ms",
+              "disabled-ms", "speedup");
+  for (const Workload& w : workloads) {
+    auto run_leg = [&](bool warm) {
+      SchemaIndex::SetEnabled(warm);
+      SchemaIndex::ClearRegistry();
+      if (warm) {
+        SchemaIndex::Acquire(deep);
+        SchemaIndex::Acquire(bushy);
+      }
+      auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < w.repeats; ++r) {
+        for (const Case& c : w.cases) {
+          SatResult res = Solver(opt).NodeSatisfiable(c.phi, *c.edtd);
+          if (res.status != c.expect) ++failures;  // Re-checked: timed leg too.
+        }
+      }
+      return MsSince(t0);
+    };
+    double ms_warm = run_leg(true);
+    double ms_cold = run_leg(false);
+    total_warm += ms_warm;
+    total_cold += ms_cold;
+    std::printf("%-14s %-8zu %-12.2f %-12.2f %-10.1f\n", w.name.c_str(),
+                w.cases.size() * w.repeats, ms_warm, ms_cold,
+                ms_warm > 0 ? ms_cold / ms_warm : 0.0);
+  }
+
+  double speedup = total_warm > 0 ? total_cold / total_warm : 0.0;
+  std::printf("overall: warm %.2f ms, disabled %.2f ms, speedup %.1fx\n", total_warm,
+              total_cold, speedup);
+  if (failures != 0) {
+    std::printf("FAIL: verdict drift between the correctness and timed passes\n");
+    return 1;
+  }
+  if (speedup < 5.0) {
+    std::printf("FAIL: warm schema index must be at least 5x faster (got %.1fx)\n",
+                speedup);
+    return 1;
+  }
+  return 0;
+}
+
+XPC_BENCH("schemaindex_warm", RunSchemaIndexWarm);

@@ -18,7 +18,12 @@ Tracked metrics, per bench present in the baseline:
                                 the threshold.
 
 A bench listed in the baseline but missing from the current run is a hard
-failure (a silently dropped bench must not pass the gate).
+failure (a silently dropped bench must not pass the gate) — unless the
+current run's recorded `--filter` (the "filters" list bench_main writes into
+the report context) did not select that bench, in which case it is reported
+as "skipped (not in run)" and does not gate. An unfiltered run, or a
+filtered run whose filter *does* select the bench, still fails hard on a
+missing bench.
 
 A baseline entry may carry an optional "noise_pct": N annotation (hand-added,
 preserved across refreshes by convention): its *time-like* metrics (real_time
@@ -54,7 +59,21 @@ import sys
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    return {b["name"]: b for b in doc.get("benchmarks", [])}
+    return {b["name"]: b for b in doc.get("benchmarks", [])}, doc.get("context", {})
+
+
+def selected(name, filters):
+    """Mirrors bench_main's filter semantics: an empty filter selects every
+    bench; otherwise a bench is selected by an exact or substring match."""
+    return not filters or any(name == f or f in name for f in filters)
+
+
+def skipped_benches(baseline, current, filters):
+    """Baseline benches absent from the current run because the run's
+    recorded --filter did not select them. Reported, never gated."""
+    if not filters:
+        return []
+    return sorted(n for n in baseline if n not in current and not selected(n, filters))
 
 
 def time_like(metric):
@@ -76,12 +95,15 @@ def effective_threshold(base_bench, metric, threshold):
     return threshold
 
 
-def compare(baseline, current, threshold, min_time_ms):
-    """Returns a list of human-readable regression descriptions."""
+def compare(baseline, current, threshold, min_time_ms, filters=None):
+    """Returns a list of human-readable regression descriptions. `filters`
+    is the current run's recorded --filter list (see skipped_benches)."""
     problems = []
     for name, base in baseline.items():
         cur = current.get(name)
         if cur is None:
+            if filters and not selected(name, filters):
+                continue  # Excluded by the run's filter: skipped, not dropped.
             problems.append(f"{name}: missing from current run")
             continue
         if cur.get("error_occurred"):
@@ -203,6 +225,22 @@ def self_test():
     problems = compare(missing, same, 0.25, 50)
     assert any("bench_b" in p for p in problems), "dropped bench must fail"
 
+    # A filtered run that legitimately excluded bench_b: skipped, not failed.
+    only_a = {"bench_a": json.loads(json.dumps(missing["bench_a"]))}
+    assert compare(missing, only_a, 0.25, 50, filters=["bench_a"]) == [], \
+        "bench excluded by the run's filter must not gate"
+    assert skipped_benches(missing, only_a, ["bench_a"]) == ["bench_b"], \
+        "excluded bench must be reported as skipped"
+    # ...but a filter that *selects* bench_b (exact or substring, mirroring
+    # bench_main) makes its absence a hard failure again.
+    assert any("bench_b" in p for p in compare(missing, only_a, 0.25, 50,
+                                               filters=["bench"])), \
+        "selected-but-missing bench must still fail under a filter"
+    assert skipped_benches(missing, only_a, ["bench"]) == [], \
+        "a substring filter selects both benches; nothing is skipped"
+    assert skipped_benches(missing, only_a, []) == [], \
+        "an unfiltered run never reports skips"
+
     jitter = json.loads(json.dumps(base))
     jitter["bench_a"]["real_time"] = 1040.0  # +4%: under threshold.
     assert compare(base, jitter, 0.25, 50) == [], "small jitter must pass"
@@ -267,9 +305,14 @@ def main():
     if not args.baseline or not args.current:
         parser.error("BASELINE and CURRENT are required (or use --self-test)")
 
-    baseline = load(args.baseline)
-    current = load(args.current)
-    problems = compare(baseline, current, args.threshold, args.min_time_ms)
+    baseline, _ = load(args.baseline)
+    current, context = load(args.current)
+    filters = context.get("filters") or []
+    skipped = skipped_benches(baseline, current, filters)
+    for name in skipped:
+        print(f"perf-regression gate: {name}: skipped (not in run: excluded by "
+              f"--filter)")
+    problems = compare(baseline, current, args.threshold, args.min_time_ms, filters)
     report_improvements(
         improvements(baseline, current, args.threshold, args.min_time_ms), args.threshold,
         geomean_speedup(baseline, current))
@@ -279,7 +322,8 @@ def main():
         for p in problems:
             print(f"  FAIL {p}")
         return 1
-    print(f"perf-regression gate: ok ({len(baseline)} benches, "
+    print(f"perf-regression gate: ok ({len(baseline) - len(skipped)} benches"
+          f"{f', {len(skipped)} skipped' if skipped else ''}, "
           f"threshold {args.threshold * 100:.0f}%)")
     return 0
 

@@ -4,7 +4,7 @@
 //   xpc_fuzz [--seed N] [--cases M]
 //            [--oracle all|roundtrip|translations|engines|session|o5|fastpath]
 //            [--trees K] [--max-nodes K] [--max-ops K] [--no-shrink]
-//            [--corpus DIR]
+//            [--corpus DIR] [--fail-dir DIR]
 //
 // Runs M deterministic cases through the enabled oracle families:
 //   O1  parse(print(e)) structurally identical to e          (roundtrip)
@@ -16,7 +16,10 @@
 //
 // Failures are delta-minimized and printed in the regression-corpus `.case`
 // format, ready to check in under tests/fuzz_corpus/. `--corpus DIR` replays
-// an existing corpus instead of (before) fuzzing.
+// an existing corpus instead of (before) fuzzing. `--fail-dir DIR` also
+// writes each FAIL block to DIR/fail-<oracle>-<caseseed>.case (creating DIR
+// if needed) — the nightly CI campaign uploads that directory as a workflow
+// artifact, so a red nightly hands over ready-to-commit corpus files.
 //
 // Exit status: 0 when every case passed, 1 on any failure, 2 on bad usage.
 //
@@ -29,6 +32,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "xpc/fuzz/corpus.h"
@@ -41,7 +46,7 @@ namespace {
                "usage: xpc_fuzz [--seed N] [--cases M] [--oracle all|roundtrip|translations|"
                "engines|session|o5|fastpath]\n"
                "                [--trees K] [--max-nodes K] [--max-ops K] [--no-shrink] "
-               "[--corpus DIR]\n");
+               "[--corpus DIR] [--fail-dir DIR]\n");
   std::exit(2);
 }
 
@@ -60,6 +65,7 @@ int64_t ParseInt(const char* flag, const char* value) {
 int main(int argc, char** argv) {
   xpc::FuzzOptions options;
   std::string corpus_dir;
+  std::string fail_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -81,6 +87,8 @@ int main(int argc, char** argv) {
       options.shrink = false;
     } else if (arg == "--corpus") {
       corpus_dir = value();
+    } else if (arg == "--fail-dir") {
+      fail_dir = value();
     } else if (arg == "--oracle") {
       const std::string which = value();
       options.roundtrip = which == "all" || which == "roundtrip";
@@ -125,6 +133,15 @@ int main(int argc, char** argv) {
     xpc::FuzzReport report = xpc::RunFuzz(options);
     std::printf("fuzz: seed %llu: %s\n", static_cast<unsigned long long>(options.seed),
                 report.Summary().c_str());
+    if (!fail_dir.empty() && !report.failures.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(fail_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "xpc_fuzz: cannot create --fail-dir %s: %s\n", fail_dir.c_str(),
+                     ec.message().c_str());
+        return 2;
+      }
+    }
     for (const xpc::FuzzFailure& f : report.failures) {
       failed = true;
       // Corpus-ready block: paste into tests/fuzz_corpus/<name>.case.
@@ -132,6 +149,19 @@ int main(int argc, char** argv) {
                   f.oracle.c_str(), f.expr.c_str(),
                   static_cast<unsigned long long>(f.case_seed));
       if (!f.edtd.empty()) std::printf("edtd: %s\n", f.edtd.c_str());
+      if (!fail_dir.empty()) {
+        const std::string path = fail_dir + "/fail-" + f.oracle + "-" +
+                                 std::to_string(f.case_seed) + ".case";
+        std::ofstream out(path);
+        out << "# " << f.detail << "\noracle: " << f.oracle << "\nexpr: " << f.expr
+            << "\nseed: " << f.case_seed << "\n";
+        if (!f.edtd.empty()) out << "edtd: " << f.edtd << "\n";
+        if (!out) {
+          std::fprintf(stderr, "xpc_fuzz: cannot write %s\n", path.c_str());
+          return 2;
+        }
+        std::printf("wrote %s\n", path.c_str());
+      }
     }
   }
 

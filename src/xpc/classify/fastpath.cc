@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "xpc/common/bits.h"
+#include "xpc/schemaindex/schema_index.h"
 
 namespace xpc {
 
@@ -214,124 +215,26 @@ class FrameBuilder {
 
 // ====================== Schema analysis ==================================
 
-// The PTIME skeleton both procedures share: realizability of each type
-// (least fixpoint over content automata), the available-child relation
-// avail(t) = {u | some word of L(P(t)) over realizable types contains u},
-// its descendant closure, and reachability from the root type.
-struct SchemaAnalysis {
+// The PTIME skeleton both procedures share — the type-reachability closure
+// (schemaindex/schema_index.h) plus the EDTD handle the witness builders
+// need. Served from a registered `SchemaIndex` when the schema is warm;
+// recomputed per query otherwise. Both sources run the same
+// `ComputeTypeReachability`, so verdicts, witnesses, and the `explored`
+// work measure are identical on either path.
+struct SchemaAnalysis : TypeReachability {
   const Edtd* edtd = nullptr;
-  int n = 0;
-  int root = -1;
-  Bits realizable;
-  std::vector<int> realize_round;  // Fixpoint round a type became realizable.
-  Bits reachable;                  // Realizable ∧ reachable from the root.
-  std::vector<int> reach_parent;   // BFS tree over avail edges, for witnesses.
-  std::vector<Bits> avail;
-  std::vector<Bits> down;  // Strict-descendant closure of avail.
-  int64_t explored = 0;
 
   const std::string& Mu(int t) const { return edtd->types()[t].concrete_label; }
 };
 
-// States of `nfa` reachable from the initial set reading symbols in
-// `alphabet` (ε-closed throughout).
-Bits ReachedStates(const Nfa& nfa, const Bits& alphabet) {
-  Bits reached = nfa.InitialSet();
-  bool grew = true;
-  while (grew) {
-    grew = false;
-    alphabet.ForEach([&](int s) { grew = reached.UnionWith(nfa.Step(reached, s)) || grew; });
-  }
-  return reached;
-}
-
 SchemaAnalysis AnalyzeSchema(const Edtd& edtd) {
   SchemaAnalysis a;
+  if (std::shared_ptr<const SchemaIndex> index = SchemaIndex::Lookup(edtd)) {
+    static_cast<TypeReachability&>(a) = index->reachability();
+  } else {
+    static_cast<TypeReachability&>(a) = ComputeTypeReachability(edtd);
+  }
   a.edtd = &edtd;
-  a.n = static_cast<int>(edtd.types().size());
-  a.root = edtd.TypeIndex(edtd.root_type());
-  a.realizable = Bits(a.n);
-  a.realize_round.assign(a.n, -1);
-
-  // Realizability fixpoint. Rounds are strict: a type realized in round k
-  // accepts a word over types realized in rounds < k, which is what lets
-  // the witness builder terminate on recursive schemas.
-  int round = 0;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    Bits snapshot = a.realizable;
-    std::vector<int> fresh;
-    for (int t = 0; t < a.n; ++t) {
-      if (a.realizable.Get(t)) continue;
-      const Nfa& nfa = edtd.ContentNfa(t);
-      a.explored += nfa.num_states();
-      if (nfa.AnyAccepting(ReachedStates(nfa, snapshot))) fresh.push_back(t);
-    }
-    for (int t : fresh) {
-      a.realizable.Set(t);
-      a.realize_round[t] = round;
-      changed = true;
-    }
-    ++round;
-  }
-
-  // avail(t): forward-reachable × backward-coreachable transition sweep.
-  a.avail.assign(a.n, Bits(a.n));
-  for (int t = 0; t < a.n; ++t) {
-    if (!a.realizable.Get(t)) continue;
-    const Nfa& nfa = edtd.ContentNfa(t);
-    Bits forward = ReachedStates(nfa, a.realizable);
-    Bits backward(nfa.num_states());
-    for (int q : nfa.accepting()) backward.Set(q);
-    bool grew = true;
-    while (grew) {
-      grew = false;
-      for (const Nfa::Transition& tr : nfa.transitions()) {
-        bool usable = tr.symbol == Nfa::kEpsilon || a.realizable.Get(tr.symbol);
-        if (usable && backward.Get(tr.to) && !backward.Get(tr.from)) {
-          backward.Set(tr.from);
-          grew = true;
-        }
-      }
-    }
-    for (const Nfa::Transition& tr : nfa.transitions()) {
-      if (tr.symbol == Nfa::kEpsilon || !a.realizable.Get(tr.symbol)) continue;
-      if (forward.Get(tr.from) && backward.Get(tr.to)) a.avail[t].Set(tr.symbol);
-    }
-    a.explored += static_cast<int64_t>(nfa.transitions().size());
-  }
-
-  // Reachability from the root over avail edges, with BFS parents.
-  a.reachable = Bits(a.n);
-  a.reach_parent.assign(a.n, -1);
-  if (a.root >= 0 && a.realizable.Get(a.root)) {
-    std::deque<int> queue = {a.root};
-    a.reachable.Set(a.root);
-    while (!queue.empty()) {
-      int t = queue.front();
-      queue.pop_front();
-      a.avail[t].ForEach([&](int u) {
-        if (!a.reachable.Get(u)) {
-          a.reachable.Set(u);
-          a.reach_parent[u] = t;
-          queue.push_back(u);
-        }
-      });
-    }
-  }
-
-  // Strict-descendant closure: down(t) = ⋃_{u ∈ avail(t)} {u} ∪ down(u).
-  a.down = a.avail;
-  changed = true;
-  while (changed) {
-    changed = false;
-    for (int t = 0; t < a.n; ++t) {
-      Bits add(a.n);
-      a.down[t].ForEach([&](int u) { add.UnionWith(a.down[u]); });
-      changed = a.down[t].UnionWith(add) || changed;
-    }
-  }
   return a;
 }
 

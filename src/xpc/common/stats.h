@@ -75,6 +75,10 @@ namespace xpc {
   X(kClassifyFastpathHits, "classify.fastpath_hits", kCounter)                \
   X(kClassifyFastpathFallbacks, "classify.fastpath_fallbacks", kCounter)      \
   X(kClassifyProfile, "classify.profile_time", kTimer)                        \
+  /* ahead-of-time per-EDTD schema index (warm-schema substrate) */           \
+  X(kSchemaIndexBuild, "schemaindex.build_time", kTimer)                      \
+  X(kSchemaIndexHits, "schemaindex.hits", kCounter)                           \
+  X(kSchemaIndexColdMisses, "schemaindex.cold_misses", kCounter)              \
   /* session caches (unified view of SessionStats) */                         \
   X(kSessionContainmentHits, "session.containment.hits", kCounter)            \
   X(kSessionContainmentMisses, "session.containment.misses", kCounter)        \

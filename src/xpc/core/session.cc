@@ -159,15 +159,25 @@ void Session::SetSolverOptions(const SolverOptions& options) {
 }
 
 void Session::SetEdtd(const Edtd& edtd) {
-  // Pre-build the lazily-cached content NFAs (including their CSR indexes
-  // and ε-closure memos) while the copy is still private, so the published
-  // EDTD is never mutated from worker threads.
+  // Pre-build every lazily-cached artifact — content NFAs (CSR indexes,
+  // ε-closure memos) and the schema-class predicate verdicts — while the
+  // copy is still private, so the published EDTD is never mutated from
+  // worker threads.
   auto fresh = std::make_shared<Edtd>(edtd);
   for (size_t i = 0; i < fresh->types().size(); ++i) fresh->ContentNfa(static_cast<int>(i));
+  fresh->HasDuplicateFreeContent();
+  fresh->HasDisjunctionFreeContent();
+  fresh->IsCovering();
+  // Attach-time index build (outside the session lock: Acquire may fan out
+  // worker threads). Returns the registry-resident index when this schema
+  // is already warm.
+  std::shared_ptr<const SchemaIndex> index =
+      SchemaIndex::Acquire(*fresh, options_.schema_index);
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t fp = FingerprintEdtd(edtd);
   if (edtd_ != nullptr && fp == edtd_fp_) return;
   edtd_ = std::move(fresh);
+  schema_index_ = std::move(index);
   edtd_fp_ = fp;
   containment_cache_.Clear();
   sat_cache_.Clear();
@@ -180,6 +190,7 @@ void Session::ClearEdtd() {
   std::lock_guard<std::mutex> lock(mu_);
   if (edtd_ == nullptr) return;
   edtd_.reset();
+  schema_index_.reset();
   edtd_fp_ = 0;
   containment_cache_.Clear();
   sat_cache_.Clear();
@@ -397,6 +408,16 @@ std::shared_ptr<const Dfa> Session::ContentModelDfa(const std::string& abstract_
     }
     ++stats_.dfa.misses;
     telemetry_.Add(Metric::kSessionDfaMisses);
+    if (schema_index_ != nullptr) {
+      // Serve the pre-minimized DFA from the index through the cache, so
+      // the usual miss-then-hit flow (and pointer identity on repeat
+      // lookups) is preserved. The aliasing constructor keeps the whole
+      // index alive for as long as the DFA pointer circulates.
+      std::shared_ptr<const Dfa> dfa(schema_index_,
+                                     &schema_index_->MinimalContentDfa(type_index));
+      dfa_cache_.Put(type_index, dfa);
+      return dfa;
+    }
     content = edtd_->types()[type_index].content;
     alphabet = edtd_->AbstractLabels();
   }

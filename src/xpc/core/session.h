@@ -18,6 +18,7 @@
 #include "xpc/core/solver.h"
 #include "xpc/edtd/edtd.h"
 #include "xpc/pathauto/lexpr.h"
+#include "xpc/schemaindex/schema_index.h"
 #include "xpc/xpath/interner.h"
 
 namespace xpc {
@@ -86,6 +87,9 @@ struct SessionOptions {
   size_t artifact_cache_capacity = 1024;
   /// Worker threads for `ContainsBatch`; 0 = min(hardware_concurrency, 8).
   int batch_threads = 0;
+  /// Ahead-of-time schema index built (or fetched from the registry) by
+  /// `SetEdtd`. `build_threads` controls the per-type build fan-out.
+  SchemaIndexOptions schema_index;
 };
 
 /// Observability counters for a `Session`. All counters are cumulative since
@@ -229,6 +233,9 @@ class Session {
   // schema even across SetEdtd calls. Content NFAs are pre-built before
   // publication, making the pointee truly read-only.
   std::shared_ptr<const Edtd> edtd_;
+  // Ahead-of-time index of the published EDTD (nullptr when no EDTD is set
+  // or the index layer is disabled). Immutable; shared with the registry.
+  std::shared_ptr<const SchemaIndex> schema_index_;
   uint64_t options_fp_;
   uint64_t edtd_fp_ = 0;
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "xpc/common/stats.h"
+#include "xpc/schemaindex/schema_index.h"
 #include "xpc/xpath/build.h"
 #include "xpc/xpath/transform.h"
 
@@ -77,22 +78,9 @@ std::string WitnessLabel(const std::string& abstract_label, int state) {
   return abstract_label + "__" + std::to_string(state);
 }
 
-NodePtr EncodeEdtdSatisfiability(const NodePtr& phi, const Edtd& edtd) {
-  StatsTimer timer(Metric::kTranslateEdtdEncode);
+EncodeSkeleton BuildEncodeSkeleton(const Edtd& edtd, const std::vector<Nfa>& automata,
+                                   const std::vector<int>& offset, int total_states) {
   const int num_types = static_cast<int>(edtd.types().size());
-
-  // ε-free content automata and global state numbering. Global state id of
-  // automaton i's state q is offset[i] + q; state components of witness
-  // labels are global ids so that states of distinct automata are disjoint
-  // (as the paper assumes).
-  std::vector<Nfa> automata;
-  std::vector<int> offset(num_types, 0);
-  int total_states = 0;
-  for (int i = 0; i < num_types; ++i) {
-    automata.push_back(edtd.ContentNfa(i).RemoveEpsilons());
-    offset[i] = total_states;
-    total_states += automata[i].num_states();
-  }
 
   // lbl(t, g): the witness label for abstract type index t and global state
   // g. Only pairs where g is *some* automaton's state are used; the Δ and
@@ -181,7 +169,7 @@ NodePtr EncodeEdtdSatisfiability(const NodePtr& phi, const Edtd& edtd) {
     }
   }
 
-  // φ': each concrete label p becomes ⋁ {lbl(t, g) : μ(t) = p}.
+  // φ' substitution: each concrete label p becomes ⋁ {lbl(t, g) : μ(t) = p}.
   std::map<std::string, NodePtr> subst;
   for (const std::string& concrete : edtd.ConcreteLabels()) {
     std::vector<NodePtr> disj;
@@ -190,11 +178,49 @@ NodePtr EncodeEdtdSatisfiability(const NodePtr& phi, const Edtd& edtd) {
     }
     subst[concrete] = OrAll(std::move(disj));
   }
-  NodePtr phi_prime = ReplaceLabels(phi, subst);
+
+  // The skeleton closes with ¬⟨↑⟩; the query-dependent ⟨↓*[φ']⟩ conjunct is
+  // appended by EncodeEdtdSatisfiability.
+  conjuncts.push_back(Not(Some(Ax(Axis::kParent))));
+  return EncodeSkeleton{std::move(conjuncts), std::move(subst)};
+}
+
+NodePtr EncodeEdtdSatisfiability(const NodePtr& phi, const Edtd& edtd) {
+  StatsTimer timer(Metric::kTranslateEdtdEncode);
+
+  // Warm path: a registered SchemaIndex already holds the schema-only
+  // skeleton (conjunct list + substitution); only the query-dependent
+  // conjunct remains. Cold path: derive the ε-free automata and the
+  // skeleton locally. Both paths produce structurally identical formulas —
+  // BuildEncodeSkeleton is the single source of the conjunct order.
+  std::vector<NodePtr> conjuncts;
+  NodePtr phi_prime;
+  if (std::shared_ptr<const SchemaIndex> index = SchemaIndex::Lookup(edtd)) {
+    const EncodeSkeleton& skeleton = index->encode_skeleton();
+    conjuncts = skeleton.conjuncts;
+    phi_prime = ReplaceLabels(phi, skeleton.subst);
+  } else {
+    const int num_types = static_cast<int>(edtd.types().size());
+
+    // ε-free content automata and global state numbering. Global state id
+    // of automaton i's state q is offset[i] + q; state components of
+    // witness labels are global ids so that states of distinct automata are
+    // disjoint (as the paper assumes).
+    std::vector<Nfa> automata;
+    std::vector<int> offset(num_types, 0);
+    int total_states = 0;
+    for (int i = 0; i < num_types; ++i) {
+      automata.push_back(edtd.ContentNfa(i).RemoveEpsilons());
+      offset[i] = total_states;
+      total_states += automata[i].num_states();
+    }
+    EncodeSkeleton skeleton = BuildEncodeSkeleton(edtd, automata, offset, total_states);
+    conjuncts = std::move(skeleton.conjuncts);
+    phi_prime = ReplaceLabels(phi, skeleton.subst);
+  }
 
   // ψ ∧ ¬⟨↑⟩ ∧ ⟨↓*[φ']⟩ — evaluated at the root.
-  conjuncts.push_back(Not(Some(Ax(Axis::kParent))));
-  conjuncts.push_back(Some(Filter(descendants, phi_prime)));
+  conjuncts.push_back(Some(Filter(AxStar(Axis::kChild), phi_prime)));
   return AndAll(std::move(conjuncts));
 }
 

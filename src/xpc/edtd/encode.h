@@ -1,9 +1,12 @@
 #ifndef XPC_EDTD_ENCODE_H_
 #define XPC_EDTD_ENCODE_H_
 
+#include <map>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "xpc/automata/nfa.h"
 #include "xpc/edtd/edtd.h"
 #include "xpc/tree/xml_tree.h"
 #include "xpc/xpath/ast.h"
@@ -33,6 +36,24 @@ Edtd NonRestrictiveEdtd(const std::set<std::string>& labels, const std::string& 
 /// t__q with μ(t) = p. Content NFAs are ε-eliminated first so that the
 /// transition constraints are local.
 NodePtr EncodeEdtdSatisfiability(const NodePtr& phi, const Edtd& edtd);
+
+/// The schema-only half of the Proposition 6 encoding: the conjunct list ψ
+/// up to and including ¬⟨↑⟩ (everything except the final ⟨↓*[φ']⟩) plus the
+/// concrete-label substitution that produces φ'. A pure function of the
+/// EDTD, so `SchemaIndex` precomputes one per schema; AST nodes are
+/// immutable, so sharing the conjuncts across queries and threads is safe.
+struct EncodeSkeleton {
+  std::vector<NodePtr> conjuncts;
+  std::map<std::string, NodePtr> subst;
+};
+
+/// Builds the skeleton from ε-free content automata with the global state
+/// numbering `offset` (state q of automaton t has id offset[t] + q) and
+/// `total_states` ids overall. `EncodeEdtdSatisfiability` composes its
+/// result from exactly this skeleton, so cold and index-served encodings
+/// are structurally identical.
+EncodeSkeleton BuildEncodeSkeleton(const Edtd& edtd, const std::vector<Nfa>& automata,
+                                   const std::vector<int>& offset, int total_states);
 
 /// The witness label `t__q`.
 std::string WitnessLabel(const std::string& abstract_label, int state);

@@ -14,6 +14,7 @@
 #include "xpc/common/bits.h"
 #include "xpc/common/stats.h"
 #include "xpc/sat/simple_paths.h"
+#include "xpc/schemaindex/schema_index.h"
 #include "xpc/xpath/build.h"
 #include "xpc/xpath/metrics.h"
 
@@ -392,6 +393,15 @@ class DownwardEngine {
   // safe — the fixpoint is monotone and confluent — and cheap to index.
   void BuildDependents() {
     const int num_types = static_cast<int>(edtd_.types().size());
+    // Warm schemas serve the relation from the SchemaIndex. The free-schema
+    // path (`any_root_`) synthesizes a throwaway EDTD per query — consulting
+    // the registry there would only churn the cold-miss counter.
+    if (!any_root_) {
+      if (std::shared_ptr<const SchemaIndex> index = SchemaIndex::Lookup(edtd_)) {
+        dependents_ = index->dependents();
+        return;
+      }
+    }
     dependents_.assign(num_types, Bits(num_types));
     for (int t = 0; t < num_types; ++t) {
       for (const Nfa::Transition& tr : edtd_.ContentNfa(t).transitions()) {

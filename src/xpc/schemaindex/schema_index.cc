@@ -1,0 +1,390 @@
+#include "xpc/schemaindex/schema_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "xpc/automata/regex.h"
+#include "xpc/common/stats.h"
+
+namespace xpc {
+
+namespace {
+
+// --- Fingerprint (FNV over the textual schema, splitmix-mixed) -----------
+
+uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t FpCombine(uint64_t seed, uint64_t v) {
+  return MixU64(seed ^ (v + 0x165667b19e3779f9ULL));
+}
+
+uint64_t FpString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return MixU64(h);
+}
+
+int ResolveBuildThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  return static_cast<int>(hw < 8 ? hw : 8);
+}
+
+// States of `nfa` reachable from the initial set reading symbols in
+// `alphabet` (ε-closed throughout).
+Bits ReachedStates(const Nfa& nfa, const Bits& alphabet) {
+  Bits reached = nfa.InitialSet();
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    alphabet.ForEach([&](int s) { grew = reached.UnionWith(nfa.Step(reached, s)) || grew; });
+  }
+  return reached;
+}
+
+// --- Registry -------------------------------------------------------------
+
+// Process-wide fingerprint-keyed store of built indexes, LRU-bounded: fuzz
+// and test workloads churn through thousands of throwaway schemas, and a
+// bounded registry keeps them from pinning every index forever. Real
+// serving traffic touches a handful of schemas, which stay resident.
+constexpr size_t kRegistryCapacity = 64;
+
+struct Registry {
+  std::mutex mu;
+  // Front of `order` = most recently used.
+  std::list<uint64_t> order;
+  std::unordered_map<uint64_t,
+                     std::pair<std::shared_ptr<const SchemaIndex>, std::list<uint64_t>::iterator>>
+      map;
+
+  std::shared_ptr<const SchemaIndex> Get(uint64_t fp) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = map.find(fp);
+    if (it == map.end()) return nullptr;
+    order.splice(order.begin(), order, it->second.second);
+    return it->second.first;
+  }
+
+  void Put(uint64_t fp, std::shared_ptr<const SchemaIndex> index) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = map.find(fp);
+    if (it != map.end()) {
+      order.splice(order.begin(), order, it->second.second);
+      return;  // A concurrent build won the race; keep the resident index.
+    }
+    order.push_front(fp);
+    map.emplace(fp, std::make_pair(std::move(index), order.begin()));
+    while (map.size() > kRegistryCapacity) {
+      map.erase(order.back());
+      order.pop_back();
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu);
+    map.clear();
+    order.clear();
+  }
+
+  size_t Size() {
+    std::lock_guard<std::mutex> lock(mu);
+    return map.size();
+  }
+};
+
+Registry& TheRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+std::atomic<bool> g_enabled{true};
+
+}  // namespace
+
+// --- Reachability closure -------------------------------------------------
+
+TypeReachability ComputeTypeReachability(const Edtd& edtd) {
+  TypeReachability a;
+  a.n = static_cast<int>(edtd.types().size());
+  a.root = edtd.TypeIndex(edtd.root_type());
+  a.realizable = Bits(a.n);
+  a.realize_round.assign(a.n, -1);
+
+  // Realizability fixpoint. Rounds are strict: a type realized in round k
+  // accepts a word over types realized in rounds < k, which is what lets
+  // the fast-path witness builders terminate on recursive schemas.
+  int round = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    Bits snapshot = a.realizable;
+    std::vector<int> fresh;
+    for (int t = 0; t < a.n; ++t) {
+      if (a.realizable.Get(t)) continue;
+      const Nfa& nfa = edtd.ContentNfa(t);
+      a.explored += nfa.num_states();
+      if (nfa.AnyAccepting(ReachedStates(nfa, snapshot))) fresh.push_back(t);
+    }
+    for (int t : fresh) {
+      a.realizable.Set(t);
+      a.realize_round[t] = round;
+      changed = true;
+    }
+    ++round;
+  }
+
+  // avail(t): forward-reachable × backward-coreachable transition sweep.
+  a.avail.assign(a.n, Bits(a.n));
+  for (int t = 0; t < a.n; ++t) {
+    if (!a.realizable.Get(t)) continue;
+    const Nfa& nfa = edtd.ContentNfa(t);
+    Bits forward = ReachedStates(nfa, a.realizable);
+    Bits backward(nfa.num_states());
+    for (int q : nfa.accepting()) backward.Set(q);
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const Nfa::Transition& tr : nfa.transitions()) {
+        bool usable = tr.symbol == Nfa::kEpsilon || a.realizable.Get(tr.symbol);
+        if (usable && backward.Get(tr.to) && !backward.Get(tr.from)) {
+          backward.Set(tr.from);
+          grew = true;
+        }
+      }
+    }
+    for (const Nfa::Transition& tr : nfa.transitions()) {
+      if (tr.symbol == Nfa::kEpsilon || !a.realizable.Get(tr.symbol)) continue;
+      if (forward.Get(tr.from) && backward.Get(tr.to)) a.avail[t].Set(tr.symbol);
+    }
+    a.explored += static_cast<int64_t>(nfa.transitions().size());
+  }
+
+  // Reachability from the root over avail edges, with BFS parents.
+  a.reachable = Bits(a.n);
+  a.reach_parent.assign(a.n, -1);
+  if (a.root >= 0 && a.realizable.Get(a.root)) {
+    std::deque<int> queue = {a.root};
+    a.reachable.Set(a.root);
+    while (!queue.empty()) {
+      int t = queue.front();
+      queue.pop_front();
+      a.avail[t].ForEach([&](int u) {
+        if (!a.reachable.Get(u)) {
+          a.reachable.Set(u);
+          a.reach_parent[u] = t;
+          queue.push_back(u);
+        }
+      });
+    }
+  }
+
+  // Strict-descendant closure: down(t) = ⋃_{u ∈ avail(t)} {u} ∪ down(u).
+  a.down = a.avail;
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (int t = 0; t < a.n; ++t) {
+      Bits add(a.n);
+      a.down[t].ForEach([&](int u) { add.UnionWith(a.down[u]); });
+      changed = a.down[t].UnionWith(add) || changed;
+    }
+  }
+  return a;
+}
+
+// --- Build ----------------------------------------------------------------
+
+namespace {
+
+// Sibling relations of one ε-free content automaton, restricted to
+// realizable symbols: fwd = states reachable from the initial set over
+// realizable words, bwd = states co-reachable to an accepting state over
+// realizable words. A symbol pair (a, b) is a follow pair iff some
+// transition chain fwd —a→ q —b→ bwd exists, which is exact for "the factor
+// ab occurs in some all-realizable word of the language".
+SchemaIndex::SiblingRelations ComputeSiblings(const Nfa& nfa, const Bits& realizable,
+                                              int num_types) {
+  const int ns = nfa.num_states();
+  Bits fwd = ReachedStates(nfa, realizable);
+  Bits bwd(ns);
+  for (int q : nfa.accepting()) bwd.Set(q);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const Nfa::Transition& tr : nfa.transitions()) {
+      if (!realizable.Get(tr.symbol)) continue;  // ε-free by construction.
+      if (bwd.Get(tr.to) && !bwd.Get(tr.from)) {
+        bwd.Set(tr.from);
+        grew = true;
+      }
+    }
+  }
+
+  SchemaIndex::SiblingRelations s;
+  s.first = Bits(num_types);
+  s.last = Bits(num_types);
+  s.follow.assign(num_types, Bits(num_types));
+
+  Bits init = nfa.InitialSet();
+  Bits accepting(ns);
+  for (int q : nfa.accepting()) accepting.Set(q);
+  for (const Nfa::Transition& tr : nfa.transitions()) {
+    if (!realizable.Get(tr.symbol)) continue;
+    if (init.Get(tr.from) && bwd.Get(tr.to)) s.first.Set(tr.symbol);
+    if (fwd.Get(tr.from)) {
+      // The word may end here iff an accepting state is co-reachable via ε…
+      // there are no ε-moves, so "ends with tr.symbol" means tr.to accepts.
+      if (accepting.Get(tr.to)) s.last.Set(tr.symbol);
+    }
+  }
+  // follow: per left symbol a, the states entered by a from fwd; any
+  // realizable b leaving that set toward bwd completes a factor.
+  for (int a = 0; a < num_types; ++a) {
+    if (!realizable.Get(a)) continue;
+    Bits after_a(ns);
+    for (const Nfa::Transition& tr : nfa.transitions()) {
+      if (tr.symbol == a && fwd.Get(tr.from)) after_a.Set(tr.to);
+    }
+    if (after_a.None()) continue;
+    for (const Nfa::Transition& tr : nfa.transitions()) {
+      if (!realizable.Get(tr.symbol)) continue;
+      if (after_a.Get(tr.from) && bwd.Get(tr.to)) s.follow[a].Set(tr.symbol);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::shared_ptr<const SchemaIndex> SchemaIndex::Build(const Edtd& edtd,
+                                                      const SchemaIndexOptions& options) {
+  StatsTimer timer(Metric::kSchemaIndexBuild);
+  const int n = static_cast<int>(edtd.types().size());
+  auto index = std::shared_ptr<SchemaIndex>(new SchemaIndex());
+  index->fingerprint_ = FingerprintEdtd(edtd);
+  index->num_types_ = n;
+
+  // Phase 1 (serial): force the lazily built content NFAs (CSR indexes,
+  // ε-closure memos) and the Edtd's cached predicates while this thread has
+  // the schema to itself, then run the global reachability fixpoint. After
+  // this phase the Edtd is only ever read.
+  for (int t = 0; t < n; ++t) edtd.ContentNfa(t).EnsureIndexed();
+  index->schema_class_ = ClassifySchema(edtd);
+  index->reach_ = ComputeTypeReachability(edtd);
+
+  // Phase 2 (parallel): one task per type, writing disjoint preallocated
+  // slots — ε-free automaton, minimized content DFA, sibling relations.
+  // Every artifact is a pure function of (edtd, t), so the fan-out is
+  // bit-identical at any thread count; telemetry routes to the caller's
+  // sink (thread-safe atomics).
+  index->automata_.assign(n, Nfa(0, 0));
+  index->dfas_.assign(n, Dfa(0, 0));
+  index->siblings_.assign(n, SiblingRelations{});
+  auto build_type = [&](int t) {
+    const Nfa& content = edtd.ContentNfa(t);
+    Nfa efree = content.RemoveEpsilons();
+    efree.EnsureIndexed();
+    index->dfas_[t] = Dfa::Determinize(content).Minimize();
+    index->siblings_[t] = ComputeSiblings(efree, index->reach_.realizable, n);
+    index->automata_[t] = std::move(efree);
+  };
+  const int threads = std::min(ResolveBuildThreads(options.build_threads), n > 0 ? n : 1);
+  if (threads > 1) {
+    Stats* sink = Stats::Current();
+    std::atomic<int> next{0};
+    auto worker = [&] {
+      ScopedStatsSink stats_scope(sink);
+      for (int t = next.fetch_add(1); t < n; t = next.fetch_add(1)) build_type(t);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  } else {
+    for (int t = 0; t < n; ++t) build_type(t);
+  }
+
+  // Phase 3 (serial merge, type order): the global state numbering, the
+  // downward engine's dependents seed, and the Prop. 6 encode skeleton
+  // (built from the phase-2 automata, so warm and cold encodings agree
+  // structurally).
+  index->offsets_.assign(n, 0);
+  index->total_states_ = 0;
+  for (int t = 0; t < n; ++t) {
+    index->offsets_[t] = index->total_states_;
+    index->total_states_ += index->automata_[t].num_states();
+  }
+  index->dependents_.assign(n, Bits(n));
+  for (int t = 0; t < n; ++t) {
+    for (const Nfa::Transition& tr : edtd.ContentNfa(t).transitions()) {
+      if (tr.symbol >= 0) index->dependents_[tr.symbol].Set(t);
+    }
+  }
+  index->skeleton_ =
+      BuildEncodeSkeleton(edtd, index->automata_, index->offsets_, index->total_states_);
+  return index;
+}
+
+std::shared_ptr<const SchemaIndex> SchemaIndex::Acquire(const Edtd& edtd,
+                                                        const SchemaIndexOptions& options) {
+  if (!Enabled()) return nullptr;
+  const uint64_t fp = FingerprintEdtd(edtd);
+  if (std::shared_ptr<const SchemaIndex> hit = TheRegistry().Get(fp)) {
+    StatsAdd(Metric::kSchemaIndexHits);
+    return hit;
+  }
+  StatsAdd(Metric::kSchemaIndexColdMisses);
+  std::shared_ptr<const SchemaIndex> built = Build(edtd, options);
+  TheRegistry().Put(fp, built);
+  return built;
+}
+
+std::shared_ptr<const SchemaIndex> SchemaIndex::Lookup(const Edtd& edtd) {
+  if (!Enabled()) return nullptr;
+  const uint64_t fp = FingerprintEdtd(edtd);
+  if (std::shared_ptr<const SchemaIndex> hit = TheRegistry().Get(fp)) {
+    StatsAdd(Metric::kSchemaIndexHits);
+    return hit;
+  }
+  StatsAdd(Metric::kSchemaIndexColdMisses);
+  return nullptr;
+}
+
+bool SchemaIndex::Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SchemaIndex::SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SchemaIndex::ClearRegistry() { TheRegistry().Clear(); }
+
+size_t SchemaIndex::RegistrySize() { return TheRegistry().Size(); }
+
+uint64_t SchemaIndex::FingerprintEdtd(const Edtd& edtd) {
+  uint64_t h = MixU64(0x5c11e3a1d8ULL);
+  h = FpCombine(h, FpString(edtd.root_type()));
+  for (const Edtd::TypeDef& t : edtd.types()) {
+    h = FpCombine(h, FpString(t.abstract_label));
+    h = FpCombine(h, FpString(t.concrete_label));
+    h = FpCombine(h, FpString(RegexToString(t.content)));
+  }
+  return h;
+}
+
+}  // namespace xpc

@@ -1,0 +1,154 @@
+#ifndef XPC_SCHEMAINDEX_SCHEMA_INDEX_H_
+#define XPC_SCHEMAINDEX_SCHEMA_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "xpc/automata/dfa.h"
+#include "xpc/automata/nfa.h"
+#include "xpc/classify/profile.h"
+#include "xpc/common/bits.h"
+#include "xpc/edtd/edtd.h"
+#include "xpc/edtd/encode.h"
+
+namespace xpc {
+
+/// Configuration of a `SchemaIndex` build.
+struct SchemaIndexOptions {
+  /// Worker threads for the per-type build phase. 0 = hardware concurrency
+  /// (capped at 8), 1 = serial, n > 1 = exactly n workers. The result is
+  /// bit-identical at every thread count (see SchemaIndex::Build).
+  int build_threads = 0;
+};
+
+/// The PTIME type-level closure both fast-path procedures share (moved here
+/// from classify/fastpath.cc so one computation serves every consumer):
+/// realizability of each type (least fixpoint over the content automata),
+/// the available-child relation avail(t) = {u | some word of L(P(t)) over
+/// realizable types contains u}, its strict-descendant closure, and
+/// root-reachability with BFS parents for witness construction.
+struct TypeReachability {
+  int n = 0;
+  int root = -1;
+  Bits realizable;
+  std::vector<int> realize_round;  ///< Fixpoint round a type became realizable.
+  Bits reachable;                  ///< Realizable ∧ reachable from the root.
+  std::vector<int> reach_parent;   ///< BFS tree over avail edges.
+  std::vector<Bits> avail;
+  std::vector<Bits> down;  ///< Strict-descendant closure of avail.
+  int64_t explored = 0;    ///< Work measure (NFA states + transitions swept).
+};
+
+/// One pass of the reachability analysis. Deterministic; O(schema²) worst
+/// case. `SchemaIndex` caches the result per EDTD — call this directly only
+/// when no index is available.
+TypeReachability ComputeTypeReachability(const Edtd& edtd);
+
+/// An immutable per-EDTD index of everything the engines and fast paths
+/// otherwise re-derive per query: the type-reachability closure, ε-free and
+/// minimized content automata with a global state numbering, horizontal
+/// sibling relations, the cached schema-class predicates, and the
+/// pre-saturated Proposition 6 encode skeleton (the loop-engine relation
+/// seed).
+///
+/// Immutability contract: after `Build` returns, a `SchemaIndex` is never
+/// mutated — every accessor is const, every contained automaton has its
+/// lazy CSR index pre-forced, and the registry hands out
+/// `shared_ptr<const SchemaIndex>`, so one index is safely shared read-only
+/// across threads, Sessions and fast paths.
+///
+/// Determinism contract: every artifact is a pure function of the EDTD.
+/// The parallel build fans out one task per type into preallocated
+/// per-type slots and merges serially in type order, so the built index is
+/// bit-identical at any `build_threads` setting (asserted by
+/// tests/schemaindex_test.cc).
+class SchemaIndex {
+ public:
+  /// Horizontal sibling relations of one content model, restricted to
+  /// realizable symbols: which types can begin / end a word, and which
+  /// ordered pairs occur adjacently in some word.
+  struct SiblingRelations {
+    Bits first;                ///< a: some realizable word starts with a.
+    Bits last;                 ///< a: some realizable word ends with a.
+    std::vector<Bits> follow;  ///< follow[a].Get(b): factor "ab" occurs.
+  };
+
+  /// Builds an index for `edtd` without touching the registry.
+  static std::shared_ptr<const SchemaIndex> Build(const Edtd& edtd,
+                                                  const SchemaIndexOptions& options = {});
+
+  /// Registry-backed lookup-or-build, keyed on a stable EDTD fingerprint.
+  /// Returns nullptr when the index layer is disabled (`SetEnabled(false)`).
+  static std::shared_ptr<const SchemaIndex> Acquire(const Edtd& edtd,
+                                                    const SchemaIndexOptions& options = {});
+
+  /// Registry lookup only — never builds. Counts a `schemaindex.hits` /
+  /// `schemaindex.cold_misses` metric per call; returns nullptr on a miss
+  /// or when disabled. This is what the per-query consult sites use, so a
+  /// standalone Solver with no attached index behaves exactly as before.
+  static std::shared_ptr<const SchemaIndex> Lookup(const Edtd& edtd);
+
+  /// Global kill switch (on by default). Disabling makes `Lookup` and
+  /// `Acquire` return nullptr — the index-disabled leg of the differential
+  /// tests and the A/B benches.
+  static bool Enabled();
+  static void SetEnabled(bool enabled);
+
+  /// Drops every registered index (tests).
+  static void ClearRegistry();
+  static size_t RegistrySize();
+
+  /// The registry key: stable under EDTD copying and re-parsing.
+  static uint64_t FingerprintEdtd(const Edtd& edtd);
+
+  uint64_t fingerprint() const { return fingerprint_; }
+  int num_types() const { return num_types_; }
+
+  const TypeReachability& reachability() const { return reach_; }
+  const SchemaClass& schema_class() const { return schema_class_; }
+
+  /// ε-free content NFA of type `t` (state count preserved), CSR-indexed.
+  const Nfa& EpsilonFreeContentNfa(int t) const { return automata_[t]; }
+  const std::vector<Nfa>& epsilon_free_automata() const { return automata_; }
+
+  /// Global state numbering over the ε-free automata: state q of automaton
+  /// t has global id `StateOffset(t) + q` (the Γ = Δ × ∪Q numbering of the
+  /// Proposition 6 encoding).
+  int StateOffset(int t) const { return offsets_[t]; }
+  const std::vector<int>& state_offsets() const { return offsets_; }
+  int total_content_states() const { return total_states_; }
+
+  /// Hopcroft-minimized content DFA of type `t` (alphabet = definition-order
+  /// abstract labels).
+  const Dfa& MinimalContentDfa(int t) const { return dfas_[t]; }
+
+  const SiblingRelations& siblings(int t) const { return siblings_[t]; }
+
+  /// dependents()[c] = types whose content NFA has a transition on symbol c
+  /// — the downward engine's worklist seed.
+  const std::vector<Bits>& dependents() const { return dependents_; }
+
+  /// The schema-only part of the Proposition 6 encoding (conjunct list +
+  /// label substitution), shared by every query against this schema.
+  const EncodeSkeleton& encode_skeleton() const { return skeleton_; }
+
+ private:
+  SchemaIndex() = default;
+
+  uint64_t fingerprint_ = 0;
+  int num_types_ = 0;
+  TypeReachability reach_;
+  SchemaClass schema_class_;
+  std::vector<Nfa> automata_;
+  std::vector<int> offsets_;
+  int total_states_ = 0;
+  std::vector<Dfa> dfas_;
+  std::vector<SiblingRelations> siblings_;
+  std::vector<Bits> dependents_;
+  EncodeSkeleton skeleton_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_SCHEMAINDEX_SCHEMA_INDEX_H_

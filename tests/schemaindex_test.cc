@@ -1,0 +1,443 @@
+// Tests of the ahead-of-time per-EDTD SchemaIndex (schemaindex/): build
+// determinism across thread counts, exactness of the precomputed relations
+// against brute-force automata checks, registry bookkeeping, and — the
+// contract the warm-schema fast paths rest on — bit-for-bit agreement of
+// indexed and index-disabled engines on seeded random schemas.
+
+#include "xpc/schemaindex/schema_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xpc/automata/dfa.h"
+#include "xpc/core/session.h"
+#include "xpc/core/solver.h"
+#include "xpc/edtd/encode.h"
+#include "xpc/fuzz/generator.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+// Every test starts and ends with an enabled, empty registry so the suite is
+// order- and shard-independent.
+class SchemaIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SchemaIndex::SetEnabled(true);
+    SchemaIndex::ClearRegistry();
+  }
+  void TearDown() override {
+    SchemaIndex::SetEnabled(true);
+    SchemaIndex::ClearRegistry();
+  }
+};
+
+Edtd BookEdtd() {
+  return Edtd::Parse(R"(Book := Chapter+
+Chapter := Section+
+Section := (Section | Paragraph | Image)+
+Paragraph := epsilon
+Image := epsilon)")
+      .value();
+}
+
+Edtd RandomEdtd(uint64_t seed) {
+  FuzzGen gen(seed);
+  EdtdGenOptions options;
+  options.num_types = 3 + static_cast<int>(seed % 4);
+  options.concrete_labels = {"a", "b", "c"};
+  options.linear_content = seed % 2 == 0;
+  return gen.GenEdtd(options);
+}
+
+// --- Determinism ---------------------------------------------------------
+
+void ExpectSameReachability(const TypeReachability& x, const TypeReachability& y) {
+  EXPECT_EQ(x.n, y.n);
+  EXPECT_EQ(x.root, y.root);
+  EXPECT_EQ(x.realizable, y.realizable);
+  EXPECT_EQ(x.realize_round, y.realize_round);
+  EXPECT_EQ(x.reachable, y.reachable);
+  EXPECT_EQ(x.reach_parent, y.reach_parent);
+  EXPECT_EQ(x.avail, y.avail);
+  EXPECT_EQ(x.down, y.down);
+  EXPECT_EQ(x.explored, y.explored);
+}
+
+void ExpectSameDfa(const Dfa& a, const Dfa& b) {
+  ASSERT_EQ(a.num_states(), b.num_states());
+  ASSERT_EQ(a.alphabet_size(), b.alphabet_size());
+  EXPECT_EQ(a.initial(), b.initial());
+  for (int s = 0; s < a.num_states(); ++s) {
+    EXPECT_EQ(a.accepting(s), b.accepting(s));
+    for (int c = 0; c < a.alphabet_size(); ++c) EXPECT_EQ(a.next(s, c), b.next(s, c));
+  }
+}
+
+void ExpectIndexesIdentical(const SchemaIndex& x, const SchemaIndex& y) {
+  EXPECT_EQ(x.fingerprint(), y.fingerprint());
+  ASSERT_EQ(x.num_types(), y.num_types());
+  ExpectSameReachability(x.reachability(), y.reachability());
+
+  EXPECT_EQ(x.schema_class().duplicate_free, y.schema_class().duplicate_free);
+  EXPECT_EQ(x.schema_class().disjunction_free, y.schema_class().disjunction_free);
+  EXPECT_EQ(x.schema_class().covering, y.schema_class().covering);
+
+  EXPECT_EQ(x.state_offsets(), y.state_offsets());
+  EXPECT_EQ(x.total_content_states(), y.total_content_states());
+
+  for (int t = 0; t < x.num_types(); ++t) {
+    const Nfa& na = x.EpsilonFreeContentNfa(t);
+    const Nfa& nb = y.EpsilonFreeContentNfa(t);
+    ASSERT_EQ(na.num_states(), nb.num_states());
+    EXPECT_EQ(na.initial(), nb.initial());
+    EXPECT_EQ(na.accepting(), nb.accepting());
+    ASSERT_EQ(na.transitions().size(), nb.transitions().size());
+    for (size_t i = 0; i < na.transitions().size(); ++i) {
+      EXPECT_EQ(na.transitions()[i].from, nb.transitions()[i].from);
+      EXPECT_EQ(na.transitions()[i].symbol, nb.transitions()[i].symbol);
+      EXPECT_EQ(na.transitions()[i].to, nb.transitions()[i].to);
+    }
+
+    ExpectSameDfa(x.MinimalContentDfa(t), y.MinimalContentDfa(t));
+
+    EXPECT_EQ(x.siblings(t).first, y.siblings(t).first);
+    EXPECT_EQ(x.siblings(t).last, y.siblings(t).last);
+    EXPECT_EQ(x.siblings(t).follow, y.siblings(t).follow);
+  }
+
+  EXPECT_EQ(x.dependents(), y.dependents());
+
+  ASSERT_EQ(x.encode_skeleton().conjuncts.size(), y.encode_skeleton().conjuncts.size());
+  for (size_t i = 0; i < x.encode_skeleton().conjuncts.size(); ++i) {
+    EXPECT_EQ(ToString(x.encode_skeleton().conjuncts[i]),
+              ToString(y.encode_skeleton().conjuncts[i]));
+  }
+  ASSERT_EQ(x.encode_skeleton().subst.size(), y.encode_skeleton().subst.size());
+  for (const auto& [label, node] : x.encode_skeleton().subst) {
+    auto it = y.encode_skeleton().subst.find(label);
+    ASSERT_NE(it, y.encode_skeleton().subst.end()) << label;
+    EXPECT_EQ(ToString(node), ToString(it->second));
+  }
+}
+
+TEST_F(SchemaIndexTest, BuildIsBitIdenticalAcrossThreadCounts) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Edtd edtd = seed == 1 ? BookEdtd() : RandomEdtd(seed);
+    auto serial = SchemaIndex::Build(edtd, {.build_threads = 1});
+    auto two = SchemaIndex::Build(edtd, {.build_threads = 2});
+    auto eight = SchemaIndex::Build(edtd, {.build_threads = 8});
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ExpectIndexesIdentical(*serial, *two);
+    ExpectIndexesIdentical(*serial, *eight);
+  }
+}
+
+TEST_F(SchemaIndexTest, ReachabilityMatchesEdtdPredicates) {
+  // A covering schema has every type realizable and reachable; the index's
+  // closure and the Edtd's own cached predicate must agree.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Edtd edtd = RandomEdtd(seed);
+    auto index = SchemaIndex::Build(edtd);
+    const TypeReachability& r = index->reachability();
+    bool all_used = true;
+    for (int t = 0; t < r.n; ++t) {
+      all_used = all_used && r.realizable.Get(t) && (r.reachable.Get(t) || t == r.root);
+    }
+    EXPECT_EQ(edtd.IsCovering(), all_used && r.root >= 0 && r.realizable.Get(r.root))
+        << "seed " << seed;
+    EXPECT_EQ(index->schema_class().covering, edtd.IsCovering());
+  }
+}
+
+// --- Sibling relations vs. brute force -----------------------------------
+
+// Pattern DFAs over the abstract alphabet, restricted to realizable
+// symbols: all words in R*, optionally required to start with / end with /
+// contain a given symbol or factor.
+Dfa StartsWith(int alphabet, int a, const Bits& realizable) {
+  Nfa p(alphabet, 2);
+  p.SetInitial(0);
+  p.AddTransition(0, a, 1);
+  realizable.ForEach([&](int r) { p.AddTransition(1, r, 1); });
+  p.SetAccepting(1);
+  return Dfa::Determinize(p);
+}
+
+Dfa EndsWith(int alphabet, int a, const Bits& realizable) {
+  Nfa p(alphabet, 2);
+  p.SetInitial(0);
+  realizable.ForEach([&](int r) { p.AddTransition(0, r, 0); });
+  p.AddTransition(0, a, 1);
+  p.SetAccepting(1);
+  return Dfa::Determinize(p);
+}
+
+Dfa ContainsFactor(int alphabet, int a, int b, const Bits& realizable) {
+  Nfa p(alphabet, 3);
+  p.SetInitial(0);
+  realizable.ForEach([&](int r) {
+    p.AddTransition(0, r, 0);
+    p.AddTransition(2, r, 2);
+  });
+  p.AddTransition(0, a, 1);
+  p.AddTransition(1, b, 2);
+  p.SetAccepting(2);
+  return Dfa::Determinize(p);
+}
+
+// L(P(t)) restricted to words over realizable symbols only.
+Dfa RealizableContent(const Edtd& edtd, int t, const Bits& realizable) {
+  const Nfa& content = edtd.ContentNfa(t);
+  Nfa all(content.alphabet_size(), 1);
+  all.SetInitial(0);
+  all.SetAccepting(0);
+  realizable.ForEach([&](int r) { all.AddTransition(0, r, 0); });
+  return Dfa::Determinize(content).IntersectWith(Dfa::Determinize(all));
+}
+
+TEST_F(SchemaIndexTest, SiblingRelationsMatchProductAutomata) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    Edtd edtd = seed == 1 ? BookEdtd() : RandomEdtd(seed);
+    auto index = SchemaIndex::Build(edtd);
+    const Bits& realizable = index->reachability().realizable;
+    const int n = index->num_types();
+    for (int t = 0; t < n; ++t) {
+      Dfa content = RealizableContent(edtd, t, realizable);
+      const SchemaIndex::SiblingRelations& s = index->siblings(t);
+      for (int a = 0; a < n; ++a) {
+        SCOPED_TRACE("seed " + std::to_string(seed) + " type " + std::to_string(t) +
+                     " sym " + std::to_string(a));
+        EXPECT_EQ(s.first.Get(a),
+                  !Dfa::IsEmptyProduct(content, StartsWith(n, a, realizable)));
+        EXPECT_EQ(s.last.Get(a),
+                  !Dfa::IsEmptyProduct(content, EndsWith(n, a, realizable)));
+        for (int b = 0; b < n; ++b) {
+          EXPECT_EQ(s.follow[a].Get(b),
+                    !Dfa::IsEmptyProduct(content, ContainsFactor(n, a, b, realizable)))
+              << "follow " << a << " -> " << b;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SchemaIndexTest, MinimalContentDfasAcceptTheContentLanguage) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Edtd edtd = seed == 1 ? BookEdtd() : RandomEdtd(seed);
+    auto index = SchemaIndex::Build(edtd);
+    for (int t = 0; t < index->num_types(); ++t) {
+      const Dfa& minimal = index->MinimalContentDfa(t);
+      Dfa reference = Dfa::Determinize(edtd.ContentNfa(t));
+      EXPECT_TRUE(minimal.EquivalentTo(reference)) << "seed " << seed << " type " << t;
+      EXPECT_LE(minimal.num_states(), reference.num_states());
+    }
+  }
+}
+
+// --- Registry ------------------------------------------------------------
+
+TEST_F(SchemaIndexTest, RegistryCountsHitsAndColdMisses) {
+  Stats stats;
+  ScopedStatsSink sink(&stats);
+  Edtd book = BookEdtd();
+
+  EXPECT_EQ(SchemaIndex::Lookup(book), nullptr);  // Cold.
+  auto built = SchemaIndex::Acquire(book);        // Cold; builds + registers.
+  ASSERT_NE(built, nullptr);
+  EXPECT_EQ(SchemaIndex::RegistrySize(), 1u);
+
+  auto again = SchemaIndex::Acquire(book);  // Hit: the registered instance.
+  EXPECT_EQ(again.get(), built.get());
+  auto looked = SchemaIndex::Lookup(book);  // Hit.
+  EXPECT_EQ(looked.get(), built.get());
+
+  StatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.value(Metric::kSchemaIndexColdMisses), 2);
+  EXPECT_EQ(s.value(Metric::kSchemaIndexHits), 2);
+  EXPECT_GT(s.value(Metric::kSchemaIndexBuild), -1);  // Timer recorded.
+  EXPECT_EQ(s.timer_calls(Metric::kSchemaIndexBuild), 1);
+
+  SchemaIndex::ClearRegistry();
+  EXPECT_EQ(SchemaIndex::RegistrySize(), 0u);
+  EXPECT_EQ(SchemaIndex::Lookup(book), nullptr);
+}
+
+TEST_F(SchemaIndexTest, DisabledLayerServesNothing) {
+  Edtd book = BookEdtd();
+  SchemaIndex::Acquire(book);
+  ASSERT_EQ(SchemaIndex::RegistrySize(), 1u);
+  SchemaIndex::SetEnabled(false);
+  EXPECT_EQ(SchemaIndex::Lookup(book), nullptr);
+  EXPECT_EQ(SchemaIndex::Acquire(book), nullptr);
+  SchemaIndex::SetEnabled(true);
+  EXPECT_NE(SchemaIndex::Lookup(book), nullptr);
+}
+
+TEST_F(SchemaIndexTest, FingerprintIsStableAcrossCopies) {
+  Edtd book = BookEdtd();
+  Edtd copy = book;
+  EXPECT_EQ(SchemaIndex::FingerprintEdtd(book), SchemaIndex::FingerprintEdtd(copy));
+  Edtd other = RandomEdtd(7);
+  EXPECT_NE(SchemaIndex::FingerprintEdtd(book), SchemaIndex::FingerprintEdtd(other));
+}
+
+// --- Indexed vs. index-disabled engines ----------------------------------
+
+std::string WitnessText(const SatResult& r) {
+  return r.witness.has_value() ? TreeToText(*r.witness) : std::string("<none>");
+}
+
+// The load-bearing differential: on seeded random EDTDs and in-fragment
+// random queries, the indexed and index-disabled solves must agree on
+// status, explored-state count, engine stamp, and the witness tree itself.
+TEST_F(SchemaIndexTest, IndexedAndDisabledEnginesAgreeOnRandomEdtds) {
+  // Starved resource limits keep the occasional out-of-fast-path case (which
+  // lands on the full loop pipeline over the Prop. 6 encoding) cheap; the
+  // verdict under a cap is still deterministic, so the comparison stands.
+  SolverOptions options;
+  options.loop.max_items = 2000;
+  options.loop.max_pool = 500;
+  options.downward.max_summaries = 10000;
+
+  // The sanitizer CI legs (TSan especially) shrink the battery via
+  // XPC_SI_SEEDS: each extra seed adds coverage, not new code paths, and 25
+  // seeds of loop-pipeline fallbacks under TSan would flirt with the ctest
+  // timeout.
+  uint64_t num_seeds = 25;
+  if (const char* env = std::getenv("XPC_SI_SEEDS")) {
+    // Unset or non-positive (CI exports "" on non-TSan legs) keeps the full
+    // battery.
+    if (long long n = std::atoll(env); n > 0) num_seeds = static_cast<uint64_t>(n);
+  }
+  for (uint64_t seed = 1; seed <= num_seeds; ++seed) {
+    FuzzGen gen(seed * 977);
+    Edtd edtd = RandomEdtd(seed);
+
+    std::vector<NodePtr> queries;
+    ExprGenOptions vertical = ExprGenOptions::VerticalConjunctive();
+    vertical.max_ops = 6;
+    ExprGenOptions downward = ExprGenOptions::DownwardIntersect();
+    downward.max_ops = 5;
+    for (int i = 0; i < 2; ++i) {
+      queries.push_back(gen.GenNode(vertical));
+      queries.push_back(gen.GenNode(downward));
+    }
+
+    for (const NodePtr& phi : queries) {
+      SchemaIndex::SetEnabled(true);
+      SchemaIndex::ClearRegistry();
+      SchemaIndex::Acquire(edtd);
+      SatResult warm = Solver(options).NodeSatisfiable(phi, edtd);
+
+      SchemaIndex::SetEnabled(false);
+      SatResult cold = Solver(options).NodeSatisfiable(phi, edtd);
+      SchemaIndex::SetEnabled(true);
+
+      SCOPED_TRACE("seed " + std::to_string(seed) + " query " + ToString(phi));
+      EXPECT_EQ(warm.status, cold.status);
+      EXPECT_EQ(warm.engine, cold.engine);
+      EXPECT_EQ(warm.explored_states, cold.explored_states);
+      EXPECT_EQ(WitnessText(warm), WitnessText(cold));
+    }
+  }
+}
+
+TEST_F(SchemaIndexTest, EncodeSkeletonMatchesColdEncoding) {
+  // The Prop. 6 encoding must be structurally identical whether composed
+  // from the pre-saturated skeleton or derived from scratch.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Edtd edtd = seed == 1 ? BookEdtd() : RandomEdtd(seed);
+    FuzzGen gen(seed * 31);
+    NodePtr phi = gen.GenNode(ExprGenOptions::VerticalConjunctive());
+
+    SchemaIndex::SetEnabled(false);
+    std::string cold = ToString(EncodeEdtdSatisfiability(phi, edtd));
+    SchemaIndex::SetEnabled(true);
+    SchemaIndex::ClearRegistry();
+    SchemaIndex::Acquire(edtd);
+    std::string warm = ToString(EncodeEdtdSatisfiability(phi, edtd));
+    EXPECT_EQ(warm, cold) << "seed " << seed;
+  }
+}
+
+// --- Session integration -------------------------------------------------
+
+TEST_F(SchemaIndexTest, SessionAttachBuildsIndexAndServesMinimizedDfas) {
+  SessionOptions options;
+  options.schema_index.build_threads = 2;
+  Session session(options);
+  Edtd book = BookEdtd();
+  session.SetEdtd(book);
+  EXPECT_EQ(SchemaIndex::RegistrySize(), 1u);
+
+  std::shared_ptr<const Dfa> dfa = session.ContentModelDfa("Book");
+  ASSERT_NE(dfa, nullptr);
+  // Chapter+ — accepts one or more Chapters, nothing else.
+  int chapter = book.TypeIndex("Chapter");
+  int image = book.TypeIndex("Image");
+  EXPECT_TRUE(dfa->Accepts({chapter}));
+  EXPECT_TRUE(dfa->Accepts({chapter, chapter}));
+  EXPECT_FALSE(dfa->Accepts({}));
+  EXPECT_FALSE(dfa->Accepts({image}));
+
+  // The served DFA is the index's minimized one (by pointer).
+  auto index = SchemaIndex::Lookup(book);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(dfa.get(), &index->MinimalContentDfa(book.TypeIndex("Book")));
+
+  // Repeat lookups hit the session cache with pointer identity.
+  EXPECT_EQ(session.ContentModelDfa("Book").get(), dfa.get());
+  SessionStats s = session.stats();
+  EXPECT_EQ(s.dfa.misses, 1);
+  EXPECT_EQ(s.dfa.hits, 1);
+}
+
+TEST_F(SchemaIndexTest, TwoSessionsShareOneRegistryEntry) {
+  Stats stats;
+  ScopedStatsSink sink(&stats);
+  Edtd book = BookEdtd();
+  Session first;
+  first.SetEdtd(book);
+  Session second;
+  second.SetEdtd(book);
+  EXPECT_EQ(SchemaIndex::RegistrySize(), 1u);
+  StatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.value(Metric::kSchemaIndexColdMisses), 1);
+  EXPECT_GE(s.value(Metric::kSchemaIndexHits), 1);
+}
+
+TEST_F(SchemaIndexTest, SessionVerdictsUnchangedByIndexLayer) {
+  // End-to-end: the same queries through a Session with the layer on and
+  // off produce identical verdicts.
+  Edtd book = BookEdtd();
+  FuzzGen gen(4242);
+  std::vector<NodePtr> queries;
+  for (int i = 0; i < 8; ++i) queries.push_back(gen.GenNode(ExprGenOptions::VerticalConjunctive()));
+
+  std::vector<SolveStatus> with_index;
+  {
+    Session session;
+    session.SetEdtd(book);
+    for (const NodePtr& phi : queries) with_index.push_back(session.NodeSatisfiable(phi).status);
+  }
+  SchemaIndex::SetEnabled(false);
+  SchemaIndex::ClearRegistry();
+  std::vector<SolveStatus> without_index;
+  {
+    Session session;
+    session.SetEdtd(book);
+    for (const NodePtr& phi : queries) without_index.push_back(session.NodeSatisfiable(phi).status);
+  }
+  SchemaIndex::SetEnabled(true);
+  EXPECT_EQ(with_index, without_index);
+}
+
+}  // namespace
+}  // namespace xpc
