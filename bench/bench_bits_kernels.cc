@@ -1,0 +1,158 @@
+// Word-parallel `Bits` kernel microbench (PR 8 satellite).
+//
+// Covers the hot bitset kernels the sat engines lean on — Count,
+// Intersects, the branch-free change-tracking UnionWith, and the fused
+// one-pass kernels UnionWithIntersects (union + did-they-overlap) and
+// SubtractWithAny (subtract + does-anything-survive) — at two operand
+// shapes:
+//
+//   * 96 bits   inline small-buffer operands with the layout on (no heap
+//               word block; the common automaton/state-set size class)
+//   * 992 bits  heap word blocks on both legs
+//
+// Before timing, every fused kernel is cross-checked against its two-pass
+// equivalent on the whole operand pool (FAIL on any disagreement), and each
+// timed loop folds results into a checksum that is printed, so the kernels
+// cannot be dead-code-eliminated. Per-kernel ns/op is reported for both
+// layout legs; there is no perf gate here (the end-to-end bar lives in
+// bench_throughput) — baseline.json tracks the total wall time with a
+// generous noise allowance.
+
+#include "bench_registry.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "xpc/common/arena.h"
+#include "xpc/common/bits.h"
+
+using namespace xpc;
+
+namespace {
+
+constexpr int kPairs = 256;       // Operand pairs per (leg, size) pool.
+constexpr int kRounds = 20000;    // Timed passes over the pool.
+
+struct LayoutGuard {
+  bool entry = ArenaEnabled();
+  ~LayoutGuard() { SetArenaEnabled(entry); }
+};
+
+double NsPerOp(std::chrono::steady_clock::time_point t0, int64_t ops) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+             .count() /
+         static_cast<double>(ops);
+}
+
+// Deterministic operand pool: xorshift-filled bitsets at density ~1/2.
+std::vector<Bits> MakePool(int bits, uint64_t seed, int count) {
+  std::vector<Bits> pool;
+  pool.reserve(count);
+  uint64_t x = seed;
+  for (int p = 0; p < count; ++p) {
+    Bits b(bits);
+    for (int i = 0; i < bits; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      if (x & 1) b.Set(i);
+    }
+    pool.push_back(std::move(b));
+  }
+  return pool;
+}
+
+}  // namespace
+
+static int RunBitsKernels() {
+  std::printf("== Bits word-parallel kernels: inline vs heap operands ==\n");
+  LayoutGuard guard;
+  int failures = 0;
+
+  for (int leg = 0; leg < 2; ++leg) {
+    const bool layout_on = leg == 0;
+    SetArenaEnabled(layout_on);
+    for (int bits : {96, 992}) {
+      std::vector<Bits> a = MakePool(bits, 0x9e3779b97f4a7c15ULL + bits, kPairs);
+      std::vector<Bits> b = MakePool(bits, 0xc2b2ae3d27d4eb4fULL + bits, kPairs);
+
+      // Fused kernels must agree with their two-pass equivalents.
+      for (int p = 0; p < kPairs; ++p) {
+        Bits fused = a[p];
+        const bool hit = fused.UnionWithIntersects(b[p]);
+        Bits two = a[p];
+        const bool want_hit = two.Intersects(b[p]);
+        two.UnionWith(b[p]);
+        if (hit != want_hit || !(fused == two)) {
+          std::printf("FAIL: UnionWithIntersects drift at %d bits, pair %d\n", bits, p);
+          ++failures;
+        }
+        Bits fsub = a[p];
+        const bool left = fsub.SubtractWithAny(b[p]);
+        Bits tsub = a[p];
+        tsub.SubtractWith(b[p]);
+        if (left != !tsub.None() || !(fsub == tsub)) {
+          std::printf("FAIL: SubtractWithAny drift at %d bits, pair %d\n", bits, p);
+          ++failures;
+        }
+      }
+
+      const int64_t ops = static_cast<int64_t>(kPairs) * kRounds;
+      uint64_t sum = 0;
+
+      auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kRounds; ++r) {
+        for (int p = 0; p < kPairs; ++p) sum += static_cast<uint64_t>(a[p].Count());
+      }
+      const double count_ns = NsPerOp(t0, ops);
+
+      t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kRounds; ++r) {
+        for (int p = 0; p < kPairs; ++p) sum += a[p].Intersects(b[p]) ? 1 : 0;
+      }
+      const double inter_ns = NsPerOp(t0, ops);
+
+      // Union into a scratch accumulator per pair: the branch-free change
+      // tracking is what the diff-driven fixpoints pay per merge.
+      std::vector<Bits> acc = a;
+      t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kRounds; ++r) {
+        for (int p = 0; p < kPairs; ++p) {
+          sum += acc[p].UnionWith(b[(p + r) & (kPairs - 1)]) ? 1 : 0;
+        }
+      }
+      const double union_ns = NsPerOp(t0, ops);
+
+      acc = a;
+      t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kRounds; ++r) {
+        for (int p = 0; p < kPairs; ++p) {
+          sum += acc[p].UnionWithIntersects(b[(p + r) & (kPairs - 1)]) ? 1 : 0;
+        }
+      }
+      const double fused_ns = NsPerOp(t0, ops);
+
+      acc = a;
+      t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kRounds; ++r) {
+        for (int p = 0; p < kPairs; ++p) {
+          sum += acc[p].SubtractWithAny(b[(p + r) & (kPairs - 1)]) ? 1 : 0;
+        }
+      }
+      const double sub_ns = NsPerOp(t0, ops);
+
+      std::printf(
+          "%-20s %4d bits: count %5.2f  intersects %5.2f  union %5.2f  "
+          "union+intersects %5.2f  subtract+any %5.2f ns/op  (checksum %llu)\n",
+          layout_on ? "layout on" : "pre-PR (XPC_ARENA=0)", bits, count_ns,
+          inter_ns, union_ns, fused_ns, sub_ns,
+          static_cast<unsigned long long>(sum));
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+XPC_BENCH("bits_kernels", RunBitsKernels);

@@ -28,6 +28,10 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "bench_registry.h"
 #include "xpc/common/stats.h"
 
@@ -78,6 +82,15 @@ std::string ToJson(const std::vector<RunRecord>& records,
   out << "    \"date\": \"" << date << "\",\n";
   out << "    \"executable\": \"bench_main\",\n";
   out << "    \"xpc_stats_enabled\": " << (XPC_STATS_ENABLED ? "true" : "false");
+#if defined(__unix__) || defined(__APPLE__)
+  // Heap-profile smoke: peak RSS of the whole run (KiB on Linux), so the
+  // BENCH.json artifact carries the memory footprint next to the timings.
+  // Informational context, not gated by check_regression.py.
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    out << ",\n    \"max_rss_kb\": " << ru.ru_maxrss;
+  }
+#endif
   if (!filters.empty()) {
     out << ",\n    \"filters\": [";
     for (size_t i = 0; i < filters.size(); ++i) {

@@ -1,0 +1,262 @@
+// Experiment E16 — data-oriented layout sustained throughput (acceptance
+// gate).
+//
+// PR 8 reworked the hot-path memory layout: per-query arenas, the inline
+// small-buffer `Bits`, the flat row-major `StateRel`, and the
+// open-addressing id-keyed tables that replace node-based hash maps in the
+// sat engines. This bench measures the end-to-end effect the way a
+// solver-server would feel it: a deterministic, generator-drawn corpus of
+// mixed queries — loop-normal-form (CoreXPath(*, ≈)), downward-intersect,
+// positive-conjunctive vertical, schema chains, and EDTD-backed queries —
+// replayed to one million submissions through warm `Session`s, reporting
+// sustained queries/s:
+//
+//   * leg A (layout on)  `XPC_ARENA` default: arenas installed, inline
+//                        Bits, flat relations and pool-indexed tables
+//   * leg B (pre-PR)     `SetArenaEnabled(false)` — every Bits owns a heap
+//                        word block, every StateRel row is its own
+//                        allocation, hot lookups go through node-based
+//                        maps; exactly the pre-PR layout
+//
+// and FAILS unless both legs agree on every verdict and explored-state
+// count (re-checked on every submission) and leg A sustains at least 2x
+// the queries/s of leg B (the acceptance bar from the PR 8 issue).
+//
+// The corpus is replayed through LRU verdict caches big enough to hold it,
+// so each distinct query is solved once per leg and the remaining
+// submissions are cache hits (~0.1 us each) — the measured delta is the
+// engine-side layout, not allocator luck in the cache layer.
+
+#include "bench_registry.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "xpc/common/arena.h"
+#include "xpc/core/session.h"
+#include "xpc/edtd/edtd.h"
+#include "xpc/fuzz/generator.h"
+#include "xpc/xpath/parser.h"
+
+using namespace xpc;
+
+namespace {
+
+constexpr int kPoolSize = 65536;        // Distinct queries in the corpus.
+constexpr int kSubmissions = 1000000;   // Replayed submissions per leg.
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+             .count() /
+         1000.0;
+}
+
+// Restores the layout gate to its state at bench entry on every exit path,
+// so a failing gate never leaves the pre-PR leg latched for whatever runs
+// next in the unified runner.
+struct ArenaGuard {
+  bool entry = ArenaEnabled();
+  ~ArenaGuard() { SetArenaEnabled(entry); }
+};
+
+// A depth-n unary-chain EDTD (t0 := t1, ..., t_{n-1} := epsilon) for the
+// schema-chain slice of the corpus.
+Edtd DeepChainEdtd(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    text += "t" + std::to_string(i) + " := " +
+            (i + 1 < n ? "t" + std::to_string(i + 1) : "epsilon") + "\n";
+  }
+  return Edtd::Parse(text).value();
+}
+
+std::string ChainQuery(int from, int len, int stride) {
+  std::string q = "<";
+  for (int i = 0; i < len; ++i) {
+    if (i) q += "/";
+    q += "down[t" + std::to_string(from + i * stride) + "]";
+  }
+  return q + ">";
+}
+
+struct Item {
+  NodePtr phi;
+  int session;  // 0 = schema-less, 1 = chain EDTD, 2 = generated EDTD.
+};
+
+// Deterministic replay order: cyclic passes over the pool, so the first
+// pass solves every distinct query once and later passes replay the warm
+// corpus in the same order.
+int ReplayIndex(int i) { return i % kPoolSize; }
+
+}  // namespace
+
+static int RunThroughput() {
+  std::printf("== sustained throughput: data-oriented layout vs pre-PR layout ==\n");
+  ArenaGuard guard;
+
+  // --- deterministic corpus -------------------------------------------
+  // Weights (out of every 16 queries): 10x loop-normal-form at 7 ops, 2x
+  // downward-intersect at 14 ops, 1x vertical-conjunctive at 8 ops, 1x
+  // schema chain, 2x EDTD-backed downward at 10 ops. Time-wise the loop
+  // and downward fixpoints dominate — the workloads the layout pass
+  // targets — with every corpus kind still represented.
+  FuzzGen gen(20260807);
+  ExprGenOptions loop7 = ExprGenOptions::RegularFriendly();
+  loop7.max_ops = 7;
+  ExprGenOptions down14 = ExprGenOptions::DownwardIntersect();
+  down14.max_ops = 14;
+  ExprGenOptions vert8 = ExprGenOptions::VerticalConjunctive();
+  vert8.max_ops = 8;
+  ExprGenOptions edtd10 = ExprGenOptions::DownwardIntersect();
+  edtd10.max_ops = 10;
+
+  Edtd chain_edtd = DeepChainEdtd(48);
+  Edtd gen_edtd = gen.GenEdtd(EdtdGenOptions{});
+
+  std::vector<Item> pool;
+  pool.reserve(kPoolSize);
+  for (int i = 0; static_cast<int>(pool.size()) < kPoolSize; ++i) {
+    switch (i % 16) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+      case 4:
+      case 5:
+      case 6:
+      case 7:
+      case 8:
+      case 9:
+        pool.push_back({gen.GenNode(loop7), 0});
+        break;
+      case 10:
+      case 11:
+        pool.push_back({gen.GenNode(down14), 0});
+        break;
+      case 12:
+        pool.push_back({gen.GenNode(vert8), 0});
+        break;
+      case 13: {
+        // Chains of varying origin/length; stride 2 skips a generation, so
+        // a slice of them is unsatisfiable against the chain schema.
+        int from = i % 23;
+        int len = 2 + i % 7;
+        int stride = (i % 5 == 0) ? 2 : 1;
+        pool.push_back({ParseNode(ChainQuery(from, len, stride)).value(), 1});
+        break;
+      }
+      case 14:
+      case 15:
+        pool.push_back({gen.GenNode(edtd10), 2});
+        break;
+    }
+  }
+
+  SessionOptions so;
+  so.solver.verify_witnesses = false;
+  so.solver.downward.want_witness = false;
+  so.solver.loop.want_witness = false;
+  // Hold the whole corpus: one engine solve per distinct query per leg.
+  so.verdict_cache_capacity = 1 << 17;
+
+  // --- timed legs, verdicts recorded per distinct query ----------------
+  // Each leg is replayed kReps times (fresh sessions each time) and scored
+  // by its fastest run: the min is robust to background-load noise, which
+  // only ever slows a run down. Verdicts and explored counts must agree
+  // across every run of every leg.
+  constexpr int kReps = 3;
+  struct LegResult {
+    double ms = 1e300;
+    std::vector<uint8_t> status;
+    std::vector<int64_t> explored;
+  };
+  LegResult legs[2];
+
+  int drift = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int leg = 0; leg < 2; ++leg) {
+      const bool layout_on = leg == 0;
+      SetArenaEnabled(layout_on);
+
+      Session plain(so);
+      Session chains(so);
+      chains.SetEdtd(chain_edtd);
+      Session schema(so);
+      schema.SetEdtd(gen_edtd);
+      Session* sessions[3] = {&plain, &chains, &schema};
+
+      // Warm the sessions outside the timer: hash-cons the whole corpus
+      // once per session, so the replay submits canonical handles (the
+      // intended steady-state client pattern — intern once, query by
+      // handle) and every repeat submission is an O(1) verdict-cache hit.
+      std::vector<NodePtr> canon(kPoolSize);
+      for (int i = 0; i < kPoolSize; ++i) {
+        canon[i] = sessions[pool[i].session]->Intern(pool[i].phi);
+      }
+
+      std::vector<uint8_t> status(kPoolSize, 0xff);
+      std::vector<int64_t> explored(kPoolSize, -1);
+      auto t0 = std::chrono::steady_clock::now();
+      double cold_ms = 0;
+      for (int i = 0; i < kSubmissions; ++i) {
+        const int idx = ReplayIndex(i);
+        SatResult res = sessions[pool[idx].session]->NodeSatisfiable(canon[idx]);
+        status[idx] = static_cast<uint8_t>(res.status);
+        explored[idx] = res.explored_states;
+        if (i == kPoolSize - 1) cold_ms = MsSince(t0);
+      }
+      const double ms = MsSince(t0);
+      std::printf("%-22s rep %d: %d submissions, %d distinct: %8.1f ms  "
+                  "(%.0f q/s; cold pass %.1f ms)\n",
+                  layout_on ? "layout on" : "pre-PR (XPC_ARENA=0)", rep,
+                  kSubmissions, kPoolSize, ms, kSubmissions / ms * 1000.0,
+                  cold_ms);
+
+      LegResult& r = legs[leg];
+      r.ms = ms < r.ms ? ms : r.ms;
+      if (r.status.empty()) {
+        r.status = std::move(status);
+        r.explored = std::move(explored);
+      } else {
+        for (int i = 0; i < kPoolSize; ++i) {
+          if (r.status[i] != status[i] || r.explored[i] != explored[i]) ++drift;
+        }
+      }
+    }
+  }
+
+  // --- cross-leg verdict re-check --------------------------------------
+  for (int i = 0; i < kPoolSize; ++i) {
+    if (legs[0].status[i] != legs[1].status[i] ||
+        legs[0].explored[i] != legs[1].explored[i]) {
+      if (++drift <= 5) {
+        std::printf("FAIL: query %d: status %d/%d explored %lld/%lld across legs\n",
+                    i, legs[0].status[i], legs[1].status[i],
+                    static_cast<long long>(legs[0].explored[i]),
+                    static_cast<long long>(legs[1].explored[i]));
+      }
+    }
+  }
+  if (drift != 0) {
+    std::printf("FAIL: %d verdict/explored drifts across runs and legs\n", drift);
+    return 1;
+  }
+
+  double ratio = legs[0].ms > 0 ? legs[1].ms / legs[0].ms : 0.0;
+  std::printf("sustained: %.0f q/s on, %.0f q/s pre-PR layout — %.2fx\n",
+              kSubmissions / legs[0].ms * 1000.0, kSubmissions / legs[1].ms * 1000.0,
+              ratio);
+  if (ratio < 2.0) {
+    std::printf("FAIL: data-oriented layout must sustain at least 2x the pre-PR "
+                "queries/s (got %.2fx)\n", ratio);
+    return 1;
+  }
+  return 0;
+}
+
+XPC_BENCH("throughput", RunThroughput);

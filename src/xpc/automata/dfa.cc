@@ -6,6 +6,8 @@
 #include <queue>
 #include <unordered_map>
 
+#include "xpc/common/arena.h"
+#include "xpc/common/flat_table.h"
 #include "xpc/common/stats.h"
 
 namespace xpc {
@@ -14,11 +16,28 @@ Dfa Dfa::Determinize(const Nfa& nfa) {
   StatsTimer timer(Metric::kAutomataDeterminize);
   const int k = nfa.alphabet_size();
   nfa.EnsureIndexed();
+  // Every Bits below (state sets, step results) is dead once the integer
+  // automaton is assembled: per-construction arena, bulk-freed at return.
+  Arena arena;
+  ScopedArenaInstall arena_scope(ArenaEnabled() ? &arena : nullptr);
+  BitsStatsScope bits_stats;
+  const bool flat = ArenaEnabled();
   std::unordered_map<Bits, int, BitsHash> ids;
+  IdTable idtab;
   std::vector<Bits> sets;
   std::queue<int> work;
 
   auto intern = [&](const Bits& b) {
+    if (flat) {
+      uint64_t h = b.Hash();
+      int32_t found = idtab.Find(h, [&](int32_t id) { return sets[id] == b; });
+      if (found >= 0) return static_cast<int>(found);
+      int id = static_cast<int>(sets.size());
+      idtab.Insert(h, id);
+      sets.push_back(b);
+      work.push(id);
+      return id;
+    }
     auto it = ids.find(b);
     if (it != ids.end()) return it->second;
     int id = static_cast<int>(sets.size());
@@ -94,16 +113,17 @@ Dfa Product(const Dfa& a, const Dfa& b, bool intersect) {
   assert(a.alphabet_size() == b.alphabet_size());
   const int k = a.alphabet_size();
   const int64_t nb = b.num_states();
-  std::unordered_map<int64_t, int> ids;
+  Arena arena;
+  ScopedArenaInstall arena_scope(ArenaEnabled() ? &arena : nullptr);
+  U64IntMap ids;
   std::vector<std::pair<int, int>> pairs;
   std::queue<int> work;
 
   auto intern = [&](int sa, int sb) {
-    int64_t key = sa * nb + sb;
-    auto it = ids.find(key);
-    if (it != ids.end()) return it->second;
+    uint64_t key = static_cast<uint64_t>(sa * nb + sb);
+    if (int32_t* found = ids.Find(key)) return static_cast<int>(*found);
     int id = static_cast<int>(pairs.size());
-    ids.emplace(key, id);
+    ids.Insert(key, id);
     pairs.push_back({sa, sb});
     work.push(id);
     return id;
@@ -144,9 +164,11 @@ bool Dfa::IsEmptyProduct(const Dfa& a, const Dfa& b) {
   assert(a.alphabet_size() == b.alphabet_size());
   const int k = a.alphabet_size();
   const int64_t nb = b.num_states();
-  std::unordered_map<int64_t, char> seen;
+  Arena arena;
+  ScopedArenaInstall arena_scope(ArenaEnabled() ? &arena : nullptr);
+  U64Set seen;
   std::deque<std::pair<int, int>> work;
-  seen.emplace(static_cast<int64_t>(a.initial()) * nb + b.initial(), 1);
+  seen.InsertNew(static_cast<uint64_t>(static_cast<int64_t>(a.initial()) * nb + b.initial()));
   work.push_back({a.initial(), b.initial()});
   int64_t explored = 0;
   bool empty = true;
@@ -161,7 +183,7 @@ bool Dfa::IsEmptyProduct(const Dfa& a, const Dfa& b) {
     for (int x = 0; x < k; ++x) {
       int ta = a.next(sa, x);
       int tb = b.next(sb, x);
-      if (seen.emplace(static_cast<int64_t>(ta) * nb + tb, 1).second) {
+      if (seen.InsertNew(static_cast<uint64_t>(static_cast<int64_t>(ta) * nb + tb))) {
         work.push_back({ta, tb});
       }
     }
@@ -342,9 +364,11 @@ bool Dfa::EquivalentTo(const Dfa& other) const {
   assert(alphabet_size_ == other.alphabet_size());
   const int k = alphabet_size_;
   const int64_t nb = other.num_states();
-  std::unordered_map<int64_t, char> seen;
+  Arena arena;
+  ScopedArenaInstall arena_scope(ArenaEnabled() ? &arena : nullptr);
+  U64Set seen;
   std::deque<std::pair<int, int>> work;
-  seen.emplace(static_cast<int64_t>(initial_) * nb + other.initial(), 1);
+  seen.InsertNew(static_cast<uint64_t>(static_cast<int64_t>(initial_) * nb + other.initial()));
   work.push_back({initial_, other.initial()});
   int64_t explored = 0;
   bool equivalent = true;
@@ -359,7 +383,7 @@ bool Dfa::EquivalentTo(const Dfa& other) const {
     for (int x = 0; x < k; ++x) {
       int ta = next_[sa][x];
       int tb = other.next_[sb][x];
-      if (seen.emplace(static_cast<int64_t>(ta) * nb + tb, 1).second) {
+      if (seen.InsertNew(static_cast<uint64_t>(static_cast<int64_t>(ta) * nb + tb))) {
         work.push_back({ta, tb});
       }
     }

@@ -5,6 +5,7 @@
 #include <climits>
 #include <deque>
 
+#include "xpc/common/arena.h"
 #include "xpc/common/stats.h"
 
 namespace xpc {
@@ -38,6 +39,10 @@ void Nfa::AddTransition(int from, int symbol, int to) {
 
 const Nfa::Index& Nfa::EnsureIndex() const {
   if (index_.valid) return index_;
+  // The index outlives any single query (it belongs to a possibly
+  // session-shared NFA), so its Bits must never come from the calling
+  // engine's per-query arena.
+  ScopedArenaPause no_arena;
   const int n = num_states_;
   const int k = alphabet_size_;
   Index ix;
@@ -115,6 +120,27 @@ const Nfa::Index& Nfa::EnsureIndex() const {
     StatsAdd(Metric::kAutomataClosureCacheMisses, n);
   }
 
+  // Dense one-word step masks (see Index::step1). Built after the closures
+  // so each mask is already ε-closed and transitively complete.
+  if (n <= 64) {
+    ix.step1.assign(static_cast<size_t>(n) * k, 0);
+    for (int q = 0; q < n; ++q) {
+      for (int a = 0; a < k; ++a) {
+        uint64_t mask = 0;
+        const size_t base = static_cast<size_t>(q) * k + a;
+        for (int32_t i = ix.sym_off[base]; i < ix.sym_off[base + 1]; ++i) {
+          int32_t t = ix.sym_to[i];
+          if (ix.has_epsilon) {
+            mask |= ix.closure[t].cwords()[0];
+          } else {
+            mask |= uint64_t{1} << t;
+          }
+        }
+        ix.step1[base] = mask;
+      }
+    }
+  }
+
   ix.valid = true;
   index_ = std::move(ix);
   return index_;
@@ -149,6 +175,17 @@ Bits Nfa::Step(const Bits& states, int symbol) const {
   if (ix.has_epsilon) {
     StatsAdd(Metric::kAutomataEpsilonClosureCalls);
     StatsAdd(Metric::kAutomataClosureCacheHits);
+  }
+  if (!ix.step1.empty()) {
+    uint64_t cur = states.cwords()[0];
+    uint64_t out = 0;
+    while (cur) {
+      int q = __builtin_ctzll(cur);
+      cur &= cur - 1;
+      out |= ix.step1[static_cast<size_t>(q) * k + symbol];
+    }
+    next.words()[0] = out;
+    return next;
   }
   states.ForEach([&](int q) {
     const size_t base = static_cast<size_t>(q) * k + symbol;

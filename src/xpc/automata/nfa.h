@@ -118,6 +118,10 @@ class Nfa {
     std::vector<int32_t> eps_to;
     std::vector<Bits> closure;
     Bits accepting_mask;
+    /// Word-parallel stepping for NFAs that fit one word (≤64 states —
+    /// every content model in practice): `step1[q * k + a]` is the ε-closed
+    /// a-successor mask of q, so `Step` is a ctz loop OR-ing whole masks.
+    std::vector<uint64_t> step1;
   };
 
   const Index& EnsureIndex() const;

@@ -1,0 +1,126 @@
+#include "xpc/common/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "xpc/common/stats.h"
+
+namespace xpc {
+
+namespace {
+
+constexpr size_t kMinBlock = size_t{64} << 10;   // 64 KiB payload to start.
+constexpr size_t kMaxBlock = size_t{4} << 20;    // Growth cap per block.
+constexpr size_t kCacheCap = size_t{64} << 20;   // Process-wide recycle cap.
+
+thread_local Arena* tls_arena = nullptr;
+
+// Free blocks recycled across arenas (i.e. across queries). Guarded by a
+// mutex: acquisition happens only on block exhaustion, never per-allocation.
+struct BlockCache {
+  std::mutex mu;
+  Arena::Block* head = nullptr;
+  size_t bytes = 0;
+};
+
+BlockCache& Cache() {
+  static BlockCache* cache = new BlockCache();
+  return *cache;
+}
+
+}  // namespace
+
+int internal::ArenaEnabledSlow() {
+  const char* env = std::getenv("XPC_ARENA");
+  int v = (env != nullptr && env[0] == '0' && env[1] == '\0') ? 0 : 1;
+  g_arena_enabled.store(v, std::memory_order_relaxed);
+  return v;
+}
+
+Arena* Arena::Current() { return tls_arena; }
+
+ScopedArenaInstall::ScopedArenaInstall(Arena* arena) : previous_(tls_arena) {
+  if (arena != nullptr) tls_arena = arena;
+}
+
+ScopedArenaInstall::~ScopedArenaInstall() { tls_arena = previous_; }
+
+ScopedArenaPause::ScopedArenaPause() : previous_(tls_arena) { tls_arena = nullptr; }
+
+ScopedArenaPause::~ScopedArenaPause() { tls_arena = previous_; }
+
+void Arena::Refill(size_t n) {
+  size_t want = next_block_size_ ? next_block_size_ : kMinBlock;
+  if (want < n) want = n;
+
+  Block* block = nullptr;
+  {
+    BlockCache& cache = Cache();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    Block** prev = &cache.head;
+    for (Block* b = cache.head; b != nullptr; prev = &b->next, b = b->next) {
+      if (b->size >= want) {
+        *prev = b->next;
+        cache.bytes -= sizeof(Block) + b->size;
+        block = b;
+        break;
+      }
+    }
+  }
+  if (block == nullptr) {
+    block = static_cast<Block*>(::operator new(sizeof(Block) + want));
+    block->size = want;
+  }
+
+  block->next = head_;
+  head_ = block;
+  cur_ = reinterpret_cast<char*>(block + 1);
+  end_ = cur_ + block->size;
+  bytes_reserved_ += sizeof(Block) + block->size;
+  next_block_size_ = block->size < kMaxBlock ? block->size * 2 : kMaxBlock;
+  StatsGaugeMax(Metric::kArenaBytesReserved, static_cast<int64_t>(bytes_reserved_));
+}
+
+namespace {
+
+// Returns a block chain to the cache (or the heap past the cap).
+void Recycle(Arena::Block* head) {
+  BlockCache& cache = Cache();
+  while (head != nullptr) {
+    Arena::Block* next = head->next;
+    bool cached = false;
+    {
+      std::lock_guard<std::mutex> lock(cache.mu);
+      if (cache.bytes + sizeof(Arena::Block) + head->size <= kCacheCap) {
+        head->next = cache.head;
+        cache.head = head;
+        cache.bytes += sizeof(Arena::Block) + head->size;
+        cached = true;
+      }
+    }
+    if (!cached) ::operator delete(head);
+    head = next;
+  }
+}
+
+}  // namespace
+
+void Arena::Reset() {
+  if (head_ == nullptr) return;
+  StatsAdd(Metric::kArenaResets);
+  // Keep the newest (largest) block hot, recycle the rest.
+  Recycle(head_->next);
+  head_->next = nullptr;
+  cur_ = reinterpret_cast<char*>(head_ + 1);
+  end_ = cur_ + head_->size;
+  bytes_reserved_ = sizeof(Block) + head_->size;
+}
+
+Arena::~Arena() {
+  if (head_ == nullptr) return;
+  StatsAdd(Metric::kArenaResets);
+  Recycle(head_);
+}
+
+}  // namespace xpc

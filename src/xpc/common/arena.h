@@ -1,0 +1,228 @@
+#ifndef XPC_COMMON_ARENA_H_
+#define XPC_COMMON_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <vector>
+
+namespace xpc {
+
+/// Bump allocator for per-query transients (DESIGN.md §2.9).
+///
+/// The sat engines and the automata subset/product loops allocate millions
+/// of tiny, identically-shaped objects per query (`Bits` word blocks, open
+/// addressing table storage) whose lifetimes all end together when the
+/// query finishes. An `Arena` carves them out of large chained blocks with
+/// a pointer bump, and releases everything at once on `Reset()`/destruction
+/// — no per-object frees, no allocator metadata, and hot transients end up
+/// contiguous in memory in allocation (i.e. traversal) order.
+///
+/// Blocks are recycled through a process-wide cache, so steady-state query
+/// traffic (the `bench_throughput` scenario) runs without touching the
+/// system allocator at all.
+///
+/// Thread model: an `Arena` itself is single-threaded. Engines install one
+/// per worker thread via `ScopedArenaInstall`, which makes it the calling
+/// thread's `Arena::Current()`; `Bits` and the flat tables consult that
+/// pointer at allocation time. Installed arenas must outlive every object
+/// allocated from them — engines own their arenas as the *first* member so
+/// they are destroyed last, and code that builds long-lived structures
+/// under an installed arena (e.g. `Nfa::EnsureIndex`) shields itself with
+/// `ScopedArenaPause`.
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `n` bytes, 8-byte aligned, uninitialized.
+  void* Alloc(size_t n) {
+    n = (n + 7u) & ~size_t{7};
+    if (n > static_cast<size_t>(end_ - cur_)) Refill(n);
+    char* p = cur_;
+    cur_ += n;
+    return p;
+  }
+
+  /// `n` uint64 words, uninitialized.
+  uint64_t* AllocWords(size_t n) { return static_cast<uint64_t*>(Alloc(n * 8)); }
+
+  /// Drops every allocation at once and rewinds to the first block; spare
+  /// blocks go back to the process-wide cache.
+  void Reset();
+
+  /// Total bytes of blocks this arena currently holds.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// The calling thread's installed arena, or nullptr when allocation
+  /// should fall back to the heap (none installed, paused, or the
+  /// `XPC_ARENA=0` kill switch).
+  static Arena* Current();
+
+  struct Block {
+    Block* next;
+    size_t size;  // Usable payload bytes following this header.
+  };
+
+ private:
+  friend class ScopedArenaInstall;
+  friend class ScopedArenaPause;
+
+  void Refill(size_t n);
+
+  Block* head_ = nullptr;  // All blocks, newest first.
+  char* cur_ = nullptr;
+  char* end_ = nullptr;
+  size_t bytes_reserved_ = 0;
+  size_t next_block_size_ = 0;
+};
+
+namespace internal {
+/// Data-oriented-layout gate; -1 means "consult XPC_ARENA on first use"
+/// (cold path in arena.cc). Relaxed is enough: the flag is flipped only
+/// between legs / test cases, never concurrently with hot allocation.
+inline std::atomic<int> g_arena_enabled{-1};
+int ArenaEnabledSlow();
+}  // namespace internal
+
+/// Runtime gate for the whole data-oriented layout: arenas, the
+/// open-addressing pool tables, *and* the inline-Bits representation.
+/// Defaults to the `XPC_ARENA` environment variable ("0" disables;
+/// anything else, or unset, enables). The differential tests and the
+/// `bench_throughput` baseline leg flip it programmatically; both paths
+/// must be bit-identical. Inline: `Bits` consults this in its hottest
+/// constructor, so it must compile to a single relaxed load.
+inline bool ArenaEnabled() {
+  int v = internal::g_arena_enabled.load(std::memory_order_relaxed);
+  if (__builtin_expect(v < 0, 0)) v = internal::ArenaEnabledSlow();
+  return v != 0;
+}
+
+inline void SetArenaEnabled(bool enabled) {
+  internal::g_arena_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+/// RAII: installs `arena` as the calling thread's `Arena::Current()` and
+/// restores the previous one on destruction. A nullptr arena is a no-op
+/// installer (used when `ArenaEnabled()` is off).
+class ScopedArenaInstall {
+ public:
+  explicit ScopedArenaInstall(Arena* arena);
+  ~ScopedArenaInstall();
+
+  ScopedArenaInstall(const ScopedArenaInstall&) = delete;
+  ScopedArenaInstall& operator=(const ScopedArenaInstall&) = delete;
+
+ private:
+  Arena* previous_;
+};
+
+/// RAII: makes `Arena::Current()` nullptr for a scope. Used by builders of
+/// long-lived structures (NFA indexes, schema indexes) so their `Bits`
+/// never land in a per-query arena that dies before they do.
+class ScopedArenaPause {
+ public:
+  ScopedArenaPause();
+  ~ScopedArenaPause();
+
+  ScopedArenaPause(const ScopedArenaPause&) = delete;
+  ScopedArenaPause& operator=(const ScopedArenaPause&) = delete;
+
+ private:
+  Arena* previous_;
+};
+
+/// A minimal vector for trivially copyable/destructible element types whose
+/// storage comes from the installed arena when one is present (heap
+/// otherwise). Geometric growth copies into a fresh block and abandons the
+/// old one — cheap under an arena, and the per-query transients this backs
+/// rarely grow after warm-up.
+template <typename T>
+class ArenaVector {
+  static_assert(__is_trivially_copyable(T), "ArenaVector needs trivial copies");
+
+ public:
+  ArenaVector() = default;
+  ~ArenaVector() {
+    if (heap_) ::operator delete(data_);
+  }
+
+  ArenaVector(const ArenaVector&) = delete;
+  ArenaVector& operator=(const ArenaVector&) = delete;
+  ArenaVector(ArenaVector&& o) noexcept
+      : data_(o.data_), size_(o.size_), cap_(o.cap_), heap_(o.heap_) {
+    o.data_ = nullptr;
+    o.size_ = o.cap_ = 0;
+    o.heap_ = false;
+  }
+  ArenaVector& operator=(ArenaVector&& o) noexcept {
+    if (this != &o) {
+      if (heap_) ::operator delete(data_);
+      data_ = o.data_;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      heap_ = o.heap_;
+      o.data_ = nullptr;
+      o.size_ = o.cap_ = 0;
+      o.heap_ = false;
+    }
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void clear() { size_ = 0; }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) Grow(size_ + 1);
+    data_[size_++] = v;
+  }
+
+  void resize(size_t n, const T& fill = T{}) {
+    if (n > cap_) Grow(n);
+    for (size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+ private:
+  void Grow(size_t need) {
+    size_t cap = cap_ ? cap_ * 2 : 8;
+    if (cap < need) cap = need;
+    bool heap = false;
+    T* fresh;
+    if (Arena* a = Arena::Current()) {
+      fresh = static_cast<T*>(a->Alloc(cap * sizeof(T)));
+    } else {
+      fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+      heap = true;
+    }
+    if (size_ != 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    if (heap_) ::operator delete(data_);
+    data_ = fresh;
+    cap_ = cap;
+    heap_ = heap;
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t cap_ = 0;
+  bool heap_ = false;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_COMMON_ARENA_H_

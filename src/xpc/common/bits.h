@@ -1,74 +1,231 @@
 #ifndef XPC_COMMON_BITS_H_
 #define XPC_COMMON_BITS_H_
 
-#include <cstdint>
+#include <cassert>
 #include <cstddef>
-#include <functional>
-#include <vector>
+#include <cstdint>
+#include <cstring>
+
+#include "xpc/common/arena.h"
+#include "xpc/common/stats.h"
 
 namespace xpc {
+
+namespace internal {
+/// Thread-local tally of Bits allocations served from the inline buffer,
+/// flushed to the `bits.inline_hits` metric by `BitsStatsScope` (a per-Bits
+/// `StatsAdd` would put a sink lookup in the hottest constructor).
+#if XPC_STATS_ENABLED
+inline thread_local uint64_t tls_bits_inline_hits = 0;
+#endif
+}  // namespace internal
 
 /// A fixed-size dynamic bitset with the set operations needed by the
 /// relation algebra and the automata summaries. Supports hashing and
 /// ordering so values can key hash maps and sets.
+///
+/// Storage (DESIGN.md §2.9): with the data-oriented layout on
+/// (`ArenaEnabled()`, the default), sets of ≤128 bits — nearly every NFA
+/// state set and atom set in practice — live in two inline words with no
+/// heap traffic at all, and larger sets take their word block from the
+/// calling thread's installed `Arena` when one is present (per-query
+/// transients in the sat engines and subset construction), falling back to
+/// `new[]`. With `XPC_ARENA=0` every non-empty Bits owns a heap word block
+/// instead — the pre-PR one-`std::vector<uint64_t>`-per-Bits layout the
+/// throughput bench measures against. The representation is latched at
+/// construction; both are bit-identical in behavior.
+/// Arena-backed blocks are never individually freed; they die with the
+/// arena, so a Bits allocated under an arena must not outlive it (builders
+/// of long-lived sets use `ScopedArenaPause`).
 class Bits {
  public:
-  Bits() = default;
-  explicit Bits(int size) : size_(size), words_((size + 63) / 64, 0) {}
+  Bits() { rep_.inl[0] = rep_.inl[1] = 0; }
+
+  explicit Bits(int size) : size_(size), nwords_((static_cast<uint32_t>(size) + 63) >> 6) {
+    if (nwords_ == 0 || (nwords_ <= kInlineWords && ArenaEnabled())) {
+      rep_.inl[0] = rep_.inl[1] = 0;
+#if XPC_STATS_ENABLED
+      ++internal::tls_bits_inline_hits;
+#endif
+    } else {
+      inline_ = false;
+      AllocBlock();
+      std::memset(rep_.ptr, 0, nwords_ * 8u);
+    }
+  }
+
+  Bits(const Bits& o) : size_(o.size_), nwords_(o.nwords_), inline_(o.inline_) {
+    if (inline_) {
+      rep_.inl[0] = o.rep_.inl[0];
+      rep_.inl[1] = o.rep_.inl[1];
+#if XPC_STATS_ENABLED
+      ++internal::tls_bits_inline_hits;
+#endif
+    } else {
+      AllocBlock();
+      std::memcpy(rep_.ptr, o.rep_.ptr, nwords_ * 8u);
+    }
+  }
+
+  Bits(Bits&& o) noexcept : size_(o.size_), nwords_(o.nwords_), heap_(o.heap_), inline_(o.inline_) {
+    rep_ = o.rep_;
+    o.size_ = 0;
+    o.nwords_ = 0;
+    o.heap_ = false;
+    o.inline_ = true;
+    o.rep_.inl[0] = o.rep_.inl[1] = 0;
+  }
+
+  Bits& operator=(const Bits& o) {
+    if (this == &o) return *this;
+    if (nwords_ == o.nwords_) {
+      // Same word count: overwrite in place, keeping this object's storage
+      // (and its heap/arena ownership) — the common steady-state case.
+      size_ = o.size_;
+      std::memcpy(words(), o.cwords(), nwords_ * 8u);
+      return *this;
+    }
+    if (heap_) delete[] rep_.ptr;
+    size_ = o.size_;
+    nwords_ = o.nwords_;
+    heap_ = false;
+    inline_ = o.inline_;
+    if (inline_) {
+      rep_.inl[0] = o.rep_.inl[0];
+      rep_.inl[1] = o.rep_.inl[1];
+    } else {
+      AllocBlock();
+      std::memcpy(rep_.ptr, o.rep_.ptr, nwords_ * 8u);
+    }
+    return *this;
+  }
+
+  Bits& operator=(Bits&& o) noexcept {
+    if (this == &o) return *this;
+    if (heap_) delete[] rep_.ptr;
+    size_ = o.size_;
+    nwords_ = o.nwords_;
+    heap_ = o.heap_;
+    inline_ = o.inline_;
+    rep_ = o.rep_;
+    o.size_ = 0;
+    o.nwords_ = 0;
+    o.heap_ = false;
+    o.inline_ = true;
+    o.rep_.inl[0] = o.rep_.inl[1] = 0;
+    return *this;
+  }
+
+  ~Bits() {
+    if (heap_) delete[] rep_.ptr;
+  }
 
   int size() const { return size_; }
 
-  bool Get(int i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
-  void Set(int i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
-  void Reset(int i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  /// Raw word access for word-granular kernels (StateRel's flat rows, the
+  /// dense step masks). `num_words()` words, bit i at word i>>6, bit i&63.
+  uint64_t* words() { return inline_ ? rep_.inl : rep_.ptr; }
+  const uint64_t* cwords() const { return inline_ ? rep_.inl : rep_.ptr; }
+  uint32_t num_words() const { return nwords_; }
+
+  bool Get(int i) const { return (cwords()[i >> 6] >> (i & 63)) & 1; }
+  void Set(int i) { words()[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Reset(int i) { words()[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
   void Assign(int i, bool v) { v ? Set(i) : Reset(i); }
 
   /// True if no bit is set.
   bool None() const {
-    for (uint64_t w : words_) {
-      if (w != 0) return false;
-    }
-    return true;
+    const uint64_t* w = cwords();
+    uint64_t any = 0;
+    for (uint32_t i = 0; i < nwords_; ++i) any |= w[i];
+    return any == 0;
   }
 
   /// Number of set bits.
   int Count() const {
+    const uint64_t* w = cwords();
     int c = 0;
-    for (uint64_t w : words_) c += __builtin_popcountll(w);
+    for (uint32_t i = 0; i < nwords_; ++i) c += __builtin_popcountll(w[i]);
     return c;
   }
 
-  /// In-place union; returns true if any bit was newly set.
+  /// In-place union; returns true if any bit was newly set. Branch-free
+  /// change tracking: the loop body has no data-dependent branches, so it
+  /// vectorizes.
   bool UnionWith(const Bits& other) {
-    bool changed = false;
-    for (size_t i = 0; i < words_.size(); ++i) {
-      uint64_t merged = words_[i] | other.words_[i];
-      changed = changed || merged != words_[i];
-      words_[i] = merged;
+    assert(size_ == other.size_);
+    uint64_t* w = words();
+    const uint64_t* ow = other.cwords();
+    uint64_t diff = 0;
+    for (uint32_t i = 0; i < nwords_; ++i) {
+      uint64_t merged = w[i] | ow[i];
+      diff |= merged ^ w[i];
+      w[i] = merged;
     }
-    return changed;
+    return diff != 0;
+  }
+
+  /// Fused kernel: this |= other, reporting whether this and `other`
+  /// overlapped *before* the union (one pass instead of Intersects +
+  /// UnionWith).
+  bool UnionWithIntersects(const Bits& other) {
+    assert(size_ == other.size_);
+    uint64_t* w = words();
+    const uint64_t* ow = other.cwords();
+    uint64_t hit = 0;
+    for (uint32_t i = 0; i < nwords_; ++i) {
+      hit |= w[i] & ow[i];
+      w[i] |= ow[i];
+    }
+    return hit != 0;
   }
 
   void IntersectWith(const Bits& other) {
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    assert(size_ == other.size_);
+    uint64_t* w = words();
+    const uint64_t* ow = other.cwords();
+    for (uint32_t i = 0; i < nwords_; ++i) w[i] &= ow[i];
   }
 
   void SubtractWith(const Bits& other) {
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    assert(size_ == other.size_);
+    uint64_t* w = words();
+    const uint64_t* ow = other.cwords();
+    for (uint32_t i = 0; i < nwords_; ++i) w[i] &= ~ow[i];
+  }
+
+  /// Fused kernel: this &= ~other, reporting whether anything survives (one
+  /// pass instead of SubtractWith + None).
+  bool SubtractWithAny(const Bits& other) {
+    assert(size_ == other.size_);
+    uint64_t* w = words();
+    const uint64_t* ow = other.cwords();
+    uint64_t left = 0;
+    for (uint32_t i = 0; i < nwords_; ++i) {
+      w[i] &= ~ow[i];
+      left |= w[i];
+    }
+    return left != 0;
   }
 
   /// True if this and `other` share any set bit.
   bool Intersects(const Bits& other) const {
-    for (size_t i = 0; i < words_.size(); ++i) {
-      if (words_[i] & other.words_[i]) return true;
+    assert(size_ == other.size_);
+    const uint64_t* w = cwords();
+    const uint64_t* ow = other.cwords();
+    for (uint32_t i = 0; i < nwords_; ++i) {
+      if (w[i] & ow[i]) return true;
     }
     return false;
   }
 
   /// True if this is a subset of `other`.
   bool SubsetOf(const Bits& other) const {
-    for (size_t i = 0; i < words_.size(); ++i) {
-      if (words_[i] & ~other.words_[i]) return false;
+    assert(size_ == other.size_);
+    const uint64_t* w = cwords();
+    const uint64_t* ow = other.cwords();
+    for (uint32_t i = 0; i < nwords_; ++i) {
+      if (w[i] & ~ow[i]) return false;
     }
     return true;
   }
@@ -76,8 +233,9 @@ class Bits {
   /// Invokes `f(i)` for each set bit, in increasing order.
   template <typename F>
   void ForEach(F f) const {
-    for (size_t w = 0; w < words_.size(); ++w) {
-      uint64_t bits = words_[w];
+    const uint64_t* words = cwords();
+    for (uint32_t w = 0; w < nwords_; ++w) {
+      uint64_t bits = words[w];
       while (bits) {
         int b = __builtin_ctzll(bits);
         f(static_cast<int>(w * 64 + b));
@@ -87,30 +245,87 @@ class Bits {
   }
 
   friend bool operator==(const Bits& a, const Bits& b) {
-    return a.size_ == b.size_ && a.words_ == b.words_;
+    if (a.size_ != b.size_) return false;
+    const uint64_t* aw = a.cwords();
+    const uint64_t* bw = b.cwords();
+    for (uint32_t i = 0; i < a.nwords_; ++i) {
+      if (aw[i] != bw[i]) return false;
+    }
+    return true;
   }
   friend bool operator<(const Bits& a, const Bits& b) {
     if (a.size_ != b.size_) return a.size_ < b.size_;
-    return a.words_ < b.words_;
+    const uint64_t* aw = a.cwords();
+    const uint64_t* bw = b.cwords();
+    for (uint32_t i = 0; i < a.nwords_; ++i) {
+      if (aw[i] != bw[i]) return aw[i] < bw[i];
+    }
+    return false;
   }
 
   /// FNV-style hash over the words.
   size_t Hash() const {
+    const uint64_t* w = cwords();
     size_t h = 0xcbf29ce484222325ULL;
-    for (uint64_t w : words_) {
-      h ^= w;
+    for (uint32_t i = 0; i < nwords_; ++i) {
+      h ^= w[i];
       h *= 0x100000001b3ULL;
     }
     return h;
   }
 
  private:
-  int size_ = 0;
-  std::vector<uint64_t> words_;
+  static constexpr uint32_t kInlineWords = 2;
+
+  void AllocBlock() {
+    if (Arena* a = Arena::Current()) {
+      rep_.ptr = a->AllocWords(nwords_);
+      heap_ = false;
+    } else {
+      rep_.ptr = new uint64_t[nwords_];
+      heap_ = true;
+    }
+  }
+
+  int32_t size_ = 0;
+  uint32_t nwords_ = 0;
+  bool heap_ = false;    // rep_.ptr owned via new[] (never true in inline mode).
+  bool inline_ = true;   // Words live in rep_.inl (latched at construction).
+  union Rep {
+    uint64_t inl[kInlineWords];
+    uint64_t* ptr;
+  } rep_;
 };
 
 struct BitsHash {
   size_t operator()(const Bits& b) const { return b.Hash(); }
+};
+
+/// RAII: flushes the thread's inline-allocation tally into the
+/// `bits.inline_hits` metric when the scope exits. Engines open one around
+/// their hot region; nested scopes each flush their own delta.
+class BitsStatsScope {
+ public:
+  BitsStatsScope() {
+#if XPC_STATS_ENABLED
+    start_ = internal::tls_bits_inline_hits;
+#endif
+  }
+  ~BitsStatsScope() {
+#if XPC_STATS_ENABLED
+    uint64_t now = internal::tls_bits_inline_hits;
+    internal::tls_bits_inline_hits = start_;
+    StatsAdd(Metric::kBitsInlineHits, static_cast<int64_t>(now - start_));
+#endif
+  }
+
+  BitsStatsScope(const BitsStatsScope&) = delete;
+  BitsStatsScope& operator=(const BitsStatsScope&) = delete;
+
+#if XPC_STATS_ENABLED
+ private:
+  uint64_t start_ = 0;
+#endif
 };
 
 }  // namespace xpc

@@ -1,0 +1,285 @@
+#ifndef XPC_COMMON_FLAT_TABLE_H_
+#define XPC_COMMON_FLAT_TABLE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "xpc/common/arena.h"
+
+namespace xpc {
+
+/// Open-addressing hash tables for the engines' hot lookups (DESIGN.md
+/// §2.9). Both tables use linear probing over a power-of-two entry array
+/// whose storage comes from the installed `Arena` when one is present, so a
+/// probe touches one contiguous cache line instead of chasing a
+/// `std::unordered_map` node. They only support the operations the hot
+/// loops actually perform — find, insert-absent, clear — and are paired
+/// with `unordered_map` fallbacks in the dual-mode wrappers below, selected
+/// by `ArenaEnabled()`; both modes are bit-identical because no caller ever
+/// iterates them.
+
+namespace internal {
+
+/// splitmix64 finalizer: full-avalanche mixing for integer keys and for
+/// narrowing precomputed 64-bit hashes to a probe start.
+inline uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace internal
+
+/// uint64 key → int32 value map (the loop engine's compose/test/extend
+/// memos and the automata pair-BFS seen sets). Any value except INT32_MIN
+/// is storable.
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+  ~FlatMap64() {
+    if (heap_) ::operator delete(entries_);
+  }
+  FlatMap64(const FlatMap64&) = delete;
+  FlatMap64& operator=(const FlatMap64&) = delete;
+  FlatMap64(FlatMap64&& o) noexcept
+      : entries_(o.entries_), mask_(o.mask_), size_(o.size_), heap_(o.heap_) {
+    o.entries_ = nullptr;
+    o.mask_ = 0;
+    o.size_ = 0;
+    o.heap_ = false;
+  }
+  FlatMap64& operator=(FlatMap64&& o) noexcept {
+    std::swap(entries_, o.entries_);
+    std::swap(mask_, o.mask_);
+    std::swap(size_, o.size_);
+    std::swap(heap_, o.heap_);
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  int32_t* Find(uint64_t key) {
+    if (entries_ == nullptr) return nullptr;
+    size_t i = internal::MixU64(key) & mask_;
+    while (true) {
+      Entry& e = entries_[i];
+      if (e.val == kEmpty) return nullptr;
+      if (e.key == key) return &e.val;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Inserts an absent key.
+  void Insert(uint64_t key, int32_t val) {
+    if (entries_ == nullptr || size_ + 1 > (mask_ + 1) - ((mask_ + 1) >> 2)) Grow();
+    size_t i = internal::MixU64(key) & mask_;
+    while (entries_[i].val != kEmpty) i = (i + 1) & mask_;
+    entries_[i].key = key;
+    entries_[i].val = val;
+    ++size_;
+  }
+
+  /// Drops every entry, keeping the storage.
+  void Clear() {
+    size_ = 0;
+    for (size_t i = 0; i <= mask_ && entries_ != nullptr; ++i) entries_[i].val = kEmpty;
+  }
+
+ private:
+  static constexpr int32_t kEmpty = INT32_MIN;
+  struct Entry {
+    uint64_t key;
+    int32_t val;
+  };
+
+  void Grow() {
+    size_t cap = entries_ == nullptr ? 16 : (mask_ + 1) * 2;
+    Entry* fresh;
+    bool heap = false;
+    if (Arena* a = Arena::Current()) {
+      fresh = static_cast<Entry*>(a->Alloc(cap * sizeof(Entry)));
+    } else {
+      fresh = static_cast<Entry*>(::operator new(cap * sizeof(Entry)));
+      heap = true;
+    }
+    for (size_t i = 0; i < cap; ++i) fresh[i].val = kEmpty;
+    size_t fresh_mask = cap - 1;
+    for (size_t i = 0; entries_ != nullptr && i <= mask_; ++i) {
+      if (entries_[i].val == kEmpty) continue;
+      size_t j = internal::MixU64(entries_[i].key) & fresh_mask;
+      while (fresh[j].val != kEmpty) j = (j + 1) & fresh_mask;
+      fresh[j] = entries_[i];
+    }
+    if (heap_) ::operator delete(entries_);
+    entries_ = fresh;
+    mask_ = fresh_mask;
+    heap_ = heap;
+  }
+
+  Entry* entries_ = nullptr;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  bool heap_ = false;
+};
+
+/// Interning table over an external id-indexed pool: entries store only
+/// (hash, id), the caller resolves an id back to its pooled key for the
+/// equality check. This is how Hintikka-set nodes, summaries, items and
+/// `StateRel`s are deduplicated without ever copying a key into the table.
+class IdTable {
+ public:
+  IdTable() = default;
+  ~IdTable() {
+    if (heap_) ::operator delete(entries_);
+  }
+  IdTable(const IdTable&) = delete;
+  IdTable& operator=(const IdTable&) = delete;
+  IdTable(IdTable&& o) noexcept
+      : entries_(o.entries_), mask_(o.mask_), size_(o.size_), heap_(o.heap_) {
+    o.entries_ = nullptr;
+    o.mask_ = 0;
+    o.size_ = 0;
+    o.heap_ = false;
+  }
+  IdTable& operator=(IdTable&& o) noexcept {
+    std::swap(entries_, o.entries_);
+    std::swap(mask_, o.mask_);
+    std::swap(size_, o.size_);
+    std::swap(heap_, o.heap_);
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+
+  /// Id of the entry matching (hash, eq), or -1. `eq(id)` compares the
+  /// probe key against pool element `id`.
+  template <typename Eq>
+  int32_t Find(uint64_t hash, Eq&& eq) const {
+    if (entries_ == nullptr) return -1;
+    size_t i = internal::MixU64(hash) & mask_;
+    while (true) {
+      const Entry& e = entries_[i];
+      if (e.id < 0) return -1;
+      if (e.hash == hash && eq(e.id)) return e.id;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Inserts an absent (hash → pool id) entry.
+  void Insert(uint64_t hash, int32_t id) {
+    if (entries_ == nullptr || size_ + 1 > (mask_ + 1) - ((mask_ + 1) >> 2)) Grow();
+    size_t i = internal::MixU64(hash) & mask_;
+    while (entries_[i].id >= 0) i = (i + 1) & mask_;
+    entries_[i].hash = hash;
+    entries_[i].id = id;
+    ++size_;
+  }
+
+  /// Drops every entry, keeping the storage.
+  void Clear() {
+    size_ = 0;
+    for (size_t i = 0; i <= mask_ && entries_ != nullptr; ++i) entries_[i].id = -1;
+  }
+
+ private:
+  struct Entry {
+    uint64_t hash;
+    int32_t id;  // < 0 → free slot.
+  };
+
+  void Grow() {
+    size_t cap = entries_ == nullptr ? 16 : (mask_ + 1) * 2;
+    Entry* fresh;
+    bool heap = false;
+    if (Arena* a = Arena::Current()) {
+      fresh = static_cast<Entry*>(a->Alloc(cap * sizeof(Entry)));
+    } else {
+      fresh = static_cast<Entry*>(::operator new(cap * sizeof(Entry)));
+      heap = true;
+    }
+    for (size_t i = 0; i < cap; ++i) fresh[i].id = -1;
+    size_t fresh_mask = cap - 1;
+    for (size_t i = 0; entries_ != nullptr && i <= mask_; ++i) {
+      if (entries_[i].id < 0) continue;
+      size_t j = internal::MixU64(entries_[i].hash) & fresh_mask;
+      while (fresh[j].id >= 0) j = (j + 1) & fresh_mask;
+      fresh[j] = entries_[i];
+    }
+    if (heap_) ::operator delete(entries_);
+    entries_ = fresh;
+    mask_ = fresh_mask;
+    heap_ = heap;
+  }
+
+  Entry* entries_ = nullptr;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  bool heap_ = false;
+};
+
+/// Dual-mode uint64 → int map: flat open addressing when the data-oriented
+/// layout is on, the pre-PR `std::unordered_map` when `XPC_ARENA=0` (the
+/// measured baseline leg). The mode is latched at construction.
+class U64IntMap {
+ public:
+  U64IntMap() : flat_mode_(ArenaEnabled()) {}
+
+  /// Pointer to the value for `key`, or nullptr.
+  int32_t* Find(uint64_t key) {
+    if (flat_mode_) return flat_.Find(key);
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Inserts an absent key.
+  void Insert(uint64_t key, int32_t val) {
+    if (flat_mode_) {
+      flat_.Insert(key, val);
+    } else {
+      map_.emplace(key, val);
+    }
+  }
+
+  void Clear() {
+    if (flat_mode_) {
+      flat_.Clear();
+    } else {
+      map_.clear();
+    }
+  }
+
+ private:
+  bool flat_mode_;
+  FlatMap64 flat_;
+  std::unordered_map<uint64_t, int32_t> map_;
+};
+
+/// Dual-mode uint64 membership set (pair-BFS seen sets). Same contract as
+/// `U64IntMap` with the value dropped.
+class U64Set {
+ public:
+  U64Set() : flat_mode_(ArenaEnabled()) {}
+
+  /// Inserts `key`; returns true when it was absent.
+  bool InsertNew(uint64_t key) {
+    if (flat_mode_) {
+      if (flat_.Find(key) != nullptr) return false;
+      flat_.Insert(key, 1);
+      return true;
+    }
+    return map_.emplace(key, 1).second;
+  }
+
+ private:
+  bool flat_mode_;
+  FlatMap64 flat_;
+  std::unordered_map<uint64_t, char> map_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_COMMON_FLAT_TABLE_H_

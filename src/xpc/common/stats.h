@@ -79,6 +79,10 @@ namespace xpc {
   X(kSchemaIndexBuild, "schemaindex.build_time", kTimer)                      \
   X(kSchemaIndexHits, "schemaindex.hits", kCounter)                           \
   X(kSchemaIndexColdMisses, "schemaindex.cold_misses", kCounter)              \
+  /* data-oriented memory layout (arena transients + inline-word Bits) */     \
+  X(kArenaBytesReserved, "arena.bytes_reserved", kGauge)                      \
+  X(kArenaResets, "arena.resets", kCounter)                                   \
+  X(kBitsInlineHits, "bits.inline_hits", kCounter)                            \
   /* session caches (unified view of SessionStats) */                         \
   X(kSessionContainmentHits, "session.containment.hits", kCounter)            \
   X(kSessionContainmentMisses, "session.containment.misses", kCounter)        \

@@ -211,10 +211,15 @@ SatResult Session::NodeSatisfiable(const NodePtr& phi) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     canonical = interner_.Intern(phi);
-    if (const SatResult* cached = sat_cache_.Get(canonical.get())) {
+    if (const CachedSat* cached = sat_cache_.Get(canonical.get())) {
       ++stats_.sat.hits;
       telemetry_.Add(Metric::kSessionSatHits);
-      return *cached;
+      SatResult r;
+      r.status = cached->status;
+      r.explored_states = cached->explored_states;
+      r.engine = cached->engine;
+      r.witness = cached->witness;
+      return r;
     }
     ++stats_.sat.misses;
     telemetry_.Add(Metric::kSessionSatMisses);
@@ -228,7 +233,8 @@ SatResult Session::NodeSatisfiable(const NodePtr& phi) {
   std::lock_guard<std::mutex> lock(mu_);
   RecordEngine(result.engine, micros);
   telemetry_.Merge(result.stats);
-  sat_cache_.Put(canonical.get(), result);
+  sat_cache_.Put(canonical.get(),
+                 {result.status, result.explored_states, result.engine, result.witness});
   return result;
 }
 

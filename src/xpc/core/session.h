@@ -26,48 +26,188 @@ namespace xpc {
 /// A bounded least-recently-used map. `Get` bumps recency and returns a
 /// pointer that stays valid until the next mutating call; `Put` evicts the
 /// oldest entries beyond `capacity`. Not thread-safe (callers lock).
+///
+/// Layout (DESIGN.md §2.9): entries live in one contiguous slot arena with
+/// intrusive int32 recency links, indexed by an open-addressing
+/// (hash, slot) probe table — no per-entry node allocations, so a hit
+/// touches a probe line plus a handful of arena lines instead of chasing
+/// map and list nodes. Eviction order is exact LRU, identical to the
+/// node-based implementation it replaced.
 template <typename K, typename V, typename Hash = std::hash<K>>
 class LruCache {
  public:
   explicit LruCache(size_t capacity) : capacity_(capacity) {}
 
   const V* Get(const K& key) {
-    auto it = index_.find(key);
-    if (it == index_.end()) return nullptr;
-    order_.splice(order_.begin(), order_, it->second);
-    return &it->second->second;
+    const int32_t slot = FindSlot(key, Hash{}(key));
+    if (slot < 0) return nullptr;
+    MoveToFront(slot);
+    return &slots_[slot].value;
   }
 
   void Put(const K& key, V value) {
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      it->second->second = std::move(value);
-      order_.splice(order_.begin(), order_, it->second);
+    const size_t hash = Hash{}(key);
+    const int32_t slot = FindSlot(key, hash);
+    if (slot >= 0) {
+      slots_[slot].value = std::move(value);
+      MoveToFront(slot);
       return;
     }
-    order_.emplace_front(key, std::move(value));
-    index_[key] = order_.begin();
-    while (order_.size() > capacity_) {
-      index_.erase(order_.back().first);
-      order_.pop_back();
+    int32_t s;
+    if (!free_.empty()) {
+      s = free_.back();
+      free_.pop_back();
+      slots_[s].key = key;
+      slots_[s].value = std::move(value);
+    } else {
+      s = static_cast<int32_t>(slots_.size());
+      slots_.push_back({key, std::move(value), -1, -1});
+    }
+    LinkFront(s);
+    ++size_;
+    IndexInsert(hash, s);
+    while (size_ > capacity_) {
+      const int32_t victim = tail_;
+      IndexErase(slots_[victim].key);
+      Unlink(victim);
+      slots_[victim].key = K();
+      slots_[victim].value = V();  // Release held resources eagerly.
+      free_.push_back(victim);
+      --size_;
       ++evictions_;
     }
   }
 
-  size_t size() const { return order_.size(); }
+  size_t size() const { return size_; }
   size_t capacity() const { return capacity_; }
   int64_t evictions() const { return evictions_; }
 
   void Clear() {
-    order_.clear();
-    index_.clear();
+    slots_.clear();
+    free_.clear();
+    buckets_.clear();
+    head_ = tail_ = -1;
+    size_ = used_ = tombstones_ = 0;
   }
 
  private:
+  struct Slot {
+    K key;
+    V value;
+    int32_t prev;
+    int32_t next;
+  };
+  struct Bucket {
+    size_t hash = 0;
+    int32_t slot = kEmpty;  // kEmpty, kTombstone, or a slot id.
+  };
+  static constexpr int32_t kEmpty = -1;
+  static constexpr int32_t kTombstone = -2;
+
+  int32_t FindSlot(const K& key, size_t hash) const {
+    if (buckets_.empty()) return -1;
+    const size_t mask = buckets_.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      const Bucket& b = buckets_[i];
+      if (b.slot == kEmpty) return -1;
+      if (b.slot >= 0 && b.hash == hash && slots_[b.slot].key == key) return b.slot;
+    }
+  }
+
+  void IndexInsert(size_t hash, int32_t slot) {
+    if ((used_ + tombstones_ + 1) * 4 > buckets_.size() * 3) Rehash();
+    const size_t mask = buckets_.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      Bucket& b = buckets_[i];
+      if (b.slot < 0) {  // Empty or tombstone: claim it.
+        if (b.slot == kTombstone) --tombstones_;
+        b = {hash, slot};
+        ++used_;
+        return;
+      }
+    }
+  }
+
+  void IndexErase(const K& key) {
+    const size_t hash = Hash{}(key);
+    const size_t mask = buckets_.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      Bucket& b = buckets_[i];
+      if (b.slot == kEmpty) return;
+      if (b.slot >= 0 && b.hash == hash && slots_[b.slot].key == key) {
+        b.slot = kTombstone;
+        --used_;
+        ++tombstones_;
+        return;
+      }
+    }
+  }
+
+  void Rehash() {
+    size_t want = 16;
+    while (want * 3 < (used_ + 1) * 8) want <<= 1;  // Rebuilt load <= 3/8.
+    std::vector<Bucket> old = std::move(buckets_);
+    buckets_.assign(want, Bucket{});
+    tombstones_ = 0;
+    used_ = 0;
+    const size_t mask = buckets_.size() - 1;
+    for (const Bucket& b : old) {
+      if (b.slot < 0) continue;
+      for (size_t i = b.hash & mask;; i = (i + 1) & mask) {
+        if (buckets_[i].slot == kEmpty) {
+          buckets_[i] = b;
+          ++used_;
+          break;
+        }
+      }
+    }
+  }
+
+  void LinkFront(int32_t s) {
+    slots_[s].prev = -1;
+    slots_[s].next = head_;
+    if (head_ >= 0) slots_[head_].prev = s;
+    head_ = s;
+    if (tail_ < 0) tail_ = s;
+  }
+
+  void Unlink(int32_t s) {
+    const int32_t p = slots_[s].prev;
+    const int32_t n = slots_[s].next;
+    if (p >= 0) slots_[p].next = n; else head_ = n;
+    if (n >= 0) slots_[n].prev = p; else tail_ = p;
+  }
+
+  void MoveToFront(int32_t s) {
+    if (head_ == s) return;
+    Unlink(s);
+    LinkFront(s);
+  }
+
   size_t capacity_;
-  std::list<std::pair<K, V>> order_;  // Front = most recently used.
-  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash> index_;
+  std::vector<Slot> slots_;      // Arena; `free_` holds recycled ids.
+  std::vector<int32_t> free_;
+  std::vector<Bucket> buckets_;  // Open-addressing index, power-of-2 sized.
+  int32_t head_ = -1;            // Most recently used.
+  int32_t tail_ = -1;            // Least recently used.
+  size_t size_ = 0;
+  size_t used_ = 0;
+  size_t tombstones_ = 0;
   int64_t evictions_ = 0;
+};
+
+/// Slim satisfiability-cache entry: everything a repeat caller observes
+/// except the per-solve cost profile. A cache hit performed no solve work,
+/// so its `SatResult::stats` comes back empty instead of replaying the
+/// original solve's snapshot (which was already merged into the session
+/// telemetry once, at miss time). Dropping the ~1 KB snapshot also keeps
+/// entries small enough that a hot cache of 10^5 verdicts stays
+/// cache-resident — part of the data-oriented layout pass (DESIGN.md §2.9).
+struct CachedSat {
+  SolveStatus status = SolveStatus::kResourceLimit;
+  int64_t explored_states = 0;
+  std::string engine;
+  std::optional<XmlTree> witness;
 };
 
 /// Stable fingerprint of everything a cached verdict depends on besides the
@@ -243,7 +383,7 @@ class Session {
   ExprInterner interner_;
   Solver solver_;
   LruCache<PairKey, ContainmentResult, PairKeyHash> containment_cache_;
-  LruCache<const NodeExpr*, SatResult> sat_cache_;
+  LruCache<const NodeExpr*, CachedSat> sat_cache_;
   LruCache<const PathExpr*, PathAutoPtr> automaton_cache_;
   LruCache<int, std::shared_ptr<const Dfa>> dfa_cache_;
   SessionStats stats_;

@@ -193,8 +193,7 @@ ContainmentResult Solver::ToContainment(SatResult sat, const PathPtr& alpha,
       StatsTimer timer(Metric::kSolverVerifyWitness);
       Evaluator ev(counterexample);
       Relation a = ev.EvalPath(alpha);
-      a.SubtractWith(ev.EvalPath(beta));
-      if (a.Empty()) {
+      if (!a.SubtractWithAny(ev.EvalPath(beta))) {
         out.verdict = ContainmentVerdict::kUnknown;
         out.engine += ":counterexample-verification-failed";
         return out;

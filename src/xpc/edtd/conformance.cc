@@ -73,8 +73,7 @@ void AssignTypes(const XmlTree& tree, const Edtd& edtd, const std::vector<Bits>&
         Bits new_goal(nfa.num_states());
         fwd[i].ForEach([&](int q) {
           Bits stepq = nfa.Step(nfa.EpsilonClosure(q), ct);
-          stepq.IntersectWith(stepped);
-          if (!stepq.None()) new_goal.Set(q);
+          if (stepq.Intersects(stepped)) new_goal.Set(q);
         });
         goal = new_goal;
         found = true;

@@ -118,8 +118,7 @@ bool Evaluator::SatisfiedSomewhere(const NodePtr& node) const {
 bool Evaluator::ContainedIn(const PathPtr& alpha, const PathPtr& beta) const {
   Relation a = EvalPath(alpha);
   const Relation b = EvalPath(beta);
-  a.SubtractWith(b);
-  return a.Empty();
+  return !a.SubtractWithAny(b);
 }
 
 }  // namespace xpc

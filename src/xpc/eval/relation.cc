@@ -70,6 +70,12 @@ void Relation::SubtractWith(const Relation& o) {
   for (int i = 0; i < n_; ++i) rows_[i].SubtractWith(o.rows_[i]);
 }
 
+bool Relation::SubtractWithAny(const Relation& o) {
+  bool any = false;
+  for (int i = 0; i < n_; ++i) any |= rows_[i].SubtractWithAny(o.rows_[i]);
+  return any;
+}
+
 Relation Relation::Compose(const Relation& other) const {
   Relation out(n_);
   for (int i = 0; i < n_; ++i) {

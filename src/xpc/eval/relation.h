@@ -65,6 +65,10 @@ class Relation {
   void UnionWith(const Relation& o);
   void IntersectWith(const Relation& o);
   void SubtractWith(const Relation& o);
+  /// Fused subtract-and-test: subtracts `o` and reports whether any pair
+  /// survived, in one pass over the rows (Bits::SubtractWithAny per row)
+  /// instead of SubtractWith + Empty.
+  bool SubtractWithAny(const Relation& o);
 
   /// Relational composition this ∘ other (⟦α/β⟧).
   Relation Compose(const Relation& other) const;

@@ -1,6 +1,7 @@
 #ifndef XPC_PATHAUTO_STATE_RELATION_H_
 #define XPC_PATHAUTO_STATE_RELATION_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "xpc/common/bits.h"
@@ -9,11 +10,33 @@ namespace xpc {
 
 /// A binary relation on path-automaton states (subset of Q × Q), the value
 /// domain of the LOOPS summaries of Lemma 11: D(v), U(v) and L(v) are all
-/// `StateRel`s. Small dense boolean matrices with rows stored as `Bits`.
+/// `StateRel`s.
+///
+/// Layout (DESIGN.md §2.9): with the data-oriented layout on
+/// (`ArenaEnabled()`, the default) — one contiguous word buffer, row-major
+/// with a fixed stride of `wpr_` words per row, so union/compose/closure
+/// run whole-word over a single allocation (inline or arena-backed via
+/// `Bits`) and interned relations in the loop engine's `RelTable` are one
+/// flat block each. With `XPC_ARENA=0` — the pre-PR representation, a
+/// `std::vector` of per-row `Bits`, every row behind its own allocation;
+/// this is the baseline leg the throughput bench measures against. The
+/// representation is latched at construction and hidden behind per-row word
+/// pointers, so results, ordering and hashes are identical across both
+/// (row-major word order makes flat equality/ordering/hashing coincide with
+/// per-row chaining) and relations of different vintages mix freely.
 class StateRel {
  public:
   StateRel() = default;
-  explicit StateRel(int n) : n_(n), rows_(n, Bits(n)) {}
+  explicit StateRel(int n)
+      : n_(n),
+        wpr_((static_cast<uint32_t>(n) + 63) >> 6),
+        flat_mode_(ArenaEnabled()) {
+    if (flat_mode_) {
+      flat_ = Bits(static_cast<int>(n * wpr_ * 64));
+    } else {
+      rows_.assign(n, Bits(n));
+    }
+  }
 
   static StateRel Identity(int n) {
     StateRel r(n);
@@ -22,62 +45,136 @@ class StateRel {
   }
 
   int size() const { return n_; }
-  bool Get(int i, int j) const { return rows_[i].Get(j); }
-  void Set(int i, int j) { rows_[i].Set(j); }
+  bool Get(int i, int j) const { return (row(i)[j >> 6] >> (j & 63)) & 1; }
+  void Set(int i, int j) { row(i)[j >> 6] |= (uint64_t{1} << (j & 63)); }
 
   bool UnionWith(const StateRel& o) {
-    bool changed = false;
-    for (int i = 0; i < n_; ++i) changed |= rows_[i].UnionWith(o.rows_[i]);
-    return changed;
+    if (flat_mode_ && o.flat_mode_) return flat_.UnionWith(o.flat_);
+    uint64_t diff = 0;
+    for (int i = 0; i < n_; ++i) {
+      uint64_t* w = row(i);
+      const uint64_t* ow = o.row(i);
+      for (uint32_t v = 0; v < wpr_; ++v) {
+        uint64_t merged = w[v] | ow[v];
+        diff |= merged ^ w[v];
+        w[v] = merged;
+      }
+    }
+    return diff != 0;
+  }
+
+  /// True when the relation is empty (equality with `StateRel(n)` for any
+  /// relation of the same dimension, without materializing one).
+  bool None() const {
+    if (flat_mode_) return flat_.None();
+    for (const Bits& r : rows_) {
+      if (!r.None()) return false;
+    }
+    return true;
   }
 
   /// this ∘ other.
   StateRel Compose(const StateRel& other) const {
     StateRel out(n_);
+    const uint32_t wpr = wpr_;
     for (int i = 0; i < n_; ++i) {
-      rows_[i].ForEach([&](int j) { out.rows_[i].UnionWith(other.rows_[j]); });
+      const uint64_t* src = row(i);
+      uint64_t* dst = out.row(i);
+      for (uint32_t w = 0; w < wpr; ++w) {
+        uint64_t bits = src[w];
+        while (bits) {
+          int j = static_cast<int>(w * 64) + __builtin_ctzll(bits);
+          bits &= bits - 1;
+          const uint64_t* oj = other.row(j);
+          for (uint32_t v = 0; v < wpr; ++v) dst[v] |= oj[v];
+        }
+      }
     }
     return out;
   }
 
-  /// Reflexive-transitive closure, in place (Warshall).
+  /// Reflexive-transitive closure, in place (Warshall with row unions,
+  /// iterated to fixpoint — typically 1–2 rounds).
   void CloseReflexiveTransitive() {
-    for (int i = 0; i < n_; ++i) rows_[i].Set(i);
-    for (int k = 0; k < n_; ++k) {
-      for (int i = 0; i < n_; ++i) {
-        if (rows_[i].Get(k)) rows_[i].UnionWith(rows_[k]);
-      }
-    }
-    // One Warshall sweep with row-unions is enough only if iterated to
-    // fixpoint; iterate until stable (typically 1–2 rounds).
+    for (int i = 0; i < n_; ++i) Set(i, i);
+    const uint32_t wpr = wpr_;
     bool changed = true;
     while (changed) {
       changed = false;
       for (int k = 0; k < n_; ++k) {
+        const uint64_t* rk = row(k);
         for (int i = 0; i < n_; ++i) {
-          if (rows_[i].Get(k)) changed |= rows_[i].UnionWith(rows_[k]);
+          if (i == k || !Get(i, k)) continue;
+          uint64_t* ri = row(i);
+          uint64_t diff = 0;
+          for (uint32_t w = 0; w < wpr; ++w) {
+            uint64_t merged = ri[w] | rk[w];
+            diff |= merged ^ ri[w];
+            ri[w] = merged;
+          }
+          changed |= diff != 0;
         }
       }
     }
   }
 
   friend bool operator==(const StateRel& a, const StateRel& b) {
-    return a.n_ == b.n_ && a.rows_ == b.rows_;
+    if (a.n_ != b.n_) return false;
+    if (a.flat_mode_ && b.flat_mode_) return a.flat_ == b.flat_;
+    for (int i = 0; i < a.n_; ++i) {
+      const uint64_t* aw = a.row(i);
+      const uint64_t* bw = b.row(i);
+      for (uint32_t v = 0; v < a.wpr_; ++v) {
+        if (aw[v] != bw[v]) return false;
+      }
+    }
+    return true;
   }
   friend bool operator<(const StateRel& a, const StateRel& b) {
     if (a.n_ != b.n_) return a.n_ < b.n_;
-    return a.rows_ < b.rows_;
+    if (a.flat_mode_ && b.flat_mode_) return a.flat_ < b.flat_;
+    for (int i = 0; i < a.n_; ++i) {
+      const uint64_t* aw = a.row(i);
+      const uint64_t* bw = b.row(i);
+      for (uint32_t v = 0; v < a.wpr_; ++v) {
+        if (aw[v] != bw[v]) return aw[v] < bw[v];
+      }
+    }
+    return false;
   }
 
   size_t Hash() const {
-    size_t h = 0x9e3779b97f4a7c15ULL;
-    for (const Bits& row : rows_) h = h * 1099511628211ULL + row.Hash();
-    return h;
+    if (flat_mode_) return flat_.Hash() * 1099511628211ULL + static_cast<size_t>(n_);
+    // Chain the FNV mix across rows in row order: same value as hashing the
+    // flat row-major buffer, so interning is representation-independent.
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const Bits& r : rows_) {
+      const uint64_t* w = r.cwords();
+      for (uint32_t i = 0; i < r.num_words(); ++i) {
+        h ^= w[i];
+        h *= 0x100000001b3ULL;
+      }
+    }
+    return h * 1099511628211ULL + static_cast<size_t>(n_);
   }
 
  private:
+  /// Word block of row i (`wpr_` words). One pointer add in flat mode; a
+  /// per-row object hop in the pre-PR representation.
+  uint64_t* row(int i) {
+    return flat_mode_ ? flat_.words() + static_cast<size_t>(i) * wpr_
+                      : rows_[i].words();
+  }
+  const uint64_t* row(int i) const {
+    return flat_mode_ ? flat_.cwords() + static_cast<size_t>(i) * wpr_
+                      : rows_[i].cwords();
+  }
+
   int n_ = 0;
-  std::vector<Bits> rows_;
+  uint32_t wpr_ = 0;        // Words per row.
+  bool flat_mode_ = true;   // Latched at construction from ArenaEnabled().
+  Bits flat_;               // Flat mode: n_ rows × wpr_ words, row-major.
+  std::vector<Bits> rows_;  // Pre-PR mode: one Bits per row.
 };
 
 /// Hash functor for `std::unordered_map<StateRel, ...>` keys (the interning

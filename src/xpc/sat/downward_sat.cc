@@ -3,15 +3,20 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <queue>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "xpc/common/arena.h"
 #include "xpc/common/bits.h"
+#include "xpc/common/flat_table.h"
 #include "xpc/common/stats.h"
 #include "xpc/sat/simple_paths.h"
 #include "xpc/schemaindex/schema_index.h"
@@ -88,6 +93,16 @@ int ResolveSatThreads(int requested) {
 // implementation in tests/sat_reference_test.cc and cross-checked for
 // bit-identity on hundreds of seeded random instances.
 class DownwardEngine {
+  // Per-thread arenas owning every transient Bits / flat-table block of the
+  // members below when the data-oriented layout is on (XPC_ARENA):
+  // arenas_[0] serves the main thread, arenas_[1 + i] worker slot i of the
+  // parallel fixpoint. Declared before every other member so the blocks are
+  // destroyed last — after the Bits still pointing into them.
+  std::deque<Arena> arenas_;
+  // Latched once: selects the flat open-addressing tables (and arena
+  // installs) or the pre-PR node-based containers, bit-identically.
+  const bool flat_tables_ = ArenaEnabled();
+
  public:
   DownwardEngine(const NodePtr& phi, const Edtd& edtd, bool any_root,
                  const DownwardSatOptions& options)
@@ -96,6 +111,8 @@ class DownwardEngine {
   }
 
   SatResult Run() {
+    ScopedArenaInstall arena_scope(MainArena());
+    BitsStatsScope bits_stats;
     SatResult result;
     result.engine = "downward-sat";
     if (!supported_ || !RegisterAll(phi_)) {
@@ -144,6 +161,21 @@ class DownwardEngine {
 
  private:
   using BitFn = std::function<bool(int)>;
+
+  Arena* MainArena() {
+    if (!flat_tables_) return nullptr;
+    if (arenas_.empty()) arenas_.emplace_back();
+    return &arenas_.front();
+  }
+
+  // Must be called on the main thread before the pool spawns (the deque is
+  // not synchronized); slots persist across rounds, so a worker keeps
+  // appending to the same arena every round it runs.
+  Arena* WorkerArena(int slot) {
+    if (!flat_tables_) return nullptr;
+    while (static_cast<int>(arenas_.size()) < slot + 2) arenas_.emplace_back();
+    return &arenas_[slot + 1];
+  }
 
   NodePtr RewritePathEqDeep(const NodePtr& node) {
     // Full recursive rewrite (⟨·⟩ bodies may contain node expressions with
@@ -377,6 +409,10 @@ class DownwardEngine {
     bool initialized = false;
     size_t scanned = 0;
     std::vector<ExpNode> nodes;
+    // (states, acc) dedup. The flat table stores (hash, node id) and
+    // compares against `nodes` — no pair keys are ever copied; the map is
+    // the XPC_ARENA=0 leg.
+    IdTable seen_flat;
     std::unordered_map<std::pair<Bits, Bits>, int, BitsPairHash> seen;
   };
 
@@ -422,10 +458,20 @@ class DownwardEngine {
     std::vector<int> fresh;      // Node ids reached this round.
 
     auto add_node = [&](Bits states, Bits acc) {
-      auto key = std::make_pair(states, acc);
-      if (ts.seen.count(key)) return;
       int id = static_cast<int>(ts.nodes.size());
-      ts.seen.emplace(key, id);
+      if (flat_tables_) {
+        const uint64_t h = states.Hash() * 0x9e3779b97f4a7c15ULL + acc.Hash();
+        if (ts.seen_flat.Find(h, [&](int32_t n) {
+              return ts.nodes[n].states == states && ts.nodes[n].acc == acc;
+            }) >= 0) {
+          return;
+        }
+        ts.seen_flat.Insert(h, id);
+      } else {
+        auto key = std::make_pair(states, acc);
+        if (ts.seen.count(key)) return;
+        ts.seen.emplace(std::move(key), id);
+      }
       ts.nodes.push_back({std::move(states), std::move(acc)});
       // The per-type node space is itself exponential; cap it alongside the
       // summary cap. (The persistent node set is monotone in the summary
@@ -485,13 +531,34 @@ class DownwardEngine {
     // candidate sequence (equal accs resolve equal, so the first-occurrence
     // order by resolved bits is unchanged).
     if (!out.hit_cap) {
-      std::unordered_set<Bits, BitsHash> acc_seen;
-      std::unordered_set<Bits, BitsHash> cand_seen;
-      for (int id : accepting) {
-        if (!acc_seen.insert(ts.nodes[id].acc).second) continue;
-        Bits resolved = Resolve(t, ts.nodes[id].acc);
-        if (cand_seen.insert(resolved).second) {
-          out.candidates.push_back(std::move(resolved));
+      if (flat_tables_) {
+        IdTable acc_seen;   // Node ids, deduped by accumulated bits.
+        IdTable cand_seen;  // Candidate indices, deduped by resolved bits.
+        for (int id : accepting) {
+          const Bits& a = ts.nodes[id].acc;
+          const uint64_t ah = a.Hash();
+          if (acc_seen.Find(ah, [&](int32_t n) { return ts.nodes[n].acc == a; }) >= 0) {
+            continue;
+          }
+          acc_seen.Insert(ah, id);
+          Bits resolved = Resolve(t, a);
+          const uint64_t rh = resolved.Hash();
+          if (cand_seen.Find(rh, [&](int32_t ci) {
+                return out.candidates[ci] == resolved;
+              }) < 0) {
+            cand_seen.Insert(rh, static_cast<int32_t>(out.candidates.size()));
+            out.candidates.push_back(std::move(resolved));
+          }
+        }
+      } else {
+        std::unordered_set<Bits, BitsHash> acc_seen;
+        std::unordered_set<Bits, BitsHash> cand_seen;
+        for (int id : accepting) {
+          if (!acc_seen.insert(ts.nodes[id].acc).second) continue;
+          Bits resolved = Resolve(t, ts.nodes[id].acc);
+          if (cand_seen.insert(resolved).second) {
+            out.candidates.push_back(std::move(resolved));
+          }
         }
       }
     }
@@ -503,7 +570,7 @@ class DownwardEngine {
   bool FixpointRealizable() {
     const int num_types = static_cast<int>(edtd_.types().size());
     BuildDependents();
-    type_states_.assign(num_types, TypeState());
+    type_states_ = std::vector<TypeState>(num_types);
 
     const int threads = ResolveSatThreads(options_.sat_threads);
     if (threads > 1) {
@@ -533,9 +600,15 @@ class DownwardEngine {
         // atomic counter; each slot touches only its own type's state.
         // Telemetry hooks route to the round's sink (thread-safe atomics).
         Stats* sink = Stats::Current();
+        // Worker arena slots are materialized up front on this thread; the
+        // deque itself is not synchronized.
+        std::vector<Arena*> worker_arenas(round_threads);
+        for (int i = 0; i < round_threads; ++i) worker_arenas[i] = WorkerArena(i);
         std::atomic<size_t> next{0};
-        auto worker = [&] {
+        auto worker = [&](int slot) {
           ScopedStatsSink stats_scope(sink);
+          ScopedArenaInstall arena_scope(worker_arenas[slot]);
+          BitsStatsScope bits_stats;
           for (size_t g = next.fetch_add(1); g < generation.size();
                g = next.fetch_add(1)) {
             results[g] = ExpandType(generation[g], frozen);
@@ -543,7 +616,7 @@ class DownwardEngine {
         };
         std::vector<std::thread> pool;
         pool.reserve(round_threads);
-        for (int i = 0; i < round_threads; ++i) pool.emplace_back(worker);
+        for (int i = 0; i < round_threads; ++i) pool.emplace_back(worker, i);
         for (std::thread& th : pool) th.join();
       } else {
         for (size_t g = 0; g < generation.size(); ++g) {
@@ -563,9 +636,17 @@ class DownwardEngine {
           Summary s;
           s.type = t;
           s.bits = std::move(bits);
-          if (summary_index_.count(s)) continue;
           int sid = static_cast<int>(summaries_.size());
-          summary_index_.emplace(s, sid);
+          if (flat_tables_) {
+            const uint64_t h = SummaryHash()(s);
+            if (summary_flat_.Find(h, [&](int32_t i) { return summaries_[i] == s; }) >= 0) {
+              continue;
+            }
+            summary_flat_.Insert(h, sid);
+          } else {
+            if (summary_index_.count(s)) continue;
+            summary_index_.emplace(s, sid);
+          }
           summaries_.push_back(std::move(s));
           contrib_.push_back(ComputeContribution(sid));
           added = true;
@@ -580,6 +661,16 @@ class DownwardEngine {
       }
     }
     return true;
+  }
+
+  // Dual-mode summary lookup; -1 when absent.
+  int FindSummaryId(const Summary& s) const {
+    if (flat_tables_) {
+      return summary_flat_.Find(SummaryHash()(s),
+                                [&](int32_t sid) { return summaries_[sid] == s; });
+    }
+    auto it = summary_index_.find(s);
+    return it == summary_index_.end() ? -1 : it->second;
   }
 
   // Symbols of `allowed` occurring in some word of L(nfa) over `allowed`:
@@ -768,17 +859,17 @@ class DownwardEngine {
         Summary s;
         s.type = t;
         s.bits = Resolve(t, nodes[id].acc);
-        auto it = summary_index_.find(s);
+        const int sid = FindSummaryId(s);
         // Record the first (BFS-shortest in canonical order) derivation.
-        if (it != summary_index_.end() && !deriv_set_[it->second]) {
-          deriv_set_[it->second] = 1;
+        if (sid >= 0 && !deriv_set_[sid]) {
+          deriv_set_[sid] = 1;
           ++gained;
           std::vector<int> word;
           for (int n = id; nodes[n].prev >= 0; n = nodes[n].prev) {
             word.push_back(nodes[n].via_child);
           }
           std::reverse(word.begin(), word.end());
-          canon_deriv_[it->second] = std::move(word);
+          canon_deriv_[sid] = std::move(word);
         }
       }
       const Bits cur_states = nodes[id].states;  // push() may realloc nodes.
@@ -896,8 +987,11 @@ class DownwardEngine {
   std::vector<Atom> atoms_;
   std::map<const SimplePath*, std::vector<int>> path_suffix_ids_;
 
-  // Fixpoint state.
+  // Fixpoint state. The summary intern table is dual-mode like the
+  // per-type `seen` tables: `summary_flat_` against the `summaries_` pool
+  // when the data-oriented layout is on, `summary_index_` otherwise.
   std::vector<Summary> summaries_;
+  IdTable summary_flat_;
   std::unordered_map<Summary, int, SummaryHash> summary_index_;
   std::vector<Bits> contrib_;
   std::vector<Bits> dependents_;
@@ -929,17 +1023,56 @@ SatResult DownwardSatisfiableWithEdtd(const NodePtr& phi, const Edtd& edtd,
   return RecordDownward(engine.Run());
 }
 
-SatResult DownwardSatisfiable(const NodePtr& phi, const DownwardSatOptions& options) {
-  std::set<std::string> labels = Labels(phi);
-  labels.insert(FreshLabel(labels, "_other"));
-  // Free schema: every label, any children.
+namespace {
+
+// Process-wide memo of the synthesized free schemas ("every label, any
+// children"), keyed by the query's label set. A no-schema query used to
+// build — and regex-compile the content NFAs of — a throwaway EDTD on every
+// call, a fixed per-query cost that dominated small-query traffic. Cached
+// schemas are fully pre-built (content NFAs indexed, class predicates
+// evaluated) before publication, so the shared instances are read-only and
+// safe to borrow concurrently.
+std::shared_ptr<const Edtd> FreeSchemaFor(const std::set<std::string>& labels) {
+  static std::mutex mu;
+  static auto* cache = new std::map<std::string, std::shared_ptr<const Edtd>>();
+  std::string key;
+  for (const std::string& l : labels) {
+    key += l;
+    key += '\n';
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
   std::vector<Edtd::TypeDef> types;
   RegexPtr any;
   for (const std::string& l : labels) any = any ? RxUnion(any, RxSymbol(l)) : RxSymbol(l);
   for (const std::string& l : labels) types.push_back({l, RxStar(any), l});
-  Edtd free_schema(std::move(types), *labels.begin());
+  auto schema = std::make_shared<Edtd>(std::move(types), *labels.begin());
+  {
+    // The lazy caches under const are not synchronized; warm every one
+    // before sharing. Long-lived NFA storage must not land in a per-query
+    // arena.
+    ScopedArenaPause pause;
+    for (int t = 0; t < static_cast<int>(schema->types().size()); ++t) schema->ContentNfa(t);
+    schema->HasDuplicateFreeContent();
+    schema->HasDisjunctionFreeContent();
+    schema->IsCovering();
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  if (cache->size() >= 64) cache->clear();  // Unbounded label sets: rare.
+  return cache->emplace(std::move(key), std::move(schema)).first->second;
+}
+
+}  // namespace
+
+SatResult DownwardSatisfiable(const NodePtr& phi, const DownwardSatOptions& options) {
+  std::set<std::string> labels = Labels(phi);
+  labels.insert(FreshLabel(labels, "_other"));
+  std::shared_ptr<const Edtd> free_schema = FreeSchemaFor(labels);
   StatsTimer timer(Metric::kSatDownward);
-  DownwardEngine engine(phi, free_schema, /*any_root=*/true, options);
+  DownwardEngine engine(phi, *free_schema, /*any_root=*/true, options);
   return RecordDownward(engine.Run());
 }
 

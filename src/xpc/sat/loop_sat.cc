@@ -9,6 +9,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "xpc/common/arena.h"
+#include "xpc/common/flat_table.h"
 #include "xpc/common/stats.h"
 #include "xpc/pathauto/normal_form.h"
 #include "xpc/pathauto/state_relation.h"
@@ -80,6 +82,17 @@ struct Derivation {
 class RelTable {
  public:
   int Intern(const StateRel& r) {
+    if (flat_mode_) {
+      const uint64_t h = r.Hash();
+      int32_t id = ids_flat_.Find(h, [&](int32_t i) { return rels_[i] == r; });
+      if (id < 0) {
+        id = static_cast<int32_t>(rels_.size());
+        ids_flat_.Insert(h, id);
+        rels_.push_back(r);
+        StatsAdd(Metric::kStatRelInterned);
+      }
+      return id;
+    }
     auto [it, inserted] = ids_.emplace(r, static_cast<int>(rels_.size()));
     if (inserted) {
       rels_.push_back(r);
@@ -89,17 +102,25 @@ class RelTable {
   }
   // Lookup without inserting; -1 if unknown.
   int Find(const StateRel& r) const {
+    if (flat_mode_) {
+      return ids_flat_.Find(r.Hash(), [&](int32_t i) { return rels_[i] == r; });
+    }
     auto it = ids_.find(r);
     return it == ids_.end() ? -1 : it->second;
   }
   const StateRel& Get(int id) const { return rels_[id]; }
   int size() const { return static_cast<int>(rels_.size()); }
   void Clear() {
+    ids_flat_.Clear();
     ids_.clear();
     rels_.clear();
   }
 
  private:
+  // Flat (hash, id) interning against `rels_` when the data-oriented layout
+  // is on; the pre-PR matrix-keyed map is the XPC_ARENA=0 leg.
+  bool flat_mode_ = ArenaEnabled();
+  IdTable ids_flat_;
   std::unordered_map<StateRel, int, StateRelHash> ids_;
   std::deque<StateRel> rels_;
 };
@@ -144,6 +165,10 @@ class LoopSatEngine {
     d_table_.resize(num_autos);
     l_table_.resize(num_autos);
     expected_memo_.resize(num_autos);
+    row_memo_.resize(num_autos);
+    row_store_.resize(num_autos);
+    row_rev_order_.resize(num_autos);
+    row_rev_start_.resize(num_autos);
     t_memo_.resize(num_autos);
     d_memo_.resize(num_autos);
     l_memo_.resize(num_autos);
@@ -152,7 +177,7 @@ class LoopSatEngine {
 
   SatResult Run() {
     const int num_autos = static_cast<int>(autos_.size());
-    pools_.assign(num_autos, RelTable());
+    pools_ = std::vector<RelTable>(num_autos);
     for (int k = 0; k < num_autos; ++k) {
       // Prefix phase at level k+1: summaries (label, d[0..k], u[0..k-1]).
       if (!ComputeItems(k + 1, /*final_phase=*/false, nullptr, nullptr)) return Limit();
@@ -172,7 +197,7 @@ class LoopSatEngine {
     }
     result.status = SolveStatus::kSat;
     if (options_.want_witness) {
-      XmlTree tree(labels_[items_[sat_index].label]);
+      XmlTree tree(labels_[ItemLabel(sat_index)]);
       const Derivation& root = derivs[sat_index];
       const int root_fc = root.root_fc != Derivation::kNoRootDeriv ? root.root_fc : root.fc;
       if (root_fc >= 0) {
@@ -241,8 +266,7 @@ class LoopSatEngine {
   int ExpectedChildUId(int j, int t_id, int other_exc_id, int u_id, int side) {
     uint64_t key = ((static_cast<uint64_t>(t_id) * 2097152 + (other_exc_id + 1)) * 2097152 +
                     u_id) * 2 + side;
-    auto it = expected_memo_[j].find(key);
-    if (it != expected_memo_[j].end()) return it->second;
+    if (const int32_t* v = expected_memo_[j].Find(key)) return *v;
     const AutoData& a = autos_[j];
     StateRel m = test_table_[j].Get(t_id);
     if (other_exc_id >= 0) m.UnionWith(exc_table_[j].Get(other_exc_id));
@@ -252,8 +276,66 @@ class LoopSatEngine {
                                   : a.left.Compose(m).Compose(a.right);
     int id = pools_[j].Find(expected);
     if (id < 0) id = -2;
-    expected_memo_[j].emplace(key, id);
+    expected_memo_[j].Insert(key, id);
     return id;
+  }
+
+  // Flat-leg counterpart of `ExpectedChildUId`: index of the dense row
+  // holding the expected child-U pool id for *every* `u_id` of stratum `j`
+  // under the fixed (test matrix, other-child excursion, side)
+  // configuration. Built once per configuration — the same matrix algebra
+  // the memo would compute lazily, since the pruning loops enumerate the
+  // whole pool anyway — then probed by plain indexing. Resolve the index
+  // to a pointer with `ExpectedRow` only after every row needed in a scope
+  // has been built (building can reallocate the store).
+  int ExpectedRowIndex(int j, int t_id, int other_exc_id, int side) {
+    uint64_t key = (static_cast<uint64_t>(t_id) * 2097152 + (other_exc_id + 1)) * 2 +
+                   static_cast<uint64_t>(side);
+    if (const int32_t* v = row_memo_[j].Find(key)) return *v;
+    const AutoData& a = autos_[j];
+    const int w = pools_[j].size();
+    const int idx = static_cast<int>(row_store_[j].size() / static_cast<size_t>(w));
+    row_memo_[j].Insert(key, idx);
+    row_store_[j].resize(row_store_[j].size() + static_cast<size_t>(w));
+    int32_t* row = row_store_[j].data() + static_cast<size_t>(idx) * w;
+    for (int u_id = 0; u_id < w; ++u_id) {
+      StateRel m = test_table_[j].Get(t_id);
+      if (other_exc_id >= 0) m.UnionWith(exc_table_[j].Get(other_exc_id));
+      m.UnionWith(pools_[j].Get(u_id));
+      m.CloseReflexiveTransitive();
+      StateRel expected = side == 0 ? a.up1.Compose(m).Compose(a.down1)
+                                    : a.left.Compose(m).Compose(a.right);
+      int id = pools_[j].Find(expected);
+      row[u_id] = id < 0 ? -2 : id;
+    }
+    // Counting-sort CSR over the row's values (bucket b = value + 2).
+    auto& ord = row_rev_order_[j];
+    auto& start = row_rev_start_[j];
+    ord.resize(ord.size() + static_cast<size_t>(w));
+    start.resize(start.size() + static_cast<size_t>(w) + 3);
+    int32_t* ord_p = ord.data() + static_cast<size_t>(idx) * w;
+    int32_t* st = start.data() + static_cast<size_t>(idx) * (w + 3);
+    std::fill(st, st + w + 3, 0);
+    for (int u_id = 0; u_id < w; ++u_id) ++st[row[u_id] + 3];
+    for (int i = 1; i < w + 3; ++i) st[i] += st[i - 1];
+    for (int u_id = 0; u_id < w; ++u_id) ord_p[st[row[u_id] + 2]++] = u_id;
+    // After placement st[v+2] is the end of value v's group and st[v+1] its
+    // start — see ExpectedMatches.
+    return idx;
+  }
+
+  const int32_t* ExpectedRow(int j, int idx) const {
+    return row_store_[j].data() + static_cast<size_t>(idx) * pools_[j].size();
+  }
+
+  // Pool ids whose expected child-U equals `want` (a real pool id, ≥ 0) in
+  // row `idx`, in ascending u order.
+  std::pair<const int32_t*, const int32_t*> ExpectedMatches(int j, int idx,
+                                                            int32_t want) const {
+    const size_t w = static_cast<size_t>(pools_[j].size());
+    const int32_t* st = row_rev_start_[j].data() + static_cast<size_t>(idx) * (w + 3);
+    const int32_t* ord = row_rev_order_[j].data() + static_cast<size_t>(idx) * w;
+    return {ord + st[want + 1], ord + st[want + 2]};
   }
 
   // Sequence interning for the loop relations chosen so far along one
@@ -263,9 +345,9 @@ class LoopSatEngine {
   int SeqChild(int seq_id, int l_id) {
     uint64_t key = (static_cast<uint64_t>(seq_id) << 32) |
                    static_cast<uint32_t>(l_id + 1);
-    auto [it, inserted] = seq_ids_.emplace(key, num_seqs_);
-    if (inserted) ++num_seqs_;
-    return it->second;
+    if (const int32_t* v = seq_ids_.Find(key)) return *v;
+    seq_ids_.Insert(key, num_seqs_);
+    return num_seqs_++;
   }
 
   // Interleaved bottom-up derivation: d[j] is computed from the children's
@@ -276,39 +358,38 @@ class LoopSatEngine {
   // (t, exc, exc), and L = closure(D ∪ U) by (d, u) — the closures that
   // dominated the profile now run once per distinct configuration instead
   // of once per (pair, label) visit.
+  template <typename F>
   bool Extend(int j, int level, int u_size, Item* partial, LoopsView* loops, int seq_id,
-              int fc_id, int ns_id, const std::function<bool(const Item&)>& f) {
+              int fc_id, int ns_id, const F& f) {
     if (j == level) return f(*partial);
 
     int t_id;
     {
       uint64_t tkey = (static_cast<uint64_t>(seq_id) << 32) |
                       static_cast<uint32_t>(partial->label);
-      auto it = t_memo_[j].find(tkey);
-      if (it != t_memo_[j].end()) {
-        t_id = it->second;
+      if (const int32_t* v = t_memo_[j].Find(tkey)) {
+        t_id = *v;
       } else {
         t_id = test_table_[j].Intern(TestRel(j, partial->label, *loops));
-        t_memo_[j].emplace(tkey, t_id);
+        t_memo_[j].Insert(tkey, t_id);
       }
     }
 
-    const int fc_exc = fc_id >= 0 ? item_exc_[fc_id][j].as_fc : -1;
-    const int ns_exc = ns_id >= 0 ? item_exc_[ns_id][j].as_ns : -1;
+    const int fc_exc = fc_id >= 0 ? ItemExc(fc_id, j).as_fc : -1;
+    const int ns_exc = ns_id >= 0 ? ItemExc(ns_id, j).as_ns : -1;
     int d_id;
     {
       uint64_t dkey = (static_cast<uint64_t>(t_id) * 2097152 + (fc_exc + 1)) * 2097152 +
                       (ns_exc + 1);
-      auto it = d_memo_[j].find(dkey);
-      if (it != d_memo_[j].end()) {
-        d_id = it->second;
+      if (const int32_t* v = d_memo_[j].Find(dkey)) {
+        d_id = *v;
       } else {
         StateRel d = test_table_[j].Get(t_id);
         if (fc_exc >= 0) d.UnionWith(exc_table_[j].Get(fc_exc));
         if (ns_exc >= 0) d.UnionWith(exc_table_[j].Get(ns_exc));
         d.CloseReflexiveTransitive();
         d_id = d_table_[j].Intern(d);
-        d_memo_[j].emplace(dkey, d_id);
+        d_memo_[j].Insert(dkey, d_id);
       }
     }
     partial->d_ids.push_back(d_id);
@@ -321,27 +402,18 @@ class LoopSatEngine {
       ok = Extend(j + 1, level, u_size, partial, loops, seq_id, fc_id, ns_id, f);
       loops->pop_back();
     } else {
-      for (int u_id = 0; ok && u_id < pools_[j].size(); ++u_id) {
-        if (fc_id >= 0 &&
-            ExpectedChildUId(j, t_id, ns_exc, u_id, 0) != items_[fc_id].u_ids[j]) {
-          continue;
-        }
-        if (ns_id >= 0 &&
-            ExpectedChildUId(j, t_id, fc_exc, u_id, 1) != items_[ns_id].u_ids[j]) {
-          continue;
-        }
+      auto visit_u = [&](int u_id) {
         int l_id;
         {
           uint64_t lkey = (static_cast<uint64_t>(d_id) << 32) | static_cast<uint32_t>(u_id);
-          auto it = l_memo_[j].find(lkey);
-          if (it != l_memo_[j].end()) {
-            l_id = it->second;
+          if (const int32_t* v = l_memo_[j].Find(lkey)) {
+            l_id = *v;
           } else {
             StateRel l = d_table_[j].Get(d_id);
             l.UnionWith(pools_[j].Get(u_id));
             l.CloseReflexiveTransitive();
             l_id = l_table_[j].Intern(l);
-            l_memo_[j].emplace(lkey, l_id);
+            l_memo_[j].Insert(lkey, l_id);
           }
         }
         partial->u_ids.push_back(u_id);
@@ -350,18 +422,104 @@ class LoopSatEngine {
                     ns_id, f);
         loops->pop_back();
         partial->u_ids.pop_back();
+      };
+      const int pool_n = pools_[j].size();
+      if (flat_tables_ && pool_n > 0) {
+        const int fc_row_idx = fc_id >= 0 ? ExpectedRowIndex(j, t_id, ns_exc, 0) : -1;
+        const int ns_row_idx = ns_id >= 0 ? ExpectedRowIndex(j, t_id, fc_exc, 1) : -1;
+        const int32_t fc_want = fc_id >= 0 ? ItemU(fc_id, j) : 0;
+        const int32_t ns_want = ns_id >= 0 ? ItemU(ns_id, j) : 0;
+        if (fc_row_idx >= 0) {
+          // Enumerate only the u whose expected first child matches, in the
+          // same ascending order the full scan would visit.
+          const int32_t* ns_row = ns_row_idx >= 0 ? ExpectedRow(j, ns_row_idx) : nullptr;
+          auto [p, end] = ExpectedMatches(j, fc_row_idx, fc_want);
+          for (; ok && p != end; ++p) {
+            if (ns_row != nullptr && ns_row[*p] != ns_want) continue;
+            visit_u(*p);
+          }
+        } else if (ns_row_idx >= 0) {
+          auto [p, end] = ExpectedMatches(j, ns_row_idx, ns_want);
+          for (; ok && p != end; ++p) visit_u(*p);
+        } else {
+          for (int u_id = 0; ok && u_id < pool_n; ++u_id) visit_u(u_id);
+        }
+      } else {
+        for (int u_id = 0; ok && u_id < pool_n; ++u_id) {
+          if (fc_id >= 0 &&
+              ExpectedChildUId(j, t_id, ns_exc, u_id, 0) != ItemU(fc_id, j)) {
+            continue;
+          }
+          if (ns_id >= 0 &&
+              ExpectedChildUId(j, t_id, fc_exc, u_id, 1) != ItemU(ns_id, j)) {
+            continue;
+          }
+          visit_u(u_id);
+        }
       }
     }
     partial->d_ids.pop_back();
     return ok;
   }
 
-  // Full loop relations of an item (closure(d_j ∪ u_j) per stratum).
-  std::vector<StateRel> LoopsOf(const Item& item) const {
+  struct ExcIds {
+    int as_fc = -1;
+    int as_ns = -1;
+  };
+
+  // Stored items of the current phase, behind representation-agnostic
+  // accessors: on the flat leg the (label, d_ids ++ u_ids, excursions) of
+  // every item live in three contiguous id-indexed pools with fixed
+  // per-phase row widths; with XPC_ARENA=0 they are the pre-PR
+  // vector-of-Item / vector-of-vector storage, one heap block per item.
+  int ItemCount() const {
+    return flat_tables_ ? static_cast<int>(item_labels_.size())
+                        : static_cast<int>(items_.size());
+  }
+  int ItemLabel(int id) const {
+    return flat_tables_ ? item_labels_[id] : items_[id].label;
+  }
+  int ItemD(int id, int j) const {
+    return flat_tables_
+               ? item_du_[static_cast<size_t>(id) * (item_d_w_ + item_u_w_) + j]
+               : items_[id].d_ids[j];
+  }
+  int ItemU(int id, int j) const {
+    return flat_tables_ ? item_du_[static_cast<size_t>(id) * (item_d_w_ + item_u_w_) +
+                                   item_d_w_ + j]
+                        : items_[id].u_ids[j];
+  }
+  const ExcIds& ItemExc(int id, int j) const {
+    return flat_tables_ ? item_exc_flat_[static_cast<size_t>(id) * item_d_w_ + j]
+                        : item_exc_[id][j];
+  }
+
+  // Flat-leg equality of stored item `id` against a candidate: the same
+  // predicate as Item::operator==, read off the pooled row.
+  bool FlatItemEq(int id, const Item& item) const {
+    if (item_labels_[id] != item.label) return false;
+    const int32_t* row =
+        item_du_.data() + static_cast<size_t>(id) * (item_d_w_ + item_u_w_);
+    for (int j = 0; j < item_u_w_; ++j) {
+      if (row[item_d_w_ + j] != item.u_ids[j]) return false;
+    }
+    for (int j = 0; j < item_d_w_; ++j) {
+      if (row[j] != item.d_ids[j]) return false;
+    }
+    return true;
+  }
+
+  // Full loop relations of stored item `id` (closure(d_j ∪ u_j) per stratum).
+  std::vector<StateRel> LoopsOf(int id) const {
+    const int dw =
+        flat_tables_ ? item_d_w_ : static_cast<int>(items_[id].d_ids.size());
+    const int uw =
+        flat_tables_ ? item_u_w_ : static_cast<int>(items_[id].u_ids.size());
     std::vector<StateRel> loops;
-    for (size_t j = 0; j < item.d_ids.size(); ++j) {
-      StateRel l = d_table_[j].Get(item.d_ids[j]);
-      if (j < item.u_ids.size()) l.UnionWith(pools_[j].Get(item.u_ids[j]));
+    loops.reserve(dw);
+    for (int j = 0; j < dw; ++j) {
+      StateRel l = d_table_[j].Get(ItemD(id, j));
+      if (j < uw) l.UnionWith(pools_[j].Get(ItemU(id, j)));
       l.CloseReflexiveTransitive();
       loops.push_back(std::move(l));
     }
@@ -386,29 +544,39 @@ class LoopSatEngine {
   bool ComputeItems(int level, bool final_phase, std::vector<Derivation>* derivs,
                     int* sat_index) {
     const int u_size = final_phase ? level : level - 1;
+    item_d_w_ = level;
+    item_u_w_ = u_size;
     items_.clear();
+    item_labels_.clear();
+    item_du_.clear();
     item_exc_.clear();
+    item_exc_flat_.clear();
+    item_flat_.Clear();
     item_index_.clear();
-    seq_ids_.clear();
+    seq_ids_.Clear();
     num_seqs_ = 1;  // Seq 0 = the empty sequence.
     for (int j = 0; j < static_cast<int>(autos_.size()); ++j) {
       test_table_[j].Clear();
       d_table_[j].Clear();
       l_table_[j].Clear();
-      expected_memo_[j].clear();
-      t_memo_[j].clear();
-      d_memo_[j].clear();
-      l_memo_[j].clear();
+      expected_memo_[j].Clear();
+      row_memo_[j].Clear();
+      row_store_[j].clear();
+      row_rev_order_[j].clear();
+      row_rev_start_[j].clear();
+      t_memo_[j].Clear();
+      d_memo_[j].Clear();
+      l_memo_[j].Clear();
     }
     std::vector<char> is_root_candidate;
 
     // Stratum-0 signature classes for the hashed join (see above). Class
     // ids are per phase; items are classified as they are interned.
     const bool use_join = u_size >= 1;
-    std::unordered_map<uint64_t, int> sig_class[2];  // [0]: as-fc, [1]: as-ns.
-    std::vector<std::pair<int, int>> sig_vals[2];    // class -> (u0, exc0).
+    U64IntMap sig_class[2];                        // [0]: as-fc, [1]: as-ns.
+    std::vector<std::pair<int, int>> sig_vals[2];  // class -> (u0, exc0).
     std::vector<int> item_sig[2];
-    std::unordered_map<uint64_t, char> join_memo;    // (fc class, ns class).
+    U64IntMap join_memo;  // (fc class, ns class) -> 0/1.
     std::vector<int> label_t0;  // Stratum-0 tests depend only on the label.
     if (use_join) {
       const LoopsView no_loops;
@@ -420,37 +588,71 @@ class LoopSatEngine {
     auto sat_found = [&] { return final_phase && sat_index != nullptr && *sat_index >= 0; };
 
     auto add_item = [&](const Item& item, int fc, int ns) -> bool {
-      auto it = item_index_.find(item);
+      bool fresh;
       int id;
-      if (it == item_index_.end()) {
-        id = static_cast<int>(items_.size());
-        item_index_.emplace(item, id);
-        items_.push_back(item);
-        // Cache both excursion-orientation matrices per stratum.
-        std::vector<ExcIds> exc(level);
+      if (flat_tables_) {
+        const uint64_t h = item.Hash();
+        const int32_t found =
+            item_flat_.Find(h, [&](int32_t i) { return FlatItemEq(i, item); });
+        fresh = found < 0;
+        id = fresh ? ItemCount() : found;
+        if (fresh) {
+          item_flat_.Insert(h, id);
+          // Append the fixed-width (d_ids ++ u_ids) row to the pools — no
+          // per-item heap blocks on this leg.
+          item_labels_.push_back(item.label);
+          item_du_.insert(item_du_.end(), item.d_ids.begin(), item.d_ids.end());
+          item_du_.insert(item_du_.end(), item.u_ids.begin(), item.u_ids.end());
+        }
+      } else {
+        auto it = item_index_.find(item);
+        fresh = it == item_index_.end();
+        id = fresh ? static_cast<int>(items_.size()) : it->second;
+        if (fresh) {
+          item_index_.emplace(item, id);
+          items_.push_back(item);
+        }
+      }
+      if (fresh) {
+        // Cache both excursion-orientation matrices per stratum (same
+        // Intern order on both legs, so excursion ids are leg-independent).
+        ExcIds exc0;
+        std::vector<ExcIds> exc;
+        if (!flat_tables_) exc.resize(level);
         for (int j = 0; j < level; ++j) {
           const AutoData& a = autos_[j];
           const StateRel& dj = d_table_[j].Get(item.d_ids[j]);
-          exc[j].as_fc = exc_table_[j].Intern(a.down1.Compose(dj).Compose(a.up1));
-          exc[j].as_ns = exc_table_[j].Intern(a.right.Compose(dj).Compose(a.left));
-        }
-        if (use_join) {
-          for (int side = 0; side < 2; ++side) {
-            const int e = side == 0 ? exc[0].as_fc : exc[0].as_ns;
-            uint64_t key = (static_cast<uint64_t>(item.u_ids[0]) << 32) |
-                           static_cast<uint32_t>(e);
-            auto [sit, inserted] =
-                sig_class[side].emplace(key, static_cast<int>(sig_vals[side].size()));
-            if (inserted) sig_vals[side].push_back({item.u_ids[0], e});
-            item_sig[side].push_back(sit->second);
+          ExcIds e;
+          e.as_fc = exc_table_[j].Intern(a.down1.Compose(dj).Compose(a.up1));
+          e.as_ns = exc_table_[j].Intern(a.right.Compose(dj).Compose(a.left));
+          if (j == 0) exc0 = e;
+          if (flat_tables_) {
+            item_exc_flat_.push_back(e);
+          } else {
+            exc[j] = e;
           }
         }
-        item_exc_.push_back(std::move(exc));
+        if (!flat_tables_) item_exc_.push_back(std::move(exc));
+        if (use_join) {
+          for (int side = 0; side < 2; ++side) {
+            const int e = side == 0 ? exc0.as_fc : exc0.as_ns;
+            uint64_t key = (static_cast<uint64_t>(item.u_ids[0]) << 32) |
+                           static_cast<uint32_t>(e);
+            int cls;
+            if (const int32_t* v = sig_class[side].Find(key)) {
+              cls = *v;
+            } else {
+              cls = static_cast<int>(sig_vals[side].size());
+              sig_class[side].Insert(key, cls);
+              sig_vals[side].push_back({item.u_ids[0], e});
+            }
+            item_sig[side].push_back(cls);
+          }
+        }
         if (derivs != nullptr) derivs->push_back({fc, ns});
         is_root_candidate.push_back(ns < 0 ? 1 : 0);
         ++explored_;
       } else {
-        id = it->second;
         if (ns < 0 && !is_root_candidate[id]) {
           is_root_candidate[id] = 1;
           if (derivs != nullptr) (*derivs)[id].root_fc = fc;
@@ -461,10 +663,9 @@ class LoopSatEngine {
         // no left sibling) — whose loop relations satisfy the target.
         bool all_empty = true;
         for (int j = 0; j < u_size; ++j) {
-          all_empty = all_empty && pools_[j].Get(items_[id].u_ids[j]) == StateRel(autos_[j].nq);
+          all_empty = all_empty && pools_[j].Get(ItemU(id, j)).None();
         }
-        if (all_empty &&
-            EvalTest(target_, items_[id].label, LoopsOf(items_[id]))) {
+        if (all_empty && EvalTest(target_, ItemLabel(id), LoopsOf(id))) {
           *sat_index = id;
         }
       }
@@ -477,30 +678,45 @@ class LoopSatEngine {
       const int cf = item_sig[0][fc];
       const int cn = item_sig[1][ns];
       uint64_t key = (static_cast<uint64_t>(cf) << 32) | static_cast<uint32_t>(cn);
-      auto it = join_memo.find(key);
-      if (it != join_memo.end()) return it->second != 0;
+      if (const int32_t* v = join_memo.Find(key)) return *v != 0;
       const auto [fc_u0, fc_exc] = sig_vals[0][cf];
       const auto [ns_u0, ns_exc] = sig_vals[1][cn];
       bool ok = false;
-      for (size_t l = 0; !ok && l < label_t0.size(); ++l) {
-        for (int u_id = 0; u_id < pools_[0].size(); ++u_id) {
-          if (ExpectedChildUId(0, label_t0[l], ns_exc, u_id, 0) == fc_u0 &&
-              ExpectedChildUId(0, label_t0[l], fc_exc, u_id, 1) == ns_u0) {
-            ok = true;
-            break;
+      const int pool_n = pools_[0].size();
+      if (flat_tables_ && pool_n > 0) {
+        for (size_t l = 0; !ok && l < label_t0.size(); ++l) {
+          const int fr = ExpectedRowIndex(0, label_t0[l], ns_exc, 0);
+          const int nr = ExpectedRowIndex(0, label_t0[l], fc_exc, 1);
+          const int32_t* row1 = ExpectedRow(0, nr);
+          auto [p, end] = ExpectedMatches(0, fr, fc_u0);
+          for (; p != end; ++p) {
+            if (row1[*p] == ns_u0) {
+              ok = true;
+              break;
+            }
+          }
+        }
+      } else {
+        for (size_t l = 0; !ok && l < label_t0.size(); ++l) {
+          for (int u_id = 0; u_id < pool_n; ++u_id) {
+            if (ExpectedChildUId(0, label_t0[l], ns_exc, u_id, 0) == fc_u0 &&
+                ExpectedChildUId(0, label_t0[l], fc_exc, u_id, 1) == ns_u0) {
+              ok = true;
+              break;
+            }
           }
         }
       }
-      join_memo.emplace(key, ok ? 1 : 0);
+      join_memo.Insert(key, ok ? 1 : 0);
       return ok;
     };
 
     const int num_labels = static_cast<int>(labels_.size());
     LoopsView loops;
+    Item partial;  // Reused across visits: Extend leaves it empty on return.
     auto try_children = [&](int fc_id, int ns_id) -> bool {
       if (use_join && fc_id >= 0 && ns_id >= 0 && !compatible(fc_id, ns_id)) return true;
       for (int label = 0; label < num_labels; ++label) {
-        Item partial;
         partial.label = label;
         loops.clear();
         bool ok = Extend(0, level, u_size, &partial, &loops, /*seq_id=*/0, fc_id, ns_id,
@@ -512,7 +728,7 @@ class LoopSatEngine {
 
     if (!try_children(-1, -1)) return sat_found();
     size_t processed = 0;
-    while (processed < items_.size()) {
+    while (processed < static_cast<size_t>(ItemCount())) {
       if (sat_found()) return true;
       const int current = static_cast<int>(processed);
       ++processed;
@@ -538,16 +754,17 @@ class LoopSatEngine {
     std::vector<int> exc_ids[2];  // [0]: excursion as next sibling; [1]: as first child.
     exc_ids[0].push_back(-1);
     exc_ids[1].push_back(-1);
-    for (const Item& parent : items_) {
-      std::vector<StateRel> loops = LoopsOf(parent);
+    const int item_n = ItemCount();
+    for (int i = 0; i < item_n; ++i) {
+      std::vector<StateRel> loops = LoopsOf(i);
       LoopsView view;
       view.reserve(loops.size());
       for (const StateRel& l : loops) view.push_back(&l);
-      t_ids.push_back(test_table_[k].Intern(TestRel(k, parent.label, view)));
+      t_ids.push_back(test_table_[k].Intern(TestRel(k, ItemLabel(i), view)));
     }
-    for (const auto& exc : item_exc_) {
-      exc_ids[0].push_back(exc[k].as_ns);
-      exc_ids[1].push_back(exc[k].as_fc);
+    for (int i = 0; i < item_n; ++i) {
+      exc_ids[0].push_back(ItemExc(i, k).as_ns);
+      exc_ids[1].push_back(ItemExc(i, k).as_fc);
     }
     auto sort_unique = [](std::vector<int>* v) {
       std::sort(v->begin(), v->end());
@@ -560,12 +777,21 @@ class LoopSatEngine {
     // expectations in base order, and pool ids must not depend on hashing.
     std::vector<StateRel> bases[2];
     for (int side = 0; side < 2; ++side) {
+      IdTable seen_flat;
       std::unordered_set<StateRel, StateRelHash> seen;
       for (int t_id : t_ids) {
         for (int exc_id : exc_ids[side]) {
           StateRel base = test_table_[k].Get(t_id);
           if (exc_id >= 0) base.UnionWith(exc_table_[k].Get(exc_id));
-          if (seen.insert(base).second) bases[side].push_back(std::move(base));
+          if (flat_tables_) {
+            const uint64_t h = base.Hash();
+            if (seen_flat.Find(h, [&](int32_t i) { return bases[side][i] == base; }) < 0) {
+              seen_flat.Insert(h, static_cast<int32_t>(bases[side].size()));
+              bases[side].push_back(std::move(base));
+            }
+          } else if (seen.insert(base).second) {
+            bases[side].push_back(std::move(base));
+          }
         }
       }
       std::sort(bases[side].begin(), bases[side].end());
@@ -599,21 +825,16 @@ class LoopSatEngine {
 
   void BuildSubtree(const std::vector<Derivation>& derivs, int item_id, XmlTree* tree,
                     NodeId parent) const {
-    NodeId node = tree->AddChild(parent, labels_[items_[item_id].label]);
+    NodeId node = tree->AddChild(parent, labels_[ItemLabel(item_id)]);
     if (derivs[item_id].fc >= 0) BuildSubtree(derivs, derivs[item_id].fc, tree, node);
     if (derivs[item_id].ns >= 0) BuildSubtree(derivs, derivs[item_id].ns, tree, parent);
   }
-
-  struct ExcIds {
-    int as_fc = -1;
-    int as_ns = -1;
-  };
 
   LoopSatOptions options_;
   LExprPtr target_;
   std::vector<std::string> labels_;
   std::vector<AutoData> autos_;
-  std::map<const PathAutomaton*, int> auto_index_;
+  std::unordered_map<const PathAutomaton*, int> auto_index_;
   std::vector<StateRel> empty_rels_;
 
   std::vector<RelTable> pools_;
@@ -625,16 +846,41 @@ class LoopSatEngine {
   std::vector<RelTable> test_table_;
   std::vector<RelTable> d_table_;
   std::vector<RelTable> l_table_;
-  std::vector<std::unordered_map<uint64_t, int>> expected_memo_;
-  std::vector<std::unordered_map<uint64_t, int>> t_memo_;
-  std::vector<std::unordered_map<uint64_t, int>> d_memo_;
-  std::vector<std::unordered_map<uint64_t, int>> l_memo_;
-  std::unordered_map<uint64_t, int> seq_ids_;
+  std::vector<U64IntMap> expected_memo_;
+  // Flat-leg replacement for `expected_memo_`: dense expected-child rows,
+  // one int32 per pool id, keyed by (test matrix, other-child excursion,
+  // side). The child-U pruning loops then read an array instead of hashing
+  // a 4-component key per (u, side) probe. Cleared per phase with the
+  // tables whose ids they cache.
+  std::vector<U64IntMap> row_memo_;
+  std::vector<std::vector<int32_t>> row_store_;
+  // CSR reverse index per row: pool ids grouped by expected value, each
+  // group in ascending u order, so the pruning loops can enumerate exactly
+  // the matching children instead of scanning the pool. Parallel to
+  // `row_store_` (order: w entries/row; starts: w+3 entries/row).
+  std::vector<std::vector<int32_t>> row_rev_order_;
+  std::vector<std::vector<int32_t>> row_rev_start_;
+  std::vector<U64IntMap> t_memo_;
+  std::vector<U64IntMap> d_memo_;
+  std::vector<U64IntMap> l_memo_;
+  U64IntMap seq_ids_;
   int num_seqs_ = 1;
 
-  // Items of the current phase.
+  // Items of the current phase. Like `RelTable`, both the index and the
+  // storage are dual-mode. Flat leg: labels, the fixed-width
+  // (d_ids ++ u_ids) rows and the excursion pairs live in contiguous
+  // id-indexed pools, interned by flat (hash, id) probing — zero heap
+  // blocks per item. XPC_ARENA=0 leg: the pre-PR vector-of-Item storage
+  // (two heap vectors per item) behind an item-keyed node-based map.
+  const bool flat_tables_ = ArenaEnabled();
   std::vector<Item> items_;
   std::vector<std::vector<ExcIds>> item_exc_;
+  std::vector<int32_t> item_labels_;
+  std::vector<int32_t> item_du_;
+  std::vector<ExcIds> item_exc_flat_;
+  int item_d_w_ = 0;  // d row width of the current phase (= strata).
+  int item_u_w_ = 0;  // u row width (= strata, or strata-1 in prefix phases).
+  IdTable item_flat_;
   std::unordered_map<Item, int, ItemHash> item_index_;
 
   int64_t explored_ = 0;
@@ -644,6 +890,12 @@ class LoopSatEngine {
 
 SatResult LoopSatisfiable(const LExprPtr& phi, const LoopSatOptions& options) {
   StatsTimer timer(Metric::kSatLoop);
+  // Per-query arena: every matrix, memo table and scratch Bits the engine
+  // allocates below comes from (and dies with) this scope when XPC_ARENA is
+  // on. The engine is declared after the install so it is destroyed first.
+  Arena arena;
+  ScopedArenaInstall arena_scope(ArenaEnabled() ? &arena : nullptr);
+  BitsStatsScope bits_stats;
   LoopSatEngine engine(phi, options);
   SatResult r = engine.Run();
   StatsAdd(Metric::kSatLoopItems, r.explored_states);

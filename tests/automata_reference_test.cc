@@ -8,11 +8,13 @@
 
 #include <map>
 #include <queue>
+#include <tuple>
 #include <vector>
 
 #include "xpc/automata/dfa.h"
 #include "xpc/automata/nfa.h"
 #include "xpc/automata/random_nfa.h"
+#include "xpc/common/arena.h"
 
 namespace xpc {
 namespace {
@@ -184,6 +186,61 @@ TEST(AutomataReference, EpsilonPathsCrossCheck) {
     auto [found, word] = star.ShortestWord();
     ASSERT_TRUE(found) << "pair " << i;
     ASSERT_TRUE(word.empty()) << "pair " << i;
+  }
+}
+
+// State-by-state, transition-by-transition equality — the bit-identity
+// claim, not just language equivalence.
+void ExpectSameDfa(const Dfa& a, const Dfa& b, int case_id) {
+  ASSERT_EQ(a.num_states(), b.num_states()) << "nfa " << case_id;
+  ASSERT_EQ(a.alphabet_size(), b.alphabet_size()) << "nfa " << case_id;
+  ASSERT_EQ(a.initial(), b.initial()) << "nfa " << case_id;
+  for (int s = 0; s < a.num_states(); ++s) {
+    ASSERT_EQ(a.accepting(s), b.accepting(s)) << "nfa " << case_id << " state " << s;
+    for (int x = 0; x < a.alphabet_size(); ++x) {
+      ASSERT_EQ(a.next(s, x), b.next(s, x)) << "nfa " << case_id << " state " << s;
+    }
+  }
+}
+
+// Data-oriented layout axis (PR 8): the subset construction, minimization
+// and product loops run over inline/arena Bits and flat interning tables
+// with the layout on, and over the pre-PR per-object heap layout under
+// XPC_ARENA=0. Both legs must produce bit-identical automata — the same
+// worklist discovery order, hence the same state numbering — and automata
+// built under different legs must interoperate.
+TEST(AutomataReference, LayoutLegsProduceIdenticalAutomata) {
+  struct LayoutGuard {
+    bool entry = ArenaEnabled();
+    ~LayoutGuard() { SetArenaEnabled(entry); }
+  } guard;
+  for (int i = 0; i < 80; ++i) {
+    const int n = 4 + (i % 7);
+    auto run = [&](bool on) {
+      SetArenaEnabled(on);
+      Nfa nfa = RandomTabakovVardiNfa(n, 2, 1.25, 0.3, 26000 + i);
+      Dfa d = Dfa::Determinize(nfa);
+      Dfa m = d.Minimize();
+      auto [found, word] = nfa.ShortestWord();
+      return std::make_tuple(std::move(d), std::move(m), found, word);
+    };
+    auto [d_on, m_on, found_on, word_on] = run(true);
+    auto [d_off, m_off, found_off, word_off] = run(false);
+    ExpectSameDfa(d_on, d_off, i);
+    if (HasFatalFailure()) return;
+    ExpectSameDfa(m_on, m_off, i);
+    if (HasFatalFailure()) return;
+    ASSERT_EQ(found_on, found_off) << "nfa " << i;
+    ASSERT_EQ(word_on, word_off) << "nfa " << i;
+
+    // Cross-vintage interop: a product of one leg's DFA with the other
+    // leg's must still decide emptiness/equivalence identically.
+    SetArenaEnabled(true);
+    const bool empty_mixed = Dfa::IsEmptyProduct(d_on, m_off);
+    ASSERT_TRUE(d_on.EquivalentTo(m_off)) << "nfa " << i;
+    SetArenaEnabled(false);
+    ASSERT_EQ(Dfa::IsEmptyProduct(d_off, m_on), empty_mixed) << "nfa " << i;
+    ASSERT_TRUE(d_off.EquivalentTo(m_on)) << "nfa " << i;
   }
 }
 

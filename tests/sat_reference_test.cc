@@ -38,6 +38,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <set>
 #include <sstream>
@@ -49,6 +50,7 @@
 #include <gtest/gtest.h>
 
 #include "xpc/automata/regex.h"
+#include "xpc/common/arena.h"
 #include "xpc/common/bits.h"
 #include "xpc/core/solver.h"
 #include "xpc/edtd/conformance.h"
@@ -1569,6 +1571,80 @@ TEST(SatReference, DownwardLimitPathsAgreeSerialAndParallel) {
     if (serial.status == SolveStatus::kResourceLimit) ++limit;
   }
   EXPECT_GT(limit, 0) << "cap of 3 summaries never tripped — starve harder";
+}
+
+// --- Data-oriented layout axis (PR 8) -----------------------------------
+// The layout pass (per-query arenas, inline Bits, flat StateRel rows and
+// open-addressing tables) claims bit-identity with the pre-PR layout it
+// emulates under XPC_ARENA=0: same verdicts, same explored counts and
+// byte-identical witnesses, engine by engine. 520 seeded cases across the
+// downward (free and EDTD-backed) and loop families, each solved once per
+// leg with the gate flipped in between.
+TEST(SatReference, LayoutLegsAgreeAcrossEngines) {
+  struct LayoutGuard {
+    bool entry = ArenaEnabled();
+    ~LayoutGuard() { SetArenaEnabled(entry); }
+  } guard;
+  const uint64_t base_seed = BaseSeed() ^ 0xa7e4a7e4ULL;
+  const int cases = Cases(520);
+  std::printf("[sat-reference] layout axis: base seed 0x%llx, %d cases\n",
+              static_cast<unsigned long long>(base_seed), cases);
+  int sat = 0, unsat = 0, limit = 0;
+  for (int i = 0; i < cases; ++i) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    std::optional<SatResult> legs[2];
+    for (int leg = 0; leg < 2; ++leg) {
+      SetArenaEnabled(leg == 0);
+      switch (i % 3) {
+        case 0: {
+          DownGen gen(seed);
+          NodePtr phi = gen.GenNode(6);
+          DownwardSatOptions opts;
+          legs[leg] = DownwardSatisfiable(phi, opts);
+          break;
+        }
+        case 1: {
+          TreeGenerator schema_rng(seed * 2 + 1);
+          Edtd edtd = RandomEdtd(schema_rng);
+          DownGen gen(seed);
+          NodePtr phi = gen.GenNode(5);
+          DownwardSatOptions opts;
+          legs[leg] = DownwardSatisfiableWithEdtd(phi, edtd, opts);
+          break;
+        }
+        case 2: {
+          LoopGen gen(seed);
+          NodePtr phi = gen.GenNode(4);
+          LExprPtr e = ToLoopNormalForm(phi);
+          ASSERT_NE(e, nullptr);
+          LoopSatOptions opts;
+          opts.max_items = 3000;
+          opts.max_pool = 2000;
+          legs[leg] = LoopSatisfiable(e, opts);
+          break;
+        }
+      }
+    }
+    SCOPED_TRACE("case " + std::to_string(i) + " seed " + std::to_string(seed));
+    const SatResult& on = *legs[0];
+    const SatResult& off = *legs[1];
+    ASSERT_EQ(on.status, off.status) << "layout on vs XPC_ARENA=0";
+    ASSERT_EQ(on.explored_states, off.explored_states) << "layout on vs XPC_ARENA=0";
+    ASSERT_EQ(on.witness.has_value(), off.witness.has_value());
+    if (on.witness.has_value()) {
+      ASSERT_EQ(TreeToText(*on.witness), TreeToText(*off.witness))
+          << "layout on vs XPC_ARENA=0";
+    }
+    switch (on.status) {
+      case SolveStatus::kSat: ++sat; break;
+      case SolveStatus::kUnsat: ++unsat; break;
+      case SolveStatus::kResourceLimit: ++limit; break;
+    }
+  }
+  std::printf("[sat-reference] layout axis: %d sat, %d unsat, %d limit\n", sat,
+              unsat, limit);
+  EXPECT_GT(sat, 0);
+  EXPECT_GT(unsat, 0);
 }
 
 TEST(SatReference, LoopLimitPathsAgree) {

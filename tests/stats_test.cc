@@ -8,6 +8,7 @@
 
 #include "xpc/automata/dfa.h"
 #include "xpc/automata/nfa.h"
+#include "xpc/common/arena.h"
 #include "xpc/core/session.h"
 #include "xpc/core/solver.h"
 #include "xpc/pathauto/normal_form.h"
@@ -301,6 +302,43 @@ TEST(Stats, SolverResultsCarryCostProfile) {
   EXPECT_GE(r.stats.timer_calls(Metric::kSolverSolve), 1);
   EXPECT_FALSE(s.stats.Empty());
   EXPECT_GE(s.stats.timer_calls(Metric::kSolverSolve), 1);
+}
+
+// Memory-layout accounting (PR 8): with the data-oriented layout on, an
+// engine run reports the arena it worked out of (bytes reserved as a gauge,
+// one reset per arena retired) and the small bitsets it placed inline; with
+// XPC_ARENA=0 no arena is installed and every Bits owns a heap block, so
+// all three metrics must stay zero.
+TEST(Stats, LayoutMetricsAccountArenaAndInlineBits) {
+  struct LayoutGuard {
+    bool entry = ArenaEnabled();
+    ~LayoutGuard() { SetArenaEnabled(entry); }
+  } guard;
+  NodePtr phi = N("<down*[a and <down[b]>]>");
+
+  StatsSnapshot legs[2];
+  for (int leg = 0; leg < 2; ++leg) {
+    SetArenaEnabled(leg == 0);
+    Stats collector;
+    {
+      ScopedStatsSink sink(&collector);
+      SatResult r = DownwardSatisfiable(phi);
+      ASSERT_EQ(r.status, SolveStatus::kSat);
+    }
+    legs[leg] = collector.Snapshot();
+  }
+
+  if (!kHooksCompiledIn) {
+    EXPECT_EQ(legs[0].value(Metric::kArenaResets), 0);
+    return;
+  }
+  EXPECT_GE(legs[0].value(Metric::kArenaResets), 1);
+  EXPECT_GT(legs[0].value(Metric::kArenaBytesReserved), 0);
+  EXPECT_GE(legs[0].value(Metric::kBitsInlineHits), 1);
+
+  EXPECT_EQ(legs[1].value(Metric::kArenaResets), 0);
+  EXPECT_EQ(legs[1].value(Metric::kArenaBytesReserved), 0);
+  EXPECT_EQ(legs[1].value(Metric::kBitsInlineHits), 0);
 }
 
 // --- Session integration ------------------------------------------------

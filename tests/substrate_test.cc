@@ -49,6 +49,28 @@ TEST(Bits, SetOperations) {
   EXPECT_FALSE(a.SubsetOf(b));
 }
 
+// Contract: every binary Bits kernel demands equally-sized operands — the
+// word loops read exactly `nwords_` words from both sides, so a mismatch
+// is memory-unsafe, and the kernels assert it in debug builds rather than
+// branch in release hot loops. The death checks only bite where asserts
+// are compiled in (the Debug/sanitizer CI legs); release builds skip.
+TEST(BitsDeathTest, BinaryOpsRejectSizeMismatch) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "NDEBUG build: size asserts compiled out";
+#else
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Bits a(70), b(130);
+  b.Set(100);
+  EXPECT_DEATH((void)a.UnionWith(b), "size_ == other.size_");
+  EXPECT_DEATH((void)a.UnionWithIntersects(b), "size_ == other.size_");
+  EXPECT_DEATH((void)a.SubtractWithAny(b), "size_ == other.size_");
+  EXPECT_DEATH((void)a.Intersects(b), "size_ == other.size_");
+  EXPECT_DEATH((void)a.SubsetOf(b), "size_ == other.size_");
+  EXPECT_DEATH(a.IntersectWith(b), "size_ == other.size_");
+  EXPECT_DEATH(a.SubtractWith(b), "size_ == other.size_");
+#endif
+}
+
 TEST(Bits, ForEachOrderAndHash) {
   Bits a(100);
   a.Set(5);
