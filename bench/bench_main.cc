@@ -33,6 +33,7 @@
 #endif
 
 #include "bench_registry.h"
+#include "xpc/common/simd.h"
 #include "xpc/common/stats.h"
 
 namespace {
@@ -81,6 +82,12 @@ std::string ToJson(const std::vector<RunRecord>& records,
   out << "{\n  \"context\": {\n";
   out << "    \"date\": \"" << date << "\",\n";
   out << "    \"executable\": \"bench_main\",\n";
+  // The kernel set the timings were produced with, and what auto-detection
+  // would pick on this host (DESIGN.md §2.10). check_regression.py treats a
+  // simd_isa mismatch between baseline and current as cross-machine: time
+  // regressions demote to warnings, exact counters still gate.
+  out << "    \"simd_isa\": \"" << xpc::simd::ActiveName() << "\",\n";
+  out << "    \"simd_detected\": \"" << xpc::simd::DetectedName() << "\",\n";
   out << "    \"xpc_stats_enabled\": " << (XPC_STATS_ENABLED ? "true" : "false");
 #if defined(__unix__) || defined(__APPLE__)
   // Heap-profile smoke: peak RSS of the whole run (KiB on Linux), so the

@@ -1,0 +1,105 @@
+// `StateRel` composition / closure microbench (PR 9 satellite).
+//
+// `Compose` and `CloseReflexiveTransitive` are the inner loops of the
+// loop-sat engine's summary algebra (Lemma 11): row-at-a-time OR passes
+// over the row-major relation buffer, dispatched through the SIMD kernel
+// layer on rows wider than a cache line (DESIGN.md §2.10). This bench
+// times one compose+close step at four state counts —
+//
+//   *   64 states  one word per row      (inlined sweep, dispatch bypassed)
+//   *  192 states  three words per row   (inlined: ≤ one cache line)
+//   *  448 states  seven words per row   (inlined: ≤ one cache line)
+//   * 1024 states  sixteen words per row (dispatched vector kernel)
+//
+// — under both the forced-scalar and the dispatched kernel set, printing
+// per-op times and the speedup (~1x on the inlined sizes by construction:
+// the cutoff exists because sub-cache-line rows don't buy back the call
+// indirection). Results are folded into a printed checksum (hash of the
+// composed relation) and the two legs must produce identical hashes (FAIL
+// otherwise) — the micro-scale version of the engine-level bit-identical
+// contract. No perf gate here: the vectorization bar lives in
+// bench_bits_kernels; baseline.json tracks total wall time.
+
+#include "bench_registry.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "xpc/common/simd.h"
+#include "xpc/pathauto/state_relation.h"
+
+using namespace xpc;
+
+namespace {
+
+// Deterministic sparse relation: ~4 successors per state.
+StateRel MakeRel(int n, uint64_t seed) {
+  StateRel r(n);
+  uint64_t x = seed;
+  auto next = [&x]() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int d = 0; d < 4; ++d) r.Set(i, static_cast<int>(next() % n));
+  }
+  return r;
+}
+
+}  // namespace
+
+static int RunStateRelCompose() {
+  std::printf("== StateRel compose/close: scalar vs dispatched (%s detected) ==\n",
+              simd::DetectedName());
+  const char* ambient = simd::ActiveName();
+  int failures = 0;
+  for (int n : {64, 192, 448, 1024}) {
+    // Comparable wall time per size class: compose is O(n^2 * wpr) words.
+    const int rounds = n <= 448 ? 200 * 448 * 448 / (n * n) : 16;
+    const StateRel a = MakeRel(n, 0x9e3779b97f4a7c15ULL + n);
+    const StateRel b = MakeRel(n, 0xc2b2ae3d27d4eb4fULL + n);
+    double ns[2];
+    size_t hashes[2];
+    const char* legs[2] = {"scalar", simd::DetectedName()};
+    for (int leg = 0; leg < 2; ++leg) {
+      if (!simd::Select(legs[leg])) {
+        std::printf("FAIL: %s leg refused to latch\n", legs[leg]);
+        return 1;
+      }
+      size_t h = 0;
+      // Warm-up round, then the timed ones.
+      {
+        StateRel c = a.Compose(b);
+        c.CloseReflexiveTransitive();
+        h = c.Hash();
+      }
+      auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < rounds; ++r) {
+        StateRel c = a.Compose(b);
+        c.CloseReflexiveTransitive();
+        h ^= c.Hash();
+      }
+      ns[leg] = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count() /
+                static_cast<double>(rounds);
+      hashes[leg] = h;
+    }
+    if (hashes[0] != hashes[1]) {
+      std::printf("FAIL: compose/close hash drift between legs at n=%d\n", n);
+      ++failures;
+    }
+    std::printf(
+        "n=%4d: scalar %9.0f ns/op  dispatched %9.0f ns/op  (x%.2f, checksum "
+        "%zx)\n",
+        n, ns[0], ns[1], ns[0] / ns[1], hashes[0]);
+  }
+  simd::Select(ambient);
+  return failures == 0 ? 0 : 1;
+}
+
+XPC_BENCH("statrel_compose", RunStateRelCompose);

@@ -25,6 +25,12 @@ as "skipped (not in run)" and does not gate. An unfiltered run, or a
 filtered run whose filter *does* select the bench, still fails hard on a
 missing bench.
 
+When the two reports record different dispatched SIMD kernel sets
+(context.simd_isa — e.g. an AVX2 baseline checked on a scalar-only host, or
+under XPC_SIMD=scalar), time-like metrics are reported as warnings instead
+of gating: cross-ISA timings are cross-machine timings. Exact counters are
+ISA-independent by the kernels' bit-identical contract and still gate.
+
 A baseline entry may carry an optional "noise_pct": N annotation (hand-added,
 preserved across refreshes by convention): its *time-like* metrics (real_time
 and *.micros counters) then tolerate up to N% regression instead of the
@@ -95,9 +101,24 @@ def effective_threshold(base_bench, metric, threshold):
     return threshold
 
 
-def compare(baseline, current, threshold, min_time_ms, filters=None):
+def isa_mismatch(base_ctx, cur_ctx):
+    """True when both reports record the dispatched SIMD kernel set
+    (context.simd_isa, written by bench_main since the PR 9 dispatch work)
+    and they differ — e.g. a baseline recorded on an AVX2 host checked on a
+    scalar-only one, or an XPC_SIMD=scalar forced run against a dispatched
+    baseline. Timings are then not comparable machine-to-machine; reports
+    missing the field (pre-PR baselines) never mismatch."""
+    b, c = base_ctx.get("simd_isa"), cur_ctx.get("simd_isa")
+    return b is not None and c is not None and b != c
+
+
+def compare(baseline, current, threshold, min_time_ms, filters=None,
+            demote_time=False, warnings=None):
     """Returns a list of human-readable regression descriptions. `filters`
-    is the current run's recorded --filter list (see skipped_benches)."""
+    is the current run's recorded --filter list (see skipped_benches). With
+    `demote_time` (the ISA-mismatch mode) time-like regressions are routed
+    to `warnings` — reported, never gating — while exact counters, which the
+    bit-identical kernel contract keeps ISA-independent, still gate."""
     problems = []
     for name, base in baseline.items():
         cur = current.get(name)
@@ -122,10 +143,15 @@ def compare(baseline, current, threshold, min_time_ms, filters=None):
             if cur_val - base_val <= floor:
                 continue  # Within the absolute noise floor.
             pct = 100.0 * (cur_val - base_val) / base_val if base_val else float("inf")
-            problems.append(
+            desc = (
                 f"{name}: {metric}: {base_val:g} -> {cur_val:g} (+{pct:.1f}% > "
                 f"{eff * 100:.0f}%)"
             )
+            if demote_time and time_like(metric):
+                if warnings is not None:
+                    warnings.append(desc)
+            else:
+                problems.append(desc)
     return problems
 
 
@@ -277,6 +303,28 @@ def self_test():
     assert any("sat.loop_items" in p for p in compare(noisy, noisy_blowup, 0.25, 50)), \
         "counter blowup must fail even on a noisy bench"
 
+    # Cross-ISA comparisons (context.simd_isa differs): time-like metrics
+    # demote to warnings, exact counters still gate.
+    assert isa_mismatch({"simd_isa": "avx2"}, {"simd_isa": "scalar"}), \
+        "differing simd_isa must mismatch"
+    assert not isa_mismatch({"simd_isa": "avx2"}, {"simd_isa": "avx2"}), \
+        "same simd_isa must not mismatch"
+    assert not isa_mismatch({}, {"simd_isa": "scalar"}), \
+        "pre-PR baseline without simd_isa must not mismatch"
+    cross_slow = json.loads(json.dumps(base))
+    cross_slow["bench_a"]["real_time"] = 3000.0
+    cross_slow["bench_a"]["counters"]["sat.loop.micros"] = 2400000
+    warns = []
+    assert compare(base, cross_slow, 0.25, 50, demote_time=True, warnings=warns) == [], \
+        "cross-ISA time regressions must not gate"
+    assert len(warns) == 2 and all(time_like(w.split(": ")[1]) for w in warns), \
+        "both time-like regressions must be reported as warnings"
+    cross_blowup = json.loads(json.dumps(cross_slow))
+    cross_blowup["bench_a"]["counters"]["sat.loop_items"] = 1000
+    assert any("sat.loop_items" in p
+               for p in compare(base, cross_blowup, 0.25, 50, demote_time=True)), \
+        "counter blowup must still gate across ISAs"
+
     # Geomean speedup: 2.5x on the only bench, reported in the summary.
     g = geomean_speedup(base, fast)
     assert g is not None and abs(g - 2.5) < 1e-9, f"geomean speedup wrong: {g}"
@@ -305,14 +353,23 @@ def main():
     if not args.baseline or not args.current:
         parser.error("BASELINE and CURRENT are required (or use --self-test)")
 
-    baseline, _ = load(args.baseline)
+    baseline, base_context = load(args.baseline)
     current, context = load(args.current)
     filters = context.get("filters") or []
     skipped = skipped_benches(baseline, current, filters)
     for name in skipped:
         print(f"perf-regression gate: {name}: skipped (not in run: excluded by "
               f"--filter)")
-    problems = compare(baseline, current, args.threshold, args.min_time_ms, filters)
+    mismatched = isa_mismatch(base_context, context)
+    if mismatched:
+        print(f"perf-regression gate: simd_isa mismatch (baseline "
+              f"{base_context.get('simd_isa')!r}, current {context.get('simd_isa')!r}): "
+              f"time-like metrics report only, exact counters still gate")
+    warnings = []
+    problems = compare(baseline, current, args.threshold, args.min_time_ms, filters,
+                       demote_time=mismatched, warnings=warnings)
+    for w in warnings:
+        print(f"  WARN (cross-ISA, not gating) {w}")
     report_improvements(
         improvements(baseline, current, args.threshold, args.min_time_ms), args.threshold,
         geomean_speedup(baseline, current))

@@ -6,6 +6,7 @@
 #include <deque>
 
 #include "xpc/common/arena.h"
+#include "xpc/common/simd.h"
 #include "xpc/common/stats.h"
 
 namespace xpc {
@@ -139,6 +140,30 @@ const Nfa::Index& Nfa::EnsureIndex() const {
         ix.step1[base] = mask;
       }
     }
+  } else {
+    // Multi-word dense step masks (see Index::stepw), capped at 1 MiB so
+    // pathological alphabets don't blow up long-lived per-NFA memory. Same
+    // construction as step1, one ε-closed row per (state, symbol).
+    const uint32_t wpr = (static_cast<uint32_t>(n) + 63) >> 6;
+    const size_t rows = static_cast<size_t>(n) * k;
+    if (rows * wpr * 8 <= (size_t{1} << 20)) {
+      ix.stepw_wpr = wpr;
+      ix.stepw.assign(rows * wpr, 0);
+      for (int q = 0; q < n; ++q) {
+        for (int a = 0; a < k; ++a) {
+          const size_t base = static_cast<size_t>(q) * k + a;
+          uint64_t* mask_row = ix.stepw.data() + base * wpr;
+          for (int32_t i = ix.sym_off[base]; i < ix.sym_off[base + 1]; ++i) {
+            int32_t t = ix.sym_to[i];
+            if (ix.has_epsilon) {
+              simd::Active().or_accum(mask_row, ix.closure[t].cwords(), wpr);
+            } else {
+              mask_row[t >> 6] |= uint64_t{1} << (t & 63);
+            }
+          }
+        }
+      }
+    }
   }
 
   ix.valid = true;
@@ -185,6 +210,25 @@ Bits Nfa::Step(const Bits& states, int symbol) const {
       out |= ix.step1[static_cast<size_t>(q) * k + symbol];
     }
     next.words()[0] = out;
+    return next;
+  }
+  if (!ix.stepw.empty()) {
+    const uint32_t wpr = ix.stepw_wpr;
+    uint64_t* out = next.words();
+    const simd::Kernels& kern = simd::Active();
+    // Same cutoff as StateRel row sweeps: mask rows within one cache line
+    // are OR-ed by the inlined loop, the dispatch indirection only pays
+    // beyond that.
+    const bool wide = wpr > 8;
+    states.ForEach([&](int q) {
+      const uint64_t* mask_row =
+          ix.stepw.data() + (static_cast<size_t>(q) * k + symbol) * wpr;
+      if (wide) {
+        kern.or_accum(out, mask_row, wpr);
+      } else {
+        for (uint32_t v = 0; v < wpr; ++v) out[v] |= mask_row[v];
+      }
+    });
     return next;
   }
   states.ForEach([&](int q) {

@@ -122,6 +122,13 @@ class Nfa {
     /// every content model in practice): `step1[q * k + a]` is the ε-closed
     /// a-successor mask of q, so `Step` is a ctz loop OR-ing whole masks.
     std::vector<uint64_t> step1;
+    /// Multi-word analogue for mid-sized NFAs (> 64 states, table capped at
+    /// 1 MiB): row `q * k + a` holds `stepw_wpr` words of ε-closed
+    /// a-successor mask, row-major, so `Step` OR-accumulates whole rows
+    /// through the dispatched SIMD kernel (DESIGN.md §2.10) instead of
+    /// chasing CSR targets and re-merging closures per transition.
+    std::vector<uint64_t> stepw;
+    uint32_t stepw_wpr = 0;
   };
 
   const Index& EnsureIndex() const;

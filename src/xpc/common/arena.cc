@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
+#include <new>
 
 #include "xpc/common/stats.h"
 
@@ -69,7 +70,8 @@ void Arena::Refill(size_t n) {
     }
   }
   if (block == nullptr) {
-    block = static_cast<Block*>(::operator new(sizeof(Block) + want));
+    block = static_cast<Block*>(::operator new(
+        sizeof(Block) + want, std::align_val_t{Arena::kWordBlockAlign}));
     block->size = want;
   }
 
@@ -99,7 +101,7 @@ void Recycle(Arena::Block* head) {
         cached = true;
       }
     }
-    if (!cached) ::operator delete(head);
+    if (!cached) ::operator delete(head, std::align_val_t{Arena::kWordBlockAlign});
     head = next;
   }
 }

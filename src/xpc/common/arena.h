@@ -34,6 +34,11 @@ namespace xpc {
 /// `ScopedArenaPause`.
 class Arena {
  public:
+  /// Alignment guarantee for multi-word bitset blocks (and the block payload
+  /// start itself): one cache line, so the SIMD kernels' vector loads never
+  /// split lines (DESIGN.md §2.10). `Bits`' heap fallback honors it too.
+  static constexpr size_t kWordBlockAlign = 64;
+
   Arena() = default;
   ~Arena();
 
@@ -49,8 +54,29 @@ class Arena {
     return p;
   }
 
-  /// `n` uint64 words, uninitialized.
-  uint64_t* AllocWords(size_t n) { return static_cast<uint64_t*>(Alloc(n * 8)); }
+  /// `n` bytes at an `align`-byte boundary (power of two ≤ kWordBlockAlign),
+  /// uninitialized. Block payloads start 64-byte aligned, so a refill never
+  /// needs more than `n + align` bytes of fresh space.
+  void* AllocAligned(size_t n, size_t align) {
+    n = (n + 7u) & ~size_t{7};
+    uintptr_t p = (reinterpret_cast<uintptr_t>(cur_) + (align - 1)) & ~(align - 1);
+    if (reinterpret_cast<char*>(p) + n > end_) {
+      Refill(n + align);
+      p = (reinterpret_cast<uintptr_t>(cur_) + (align - 1)) & ~(align - 1);
+    }
+    cur_ = reinterpret_cast<char*>(p) + n;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// `n` uint64 words, uninitialized. Blocks wide enough to reach the
+  /// dispatched kernels (more than one cache line, mirroring
+  /// `Bits::kDispatchWords`) are cache-line aligned; narrower blocks stay on
+  /// the cheap bump path — padding them would double the footprint of the
+  /// small Hintikka sets that dominate loop-sat and evict twice as fast.
+  uint64_t* AllocWords(size_t n) {
+    if (n > 8) return static_cast<uint64_t*>(AllocAligned(n * 8, kWordBlockAlign));
+    return static_cast<uint64_t*>(Alloc(n * 8));
+  }
 
   /// Drops every allocation at once and rewinds to the first block; spare
   /// blocks go back to the process-wide cache.
@@ -64,7 +90,11 @@ class Arena {
   /// `XPC_ARENA=0` kill switch).
   static Arena* Current();
 
-  struct Block {
+  /// Header of one chained block. alignas(kWordBlockAlign) pads the header
+  /// to a full cache line and — together with aligned-new allocation — puts
+  /// the payload (`block + 1`) on a 64-byte boundary, which is what lets
+  /// `AllocAligned` satisfy any request from block start without waste.
+  struct alignas(kWordBlockAlign) Block {
     Block* next;
     size_t size;  // Usable payload bytes following this header.
   };

@@ -1,12 +1,15 @@
 #ifndef XPC_COMMON_BITS_H_
 #define XPC_COMMON_BITS_H_
 
+#include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <new>
 
 #include "xpc/common/arena.h"
+#include "xpc/common/simd.h"
 #include "xpc/common/stats.h"
 
 namespace xpc {
@@ -37,6 +40,16 @@ inline thread_local uint64_t tls_bits_inline_hits = 0;
 /// Arena-backed blocks are never individually freed; they die with the
 /// arena, so a Bits allocated under an arena must not outlive it (builders
 /// of long-lived sets use `ScopedArenaPause`).
+///
+/// Kernels (DESIGN.md §2.10): operands wider than one cache line
+/// (`kDispatchWords`, 8 words) route every word sweep through the runtime-
+/// dispatched `simd::Active()` kernel set — AVX2/NEON where the host has
+/// them, the portable scalar reference otherwise (`XPC_SIMD` overrides).
+/// All legs are bit-identical including the returned change/intersect/any
+/// flags. Narrower operands keep the general loops below: the compiler
+/// vectorizes them in place and sub-line sweeps don't buy back the call
+/// indirection. Word blocks of dispatched width — arena and heap alike —
+/// are 64-byte aligned so the vector loads never split cache lines.
 class Bits {
  public:
   Bits() { rep_.inl[0] = rep_.inl[1] = 0; }
@@ -85,7 +98,7 @@ class Bits {
       std::memcpy(words(), o.cwords(), nwords_ * 8u);
       return *this;
     }
-    if (heap_) delete[] rep_.ptr;
+    FreeBlock();
     size_ = o.size_;
     nwords_ = o.nwords_;
     heap_ = false;
@@ -102,7 +115,7 @@ class Bits {
 
   Bits& operator=(Bits&& o) noexcept {
     if (this == &o) return *this;
-    if (heap_) delete[] rep_.ptr;
+    FreeBlock();
     size_ = o.size_;
     nwords_ = o.nwords_;
     heap_ = o.heap_;
@@ -116,9 +129,7 @@ class Bits {
     return *this;
   }
 
-  ~Bits() {
-    if (heap_) delete[] rep_.ptr;
-  }
+  ~Bits() { FreeBlock(); }
 
   int size() const { return size_; }
 
@@ -136,16 +147,21 @@ class Bits {
   /// True if no bit is set.
   bool None() const {
     const uint64_t* w = cwords();
+    if (__builtin_expect(nwords_ > kDispatchWords, 0))
+      return simd::Active().none(w, nwords_);
     uint64_t any = 0;
     for (uint32_t i = 0; i < nwords_; ++i) any |= w[i];
     return any == 0;
   }
 
-  /// Number of set bits.
+  /// Number of set bits (hardware POPCNT via the dispatched kernel on
+  /// multi-word operands).
   int Count() const {
     const uint64_t* w = cwords();
+    if (__builtin_expect(nwords_ > kDispatchWords, 0))
+      return simd::Active().count(w, nwords_);
     int c = 0;
-    for (uint32_t i = 0; i < nwords_; ++i) c += __builtin_popcountll(w[i]);
+    for (uint32_t i = 0; i < nwords_; ++i) c += std::popcount(w[i]);
     return c;
   }
 
@@ -156,6 +172,8 @@ class Bits {
     assert(size_ == other.size_);
     uint64_t* w = words();
     const uint64_t* ow = other.cwords();
+    if (__builtin_expect(nwords_ > kDispatchWords, 0))
+      return simd::Active().union_with(w, ow, nwords_);
     uint64_t diff = 0;
     for (uint32_t i = 0; i < nwords_; ++i) {
       uint64_t merged = w[i] | ow[i];
@@ -172,6 +190,8 @@ class Bits {
     assert(size_ == other.size_);
     uint64_t* w = words();
     const uint64_t* ow = other.cwords();
+    if (__builtin_expect(nwords_ > kDispatchWords, 0))
+      return simd::Active().union_with_intersects(w, ow, nwords_);
     uint64_t hit = 0;
     for (uint32_t i = 0; i < nwords_; ++i) {
       hit |= w[i] & ow[i];
@@ -184,6 +204,8 @@ class Bits {
     assert(size_ == other.size_);
     uint64_t* w = words();
     const uint64_t* ow = other.cwords();
+    if (__builtin_expect(nwords_ > kDispatchWords, 0))
+      return simd::Active().intersect_with(w, ow, nwords_);
     for (uint32_t i = 0; i < nwords_; ++i) w[i] &= ow[i];
   }
 
@@ -191,6 +213,8 @@ class Bits {
     assert(size_ == other.size_);
     uint64_t* w = words();
     const uint64_t* ow = other.cwords();
+    if (__builtin_expect(nwords_ > kDispatchWords, 0))
+      return simd::Active().subtract_with(w, ow, nwords_);
     for (uint32_t i = 0; i < nwords_; ++i) w[i] &= ~ow[i];
   }
 
@@ -200,6 +224,8 @@ class Bits {
     assert(size_ == other.size_);
     uint64_t* w = words();
     const uint64_t* ow = other.cwords();
+    if (__builtin_expect(nwords_ > kDispatchWords, 0))
+      return simd::Active().subtract_with_any(w, ow, nwords_);
     uint64_t left = 0;
     for (uint32_t i = 0; i < nwords_; ++i) {
       w[i] &= ~ow[i];
@@ -213,6 +239,8 @@ class Bits {
     assert(size_ == other.size_);
     const uint64_t* w = cwords();
     const uint64_t* ow = other.cwords();
+    if (__builtin_expect(nwords_ > kDispatchWords, 0))
+      return simd::Active().intersects(w, ow, nwords_);
     for (uint32_t i = 0; i < nwords_; ++i) {
       if (w[i] & ow[i]) return true;
     }
@@ -224,6 +252,8 @@ class Bits {
     assert(size_ == other.size_);
     const uint64_t* w = cwords();
     const uint64_t* ow = other.cwords();
+    if (__builtin_expect(nwords_ > kDispatchWords, 0))
+      return simd::Active().subset_of(w, ow, nwords_);
     for (uint32_t i = 0; i < nwords_; ++i) {
       if (w[i] & ~ow[i]) return false;
     }
@@ -248,6 +278,8 @@ class Bits {
     if (a.size_ != b.size_) return false;
     const uint64_t* aw = a.cwords();
     const uint64_t* bw = b.cwords();
+    if (__builtin_expect(a.nwords_ > kDispatchWords, 0))
+      return simd::Active().equals(aw, bw, a.nwords_);
     for (uint32_t i = 0; i < a.nwords_; ++i) {
       if (aw[i] != bw[i]) return false;
     }
@@ -263,7 +295,9 @@ class Bits {
     return false;
   }
 
-  /// FNV-style hash over the words.
+  /// FNV-style hash over the words. Stays scalar on every ISA leg: the
+  /// multiply chain is serially dependent word to word, and the hash values
+  /// are load-bearing (interning tables, cache keys) so they cannot change.
   size_t Hash() const {
     const uint64_t* w = cwords();
     size_t h = 0xcbf29ce484222325ULL;
@@ -277,13 +311,41 @@ class Bits {
  private:
   static constexpr uint32_t kInlineWords = 2;
 
+  /// Dispatch cutoff for the SIMD kernel layer: operands up to one 64-byte
+  /// cache line (8 words) stay on the general inline loops below — the
+  /// compiler autovectorizes them in place, and for sub-line operands the
+  /// call indirection costs more than the wider vectors save (measured on
+  /// the loop-sat benches, whose Hintikka sets are typically 3-8 words).
+  /// Mirrors the row-sweep cutoffs in pathauto/state_relation.h and
+  /// automata/nfa.cc.
+  static constexpr uint32_t kDispatchWords = 8;
+
   void AllocBlock() {
     if (Arena* a = Arena::Current()) {
       rep_.ptr = a->AllocWords(nwords_);
       heap_ = false;
     } else {
-      rep_.ptr = new uint64_t[nwords_];
+      // Heap fallback keeps the same ≥64-byte alignment invariant as arena
+      // word blocks, but only for operands wide enough to reach the
+      // dispatched kernels (nwords_ > kDispatchWords). Narrower blocks stay
+      // on plain `new`: they are served by the inlined loops, and the
+      // aligned-allocation path off the malloc fast path is a measurable
+      // tax wherever heap Bits are allocation-bound (the XPC_ARENA=0 leg,
+      // and the ScopedArenaPause region that builds NFA ε-closures).
+      rep_.ptr = nwords_ > kDispatchWords
+                     ? static_cast<uint64_t*>(::operator new(
+                           nwords_ * 8u, std::align_val_t{Arena::kWordBlockAlign}))
+                     : static_cast<uint64_t*>(::operator new(nwords_ * 8u));
       heap_ = true;
+    }
+  }
+
+  void FreeBlock() {
+    if (!heap_) return;
+    if (nwords_ > kDispatchWords) {
+      ::operator delete(rep_.ptr, std::align_val_t{Arena::kWordBlockAlign});
+    } else {
+      ::operator delete(rep_.ptr);
     }
   }
 

@@ -1,0 +1,656 @@
+#include "xpc/common/simd.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define XPC_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define XPC_SIMD_HAVE_AVX2 0
+#endif
+
+#if defined(__aarch64__)
+#define XPC_SIMD_HAVE_NEON 1
+#include <arm_neon.h>
+#else
+#define XPC_SIMD_HAVE_NEON 0
+#endif
+
+namespace xpc {
+namespace simd {
+
+// --- Scalar reference leg ------------------------------------------------
+//
+// These are the exact PR 8 portable loops, hoisted out of bits.h. Every
+// vector leg below must be bit-identical to them (the `ctest -L simd`
+// equivalence suite enforces it).
+//
+// The streaming loops are pinned to genuine one-word-at-a-time codegen:
+// without the pin, -O3 autovectorizes them (GCC 12 emits SSE2 here), so
+// "XPC_SIMD=scalar" would silently mean "whatever this compiler's
+// autovectorizer produced" — a reference leg whose code shape drifts with
+// compiler version is useless as a baseline for the per-ISA equivalence
+// suite and the bench_bits_kernels speedup legs. The pin only affects the
+// multi-word dispatch path; the inline ≤2-word fast paths in bits.h never
+// reach these functions.
+
+#if defined(__clang__)
+#define XPC_SCALAR_REF_FN
+#define XPC_SCALAR_REF_LOOP _Pragma("clang loop vectorize(disable) interleave(disable)")
+#elif defined(__GNUC__)
+#define XPC_SCALAR_REF_FN __attribute__((optimize("no-tree-vectorize")))
+#define XPC_SCALAR_REF_LOOP
+#else
+#define XPC_SCALAR_REF_FN
+#define XPC_SCALAR_REF_LOOP
+#endif
+
+namespace {
+
+XPC_SCALAR_REF_FN bool ScalarUnionWith(uint64_t* w, const uint64_t* ow, uint32_t n) {
+  uint64_t diff = 0;
+  XPC_SCALAR_REF_LOOP
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t merged = w[i] | ow[i];
+    diff |= merged ^ w[i];
+    w[i] = merged;
+  }
+  return diff != 0;
+}
+
+XPC_SCALAR_REF_FN bool ScalarUnionWithIntersects(uint64_t* w, const uint64_t* ow, uint32_t n) {
+  uint64_t hit = 0;
+  XPC_SCALAR_REF_LOOP
+  for (uint32_t i = 0; i < n; ++i) {
+    hit |= w[i] & ow[i];
+    w[i] |= ow[i];
+  }
+  return hit != 0;
+}
+
+XPC_SCALAR_REF_FN void ScalarIntersectWith(uint64_t* w, const uint64_t* ow, uint32_t n) {
+  XPC_SCALAR_REF_LOOP
+  for (uint32_t i = 0; i < n; ++i) w[i] &= ow[i];
+}
+
+XPC_SCALAR_REF_FN void ScalarSubtractWith(uint64_t* w, const uint64_t* ow, uint32_t n) {
+  XPC_SCALAR_REF_LOOP
+  for (uint32_t i = 0; i < n; ++i) w[i] &= ~ow[i];
+}
+
+XPC_SCALAR_REF_FN bool ScalarSubtractWithAny(uint64_t* w, const uint64_t* ow, uint32_t n) {
+  uint64_t left = 0;
+  XPC_SCALAR_REF_LOOP
+  for (uint32_t i = 0; i < n; ++i) {
+    w[i] &= ~ow[i];
+    left |= w[i];
+  }
+  return left != 0;
+}
+
+bool ScalarIntersects(const uint64_t* w, const uint64_t* ow, uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) {
+    if (w[i] & ow[i]) return true;
+  }
+  return false;
+}
+
+bool ScalarSubsetOf(const uint64_t* w, const uint64_t* ow, uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) {
+    if (w[i] & ~ow[i]) return false;
+  }
+  return true;
+}
+
+bool ScalarEquals(const uint64_t* w, const uint64_t* ow, uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) {
+    if (w[i] != ow[i]) return false;
+  }
+  return true;
+}
+
+XPC_SCALAR_REF_FN bool ScalarNone(const uint64_t* w, uint32_t n) {
+  uint64_t any = 0;
+  XPC_SCALAR_REF_LOOP
+  for (uint32_t i = 0; i < n; ++i) any |= w[i];
+  return any == 0;
+}
+
+XPC_SCALAR_REF_FN int ScalarCount(const uint64_t* w, uint32_t n) {
+  int c = 0;
+  XPC_SCALAR_REF_LOOP
+  for (uint32_t i = 0; i < n; ++i) c += std::popcount(w[i]);
+  return c;
+}
+
+XPC_SCALAR_REF_FN void ScalarOrAccum(uint64_t* dst, const uint64_t* src, uint32_t n) {
+  XPC_SCALAR_REF_LOOP
+  for (uint32_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+constexpr Kernels kScalar = {
+    "scalar",          ScalarUnionWith,  ScalarUnionWithIntersects,
+    ScalarIntersectWith, ScalarSubtractWith, ScalarSubtractWithAny,
+    ScalarIntersects,  ScalarSubsetOf,   ScalarEquals,
+    ScalarNone,        ScalarCount,      ScalarOrAccum,
+};
+
+}  // namespace
+
+const Kernels& Scalar() { return kScalar; }
+
+// --- AVX2 leg (x86-64) ---------------------------------------------------
+//
+// Compiled via the `target("avx2")` function attribute, so the translation
+// unit itself stays buildable with the baseline ISA and the vector code is
+// only ever *executed* after `__builtin_cpu_supports("avx2")` says yes.
+// Unaligned loads throughout: the operands are 64-byte aligned in the
+// steady state (arena word blocks), but StateRel row pointers are interior
+// offsets and the XPC_ARENA=0 leg predates the alignment guarantee —
+// `loadu` on aligned data costs nothing on every AVX2-era core.
+
+#if XPC_SIMD_HAVE_AVX2
+
+namespace {
+
+// The streaming kernels run two 256-bit vectors (8 words) per iteration
+// with independent flag accumulators: one vector per iteration leaves the
+// AVX2 leg barely ahead of the compiler's SSE autovectorization of the
+// scalar reference, and the second chain lets the loads/ALU ops of both
+// halves retire in parallel. Flags are folded once at the end — never a
+// branch inside the sweep. The 1-3 word remainder is a masked
+// vpmaskmovq load/op/store rather than a scalar loop: dispatched
+// operands start at 3 words (bits.h keeps 1-2 words inline), so for the
+// common 3-7 word rows a scalar tail would be most of the call. Masked
+// lanes read as zero, which is the identity for every flag accumulator
+// (or/and/andnot of zero contributes nothing), so the tail folds into
+// the same flag vectors.
+
+// Entry r-1 enables the low r 64-bit lanes of a maskload/maskstore pair.
+alignas(32) constexpr int64_t kAvx2TailMask[3][4] = {
+    {-1, 0, 0, 0},
+    {-1, -1, 0, 0},
+    {-1, -1, -1, 0},
+};
+
+__attribute__((target("avx2"))) inline __m256i Avx2TailMaskFor(uint32_t rem) {
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(kAvx2TailMask[rem - 1]));
+}
+
+__attribute__((target("avx2"))) bool Avx2UnionWith(uint64_t* w, const uint64_t* ow,
+                                                   uint32_t n) {
+  __m256i diff0 = _mm256_setzero_si256();
+  __m256i diff1 = _mm256_setzero_si256();
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i + 4));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i + 4));
+    __m256i m0 = _mm256_or_si256(a0, b0);
+    __m256i m1 = _mm256_or_si256(a1, b1);
+    diff0 = _mm256_or_si256(diff0, _mm256_xor_si256(m0, a0));
+    diff1 = _mm256_or_si256(diff1, _mm256_xor_si256(m1, a1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i), m0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i + 4), m1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i));
+    __m256i m = _mm256_or_si256(a, b);
+    diff0 = _mm256_or_si256(diff0, _mm256_xor_si256(m, a));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i), m);
+  }
+  if (i < n) {
+    const __m256i mask = Avx2TailMaskFor(n - i);
+    __m256i a = _mm256_maskload_epi64(reinterpret_cast<const long long*>(w + i), mask);
+    __m256i b = _mm256_maskload_epi64(reinterpret_cast<const long long*>(ow + i), mask);
+    __m256i m = _mm256_or_si256(a, b);
+    diff0 = _mm256_or_si256(diff0, _mm256_xor_si256(m, a));
+    _mm256_maskstore_epi64(reinterpret_cast<long long*>(w + i), mask, m);
+  }
+  __m256i diff = _mm256_or_si256(diff0, diff1);
+  return !_mm256_testz_si256(diff, diff);
+}
+
+__attribute__((target("avx2"))) bool Avx2UnionWithIntersects(uint64_t* w,
+                                                             const uint64_t* ow,
+                                                             uint32_t n) {
+  __m256i hit0 = _mm256_setzero_si256();
+  __m256i hit1 = _mm256_setzero_si256();
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i + 4));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i + 4));
+    hit0 = _mm256_or_si256(hit0, _mm256_and_si256(a0, b0));
+    hit1 = _mm256_or_si256(hit1, _mm256_and_si256(a1, b1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i), _mm256_or_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i + 4), _mm256_or_si256(a1, b1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i));
+    hit0 = _mm256_or_si256(hit0, _mm256_and_si256(a, b));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i), _mm256_or_si256(a, b));
+  }
+  if (i < n) {
+    const __m256i mask = Avx2TailMaskFor(n - i);
+    __m256i a = _mm256_maskload_epi64(reinterpret_cast<const long long*>(w + i), mask);
+    __m256i b = _mm256_maskload_epi64(reinterpret_cast<const long long*>(ow + i), mask);
+    hit0 = _mm256_or_si256(hit0, _mm256_and_si256(a, b));
+    _mm256_maskstore_epi64(reinterpret_cast<long long*>(w + i), mask,
+                           _mm256_or_si256(a, b));
+  }
+  __m256i hit = _mm256_or_si256(hit0, hit1);
+  return !_mm256_testz_si256(hit, hit);
+}
+
+__attribute__((target("avx2"))) void Avx2IntersectWith(uint64_t* w, const uint64_t* ow,
+                                                       uint32_t n) {
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i + 4));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i), _mm256_and_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i + 4), _mm256_and_si256(a1, b1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i), _mm256_and_si256(a, b));
+  }
+  if (i < n) {
+    const __m256i mask = Avx2TailMaskFor(n - i);
+    __m256i a = _mm256_maskload_epi64(reinterpret_cast<const long long*>(w + i), mask);
+    __m256i b = _mm256_maskload_epi64(reinterpret_cast<const long long*>(ow + i), mask);
+    _mm256_maskstore_epi64(reinterpret_cast<long long*>(w + i), mask,
+                           _mm256_and_si256(a, b));
+  }
+}
+
+__attribute__((target("avx2"))) void Avx2SubtractWith(uint64_t* w, const uint64_t* ow,
+                                                      uint32_t n) {
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i + 4));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i + 4));
+    // andnot(b, a) = ~b & a.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i), _mm256_andnot_si256(b0, a0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i + 4),
+                        _mm256_andnot_si256(b1, a1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i), _mm256_andnot_si256(b, a));
+  }
+  if (i < n) {
+    const __m256i mask = Avx2TailMaskFor(n - i);
+    __m256i a = _mm256_maskload_epi64(reinterpret_cast<const long long*>(w + i), mask);
+    __m256i b = _mm256_maskload_epi64(reinterpret_cast<const long long*>(ow + i), mask);
+    _mm256_maskstore_epi64(reinterpret_cast<long long*>(w + i), mask,
+                           _mm256_andnot_si256(b, a));
+  }
+}
+
+__attribute__((target("avx2"))) bool Avx2SubtractWithAny(uint64_t* w, const uint64_t* ow,
+                                                         uint32_t n) {
+  __m256i left0 = _mm256_setzero_si256();
+  __m256i left1 = _mm256_setzero_si256();
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i + 4));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i + 4));
+    __m256i r0 = _mm256_andnot_si256(b0, a0);
+    __m256i r1 = _mm256_andnot_si256(b1, a1);
+    left0 = _mm256_or_si256(left0, r0);
+    left1 = _mm256_or_si256(left1, r1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i), r0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i + 4), r1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i));
+    __m256i r = _mm256_andnot_si256(b, a);
+    left0 = _mm256_or_si256(left0, r);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i), r);
+  }
+  if (i < n) {
+    const __m256i mask = Avx2TailMaskFor(n - i);
+    __m256i a = _mm256_maskload_epi64(reinterpret_cast<const long long*>(w + i), mask);
+    __m256i b = _mm256_maskload_epi64(reinterpret_cast<const long long*>(ow + i), mask);
+    __m256i r = _mm256_andnot_si256(b, a);
+    left0 = _mm256_or_si256(left0, r);
+    _mm256_maskstore_epi64(reinterpret_cast<long long*>(w + i), mask, r);
+  }
+  __m256i left = _mm256_or_si256(left0, left1);
+  return !_mm256_testz_si256(left, left);
+}
+
+__attribute__((target("avx2"))) bool Avx2Intersects(const uint64_t* w, const uint64_t* ow,
+                                                    uint32_t n) {
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i));
+    // testz(a, b) == 0 ⇔ (a & b) has a set bit.
+    if (!_mm256_testz_si256(a, b)) return true;
+  }
+  for (; i < n; ++i) {
+    if (w[i] & ow[i]) return true;
+  }
+  return false;
+}
+
+__attribute__((target("avx2"))) bool Avx2SubsetOf(const uint64_t* w, const uint64_t* ow,
+                                                  uint32_t n) {
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i));
+    // testc(b, a) != 0 ⇔ (~b & a) == 0 ⇔ a ⊆ b on this block.
+    if (!_mm256_testc_si256(b, a)) return false;
+  }
+  for (; i < n; ++i) {
+    if (w[i] & ~ow[i]) return false;
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) bool Avx2Equals(const uint64_t* w, const uint64_t* ow,
+                                                uint32_t n) {
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ow + i));
+    if (!_mm256_testz_si256(_mm256_xor_si256(a, b), _mm256_xor_si256(a, b))) return false;
+  }
+  for (; i < n; ++i) {
+    if (w[i] != ow[i]) return false;
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) bool Avx2None(const uint64_t* w, uint32_t n) {
+  __m256i any = _mm256_setzero_si256();
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    any = _mm256_or_si256(any, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i)));
+  }
+  uint64_t tail = 0;
+  for (; i < n; ++i) tail |= w[i];
+  return tail == 0 && _mm256_testz_si256(any, any);
+}
+
+// Hardware POPCNT (implied by the avx2 target) at one word per cycle; the
+// sweep is memory-bound well before the popcounts are.
+__attribute__((target("avx2"))) int Avx2Count(const uint64_t* w, uint32_t n) {
+  int c = 0;
+  XPC_SCALAR_REF_LOOP
+  for (uint32_t i = 0; i < n; ++i) c += std::popcount(w[i]);
+  return c;
+}
+
+// `or_accum` is the StateRel row-sweep workhorse, called once per set bit
+// of a relation row with n = words-per-row — often 3-7 for mid-size
+// relations, so the masked tail matters most here.
+__attribute__((target("avx2"))) void Avx2OrAccum(uint64_t* dst, const uint64_t* src,
+                                                 uint32_t n) {
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 4));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_or_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4),
+                        _mm256_or_si256(a1, b1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_or_si256(a, b));
+  }
+  if (i < n) {
+    const __m256i mask = Avx2TailMaskFor(n - i);
+    __m256i a = _mm256_maskload_epi64(reinterpret_cast<const long long*>(dst + i), mask);
+    __m256i b = _mm256_maskload_epi64(reinterpret_cast<const long long*>(src + i), mask);
+    _mm256_maskstore_epi64(reinterpret_cast<long long*>(dst + i), mask,
+                           _mm256_or_si256(a, b));
+  }
+}
+
+constexpr Kernels kAvx2 = {
+    "avx2",            Avx2UnionWith,  Avx2UnionWithIntersects,
+    Avx2IntersectWith, Avx2SubtractWith, Avx2SubtractWithAny,
+    Avx2Intersects,    Avx2SubsetOf,   Avx2Equals,
+    Avx2None,          Avx2Count,      Avx2OrAccum,
+};
+
+}  // namespace
+
+#endif  // XPC_SIMD_HAVE_AVX2
+
+// --- NEON leg (aarch64) --------------------------------------------------
+//
+// AdvSIMD is architectural on aarch64, so no runtime probe is needed; the
+// 128-bit registers still halve the word-sweep instruction count and give
+// the hardware CNT path for popcounts.
+
+#if XPC_SIMD_HAVE_NEON
+
+namespace {
+
+inline bool NeonAnySet(uint64x2_t v) {
+  return (vgetq_lane_u64(v, 0) | vgetq_lane_u64(v, 1)) != 0;
+}
+
+bool NeonUnionWith(uint64_t* w, const uint64_t* ow, uint32_t n) {
+  uint64x2_t diff = vdupq_n_u64(0);
+  uint32_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t a = vld1q_u64(w + i);
+    uint64x2_t b = vld1q_u64(ow + i);
+    uint64x2_t m = vorrq_u64(a, b);
+    diff = vorrq_u64(diff, veorq_u64(m, a));
+    vst1q_u64(w + i, m);
+  }
+  uint64_t tail = 0;
+  for (; i < n; ++i) {
+    uint64_t merged = w[i] | ow[i];
+    tail |= merged ^ w[i];
+    w[i] = merged;
+  }
+  return tail != 0 || NeonAnySet(diff);
+}
+
+bool NeonUnionWithIntersects(uint64_t* w, const uint64_t* ow, uint32_t n) {
+  uint64x2_t hit = vdupq_n_u64(0);
+  uint32_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t a = vld1q_u64(w + i);
+    uint64x2_t b = vld1q_u64(ow + i);
+    hit = vorrq_u64(hit, vandq_u64(a, b));
+    vst1q_u64(w + i, vorrq_u64(a, b));
+  }
+  uint64_t tail = 0;
+  for (; i < n; ++i) {
+    tail |= w[i] & ow[i];
+    w[i] |= ow[i];
+  }
+  return tail != 0 || NeonAnySet(hit);
+}
+
+void NeonIntersectWith(uint64_t* w, const uint64_t* ow, uint32_t n) {
+  uint32_t i = 0;
+  for (; i + 2 <= n; i += 2) vst1q_u64(w + i, vandq_u64(vld1q_u64(w + i), vld1q_u64(ow + i)));
+  for (; i < n; ++i) w[i] &= ow[i];
+}
+
+void NeonSubtractWith(uint64_t* w, const uint64_t* ow, uint32_t n) {
+  uint32_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // bic(a, b) = a & ~b.
+    vst1q_u64(w + i, vbicq_u64(vld1q_u64(w + i), vld1q_u64(ow + i)));
+  }
+  for (; i < n; ++i) w[i] &= ~ow[i];
+}
+
+bool NeonSubtractWithAny(uint64_t* w, const uint64_t* ow, uint32_t n) {
+  uint64x2_t left = vdupq_n_u64(0);
+  uint32_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t r = vbicq_u64(vld1q_u64(w + i), vld1q_u64(ow + i));
+    left = vorrq_u64(left, r);
+    vst1q_u64(w + i, r);
+  }
+  uint64_t tail = 0;
+  for (; i < n; ++i) {
+    w[i] &= ~ow[i];
+    tail |= w[i];
+  }
+  return tail != 0 || NeonAnySet(left);
+}
+
+bool NeonIntersects(const uint64_t* w, const uint64_t* ow, uint32_t n) {
+  uint32_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (NeonAnySet(vandq_u64(vld1q_u64(w + i), vld1q_u64(ow + i)))) return true;
+  }
+  for (; i < n; ++i) {
+    if (w[i] & ow[i]) return true;
+  }
+  return false;
+}
+
+bool NeonSubsetOf(const uint64_t* w, const uint64_t* ow, uint32_t n) {
+  uint32_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (NeonAnySet(vbicq_u64(vld1q_u64(w + i), vld1q_u64(ow + i)))) return false;
+  }
+  for (; i < n; ++i) {
+    if (w[i] & ~ow[i]) return false;
+  }
+  return true;
+}
+
+bool NeonEquals(const uint64_t* w, const uint64_t* ow, uint32_t n) {
+  uint32_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (NeonAnySet(veorq_u64(vld1q_u64(w + i), vld1q_u64(ow + i)))) return false;
+  }
+  for (; i < n; ++i) {
+    if (w[i] != ow[i]) return false;
+  }
+  return true;
+}
+
+bool NeonNone(const uint64_t* w, uint32_t n) {
+  uint64x2_t any = vdupq_n_u64(0);
+  uint32_t i = 0;
+  for (; i + 2 <= n; i += 2) any = vorrq_u64(any, vld1q_u64(w + i));
+  uint64_t tail = 0;
+  for (; i < n; ++i) tail |= w[i];
+  return tail == 0 && !NeonAnySet(any);
+}
+
+int NeonCount(const uint64_t* w, uint32_t n) {
+  // vcntq counts per byte; pairwise-add up to 64-bit lanes.
+  uint64x2_t acc = vdupq_n_u64(0);
+  uint32_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint8x16_t bytes = vcntq_u8(vreinterpretq_u8_u64(vld1q_u64(w + i)));
+    acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(bytes))));
+  }
+  int c = static_cast<int>(vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1));
+  for (; i < n; ++i) c += std::popcount(w[i]);
+  return c;
+}
+
+void NeonOrAccum(uint64_t* dst, const uint64_t* src, uint32_t n) {
+  uint32_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+constexpr Kernels kNeon = {
+    "neon",            NeonUnionWith,  NeonUnionWithIntersects,
+    NeonIntersectWith, NeonSubtractWith, NeonSubtractWithAny,
+    NeonIntersects,    NeonSubsetOf,   NeonEquals,
+    NeonNone,          NeonCount,      NeonOrAccum,
+};
+
+}  // namespace
+
+#endif  // XPC_SIMD_HAVE_NEON
+
+// --- Detection and the dispatch latch ------------------------------------
+
+namespace {
+
+const Kernels* FindLeg(const char* name) {
+  if (std::strcmp(name, "scalar") == 0) return &kScalar;
+#if XPC_SIMD_HAVE_AVX2
+  if (std::strcmp(name, "avx2") == 0 && __builtin_cpu_supports("avx2")) return &kAvx2;
+#endif
+#if XPC_SIMD_HAVE_NEON
+  if (std::strcmp(name, "neon") == 0) return &kNeon;
+#endif
+  return nullptr;
+}
+
+const Kernels* Detect() {
+#if XPC_SIMD_HAVE_AVX2
+  if (__builtin_cpu_supports("avx2")) return &kAvx2;
+#endif
+#if XPC_SIMD_HAVE_NEON
+  return &kNeon;
+#endif
+  return &kScalar;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels& ActivateSlow() {
+  const Kernels* pick = nullptr;
+  if (const char* env = std::getenv("XPC_SIMD")) {
+    pick = FindLeg(env);  // Unknown or unrunnable name: fall through to scalar.
+    if (pick == nullptr) pick = &kScalar;
+  } else {
+    pick = Detect();
+  }
+  g_active.store(pick, std::memory_order_relaxed);
+  return *pick;
+}
+
+}  // namespace internal
+
+bool Select(const char* name) {
+  const Kernels* leg = FindLeg(name);
+  if (leg == nullptr) return false;
+  internal::g_active.store(leg, std::memory_order_relaxed);
+  return true;
+}
+
+bool Available(const char* name) { return FindLeg(name) != nullptr; }
+
+const char* DetectedName() { return Detect()->name; }
+
+}  // namespace simd
+}  // namespace xpc

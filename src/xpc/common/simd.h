@@ -1,0 +1,100 @@
+#ifndef XPC_COMMON_SIMD_H_
+#define XPC_COMMON_SIMD_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace xpc {
+namespace simd {
+
+/// Runtime-dispatched word-sweep kernels (DESIGN.md §2.10).
+///
+/// Every hot loop in the system bottoms out in a handful of sweeps over
+/// contiguous `uint64_t` word blocks — the `Bits` binary kernels, the
+/// `StateRel` row OR-passes, multi-word NFA stepping. PR 8 made those
+/// blocks contiguous precisely so they could be vectorized; this layer adds
+/// the explicit AVX2 (x86-64) / NEON (aarch64) implementations behind a
+/// one-time dispatch latch, with the portable scalar loops kept as the
+/// always-built reference leg.
+///
+/// Contract: every leg is *bit-identical* to the scalar reference — same
+/// resulting words, same boolean flags (changed / intersected / any-left),
+/// same counts. Only the speed differs. The randomized equivalence suite
+/// (`tests/simd_kernel_test.cc`, `ctest -L simd`) holds every reachable leg
+/// to this.
+///
+/// Selection: latched on first use. The `XPC_SIMD` environment variable
+/// (`scalar` | `avx2` | `neon`) overrides auto-detection for testing; a
+/// requested leg the host cannot run falls back to scalar. Tests and
+/// benches re-latch programmatically with `Select()`.
+///
+/// All kernels take unaligned pointers (the vector legs use unaligned
+/// loads, which run at full speed on 64-byte-aligned data — and the arena
+/// and `Bits` heap blocks are 64-byte aligned, see `Arena::kWordBlockAlign`).
+/// `n` is the word count; `w`/`dst` may not alias `ow`/`src` except as the
+/// in-place destination each signature documents.
+struct Kernels {
+  const char* name;  // "scalar", "avx2" or "neon".
+
+  /// w |= ow; returns true if any bit of `w` was newly set.
+  bool (*union_with)(uint64_t* w, const uint64_t* ow, uint32_t n);
+  /// w |= ow; returns true if w and ow overlapped *before* the union.
+  bool (*union_with_intersects)(uint64_t* w, const uint64_t* ow, uint32_t n);
+  /// w &= ow.
+  void (*intersect_with)(uint64_t* w, const uint64_t* ow, uint32_t n);
+  /// w &= ~ow.
+  void (*subtract_with)(uint64_t* w, const uint64_t* ow, uint32_t n);
+  /// w &= ~ow; returns true if anything survives.
+  bool (*subtract_with_any)(uint64_t* w, const uint64_t* ow, uint32_t n);
+  /// True if w and ow share any set bit.
+  bool (*intersects)(const uint64_t* w, const uint64_t* ow, uint32_t n);
+  /// True if w ⊆ ow.
+  bool (*subset_of)(const uint64_t* w, const uint64_t* ow, uint32_t n);
+  /// True if the word blocks are equal.
+  bool (*equals)(const uint64_t* w, const uint64_t* ow, uint32_t n);
+  /// True if no bit is set.
+  bool (*none)(const uint64_t* w, uint32_t n);
+  /// Number of set bits (hardware POPCNT on the vector legs).
+  int (*count)(const uint64_t* w, uint32_t n);
+  /// dst |= src, no flag — the row-at-a-time OR pass of `StateRel::Compose`
+  /// and the multi-word NFA step masks.
+  void (*or_accum)(uint64_t* dst, const uint64_t* src, uint32_t n);
+};
+
+/// The portable reference leg. Always built, on every architecture.
+const Kernels& Scalar();
+
+namespace internal {
+extern std::atomic<const Kernels*> g_active;
+const Kernels& ActivateSlow();
+}  // namespace internal
+
+/// The latched kernel set. First call detects the CPU (honoring
+/// `XPC_SIMD`), subsequent calls are one relaxed load — cheap enough for
+/// the `Bits` hot path.
+inline const Kernels& Active() {
+  const Kernels* k = internal::g_active.load(std::memory_order_relaxed);
+  if (__builtin_expect(k == nullptr, 0)) return internal::ActivateSlow();
+  return *k;
+}
+
+/// Re-latches the active kernel set by name ("scalar", "avx2", "neon").
+/// Returns false (leaving the latch unchanged) when the named leg is not
+/// runnable on this host. Test/bench hook; not thread-safe against
+/// concurrent hot-loop traffic.
+bool Select(const char* name);
+
+/// True when the named leg can run on this host.
+bool Available(const char* name);
+
+/// Name of the currently latched leg (latching it if needed).
+inline const char* ActiveName() { return Active().name; }
+
+/// Name of the leg auto-detection would pick on this host, ignoring the
+/// `XPC_SIMD` override — the "detected ISA" recorded in BENCH.json.
+const char* DetectedName();
+
+}  // namespace simd
+}  // namespace xpc
+
+#endif  // XPC_COMMON_SIMD_H_

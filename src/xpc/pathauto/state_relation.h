@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "xpc/common/bits.h"
+#include "xpc/common/simd.h"
 
 namespace xpc {
 
@@ -50,17 +51,9 @@ class StateRel {
 
   bool UnionWith(const StateRel& o) {
     if (flat_mode_ && o.flat_mode_) return flat_.UnionWith(o.flat_);
-    uint64_t diff = 0;
-    for (int i = 0; i < n_; ++i) {
-      uint64_t* w = row(i);
-      const uint64_t* ow = o.row(i);
-      for (uint32_t v = 0; v < wpr_; ++v) {
-        uint64_t merged = w[v] | ow[v];
-        diff |= merged ^ w[v];
-        w[v] = merged;
-      }
-    }
-    return diff != 0;
+    bool changed = false;
+    for (int i = 0; i < n_; ++i) changed |= UnionRow(row(i), o.row(i), wpr_);
+    return changed;
   }
 
   /// True when the relation is empty (equality with `StateRel(n)` for any
@@ -73,10 +66,17 @@ class StateRel {
     return true;
   }
 
-  /// this ∘ other.
+  /// this ∘ other: for every pair (i, j) ∈ this, dst row i accumulates
+  /// other's row j. The inner accumulation is a row-at-a-time OR pass over
+  /// the row-major buffer — the dispatched `or_accum` kernel once rows
+  /// exceed a cache line (DESIGN.md §2.10), an inlined sweep below that:
+  /// per-row work under 64 bytes doesn't buy back the call indirection,
+  /// and the inline loop is autovectorizable in place.
   StateRel Compose(const StateRel& other) const {
     StateRel out(n_);
     const uint32_t wpr = wpr_;
+    const simd::Kernels& kern = simd::Active();
+    const bool wide = wpr > kWideRowWords;
     for (int i = 0; i < n_; ++i) {
       const uint64_t* src = row(i);
       uint64_t* dst = out.row(i);
@@ -86,7 +86,11 @@ class StateRel {
           int j = static_cast<int>(w * 64) + __builtin_ctzll(bits);
           bits &= bits - 1;
           const uint64_t* oj = other.row(j);
-          for (uint32_t v = 0; v < wpr; ++v) dst[v] |= oj[v];
+          if (wide) {
+            kern.or_accum(dst, oj, wpr);
+          } else {
+            for (uint32_t v = 0; v < wpr; ++v) dst[v] |= oj[v];
+          }
         }
       }
     }
@@ -94,7 +98,8 @@ class StateRel {
   }
 
   /// Reflexive-transitive closure, in place (Warshall with row unions,
-  /// iterated to fixpoint — typically 1–2 rounds).
+  /// iterated to fixpoint — typically 1–2 rounds). Row merges go through
+  /// the same dispatched union kernel as `Bits::UnionWith`.
   void CloseReflexiveTransitive() {
     for (int i = 0; i < n_; ++i) Set(i, i);
     const uint32_t wpr = wpr_;
@@ -105,14 +110,7 @@ class StateRel {
         const uint64_t* rk = row(k);
         for (int i = 0; i < n_; ++i) {
           if (i == k || !Get(i, k)) continue;
-          uint64_t* ri = row(i);
-          uint64_t diff = 0;
-          for (uint32_t w = 0; w < wpr; ++w) {
-            uint64_t merged = ri[w] | rk[w];
-            diff |= merged ^ ri[w];
-            ri[w] = merged;
-          }
-          changed |= diff != 0;
+          changed |= UnionRow(row(i), rk, wpr);
         }
       }
     }
@@ -159,6 +157,24 @@ class StateRel {
   }
 
  private:
+  /// Rows up to this many words (one 64-byte cache line) are swept by the
+  /// inlined loops; longer rows go through the dispatched kernels. Mirrors
+  /// the NFA multi-word step cutoff in automata/nfa.cc.
+  static constexpr uint32_t kWideRowWords = 8;
+
+  /// One row-union with change tracking: dispatched on wide rows,
+  /// branch-free inline otherwise.
+  static bool UnionRow(uint64_t* w, const uint64_t* ow, uint32_t wpr) {
+    if (wpr > kWideRowWords) return simd::Active().union_with(w, ow, wpr);
+    uint64_t diff = 0;
+    for (uint32_t v = 0; v < wpr; ++v) {
+      uint64_t merged = w[v] | ow[v];
+      diff |= merged ^ w[v];
+      w[v] = merged;
+    }
+    return diff != 0;
+  }
+
   /// Word block of row i (`wpr_` words). One pointer add in flat mode; a
   /// per-row object hop in the pre-PR representation.
   uint64_t* row(int i) {

@@ -1,0 +1,325 @@
+// Randomized equivalence battery for the dispatched SIMD kernels
+// (DESIGN.md §2.10): every ISA leg reachable on this host must agree
+// *bit-exactly* with the scalar reference — resulting words, boolean flags
+// (changed / intersected / any-left), counts — across operand sizes that
+// straddle the vector strides (64/128/192/256 bits and beyond) and the
+// inline/heap representation boundary of `Bits`, on both `XPC_ARENA` legs.
+//
+// Runs in its own binary (`ctest -L simd`) so the leg latch can be
+// re-pointed with `simd::Select()` without racing the main suite.
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "xpc/common/arena.h"
+#include "xpc/common/bits.h"
+#include "xpc/common/simd.h"
+#include "xpc/pathauto/state_relation.h"
+
+namespace xpc {
+namespace {
+
+// Every leg compiled into this binary that the host can actually run.
+std::vector<const char*> ReachableLegs() {
+  std::vector<const char*> legs = {"scalar"};
+  for (const char* name : {"avx2", "neon"}) {
+    if (simd::Available(name)) legs.push_back(name);
+  }
+  return legs;
+}
+
+// Word counts straddling the vector strides: 1 (inline), 2 (inline cap),
+// 3 (first dispatched / first AVX2 tail), 4 (one full 256-bit vector),
+// 5, 7, 8, 13, 16 (multi-vector with and without tails).
+const uint32_t kWordCounts[] = {1, 2, 3, 4, 5, 7, 8, 13, 16};
+
+std::vector<uint64_t> RandomWords(std::mt19937_64* rng, uint32_t n, int density) {
+  std::vector<uint64_t> w(n);
+  for (auto& x : w) {
+    x = (*rng)();
+    // Sparser operands exercise the none/intersects early-outs.
+    for (int d = 0; d < density; ++d) x &= (*rng)();
+  }
+  return w;
+}
+
+// Restores the latched leg (and arena gate) after each test so suite order
+// never leaks a forced leg into later tests. Both restore to the *ambient*
+// setting — this binary also runs under CI's XPC_SIMD=scalar / XPC_ARENA=0
+// passes, and must not quietly re-enable what those legs disabled.
+class SimdKernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ambient_leg_ = simd::ActiveName();
+    ambient_arena_ = ArenaEnabled();
+  }
+  void TearDown() override {
+    ASSERT_TRUE(simd::Select(ambient_leg_));
+    SetArenaEnabled(ambient_arena_);
+  }
+
+ private:
+  const char* ambient_leg_ = nullptr;
+  bool ambient_arena_ = true;
+};
+
+// --- Raw kernel table equivalence -------------------------------------
+
+TEST_F(SimdKernelTest, RawKernelsMatchScalarOnRandomOperands) {
+  const simd::Kernels& ref = simd::Scalar();
+  std::mt19937_64 rng(0x51D0A11ED);
+  for (const char* leg : ReachableLegs()) {
+    ASSERT_TRUE(simd::Select(leg)) << leg;
+    const simd::Kernels& k = simd::Active();
+    ASSERT_STREQ(k.name, leg);
+    for (uint32_t n : kWordCounts) {
+      for (int density = 0; density < 4; ++density) {
+        for (int trial = 0; trial < 24; ++trial) {
+          const std::vector<uint64_t> a = RandomWords(&rng, n, density);
+          const std::vector<uint64_t> b = RandomWords(&rng, n, density);
+          SCOPED_TRACE(std::string(leg) + " n=" + std::to_string(n) +
+                       " density=" + std::to_string(density));
+
+          // Pure predicates first (no mutation).
+          EXPECT_EQ(k.intersects(a.data(), b.data(), n),
+                    ref.intersects(a.data(), b.data(), n));
+          EXPECT_EQ(k.subset_of(a.data(), b.data(), n),
+                    ref.subset_of(a.data(), b.data(), n));
+          EXPECT_EQ(k.equals(a.data(), b.data(), n),
+                    ref.equals(a.data(), b.data(), n));
+          EXPECT_TRUE(k.equals(a.data(), a.data(), n));
+          EXPECT_EQ(k.none(a.data(), n), ref.none(a.data(), n));
+          EXPECT_EQ(k.count(a.data(), n), ref.count(a.data(), n));
+
+          // Mutating kernels: run the leg and the reference on separate
+          // copies, demand identical words *and* identical flags.
+          auto check = [&](auto&& call) {
+            std::vector<uint64_t> got = a;
+            std::vector<uint64_t> want = a;
+            auto gf = call(k, got.data());
+            auto wf = call(ref, want.data());
+            EXPECT_EQ(gf, wf);
+            EXPECT_EQ(got, want);
+          };
+          check([&](const simd::Kernels& kk, uint64_t* w) {
+            return kk.union_with(w, b.data(), n);
+          });
+          check([&](const simd::Kernels& kk, uint64_t* w) {
+            return kk.union_with_intersects(w, b.data(), n);
+          });
+          check([&](const simd::Kernels& kk, uint64_t* w) {
+            kk.intersect_with(w, b.data(), n);
+            return 0;
+          });
+          check([&](const simd::Kernels& kk, uint64_t* w) {
+            kk.subtract_with(w, b.data(), n);
+            return 0;
+          });
+          check([&](const simd::Kernels& kk, uint64_t* w) {
+            return kk.subtract_with_any(w, b.data(), n);
+          });
+          check([&](const simd::Kernels& kk, uint64_t* w) {
+            kk.or_accum(w, b.data(), n);
+            return 0;
+          });
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelTest, RawKernelFlagEdgeCases) {
+  for (const char* leg : ReachableLegs()) {
+    ASSERT_TRUE(simd::Select(leg)) << leg;
+    const simd::Kernels& k = simd::Active();
+    for (uint32_t n : kWordCounts) {
+      SCOPED_TRACE(std::string(leg) + " n=" + std::to_string(n));
+      std::vector<uint64_t> zero(n, 0);
+      std::vector<uint64_t> ones(n, ~uint64_t{0});
+      // Disjoint halves: overlap only through the union.
+      std::vector<uint64_t> lo(n, 0x5555555555555555ULL);
+      std::vector<uint64_t> hi(n, 0xAAAAAAAAAAAAAAAAULL);
+
+      EXPECT_TRUE(k.none(zero.data(), n));
+      EXPECT_FALSE(k.none(lo.data(), n));
+      EXPECT_EQ(k.count(ones.data(), n), static_cast<int>(n) * 64);
+      EXPECT_TRUE(k.subset_of(lo.data(), ones.data(), n));
+      EXPECT_FALSE(k.subset_of(ones.data(), lo.data(), n));
+      EXPECT_FALSE(k.intersects(lo.data(), hi.data(), n));
+
+      // union_with: no-op union reports no change.
+      std::vector<uint64_t> w = lo;
+      EXPECT_FALSE(k.union_with(w.data(), zero.data(), n));
+      EXPECT_FALSE(k.union_with(w.data(), lo.data(), n));
+      EXPECT_TRUE(k.union_with(w.data(), hi.data(), n));
+      EXPECT_EQ(w, ones);
+
+      // union_with_intersects reports *pre*-union overlap.
+      w = lo;
+      EXPECT_FALSE(k.union_with_intersects(w.data(), hi.data(), n));
+      EXPECT_EQ(w, ones);
+      EXPECT_TRUE(k.union_with_intersects(w.data(), hi.data(), n));
+
+      // subtract_with_any: survival flag.
+      w = ones;
+      EXPECT_TRUE(k.subtract_with_any(w.data(), hi.data(), n));
+      EXPECT_EQ(w, lo);
+      EXPECT_FALSE(k.subtract_with_any(w.data(), lo.data(), n));
+      EXPECT_TRUE(k.none(w.data(), n));
+
+      // Change confined to the last word only — tail handling.
+      w = zero;
+      std::vector<uint64_t> last(n, 0);
+      last[n - 1] = uint64_t{1} << 63;
+      EXPECT_TRUE(k.union_with(w.data(), last.data(), n));
+      EXPECT_FALSE(k.union_with(w.data(), last.data(), n));
+      EXPECT_EQ(k.count(w.data(), n), 1);
+    }
+  }
+}
+
+// --- Bits-level equivalence across legs and layout gates ---------------
+
+// Bit sizes straddling word boundaries and the inline (≤128-bit) / heap
+// boundary of `Bits`.
+const int kBitSizes[] = {1, 63, 64, 65, 127, 128, 129, 191, 192, 193,
+                         255, 256, 257, 448, 992, 1023};
+
+Bits RandomBits(std::mt19937_64* rng, int size, int density) {
+  Bits b(size);
+  std::uniform_int_distribution<int> coin(0, density);
+  for (int i = 0; i < size; ++i) {
+    if (coin(*rng) == 0) b.Set(i);
+  }
+  return b;
+}
+
+TEST_F(SimdKernelTest, BitsOpsAgreeAcrossLegsAndLayouts) {
+  struct Result {
+    std::vector<uint64_t> uw, ui, iw, sw, sa;
+    bool f_uw, f_ui, f_sa, intersects, subset, eq, none;
+    int count;
+    size_t hash;
+    bool operator==(const Result&) const = default;
+  };
+  std::mt19937_64 rng(0xB175C0DE);
+  for (int size : kBitSizes) {
+    for (int density = 1; density <= 5; density += 2) {
+      const Bits a0 = RandomBits(&rng, size, density);
+      const Bits b0 = RandomBits(&rng, size, density);
+      std::vector<Result> results;
+      std::vector<std::string> tags;
+      for (bool arena : {true, false}) {
+        SetArenaEnabled(arena);
+        // Rebuild under the latched layout so the representation (inline /
+        // arena / heap block) matches the leg under test.
+        Bits a(size), b(size);
+        a0.ForEach([&](int i) { a.Set(i); });
+        b0.ForEach([&](int i) { b.Set(i); });
+        for (const char* leg : ReachableLegs()) {
+          ASSERT_TRUE(simd::Select(leg)) << leg;
+          Result r;
+          auto words_of = [](const Bits& x) {
+            return std::vector<uint64_t>(x.cwords(), x.cwords() + x.num_words());
+          };
+          Bits t = a;
+          r.f_uw = t.UnionWith(b);
+          r.uw = words_of(t);
+          t = a;
+          r.f_ui = t.UnionWithIntersects(b);
+          r.ui = words_of(t);
+          t = a;
+          t.IntersectWith(b);
+          r.iw = words_of(t);
+          t = a;
+          t.SubtractWith(b);
+          r.sw = words_of(t);
+          t = a;
+          r.f_sa = t.SubtractWithAny(b);
+          r.sa = words_of(t);
+          r.intersects = a.Intersects(b);
+          r.subset = a.SubsetOf(b);
+          r.eq = (a == b);
+          r.none = a.None();
+          r.count = a.Count();
+          r.hash = a.Hash();
+          results.push_back(std::move(r));
+          tags.push_back(std::string(arena ? "arena/" : "heap/") + leg);
+        }
+      }
+      for (size_t i = 1; i < results.size(); ++i) {
+        EXPECT_EQ(results[i], results[0])
+            << "size=" << size << " density=" << density << ": " << tags[i]
+            << " disagrees with " << tags[0];
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelTest, StateRelComposeCloseAgreeAcrossLegs) {
+  std::mt19937_64 rng(0xC0117051);
+  for (int n : {7, 64, 65, 130, 200}) {
+    std::uniform_int_distribution<int> st(0, n - 1);
+    // A sparse random relation pair, rebuilt identically per leg.
+    std::vector<std::pair<int, int>> ra, rb;
+    for (int i = 0; i < 3 * n; ++i) {
+      ra.emplace_back(st(rng), st(rng));
+      rb.emplace_back(st(rng), st(rng));
+    }
+    std::vector<size_t> hashes;
+    std::vector<bool> changed;
+    for (const char* leg : ReachableLegs()) {
+      ASSERT_TRUE(simd::Select(leg)) << leg;
+      StateRel a(n), b(n);
+      for (auto [i, j] : ra) a.Set(i, j);
+      for (auto [i, j] : rb) b.Set(i, j);
+      StateRel c = a.Compose(b);
+      c.CloseReflexiveTransitive();
+      StateRel u = a;
+      changed.push_back(u.UnionWith(b));
+      hashes.push_back(c.Hash() * 31 + u.Hash());
+    }
+    for (size_t i = 1; i < hashes.size(); ++i) {
+      EXPECT_EQ(hashes[i], hashes[0]) << "n=" << n;
+      EXPECT_EQ(changed[i], changed[0]) << "n=" << n;
+    }
+  }
+}
+
+// --- Dispatch plumbing -------------------------------------------------
+
+TEST_F(SimdKernelTest, SelectAndAvailability) {
+  EXPECT_TRUE(simd::Available("scalar"));
+  EXPECT_FALSE(simd::Available("avx512"));
+  EXPECT_FALSE(simd::Select("avx512"));
+  ASSERT_TRUE(simd::Select("scalar"));
+  EXPECT_STREQ(simd::ActiveName(), "scalar");
+  // DetectedName ignores the latch and any XPC_SIMD override.
+  EXPECT_TRUE(simd::Available(simd::DetectedName()));
+#if defined(__x86_64__)
+  EXPECT_FALSE(simd::Available("neon"));
+#elif defined(__aarch64__)
+  EXPECT_TRUE(simd::Available("neon"));
+  EXPECT_FALSE(simd::Available("avx2"));
+#endif
+}
+
+TEST_F(SimdKernelTest, ArenaWordBlocksAreCacheLineAligned) {
+  // The vector kernels rely on dispatched-width blocks (more than one
+  // cache line of words) never splitting cache lines; interleave
+  // unaligned byte allocations to stress the fixup.
+  Arena arena;
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 200; ++i) {
+    arena.Alloc(1 + static_cast<size_t>(rng() % 40));
+    uint64_t* w = arena.AllocWords(9 + static_cast<size_t>(rng() % 24));
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(w) % Arena::kWordBlockAlign, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace xpc

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "xpc/common/arena.h"
 #include "xpc/common/bits.h"
 #include "xpc/eval/relation.h"
 #include "xpc/pathauto/state_relation.h"
@@ -69,6 +70,49 @@ TEST(BitsDeathTest, BinaryOpsRejectSizeMismatch) {
   EXPECT_DEATH(a.IntersectWith(b), "size_ == other.size_");
   EXPECT_DEATH(a.SubtractWith(b), "size_ == other.size_");
 #endif
+}
+
+// Alignment invariant of DESIGN.md §2.10: word blocks wide enough to reach
+// the dispatched kernels (more than one 64-byte cache line) start on a
+// cache line, so the vector loads never split lines. Narrower requests
+// stay on the cheap 8-byte bump path with no padding — cache density of
+// the small Hintikka sets beats an alignment guarantee their inlined
+// sweeps never exploit.
+TEST(Arena, DispatchWidthBlocksAreCacheLineAligned) {
+  Arena arena;
+  for (size_t n : {9u, 16u, 31u, 128u}) {
+    // Deliberately knock the bump pointer off alignment first.
+    arena.Alloc(8);
+    uint64_t* w = arena.AllocWords(n);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(w) % Arena::kWordBlockAlign, 0u)
+        << "n=" << n;
+    // AllocAligned must also hold across a block refill boundary.
+    void* big = arena.AllocAligned(size_t{1} << 18, Arena::kWordBlockAlign);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(big) % Arena::kWordBlockAlign, 0u);
+  }
+}
+
+TEST(Arena, NarrowWordBlocksStayDense) {
+  // Sub-cache-line blocks must pack back to back: padding them would double
+  // the footprint of the 3-8 word bitsets that dominate the sat engines.
+  Arena arena;
+  uint64_t* a = arena.AllocWords(3);
+  uint64_t* b = arena.AllocWords(3);
+  EXPECT_EQ(b, a + 3);
+}
+
+TEST(Bits, HeapBlocksAreCacheLineAligned) {
+  // With the arena leg off, dispatched-width Bits fall back to aligned heap
+  // blocks; the kernels' alignment expectations must hold there too.
+  const bool prev = ArenaEnabled();
+  SetArenaEnabled(false);
+  for (int size : {577, 992, 4096}) {
+    Bits b(size);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(b.cwords()) % Arena::kWordBlockAlign,
+              0u)
+        << "size=" << size;
+  }
+  SetArenaEnabled(prev);
 }
 
 TEST(Bits, ForEachOrderAndHash) {
