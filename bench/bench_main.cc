@@ -33,6 +33,7 @@
 #endif
 
 #include "bench_registry.h"
+#include "xpc/common/arena.h"
 #include "xpc/common/simd.h"
 #include "xpc/common/stats.h"
 
@@ -206,6 +207,16 @@ int main(int argc, char** argv) {
                       .count() /
                   1000.0;
     rec.stats = collector.Snapshot();
+    // The env gates latch once per process, so their resolution gauges land
+    // in whichever bench's sink happens to be installed first. Stamp the
+    // latched state into every record instead: gate.* counters in BENCH.json
+    // are then order-independent and comparable against the baseline.
+    xpc::ArenaGateStatus arena_gate = xpc::ArenaGateState();
+    rec.stats.values[static_cast<int>(xpc::Metric::kGateArenaResolved)] =
+        arena_gate.resolved + 1;
+    xpc::simd::SimdGateStatus simd_gate = xpc::simd::SimdGateState();
+    rec.stats.values[static_cast<int>(xpc::Metric::kGateSimdResolved)] =
+        xpc::simd::LegIndex(simd_gate.resolved);
     if (rec.exit_code != 0) ++failures;
     records.push_back(std::move(rec));
     std::printf("==== %s: %.1f ms (exit %d) ====\n\n", b.name, records.back().real_ms,

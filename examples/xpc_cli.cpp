@@ -8,6 +8,7 @@
 //   xpc_cli eval     '<path-expr>' '<tree>'
 //   xpc_cli fragment '<path-expr>'
 //   xpc_cli [--stats-json] batch <queries-file> [--edtd file] [--repeat N]
+//   xpc_cli [--stats-json] stream <queries-file> '<tree>' [--edtd file] [--prune-subsumed]
 //
 // `--stats-json` (anywhere on the command line) makes stdout exactly one
 // JSON object with the query verdict plus the full solver telemetry:
@@ -22,12 +23,21 @@
 // `--repeat N` re-submits the whole workload N times, which makes the
 // cache hit rate and warm/cold timing observable.
 //
+// `stream` registers one streamable path per line of the queries file,
+// shrinks the bundle through the BundleOptimizer (pass `--prune-subsumed`
+// to also drop queries provably covered by another registered query),
+// compiles the survivors into ONE shared automaton, and runs the tree's
+// SAX event stream through it in a single pass, reporting each query's
+// disposition and matched node ordinals (preorder, root = 0).
+//
 // Examples:
 //   xpc_cli contains 'down[a]' 'down'
 //   xpc_cli sat 'section and <down[figure]> and not(<down[section]>)'
 //   xpc_cli eval 'down*[b]' 'a(b,a(b))'
 //   xpc_cli batch queries.txt --repeat 2
+//   xpc_cli stream queries.txt 'a(b,a(b))'
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -52,8 +62,30 @@ int Usage() {
                "       xpc_cli [--stats-json] contains|equiv '<alpha>' '<beta>' [edtd-file]\n"
                "       xpc_cli eval '<path>' '<tree>'\n"
                "       xpc_cli fragment '<path>'\n"
-               "       xpc_cli [--stats-json] batch <queries-file> [--edtd file] [--repeat N]\n");
+               "       xpc_cli [--stats-json] batch <queries-file> [--edtd file] [--repeat N]\n"
+               "       xpc_cli [--stats-json] stream <queries-file> '<tree>' [--edtd file] "
+               "[--prune-subsumed]\n");
   return 2;
+}
+
+// Strict numeric flag parsing: the whole token must be a decimal integer in
+// [min, max]. std::atoi silently maps junk ("3x", "", "99999999999") to a
+// number; a mistyped flag value must be a usage error, not a quiet default.
+bool ParseIntFlag(const char* flag, const char* token, long min, long max, long* out) {
+  if (token == nullptr || *token == '\0') {
+    std::fprintf(stderr, "error: %s expects an integer\n", flag);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(token, &end, 10);
+  if (*end != '\0' || errno == ERANGE || value < min || value > max) {
+    std::fprintf(stderr, "error: %s expects an integer in [%ld, %ld], got \"%s\"\n", flag, min,
+                 max, token);
+    return false;
+  }
+  *out = value;
+  return true;
 }
 
 std::optional<xpc::Edtd> LoadEdtd(const char* file) {
@@ -188,8 +220,9 @@ int main(int argc, char** argv) {
       if (arg == "--edtd" && i + 1 < argc) {
         edtd_file = argv[++i];
       } else if (arg == "--repeat" && i + 1 < argc) {
-        repeat = std::atoi(argv[++i]);
-        if (repeat < 1) repeat = 1;
+        long value = 0;
+        if (!ParseIntFlag("--repeat", argv[++i], 1, 1000000, &value)) return Usage();
+        repeat = static_cast<int>(value);
       } else {
         return Usage();
       }
@@ -251,6 +284,96 @@ int main(int argc, char** argv) {
       PrintStatsJson("batch", unknown ? "unknown" : "decided", "session", session);
     }
     return unknown ? 3 : 0;
+  }
+
+  if (cmd == "stream") {
+    if (argc < 4) return Usage();
+    const char* queries_file = argv[2];
+    auto tree = xpc::ParseTree(argv[3]);
+    if (!tree.ok()) {
+      std::fprintf(stderr, "error: %s\n", tree.error().c_str());
+      return 1;
+    }
+    const char* edtd_file = nullptr;
+    xpc::BundleOptions options;
+    for (int i = 4; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--edtd" && i + 1 < argc) {
+        edtd_file = argv[++i];
+      } else if (arg == "--prune-subsumed") {
+        options.prune_subsumed = true;
+      } else {
+        return Usage();
+      }
+    }
+    if (edtd_file != nullptr) {
+      auto edtd = LoadEdtd(edtd_file);
+      if (!edtd) return 1;
+      session.SetEdtd(*edtd);
+    }
+
+    std::ifstream in(queries_file);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open queries file %s\n", queries_file);
+      return 1;
+    }
+    std::vector<xpc::PathPtr> queries;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      size_t first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] == '#') continue;
+      auto alpha = xpc::ParsePath(line);
+      if (!alpha.ok()) {
+        std::fprintf(stderr, "error: %s:%d: %s\n", queries_file, lineno, alpha.error().c_str());
+        return 1;
+      }
+      queries.push_back(alpha.value());
+    }
+
+    xpc::BundleOptimizer optimizer(&session, options);
+    xpc::OptimizedBundle plan = optimizer.Optimize(queries);
+    xpc::CompiledBundle bundle =
+        xpc::CompileBundle(plan.compile_set, static_cast<int>(queries.size()));
+
+    xpc::StreamMatcher matcher(&bundle);
+    std::vector<std::vector<int64_t>> hits(queries.size());
+    matcher.SetCallback(
+        [&](int32_t query, int64_t ordinal) { hits[query].push_back(ordinal); });
+    matcher.BeginDocument();
+    for (const xpc::StreamEvent& event : xpc::EventsOf(tree.value())) {
+      switch (event.kind) {
+        case xpc::StreamEventKind::kStartElement: matcher.StartElement(event.label); break;
+        case xpc::StreamEventKind::kEndElement: matcher.EndElement(); break;
+        case xpc::StreamEventKind::kText: matcher.Text(); break;
+      }
+    }
+    matcher.EndDocument();
+
+    static const char* const kDispositions[] = {"active", "aliased", "subsumed", "unsat",
+                                                "rejected"};
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const xpc::BundleQueryInfo& info = plan.queries[q];
+      std::fprintf(g_human, "q%zu %-9s", q, kDispositions[static_cast<int>(info.disposition)]);
+      if (info.target >= 0) std::fprintf(g_human, " -> q%d", info.target);
+      if (!info.reason.empty()) std::fprintf(g_human, " (%s)", info.reason.c_str());
+      std::fprintf(g_human, "  %s\n", xpc::ToString(queries[q]).c_str());
+      if (info.disposition == xpc::BundleQueryInfo::Disposition::kActive ||
+          info.disposition == xpc::BundleQueryInfo::Disposition::kAliased) {
+        std::fprintf(g_human, "    matches:");
+        for (int64_t ordinal : hits[q]) std::fprintf(g_human, " %lld", (long long)ordinal);
+        std::fprintf(g_human, "\n");
+      }
+    }
+    std::fprintf(g_human,
+                 "bundle: %d registered, %d active, %d aliased, %d subsumed, %d unsat, "
+                 "%d rejected; automaton: %d states, %d cached sets, %lld events, %lld matches\n",
+                 plan.num_queries, plan.num_active, plan.num_aliased, plan.num_subsumed,
+                 plan.num_unsat, plan.num_rejected, bundle.nfa.num_states(),
+                 matcher.dfa_states(), (long long)matcher.events(), (long long)matcher.matches());
+    if (stats_json) PrintStatsJson("stream", "ok", "stream", session);
+    return 0;
   }
 
   if (cmd == "fragment") {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   xpc_fuzz [--seed N] [--cases M]
-//            [--oracle all|roundtrip|translations|engines|session|o5|fastpath]
+//            [--oracle all|roundtrip|translations|engines|session|o5|fastpath|o6|stream]
 //            [--trees K] [--max-nodes K] [--max-ops K] [--no-shrink]
 //            [--corpus DIR] [--fail-dir DIR]
 //
@@ -13,6 +13,8 @@
 //   O4  Session-cached results equal cold results            (session)
 //   O5  PTIME fast paths agree with the full engines and
 //       never misroute                                       (o5 / fastpath)
+//   O6  shared streaming automaton ≡ per-query automata ≡
+//       evaluator root matches; bundle pruning sound         (o6 / stream)
 //
 // Failures are delta-minimized and printed in the regression-corpus `.case`
 // format, ready to check in under tests/fuzz_corpus/. `--corpus DIR` replays
@@ -44,7 +46,7 @@ namespace {
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
                "usage: xpc_fuzz [--seed N] [--cases M] [--oracle all|roundtrip|translations|"
-               "engines|session|o5|fastpath]\n"
+               "engines|session|o5|fastpath|o6|stream]\n"
                "                [--trees K] [--max-nodes K] [--max-ops K] [--no-shrink] "
                "[--corpus DIR] [--fail-dir DIR]\n");
   std::exit(2);
@@ -96,8 +98,9 @@ int main(int argc, char** argv) {
       options.engines = which == "all" || which == "engines";
       options.session = which == "all" || which == "session";
       options.fastpaths = which == "all" || which == "o5" || which == "fastpath";
+      options.streams = which == "all" || which == "o6" || which == "stream";
       if (!options.roundtrip && !options.translations && !options.engines && !options.session &&
-          !options.fastpaths) {
+          !options.fastpaths && !options.streams) {
         std::fprintf(stderr, "xpc_fuzz: unknown oracle family `%s`\n", which.c_str());
         Usage();
       }

@@ -1,6 +1,7 @@
 #include "xpc/common/arena.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <new>
@@ -32,11 +33,65 @@ BlockCache& Cache() {
 
 }  // namespace
 
-int internal::ArenaEnabledSlow() {
+namespace {
+
+// Latest XPC_ARENA resolution, for ArenaGateState() and the one-time
+// warning. Guarded by its own mutex: resolution is a cold path.
+std::mutex g_arena_gate_mu;
+ArenaGateStatus g_arena_gate;
+bool g_arena_gate_warned = false;
+
+}  // namespace
+
+namespace {
+
+// Reads XPC_ARENA and records the outcome (status snapshot, one-time
+// warning, gate metrics) without touching the `g_arena_enabled` latch —
+// `ArenaGateState()` must be able to resolve lazily without clobbering a
+// programmatic `SetArenaEnabled()`.
+ArenaGateStatus ResolveArenaGate() {
   const char* env = std::getenv("XPC_ARENA");
-  int v = (env != nullptr && env[0] == '0' && env[1] == '\0') ? 0 : 1;
-  g_arena_enabled.store(v, std::memory_order_relaxed);
-  return v;
+  // Resolution semantics are unchanged: exactly "0" disables, anything else
+  // (or unset) enables. But an unrecognized value — anything other than
+  // unset / "0" / "1" — now signals instead of silently running the arena
+  // leg the operator may not have intended.
+  ArenaGateStatus status;
+  status.from_env = env != nullptr;
+  status.recognized =
+      env == nullptr || ((env[0] == '0' || env[0] == '1') && env[1] == '\0');
+  status.resolved = (env != nullptr && env[0] == '0' && env[1] == '\0') ? 0 : 1;
+  {
+    std::lock_guard<std::mutex> lock(g_arena_gate_mu);
+    g_arena_gate = status;
+    if (!status.recognized && !g_arena_gate_warned) {
+      g_arena_gate_warned = true;
+      std::fprintf(stderr,
+                   "xpc: warning: unrecognized XPC_ARENA value \"%s\" "
+                   "(expected \"0\" or \"1\"); arena layout stays enabled\n",
+                   env);
+    }
+  }
+  StatsGaugeMax(Metric::kGateArenaResolved, status.resolved + 1);
+  if (!status.recognized) StatsAdd(Metric::kGateArenaUnrecognized);
+  return status;
+}
+
+}  // namespace
+
+int internal::ArenaEnabledSlow() {
+  ArenaGateStatus status = ResolveArenaGate();
+  g_arena_enabled.store(status.resolved, std::memory_order_relaxed);
+  return status.resolved;
+}
+
+ArenaGateStatus ArenaGateState() {
+  {
+    std::lock_guard<std::mutex> lock(g_arena_gate_mu);
+    if (g_arena_gate.resolved >= 0) return g_arena_gate;
+  }
+  ResolveArenaGate();  // No env resolve ran yet; record one.
+  std::lock_guard<std::mutex> lock(g_arena_gate_mu);
+  return g_arena_gate;
 }
 
 Arena* Arena::Current() { return tls_arena; }

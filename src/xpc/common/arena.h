@@ -120,6 +120,19 @@ inline std::atomic<int> g_arena_enabled{-1};
 int ArenaEnabledSlow();
 }  // namespace internal
 
+/// How the `XPC_ARENA` gate last resolved (valid once `ArenaEnabled()` has
+/// run, i.e. `resolved >= 0`). Operator typos like `XPC_ARENA=off` used to
+/// latch silently; now they warn once on stderr, bump
+/// `gate.arena_unrecognized`, and are visible here for tests.
+struct ArenaGateStatus {
+  bool from_env = false;    ///< XPC_ARENA was set in the environment.
+  bool recognized = true;   ///< Value was unset, "0" or "1".
+  int resolved = -1;        ///< 0 = heap layout, 1 = arena layout.
+};
+
+/// Snapshot of the latest gate resolution (forces a resolve if none ran).
+ArenaGateStatus ArenaGateState();
+
 /// Runtime gate for the whole data-oriented layout: arenas, the
 /// open-addressing pool tables, *and* the inline-Bits representation.
 /// Defaults to the `XPC_ARENA` environment variable ("0" disables;

@@ -1,8 +1,12 @@
 #include "xpc/common/simd.h"
 
 #include <bit>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+
+#include "xpc/common/stats.h"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define XPC_SIMD_HAVE_AVX2 1
@@ -623,23 +627,85 @@ const Kernels* Detect() {
 
 }  // namespace
 
+namespace {
+
+// Latest env-driven latch outcome, for SimdGateState() and the one-time
+// warning. Guarded: latching is a cold path.
+std::mutex g_simd_gate_mu;
+SimdGateStatus g_simd_gate;
+bool g_simd_gate_warned = false;
+
+// Resolves XPC_SIMD to a kernel set and records the outcome. Fallback
+// semantics are unchanged (unknown or unrunnable name → scalar), but the
+// two failure modes now signal distinctly instead of latching silently.
+const Kernels* ResolveSimdGate() {
+  SimdGateStatus status;
+  const Kernels* pick = nullptr;
+  const char* env = std::getenv("XPC_SIMD");
+  if (env != nullptr) {
+    status.from_env = true;
+    status.recognized = LegIndex(env) != 0;
+    pick = FindLeg(env);
+    status.runnable = pick != nullptr;
+    if (pick == nullptr) pick = &kScalar;
+  } else {
+    pick = Detect();
+  }
+  status.resolved = pick->name;
+  {
+    std::lock_guard<std::mutex> lock(g_simd_gate_mu);
+    g_simd_gate = status;
+    if (status.from_env && !status.runnable && !g_simd_gate_warned) {
+      g_simd_gate_warned = true;
+      if (!status.recognized) {
+        std::fprintf(stderr,
+                     "xpc: warning: unrecognized XPC_SIMD value \"%s\" "
+                     "(expected scalar, avx2 or neon); falling back to "
+                     "scalar kernels\n",
+                     env);
+      } else {
+        std::fprintf(stderr,
+                     "xpc: warning: XPC_SIMD=%s names a leg this host "
+                     "cannot run; falling back to scalar kernels\n",
+                     env);
+      }
+    }
+  }
+  StatsGaugeMax(Metric::kGateSimdResolved, LegIndex(pick->name));
+  if (status.from_env && !status.recognized) StatsAdd(Metric::kGateSimdUnrecognized);
+  return pick;
+}
+
+}  // namespace
+
 namespace internal {
 
 std::atomic<const Kernels*> g_active{nullptr};
 
 const Kernels& ActivateSlow() {
-  const Kernels* pick = nullptr;
-  if (const char* env = std::getenv("XPC_SIMD")) {
-    pick = FindLeg(env);  // Unknown or unrunnable name: fall through to scalar.
-    if (pick == nullptr) pick = &kScalar;
-  } else {
-    pick = Detect();
-  }
+  const Kernels* pick = ResolveSimdGate();
   g_active.store(pick, std::memory_order_relaxed);
   return *pick;
 }
 
 }  // namespace internal
+
+int LegIndex(const char* name) {
+  if (std::strcmp(name, "scalar") == 0) return 1;
+  if (std::strcmp(name, "avx2") == 0) return 2;
+  if (std::strcmp(name, "neon") == 0) return 3;
+  return 0;
+}
+
+SimdGateStatus SimdGateState() {
+  {
+    std::lock_guard<std::mutex> lock(g_simd_gate_mu);
+    if (g_simd_gate.resolved != nullptr) return g_simd_gate;
+  }
+  ResolveSimdGate();  // No env resolve ran yet; record one (latch untouched).
+  std::lock_guard<std::mutex> lock(g_simd_gate_mu);
+  return g_simd_gate;
+}
 
 bool Select(const char* name) {
   const Kernels* leg = FindLeg(name);

@@ -94,6 +94,26 @@ inline const char* ActiveName() { return Active().name; }
 /// `XPC_SIMD` override — the "detected ISA" recorded in BENCH.json.
 const char* DetectedName();
 
+/// How the `XPC_SIMD` latch last resolved from the environment (valid once
+/// `resolved` is non-null). A typo like `XPC_SIMD=avx512` used to fall to
+/// scalar silently; now it warns once on stderr, bumps
+/// `gate.simd_unrecognized`, and is distinguishable here from a *known* leg
+/// the host merely cannot run (`recognized && !runnable`).
+struct SimdGateStatus {
+  bool from_env = false;     ///< XPC_SIMD was set in the environment.
+  bool recognized = true;    ///< Unset, or one of "scalar"/"avx2"/"neon".
+  bool runnable = true;      ///< The requested leg can run on this host.
+  const char* resolved = nullptr;  ///< Name of the leg actually latched.
+};
+
+/// Snapshot of the latest env-driven latch (forces one if none ran). A later
+/// programmatic `Select()` changes `Active()` but not this record.
+SimdGateStatus SimdGateState();
+
+/// 1-based index of a leg name in {scalar, avx2, neon} — the value the
+/// `gate.simd_resolved` gauge records; 0 for an unknown name.
+int LegIndex(const char* name);
+
 }  // namespace simd
 }  // namespace xpc
 

@@ -83,6 +83,25 @@ namespace xpc {
   X(kArenaBytesReserved, "arena.bytes_reserved", kGauge)                      \
   X(kArenaResets, "arena.resets", kCounter)                                   \
   X(kBitsInlineHits, "bits.inline_hits", kCounter)                            \
+  /* env gates: resolved configuration, recorded at latch time and patched   \
+     into Session::telemetry() snapshots. `*_resolved` gauges are 1-based    \
+     (0 = never resolved): arena 1=off 2=on; simd = 1 + leg index in         \
+     {scalar, avx2, neon}. `*_unrecognized` counts latches that saw an       \
+     env value the gate did not recognize. */                                 \
+  X(kGateArenaResolved, "gate.arena_resolved", kGauge)                        \
+  X(kGateArenaUnrecognized, "gate.arena_unrecognized", kCounter)              \
+  X(kGateSimdResolved, "gate.simd_resolved", kGauge)                          \
+  X(kGateSimdUnrecognized, "gate.simd_unrecognized", kCounter)                \
+  /* streaming matcher (multi-query content routing, DESIGN.md §2.11) */     \
+  X(kStreamCompile, "stream.compile", kTimer)                                 \
+  X(kStreamQueriesRegistered, "stream.queries_registered", kCounter)          \
+  X(kStreamQueriesDeduped, "stream.queries_deduped", kCounter)                \
+  X(kStreamQueriesSubsumed, "stream.queries_subsumed", kCounter)              \
+  X(kStreamQueriesUnsat, "stream.queries_unsat", kCounter)                    \
+  X(kStreamEvents, "stream.events", kCounter)                                 \
+  X(kStreamMatches, "stream.matches", kCounter)                               \
+  X(kStreamDfaStates, "stream.dfa_states", kGauge)                            \
+  X(kStreamDfaMisses, "stream.dfa_misses", kCounter)                          \
   /* session caches (unified view of SessionStats) */                         \
   X(kSessionContainmentHits, "session.containment.hits", kCounter)            \
   X(kSessionContainmentMisses, "session.containment.misses", kCounter)        \

@@ -456,6 +456,11 @@ StatsSnapshot Session::telemetry() const {
   s.values[static_cast<int>(Metric::kSessionSatEvictions)] = sat_cache_.evictions();
   s.values[static_cast<int>(Metric::kSessionAutomataEvictions)] = automaton_cache_.evictions();
   s.values[static_cast<int>(Metric::kSessionDfaEvictions)] = dfa_cache_.evictions();
+  // Gate state (XPC_ARENA / XPC_SIMD) is process-global, not session
+  // activity: it is queryable via ArenaGateState()/SimdGateState() and
+  // stamped into bench records by the harness. Keeping it out of the
+  // session snapshot preserves the contract that a fresh or reset
+  // session's telemetry is Empty().
   return s;
 }
 

@@ -312,6 +312,8 @@ class Session {
 
   const SolverOptions& solver_options() const { return options_.solver; }
   bool has_edtd() const { return edtd_ != nullptr; }
+  /// The ambient EDTD, or nullptr. Stable until the next SetEdtd/ClearEdtd.
+  const Edtd* edtd() const { return edtd_.get(); }
 
   // --- Memoized queries ------------------------------------------------
 

@@ -181,6 +181,28 @@ std::string ReplayCase(const CorpusCase& c) {
     if (err.empty()) err = edtd1(&edtd);
     return err.empty() ? CheckFastPathWithEdtd(n, *edtd) : err;
   }
+  if (c.oracle == "stream") {
+    // `expr:` holds the whole bundle, `;`-separated (ToString never emits a
+    // bare `;`, so the split is unambiguous).
+    std::vector<PathPtr> queries;
+    size_t start = 0;
+    while (start <= c.expr.size()) {
+      size_t sep = c.expr.find(';', start);
+      std::string part = c.expr.substr(
+          start, sep == std::string::npos ? std::string::npos : sep - start);
+      Result<PathPtr> r = ParsePath(part);
+      if (!r.ok()) return c.file + ": bundle query does not parse: " + r.error();
+      queries.push_back(r.value());
+      if (sep == std::string::npos) break;
+      start = sep + 1;
+    }
+    std::optional<Edtd> edtd;
+    if (!c.edtd.empty()) {
+      std::string err = edtd1(&edtd);
+      if (!err.empty()) return err;
+    }
+    return CheckStreamMatcher(queries, edtd ? &*edtd : nullptr, c.seed, trees, max_nodes);
+  }
   if (c.oracle == "session") {
     NodePtr n;
     PathPtr a, b;

@@ -15,7 +15,8 @@ namespace xpc {
 ///
 ///     # free-form commentary
 ///     oracle: roundtrip-path
-///     expr: down/(down/down)
+///     expr: down/(down/down)      (for `stream`: the whole bundle,
+///                                 `;`-separated)
 ///     expr2: down | down          (optional second operand)
 ///     seed: 42                    (optional; tree seed for semantic checks)
 ///     edtd: A -> a := B*;B -> b := epsilon

@@ -51,6 +51,14 @@ ExprGenOptions ExprGenOptions::VerticalConjunctive() {
   return o;
 }
 
+ExprGenOptions ExprGenOptions::Streamable() {
+  ExprGenOptions o;
+  o.allow_star = true;
+  o.downward_only = true;
+  o.label_filters_only = true;
+  return o;
+}
+
 Axis FuzzGen::GenAxis(const ExprGenOptions& o) {
   if (o.downward_only) return Axis::kChild;
   if (o.vertical_only) return rng_.NextBelow(2) == 0 ? Axis::kChild : Axis::kParent;
@@ -178,6 +186,7 @@ NodePtr FuzzGen::GenNodeImpl(const ExprGenOptions& o, int budget,
     case 4:
     case 5:
     case 6:
+      if (o.label_filters_only) return GenNodeImpl(o, budget - 1, scope);
       return Some(GenPathImpl(o, budget - 1, scope));
     case 7:
       if (o.allow_patheq) {

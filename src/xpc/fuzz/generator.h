@@ -38,6 +38,10 @@ struct ExprGenOptions {
   bool vertical_only = false;
   /// Suppress ¬ and ∨ in node expressions (positive-conjunctive filters).
   bool conjunctive_only = false;
+  /// Suppress ⟨α⟩ / ≈ / "is $v" filters — node expressions are boolean
+  /// combinations of label tests only (the streaming matcher's filter
+  /// fragment).
+  bool label_filters_only = false;
 
   /// Every operator of CoreXPath(≈, ∩, −, for, *): the parser↔printer
   /// round-trip must hold on the whole language.
@@ -54,6 +58,9 @@ struct ExprGenOptions {
   /// Positive-conjunctive vertical queries — the habitat of the PTIME fast
   /// paths of src/xpc/classify/ (O5 oracle).
   static ExprGenOptions VerticalConjunctive();
+  /// The streaming matcher's fragment (DESIGN.md §2.11): ↓ / ↓* / . / seq /
+  /// union / * with label-boolean filters (O6 oracle).
+  static ExprGenOptions Streamable();
 };
 
 /// Options for random EDTD generation.

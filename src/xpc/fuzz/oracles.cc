@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -18,6 +19,10 @@
 #include "xpc/sat/bounded_sat.h"
 #include "xpc/sat/downward_sat.h"
 #include "xpc/sat/loop_sat.h"
+#include "xpc/stream/bundle_optimizer.h"
+#include "xpc/stream/stream_compile.h"
+#include "xpc/stream/stream_event.h"
+#include "xpc/stream/stream_matcher.h"
 #include "xpc/translate/for_elim.h"
 #include "xpc/translate/intersect_product.h"
 #include "xpc/translate/let_elim.h"
@@ -554,6 +559,138 @@ std::string CheckSessionCoherence(const NodePtr& phi, const PathPtr& a, const Pa
   return "";
 }
 
+// --- O6: streaming matcher ----------------------------------------------
+
+namespace {
+
+/// Preorder rank per node — the ordinal numbering `EventsOf` /
+/// `StreamMatcher` report matches in (root = 0).
+std::vector<int64_t> PreorderRanks(const XmlTree& tree) {
+  std::vector<int64_t> rank(tree.size(), -1);
+  int64_t next = 0;
+  std::vector<NodeId> stack = {tree.root()};
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    rank[n] = next++;
+    std::vector<NodeId> kids = tree.Children(n);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return rank;
+}
+
+/// The evaluator's root matches of `p` on `tree`, as sorted preorder
+/// ordinals — the ground truth every streaming leg must reproduce.
+std::vector<int64_t> RootMatches(Evaluator* eval, const PathPtr& p,
+                                 const std::vector<int64_t>& ranks, NodeId root) {
+  std::vector<int64_t> out;
+  for (auto [src, dst] : eval->EvalPath(p).ToPairs()) {
+    if (src == root) out.push_back(ranks[dst]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::string CheckStreamMatcher(const std::vector<PathPtr>& queries, const Edtd* edtd,
+                               uint64_t tree_seed, int trees, int max_nodes) {
+  if (queries.empty()) return "";
+  for (const PathPtr& q : queries) {
+    if (!IsStreamable(q)) return "";  // Outside the oracle's precondition.
+  }
+  const int k = static_cast<int>(queries.size());
+
+  Session session;
+  if (edtd != nullptr) session.SetEdtd(*edtd);
+  BundleOptions bundle_options;
+  bundle_options.prune_subsumed = true;  // Soundness of pruning is under test.
+  BundleOptimizer optimizer(&session, bundle_options);
+  OptimizedBundle plan = optimizer.Optimize(queries);
+  CompiledBundle bundle = CompileBundle(plan.compile_set, k);
+  StreamMatcher matcher(&bundle);  // Shared across trees: warm-cache leg.
+
+  std::vector<CompiledBundle> singles;
+  singles.reserve(queries.size());
+  for (const PathPtr& q : queries) singles.push_back(CompileSingle(q));
+
+  FuzzGen tgen(tree_seed);
+  for (int i = 0; i < trees; ++i) {
+    std::pair<bool, XmlTree> sample =
+        edtd != nullptr ? SampleConformingTree(*edtd, max_nodes, tree_seed + i)
+                        : std::make_pair(true, tgen.GenTree(max_nodes, kTreeLabels));
+    // A failed sample falls back to a tree that need not conform — the
+    // schema-relative verdicts make no promise about it; skip.
+    if (!sample.first) continue;
+    const XmlTree& tree = sample.second;
+    std::vector<StreamEvent> events = EventsOf(tree);
+    std::vector<int64_t> ranks = PreorderRanks(tree);
+    Evaluator eval(tree);
+
+    std::vector<std::vector<int64_t>> shared(queries.size());
+    for (auto [q, n] : matcher.MatchStream(events)) shared[q].push_back(n);
+    for (auto& v : shared) std::sort(v.begin(), v.end());
+
+    std::vector<std::vector<int64_t>> want(queries.size());
+    for (int q = 0; q < k; ++q) want[q] = RootMatches(&eval, queries[q], ranks, tree.root());
+
+    for (int q = 0; q < k; ++q) {
+      const BundleQueryInfo& info = plan.queries[q];
+      std::ostringstream os;
+      switch (info.disposition) {
+        case BundleQueryInfo::Disposition::kActive:
+        case BundleQueryInfo::Disposition::kAliased: {
+          if (shared[q] != want[q]) {
+            os << "shared automaton disagrees with evaluator on query " << q << " ("
+               << ToString(queries[q]) << ") tree " << TreeToText(tree) << ": got "
+               << shared[q].size() << " matches, want " << want[q].size();
+            return os.str();
+          }
+          // Per-query reference leg: the same stream through the query's own
+          // automaton (cold matcher — exercises the miss path every tree).
+          StreamMatcher single(&singles[q]);
+          std::vector<int64_t> ref;
+          for (auto [sq, n] : single.MatchStream(events)) {
+            if (sq == 0) ref.push_back(n);
+          }
+          std::sort(ref.begin(), ref.end());
+          if (ref != want[q]) {
+            os << "single-query automaton disagrees with evaluator on query " << q << " ("
+               << ToString(queries[q]) << ") tree " << TreeToText(tree);
+            return os.str();
+          }
+          break;
+        }
+        case BundleQueryInfo::Disposition::kSubsumed: {
+          if (!shared[q].empty()) {
+            os << "subsumed query " << q << " fired in the shared automaton";
+            return os.str();
+          }
+          if (!std::includes(want[info.target].begin(), want[info.target].end(),
+                             want[q].begin(), want[q].end())) {
+            os << "subsumption unsound: query " << q << " (" << ToString(queries[q])
+               << ") has a root match its subsumer " << info.target << " ("
+               << ToString(queries[info.target]) << ") misses on tree " << TreeToText(tree);
+            return os.str();
+          }
+          break;
+        }
+        case BundleQueryInfo::Disposition::kUnsat: {
+          if (!want[q].empty()) {
+            os << "unsat-pruned query " << q << " (" << ToString(queries[q])
+               << ") matches on sampled tree " << TreeToText(tree);
+            return os.str();
+          }
+          break;
+        }
+        case BundleQueryInfo::Disposition::kRejected:
+          return "streamable query rejected: " + info.reason;
+      }
+    }
+  }
+  return "";
+}
+
 // --- The campaign driver ------------------------------------------------
 
 namespace {
@@ -617,6 +754,9 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
   if (options.fastpaths) {
     kinds.push_back({"fastpath", 1});
     kinds.push_back({"fastpath-edtd", 1});
+  }
+  if (options.streams) {
+    kinds.push_back({"stream", 1});
   }
   if (kinds.empty()) return report;
   int total_weight = 0;
@@ -778,6 +918,27 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
       if (!d.empty()) {
         fail_node(n, check, d);
         edtd_text = EdtdToText(edtd);
+      }
+    } else if (kind_str == "stream") {
+      ExprGenOptions o = ExprGenOptions::Streamable();
+      o.max_ops = std::min(options.max_ops, 6);
+      const int k = 2 + static_cast<int>(gen.NextBelow(4));  // Bundles of 2-5.
+      std::vector<PathPtr> queries;
+      queries.reserve(k);
+      for (int q = 0; q < k; ++q) queries.push_back(gen.GenPath(o));
+      // Half the bundles run schema-relative: the optimizer's root-unsat
+      // pruning and the conforming-stream corpus only exist under an EDTD.
+      std::optional<Edtd> edtd;
+      if (gen.NextBelow(2) == 0) edtd.emplace(gen.GenEdtd(EdtdGenOptions{}));
+      std::string d = CheckStreamMatcher(queries, edtd ? &*edtd : nullptr, tree_seed, trees,
+                                         max_nodes);
+      if (!d.empty()) {
+        detail = d;
+        for (int q = 0; q < k; ++q) {
+          if (q > 0) expr_text += " ; ";
+          expr_text += ToString(queries[q]);
+        }
+        if (edtd) edtd_text = EdtdToText(*edtd);
       }
     } else if (kind_str == "session") {
       ExprGenOptions o = ExprGenOptions::WithIntersect();

@@ -67,6 +67,20 @@ std::string CheckSessionCoherence(const NodePtr& phi, const PathPtr& a, const Pa
 std::string CheckFastPath(const NodePtr& phi);
 std::string CheckFastPathWithEdtd(const NodePtr& phi, const Edtd& edtd);
 
+/// O6 — the shared streaming automaton agrees with per-query evaluation.
+/// Shrinks `queries` (all streamable; non-streamable bundles are skipped)
+/// through the BundleOptimizer (subsumption pruning ON), compiles the
+/// survivors into one shared automaton, and streams random trees — EDTD
+/// conforming samples when `edtd` is non-null — through one matcher,
+/// asserting per query:
+///   active / aliased — shared-automaton matches ≡ the query's own
+///     single-compiled automaton ≡ the evaluator's root matches;
+///   subsumed — never fires, and its reference matches are covered by its
+///     subsumer's (the containment verdict was sound);
+///   unsat — the evaluator finds no root match on any sampled tree.
+std::string CheckStreamMatcher(const std::vector<PathPtr>& queries, const Edtd* edtd,
+                               uint64_t tree_seed, int trees, int max_nodes);
+
 /// One reported failure, delta-minimized when shrinking is enabled.
 struct FuzzFailure {
   std::string oracle;  ///< e.g. "roundtrip-path".
@@ -88,6 +102,7 @@ struct FuzzOptions {
   bool engines = true;
   bool session = true;
   bool fastpaths = true;
+  bool streams = true;
   /// Delta-minimize failures before reporting.
   bool shrink = true;
   /// Random trees per semantic check / their maximum size.

@@ -1,0 +1,303 @@
+#include "xpc/stream/bundle_optimizer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "xpc/common/stats.h"
+#include "xpc/schemaindex/schema_index.h"
+#include "xpc/stream/stream_compile.h"
+
+namespace xpc {
+
+namespace {
+
+/// Root-relative satisfiability of one streamable query, decided on its own
+/// compiled automaton rather than by an engine probe. The streaming matcher
+/// only fires matches whose source is the document root, and in the
+/// streamable fragment (root, n) ∈ ⟦α⟧ depends only on the root-to-n label
+/// word — so root-sat is exactly word-reachability of a final state.
+/// (Relativizing the *engine* probes instead, via `.[¬⟨up⟩]/α`, leaves the
+/// downward fragment and lands in the exponential general pipeline; this
+/// check is PTIME and complete for the fragment.)
+///
+/// Without a schema every label word labels some root path (a unary tree),
+/// so plain NFA reachability decides it.
+bool RootFeasible(const CompiledBundle& single) {
+  const Nfa& nfa = single.nfa;
+  Bits seen(nfa.num_states());
+  Bits frontier = nfa.InitialSet();
+  while (true) {
+    Bits next(nfa.num_states());
+    for (int sym = 0; sym < single.alphabet.size(); ++sym) {
+      next.UnionWith(nfa.Step(frontier, sym));
+    }
+    if (next.Intersects(single.final_mask)) return true;
+    if (!seen.UnionWith(next)) return false;  // Fixpoint, no final reached.
+    frontier = std::move(next);
+  }
+}
+
+/// Schema-relative variant: product BFS of the query automaton with the
+/// EDTD type graph (root type, avail edges), both restricted to
+/// reachable∧realizable types via the SchemaIndex closure. Non-empty iff
+/// some conforming document has a root path whose label word the query
+/// accepts.
+bool RootFeasibleUnderEdtd(const CompiledBundle& single, const Edtd& edtd,
+                           const TypeReachability& reach) {
+  const Nfa& nfa = single.nfa;
+  if (reach.root < 0 || !reach.reachable.Get(reach.root)) return false;
+  std::vector<int> sym(reach.n);
+  for (int t = 0; t < reach.n; ++t) {
+    sym[t] = single.alphabet.SymbolOf(edtd.types()[t].concrete_label);
+  }
+  std::vector<Bits> at(reach.n, Bits(nfa.num_states()));
+  std::vector<int> worklist;
+  at[reach.root] = nfa.Step(nfa.InitialSet(), sym[reach.root]);
+  if (at[reach.root].Intersects(single.final_mask)) return true;
+  worklist.push_back(reach.root);
+  while (!worklist.empty()) {
+    int t = worklist.back();
+    worklist.pop_back();
+    bool hit = false;
+    reach.avail[t].ForEach([&](int u) {
+      if (hit || !reach.reachable.Get(u)) return;
+      Bits next = nfa.Step(at[t], sym[u]);
+      if (next.Intersects(single.final_mask)) {
+        hit = true;
+        return;
+      }
+      if (at[u].UnionWith(next)) worklist.push_back(u);
+    });
+    if (hit) return true;
+  }
+  return false;
+}
+
+void CollectLabels(const NodePtr& n, std::set<std::string>* out) {
+  switch (n->kind) {
+    case NodeKind::kLabel:
+      out->insert(n->label);
+      return;
+    case NodeKind::kNot:
+      CollectLabels(n->child1, out);
+      return;
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      CollectLabels(n->child1, out);
+      CollectLabels(n->child2, out);
+      return;
+    default:
+      return;
+  }
+}
+
+void CollectLabels(const PathPtr& p, std::set<std::string>* out) {
+  switch (p->kind) {
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+      CollectLabels(p->left, out);
+      CollectLabels(p->right, out);
+      return;
+    case PathKind::kFilter:
+      CollectLabels(p->left, out);
+      CollectLabels(p->filter, out);
+      return;
+    case PathKind::kStar:
+      CollectLabels(p->left, out);
+      return;
+    default:
+      return;
+  }
+}
+
+/// Streamable queries without general transitive closure α* (the ↓/↓*-only
+/// slice) sit inside CoreXPath↓(∩), where the engines decide containment
+/// through the fast downward pipeline. A kStar anywhere routes the probe to
+/// the general EXPTIME engines — unaffordable mid-optimization — so such
+/// queries are exempt from semantic probing (structural dedupe and the
+/// automaton-based unsat check still apply).
+bool ProbeFriendly(const PathPtr& p) {
+  switch (p->kind) {
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+    case PathKind::kSelf:
+      return true;
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+      return ProbeFriendly(p->left) && ProbeFriendly(p->right);
+    case PathKind::kFilter:
+      return ProbeFriendly(p->left);  // Streamable filters are label booleans.
+    default:
+      return false;  // kStar (and anything else) stays unprobed.
+  }
+}
+
+struct Rep {
+  PathPtr path;  ///< Canonical query (what CompileBundle consumes).
+  int32_t id;
+  std::set<std::string> labels;
+  bool probe_ok;  ///< Eligible as a semantic-probe operand.
+};
+
+}  // namespace
+
+BundleOptimizer::BundleOptimizer(Session* session, BundleOptions options)
+    : session_(session), options_(options) {}
+
+OptimizedBundle BundleOptimizer::Optimize(const std::vector<PathPtr>& queries) {
+  OptimizedBundle out;
+  out.num_queries = static_cast<int>(queries.size());
+  out.queries.resize(queries.size());
+
+  // One schema closure serves every per-query root-feasibility check.
+  const Edtd* edtd = session_->edtd();
+  std::shared_ptr<const SchemaIndex> index;
+  TypeReachability local_reach;
+  const TypeReachability* reach = nullptr;
+  if (options_.reject_unsat && edtd != nullptr) {
+    index = SchemaIndex::Acquire(*edtd);
+    if (index != nullptr) {
+      reach = &index->reachability();
+    } else {
+      local_reach = ComputeTypeReachability(*edtd);
+      reach = &local_reach;
+    }
+  }
+
+  std::unordered_map<const PathExpr*, int32_t> by_identity;  // Canonical AST → rep id.
+  std::map<std::string, std::vector<int32_t>> buckets;  // Label signature → rep ids.
+  std::vector<Rep> reps;                                // Indexed by rep order.
+  std::unordered_map<int32_t, int32_t> rep_index;       // Query id → index in reps.
+  std::unordered_map<int32_t, std::vector<int32_t>> aliases;  // Rep id → alias ids.
+
+  for (int32_t i = 0; i < static_cast<int32_t>(queries.size()); ++i) {
+    BundleQueryInfo& info = out.queries[i];
+    std::string reason = StreamableReason(queries[i]);
+    if (!reason.empty()) {
+      info.disposition = BundleQueryInfo::Disposition::kRejected;
+      info.reason = reason;
+      ++out.num_rejected;
+      continue;
+    }
+    PathPtr canonical = session_->Intern(queries[i]);
+
+    // Unsat rejection: a query that can never fire from the document root
+    // is dead weight in the automaton. Decided exactly (for this fragment)
+    // on the query's own compiled automaton — see RootFeasible*.
+    if (options_.reject_unsat) {
+      CompiledBundle single = CompileSingle(canonical);
+      bool feasible = edtd != nullptr
+                          ? RootFeasibleUnderEdtd(single, *edtd, *reach)
+                          : RootFeasible(single);
+      if (!feasible) {
+        info.disposition = BundleQueryInfo::Disposition::kUnsat;
+        info.reason = edtd != nullptr
+                          ? "matches no conforming document from the root"
+                          : "matches no document from the root";
+        ++out.num_unsat;
+        StatsAdd(Metric::kStreamQueriesUnsat);
+        continue;
+      }
+    }
+
+    const bool probe_ok = ProbeFriendly(canonical);
+    std::set<std::string> labels;
+    CollectLabels(canonical, &labels);
+    std::string signature;
+    for (const std::string& l : labels) {
+      signature += l;
+      signature += '\0';
+    }
+
+    if (options_.dedupe) {
+      // Structural: the session interner gives canonical identity for free.
+      auto it = by_identity.find(canonical.get());
+      if (it != by_identity.end()) {
+        info.disposition = BundleQueryInfo::Disposition::kAliased;
+        info.target = it->second;
+        aliases[it->second].push_back(i);
+        ++out.num_aliased;
+        StatsAdd(Metric::kStreamQueriesDeduped);
+        continue;
+      }
+      // Semantic: probe same-signature representatives (equivalent queries
+      // mention equal label sets in all but contrived cases; the bucket is
+      // a sound-but-incomplete prefilter that bounds engine calls). The
+      // probe quantifies over all context nodes — stronger than the
+      // root-relative fact streaming needs, so a kContained verdict is
+      // sound; root-only coincidences are merely missed.
+      bool aliased = false;
+      int probes = 0;
+      for (int32_t rep_id : buckets[signature]) {
+        if (!probe_ok) break;
+        if (probes++ >= options_.max_candidates) break;
+        const Rep& rep = reps[rep_index[rep_id]];
+        if (!rep.probe_ok) continue;
+        ContainmentResult eq = session_->Equivalent(canonical, rep.path);
+        if (eq.verdict == ContainmentVerdict::kContained) {
+          info.disposition = BundleQueryInfo::Disposition::kAliased;
+          info.target = rep_id;
+          aliases[rep_id].push_back(i);
+          ++out.num_aliased;
+          StatsAdd(Metric::kStreamQueriesDeduped);
+          aliased = true;
+          break;
+        }
+      }
+      if (aliased) continue;
+    }
+
+    if (options_.prune_subsumed) {
+      // q is covered by rep when ⟦q⟧ ⊆ ⟦rep⟧. A subsumer must mention no
+      // label q does not (necessary for coverage in the positive fragment,
+      // and it keeps the probe fan-out tiny: label-free queries like
+      // `down*` are everyone's candidate).
+      bool subsumed = false;
+      int probes = 0;
+      for (const Rep& rep : reps) {
+        if (!probe_ok) break;
+        if (rep.id == i || !rep.probe_ok) continue;
+        if (!std::includes(labels.begin(), labels.end(), rep.labels.begin(),
+                           rep.labels.end())) {
+          continue;
+        }
+        if (probes++ >= options_.max_candidates) break;
+        ContainmentResult c = session_->Contains(canonical, rep.path);
+        if (c.verdict == ContainmentVerdict::kContained) {
+          info.disposition = BundleQueryInfo::Disposition::kSubsumed;
+          info.target = rep.id;
+          ++out.num_subsumed;
+          StatsAdd(Metric::kStreamQueriesSubsumed);
+          subsumed = true;
+          break;
+        }
+      }
+      if (subsumed) continue;
+    }
+
+    info.disposition = BundleQueryInfo::Disposition::kActive;
+    by_identity.emplace(canonical.get(), i);
+    rep_index[i] = static_cast<int32_t>(reps.size());
+    buckets[signature].push_back(i);
+    reps.push_back(Rep{canonical, i, std::move(labels), probe_ok});
+    ++out.num_active;
+  }
+
+  out.compile_set.reserve(reps.size());
+  for (const Rep& rep : reps) {
+    BundleQuery bq;
+    bq.path = rep.path;
+    bq.owner_ids.push_back(rep.id);
+    auto it = aliases.find(rep.id);
+    if (it != aliases.end()) {
+      bq.owner_ids.insert(bq.owner_ids.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(bq.owner_ids.begin(), bq.owner_ids.end());
+    out.compile_set.push_back(std::move(bq));
+  }
+  return out;
+}
+
+}  // namespace xpc

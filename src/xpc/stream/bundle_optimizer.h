@@ -1,0 +1,89 @@
+#ifndef XPC_STREAM_BUNDLE_OPTIMIZER_H_
+#define XPC_STREAM_BUNDLE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "xpc/core/session.h"
+#include "xpc/stream/stream_compile.h"
+
+namespace xpc {
+
+/// Pre-deployment bundle optimization (DESIGN.md §2.11): before k queries
+/// reach the shared automaton, the containment engines shrink the bundle.
+///
+///   dedupe      — structurally equal queries (session interner identity)
+///                 and, within cheap signature buckets, semantically
+///                 equivalent ones collapse onto one representative. An
+///                 aliased query still fires on every one of its matches.
+///   subsumption — OPT-IN: a query whose matches are provably a subset of
+///                 an already-registered query's (Contains verdict
+///                 kContained) is dropped and NEVER fires; its subsumer
+///                 covers every node it would have matched. Sound for
+///                 union/topic routing ("is any query interested?"), wrong
+///                 for per-query delivery — hence off by default.
+///   unsat       — queries that can never fire from the document root are
+///                 dropped. Decided exactly for the streamable fragment by
+///                 a PTIME product of the query's own compiled automaton
+///                 with the SchemaIndex type-reachability closure of the
+///                 session's ambient EDTD (plain automaton emptiness when
+///                 no EDTD is bound) — root-relative, unlike the engines'
+///                 any-context-node satisfiability.
+///
+/// Verdict caution is one-sided: only definite engine answers (kContained)
+/// remove anything; kUnknown / resource-limit keeps the query. The
+/// containment probes quantify over every context node — stronger than the
+/// root-relative fact streaming needs — so their verdicts stay sound.
+struct BundleOptions {
+  bool dedupe = true;
+  bool prune_subsumed = false;
+  bool reject_unsat = true;
+  /// Per-query cap on containment probes in the dedupe / subsumption
+  /// passes, so a 10k-query bundle stays O(k · cap) engine calls.
+  int max_candidates = 64;
+};
+
+/// What became of one registered query.
+struct BundleQueryInfo {
+  enum class Disposition {
+    kActive,      ///< Compiled as a representative.
+    kAliased,     ///< Equivalent to `target`; fires via its states.
+    kSubsumed,    ///< Contained in `target`; dropped, never fires.
+    kUnsat,       ///< Unsatisfiable; dropped, never fires.
+    kRejected,    ///< Outside the streamable fragment; see `reason`.
+  };
+  Disposition disposition = Disposition::kActive;
+  int32_t target = -1;  ///< Representative query id (kAliased / kSubsumed).
+  std::string reason;   ///< Human-readable detail (kRejected / kUnsat).
+};
+
+struct OptimizedBundle {
+  std::vector<BundleQueryInfo> queries;   ///< Indexed by registered query id.
+  std::vector<BundleQuery> compile_set;   ///< Input for CompileBundle.
+  int num_queries = 0;                    ///< Total registered ids.
+  int num_active = 0;
+  int num_aliased = 0;
+  int num_subsumed = 0;
+  int num_unsat = 0;
+  int num_rejected = 0;
+};
+
+class BundleOptimizer {
+ public:
+  /// `session` supplies the interner, containment engines and ambient EDTD;
+  /// must outlive the optimizer. Bind an EDTD (`Session::SetEdtd`) before
+  /// optimizing to get schema-relative unsat rejection.
+  explicit BundleOptimizer(Session* session, BundleOptions options = {});
+
+  /// Classifies every query and assembles the compile set. Deterministic
+  /// for a fixed session configuration: probes run in registration order.
+  OptimizedBundle Optimize(const std::vector<PathPtr>& queries);
+
+ private:
+  Session* session_;
+  BundleOptions options_;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_STREAM_BUNDLE_OPTIMIZER_H_

@@ -1,0 +1,523 @@
+#include "xpc/stream/stream_compile.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xpc/common/arena.h"
+#include "xpc/common/stats.h"
+
+namespace xpc {
+
+namespace {
+
+// --- Streamable-fragment check -------------------------------------------
+
+std::string NodeReason(const NodePtr& n) {
+  switch (n->kind) {
+    case NodeKind::kLabel:
+    case NodeKind::kTrue:
+      return "";
+    case NodeKind::kNot:
+      return NodeReason(n->child1);
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      std::string r = NodeReason(n->child1);
+      return r.empty() ? NodeReason(n->child2) : r;
+    }
+    case NodeKind::kSome:
+      return "<path> filters are not streamable (label-boolean filters only)";
+    case NodeKind::kPathEq:
+      return "path-equality filters are not streamable";
+    case NodeKind::kIsVar:
+      return "\"is $var\" filters are not streamable";
+  }
+  return "unknown node kind";
+}
+
+std::string PathReason(const PathPtr& p) {
+  switch (p->kind) {
+    case PathKind::kSelf:
+      return "";
+    case PathKind::kAxis:
+    case PathKind::kAxisStar:
+      if (p->axis != Axis::kChild) {
+        return std::string(AxisName(p->axis)) +
+               " axis is not streamable (downward fragment only)";
+      }
+      return "";
+    case PathKind::kSeq:
+    case PathKind::kUnion: {
+      std::string r = PathReason(p->left);
+      return r.empty() ? PathReason(p->right) : r;
+    }
+    case PathKind::kFilter: {
+      std::string r = PathReason(p->left);
+      return r.empty() ? NodeReason(p->filter) : r;
+    }
+    case PathKind::kStar:
+      return PathReason(p->left);
+    case PathKind::kIntersect:
+      return "path intersection is not streamable";
+    case PathKind::kComplement:
+      return "path complementation is not streamable";
+    case PathKind::kFor:
+      return "for-loops are not streamable";
+  }
+  return "unknown path kind";
+}
+
+// --- Alphabet collection -------------------------------------------------
+
+void CollectNodeLabels(const NodePtr& n, StreamAlphabet* a) {
+  switch (n->kind) {
+    case NodeKind::kLabel:
+      if (a->symbol_of.emplace(n->label, static_cast<int>(a->labels.size()) + 1).second) {
+        a->labels.push_back(n->label);
+      }
+      return;
+    case NodeKind::kNot:
+      CollectNodeLabels(n->child1, a);
+      return;
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      CollectNodeLabels(n->child1, a);
+      CollectNodeLabels(n->child2, a);
+      return;
+    default:
+      return;
+  }
+}
+
+void CollectPathLabels(const PathPtr& p, StreamAlphabet* a) {
+  switch (p->kind) {
+    case PathKind::kSeq:
+    case PathKind::kUnion:
+      CollectPathLabels(p->left, a);
+      CollectPathLabels(p->right, a);
+      return;
+    case PathKind::kFilter:
+      CollectPathLabels(p->left, a);
+      CollectNodeLabels(p->filter, a);
+      return;
+    case PathKind::kStar:
+      CollectPathLabels(p->left, a);
+      return;
+    default:
+      return;
+  }
+}
+
+// --- Glushkov-style fragment algebra -------------------------------------
+//
+// The position-automaton view: a state q carries a *label class* lab(q) ⊆
+// Σ⊥ — being at q means the most recently consumed symbol was in lab(q).
+// Edges are unlabeled; the lowering expands edge (p, q) into transitions
+// (p, σ, q) for every σ ∈ lab(q). A fragment additionally records
+//
+//   starts  — (state, entry class E): an enclosing context may enter the
+//             fragment at `state` when the *context node's* label (the
+//             previously consumed symbol) lies in E;
+//   finals  — states whose runs complete the fragment;
+//   null    — label classes of context nodes the fragment accepts with the
+//             empty relative word (".", "down*", filtered selves), absent
+//             when the fragment always consumes at least one symbol.
+//
+// Self-tests refine the class of the state they apply to. Because a state's
+// class can only be *narrowed*, refinement makes a linked copy: a fresh
+// state with the narrowed class that mirrors every incoming edge and start
+// entry of the original — past ones copied eagerly, future ones fanned out
+// through a per-state copy registry (AddEdgeLinked / AddStartLinked), which
+// is what keeps copies correct when an enclosing star or concat wires new
+// edges into a state that was refined deep inside the operand.
+
+struct Frag {
+  std::vector<std::pair<int, Bits>> starts;
+  std::vector<int> finals;
+  bool has_null = false;
+  Bits null;
+};
+
+class FragBuilder {
+ public:
+  explicit FragBuilder(int alphabet_size) : asize_(alphabet_size), all_(alphabet_size) {
+    for (int i = 0; i < asize_; ++i) all_.Set(i);
+    i0_ = NewState(Bits(asize_));  // Pre-document state; never re-entered.
+  }
+
+  int initial() const { return i0_; }
+  const Bits& all() const { return all_; }
+  int num_states() const { return static_cast<int>(lab_.size()); }
+  const Bits& lab(int s) const { return lab_[s]; }
+  const std::vector<std::vector<int>>& out() const { return out_; }
+  const std::vector<std::vector<int>>& in() const { return in_; }
+
+  int NewState(Bits lab) {
+    lab_.push_back(std::move(lab));
+    out_.emplace_back();
+    in_.emplace_back();
+    copies_.emplace_back();
+    return static_cast<int>(lab_.size()) - 1;
+  }
+
+  /// Adds p→s and mirrors it onto every registered copy of s (recursively:
+  /// copies may themselves have copies).
+  void AddEdgeLinked(int p, int s) {
+    AddRawEdge(p, s);
+    for (int c : copies_[s]) AddEdgeLinked(p, c);
+  }
+
+  /// Appends (s, E) to a start list, mirrored onto the copies of s.
+  void AddStartLinked(std::vector<std::pair<int, Bits>>* starts, int s, const Bits& e) {
+    starts->push_back({s, e});
+    for (int c : copies_[s]) AddStartLinked(starts, c, e);
+  }
+
+  /// A state equivalent to s but with its class narrowed to lab(s) ∩ c.
+  /// Returns s itself when no narrowing is needed, -1 when the narrowed
+  /// class is empty (the refinement is unsatisfiable), and otherwise a
+  /// (deduplicated) linked copy that inherits s's incoming edges and its
+  /// entries in `starts`.
+  int RefinedCopy(std::vector<std::pair<int, Bits>>* starts, int s, const Bits& c) {
+    if (lab_[s].SubsetOf(c)) return s;
+    Bits narrowed = lab_[s];
+    narrowed.IntersectWith(c);
+    if (narrowed.None()) return -1;
+    for (int prior : copies_[s]) {
+      if (lab_[prior] == narrowed) return prior;
+    }
+    int sp = NewState(narrowed);
+    for (int p : in_[s]) AddRawEdge(p, sp);
+    copies_[s].push_back(sp);
+    size_t n = starts->size();
+    for (size_t i = 0; i < n; ++i) {
+      if ((*starts)[i].first == s) starts->push_back({sp, (*starts)[i].second});
+    }
+    return sp;
+  }
+
+  // --- Combinators -----------------------------------------------------
+
+  Frag Self(const Bits& klass) {
+    Frag f;
+    f.has_null = true;
+    f.null = klass;
+    return f;
+  }
+
+  Frag Down() {
+    Frag f;
+    int q = NewState(all_);
+    f.starts.push_back({q, all_});
+    f.finals.push_back(q);
+    return f;
+  }
+
+  Frag DownStar() {
+    Frag f;
+    int q = NewState(all_);
+    AddRawEdge(q, q);
+    f.starts.push_back({q, all_});
+    f.finals.push_back(q);
+    f.has_null = true;
+    f.null = all_;
+    return f;
+  }
+
+  Frag Union(Frag a, Frag b) {
+    Frag f;
+    f.starts = std::move(a.starts);
+    f.starts.insert(f.starts.end(), b.starts.begin(), b.starts.end());
+    f.finals = std::move(a.finals);
+    f.finals.insert(f.finals.end(), b.finals.begin(), b.finals.end());
+    if (a.has_null || b.has_null) {
+      f.has_null = true;
+      f.null = a.has_null ? a.null : Bits(asize_);
+      if (b.has_null) f.null.UnionWith(b.null);
+    }
+    return f;
+  }
+
+  Frag Concat(Frag a, Frag b) {
+    Frag f;
+    f.starts = a.starts;
+    f.finals = b.finals;
+    // Junction: finishing a (at final state fa, last symbol ∈ lab(fa)) may
+    // enter b at (s, E) when lab(fa) meets E.
+    for (int fa : a.finals) {
+      for (auto& [s, e] : b.starts) {
+        Junction(&f.starts, fa, s, e);
+      }
+    }
+    // a accepts the empty word for context classes a.null: b's entries are
+    // also entries of the whole, with their context narrowed by a.null.
+    if (a.has_null) {
+      for (auto& [s, e] : b.starts) {
+        Bits narrowed = e;
+        narrowed.IntersectWith(a.null);
+        if (!narrowed.None()) AddStartLinked(&f.starts, s, narrowed);
+      }
+    }
+    // b accepts the empty word for context classes b.null: finishing a at
+    // fa with last symbol ∈ b.null finishes the whole.
+    if (b.has_null) {
+      for (int fa : a.finals) {
+        int fp = RefinedCopy(&f.starts, fa, b.null);
+        if (fp >= 0) f.finals.push_back(fp);
+      }
+    }
+    if (a.has_null && b.has_null) {
+      f.has_null = true;
+      f.null = a.null;
+      f.null.IntersectWith(b.null);
+      if (f.null.None()) f.has_null = false;
+    }
+    return f;
+  }
+
+  Frag Star(Frag a) {
+    Frag f;
+    f.starts = a.starts;
+    f.finals = a.finals;
+    // Loop edges: every final may re-enter every start (within its entry
+    // class). Iterate a snapshot — junctions can append inherited entries
+    // to f.starts, and those copies already receive the loop edges through
+    // the copy registry.
+    std::vector<std::pair<int, Bits>> snapshot = f.starts;
+    for (int fa : a.finals) {
+      for (auto& [s, e] : snapshot) {
+        Junction(&f.starts, fa, s, e);
+      }
+    }
+    f.has_null = true;
+    f.null = all_;  // Zero iterations: the context node itself.
+    return f;
+  }
+
+  Frag Filter(Frag a, const Bits& klass) {
+    Frag f;
+    f.starts = a.starts;
+    for (int fa : a.finals) {
+      int fp = RefinedCopy(&f.starts, fa, klass);
+      if (fp >= 0) f.finals.push_back(fp);
+    }
+    if (a.has_null) {
+      f.null = a.null;
+      f.null.IntersectWith(klass);
+      f.has_null = !f.null.None();
+    }
+    return f;
+  }
+
+ private:
+  void AddRawEdge(int p, int s) {
+    out_[p].push_back(s);
+    in_[s].push_back(p);
+  }
+
+  /// Wires final `fa` into entry (s, E): directly when lab(fa) ⊆ E, via a
+  /// linked copy narrowed to E otherwise, not at all when they are
+  /// disjoint.
+  void Junction(std::vector<std::pair<int, Bits>>* starts, int fa, int s, const Bits& e) {
+    if (!lab_[fa].Intersects(e)) return;
+    int src = RefinedCopy(starts, fa, e);
+    if (src >= 0) AddEdgeLinked(src, s);
+  }
+
+  int asize_;
+  Bits all_;
+  int i0_;
+  std::vector<Bits> lab_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+  std::vector<std::vector<int>> copies_;
+};
+
+Bits ClassOf(const NodePtr& n, const StreamAlphabet& alphabet, const Bits& all) {
+  Bits klass(alphabet.size());
+  switch (n->kind) {
+    case NodeKind::kLabel: {
+      int sym = alphabet.SymbolOf(n->label);
+      if (sym > 0) klass.Set(sym);
+      return klass;
+    }
+    case NodeKind::kTrue:
+      return all;
+    case NodeKind::kNot: {
+      Bits inner = ClassOf(n->child1, alphabet, all);
+      klass = all;
+      klass.SubtractWith(inner);  // ¬a includes ⊥: unseen labels are not a.
+      return klass;
+    }
+    case NodeKind::kAnd: {
+      klass = ClassOf(n->child1, alphabet, all);
+      klass.IntersectWith(ClassOf(n->child2, alphabet, all));
+      return klass;
+    }
+    case NodeKind::kOr: {
+      klass = ClassOf(n->child1, alphabet, all);
+      klass.UnionWith(ClassOf(n->child2, alphabet, all));
+      return klass;
+    }
+    default:
+      return klass;  // Unreachable for streamable queries.
+  }
+}
+
+Frag BuildFrag(FragBuilder* b, const PathPtr& p, const StreamAlphabet& alphabet) {
+  switch (p->kind) {
+    case PathKind::kSelf:
+      return b->Self(b->all());
+    case PathKind::kAxis:
+      return b->Down();
+    case PathKind::kAxisStar:
+      return b->DownStar();
+    case PathKind::kSeq:
+      return b->Concat(BuildFrag(b, p->left, alphabet), BuildFrag(b, p->right, alphabet));
+    case PathKind::kUnion:
+      return b->Union(BuildFrag(b, p->left, alphabet), BuildFrag(b, p->right, alphabet));
+    case PathKind::kFilter:
+      return b->Filter(BuildFrag(b, p->left, alphabet),
+                       ClassOf(p->filter, alphabet, b->all()));
+    case PathKind::kStar:
+      return b->Star(BuildFrag(b, p->left, alphabet));
+    default:
+      return Frag{};  // Unreachable: CompileBundle rejects earlier.
+  }
+}
+
+}  // namespace
+
+std::string StreamableReason(const PathPtr& path) { return PathReason(path); }
+
+Bits CompiledBundle::QueryFinalMask(int query_id) const {
+  Bits mask(nfa.num_states());
+  final_mask.ForEach([&](int s) {
+    const std::vector<int32_t>& o = owners[s];
+    if (std::binary_search(o.begin(), o.end(), query_id)) mask.Set(s);
+  });
+  return mask;
+}
+
+CompiledBundle CompileBundle(const std::vector<BundleQuery>& queries, int num_queries) {
+  StatsTimer timer(Metric::kStreamCompile);
+  // The bundle is a long-lived artifact: shield its Bits from any installed
+  // per-query arena.
+  ScopedArenaPause pause;
+
+  CompiledBundle bundle;
+  bundle.num_queries = num_queries;
+  for (const BundleQuery& q : queries) CollectPathLabels(q.path, &bundle.alphabet);
+  const int asize = bundle.alphabet.size();
+
+  FragBuilder builder(asize);
+  const int i0 = builder.initial();
+  std::unordered_map<Bits, int, BitsHash> gates;       // Entry class → gate state.
+  std::unordered_map<Bits, int, BitsHash> root_accepts;  // Null class → state.
+  std::unordered_map<int, std::vector<int32_t>> owners_of;
+
+  for (const BundleQuery& q : queries) {
+    Frag frag = BuildFrag(&builder, q.path, bundle.alphabet);
+    // Zero-step acceptance: the root itself matches when its label lies in
+    // the fragment's null class.
+    if (frag.has_null && !frag.null.None()) {
+      auto [it, fresh] = root_accepts.emplace(frag.null, -1);
+      if (fresh) {
+        it->second = builder.NewState(frag.null);
+        builder.AddEdgeLinked(i0, it->second);
+      }
+      std::vector<int32_t>& o = owners_of[it->second];
+      o.insert(o.end(), q.owner_ids.begin(), q.owner_ids.end());
+    }
+    // Entries: the context node of a top-level query is the root, so each
+    // entry class becomes a gate state consuming the root's label. Gates
+    // are shared across queries (most entries are unconstrained).
+    for (auto& [s, e] : frag.starts) {
+      if (e.None()) continue;
+      auto [it, fresh] = gates.emplace(e, -1);
+      if (fresh) {
+        it->second = builder.NewState(e);
+        builder.AddEdgeLinked(i0, it->second);
+      }
+      builder.AddEdgeLinked(it->second, s);
+    }
+    for (int fstate : frag.finals) {
+      std::vector<int32_t>& o = owners_of[fstate];
+      o.insert(o.end(), q.owner_ids.begin(), q.owner_ids.end());
+    }
+  }
+
+  // --- Trim and lower ----------------------------------------------------
+  const int n = builder.num_states();
+  std::vector<char> fwd(n, 0), bwd(n, 0);
+  std::vector<int> work;
+  fwd[i0] = 1;
+  work.push_back(i0);
+  while (!work.empty()) {
+    int s = work.back();
+    work.pop_back();
+    for (int t : builder.out()[s]) {
+      if (!fwd[t]) {
+        fwd[t] = 1;
+        work.push_back(t);
+      }
+    }
+  }
+  for (const auto& [s, o] : owners_of) {
+    if (!bwd[s]) {
+      bwd[s] = 1;
+      work.push_back(s);
+    }
+  }
+  while (!work.empty()) {
+    int s = work.back();
+    work.pop_back();
+    for (int t : builder.in()[s]) {
+      if (!bwd[t]) {
+        bwd[t] = 1;
+        work.push_back(t);
+      }
+    }
+  }
+
+  std::vector<int> remap(n, -1);
+  int kept = 0;
+  for (int s = 0; s < n; ++s) {
+    if (s == i0 || (fwd[s] && bwd[s])) remap[s] = kept++;
+  }
+
+  Nfa nfa(asize, kept);
+  nfa.SetInitial(remap[i0]);
+  bundle.final_mask = Bits(kept);
+  bundle.owners.assign(kept, {});
+  for (int s = 0; s < n; ++s) {
+    if (remap[s] < 0) continue;
+    std::vector<int> targets = builder.out()[s];
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    for (int t : targets) {
+      if (remap[t] < 0) continue;
+      builder.lab(t).ForEach([&](int sym) { nfa.AddTransition(remap[s], sym, remap[t]); });
+    }
+  }
+  for (const auto& [s, o] : owners_of) {
+    if (remap[s] < 0) continue;
+    nfa.SetAccepting(remap[s]);
+    bundle.final_mask.Set(remap[s]);
+    std::vector<int32_t> sorted = o;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    bundle.owners[remap[s]] = std::move(sorted);
+  }
+  nfa.EnsureIndexed();
+  bundle.nfa = std::move(nfa);
+  StatsAdd(Metric::kStreamQueriesRegistered, static_cast<int64_t>(queries.size()));
+  return bundle;
+}
+
+CompiledBundle CompileSingle(const PathPtr& query) {
+  return CompileBundle({BundleQuery{query, {0}}}, 1);
+}
+
+}  // namespace xpc

@@ -1,0 +1,89 @@
+#ifndef XPC_STREAM_STREAM_COMPILE_H_
+#define XPC_STREAM_STREAM_COMPILE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xpc/automata/nfa.h"
+#include "xpc/common/bits.h"
+#include "xpc/xpath/ast.h"
+
+namespace xpc {
+
+/// Compiling k registered queries into ONE shared automaton over root-path
+/// label words (DESIGN.md §2.11).
+///
+/// The streamable fragment is the downward, label-boolean slice of
+/// CoreXPath: `down`, `down*`, `.`, composition, union, `*`, and filters
+/// that are boolean combinations of label tests. For a query α in this
+/// fragment, whether (root, n) ∈ ⟦α⟧ depends only on the label word
+/// label(root)·…·label(n) of the root-to-n path, so a bundle of queries
+/// becomes one word-NFA interleaving every query's states: a SAX pass
+/// maintains the reachable state set per open element and reads off, per
+/// query, whether its accepting mask is hit.
+
+/// The bundle alphabet: every label mentioned by some registered query gets
+/// a symbol in [1, size); symbol 0 is ⊥, "any label the bundle never
+/// mentions". Mapping unseen labels to one shared symbol keeps the
+/// automaton's transition tables dense and document-vocabulary independent.
+struct StreamAlphabet {
+  std::vector<std::string> labels;  ///< labels[i] is the label of symbol i+1.
+  std::unordered_map<std::string, int> symbol_of;
+
+  int size() const { return static_cast<int>(labels.size()) + 1; }
+
+  /// Symbol of a document label (0 = ⊥ for labels no query mentions).
+  int SymbolOf(const std::string& label) const {
+    auto it = symbol_of.find(label);
+    return it == symbol_of.end() ? 0 : it->second;
+  }
+};
+
+/// One compile unit: a representative path plus the ids of every registered
+/// query it answers for (itself, structural/semantic duplicates folded onto
+/// it by the BundleOptimizer).
+struct BundleQuery {
+  PathPtr path;
+  std::vector<int32_t> owner_ids;
+};
+
+/// The shared automaton. Immutable once built; share freely across matcher
+/// instances and threads (the NFA index is pre-built).
+struct CompiledBundle {
+  StreamAlphabet alphabet;
+  Nfa nfa;  ///< ε-free; alphabet.size() symbols; CSR index pre-built.
+  Bits final_mask;  ///< States accepting for at least one query.
+  /// owners[s]: sorted query ids that accept at state s (empty off-mask).
+  std::vector<std::vector<int32_t>> owners;
+  int num_queries = 0;  ///< Total registered ids (bound for owner ids).
+
+  CompiledBundle() : nfa(1, 0) {}
+
+  /// Per-query accepting mask over the shared state space, assembled from
+  /// `owners` on demand (the matcher's per-set query masks are the packed
+  /// representation used on the hot path; this is the per-query view the
+  /// reference legs and tests consume).
+  Bits QueryFinalMask(int query_id) const;
+};
+
+/// Returns "" when `path` lies in the streamable fragment, otherwise a
+/// human-readable reason naming the first offending construct (upward or
+/// sibling axes, ∩, −, for-loops, ⟨α⟩ / ≈ / "is $var" filters).
+std::string StreamableReason(const PathPtr& path);
+inline bool IsStreamable(const PathPtr& path) { return StreamableReason(path).empty(); }
+
+/// Compiles representative queries into one shared automaton. Every path
+/// must be streamable (`StreamableReason` == ""); `num_queries` bounds the
+/// owner ids appearing in `queries`. Deterministic: the automaton depends
+/// only on the argument list (labels are interned in first-mention order).
+CompiledBundle CompileBundle(const std::vector<BundleQuery>& queries, int num_queries);
+
+/// Convenience: compile a single query as its own bundle (the per-query
+/// reference leg of the differential tests and `bench_stream`).
+CompiledBundle CompileSingle(const PathPtr& query);
+
+}  // namespace xpc
+
+#endif  // XPC_STREAM_STREAM_COMPILE_H_

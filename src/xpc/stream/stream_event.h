@@ -1,0 +1,67 @@
+#ifndef XPC_STREAM_STREAM_EVENT_H_
+#define XPC_STREAM_STREAM_EVENT_H_
+
+#include <string>
+#include <vector>
+
+#include "xpc/tree/xml_tree.h"
+
+namespace xpc {
+
+/// SAX-style document events (DESIGN.md §2.11). A well-formed stream is a
+/// balanced sequence: one StartElement per node in document order, the
+/// matching EndElement when its subtree closes, and any number of Text
+/// events between them. Text carries no structure the streamable fragment
+/// can observe, so the matcher counts it but never changes state on it.
+enum class StreamEventKind {
+  kStartElement,  ///< Opens a node; `label` is its element label.
+  kEndElement,    ///< Closes the most recently opened node.
+  kText,          ///< Character data; ignored by matching.
+};
+
+struct StreamEvent {
+  StreamEventKind kind = StreamEventKind::kStartElement;
+  std::string label;  ///< Element label; empty for kEndElement / kText.
+};
+
+/// Serializes a tree into its SAX event stream (preorder; 2·|nodes| events,
+/// plus one Text event per leaf when `text_at_leaves` is set — handy for
+/// exercising the Text no-op path in tests and benches). StartElement
+/// ordinals assigned by a matcher replaying this stream equal the tree's
+/// preorder node ranks, which is what lets per-node match sets be compared
+/// against `Evaluator::EvalPath` results directly.
+inline std::vector<StreamEvent> EventsOf(const XmlTree& tree,
+                                         bool text_at_leaves = false) {
+  std::vector<StreamEvent> events;
+  events.reserve(static_cast<size_t>(tree.size()) * 2);
+  // Explicit stack: (node, closing?) pairs, children pushed in reverse so
+  // the stream comes out in document order.
+  std::vector<std::pair<NodeId, bool>> stack;
+  stack.push_back({tree.root(), false});
+  while (!stack.empty()) {
+    auto [n, closing] = stack.back();
+    stack.pop_back();
+    if (closing) {
+      events.push_back({StreamEventKind::kEndElement, ""});
+      continue;
+    }
+    events.push_back({StreamEventKind::kStartElement, tree.label(n)});
+    stack.push_back({n, true});
+    if (tree.first_child(n) == kNoNode && text_at_leaves) {
+      events.push_back({StreamEventKind::kText, ""});
+    }
+    std::vector<NodeId> kids;
+    for (NodeId c = tree.first_child(n); c != kNoNode;
+         c = tree.next_sibling(c)) {
+      kids.push_back(c);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, false});
+    }
+  }
+  return events;
+}
+
+}  // namespace xpc
+
+#endif  // XPC_STREAM_STREAM_EVENT_H_

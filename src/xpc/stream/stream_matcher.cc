@@ -1,0 +1,146 @@
+#include "xpc/stream/stream_matcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "xpc/common/stats.h"
+
+namespace xpc {
+
+StreamMatcher::StreamMatcher(const CompiledBundle* bundle) : bundle_(bundle) {
+  initial_id_ = Intern(bundle_->nfa.InitialSet());
+  stack_.reserve(64);
+  stack_.push_back(initial_id_);
+}
+
+void StreamMatcher::BeginDocument() {
+  if (events_ != 0) {
+    StatsAdd(Metric::kStreamEvents, events_);
+    StatsAdd(Metric::kStreamMatches, matches_);
+    total_events_ += events_;
+    total_matches_ += matches_;
+    events_ = 0;
+    matches_ = 0;
+  }
+  stack_.clear();
+  stack_.push_back(initial_id_);
+  next_ordinal_ = 0;
+  balanced_ = true;
+  arena_.Reset();
+}
+
+int32_t StreamMatcher::Intern(const Bits& set) {
+  auto it = intern_.find(set);
+  if (it != intern_.end()) return it->second;
+  // Interned state is long-lived: copy the (possibly arena-backed) set and
+  // build its metadata heap-side.
+  ScopedArenaPause pause;
+  DState d;
+  d.set = set;
+  d.query_mask = Bits(bundle_->num_queries);
+  Bits hits = set;
+  hits.IntersectWith(bundle_->final_mask);
+  hits.ForEach([&](int s) {
+    for (int32_t q : bundle_->owners[s]) {
+      if (!d.query_mask.Get(q)) {
+        d.query_mask.Set(q);
+        d.matched.push_back(q);
+      }
+    }
+  });
+  std::sort(d.matched.begin(), d.matched.end());
+  d.next.assign(bundle_->alphabet.size(), -1);
+  int32_t id = static_cast<int32_t>(states_.size());
+  states_.push_back(std::move(d));
+  intern_.emplace(states_.back().set, id);
+  StatsGaugeMax(Metric::kStreamDfaStates, static_cast<int64_t>(states_.size()));
+  return id;
+}
+
+int32_t StreamMatcher::Transition(int32_t from, int symbol) {
+  int32_t cached = states_[from].next[symbol];
+  if (cached >= 0) return cached;
+  StatsAdd(Metric::kStreamDfaMisses);
+  // Miss path: step the NFA set through the CSR index. The transient result
+  // lives in the per-document arena; Intern copies it out if it is new.
+  int32_t to;
+  {
+    ScopedArenaInstall install(&arena_);
+    Bits stepped = bundle_->nfa.Step(states_[from].set, symbol);
+    to = Intern(stepped);
+  }
+  states_[from].next[symbol] = to;
+  return to;
+}
+
+int64_t StreamMatcher::StartSymbol(int symbol) {
+  ++events_;
+  int32_t id = Transition(stack_.back(), symbol);
+  stack_.push_back(id);
+  int64_t ordinal = next_ordinal_++;
+  const DState& d = states_[id];
+  if (!d.matched.empty()) {
+    matches_ += static_cast<int64_t>(d.matched.size());
+    if (callback_) {
+      for (int32_t q : d.matched) callback_(q, ordinal);
+    }
+  }
+  return ordinal;
+}
+
+void StreamMatcher::EndElement() {
+  ++events_;
+  if (stack_.size() <= 1) {
+    balanced_ = false;  // Underflow: more ends than starts. Recover.
+    return;
+  }
+  stack_.pop_back();
+}
+
+void StreamMatcher::Text() { ++events_; }
+
+bool StreamMatcher::EndDocument() {
+  bool ok = balanced_ && stack_.size() == 1;
+  StatsAdd(Metric::kStreamEvents, events_);
+  StatsAdd(Metric::kStreamMatches, matches_);
+  total_events_ += events_;
+  total_matches_ += matches_;
+  events_ = 0;
+  matches_ = 0;
+  stack_.clear();
+  stack_.push_back(initial_id_);
+  next_ordinal_ = 0;
+  balanced_ = true;
+  arena_.Reset();
+  return ok;
+}
+
+std::vector<std::pair<int32_t, int64_t>> StreamMatcher::MatchStream(
+    const std::vector<StreamEvent>& events) {
+  std::vector<std::pair<int32_t, int64_t>> out;
+  Callback saved = std::move(callback_);
+  callback_ = [&out](int32_t q, int64_t n) { out.push_back({q, n}); };
+  BeginDocument();
+  for (const StreamEvent& e : events) {
+    switch (e.kind) {
+      case StreamEventKind::kStartElement:
+        StartElement(e.label);
+        break;
+      case StreamEventKind::kEndElement:
+        EndElement();
+        break;
+      case StreamEventKind::kText:
+        Text();
+        break;
+    }
+  }
+  EndDocument();
+  callback_ = std::move(saved);
+  return out;
+}
+
+const Bits& StreamMatcher::CurrentMatches() const {
+  return states_[stack_.back()].query_mask;
+}
+
+}  // namespace xpc

@@ -1,0 +1,108 @@
+#ifndef XPC_STREAM_STREAM_MATCHER_H_
+#define XPC_STREAM_STREAM_MATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xpc/common/arena.h"
+#include "xpc/common/bits.h"
+#include "xpc/stream/stream_compile.h"
+#include "xpc/stream/stream_event.h"
+
+namespace xpc {
+
+/// Single-pass multi-query evaluation of a compiled bundle over a SAX event
+/// stream (DESIGN.md §2.11).
+///
+/// The matcher keeps a stack of *interned* NFA state sets, one per open
+/// element: push the stepped set on StartElement, pop on EndElement. Each
+/// distinct set is interned once into a dense id with (a) a lazily filled
+/// per-symbol transition row — the shared subset-construction cache, so a
+/// StartElement whose (set, symbol) pair has been seen before is one array
+/// load — and (b) a precomputed query-match mask over the bundle's
+/// registered query ids, packed into `Bits` so match fan-out is a word
+/// sweep. Amortized cost per event is O(1) per active state: every
+/// miss-path subset computation is memoized against the automaton, which is
+/// shared state that keeps paying off across documents.
+///
+/// Not thread-safe; create one matcher per thread over the same (immutable)
+/// `CompiledBundle`. Determinism: match callbacks fire in (document
+/// position, query id) order, independent of prior cache state.
+class StreamMatcher {
+ public:
+  /// Fired on StartElement for every query matching the opened node.
+  /// `node_ordinal` is the node's preorder rank (root = 0).
+  using Callback = std::function<void(int32_t query_id, int64_t node_ordinal)>;
+
+  /// `bundle` must outlive the matcher.
+  explicit StreamMatcher(const CompiledBundle* bundle);
+
+  void SetCallback(Callback callback) { callback_ = std::move(callback); }
+
+  /// Starts a new document: clears the element stack and node ordinals and
+  /// recycles the per-document arena. The subset cache is retained — warm
+  /// transitions survive across documents by design.
+  void BeginDocument();
+
+  /// Consumes one event. StartElement returns the opened node's ordinal.
+  int64_t StartElement(const std::string& label) {
+    return StartSymbol(bundle_->alphabet.SymbolOf(label));
+  }
+  int64_t StartSymbol(int symbol);
+  void EndElement();
+  void Text();
+
+  /// Closes the document; checks balance. Returns false (and recovers) if
+  /// EndElement calls did not balance StartElement calls.
+  bool EndDocument();
+
+  /// Convenience: replay a pre-serialized stream, collecting (query,
+  /// ordinal) match pairs in firing order.
+  std::vector<std::pair<int32_t, int64_t>> MatchStream(const std::vector<StreamEvent>& events);
+
+  /// Query-match mask (over registered query ids) of the most recently
+  /// opened element. Valid until the next event.
+  const Bits& CurrentMatches() const;
+
+  /// Lifetime totals across every document this matcher has consumed.
+  int64_t events() const { return total_events_ + events_; }
+  int64_t matches() const { return total_matches_ + matches_; }
+  /// Distinct interned state sets — the subset cache size.
+  int dfa_states() const { return static_cast<int>(states_.size()); }
+
+ private:
+  struct DState {
+    Bits set;                   ///< Interned NFA state set.
+    Bits query_mask;            ///< Queries accepting in `set`.
+    std::vector<int32_t> next;  ///< Per-symbol successor id; -1 = unfilled.
+    std::vector<int32_t> matched;  ///< Set bits of query_mask, sorted.
+  };
+
+  int32_t Intern(const Bits& set);
+  int32_t Transition(int32_t from, int symbol);
+
+  const CompiledBundle* bundle_;
+  Callback callback_;
+  // Transient Bits produced on the subset-cache miss path (NFA stepping)
+  // come from this arena; interned copies are heap-side (made under
+  // ScopedArenaPause). BeginDocument resets it, so steady-state documents
+  // run without touching the system allocator.
+  Arena arena_;
+  std::unordered_map<Bits, int32_t, BitsHash> intern_;
+  std::vector<DState> states_;
+  std::vector<int32_t> stack_;  ///< Interned set id per open element.
+  int32_t initial_id_ = -1;
+  int64_t next_ordinal_ = 0;
+  int64_t events_ = 0;   ///< Current document; flushed to Stats per document.
+  int64_t matches_ = 0;
+  int64_t total_events_ = 0;
+  int64_t total_matches_ = 0;
+  bool balanced_ = true;
+};
+
+}  // namespace xpc
+
+#endif  // XPC_STREAM_STREAM_MATCHER_H_

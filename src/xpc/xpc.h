@@ -30,6 +30,10 @@
 #include "xpc/edtd/edtd.h"            // Schemas (Definition 2).
 #include "xpc/eval/evaluator.h"       // Reference semantics (Table II).
 #include "xpc/reduction/reductions.h" // Proposition 4 reductions.
+#include "xpc/stream/bundle_optimizer.h" // Pre-deployment bundle shrinking.
+#include "xpc/stream/stream_compile.h"   // k queries -> one shared automaton.
+#include "xpc/stream/stream_event.h"     // SAX-style event model.
+#include "xpc/stream/stream_matcher.h"   // Single-pass streaming matcher.
 #include "xpc/tree/tree_text.h"       // Tree (de)serialization.
 #include "xpc/tree/xml_tree.h"        // XML trees (Definition 1).
 #include "xpc/xpath/build.h"          // Programmatic expression builders.

@@ -237,7 +237,7 @@ TEST(FuzzCampaign, SmokeAllOraclesPass) {
   EXPECT_TRUE(r.ok()) << r.Summary()
                       << (r.failures.empty() ? "" : ": " + r.failures[0].detail);
   // Every oracle family must actually have run.
-  EXPECT_EQ(r.per_oracle.size(), 13u) << r.Summary();
+  EXPECT_EQ(r.per_oracle.size(), 14u) << r.Summary();
 }
 
 // Replays tests/fuzz_corpus/ — every minimized bug this subsystem has found

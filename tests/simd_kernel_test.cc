@@ -308,6 +308,64 @@ TEST_F(SimdKernelTest, SelectAndAvailability) {
 #endif
 }
 
+// Env-gate resolution must be observable and distinguish "unrecognized
+// name" from "recognized leg this host cannot run" — both used to fall
+// back to scalar silently. `internal::ActivateSlow()` re-reads the
+// environment each call, so the test drives resolution directly; the
+// fixture's TearDown restores the ambient leg.
+TEST_F(SimdKernelTest, GateResolutionRecordsEnvOutcome) {
+  const char* prev_env = std::getenv("XPC_SIMD");
+  const std::string saved = prev_env != nullptr ? prev_env : "";
+  const bool had_env = prev_env != nullptr;
+
+  ::setenv("XPC_SIMD", "avx512-typo", 1);
+  simd::internal::ActivateSlow();
+  simd::SimdGateStatus status = simd::SimdGateState();
+  EXPECT_TRUE(status.from_env);
+  EXPECT_FALSE(status.recognized);
+  EXPECT_FALSE(status.runnable);
+  EXPECT_STREQ(status.resolved, "scalar");
+  EXPECT_STREQ(simd::ActiveName(), "scalar");
+  EXPECT_EQ(simd::LegIndex(status.resolved), 1);
+
+  ::setenv("XPC_SIMD", "scalar", 1);
+  simd::internal::ActivateSlow();
+  status = simd::SimdGateState();
+  EXPECT_TRUE(status.from_env);
+  EXPECT_TRUE(status.recognized);
+  EXPECT_TRUE(status.runnable);
+  EXPECT_STREQ(status.resolved, "scalar");
+
+  // A recognized leg the host cannot run: at most one of avx2/neon is ever
+  // available, so probe the missing one.
+  for (const char* leg : {"avx2", "neon"}) {
+    if (simd::Available(leg)) continue;
+    ::setenv("XPC_SIMD", leg, 1);
+    simd::internal::ActivateSlow();
+    status = simd::SimdGateState();
+    EXPECT_TRUE(status.recognized) << leg;
+    EXPECT_FALSE(status.runnable) << leg;
+    EXPECT_STREQ(status.resolved, "scalar") << leg;
+    break;
+  }
+
+  if (had_env) {
+    ::setenv("XPC_SIMD", saved.c_str(), 1);
+  } else {
+    ::unsetenv("XPC_SIMD");
+  }
+  // TearDown re-selects the ambient leg; nothing else to restore.
+}
+
+// SimdGateState() is a pure observer: reading the gate must never clobber
+// a programmatic Select() — the kernel battery re-points the latch between
+// legs while telemetry snapshots may run concurrently.
+TEST_F(SimdKernelTest, GateStateDoesNotClobberSelect) {
+  ASSERT_TRUE(simd::Select("scalar"));
+  (void)simd::SimdGateState();
+  EXPECT_STREQ(simd::ActiveName(), "scalar");
+}
+
 TEST_F(SimdKernelTest, ArenaWordBlocksAreCacheLineAligned) {
   // The vector kernels rely on dispatched-width blocks (more than one
   // cache line of words) never splitting cache lines; interleave

@@ -1,0 +1,338 @@
+// The streaming matcher suite (`ctest -L stream`, DESIGN.md §2.11):
+//
+//  - fragment gate: StreamableReason names the offending construct for
+//    everything outside ↓ / ↓* / . / seq / union / * / label booleans;
+//  - handcrafted semantics: exact match ordinals on known trees;
+//  - seeded differential battery: random Streamable bundles × random and
+//    EDTD-conforming streams, shared automaton ≡ per-query automata ≡
+//    evaluator root matches (the O6 oracle);
+//  - BundleOptimizer: the curated routing scenario demonstrates ≥1
+//    subsumed, ≥1 root-unsat and ≥1 aliased query, and pruning is sound;
+//  - determinism: SchemaIndex build-thread counts and warm/cold subset
+//    caches never change the compiled automaton or the match stream.
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "xpc/core/session.h"
+#include "xpc/edtd/conformance.h"
+#include "xpc/edtd/edtd.h"
+#include "xpc/eval/evaluator.h"
+#include "xpc/fuzz/generator.h"
+#include "xpc/fuzz/oracles.h"
+#include "xpc/stream/bundle_optimizer.h"
+#include "xpc/stream/stream_compile.h"
+#include "xpc/stream/stream_event.h"
+#include "xpc/stream/stream_matcher.h"
+#include "xpc/tree/tree_text.h"
+#include "xpc/xpath/parser.h"
+#include "xpc/xpath/printer.h"
+
+namespace xpc {
+namespace {
+
+PathPtr P(const std::string& text) {
+  auto r = ParsePath(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << (r.ok() ? "" : r.error());
+  return r.value();
+}
+
+XmlTree T(const std::string& text) {
+  auto r = ParseTree(text);
+  EXPECT_TRUE(r.ok()) << text;
+  return r.value();
+}
+
+// The routing-flavored schema of the examples: a feed of channels of
+// (recursively nested) items. Root-unsat queries against it are easy to
+// write (`down[item]` — a feed's children are channels) without being
+// globally unsat.
+Edtd FeedEdtd() {
+  auto r = Edtd::Parse(
+      "Feed -> feed := Channel*\n"
+      "Channel -> channel := Meta? Item*\n"
+      "Meta -> meta := epsilon\n"
+      "Item -> item := Title? Body? Item*\n"
+      "Title -> title := epsilon\n"
+      "Body -> body := Para* Tag*\n"
+      "Para -> para := epsilon\n"
+      "Tag -> tag := epsilon\n");
+  EXPECT_TRUE(r.ok());
+  return r.value();
+}
+
+// Matches of one query on one stream, as sorted (query-relative) ordinals.
+std::vector<int64_t> Matches(StreamMatcher* m, const std::vector<StreamEvent>& events,
+                             int32_t query) {
+  std::vector<int64_t> out;
+  for (auto [q, n] : m->MatchStream(events)) {
+    if (q == query) out.push_back(n);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(StreamCompile, RejectsNonStreamableWithReasons) {
+  EXPECT_EQ(StreamableReason(P("down*[b]/down")), "");
+  EXPECT_EQ(StreamableReason(P("(down/down[a])*")), "");
+  EXPECT_EQ(StreamableReason(P(".[a and not(b or c)]")), "");
+  for (const char* bad : {"up", "right", "left", "up*", "down & down[a]",
+                          "down - down[a]", "down[<up>]", "down[eq(down, down)]",
+                          "down[is $i]", "for $i in down return down"}) {
+    EXPECT_NE(StreamableReason(P(bad)), "") << bad;
+  }
+}
+
+TEST(StreamCompile, SingleQueryMatchesKnownOrdinals) {
+  // Tree a(b(b),a(b)): preorder ordinals a=0, b=1, b=2, a=3, b=4.
+  XmlTree tree = T("a(b(b),a(b))");
+  std::vector<StreamEvent> events = EventsOf(tree);
+
+  struct Case {
+    const char* query;
+    std::vector<int64_t> want;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {".", {0}},
+           {".[a]", {0}},
+           {".[b]", {}},
+           {"down", {1, 3}},
+           {"down[b]", {1}},
+           {"down*", {0, 1, 2, 3, 4}},
+           {"down*[b]", {1, 2, 4}},
+           {"down/down", {2, 4}},
+           {"down[b]/down[b]", {2}},
+           {"(down[a])*[a]", {0, 3}},
+           {"down*[not(a)]", {1, 2, 4}},
+           {"down[a] | down[b]", {1, 3}},
+       }) {
+    CompiledBundle single = CompileSingle(P(c.query));
+    StreamMatcher m(&single);
+    EXPECT_EQ(Matches(&m, events, 0), c.want) << c.query;
+  }
+}
+
+TEST(StreamCompile, SharedAutomatonInterleavesOwners) {
+  std::vector<BundleQuery> queries;
+  const char* exprs[] = {"down[b]", "down*[b]", "down/down"};
+  for (int i = 0; i < 3; ++i) queries.push_back({P(exprs[i]), {i}});
+  CompiledBundle bundle = CompileBundle(queries, 3);
+  StreamMatcher m(&bundle);
+  std::vector<StreamEvent> events = EventsOf(T("a(b(b),a(b))"));
+  EXPECT_EQ(Matches(&m, events, 0), (std::vector<int64_t>{1}));
+  EXPECT_EQ(Matches(&m, events, 1), (std::vector<int64_t>{1, 2, 4}));
+  EXPECT_EQ(Matches(&m, events, 2), (std::vector<int64_t>{2, 4}));
+  // Per-query final masks project the shared state space faithfully.
+  for (int q = 0; q < 3; ++q) {
+    Bits mask = bundle.QueryFinalMask(q);
+    EXPECT_FALSE(mask.None()) << q;
+    EXPECT_TRUE(mask.SubsetOf(bundle.final_mask)) << q;
+  }
+}
+
+TEST(StreamMatcher, UnbalancedStreamsAreReportedAndRecovered) {
+  CompiledBundle single = CompileSingle(P("down"));
+  StreamMatcher m(&single);
+  m.BeginDocument();
+  m.StartElement("a");
+  m.EndElement();
+  m.EndElement();  // Underflow.
+  EXPECT_FALSE(m.EndDocument());
+
+  m.BeginDocument();
+  m.StartElement("a");
+  m.StartElement("b");
+  m.EndElement();
+  EXPECT_FALSE(m.EndDocument());  // One element left open.
+
+  // The matcher recovers: a well-formed document still works afterwards.
+  std::vector<StreamEvent> events = EventsOf(T("a(b)"));
+  EXPECT_EQ(Matches(&m, events, 0), (std::vector<int64_t>{1}));
+}
+
+TEST(StreamMatcher, WarmCacheNeverChangesMatches) {
+  // One matcher consuming many documents (warm subset cache) must report
+  // exactly what a cold matcher reports per document.
+  std::vector<BundleQuery> queries;
+  const char* exprs[] = {"down*[b]", "down[a]/down", ".[a]"};
+  for (int i = 0; i < 3; ++i) queries.push_back({P(exprs[i]), {i}});
+  CompiledBundle bundle = CompileBundle(queries, 3);
+  StreamMatcher warm(&bundle);
+  FuzzGen gen(20260807);
+  for (int doc = 0; doc < 50; ++doc) {
+    XmlTree tree = gen.GenTree(12, {"a", "b", "c"});
+    std::vector<StreamEvent> events = EventsOf(tree);
+    StreamMatcher cold(&bundle);
+    EXPECT_EQ(warm.MatchStream(events), cold.MatchStream(events))
+        << TreeToText(tree);
+  }
+  EXPECT_GT(warm.events(), 0);
+}
+
+// The seeded differential battery: the O6 oracle over generator-drawn
+// Streamable bundles, against random trees and (every other case) random
+// EDTD-conforming streams. Any disagreement between the shared automaton,
+// the per-query automata and the reference evaluator fails with the
+// offending bundle and tree inline.
+TEST(StreamDifferential, RandomBundlesAgainstEvaluator) {
+  FuzzGen gen(0xC0FFEE);
+  ExprGenOptions o = ExprGenOptions::Streamable();
+  o.max_ops = 6;
+  for (int i = 0; i < 120; ++i) {
+    const int k = 2 + static_cast<int>(gen.NextBelow(4));
+    std::vector<PathPtr> bundle;
+    std::string joined;
+    for (int q = 0; q < k; ++q) {
+      bundle.push_back(gen.GenPath(o));
+      joined += (q > 0 ? " ; " : "") + ToString(bundle.back());
+    }
+    std::optional<Edtd> edtd;
+    if (i % 2 == 0) edtd.emplace(gen.GenEdtd(EdtdGenOptions{}));
+    uint64_t tree_seed = gen.NextU64();
+    EXPECT_EQ(CheckStreamMatcher(bundle, edtd ? &*edtd : nullptr, tree_seed, 4, 10), "")
+        << "bundle " << i << ": " << joined;
+  }
+}
+
+TEST(BundleOptimizer, CuratedScenarioPrunesAndAliases) {
+  Session session;
+  session.SetEdtd(FeedEdtd());
+  BundleOptions options;
+  options.prune_subsumed = true;
+  BundleOptimizer optimizer(&session, options);
+
+  std::vector<PathPtr> queries = {
+      P("down*[title]"),           // 0: active representative.
+      P("down/down/down[title]"),  // 1: subsumed by 0 (⊆ down*[title]).
+      P("down[channel]/down[item]"),  // 2: active.
+      P("down[item]"),                // 3: root-unsat (feed children: channel).
+      P("down*[title]"),              // 4: structural duplicate of 0.
+      P(".[channel]"),                // 5: root-unsat (root is feed).
+      P("down[meta]"),                // 6: root-unsat (channel-level label).
+  };
+  OptimizedBundle plan = optimizer.Optimize(queries);
+
+  using D = BundleQueryInfo::Disposition;
+  EXPECT_EQ(plan.queries[0].disposition, D::kActive);
+  EXPECT_EQ(plan.queries[1].disposition, D::kSubsumed);
+  EXPECT_EQ(plan.queries[1].target, 0);
+  EXPECT_EQ(plan.queries[2].disposition, D::kActive);
+  EXPECT_EQ(plan.queries[3].disposition, D::kUnsat);
+  EXPECT_EQ(plan.queries[4].disposition, D::kAliased);
+  EXPECT_EQ(plan.queries[4].target, 0);
+  EXPECT_EQ(plan.queries[5].disposition, D::kUnsat);
+  EXPECT_EQ(plan.queries[6].disposition, D::kUnsat);
+  EXPECT_GE(plan.num_subsumed, 1);
+  EXPECT_GE(plan.num_unsat, 1);
+  EXPECT_GE(plan.num_aliased, 1);
+
+  // Soundness on conforming documents: the aliased query fires exactly like
+  // its representative, the subsumed query's matches are covered by its
+  // subsumer, pruned queries never match.
+  CompiledBundle bundle = CompileBundle(plan.compile_set, static_cast<int>(queries.size()));
+  StreamMatcher matcher(&bundle);
+  Edtd edtd = FeedEdtd();
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    auto [ok, tree] = SampleConformingTree(edtd, 40, seed);
+    if (!ok) continue;
+    std::vector<StreamEvent> events = EventsOf(tree);
+    Evaluator eval(tree);
+    std::vector<std::vector<int64_t>> fired(queries.size());
+    for (auto [q, n] : matcher.MatchStream(events)) fired[q].push_back(n);
+    EXPECT_EQ(fired[0], fired[4]) << TreeToText(tree);
+    EXPECT_TRUE(fired[1].empty());
+    EXPECT_TRUE(fired[3].empty());
+    // Reference coverage: every evaluator root match of q1 is a root match
+    // of its subsumer q0.
+    auto covered = [&](const PathPtr& sub, const PathPtr& super) {
+      auto pairs_sub = eval.EvalPath(sub).ToPairs();
+      auto rel_super = eval.EvalPath(super);
+      for (auto [src, dst] : pairs_sub) {
+        if (src == tree.root() && !rel_super.Contains(src, dst)) return false;
+      }
+      return true;
+    };
+    EXPECT_TRUE(covered(queries[1], queries[0])) << TreeToText(tree);
+    // Unsat-pruned queries must not match conforming documents at the root.
+    for (int dead : {3, 5, 6}) {
+      for (auto [src, dst] : eval.EvalPath(queries[dead]).ToPairs()) {
+        EXPECT_NE(src, tree.root()) << "q" << dead << " on " << TreeToText(tree);
+      }
+    }
+  }
+}
+
+TEST(BundleOptimizer, SubsumptionOffKeepsEveryQueryFiring) {
+  Session session;
+  BundleOptimizer optimizer(&session);  // Defaults: dedupe on, subsumption off.
+  std::vector<PathPtr> queries = {P("down*[b]"), P("down/down[b]")};
+  OptimizedBundle plan = optimizer.Optimize(queries);
+  EXPECT_EQ(plan.num_active, 2);
+  EXPECT_EQ(plan.num_subsumed, 0);
+}
+
+TEST(StreamDeterminism, SchemaIndexThreadCountsDoNotChangeOutcome) {
+  // The optimizer consults the session's SchemaIndex (built with a
+  // configurable thread count); the compiled automaton and the match stream
+  // must be identical at every setting.
+  std::vector<PathPtr> queries = {P("down*[title]"), P("down/down/down[title]"),
+                                  P("down[channel]/down[item]"), P("down[item]"),
+                                  P("down*[para]")};
+  Edtd edtd = FeedEdtd();
+
+  std::vector<std::pair<int32_t, int64_t>> first_matches;
+  int first_states = -1;
+  std::vector<BundleQueryInfo::Disposition> first_plan;
+  for (int threads : {1, 2, 4}) {
+    SchemaIndex::ClearRegistry();  // Force a rebuild at this thread count.
+    SessionOptions so;
+    so.schema_index.build_threads = threads;
+    Session session(so);
+    session.SetEdtd(edtd);
+    BundleOptions options;
+    options.prune_subsumed = true;
+    BundleOptimizer optimizer(&session, options);
+    OptimizedBundle plan = optimizer.Optimize(queries);
+    CompiledBundle bundle = CompileBundle(plan.compile_set, static_cast<int>(queries.size()));
+    StreamMatcher matcher(&bundle);
+    auto [ok, tree] = SampleConformingTree(edtd, 60, 7);
+    ASSERT_TRUE(ok);
+    std::vector<std::pair<int32_t, int64_t>> matches = matcher.MatchStream(EventsOf(tree));
+    std::vector<BundleQueryInfo::Disposition> dispositions;
+    for (const BundleQueryInfo& info : plan.queries) dispositions.push_back(info.disposition);
+    if (first_states < 0) {
+      first_states = bundle.nfa.num_states();
+      first_matches = std::move(matches);
+      first_plan = std::move(dispositions);
+    } else {
+      EXPECT_EQ(bundle.nfa.num_states(), first_states) << threads;
+      EXPECT_EQ(matches, first_matches) << threads;
+      EXPECT_EQ(dispositions, first_plan) << threads;
+    }
+  }
+  SchemaIndex::ClearRegistry();
+}
+
+TEST(StreamOracle, FuzzFamilySmoke) {
+  FuzzOptions options;
+  options.cases = 80;
+  options.seed = 20260807;
+  options.roundtrip = false;
+  options.translations = false;
+  options.engines = false;
+  options.session = false;
+  options.fastpaths = false;
+  FuzzReport report = RunFuzz(options);
+  EXPECT_TRUE(report.ok()) << report.Summary()
+                           << (report.failures.empty() ? "" : ": " + report.failures[0].detail);
+  EXPECT_EQ(report.per_oracle.count("stream"), 1u);
+}
+
+}  // namespace
+}  // namespace xpc

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "xpc/common/arena.h"
 #include "xpc/common/bits.h"
 #include "xpc/eval/relation.h"
@@ -231,6 +234,60 @@ PathPtr RandomPath(TreeGenerator& gen, int depth) {
                         Filter(RandomPath(gen, depth - 1),
                                IsVar("v" + std::to_string(gen.NextBelow(3)))));
   }
+}
+
+// Env-gate resolution must be observable: a mistyped XPC_ARENA used to
+// latch the default silently. `internal::ArenaEnabledSlow()` re-reads the
+// environment on every call, so the test drives resolution directly.
+TEST(ArenaGate, ResolutionRecordsEnvOutcome) {
+  const char* prev_env = std::getenv("XPC_ARENA");
+  const std::string saved = prev_env != nullptr ? prev_env : "";
+  const bool had_env = prev_env != nullptr;
+  const bool prev_latch = ArenaEnabled();
+
+  ::setenv("XPC_ARENA", "yes-please", 1);
+  internal::ArenaEnabledSlow();
+  ArenaGateStatus status = ArenaGateState();
+  EXPECT_TRUE(status.from_env);
+  EXPECT_FALSE(status.recognized);
+  EXPECT_EQ(status.resolved, 1);  // Unrecognized keeps the arena leg on.
+  EXPECT_TRUE(ArenaEnabled());
+
+  ::setenv("XPC_ARENA", "0", 1);
+  internal::ArenaEnabledSlow();
+  status = ArenaGateState();
+  EXPECT_TRUE(status.from_env);
+  EXPECT_TRUE(status.recognized);
+  EXPECT_EQ(status.resolved, 0);
+  EXPECT_FALSE(ArenaEnabled());
+
+  ::setenv("XPC_ARENA", "1", 1);
+  internal::ArenaEnabledSlow();
+  status = ArenaGateState();
+  EXPECT_TRUE(status.recognized);
+  EXPECT_EQ(status.resolved, 1);
+  EXPECT_TRUE(ArenaEnabled());
+
+  if (had_env) {
+    ::setenv("XPC_ARENA", saved.c_str(), 1);
+  } else {
+    ::unsetenv("XPC_ARENA");
+  }
+  SetArenaEnabled(prev_latch);
+}
+
+// ArenaGateState() is a pure observer: reading the gate (as
+// Session::telemetry() does mid-run) must never overwrite a programmatic
+// SetArenaEnabled() — the differential tests flip the latch directly.
+TEST(ArenaGate, StateDoesNotClobberProgrammaticLatch) {
+  const bool prev_latch = ArenaEnabled();
+  SetArenaEnabled(false);
+  (void)ArenaGateState();
+  EXPECT_FALSE(ArenaEnabled());
+  SetArenaEnabled(true);
+  (void)ArenaGateState();
+  EXPECT_TRUE(ArenaEnabled());
+  SetArenaEnabled(prev_latch);
 }
 
 TEST(ParserFuzz, PrintParseFixpoint) {
